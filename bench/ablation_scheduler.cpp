@@ -1,0 +1,52 @@
+// Ablation: the §7.4 data-plane congestion scheduler.
+//
+// Runs near-capacity multi-flow workloads with the scheduler on and off and
+// reports (i) capacity violations (off -> transient overcommitment; on ->
+// zero) and (ii) the completion cost of enforcing congestion freedom.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+int main() {
+  using namespace p4u;
+  std::printf("Ablation: data-plane congestion scheduler (§7.4), B4 and "
+              "Internet2, 30 runs each\n\n");
+  std::printf("%-12s %-10s %12s %14s %14s %12s\n", "topology", "scheduler",
+              "mean [ms]", "cap.violations", "deadlocked", "alarms");
+
+  bool shape = true;
+  for (const char* name : {"B4", "Internet2"}) {
+    net::Graph g = std::string(name) == "B4" ? net::b4_topology()
+                                             : net::internet2_topology();
+    net::set_uniform_capacity(g, 100.0);
+    std::uint64_t violations_off = 0, violations_on = 0;
+    for (bool scheduler_on : {false, true}) {
+      harness::MultiFlowConfig cfg;
+      cfg.runs = 30;
+      cfg.traffic.target_utilization = 0.97;  // tight: moves must sequence
+      cfg.bed.congestion_mode = scheduler_on;
+      cfg.bed.monitor_capacity = true;
+      cfg.bed.ctrl_latency_model = harness::CtrlLatencyModel::kWanCentroid;
+      const harness::ExperimentResult r = run_multi_flow(g, cfg);
+      std::printf("%-12s %-10s %12.1f %14llu %14llu %12llu\n", name,
+                  scheduler_on ? "on" : "off",
+                  r.update_times_ms.empty() ? 0.0 : r.update_times_ms.mean(),
+                  static_cast<unsigned long long>(r.violations.capacity),
+                  static_cast<unsigned long long>(r.incomplete_runs),
+                  static_cast<unsigned long long>(r.alarms));
+      (scheduler_on ? violations_on : violations_off) +=
+          r.violations.capacity;
+    }
+    shape = shape && violations_on == 0 && violations_off > 0;
+  }
+
+  std::printf("\n---- expected shape ----\n");
+  std::printf("scheduler off: transient capacity violations under tight\n"
+              "workloads; scheduler on: zero violations, at the cost of\n"
+              "sequenced (slower) completion and occasional deadlocked runs\n"
+              "on genuinely unorderable instances (the NP-hard core, §7.4).\n");
+  std::printf("---- measured shape holds: %s\n", shape ? "YES" : "NO");
+  return shape ? 0 : 1;
+}

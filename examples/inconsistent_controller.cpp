@@ -1,0 +1,39 @@
+// Inconsistent controller view: the §4.1 / Fig. 2 story as a runnable
+// example. A configuration's control messages are delayed while the
+// controller believes them applied, then a newer configuration is deployed
+// on top. ez-Segway melts into a forwarding loop; P4Update's switches
+// verify locally and reject the stale state.
+//
+// Run:  ./build/examples/inconsistent_controller
+#include <cstdio>
+
+#include "harness/demo_scenarios.hpp"
+
+int main() {
+  using namespace p4u;
+
+  std::printf("Scenario (Fig. 2): chain v0..v4; config (b)'s messages are\n"
+              "delayed 400 ms; the oblivious controller deploys config (c)\n"
+              "on top. 75 packets at 125 pps, TTL 64.\n\n");
+
+  for (auto kind : {harness::SystemKind::kEzSegway,
+                    harness::SystemKind::kP4Update}) {
+    const harness::Fig2Result r = harness::run_fig2_demo(kind);
+    std::printf("--- %s ---\n", to_string(kind));
+    std::printf("  delivered %u / %u unique packets at the egress\n",
+                r.unique_at_v4, r.packets_sent);
+    std::printf("  %u sequence ids revisited v1 (trapped in a loop)\n",
+                r.duplicates_at_v1);
+    std::printf("  %u packets died of TTL expiry\n", r.ttl_drops);
+    std::printf("  %llu loop states observed by the oracle\n",
+                static_cast<unsigned long long>(r.loop_observations));
+    std::printf("  %llu alarms raised to the controller\n\n",
+                static_cast<unsigned long long>(r.alarms));
+  }
+
+  std::printf("P4Update's verification (Alg. 1) rejected the out-of-date\n"
+              "configuration locally: every packet was delivered exactly\n"
+              "once, and the controller was *told* its view was stale\n"
+              "instead of finding out from a melted network.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: a complete P4Update run in ~60 lines.
+//
+// Builds the paper's Fig. 1 topology, deploys one flow on the old path
+// (v0, v4, v2, v7), then asks the controller to move it onto the new path
+// (v0, v1, ..., v7). The controller picks DL-P4Update (the update has a
+// backward segment), the switches verify and coordinate the update entirely
+// in the data plane, and the ingress reports convergence via UFM.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+
+int main() {
+  using namespace p4u;
+
+  // 1. Topology and testbed (P4Update switches + controller, 20 ms links).
+  net::NamedTopology topo = net::fig1_topology();
+  harness::TestBedParams params;
+  params.system = harness::SystemKind::kP4Update;
+  params.ctrl_latency_model = harness::CtrlLatencyModel::kFixed;
+  params.fixed_ctrl_latency = sim::milliseconds(5);
+  harness::TestBed bed(topo.graph, params);
+
+  // 2. Deploy a flow on the old path (this is the "version 1" state).
+  net::Flow flow;
+  flow.ingress = topo.old_path.front();
+  flow.egress = topo.old_path.back();
+  flow.id = net::flow_id_of(flow.ingress, flow.egress);
+  flow.size = 1.0;
+  bed.deploy_flow(flow, topo.old_path);
+
+  // 3. Schedule the update onto the new path at t = 10 ms and run.
+  bed.schedule_update_at(sim::milliseconds(10), flow.id, topo.new_path);
+  bed.run();
+
+  // 4. Inspect the result.
+  const auto duration = bed.flow_db().duration(flow.id, /*version=*/2);
+  if (!duration) {
+    std::puts("update did not complete!");
+    return 1;
+  }
+  std::printf("update completed in %.2f ms\n", sim::to_ms(*duration));
+  std::printf("loops: %llu, blackholes: %llu (must both be 0)\n",
+              static_cast<unsigned long long>(bed.monitor().violations().loops),
+              static_cast<unsigned long long>(
+                  bed.monitor().violations().blackholes));
+
+  // 5. The trace shows the verified hop-by-hop coordination.
+  std::printf("\n--- trace ---\n%s", bed.trace().dump().c_str());
+  return bed.monitor().violations().total() == 0 ? 0 : 1;
+}

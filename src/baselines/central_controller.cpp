@@ -1,0 +1,181 @@
+#include "baselines/central_controller.hpp"
+
+#include <algorithm>
+
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::baseline {
+
+namespace {
+
+net::NodeId succ_on(const net::Path& p, net::NodeId n) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (p[i] == n) return p[i + 1];
+  }
+  return net::kNoNode;
+}
+
+std::int64_t dlink_key(net::NodeId a, net::NodeId b) {
+  return (static_cast<std::int64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+CentralController::CentralController(p4rt::ControlChannel& channel,
+                                     control::Nib nib, CentralParams params)
+    : channel_(channel), nib_(std::move(nib)), params_(params) {
+  channel_.set_app(this);
+}
+
+void CentralController::register_flow(const net::Flow& f,
+                                      const net::Path& initial_path) {
+  nib_.record_flow(f, initial_path);
+  if (params_.congestion_mode) {
+    for (std::size_t i = 0; i + 1 < initial_path.size(); ++i) {
+      link_used_[dlink_key(initial_path[i], initial_path[i + 1])] += f.size;
+    }
+  }
+}
+
+p4rt::Version CentralController::schedule_update(net::FlowId flow,
+                                                 const net::Path& new_path) {
+  const p4rt::Version version = nib_.next_version(flow);
+  control::FlowView& view = nib_.view(flow);
+  Job job;
+  job.version = version;
+  job.old_path = view.believed_path;
+  job.new_path = new_path;
+  view.update_in_progress = true;
+  // Nodes whose rule actually changes.
+  for (std::size_t i = 0; i + 1 < new_path.size(); ++i) {
+    const net::NodeId n = new_path[i];
+    if (succ_on(job.old_path, n) != new_path[i + 1]) job.pending.insert(n);
+  }
+  flow_db_.on_issued(flow, version, channel_.now());
+  jobs_[flow] = std::move(job);
+  Job& stored = jobs_[flow];
+  if (stored.pending.empty()) {
+    flow_db_.on_completed(flow, version, channel_.now());
+    nib_.believe_path(flow, new_path);
+    view.update_in_progress = false;
+    jobs_.erase(flow);
+    if (on_complete) on_complete(flow, version, channel_.now());
+    return version;
+  }
+  start_round();
+  return version;
+}
+
+void CentralController::collect_safe(
+    net::FlowId flow, Job& job,
+    std::vector<std::pair<net::FlowId, net::NodeId>>* round) {
+  std::vector<net::NodeId> candidates;
+  for (auto it = job.new_path.rbegin(); it != job.new_path.rend(); ++it) {
+    const net::NodeId n = *it;
+    if (job.pending.count(n) == 0) continue;
+    if (!central_safe_to_update(job.old_path, job.new_path, n, job.updated,
+                                candidates)) {
+      continue;
+    }
+    if (params_.congestion_mode) {
+      const net::NodeId to = succ_on(job.new_path, n);
+      const auto link = nib_.graph().find_link(n, to);
+      const double cap = link ? nib_.graph().link(*link).capacity : 0.0;
+      const double used = link_used_[dlink_key(n, to)];
+      const double size = nib_.view(flow).flow.size;
+      if (cap - used < size) continue;  // wait for capacity to free up
+      link_used_[dlink_key(n, to)] += size;  // reserve on command issue
+    }
+    candidates.push_back(n);
+    round->emplace_back(flow, n);
+  }
+}
+
+void CentralController::start_round() {
+  // Global round barrier ([57], §9.1): the next batch is computed only
+  // after every acknowledgement of the previous one arrived, over the
+  // whole dependency relationship (all flows at once).
+  if (global_outstanding_ > 0 || jobs_.empty()) return;
+  channel_.occupy(kDependencyRecompute);
+  std::vector<std::pair<net::FlowId, net::NodeId>> round;
+  for (auto& [flow, job] : jobs_) collect_safe(flow, job, &round);
+  if (round.empty()) return;  // stuck (capacity deadlock) or nothing to do
+  ++rounds_;
+  for (const auto& [flow, n] : round) {
+    Job& job = jobs_.at(flow);
+    ++job.round;
+    job.pending.erase(n);
+    job.outstanding.insert(n);
+    ++global_outstanding_;
+    p4rt::InstallCmdHeader cmd;
+    cmd.flow = flow;
+    cmd.version = job.version;
+    cmd.round = static_cast<std::int32_t>(rounds_);
+    cmd.egress_port = nib_.graph().port_of(n, succ_on(job.new_path, n));
+    cmd.flow_size = nib_.view(flow).flow.size;
+    channel_.send_to_switch(n, p4rt::Packet{cmd});
+  }
+}
+
+void CentralController::handle_from_switch(net::NodeId from,
+                                           const p4rt::Packet& pkt) {
+  if (!pkt.is<p4rt::InstallAckHeader>()) return;
+  const auto& ack = pkt.as<p4rt::InstallAckHeader>();
+  auto it = jobs_.find(ack.flow);
+  if (it == jobs_.end() || it->second.version != ack.version) return;
+  Job& job = it->second;
+  if (job.outstanding.erase(from) == 0) return;
+  if (global_outstanding_ > 0) --global_outstanding_;
+  job.updated.push_back(from);
+  if (params_.congestion_mode) {
+    // The flow left its old outgoing link at `from`: release capacity.
+    const net::NodeId old_to = succ_on(job.old_path, from);
+    if (old_to != net::kNoNode &&
+        job.released.insert(dlink_key(from, old_to)).second) {
+      link_used_[dlink_key(from, old_to)] -= nib_.view(ack.flow).flow.size;
+    }
+  }
+  if (job.pending.empty() && job.outstanding.empty()) {
+    const p4rt::Version version = job.version;
+    const net::Path new_path = job.new_path;
+    const net::Path old_path = job.old_path;
+    std::set<std::int64_t> released = std::move(job.released);
+    jobs_.erase(it);
+    flow_db_.on_completed(ack.flow, version, channel_.now());
+    nib_.believe_path(ack.flow, new_path);
+    nib_.view(ack.flow).update_in_progress = false;
+    if (params_.congestion_mode) {
+      // Release stale old-path links the ack path never freed (nodes whose
+      // rules did not change but no longer carry this flow).
+      for (std::size_t i = 0; i + 1 < old_path.size(); ++i) {
+        const auto key = dlink_key(old_path[i], old_path[i + 1]);
+        bool on_new = false;
+        for (std::size_t j = 0; j + 1 < new_path.size(); ++j) {
+          if (new_path[j] == old_path[i] &&
+              new_path[j + 1] == old_path[i + 1]) {
+            on_new = true;
+            break;
+          }
+        }
+        if (!on_new && released.insert(key).second) {
+          link_used_[key] -= nib_.view(ack.flow).flow.size;
+        }
+      }
+    }
+    // Old-path cleanup: remove stale rules on nodes the flow left behind.
+    for (net::NodeId n : old_path) {
+      if (std::find(new_path.begin(), new_path.end(), n) != new_path.end()) {
+        continue;
+      }
+      p4rt::InstallCmdHeader cmd;
+      cmd.flow = ack.flow;
+      cmd.version = version;
+      cmd.remove = true;
+      channel_.send_to_switch(n, p4rt::Packet{cmd});
+    }
+    if (on_complete) on_complete(ack.flow, version, channel_.now());
+  }
+  start_round();
+}
+
+}  // namespace p4u::baseline

@@ -1,0 +1,80 @@
+// CentralController: the centralized dependency-graph baseline (§9.1).
+//
+// The controller computes which node updates are currently safe (mixed-state
+// loop/blackhole check), pushes install commands for that set, and waits for
+// acknowledgements; each ack re-triggers the safety computation, so every
+// inter-node dependency costs a full control-plane round trip plus the
+// controller's serialized service time — the cost P4Update eliminates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baselines/dependency_graph.hpp"
+#include "control/flow_db.hpp"
+#include "control/nib.hpp"
+#include "p4rt/control_channel.hpp"
+
+namespace p4u::baseline {
+
+struct CentralParams {
+  bool congestion_mode = false;
+};
+
+/// Virtual cost of one centralized dependency-graph recomputation round.
+constexpr sim::Duration kDependencyRecompute = sim::milliseconds(10);
+
+class CentralController final : public p4rt::ControllerApp {
+ public:
+  CentralController(p4rt::ControlChannel& channel, control::Nib nib,
+                    CentralParams params = {});
+
+  void register_flow(const net::Flow& f, const net::Path& initial_path);
+
+  p4rt::Version schedule_update(net::FlowId flow, const net::Path& new_path);
+
+  void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
+
+  [[nodiscard]] control::Nib& nib() { return nib_; }
+  [[nodiscard]] control::FlowDb& flow_db() { return flow_db_; }
+
+  /// Number of scheduling rounds issued so far (tests/benches).
+  [[nodiscard]] std::uint64_t rounds_issued() const { return rounds_; }
+
+  std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
+
+ private:
+  struct Job {
+    p4rt::Version version = 0;
+    net::Path old_path;
+    net::Path new_path;
+    std::vector<net::NodeId> updated;     // acknowledged new rules
+    std::set<net::NodeId> outstanding;    // commands in flight
+    std::set<net::NodeId> pending;        // rule changes not yet commanded
+    std::set<std::int64_t> released;      // old directed links already freed
+    std::int32_t round = 0;
+  };
+
+  /// Computes and sends the next global round: the maximal safe set of
+  /// node updates across ALL in-flight jobs ([57]: one dependency
+  /// relationship for the whole reconfiguration). No-op while acks from
+  /// the previous round are outstanding.
+  void start_round();
+
+  /// Collects this job's currently safe nodes into the round being built.
+  void collect_safe(net::FlowId flow, Job& job,
+                    std::vector<std::pair<net::FlowId, net::NodeId>>* round);
+
+  p4rt::ControlChannel& channel_;
+  control::Nib nib_;
+  control::FlowDb flow_db_;
+  CentralParams params_;
+  std::map<net::FlowId, Job> jobs_;
+  std::map<std::int64_t, double> link_used_;  // directed-link capacity ledger
+  std::uint64_t rounds_ = 0;
+  std::size_t global_outstanding_ = 0;  // acks pending for the current round
+};
+
+}  // namespace p4u::baseline

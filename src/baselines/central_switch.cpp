@@ -1,0 +1,26 @@
+#include "baselines/central_switch.hpp"
+
+namespace p4u::baseline {
+
+void CentralSwitch::handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+                           std::int32_t in_port) {
+  (void)in_port;
+  if (!pkt.is<p4rt::InstallCmdHeader>()) return;
+  const auto cmd = pkt.as<p4rt::InstallCmdHeader>();
+  if (cmd.remove) {
+    sw.remove_rule(cmd.flow);
+    sw.fabric().trace().add({sw.now(), sim::TraceKind::kRuleCleaned, id_,
+                             cmd.flow, cmd.version, 0, ""});
+    return;  // removals are fire-and-forget
+  }
+  sw.install_rule(cmd.flow, cmd.egress_port, [this, &sw, cmd]() {
+    p4rt::InstallAckHeader ack;
+    ack.flow = cmd.flow;
+    ack.version = cmd.version;
+    ack.node = id_;
+    ack.round = cmd.round;
+    sw.send_to_controller(p4rt::Packet{ack});
+  });
+}
+
+}  // namespace p4u::baseline

@@ -1,0 +1,28 @@
+// CentralSwitch: data-plane agent of the centralized baseline (§9.1
+// "Centralized Updates", Dionysus-style [57, 42]). The switch is dumb: it
+// installs whatever the controller commands and acknowledges through the
+// control plane — every dependency takes a controller round trip.
+#pragma once
+
+#include "p4rt/fabric.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::baseline {
+
+class CentralSwitch final : public p4rt::Pipeline {
+ public:
+  explicit CentralSwitch(net::NodeId id) : id_(id) {}
+
+  void handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+              std::int32_t in_port) override;
+
+  void bootstrap_flow(p4rt::SwitchDevice& sw, net::FlowId f,
+                      std::int32_t egress_port) {
+    sw.set_rule_now(f, egress_port);
+  }
+
+ private:
+  net::NodeId id_;
+};
+
+}  // namespace p4u::baseline

@@ -1,0 +1,63 @@
+// Centralized dependency computations used by the baselines.
+//
+//  * ez-Segway's congestion variant precomputes static flow priorities from
+//    a global resource dependency graph (three classes, per [63] §9.1).
+//  * Central (Dionysus-style [57, 42]) schedules per-flow update rounds via
+//    a conservative mixed-state safety check.
+//
+// These run on the controller; Fig. 8b measures exactly this cost against
+// P4Update's data-plane offloading.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+
+namespace p4u::baseline {
+
+struct FlowMove {
+  net::FlowId flow = 0;
+  net::Path old_path;
+  net::Path new_path;
+  double size = 0.0;
+};
+
+/// ez-Segway priority classes.
+enum class EzPriority : std::uint8_t {
+  kLow = 0,      // independent move
+  kFeedsCycle = 1,  // frees capacity some cyclic dependency needs
+  kInCycle = 2,  // part of a circular capacity dependency (deadlock risk)
+};
+
+/// Builds the global flow/link dependency graph and classifies every flow:
+/// move->link edges for consumed directed links, link->move edges for freed
+/// ones; cycles via SCC; per-move reachability gives the "feeds a cycle"
+/// middle class. Cost intentionally reflects a real centralized scheduler:
+/// O(F * (V + E)) for the reachability passes.
+/// `work_units`, if given, receives a deterministic count of elementary
+/// graph operations performed — the in-simulation virtual cost of this
+/// centralized computation is charged proportionally (see DESIGN.md).
+std::map<net::FlowId, EzPriority> compute_ez_priorities(
+    const net::Graph& g, const std::vector<FlowMove>& moves,
+    std::uint64_t* work_units = nullptr);
+
+/// Conservative mixed-state safety check for Central: may `node` switch to
+/// its new rule now, given that `updated` nodes already did and `candidates`
+/// may flip concurrently? Safe iff the new next hop has forwarding state
+/// and no walk over the uncertainty multigraph returns to `node`.
+bool central_safe_to_update(const net::Path& old_path,
+                            const net::Path& new_path, net::NodeId node,
+                            const std::vector<net::NodeId>& updated,
+                            const std::vector<net::NodeId>& candidates);
+
+/// Greedy round computation for Central: the maximal safe set of not-yet-
+/// updated nodes (deterministic order: new-path order from egress side).
+std::vector<net::NodeId> central_next_round(
+    const net::Path& old_path, const net::Path& new_path,
+    const std::vector<net::NodeId>& updated);
+
+}  // namespace p4u::baseline

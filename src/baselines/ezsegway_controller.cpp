@@ -1,0 +1,223 @@
+#include "baselines/ezsegway_controller.hpp"
+
+#include <algorithm>
+
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::baseline {
+
+namespace {
+
+net::NodeId succ_on(const net::Path& p, net::NodeId n) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (p[i] == n) return p[i + 1];
+  }
+  return net::kNoNode;
+}
+
+}  // namespace
+
+EzSegwayController::EzSegwayController(p4rt::ControlChannel& channel,
+                                       control::Nib nib,
+                                       EzControllerParams params)
+    : channel_(channel), nib_(std::move(nib)), params_(params) {
+  channel_.set_app(this);
+}
+
+void EzSegwayController::register_flow(const net::Flow& f,
+                                       const net::Path& initial_path) {
+  nib_.record_flow(f, initial_path);
+}
+
+EzSegwayController::Prepared EzSegwayController::prepare(
+    net::FlowId flow, const net::Path& new_path, p4rt::Version version) const {
+  const control::FlowView& view = nib_.view(flow);
+  const net::Path& old_path = view.believed_path;
+  const control::Segmentation seg =
+      control::segment_paths(old_path, new_path);
+
+  Prepared out;
+  out.version = version;
+
+  // Classify segments; a segment is trivial when it carries no rule change
+  // (two adjacent gateways whose hop already matches).
+  std::vector<bool> nontrivial(seg.segments.size(), false);
+  for (std::size_t i = 0; i < seg.segments.size(); ++i) {
+    const control::Segment& s = seg.segments[i];
+    if (s.nodes.size() > 2) {
+      nontrivial[i] = true;
+    } else {
+      nontrivial[i] =
+          succ_on(old_path, s.ingress_gateway) != s.egress_gateway;
+    }
+  }
+
+  // cmd per switch; a node may appear in two consecutive segments.
+  std::map<net::NodeId, p4rt::EzCmdHeader> cmds;
+  auto cmd_of = [&](net::NodeId n) -> p4rt::EzCmdHeader& {
+    auto [it, inserted] = cmds.try_emplace(n);
+    if (inserted) {
+      it->second.flow = flow;
+      it->second.target = n;
+      it->second.version = version;
+      it->second.flow_size = view.flow.size;
+    }
+    return it->second;
+  };
+
+  const net::Graph& g = nib_.graph();
+  for (std::size_t i = 0; i < seg.segments.size(); ++i) {
+    if (!nontrivial[i]) continue;
+    ++out.nontrivial_segments;
+    const control::Segment& s = seg.segments[i];
+    const auto k = s.nodes.size();
+
+    // Chain-start role at the segment's egress junction.
+    p4rt::EzCmdHeader& start = cmd_of(s.egress_gateway);
+    start.starts_chain = true;
+    start.chain_segment = static_cast<std::int32_t>(i);
+    start.chain_child_port = g.port_of(s.nodes[k - 1], s.nodes[k - 2]);
+    if (!s.forward) {
+      // in_loop: wait for ALL non-trivial downstream segments (§9.1: "wait
+      // for the finished updates of dependent not_in_loop segments" — and
+      // without verification, anything less is not loop-safe in general).
+      for (std::size_t j = i + 1; j < seg.segments.size(); ++j) {
+        if (nontrivial[j]) ++start.await_segments;
+      }
+    }
+
+    // Rule-change role for every node except the egress junction.
+    for (std::size_t pos = 0; pos + 1 < k; ++pos) {
+      p4rt::EzCmdHeader& c = cmd_of(s.nodes[pos]);
+      c.has_rule_change = true;
+      c.rule_segment = static_cast<std::int32_t>(i);
+      c.egress_port_new = g.port_of(s.nodes[pos], s.nodes[pos + 1]);
+      c.upstream_port =
+          pos == 0 ? -1 : g.port_of(s.nodes[pos], s.nodes[pos - 1]);
+      c.is_segment_top = pos == 0;
+    }
+  }
+
+  // SegmentDone wiring: when non-trivial segment j completes at its top
+  // node, notify the chain-start junction of every in_loop segment
+  // upstream of it.
+  for (std::size_t i = 0; i < seg.segments.size(); ++i) {
+    if (!nontrivial[i] || seg.segments[i].forward) continue;
+    for (std::size_t j = i + 1; j < seg.segments.size(); ++j) {
+      if (!nontrivial[j]) continue;
+      p4rt::EzCmdHeader& top = cmd_of(seg.segments[j].nodes.front());
+      top.notify.push_back(p4rt::EzNotifyTarget{
+          seg.segments[i].egress_gateway, static_cast<std::int32_t>(i)});
+    }
+  }
+
+  // Egress-side switches first, like the other systems.
+  for (auto it = new_path.rbegin(); it != new_path.rend(); ++it) {
+    auto found = cmds.find(*it);
+    if (found != cmds.end()) out.cmds.push_back(found->second);
+  }
+  return out;
+}
+
+std::map<net::FlowId, EzPriority> EzSegwayController::prepare_priorities(
+    const std::vector<std::pair<net::FlowId, net::Path>>& updates) const {
+  std::vector<FlowMove> moves;
+  moves.reserve(updates.size());
+  for (const auto& [flow, new_path] : updates) {
+    const control::FlowView& view = nib_.view(flow);
+    moves.push_back(
+        FlowMove{flow, view.believed_path, new_path, view.flow.size});
+  }
+  return compute_ez_priorities(nib_.graph(), moves);
+}
+
+p4rt::Version EzSegwayController::issue(net::FlowId flow,
+                                        const net::Path& new_path,
+                                        std::uint8_t priority) {
+  const p4rt::Version version = nib_.next_version(flow);
+  Prepared prepared = prepare(flow, new_path, version);
+  nib_.view(flow).update_in_progress = true;
+  issued_paths_[{flow, version}] = new_path;
+  flow_db_.on_issued(flow, version, channel_.now());
+  if (prepared.nontrivial_segments == 0) {
+    // Nothing to change: complete instantly.
+    flow_db_.on_completed(flow, version, channel_.now());
+    nib_.believe_path(flow, new_path);
+    nib_.view(flow).update_in_progress = false;
+    if (on_complete) on_complete(flow, version, channel_.now());
+    return version;
+  }
+  remaining_[{flow, version}] = prepared.nontrivial_segments;
+  for (p4rt::EzCmdHeader cmd : prepared.cmds) {
+    cmd.priority = priority;
+    channel_.send_to_switch(cmd.target, p4rt::Packet{cmd});
+  }
+  return version;
+}
+
+p4rt::Version EzSegwayController::schedule_update(net::FlowId flow,
+                                                  const net::Path& new_path) {
+  if (nib_.view(flow).update_in_progress) {
+    // ez-Segway waits for the ongoing update before the next (§4.2).
+    queued_[flow].push_back(new_path);
+    return 0;
+  }
+  const auto prio_it = priority_.find(flow);
+  return issue(flow, new_path,
+               prio_it == priority_.end() ? 0 : prio_it->second);
+}
+
+void EzSegwayController::schedule_updates(
+    const std::vector<std::pair<net::FlowId, net::Path>>& updates) {
+  priority_.clear();
+  if (params_.congestion_mode) {
+    // The global dependency graph is computed centrally *before* any
+    // command can leave — its cost sits on the update's critical path
+    // (exactly what Fig. 8b measures). Virtual cost: kWorkUnitCost per
+    // elementary graph operation of the real computation below.
+    std::vector<FlowMove> moves;
+    moves.reserve(updates.size());
+    for (const auto& [flow, new_path] : updates) {
+      const control::FlowView& view = nib_.view(flow);
+      moves.push_back(
+          FlowMove{flow, view.believed_path, new_path, view.flow.size});
+    }
+    std::uint64_t units = 0;
+    for (const auto& [flow, prio] :
+         compute_ez_priorities(nib_.graph(), moves, &units)) {
+      priority_[flow] = static_cast<std::uint8_t>(prio);
+    }
+    channel_.occupy(static_cast<sim::Duration>(units) * kWorkUnitCost);
+  }
+  for (const auto& [flow, new_path] : updates) {
+    schedule_update(flow, new_path);
+  }
+}
+
+void EzSegwayController::handle_from_switch(net::NodeId from,
+                                            const p4rt::Packet& pkt) {
+  (void)from;
+  if (!pkt.is<p4rt::UfmHeader>()) return;
+  const auto& ufm = pkt.as<p4rt::UfmHeader>();
+  const auto key = std::make_pair(ufm.flow, ufm.version);
+  auto it = remaining_.find(key);
+  if (it == remaining_.end()) return;
+  if (--it->second > 0) return;
+  remaining_.erase(it);
+
+  flow_db_.on_completed(ufm.flow, ufm.version, channel_.now());
+  nib_.believe_path(ufm.flow, issued_paths_.at(key));
+  nib_.view(ufm.flow).update_in_progress = false;
+  if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
+
+  auto q = queued_.find(ufm.flow);
+  if (q != queued_.end() && !q->second.empty()) {
+    const net::Path next = q->second.front();
+    q->second.pop_front();
+    const auto prio_it = priority_.find(ufm.flow);
+    issue(ufm.flow, next,
+          prio_it == priority_.end() ? 0 : prio_it->second);
+  }
+}
+
+}  // namespace p4u::baseline

@@ -1,0 +1,225 @@
+#include "baselines/ezsegway_switch.hpp"
+
+#include "net/paths.hpp"
+
+namespace p4u::baseline {
+
+using p4rt::Packet;
+using p4rt::SwitchDevice;
+using sim::TraceKind;
+
+EzSegwaySwitch::EzSegwaySwitch(net::NodeId id, const net::Graph& graph,
+                               EzSwitchParams params)
+    : id_(id), graph_(&graph), params_(params) {
+  // Static management routing for SegmentDone messages: next hop on the
+  // latency-shortest path toward each destination.
+  next_hop_port_.assign(graph.node_count(), -1);
+  for (std::size_t dst = 0; dst < graph.node_count(); ++dst) {
+    if (static_cast<net::NodeId>(dst) == id_) continue;
+    const auto path = net::shortest_path(graph, id_,
+                                         static_cast<net::NodeId>(dst));
+    if (path && path->size() >= 2) {
+      next_hop_port_[dst] = graph.port_of(id_, (*path)[1]);
+    }
+  }
+}
+
+void EzSegwaySwitch::bootstrap_flow(SwitchDevice& sw, net::FlowId f,
+                                    std::int32_t egress_port, double size) {
+  flow_size_[f] = size;
+  sw.set_rule_now(f, egress_port);
+}
+
+void EzSegwaySwitch::handle(SwitchDevice& sw, const Packet& pkt,
+                            std::int32_t in_port) {
+  (void)in_port;
+  if (pkt.is<p4rt::EzCmdHeader>()) {
+    handle_cmd(sw, pkt.as<p4rt::EzCmdHeader>());
+  } else if (pkt.is<p4rt::EzNotifyHeader>()) {
+    handle_notify(sw, pkt);
+  } else if (pkt.is<p4rt::SegmentDoneHeader>()) {
+    handle_segment_done(sw, pkt);
+  } else if (pkt.is<p4rt::CleanupHeader>()) {
+    const auto& c = pkt.as<p4rt::CleanupHeader>();
+    // Nodes that are part of this version's new configuration keep their
+    // rule; pure old-path leftovers are removed and pass the cleanup on.
+    if (pending_.count({c.flow, c.version}) != 0) return;
+    const auto port = sw.lookup(c.flow);
+    if (!port) return;
+    sw.remove_rule(c.flow);
+    sw.fabric().trace().add({sw.now(), sim::TraceKind::kRuleCleaned, id_,
+                             c.flow, c.version, *port, ""});
+    if (*port >= 0) sw.clone_to_port(pkt, *port);
+  }
+}
+
+void EzSegwaySwitch::handle_cmd(SwitchDevice& sw,
+                                const p4rt::EzCmdHeader& cmd) {
+  const Key key{cmd.flow, cmd.version};
+  PendingUpdate& pu = pending_[key];
+  pu.cmd = cmd;
+  if (cmd.flow_size > 0.0) flow_size_[cmd.flow] = cmd.flow_size;
+  // Chain starts fire immediately when they have no unresolved dependency
+  // (not_in_loop segments update in parallel right away).
+  if (cmd.starts_chain && !pu.chain_started &&
+      pu.done_received >= cmd.await_segments) {
+    start_chain(sw, pu);
+  }
+}
+
+void EzSegwaySwitch::start_chain(SwitchDevice& sw, PendingUpdate& pu) {
+  pu.chain_started = true;
+  p4rt::EzNotifyHeader n;
+  n.flow = pu.cmd.flow;
+  n.version = pu.cmd.version;
+  n.segment_id = pu.cmd.chain_segment;
+  ++notifies_sent_;
+  sw.fabric().trace().add({sw.now(), TraceKind::kMessageSent, id_, n.flow,
+                           n.version, n.segment_id, "ez chain start"});
+  sw.clone_to_port(Packet{n}, pu.cmd.chain_child_port);
+}
+
+bool EzSegwaySwitch::capacity_ok(const SwitchDevice& sw,
+                                 const PendingUpdate& pu) const {
+  if (!params_.congestion_mode) return true;
+  const std::int32_t port = pu.cmd.egress_port_new;
+  if (port == SwitchDevice::kLocalPort) return true;
+  const auto cur = sw.lookup(pu.cmd.flow);
+  if (cur && *cur == port) return true;  // capacity already held
+  const auto& adj = graph_->neighbors(id_).at(static_cast<std::size_t>(port));
+  const double capacity = graph_->link(adj.link).capacity;
+  double used = 0.0;
+  for (const auto& [flow, p] : sw.rules()) {
+    if (flow == pu.cmd.flow || p != port) continue;
+    auto it = flow_size_.find(flow);
+    if (it != flow_size_.end()) used += it->second;
+  }
+  // In-flight installs hold capacity too (the rule write takes time).
+  for (const auto& [flow, p] : inflight_) {
+    if (flow == pu.cmd.flow || p != port) continue;
+    const auto cur2 = sw.lookup(flow);
+    if (cur2 && *cur2 == port) continue;
+    auto it = flow_size_.find(flow);
+    if (it != flow_size_.end()) used += it->second;
+  }
+  auto size_it = flow_size_.find(pu.cmd.flow);
+  const double size = size_it == flow_size_.end() ? 0.0 : size_it->second;
+  if (capacity - used < size) return false;
+  // Static priorities: a lower-priority move yields while a strictly
+  // higher-priority pending move at this node targets the same port.
+  for (const auto& [key, other] : pending_) {
+    if (key.first == pu.cmd.flow || other.installed) continue;
+    if (other.cmd.has_rule_change && other.cmd.egress_port_new == port &&
+        other.cmd.priority > pu.cmd.priority) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EzSegwaySwitch::handle_notify(SwitchDevice& sw, Packet pkt) {
+  const auto n = pkt.as<p4rt::EzNotifyHeader>();
+  const Key key{n.flow, n.version};
+  // Give-up bound: a notify that waited past retry_timeout is dropped (the
+  // schedule is stuck; in a deployment the controller re-triggers).
+  auto started = retry_since_.find(key);
+  if (started != retry_since_.end() &&
+      sw.now() - started->second > params_.retry_timeout) {
+    retry_since_.erase(started);
+    return;
+  }
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    // Command not here yet (controller messages still in flight): retry.
+    retry_since_.try_emplace(key, sw.now());
+    sw.resubmit(std::move(pkt), -1);
+    return;
+  }
+  PendingUpdate& pu = it->second;
+  if (!pu.cmd.has_rule_change || pu.cmd.rule_segment != n.segment_id ||
+      pu.installed) {
+    return;  // duplicate or stray notification
+  }
+  if (!capacity_ok(sw, pu)) {
+    retry_since_.try_emplace(key, sw.now());
+    sw.fabric().trace().add({sw.now(), TraceKind::kCongestionDefer, id_,
+                             n.flow, pu.cmd.egress_port_new, 0, "ez defer"});
+    sw.resubmit(std::move(pkt), -1);
+    return;
+  }
+  retry_since_.erase(key);
+  do_install(sw, pu);
+}
+
+void EzSegwaySwitch::do_install(SwitchDevice& sw, PendingUpdate& pu) {
+  pu.installed = true;
+  const p4rt::EzCmdHeader cmd = pu.cmd;
+  const std::int32_t old_port = sw.lookup(cmd.flow).value_or(-1);
+  inflight_[cmd.flow] = cmd.egress_port_new;
+  sw.install_rule(cmd.flow, cmd.egress_port_new, [this, &sw, cmd, old_port]() {
+    inflight_.erase(cmd.flow);
+    if (cmd.is_segment_top && old_port >= 0 &&
+        old_port != cmd.egress_port_new) {
+      // Rule cleanup along the replaced old sub-path: no further packets
+      // will enter it, so stale rules release their capacity.
+      p4rt::CleanupHeader c;
+      c.flow = cmd.flow;
+      c.version = cmd.version;
+      sw.clone_to_port(p4rt::Packet{c}, old_port);
+    }
+    if (!cmd.is_segment_top) {
+      // Pass the notification one hop upstream within the segment.
+      p4rt::EzNotifyHeader n;
+      n.flow = cmd.flow;
+      n.version = cmd.version;
+      n.segment_id = cmd.rule_segment;
+      ++notifies_sent_;
+      sw.clone_to_port(Packet{n}, cmd.upstream_port);
+      return;
+    }
+    // Segment complete at its top node: resolve dependencies and report.
+    for (const p4rt::EzNotifyTarget& t : cmd.notify) {
+      p4rt::SegmentDoneHeader d;
+      d.flow = cmd.flow;
+      d.version = cmd.version;
+      d.segment_id = cmd.rule_segment;
+      d.final_dst = t.node;
+      if (t.node == id_) {
+        handle_segment_done(sw, Packet{d});
+      } else {
+        route_towards(sw, t.node, Packet{d});
+      }
+    }
+    p4rt::UfmHeader ufm;
+    ufm.flow = cmd.flow;
+    ufm.version = cmd.version;
+    ufm.success = true;
+    ufm.reporter = id_;
+    ufm.alarm = p4rt::AlarmCode::kNone;
+    sw.send_to_controller(Packet{ufm});
+  });
+}
+
+void EzSegwaySwitch::route_towards(SwitchDevice& sw, net::NodeId dst,
+                                   Packet pkt) {
+  const std::int32_t port = next_hop_port_.at(static_cast<std::size_t>(dst));
+  if (port < 0) return;  // unreachable: drop
+  sw.clone_to_port(std::move(pkt), port);
+}
+
+void EzSegwaySwitch::handle_segment_done(SwitchDevice& sw, const Packet& pkt) {
+  const auto& d = pkt.as<p4rt::SegmentDoneHeader>();
+  if (d.final_dst != id_) {
+    route_towards(sw, d.final_dst, pkt);
+    return;
+  }
+  const Key key{d.flow, d.version};
+  PendingUpdate& pu = pending_[key];
+  ++pu.done_received;
+  if (pu.cmd.starts_chain && !pu.chain_started &&
+      pu.done_received >= pu.cmd.await_segments) {
+    start_chain(sw, pu);
+  }
+}
+
+}  // namespace p4u::baseline

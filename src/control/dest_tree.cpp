@@ -1,0 +1,88 @@
+#include "control/dest_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "net/paths.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::control {
+
+DestTree spanning_tree_toward(const net::Graph& g, net::NodeId root,
+                              const std::vector<net::NodeId>& members,
+                              net::Metric metric) {
+  DestTree t;
+  t.root = root;
+  t.parent.assign(g.node_count(), net::kNoNode);
+  const net::SpTree sp = net::dijkstra(g, root, metric);
+  for (net::NodeId m : members) {
+    net::NodeId cur = m;
+    while (cur != root) {
+      const net::NodeId next = sp.parent.at(static_cast<std::size_t>(cur));
+      if (next == net::kNoNode) {
+        throw std::invalid_argument("spanning_tree_toward: unreachable node");
+      }
+      // sp.parent points toward the root, so `next` is cur's tree parent.
+      t.parent[static_cast<std::size_t>(cur)] = next;
+      cur = next;
+    }
+  }
+  return t;
+}
+
+bool valid_tree(const net::Graph& g, const DestTree& t) {
+  if (t.root == net::kNoNode ||
+      t.parent.size() != g.node_count() ||
+      t.parent[static_cast<std::size_t>(t.root)] != net::kNoNode) {
+    return false;
+  }
+  for (std::size_t n = 0; n < t.parent.size(); ++n) {
+    if (t.parent[n] == net::kNoNode) continue;
+    if (g.port_of(static_cast<net::NodeId>(n), t.parent[n]) < 0) return false;
+    // Walk to the root; bound by node count to catch cycles.
+    net::NodeId cur = static_cast<net::NodeId>(n);
+    for (std::size_t hops = 0; cur != t.root; ++hops) {
+      if (hops > t.parent.size()) return false;  // cycle
+      cur = t.parent[static_cast<std::size_t>(cur)];
+      if (cur == net::kNoNode) return false;  // broken chain
+    }
+  }
+  return true;
+}
+
+std::vector<TreeNodeLabel> label_tree(const net::Graph& g,
+                                      const DestTree& t) {
+  if (!valid_tree(g, t)) {
+    throw std::invalid_argument("label_tree: malformed tree");
+  }
+  // Children lists.
+  std::vector<std::vector<net::NodeId>> children(g.node_count());
+  for (std::size_t n = 0; n < t.parent.size(); ++n) {
+    if (t.parent[n] != net::kNoNode) {
+      children[static_cast<std::size_t>(t.parent[n])].push_back(
+          static_cast<net::NodeId>(n));
+    }
+  }
+  std::vector<TreeNodeLabel> labels;
+  std::deque<std::pair<net::NodeId, p4rt::Distance>> queue{{t.root, 0}};
+  while (!queue.empty()) {
+    const auto [node, depth] = queue.front();
+    queue.pop_front();
+    TreeNodeLabel l;
+    l.node = node;
+    l.depth = depth;
+    l.parent_port = node == t.root
+                        ? p4rt::SwitchDevice::kLocalPort
+                        : g.port_of(node, t.parent[static_cast<std::size_t>(node)]);
+    for (net::NodeId c : children[static_cast<std::size_t>(node)]) {
+      l.child_ports.push_back(g.port_of(node, c));
+      queue.emplace_back(c, depth + 1);
+    }
+    l.is_leaf = l.child_ports.empty();
+    labels.push_back(std::move(l));
+  }
+  return labels;
+}
+
+}  // namespace p4u::control

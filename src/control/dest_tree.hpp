@@ -1,0 +1,57 @@
+// Destination-based routing (§11 "Destination-Based Routing").
+//
+// In destination-based forwarding, a destination's state is a rooted
+// spanning (sub)tree: every participating node holds one rule toward its
+// parent. P4Update adapts directly: distances become tree depths, and the
+// update notification fans out from the root to all children instead of
+// walking a single path — each node still verifies with Alg. 1 using only
+// its own label and the parent's notification (this is exactly the rooted
+// spanning-tree migration of Foerster et al. [19] that P4Update builds on).
+#pragma once
+
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "p4rt/packet.hpp"
+
+namespace p4u::control {
+
+/// A rooted tree over (a subset of) the topology: parent[n] = next hop
+/// toward the root, kNoNode for nodes outside the tree, n == root for the
+/// root itself.
+struct DestTree {
+  net::NodeId root = net::kNoNode;
+  std::vector<net::NodeId> parent;
+
+  [[nodiscard]] bool contains(net::NodeId n) const {
+    return parent.at(static_cast<std::size_t>(n)) != net::kNoNode ||
+           n == root;
+  }
+};
+
+/// Builds the shortest-path tree toward `root` spanning `members` (plus any
+/// intermediate nodes the paths traverse).
+DestTree spanning_tree_toward(const net::Graph& g, net::NodeId root,
+                              const std::vector<net::NodeId>& members,
+                              net::Metric metric = net::Metric::kHops);
+
+/// Per-node label of a tree update (depth = D_n, ports toward parent and
+/// children).
+struct TreeNodeLabel {
+  net::NodeId node = net::kNoNode;
+  p4rt::Distance depth = 0;                // hops to the root
+  std::int32_t parent_port = -1;           // new rule (kLocalPort at root)
+  std::vector<std::int32_t> child_ports;   // UNM fan-out targets
+  bool is_leaf = false;
+};
+
+/// Labels every tree node, root first (BFS order). Throws if the tree is
+/// malformed (broken parent chain, cycle, or non-adjacent parent).
+std::vector<TreeNodeLabel> label_tree(const net::Graph& g, const DestTree& t);
+
+/// Validates structure: every non-root member's parent chain reaches the
+/// root over existing links, without cycles.
+bool valid_tree(const net::Graph& g, const DestTree& t);
+
+}  // namespace p4u::control

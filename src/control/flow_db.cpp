@@ -1,0 +1,83 @@
+#include "control/flow_db.hpp"
+
+#include <algorithm>
+
+namespace p4u::control {
+
+const std::vector<UpdateRecord> FlowDb::kEmpty;
+
+void FlowDb::on_issued(net::FlowId flow, p4rt::Version v, sim::Time at) {
+  auto& hist = records_[flow];
+  for (auto& r : hist) {
+    if (r.state == UpdateState::kInProgress) r.state = UpdateState::kSuperseded;
+  }
+  hist.push_back(UpdateRecord{v, at, 0, UpdateState::kInProgress, 0});
+}
+
+void FlowDb::on_completed(net::FlowId flow, p4rt::Version v, sim::Time at) {
+  auto it = records_.find(flow);
+  if (it == records_.end()) return;
+  for (auto& r : it->second) {
+    if (r.version == v && r.completed_at == 0) {
+      r.completed_at = at;
+      r.state = UpdateState::kCompleted;
+    }
+  }
+}
+
+void FlowDb::on_alarm(net::FlowId flow, p4rt::Version v) {
+  auto it = records_.find(flow);
+  if (it == records_.end()) return;
+  for (auto& r : it->second) {
+    if (r.version == v) {
+      ++r.alarms;
+      if (r.state == UpdateState::kInProgress) r.state = UpdateState::kFailed;
+    }
+  }
+}
+
+const std::vector<UpdateRecord>& FlowDb::history(net::FlowId f) const {
+  auto it = records_.find(f);
+  return it == records_.end() ? kEmpty : it->second;
+}
+
+const UpdateRecord* FlowDb::record(net::FlowId f, p4rt::Version v) const {
+  for (const auto& r : history(f)) {
+    if (r.version == v) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<sim::Duration> FlowDb::duration(net::FlowId f,
+                                              p4rt::Version v) const {
+  const UpdateRecord* r = record(f, v);
+  if (r == nullptr || r->state != UpdateState::kCompleted) return std::nullopt;
+  return r->completed_at - r->issued_at;
+}
+
+bool FlowDb::all_completed() const {
+  for (const auto& [flow, hist] : records_) {
+    for (const auto& r : hist) {
+      if (r.state == UpdateState::kInProgress) return false;
+    }
+  }
+  return true;
+}
+
+sim::Time FlowDb::last_completion() const {
+  sim::Time t = 0;
+  for (const auto& [flow, hist] : records_) {
+    for (const auto& r : hist) t = std::max(t, r.completed_at);
+  }
+  return t;
+}
+
+std::uint64_t FlowDb::total_alarms() const {
+  std::uint64_t n = 0;
+  for (const auto& [flow, hist] : records_) {
+    for (const auto& r : hist) n += r.alarms;
+  }
+  return n;
+}
+
+}  // namespace p4u::control

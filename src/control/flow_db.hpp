@@ -1,0 +1,58 @@
+// Flow DB (§6): per-flow update bookkeeping on the controller. Records when
+// each version's update was triggered and when its UFM came back; the
+// experiment harness reads completion times from here ("from the sending of
+// UIM messages to the receiving of UFM messages", §9.2).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "p4rt/packet.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::control {
+
+enum class UpdateState {
+  kInProgress,
+  kCompleted,
+  kFailed,     // alarm received, no success afterwards
+  kSuperseded, // a later version was issued before this one finished
+};
+
+struct UpdateRecord {
+  p4rt::Version version = 0;
+  sim::Time issued_at = 0;
+  sim::Time completed_at = 0;
+  UpdateState state = UpdateState::kInProgress;
+  std::uint32_t alarms = 0;
+};
+
+class FlowDb {
+ public:
+  void on_issued(net::FlowId flow, p4rt::Version v, sim::Time at);
+  void on_completed(net::FlowId flow, p4rt::Version v, sim::Time at);
+  void on_alarm(net::FlowId flow, p4rt::Version v);
+
+  [[nodiscard]] const std::vector<UpdateRecord>& history(net::FlowId f) const;
+  [[nodiscard]] const UpdateRecord* record(net::FlowId f, p4rt::Version v) const;
+
+  /// Completion duration of (flow, version), if completed.
+  [[nodiscard]] std::optional<sim::Duration> duration(net::FlowId f,
+                                                      p4rt::Version v) const;
+
+  /// True when every issued update of every flow has completed.
+  [[nodiscard]] bool all_completed() const;
+
+  /// Latest completion time over all records, or 0 if none completed.
+  [[nodiscard]] sim::Time last_completion() const;
+
+  [[nodiscard]] std::uint64_t total_alarms() const;
+
+ private:
+  std::unordered_map<net::FlowId, std::vector<UpdateRecord>> records_;
+  static const std::vector<UpdateRecord> kEmpty;
+};
+
+}  // namespace p4u::control

@@ -1,0 +1,35 @@
+#include "control/nib.hpp"
+
+#include <stdexcept>
+
+namespace p4u::control {
+
+void Nib::record_flow(const net::Flow& f, net::Path initial_path,
+                      p4rt::Version initial_version) {
+  if (flows_.count(f.id) != 0) {
+    throw std::invalid_argument("Nib::record_flow: duplicate flow");
+  }
+  FlowView v;
+  v.flow = f;
+  v.believed_path = std::move(initial_path);
+  v.version = initial_version;
+  flows_.emplace(f.id, std::move(v));
+}
+
+double Nib::believed_residual(net::NodeId from, net::NodeId to) const {
+  const auto link = graph_->find_link(from, to);
+  if (!link) throw std::invalid_argument("believed_residual: no such link");
+  double used = 0.0;
+  for (const auto& [id, view] : flows_) {
+    const net::Path& p = view.believed_path;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == from && p[i + 1] == to) {
+        used += view.flow.size;
+        break;
+      }
+    }
+  }
+  return graph_->link(*link).capacity - used;
+}
+
+}  // namespace p4u::control

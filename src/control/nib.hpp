@@ -1,0 +1,67 @@
+// Network Information Base (§6): the controller's view of topology and
+// routing. Crucially, this view can be *stale or wrong* (§4, [69, 71]) —
+// scenarios exercise exactly that by letting the believed path diverge from
+// what the data plane actually installed. The NIB never reads switch state
+// directly; it only learns through UFM/FRM messages, like the paper's
+// controller.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+#include "p4rt/packet.hpp"
+
+namespace p4u::control {
+
+struct FlowView {
+  net::Flow flow;
+  net::Path believed_path;      // what the controller thinks is installed
+  p4rt::Version version = 0;    // highest version the controller issued
+  bool update_in_progress = false;
+};
+
+class Nib {
+ public:
+  explicit Nib(const net::Graph& graph) : graph_(&graph) {}
+
+  [[nodiscard]] const net::Graph& graph() const { return *graph_; }
+
+  /// Registers a flow. `initial_version` 1 = already deployed in the data
+  /// plane; 0 = rules not yet installed (the first update deploys them).
+  void record_flow(const net::Flow& f, net::Path initial_path,
+                   p4rt::Version initial_version = 1);
+  [[nodiscard]] bool knows(net::FlowId id) const {
+    return flows_.count(id) != 0;
+  }
+  [[nodiscard]] FlowView& view(net::FlowId id) { return flows_.at(id); }
+  [[nodiscard]] const FlowView& view(net::FlowId id) const {
+    return flows_.at(id);
+  }
+
+  /// Next version for a flow update; versions are globally unique per flow
+  /// and strictly increasing (§3).
+  p4rt::Version next_version(net::FlowId id) { return ++flows_.at(id).version; }
+
+  /// Marks an update as deployed in the controller's belief. The belief may
+  /// be wrong — that is the point of the verification experiments.
+  void believe_path(net::FlowId id, net::Path p) {
+    flows_.at(id).believed_path = std::move(p);
+  }
+
+  [[nodiscard]] const std::unordered_map<net::FlowId, FlowView>& flows() const {
+    return flows_;
+  }
+
+  /// Believed residual capacity of directed link (from -> to): capacity
+  /// minus sizes of flows whose believed path uses that directed edge.
+  [[nodiscard]] double believed_residual(net::NodeId from, net::NodeId to) const;
+
+ private:
+  const net::Graph* graph_;
+  std::unordered_map<net::FlowId, FlowView> flows_;
+};
+
+}  // namespace p4u::control

@@ -1,0 +1,78 @@
+// Data-plane congestion-freedom scheduler (§7.4, §A.2).
+//
+// Entirely node-local and dynamic: the switch knows the size bound of every
+// flow currently routed over each outgoing link (flow_size register) and the
+// pending moves of flows whose UNM it has deferred. The two-level priority
+// rule from §7.4:
+//
+//   * If flow f cannot move to link e (insufficient remaining capacity),
+//     every flow that desires to move AWAY from e gains high priority.
+//   * A low-priority flow may move to a link only if no high-priority flow
+//     is waiting for the same link; high-priority flows move as soon as
+//     capacity suffices.
+//
+// No controller involvement, no pre-computed priorities — this is the piece
+// Fig. 8b shows ez-Segway paying for centrally.
+#pragma once
+
+#include <map>
+
+#include "core/uib.hpp"
+#include "net/graph.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::core {
+
+class CongestionScheduler {
+ public:
+  CongestionScheduler(const net::Graph& graph, net::NodeId self)
+      : graph_(&graph), self_(self) {}
+
+  struct Decision {
+    bool allowed = false;
+    bool capacity_ok = false;
+    bool blocked_by_priority = false;
+  };
+
+  /// May flow `f` (size `size`) move its rule to `to_port` now?
+  Decision try_move(const p4rt::SwitchDevice& sw, const Uib& uib,
+                    FlowId f, std::int32_t to_port, double size) const;
+
+  /// Reserves capacity for an approved move until its install completes
+  /// (rule writes take time; without the reservation two flows could both
+  /// pass the check inside the install window).
+  void reserve(FlowId f, std::int32_t to_port, double size) {
+    inflight_[f] = {to_port, size};
+  }
+
+  /// Records a deferred move and raises priorities of flows that want to
+  /// leave the contended link (returns how many were raised).
+  int on_deferred(const p4rt::SwitchDevice& sw, Uib& uib, FlowId f,
+                  std::int32_t to_port);
+
+  /// Clears waiting state once the flow moved (or its update died).
+  void on_resolved(Uib& uib, FlowId f);
+
+  /// Capacity of the directed link behind `port` at this switch.
+  [[nodiscard]] double port_capacity(std::int32_t port) const;
+
+  /// Sum of size bounds of flows currently ruled out of `port`, except `f`.
+  [[nodiscard]] double reserved(const p4rt::SwitchDevice& sw, const Uib& uib,
+                                std::int32_t port, FlowId except) const;
+
+  [[nodiscard]] bool high_priority_waiter(const Uib& uib, std::int32_t port,
+                                          FlowId except) const;
+
+  [[nodiscard]] const std::map<FlowId, std::int32_t>& waiting() const {
+    return waiting_;
+  }
+
+ private:
+  const net::Graph* graph_;
+  net::NodeId self_;
+  std::map<FlowId, std::int32_t> waiting_;  // flow -> desired port
+  // flow -> (port, size) approved but not yet active in the rule table
+  std::map<FlowId, std::pair<std::int32_t, double>> inflight_;
+};
+
+}  // namespace p4u::core

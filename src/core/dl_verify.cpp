@@ -1,0 +1,121 @@
+#include "core/dl_verify.hpp"
+
+#include <stdexcept>
+
+namespace p4u::core {
+
+DlOutcome dl_verify(const AppliedState& st, const UimHeader* uim,
+                    const p4rt::UnmHeader& unm, bool allow_consecutive_dual) {
+  // Lines 2-3: either side being single-layer falls back to Alg. 1.
+  if (unm.type != UpdateType::kDualLayer ||
+      (uim != nullptr && uim->type != UpdateType::kDualLayer)) {
+    return DlOutcome::kSwitchToSl;
+  }
+  // Lines 4-5: notification for a future version; wait for its UIM.
+  if (uim == nullptr || unm.new_version > uim->version) {
+    return DlOutcome::kWaitForUim;
+  }
+  // Lines 6-7: outdated notification.
+  if (unm.new_version < uim->version) {
+    return DlOutcome::kDropOutdated;
+  }
+
+  // V_n(UNM) == V_n(UIM) from here on.
+  if (st.new_version + 1 < unm.new_version) {
+    // Lines 9-16: node inside a segment (lags more than one version, e.g.
+    // freshly added to the path with no rules at all).
+    if (uim->new_distance == unm.new_distance + 1) {
+      return DlOutcome::kInnerUpdate;
+    }
+    return DlOutcome::kDropDistance;
+  }
+  if (st.new_version + 1 == unm.new_version &&
+      unm.new_version == unm.old_version + 1) {
+    // Lines 17-23: gateway node at a segment boundary.
+    if (uim->new_distance != unm.new_distance + 1) {
+      return DlOutcome::kDropDistance;
+    }
+    if (!st.ever_dual) {
+      if (st.new_distance > unm.old_distance) {
+        return DlOutcome::kGatewayUpdate;
+      }
+      // Backward gateway: the proposal's segment id is not smaller yet;
+      // keep waiting for a later notification (no alarm — this is the
+      // normal dependency-resolution path).
+      return DlOutcome::kRejectGateway;
+    }
+    // Appendix C extension: previous update was dual-layer. Verify against
+    // the kept old distance; the counter breaks symmetry on equality.
+    if (allow_consecutive_dual) {
+      if (st.old_distance > unm.old_distance ||
+          (st.old_distance == unm.old_distance && st.counter > unm.counter)) {
+        return DlOutcome::kGatewayUpdate;
+      }
+    }
+    return DlOutcome::kRejectGateway;  // previous update was dual (T == dual)
+  }
+  if (st.new_version == unm.new_version && st.old_version == unm.old_version) {
+    // Lines 24-28: already-updated node passing old distances upstream.
+    if (st.new_distance == uim->new_distance &&
+        st.new_distance == unm.new_distance + 1) {
+      if (st.old_distance > unm.old_distance ||
+          (st.old_distance == unm.old_distance && st.counter > unm.counter)) {
+        return DlOutcome::kInherit;
+      }
+      return DlOutcome::kIgnore;  // no progress: distance not smaller
+    }
+    return DlOutcome::kDropDistance;
+  }
+  return DlOutcome::kIgnore;
+}
+
+AppliedState dl_apply(DlOutcome outcome, const AppliedState& st,
+                      const UimHeader& uim, const p4rt::UnmHeader& unm) {
+  AppliedState out = st;
+  switch (outcome) {
+    case DlOutcome::kInnerUpdate:
+      // Lines 11-16.
+      out.new_version = unm.new_version;
+      out.new_distance = uim.new_distance;
+      out.old_version = unm.new_version - 1;
+      out.old_distance = unm.old_distance;  // inherit the segment id
+      out.counter = unm.counter + 1;
+      out.last_type = UpdateType::kDualLayer;
+      out.ever_dual = true;
+      return out;
+    case DlOutcome::kGatewayUpdate:
+      // Lines 20-23.
+      out.new_version = uim.version;
+      out.new_distance = uim.new_distance;
+      out.old_version = unm.old_version;
+      out.old_distance = unm.old_distance;  // inherit the segment id
+      out.counter = unm.counter + 1;
+      out.last_type = UpdateType::kDualLayer;
+      out.ever_dual = true;
+      return out;
+    case DlOutcome::kInherit:
+      // Lines 27-28.
+      out.old_distance = unm.old_distance;
+      out.counter = unm.counter + 1;
+      return out;
+    default:
+      throw std::logic_error("dl_apply: outcome is not an accepting branch");
+  }
+}
+
+const char* to_string(DlOutcome o) {
+  switch (o) {
+    case DlOutcome::kSwitchToSl: return "switch-to-sl";
+    case DlOutcome::kWaitForUim: return "wait-for-uim";
+    case DlOutcome::kDropOutdated: return "drop-outdated";
+    case DlOutcome::kInnerUpdate: return "inner-update";
+    case DlOutcome::kGatewayUpdate: return "gateway-update";
+    case DlOutcome::kInherit: return "inherit";
+    case DlOutcome::kRejectGateway: return "reject-gateway";
+    case DlOutcome::kDropDistance: return "drop-distance";
+    case DlOutcome::kIgnore: return "ignore";
+  }
+  return "?";
+}
+
+}  // namespace p4u::core

@@ -1,0 +1,52 @@
+// Algorithm 2: DL-Verification, the dual-layer local check (Appendix A.1).
+//
+// Pure function of (applied state, pending UIM, incoming UNM). Three accept
+// branches exist:
+//   kInnerUpdate   — a node inside a segment whose version lags > 1 behind;
+//                    it applies the new rule and inherits the sender's old
+//                    distance (Alg. 2 lines 9-16).
+//   kGatewayUpdate — a gateway exactly one version behind; it may update
+//                    only if its current distance exceeds the inherited old
+//                    distance ("join a segment with smaller id", §3.2) and
+//                    its previous update was not dual-layer
+//                    (lines 17-23).
+//   kInherit       — an already-updated node passing a smaller old distance
+//                    (or equal with larger counter) upstream (lines 24-28).
+// Everything else waits, is rejected silently (gateway not yet allowed), or
+// is dropped with an alarm.
+#pragma once
+
+#include "core/uib.hpp"
+#include "p4rt/packet.hpp"
+
+namespace p4u::core {
+
+enum class DlOutcome {
+  kSwitchToSl,     // line 2-3: UIM or UNM is single-layer
+  kWaitForUim,     // line 4-5
+  kDropOutdated,   // line 6-7: alarm
+  kInnerUpdate,    // lines 9-16
+  kGatewayUpdate,  // lines 17-23
+  kInherit,        // lines 24-28
+  kRejectGateway,  // gateway condition failed: backward gateway keeps waiting
+  kDropDistance,   // distance arithmetic broken: alarm (possible loop)
+  kIgnore,         // no branch applies (e.g. duplicate with no progress)
+};
+
+/// `allow_consecutive_dual` enables the Appendix C extension: a gateway
+/// whose previous update was dual-layer may still update, verifying against
+/// its *kept* old distance (inherited from the last single-layer epoch) with
+/// the counter breaking symmetry. With the flag off, such gateways reject
+/// and the controller must interleave a single-layer update (§11).
+DlOutcome dl_verify(const AppliedState& st, const UimHeader* uim,
+                    const p4rt::UnmHeader& unm,
+                    bool allow_consecutive_dual = false);
+
+/// Applies the state transition for an accepting outcome, returning the new
+/// applied state (callers persist it to the UIB and install the rule).
+AppliedState dl_apply(DlOutcome outcome, const AppliedState& st,
+                      const UimHeader& uim, const p4rt::UnmHeader& unm);
+
+const char* to_string(DlOutcome o);
+
+}  // namespace p4u::core

@@ -1,0 +1,205 @@
+#include "core/p4update_controller.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::core {
+
+P4UpdateController::P4UpdateController(p4rt::ControlChannel& channel,
+                                       control::Nib nib,
+                                       P4UpdateControllerParams params)
+    : channel_(channel), nib_(std::move(nib)), params_(params) {
+  channel_.set_app(this);
+}
+
+void P4UpdateController::register_flow(const net::Flow& f,
+                                       const net::Path& initial_path) {
+  nib_.record_flow(f, initial_path);
+}
+
+p4rt::Version P4UpdateController::deploy_new_flow(const net::Flow& f,
+                                                  const net::Path& path) {
+  nib_.record_flow(f, path, /*initial_version=*/0);
+  return schedule_update(f.id, path);
+}
+
+P4UpdateController::Prepared P4UpdateController::prepare(
+    net::FlowId flow, const net::Path& new_path, p4rt::Version version,
+    std::optional<p4rt::UpdateType> type_override) const {
+  const control::FlowView& view = nib_.view(flow);
+  Prepared out;
+  out.version = version;
+  out.segmentation = control::segment_paths(view.believed_path, new_path);
+
+  p4rt::UpdateType type = type_override.value_or(
+      params_.force_type.value_or(control::choose_update_type(
+          out.segmentation, params_.sl_node_budget)));
+  // §11 restriction: DL must follow SL (unless the Appendix C extension is
+  // on). The controller knows what it last issued for this flow.
+  if (type == p4rt::UpdateType::kDualLayer && !params_.allow_consecutive_dual &&
+      !params_.force_type.has_value() && !type_override.has_value()) {
+    auto it = last_issued_type_.find(flow);
+    if (it != last_issued_type_.end() &&
+        it->second == p4rt::UpdateType::kDualLayer) {
+      type = p4rt::UpdateType::kSingleLayer;
+    }
+  }
+  out.type = type;
+
+  // Linear membership checks: paths and segment lists are short, and this
+  // is the controller's hot path (Fig. 8 measures it).
+  const auto& gateways = out.segmentation.gateways;
+  const auto is_gateway = [&gateways](net::NodeId n) {
+    return std::find(gateways.begin(), gateways.end(), n) != gateways.end();
+  };
+  const auto is_segment_egress = [&out](net::NodeId n) {
+    for (const control::Segment& s : out.segmentation.segments) {
+      if (s.egress_gateway == n) return true;
+    }
+    return false;
+  };
+
+  const auto labels = control::label_path(nib_.graph(), new_path);
+  out.uims.reserve(labels.size());
+  // Egress first: its UIM starts the notification chain, so putting it at
+  // the head of the controller's send queue minimizes the serialized
+  // controller-service head start.
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    const control::NodeLabel& l = *it;
+    p4rt::UimHeader uim;
+    uim.flow = flow;
+    uim.target = l.node;
+    uim.version = version;
+    uim.new_distance = l.new_distance;
+    uim.type = type;
+    uim.egress_port_updated = l.egress_port_updated;
+    uim.child_port = l.child_port;
+    uim.is_flow_egress = l.is_flow_egress;
+    uim.is_gateway = is_gateway(l.node);
+    uim.is_segment_egress = type == p4rt::UpdateType::kDualLayer &&
+                            !l.is_flow_egress && is_segment_egress(l.node);
+    uim.flow_size = view.flow.size;
+    out.uims.push_back(uim);
+  }
+  return out;
+}
+
+p4rt::Version P4UpdateController::schedule_update(net::FlowId flow,
+                                                  const net::Path& new_path) {
+  const p4rt::Version version = nib_.next_version(flow);
+  Prepared prepared = prepare(flow, new_path, version);
+  last_issued_type_[flow] = prepared.type;
+  issued_paths_[{flow, version}] = new_path;
+  nib_.view(flow).update_in_progress = true;
+  // Issue timestamp is "now" at the controller; the ControlChannel
+  // serializes the actual sends below (update time is measured from the
+  // sending of UIMs to the receiving of the UFM, §9.2).
+  flow_db_.on_issued(flow, version, channel_.now());
+  for (const p4rt::UimHeader& uim : prepared.uims) {
+    channel_.send_to_switch(uim.target, p4rt::Packet{uim});
+  }
+  return version;
+}
+
+void P4UpdateController::register_tree(const net::Flow& f) {
+  // Tree state lives in the data plane; the believed "path" is the root.
+  nib_.record_flow(f, net::Path{f.egress}, 1);
+}
+
+p4rt::Version P4UpdateController::schedule_tree_update(
+    net::FlowId flow, const control::DestTree& tree) {
+  const p4rt::Version version = nib_.next_version(flow);
+  const control::FlowView& view = nib_.view(flow);
+  const auto labels = control::label_tree(nib_.graph(), tree);
+
+  int leaves = 0;
+  std::vector<p4rt::UimHeader> uims;
+  uims.reserve(labels.size());
+  for (const control::TreeNodeLabel& l : labels) {
+    p4rt::UimHeader uim;
+    uim.flow = flow;
+    uim.target = l.node;
+    uim.version = version;
+    uim.new_distance = l.depth;
+    uim.type = p4rt::UpdateType::kSingleLayer;  // tree waves are SL-verified
+    uim.egress_port_updated = l.parent_port;
+    uim.is_flow_egress = l.node == tree.root;
+    uim.flow_size = view.flow.size;
+    if (!l.child_ports.empty()) {
+      uim.child_port = l.child_ports.front();
+      uim.extra_child_ports.assign(l.child_ports.begin() + 1,
+                                   l.child_ports.end());
+    }
+    if (l.is_leaf) ++leaves;
+    uims.push_back(std::move(uim));
+  }
+
+  last_issued_type_[flow] = p4rt::UpdateType::kSingleLayer;
+  expected_ufms_[{flow, version}] = leaves;
+  nib_.view(flow).update_in_progress = true;
+  flow_db_.on_issued(flow, version, channel_.now());
+  // Root first (labels are BFS order): it starts the wave.
+  for (const p4rt::UimHeader& uim : uims) {
+    channel_.send_to_switch(uim.target, p4rt::Packet{uim});
+  }
+  return version;
+}
+
+void P4UpdateController::handle_from_switch(net::NodeId from,
+                                            const p4rt::Packet& pkt) {
+  (void)from;
+  if (pkt.is<p4rt::UfmHeader>()) {
+    const auto& ufm = pkt.as<p4rt::UfmHeader>();
+    if (ufm.success) {
+      // Tree updates complete when every leaf reported; path updates expect
+      // exactly one UFM (the ingress).
+      const auto exp = expected_ufms_.find({ufm.flow, ufm.version});
+      if (exp != expected_ufms_.end()) {
+        if (--exp->second > 0) return;
+        expected_ufms_.erase(exp);
+      }
+      flow_db_.on_completed(ufm.flow, ufm.version, channel_.now());
+      auto it = issued_paths_.find({ufm.flow, ufm.version});
+      if (it != issued_paths_.end()) {
+        nib_.believe_path(ufm.flow, it->second);
+      }
+      nib_.view(ufm.flow).update_in_progress = false;
+      if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
+    } else {
+      flow_db_.on_alarm(ufm.flow, ufm.version);
+      if (on_alarm) on_alarm(ufm.flow, ufm.version, ufm.alarm);
+      // §11 failure recovery: a kMalformed alarm means a switch gave up
+      // waiting (lost UIM or UNM). If this version is still the one we
+      // want, re-send its UIMs — the egress re-generates the UNM chain and
+      // Alg. 1/2 re-run idempotently.
+      if (params_.enable_retrigger &&
+          ufm.alarm == p4rt::AlarmCode::kMalformed) {
+        const auto key = std::make_pair(ufm.flow, ufm.version);
+        auto issued = issued_paths_.find(key);
+        if (issued != issued_paths_.end() &&
+            nib_.view(ufm.flow).version == ufm.version &&
+            retriggers_[key] < params_.max_retriggers) {
+          ++retriggers_[key];
+          const auto type_it = last_issued_type_.find(ufm.flow);
+          const Prepared again = prepare(
+              ufm.flow, issued->second, ufm.version,
+              type_it == last_issued_type_.end()
+                  ? std::nullopt
+                  : std::optional<p4rt::UpdateType>(type_it->second));
+          for (const p4rt::UimHeader& uim : again.uims) {
+            channel_.send_to_switch(uim.target, p4rt::Packet{uim});
+          }
+        }
+      }
+    }
+    return;
+  }
+  if (pkt.is<p4rt::FrmHeader>()) {
+    if (on_frm) on_frm(pkt.as<p4rt::FrmHeader>());
+    return;
+  }
+}
+
+}  // namespace p4u::core

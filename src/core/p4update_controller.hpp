@@ -1,0 +1,127 @@
+// P4UpdateController: the control-plane side of P4Update (§6, §8).
+//
+// Its per-update work is deliberately thin — compute distance labels and the
+// path segmentation, choose SL vs DL (§7.5), emit one UIM per switch on the
+// new path — because dependency resolution (congestion ordering, gateway
+// waiting) happens in the data plane. Fig. 8 benchmarks exactly this
+// preparation step against ez-Segway's, so `prepare()` is exposed as a pure
+// function of (old path, new path).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "control/dest_tree.hpp"
+#include "control/flow_db.hpp"
+#include "control/labeling.hpp"
+#include "control/nib.hpp"
+#include "control/segmentation.hpp"
+#include "p4rt/control_channel.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::core {
+
+struct P4UpdateControllerParams {
+  bool congestion_mode = false;
+  std::size_t sl_node_budget = 5;  // §7.5 threshold
+  /// Ablation hook: force every update to SL or DL regardless of §7.5.
+  std::optional<p4rt::UpdateType> force_type;
+  /// Appendix C: allow DL directly after DL (otherwise the controller
+  /// inserts the §11 restriction and downgrades to SL).
+  bool allow_consecutive_dual = false;
+  /// §11 "Failures in the Update Process": when a switch reports that it
+  /// gave up waiting (lost UNM/UIM), re-send the version's UIMs so the
+  /// egress re-generates the notification chain. Bounded per version.
+  bool enable_retrigger = false;
+  int max_retriggers = 5;
+};
+
+class P4UpdateController final : public p4rt::ControllerApp {
+ public:
+  P4UpdateController(p4rt::ControlChannel& channel, control::Nib nib,
+                     P4UpdateControllerParams params = {});
+
+  /// Registers a flow already deployed in the data plane (version 1).
+  void register_flow(const net::Flow& f, const net::Path& initial_path);
+
+  /// Deploys a brand-new flow *through the data plane*: registers it at
+  /// version 0 and issues a version-1 update over `path`. The egress
+  /// applies directly and the UNM chain installs rules upstream — fresh
+  /// rules are trivially loop-free and carry no traffic until the ingress
+  /// rule lands (§8 new-path setup; also phase 1 of the §11 2-phase
+  /// commit). Returns the version used (1).
+  p4rt::Version deploy_new_flow(const net::Flow& f, const net::Path& path);
+
+  struct Prepared {
+    p4rt::Version version = 0;
+    p4rt::UpdateType type = p4rt::UpdateType::kSingleLayer;
+    control::Segmentation segmentation;
+    std::vector<p4rt::UimHeader> uims;  // egress first (chain starts there)
+  };
+
+  /// Pure preparation: labels + segmentation + UIM contents for moving
+  /// `flow` onto `new_path`, against the controller's believed old path.
+  /// Does not mutate controller state (Fig. 8 measures this).
+  /// `type_override` bypasses the §7.5 strategy (used when re-sending a
+  /// version that was already issued with a decided type).
+  [[nodiscard]] Prepared prepare(
+      net::FlowId flow, const net::Path& new_path, p4rt::Version version,
+      std::optional<p4rt::UpdateType> type_override = std::nullopt) const;
+
+  /// Issues the update: bumps the version, sends the UIMs (egress first),
+  /// and records it in the Flow DB. Returns the version used.
+  p4rt::Version schedule_update(net::FlowId flow, const net::Path& new_path);
+
+  /// §11 destination-based routing: updates the destination's whole
+  /// forwarding tree in one verified wave. Depths become the distances, the
+  /// root acts as the egress, and the UNM fans out to every child; each
+  /// leaf reports a UFM and the update completes when all leaves did. The
+  /// tree flow must already be registered (register_tree / deploy) — the
+  /// flow id conventionally identifies the destination.
+  p4rt::Version schedule_tree_update(net::FlowId flow,
+                                     const control::DestTree& tree);
+
+  /// Registers a destination-tree "flow" (the believed path is the root
+  /// only; tree state lives in the data plane).
+  void register_tree(const net::Flow& f);
+
+  void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
+
+  [[nodiscard]] control::Nib& nib() { return nib_; }
+  [[nodiscard]] control::FlowDb& flow_db() { return flow_db_; }
+  [[nodiscard]] const P4UpdateControllerParams& params() const {
+    return params_;
+  }
+
+  /// Invoked on UFM success (flow converged to version).
+  std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
+  /// Invoked on UFM alarm.
+  std::function<void(net::FlowId, p4rt::Version, p4rt::AlarmCode)> on_alarm;
+  /// Invoked on FRM (new flow seen in the data plane).
+  std::function<void(const p4rt::FrmHeader&)> on_frm;
+
+ private:
+  p4rt::ControlChannel& channel_;
+  control::Nib nib_;
+  control::FlowDb flow_db_;
+  P4UpdateControllerParams params_;
+  std::map<net::FlowId, p4rt::UpdateType> last_issued_type_;
+  std::map<std::pair<net::FlowId, p4rt::Version>, net::Path> issued_paths_;
+  std::map<std::pair<net::FlowId, p4rt::Version>, int> retriggers_;
+  // Tree updates complete when every leaf reported (default expectation: 1).
+  std::map<std::pair<net::FlowId, p4rt::Version>, int> expected_ufms_;
+
+ public:
+  /// Number of §11 re-triggers performed (tests/benches).
+  [[nodiscard]] std::uint64_t retriggers_sent() const {
+    std::uint64_t n = 0;
+    for (const auto& [key, count] : retriggers_) {
+      n += static_cast<std::uint64_t>(count);
+    }
+    return n;
+  }
+};
+
+}  // namespace p4u::core

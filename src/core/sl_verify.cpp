@@ -1,0 +1,33 @@
+#include "core/sl_verify.hpp"
+
+namespace p4u::core {
+
+SlOutcome sl_verify(const UimHeader* uim, const p4rt::UnmHeader& unm) {
+  // Line 9-10: no UIM for this version yet -> wait until it arrives.
+  if (uim == nullptr || unm.new_version > uim->version) {
+    return SlOutcome::kWaitForUim;
+  }
+  // Line 11-12: the notification is older than the newest indication; a
+  // node never falls back to older updates (fast-forward semantics, §4.2).
+  if (unm.new_version < uim->version) {
+    return SlOutcome::kDropOutdated;
+  }
+  // Line 4-8: versions match; the sender must be one hop closer to the
+  // egress on the new path, else the label is inconsistent (possible loop).
+  if (uim->new_distance == unm.new_distance + 1) {
+    return SlOutcome::kAccept;
+  }
+  return SlOutcome::kDropDistance;
+}
+
+const char* to_string(SlOutcome o) {
+  switch (o) {
+    case SlOutcome::kAccept: return "accept";
+    case SlOutcome::kWaitForUim: return "wait-for-uim";
+    case SlOutcome::kDropDistance: return "drop-distance";
+    case SlOutcome::kDropOutdated: return "drop-outdated";
+  }
+  return "?";
+}
+
+}  // namespace p4u::core

@@ -1,0 +1,28 @@
+// Algorithm 1: SL-Verification, the single-layer local check.
+//
+// Pure function of (pending UIM, incoming UNM) — a node decides using only
+// its own state and the message, never by querying neighbors or the
+// controller (the proof-labeling locality requirement, §2.2). The caller
+// (P4UpdateSwitch) acts on the outcome: install + notify child, park the
+// UNM via resubmission, or drop + alarm.
+#pragma once
+
+#include "core/uib.hpp"
+#include "p4rt/packet.hpp"
+
+namespace p4u::core {
+
+enum class SlOutcome {
+  kAccept,        // VS = 1: distances and versions line up; update
+  kWaitForUim,    // UNM is for a version whose UIM has not yet arrived
+  kDropDistance,  // D_n(v) != D_n(UNM) + 1: would risk a loop; alarm
+  kDropOutdated,  // V_n(UNM) < V(UIM): stale update replayed; alarm
+};
+
+/// Runs Alg. 1 at a node holding `uim` (nullptr if no UIM yet) against the
+/// incoming `unm`.
+SlOutcome sl_verify(const UimHeader* uim, const p4rt::UnmHeader& unm);
+
+const char* to_string(SlOutcome o);
+
+}  // namespace p4u::core

@@ -1,0 +1,41 @@
+#include "core/uib.hpp"
+
+namespace p4u::core {
+
+AppliedState Uib::applied(FlowId f) const {
+  AppliedState s;
+  s.new_version = new_version_.read(f);
+  s.new_distance = new_distance_.read(f);
+  s.old_version = old_version_.read(f);
+  s.old_distance = old_distance_.read(f);
+  s.counter = counter_.read(f);
+  s.last_type = t_.read(f) == 1 ? UpdateType::kDualLayer
+                                : UpdateType::kSingleLayer;
+  s.ever_dual = t_.read(f) == 1;
+  return s;
+}
+
+void Uib::write_applied(FlowId f, const AppliedState& s) {
+  new_version_.write(f, s.new_version);
+  new_distance_.write(f, s.new_distance);
+  old_version_.write(f, s.old_version);
+  old_distance_.write(f, s.old_distance);
+  counter_.write(f, s.counter);
+  t_.write(f, s.last_type == UpdateType::kDualLayer ? 1 : 0);
+}
+
+const UimHeader* Uib::pending_uim(FlowId f) const {
+  auto it = pending_.find(f);
+  return it == pending_.end() ? nullptr : &it->second;
+}
+
+bool Uib::offer_uim(const UimHeader& uim) {
+  auto it = pending_.find(uim.flow);
+  if (it != pending_.end() && it->second.version >= uim.version) return false;
+  pending_[uim.flow] = uim;
+  return true;
+}
+
+void Uib::drop_uim(FlowId f) { pending_.erase(f); }
+
+}  // namespace p4u::core

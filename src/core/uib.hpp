@@ -1,0 +1,90 @@
+// Update Information Base (§6, §8, Table 1): the per-switch register state
+// P4Update keeps per flow. Register names mirror Table 1 exactly:
+//
+//   new_distance        D_n specified in P_n        (applied new state)
+//   new_version         V_n specified in P_n
+//   egress_port_updated egress port in P_n          (pending, from UIM)
+//   old_distance        D_o specified in P_o
+//   old_version         V_o specified in P_o
+//   egress_port         egress port in P_o          (lives in the device's
+//                                                    forwarding table)
+//   flow_size           per-flow size bound
+//   flow_priority       per-flow scheduler priority (§7.4)
+//   t                   last update type (single/dual)
+//   counter             hop counter (DL symmetry breaking)
+//
+// Semantics: (new_version, new_distance) describe the configuration the
+// switch last *applied*; (old_version, old_distance) the one before — with
+// old_distance being the *inherited* segment id after a dual-layer update
+// (§3.2). The pending UIM (highest version received but not yet applied) is
+// held alongside, which the prototype realizes as the *_updated registers.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "p4rt/packet.hpp"
+#include "p4rt/register_array.hpp"
+
+namespace p4u::core {
+
+using p4rt::Distance;
+using p4rt::FlowId;
+using p4rt::UimHeader;
+using p4rt::UpdateType;
+using p4rt::Version;
+
+/// Snapshot of one flow's applied state at one switch — the inputs Alg. 1
+/// and Alg. 2 call V_n(v), D_n(v), V_o(v), D_o(v), C(v), T(v).
+struct AppliedState {
+  Version new_version = 0;       // V_n(v); 0 = no configuration ever applied
+  Distance new_distance = p4rt::kNoDistance;  // D_n(v)
+  Version old_version = 0;       // V_o(v)
+  Distance old_distance = p4rt::kNoDistance;  // D_o(v), inherited under DL
+  std::int64_t counter = 0;      // C(v)
+  UpdateType last_type = UpdateType::kSingleLayer;  // T(v)
+  bool ever_dual = false;        // T(v) == dual for the *last* update
+};
+
+/// Table-1-backed store. Each scalar lives in its own RegisterArray indexed
+/// by flow id, exactly like the P4 prototype.
+class Uib {
+ public:
+  // ---- applied state ----
+  [[nodiscard]] AppliedState applied(FlowId f) const;
+  void write_applied(FlowId f, const AppliedState& s);
+
+  // ---- pending UIM (highest version received) ----
+  [[nodiscard]] const UimHeader* pending_uim(FlowId f) const;
+  /// Stores `uim` if it is newer than the held one; returns true if stored.
+  bool offer_uim(const UimHeader& uim);
+  void drop_uim(FlowId f);
+
+  // ---- per-flow scalars ----
+  [[nodiscard]] double flow_size(FlowId f) const { return flow_size_.read(f); }
+  void set_flow_size(FlowId f, double s) { flow_size_.write(f, s); }
+  [[nodiscard]] bool high_priority(FlowId f) const {
+    return flow_priority_.read(f) != 0;
+  }
+  void set_high_priority(FlowId f, bool hi) {
+    flow_priority_.write(f, hi ? 1 : 0);
+  }
+
+  /// True if this switch has ever applied a configuration for `f`.
+  [[nodiscard]] bool knows(FlowId f) const { return new_version_.read(f) != 0; }
+
+ private:
+  // Table 1 registers.
+  p4rt::RegisterArray<Distance> new_distance_{p4rt::kNoDistance};
+  p4rt::RegisterArray<Version> new_version_{0};
+  p4rt::RegisterArray<Distance> old_distance_{p4rt::kNoDistance};
+  p4rt::RegisterArray<Version> old_version_{0};
+  p4rt::RegisterArray<double> flow_size_{0.0};
+  p4rt::RegisterArray<std::uint8_t> flow_priority_{0};
+  p4rt::RegisterArray<std::uint8_t> t_{0};  // 0 = single/empty, 1 = dual
+  p4rt::RegisterArray<std::int64_t> counter_{0};
+  // Pending UIM content (egress_port_updated + metadata).
+  std::unordered_map<FlowId, UimHeader> pending_;
+};
+
+}  // namespace p4u::core

@@ -1,0 +1,110 @@
+#include "harness/cdf_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace p4u::harness {
+
+std::string render_cdf_table(const std::vector<NamedSeries>& series,
+                             const std::string& value_label) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(1);
+  os << std::setw(8) << "CDF";
+  for (const auto& s : series) {
+    os << std::setw(16) << (s.name + " [" + value_label + "]");
+  }
+  os << '\n';
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.samples->count());
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const double q =
+        100.0 * static_cast<double>(rank + 1) / static_cast<double>(n);
+    os << std::setw(7) << q << '%';
+    for (const auto& s : series) {
+      if (s.samples->empty()) {
+        os << std::setw(16) << "-";
+      } else {
+        os << std::setw(16) << s.samples->percentile(q);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_comparison(const std::vector<NamedSeries>& series,
+                              const std::string& value_label) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(1);
+  for (const auto& s : series) {
+    os << "  " << std::setw(12) << s.name << ": ";
+    if (s.samples->empty()) {
+      os << "(no samples)\n";
+      continue;
+    }
+    os << "mean=" << s.samples->mean() << " " << value_label
+       << "  p50=" << s.samples->percentile(50)
+       << "  p95=" << s.samples->percentile(95)
+       << "  min=" << s.samples->min() << "  max=" << s.samples->max()
+       << "  n=" << s.samples->count() << '\n';
+  }
+  if (series.size() > 1 && !series[0].samples->empty()) {
+    const double base = series[0].samples->mean();
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      if (series[i].samples->empty()) continue;
+      const double other = series[i].samples->mean();
+      const double delta = (base - other) / other * 100.0;
+      os << "  " << series[0].name << " vs " << series[i].name << ": "
+         << std::showpos << delta << "%" << std::noshowpos
+         << " (negative = " << series[0].name << " faster)\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_ascii_cdf(const std::vector<NamedSeries>& series,
+                             int width, int height) {
+  std::ostringstream os;
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series) {
+    if (s.samples->empty()) continue;
+    lo = std::min(lo, s.samples->min());
+    hi = std::max(hi, s.samples->max());
+  }
+  if (hi <= lo) return "(not enough data for plot)\n";
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const char* marks = "*o+x#@";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = *series[si].samples;
+    if (s.empty()) continue;
+    const auto sorted = s.sorted();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const double frac =
+          static_cast<double>(i + 1) / static_cast<double>(sorted.size());
+      const int col = static_cast<int>((sorted[i] - lo) / (hi - lo) *
+                                       (width - 1));
+      const int row = height - 1 - static_cast<int>(frac * (height - 1));
+      grid[static_cast<std::size_t>(std::clamp(row, 0, height - 1))]
+          [static_cast<std::size_t>(std::clamp(col, 0, width - 1))] =
+              marks[si % 6];
+    }
+  }
+  os << "  1.0 +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  for (const auto& row : grid) {
+    os << "      |" << row << '\n';
+  }
+  os << "  0.0 +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os.setf(std::ios::fixed);
+  os << std::setprecision(1) << "       " << lo << " ... " << hi << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "       [" << marks[si % 6] << "] " << series[si].name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace p4u::harness

@@ -1,0 +1,33 @@
+// Text rendering of experiment results: CDF tables (the Fig. 4/7 series)
+// and comparison summaries, printed by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace p4u::harness {
+
+struct NamedSeries {
+  std::string name;
+  const sim::Samples* samples;
+};
+
+/// Renders an empirical CDF table: one row per sample rank, one column per
+/// series (value at that cumulative fraction). Matches how the paper's CDF
+/// plots would be digitized.
+std::string render_cdf_table(const std::vector<NamedSeries>& series,
+                             const std::string& value_label);
+
+/// One-line-per-series summary with means and percentiles, plus pairwise
+/// mean improvements of the first series over the others (the paper quotes
+/// "-28.6% ... -39.1%" style numbers).
+std::string render_comparison(const std::vector<NamedSeries>& series,
+                              const std::string& value_label);
+
+/// ASCII CDF plot (rough visual aid in bench output).
+std::string render_ascii_cdf(const std::vector<NamedSeries>& series,
+                             int width = 72, int height = 16);
+
+}  // namespace p4u::harness

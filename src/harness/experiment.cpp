@@ -1,0 +1,180 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "control/segmentation.hpp"
+
+namespace p4u::harness {
+
+namespace {
+constexpr sim::Time kIssueAt = sim::milliseconds(10);
+constexpr sim::Time kRunUntil = sim::seconds(300);
+}  // namespace
+
+ExperimentResult run_single_flow(const net::Graph& g,
+                                 const SingleFlowConfig& cfg) {
+  ExperimentResult out;
+  for (int run = 0; run < cfg.runs; ++run) {
+    TestBedParams params = cfg.bed;
+    params.seed = cfg.base_seed + static_cast<std::uint64_t>(run);
+    params.trace_enabled = false;  // large sweeps: skip trace allocation
+    TestBed bed(g, params);
+
+    net::Flow f;
+    f.ingress = cfg.old_path.front();
+    f.egress = cfg.old_path.back();
+    f.id = net::flow_id_of(f.ingress, f.egress);
+    f.size = 1.0;
+    bed.deploy_flow(f, cfg.old_path);
+    bed.schedule_update_at(kIssueAt, f.id, cfg.new_path);
+    bed.run(kRunUntil);
+
+    const auto d = bed.flow_db().duration(f.id, 2);
+    if (d) {
+      out.update_times_ms.add(sim::to_ms(*d));
+    } else {
+      ++out.incomplete_runs;
+    }
+    out.alarms += bed.flow_db().total_alarms();
+    out.violations.loops += bed.monitor().violations().loops;
+    out.violations.blackholes += bed.monitor().violations().blackholes;
+    out.violations.capacity += bed.monitor().violations().capacity;
+  }
+  return out;
+}
+
+ExperimentResult run_multi_flow(const net::Graph& g,
+                                const MultiFlowConfig& cfg) {
+  ExperimentResult out;
+  for (int run = 0; run < cfg.runs; ++run) {
+    const std::uint64_t seed = cfg.base_seed + static_cast<std::uint64_t>(run);
+    sim::Rng traffic_rng(seed ^ 0x7AFF1Cull);
+    const std::vector<TrafficFlow> flows =
+        gravity_multiflow(g, traffic_rng, cfg.traffic);
+
+    TestBedParams params = cfg.bed;
+    params.seed = seed;
+    params.trace_enabled = false;
+    params.monitor_capacity =
+        params.monitor_capacity || params.congestion_mode;
+    TestBed bed(g, params);
+
+    std::vector<std::pair<net::FlowId, net::Path>> batch;
+    for (const TrafficFlow& tf : flows) {
+      bed.deploy_flow(tf.flow, tf.old_path);
+      batch.emplace_back(tf.flow.id, tf.new_path);
+    }
+    bed.schedule_batch_at(kIssueAt, std::move(batch));
+    bed.run(kRunUntil);
+
+    // Sample: completion time of the last flow update in the batch.
+    bool all_done = true;
+    sim::Time last = 0;
+    for (const TrafficFlow& tf : flows) {
+      const auto* rec = bed.flow_db().record(tf.flow.id, 2);
+      if (rec == nullptr || rec->state != control::UpdateState::kCompleted) {
+        all_done = false;
+        break;
+      }
+      last = std::max(last, rec->completed_at);
+    }
+    if (all_done) {
+      out.update_times_ms.add(sim::to_ms(last - kIssueAt));
+    } else {
+      ++out.incomplete_runs;
+    }
+    out.alarms += bed.flow_db().total_alarms();
+    out.violations.loops += bed.monitor().violations().loops;
+    out.violations.blackholes += bed.monitor().violations().blackholes;
+    out.violations.capacity += bed.monitor().violations().capacity;
+  }
+  return out;
+}
+
+DetourPaths long_detour_paths(const net::Graph& g) {
+  // §9.1: old and new paths "intentionally selected to traverse a long
+  // distance within the topology and to trigger segmentation". Search all
+  // node pairs and their k-shortest loopless paths for the longest
+  // (old, new) pair whose segmentation contains a backward segment — the
+  // entangled structure DL-P4Update targets (Fig. 1 writ large).
+  const auto succ_on = [](const net::Path& p, net::NodeId n) {
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == n) return p[i + 1];
+    }
+    return net::kNoNode;
+  };
+  DetourPaths best;
+  double best_score = -1.0;
+  for (std::size_t s = 0; s < g.node_count(); ++s) {
+    for (std::size_t d = 0; d < g.node_count(); ++d) {
+      if (s == d) continue;
+      const auto ks = net::k_shortest_paths(
+          g, static_cast<net::NodeId>(s), static_cast<net::NodeId>(d), 30,
+          net::Metric::kHops);
+      for (std::size_t a = 0; a < ks.size(); ++a) {
+        for (std::size_t b = 0; b < ks.size(); ++b) {
+          if (a == b) continue;
+          const auto seg = control::segment_paths(ks[a], ks[b]);
+          if (seg.all_forward() || seg.segments.size() < 2) continue;
+          // Score the entanglement: inner nodes of backward segments are
+          // what DL pre-installs while ez-Segway's in_loop machinery holds
+          // them back; independent non-trivial segments give parallelism;
+          // backward segments force coordination; length breaks ties.
+          std::size_t nontrivial = 0, backward = 0, inner = 0,
+                      backward_inner = 0;
+          for (const auto& sgm : seg.segments) {
+            const bool nt =
+                sgm.nodes.size() > 2 ||
+                succ_on(ks[a], sgm.ingress_gateway) != sgm.egress_gateway;
+            if (!nt) continue;
+            ++nontrivial;
+            inner += sgm.nodes.size() - 2;
+            if (!sgm.forward) {
+              ++backward;
+              backward_inner += sgm.nodes.size() - 2;
+            }
+          }
+          if (backward < 1 || nontrivial < 3) continue;
+          // Inner nodes only help where parallelism differs (backward
+          // segments); inner nodes of one long forward segment serialize
+          // identically in every system and are worth nothing.
+          const double score =
+              static_cast<double>(backward_inner) * 3000.0 +
+              static_cast<double>(nontrivial) * 500.0 +
+              static_cast<double>(backward) * 300.0 +
+              static_cast<double>(seg.changed_rules) * 10.0 +
+              static_cast<double>(ks[a].size() + ks[b].size());
+          if (score > best_score) {
+            best_score = score;
+            best.old_path = ks[a];
+            best.new_path = ks[b];
+          }
+        }
+      }
+    }
+  }
+  if (best_score > 0) return best;
+
+  // Fallback for topologies without reversal pairs: the diameter pair's
+  // shortest and 2nd-shortest paths.
+  net::NodeId best_src = 0, best_dst = 0;
+  double far = -1.0;
+  for (std::size_t s = 0; s < g.node_count(); ++s) {
+    const net::SpTree t =
+        net::dijkstra(g, static_cast<net::NodeId>(s), net::Metric::kHops);
+    for (std::size_t d = 0; d < g.node_count(); ++d) {
+      if (t.dist[d] > far) {
+        far = t.dist[d];
+        best_src = static_cast<net::NodeId>(s);
+        best_dst = static_cast<net::NodeId>(d);
+      }
+    }
+  }
+  const auto ks =
+      net::k_shortest_paths(g, best_src, best_dst, 2, net::Metric::kHops);
+  best.old_path = ks.front();
+  best.new_path = ks.size() > 1 ? ks[1] : ks[0];
+  return best;
+}
+
+}  // namespace p4u::harness

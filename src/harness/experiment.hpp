@@ -1,0 +1,60 @@
+// Experiment drivers for the paper's evaluation (§9): run many seeded
+// TestBeds and collect update-time samples plus consistency-violation
+// counts. One function per scenario family; the bench binaries print the
+// figures from these results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/traffic.hpp"
+#include "sim/stats.hpp"
+
+namespace p4u::harness {
+
+struct ExperimentResult {
+  sim::Samples update_times_ms;  // per run: the measured completion time
+  std::uint64_t alarms = 0;
+  InvariantMonitor::Violations violations;
+  std::uint64_t incomplete_runs = 0;
+};
+
+struct SingleFlowConfig {
+  net::Path old_path;
+  net::Path new_path;
+  int runs = 30;
+  std::uint64_t base_seed = 1000;
+  TestBedParams bed;  // system/topology-independent knobs
+};
+
+/// §9.2 single-flow scenario: deploy one flow on old_path, update it to
+/// new_path, measure UIM-send -> UFM-receive. Per-node exp(100 ms)
+/// straggler delays are set via bed.switch_params.
+ExperimentResult run_single_flow(const net::Graph& g,
+                                 const SingleFlowConfig& cfg);
+
+struct MultiFlowConfig {
+  TrafficParams traffic;
+  int runs = 30;
+  std::uint64_t base_seed = 5000;
+  TestBedParams bed;
+};
+
+/// §9.2 multi-flow scenario: one flow per node (gravity sizes near
+/// capacity), all moved from shortest to 2nd-shortest path in one batch;
+/// the sample is the completion time of the last flow.
+ExperimentResult run_multi_flow(const net::Graph& g,
+                                const MultiFlowConfig& cfg);
+
+/// Convenience: long-detour single-flow paths for a WAN — picks the
+/// diameter-realizing node pair (by hops) and uses the 2nd-shortest path as
+/// the old route and a further k-shortest as the new route, so that the
+/// update mixes forward and backward segments (triggering segmentation).
+struct DetourPaths {
+  net::Path old_path;
+  net::Path new_path;
+};
+DetourPaths long_detour_paths(const net::Graph& g);
+
+}  // namespace p4u::harness

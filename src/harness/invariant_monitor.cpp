@@ -1,0 +1,122 @@
+#include "harness/invariant_monitor.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace p4u::harness {
+
+void InvariantMonitor::attach() {
+  auto previous = fabric_->hooks().on_rule_installed;
+  fabric_->hooks().on_rule_installed =
+      [this, previous](net::NodeId node, net::FlowId flow, std::int32_t port) {
+        if (previous) previous(node, flow, port);
+        if (flows_.count(flow) != 0) check_flow(flow);
+      };
+}
+
+bool InvariantMonitor::has_loop(net::FlowId flow) const {
+  // The per-flow forwarding graph is functional (<=1 successor per node);
+  // iterate with visited-coloring to find any cycle.
+  const auto n = fabric_->switch_count();
+  std::vector<std::uint8_t> color(n, 0);  // 0 unvisited, 1 in walk, 2 done
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::size_t> walk;
+    std::size_t cur = start;
+    for (;;) {
+      if (color[cur] == 1) {
+        for (std::size_t w : walk) color[w] = 2;
+        return true;  // re-entered the current walk: cycle
+      }
+      if (color[cur] == 2) break;
+      color[cur] = 1;
+      walk.push_back(cur);
+      const auto port = fabric_->sw(static_cast<net::NodeId>(cur)).lookup(flow);
+      if (!port || *port == p4rt::SwitchDevice::kLocalPort) break;
+      const net::NodeId next = fabric_->graph().neighbor_via(
+          static_cast<net::NodeId>(cur), *port);
+      if (next == net::kNoNode) break;
+      cur = static_cast<std::size_t>(next);
+    }
+    for (std::size_t w : walk) color[w] = 2;
+  }
+  return false;
+}
+
+bool InvariantMonitor::has_blackhole(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return false;
+  std::set<net::NodeId> visited;
+  net::NodeId cur = it->second.ingress;
+  while (visited.insert(cur).second) {
+    const auto port = fabric_->sw(cur).lookup(flow);
+    if (!port) return true;  // a reachable node without a rule
+    if (*port == p4rt::SwitchDevice::kLocalPort) return false;  // delivered
+    const net::NodeId next = fabric_->graph().neighbor_via(cur, *port);
+    if (next == net::kNoNode) return true;  // rule points nowhere
+    cur = next;
+  }
+  return false;  // looped: reported by has_loop, not as a blackhole
+}
+
+std::vector<std::string> InvariantMonitor::capacity_overloads() const {
+  // Aggregate per directed edge: sum of watched-flow sizes routed over it.
+  std::map<std::pair<net::NodeId, net::NodeId>, double> load;
+  for (const auto& [id, flow] : flows_) {
+    for (std::size_t n = 0; n < fabric_->switch_count(); ++n) {
+      const auto node = static_cast<net::NodeId>(n);
+      const auto port = fabric_->sw(node).lookup(id);
+      if (!port || *port == p4rt::SwitchDevice::kLocalPort) continue;
+      const net::NodeId next = fabric_->graph().neighbor_via(node, *port);
+      if (next == net::kNoNode) continue;
+      load[{node, next}] += flow.size;
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [edge, used] : load) {
+    const auto link = fabric_->graph().find_link(edge.first, edge.second);
+    if (!link) continue;
+    const double cap = fabric_->graph().link(*link).capacity;
+    if (used > cap + 1e-9) {
+      std::ostringstream os;
+      os << "link " << edge.first << "->" << edge.second << " load " << used
+         << " > capacity " << cap;
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+void InvariantMonitor::check_flow(net::FlowId flow) {
+  const sim::Time now = fabric_->simulator().now();
+  if (has_loop(flow)) {
+    ++violations_.loops;
+    fabric_->trace().add(
+        {now, sim::TraceKind::kLoopDetected, -1, flow, 0, 0, "monitor"});
+    findings_.push_back("loop in flow " + std::to_string(flow) + " at t=" +
+                        std::to_string(sim::to_ms(now)) + "ms");
+  }
+  if (has_blackhole(flow)) {
+    ++violations_.blackholes;
+    fabric_->trace().add(
+        {now, sim::TraceKind::kBlackholeDetected, -1, flow, 0, 0, "monitor"});
+    findings_.push_back("blackhole in flow " + std::to_string(flow) +
+                        " at t=" + std::to_string(sim::to_ms(now)) + "ms");
+  }
+  if (check_capacity_) {
+    for (const std::string& f : capacity_overloads()) {
+      ++violations_.capacity;
+      fabric_->trace().add(
+          {now, sim::TraceKind::kCapacityViolated, -1, flow, 0, 0, f});
+      findings_.push_back(f + " at t=" + std::to_string(sim::to_ms(now)) +
+                          "ms");
+    }
+  }
+}
+
+void InvariantMonitor::check_all() {
+  for (const auto& [id, flow] : flows_) check_flow(id);
+}
+
+}  // namespace p4u::harness

@@ -1,0 +1,69 @@
+// InvariantMonitor: the oracle that checks the paper's three consistency
+// properties (§5) against the *actual* data-plane state after every rule
+// change:
+//   - loop freedom: the per-flow forwarding graph is acyclic,
+//   - blackhole freedom: walking from the flow ingress always reaches a
+//     rule, ending at local delivery,
+//   - congestion freedom: per directed link, the flow size bounds of rules
+//     routed over it never exceed capacity.
+// The systems under test never see the monitor — it reads switch tables the
+// way an omniscient observer would.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::harness {
+
+class InvariantMonitor {
+ public:
+  struct Violations {
+    std::uint64_t loops = 0;
+    std::uint64_t blackholes = 0;
+    std::uint64_t capacity = 0;
+    [[nodiscard]] std::uint64_t total() const {
+      return loops + blackholes + capacity;
+    }
+  };
+
+  explicit InvariantMonitor(p4rt::Fabric& fabric, bool check_capacity = false)
+      : fabric_(&fabric), check_capacity_(check_capacity) {}
+
+  /// Declares a flow the monitor should watch (its ingress anchors the
+  /// blackhole walk; its size feeds the capacity sums).
+  void watch_flow(const net::Flow& f) { flows_[f.id] = f; }
+
+  /// Hooks the fabric's on_rule_installed callback (chains any existing
+  /// hook). Call once after all other hooks are set.
+  void attach();
+
+  /// Runs all checks for one flow right now; increments counters and logs
+  /// trace entries for anything found.
+  void check_flow(net::FlowId flow);
+
+  /// Runs all checks for all watched flows.
+  void check_all();
+
+  [[nodiscard]] const Violations& violations() const { return violations_; }
+  [[nodiscard]] const std::vector<std::string>& findings() const {
+    return findings_;
+  }
+
+  // Direct predicates (used by tests).
+  [[nodiscard]] bool has_loop(net::FlowId flow) const;
+  [[nodiscard]] bool has_blackhole(net::FlowId flow) const;
+  [[nodiscard]] std::vector<std::string> capacity_overloads() const;
+
+ private:
+  p4rt::Fabric* fabric_;
+  bool check_capacity_;
+  std::unordered_map<net::FlowId, net::Flow> flows_;
+  Violations violations_;
+  std::vector<std::string> findings_;
+};
+
+}  // namespace p4u::harness

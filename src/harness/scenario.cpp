@@ -1,0 +1,239 @@
+#include "harness/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p4u::harness {
+
+const char* to_string(SystemKind k) {
+  switch (k) {
+    case SystemKind::kP4Update: return "P4Update";
+    case SystemKind::kEzSegway: return "ez-Segway";
+    case SystemKind::kCentral: return "Central";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<sim::Duration> control_latencies(const net::Graph& g,
+                                             const TestBedParams& p,
+                                             sim::Rng& rng) {
+  switch (p.ctrl_latency_model) {
+    case CtrlLatencyModel::kWanCentroid:
+      return p4rt::wan_control_latencies(g, net::centroid_node(g));
+    case CtrlLatencyModel::kFattreeNormal: {
+      std::vector<sim::Duration> out(g.node_count());
+      for (auto& d : out) {
+        d = sim::truncated_normal_ms(rng, 4.0, 3.0, 0.5);
+      }
+      return out;
+    }
+    case CtrlLatencyModel::kFixed:
+      return std::vector<sim::Duration>(g.node_count(), p.fixed_ctrl_latency);
+  }
+  throw std::logic_error("unknown control latency model");
+}
+
+}  // namespace
+
+TestBed::TestBed(net::Graph graph, TestBedParams params)
+    : graph_(std::move(graph)), params_(params) {
+  fabric_ = std::make_unique<p4rt::Fabric>(sim_, graph_, params_.switch_params,
+                                           params_.seed);
+  fabric_->trace().set_enabled(params_.trace_enabled);
+
+  sim::Rng latency_rng(params_.seed ^ 0xC0117801ull);
+  channel_ = std::make_unique<p4rt::ControlChannel>(
+      sim_, *fabric_, control_latencies(graph_, params_, latency_rng),
+      params_.ctrl_send_service);
+  channel_->set_services(params_.ctrl_send_service, params_.ctrl_recv_service);
+
+  control::Nib nib(graph_);
+  switch (params_.system) {
+    case SystemKind::kP4Update: {
+      core::P4UpdateSwitchParams sp;
+      sp.congestion_mode = params_.congestion_mode;
+      sp.allow_consecutive_dual = params_.allow_consecutive_dual;
+      sp.wait_timeout = params_.p4u_wait_timeout;
+      sp.uim_watchdog = params_.p4u_uim_watchdog;
+      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+        auto pipe = std::make_unique<core::P4UpdateSwitch>(
+            static_cast<net::NodeId>(n), graph_, sp);
+        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+        p4u_switches_.push_back(std::move(pipe));
+      }
+      core::P4UpdateControllerParams cp;
+      cp.congestion_mode = params_.congestion_mode;
+      cp.force_type = params_.force_type;
+      cp.allow_consecutive_dual = params_.allow_consecutive_dual;
+      cp.enable_retrigger = params_.enable_retrigger;
+      p4u_ctrl_ = std::make_unique<core::P4UpdateController>(
+          *channel_, std::move(nib), cp);
+      break;
+    }
+    case SystemKind::kEzSegway: {
+      baseline::EzSwitchParams sp;
+      sp.congestion_mode = params_.congestion_mode;
+      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+        auto pipe = std::make_unique<baseline::EzSegwaySwitch>(
+            static_cast<net::NodeId>(n), graph_, sp);
+        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+        ez_switches_.push_back(std::move(pipe));
+      }
+      baseline::EzControllerParams cp;
+      cp.congestion_mode = params_.congestion_mode;
+      ez_ctrl_ = std::make_unique<baseline::EzSegwayController>(
+          *channel_, std::move(nib), cp);
+      break;
+    }
+    case SystemKind::kCentral: {
+      baseline::CentralParams cp;
+      cp.congestion_mode = params_.congestion_mode;
+      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+        auto pipe = std::make_unique<baseline::CentralSwitch>(
+            static_cast<net::NodeId>(n));
+        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+        central_switches_.push_back(std::move(pipe));
+      }
+      central_ctrl_ = std::make_unique<baseline::CentralController>(
+          *channel_, std::move(nib), cp);
+      break;
+    }
+  }
+
+  monitor_ = std::make_unique<InvariantMonitor>(*fabric_,
+                                                params_.monitor_capacity);
+  monitor_->attach();
+}
+
+const control::FlowDb& TestBed::flow_db() const {
+  switch (params_.system) {
+    case SystemKind::kP4Update: return p4u_ctrl_->flow_db();
+    case SystemKind::kEzSegway: return ez_ctrl_->flow_db();
+    case SystemKind::kCentral: return central_ctrl_->flow_db();
+  }
+  throw std::logic_error("unknown system");
+}
+
+void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path) {
+  if (initial_path.front() != f.ingress || initial_path.back() != f.egress) {
+    throw std::invalid_argument("deploy_flow: path does not match flow");
+  }
+  // Bring up the data plane: every on-path switch gets the version-1 state.
+  for (std::size_t i = 0; i < initial_path.size(); ++i) {
+    const net::NodeId n = initial_path[i];
+    const auto dist = static_cast<p4rt::Distance>(initial_path.size() - 1 - i);
+    const std::int32_t port =
+        i + 1 == initial_path.size()
+            ? p4rt::SwitchDevice::kLocalPort
+            : graph_.port_of(n, initial_path[i + 1]);
+    auto& sw = fabric_->sw(n);
+    switch (params_.system) {
+      case SystemKind::kP4Update:
+        p4u_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(
+            sw, f.id, /*version=*/1, dist, port, f.size);
+        break;
+      case SystemKind::kEzSegway:
+        ez_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(sw, f.id,
+                                                                  port, f.size);
+        break;
+      case SystemKind::kCentral:
+        central_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(
+            sw, f.id, port);
+        break;
+    }
+  }
+  switch (params_.system) {
+    case SystemKind::kP4Update: p4u_ctrl_->register_flow(f, initial_path); break;
+    case SystemKind::kEzSegway: ez_ctrl_->register_flow(f, initial_path); break;
+    case SystemKind::kCentral: central_ctrl_->register_flow(f, initial_path); break;
+  }
+  monitor_->watch_flow(f);
+}
+
+void TestBed::deploy_tree(const net::Flow& f, const control::DestTree& tree) {
+  if (params_.system != SystemKind::kP4Update) {
+    throw std::logic_error("deploy_tree: destination trees are a P4Update "
+                           "extension (§11)");
+  }
+  if (f.egress != tree.root) {
+    throw std::invalid_argument("deploy_tree: flow egress must be the root");
+  }
+  for (const control::TreeNodeLabel& l : control::label_tree(graph_, tree)) {
+    p4u_switches_[static_cast<std::size_t>(l.node)]->bootstrap_flow(
+        fabric_->sw(l.node), f.id, /*version=*/1, l.depth, l.parent_port,
+        f.size);
+  }
+  p4u_ctrl_->register_tree(f);
+  monitor_->watch_flow(f);
+}
+
+void TestBed::schedule_update_at(sim::Time at, net::FlowId flow,
+                                 net::Path new_path) {
+  sim_.schedule_at(at, [this, flow, new_path = std::move(new_path)]() {
+    switch (params_.system) {
+      case SystemKind::kP4Update:
+        p4u_ctrl_->schedule_update(flow, new_path);
+        break;
+      case SystemKind::kEzSegway:
+        ez_ctrl_->schedule_update(flow, new_path);
+        break;
+      case SystemKind::kCentral:
+        central_ctrl_->schedule_update(flow, new_path);
+        break;
+    }
+  });
+}
+
+void TestBed::schedule_batch_at(
+    sim::Time at, std::vector<std::pair<net::FlowId, net::Path>> batch) {
+  sim_.schedule_at(at, [this, batch = std::move(batch)]() {
+    switch (params_.system) {
+      case SystemKind::kP4Update:
+        for (const auto& [flow, path] : batch) {
+          p4u_ctrl_->schedule_update(flow, path);
+        }
+        break;
+      case SystemKind::kEzSegway:
+        ez_ctrl_->schedule_updates(batch);
+        break;
+      case SystemKind::kCentral:
+        for (const auto& [flow, path] : batch) {
+          central_ctrl_->schedule_update(flow, path);
+        }
+        break;
+    }
+  });
+}
+
+void TestBed::start_traffic(net::FlowId flow, net::NodeId ingress, double pps,
+                            std::uint32_t n_packets, std::int32_t ttl) {
+  const auto gap =
+      static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / pps);
+  for (std::uint32_t i = 0; i < n_packets; ++i) {
+    p4rt::DataHeader d;
+    d.flow = flow;
+    d.seq = i;
+    d.ttl = ttl;
+    sim_.schedule_in(gap * static_cast<sim::Duration>(i + 1),
+                     [this, ingress, d]() {
+                       fabric_->inject(ingress, p4rt::Packet{d}, -1);
+                     });
+  }
+}
+
+void TestBed::force_belief(net::FlowId flow, net::Path path) {
+  control::Nib* nib = nullptr;
+  switch (params_.system) {
+    case SystemKind::kP4Update: nib = &p4u_ctrl_->nib(); break;
+    case SystemKind::kEzSegway: nib = &ez_ctrl_->nib(); break;
+    case SystemKind::kCentral: nib = &central_ctrl_->nib(); break;
+  }
+  nib->believe_path(flow, std::move(path));
+  nib->view(flow).update_in_progress = false;
+}
+
+void TestBed::run(sim::Time until) { sim_.run(until); }
+
+}  // namespace p4u::harness

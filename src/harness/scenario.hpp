@@ -1,0 +1,132 @@
+// TestBed: one fully wired simulation run — topology, fabric, one pipeline
+// per switch for the system under test, control channel, controller, and
+// the invariant monitor. Scenarios (single-flow, multi-flow, the §4 demos)
+// drive a TestBed; experiments run many seeded TestBeds and collect stats.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/central_controller.hpp"
+#include "baselines/central_switch.hpp"
+#include "baselines/ezsegway_controller.hpp"
+#include "baselines/ezsegway_switch.hpp"
+#include "core/p4update_controller.hpp"
+#include "core/p4update_switch.hpp"
+#include "harness/invariant_monitor.hpp"
+#include "p4rt/control_channel.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::harness {
+
+enum class SystemKind {
+  kP4Update,
+  kEzSegway,
+  kCentral,
+};
+
+const char* to_string(SystemKind k);
+
+/// How controller <-> switch latency is derived.
+enum class CtrlLatencyModel {
+  kWanCentroid,     // shortest-path latency from the centroid node (§9.1)
+  kFattreeNormal,   // per-switch truncated normal (mean 4 ms, sd 3, min .5)
+  kFixed,           // constant (synthetic topologies)
+};
+
+struct TestBedParams {
+  SystemKind system = SystemKind::kP4Update;
+  std::uint64_t seed = 1;
+  p4rt::SwitchParams switch_params;
+  /// Controller costs are asymmetric (§9.1, [40]): emitting a precomputed
+  /// message is a cheap write, but each inbound notification is parsed,
+  /// fed into the NIB, and may trigger dependency recomputation on the
+  /// single-threaded (Python, in the paper) controller — that queuing +
+  /// processing delay is what penalizes chatty centralized updates.
+  sim::Duration ctrl_send_service = sim::microseconds(500);
+  sim::Duration ctrl_recv_service = sim::milliseconds(5);
+  CtrlLatencyModel ctrl_latency_model = CtrlLatencyModel::kFixed;
+  /// For synthetic topologies the controller is "one designated node" (§5),
+  /// i.e. reachable over the same kind of links: default = one 20 ms hop.
+  sim::Duration fixed_ctrl_latency = sim::milliseconds(20);
+  bool congestion_mode = false;
+  bool monitor_capacity = false;
+  // P4Update-specific knobs.
+  std::optional<p4rt::UpdateType> force_type;
+  bool allow_consecutive_dual = false;
+  bool enable_retrigger = false;               // §11 failure recovery
+  sim::Duration p4u_wait_timeout = sim::seconds(10);
+  sim::Duration p4u_uim_watchdog = 0;          // 0 = watchdog off
+  bool trace_enabled = true;
+};
+
+class TestBed {
+ public:
+  TestBed(net::Graph graph, TestBedParams params);
+  TestBed(const TestBed&) = delete;
+  TestBed& operator=(const TestBed&) = delete;
+
+  /// Deploys a flow's initial configuration (instant bring-up, version 1)
+  /// and registers it with controller and monitor.
+  void deploy_flow(const net::Flow& f, const net::Path& initial_path);
+
+  /// Deploys a destination tree's initial configuration (P4Update only):
+  /// every tree node gets a version-1 rule toward its parent, the root
+  /// delivers locally. `f.egress` must equal the tree root.
+  void deploy_tree(const net::Flow& f, const control::DestTree& tree);
+
+  /// Schedules one flow update at virtual time `at`.
+  void schedule_update_at(sim::Time at, net::FlowId flow, net::Path new_path);
+
+  /// Schedules a batch of updates at `at` (multi-flow scenarios; ez-Segway
+  /// computes its priorities once per batch).
+  void schedule_batch_at(sim::Time at,
+                         std::vector<std::pair<net::FlowId, net::Path>> batch);
+
+  /// Starts a constant-rate packet stream for Fig. 2-style observations.
+  void start_traffic(net::FlowId flow, net::NodeId ingress, double pps,
+                     std::uint32_t n_packets, std::int32_t ttl = 64);
+
+  /// Runs the simulation until `until` or until idle.
+  void run(sim::Time until = sim::seconds(120));
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] p4rt::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] p4rt::ControlChannel& channel() { return *channel_; }
+
+  /// Scenario fault injection: makes the controller *believe* the flow is
+  /// installed on `path` even though the data plane may disagree — the
+  /// inconsistent-view failure mode of [69, 71] driving §4.1.
+  void force_belief(net::FlowId flow, net::Path path);
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+  [[nodiscard]] InvariantMonitor& monitor() { return *monitor_; }
+  [[nodiscard]] const control::FlowDb& flow_db() const;
+  [[nodiscard]] sim::Trace& trace() { return fabric_->trace(); }
+
+  [[nodiscard]] core::P4UpdateController& p4update() { return *p4u_ctrl_; }
+  [[nodiscard]] baseline::EzSegwayController& ezsegway() { return *ez_ctrl_; }
+  [[nodiscard]] baseline::CentralController& central() { return *central_ctrl_; }
+  [[nodiscard]] core::P4UpdateSwitch& p4update_switch(net::NodeId n) {
+    return *p4u_switches_.at(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] const TestBedParams& params() const { return params_; }
+
+ private:
+  net::Graph graph_;
+  TestBedParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<p4rt::Fabric> fabric_;
+  std::unique_ptr<p4rt::ControlChannel> channel_;
+  std::unique_ptr<InvariantMonitor> monitor_;
+  // Exactly one family below is populated, per params_.system.
+  std::vector<std::unique_ptr<core::P4UpdateSwitch>> p4u_switches_;
+  std::vector<std::unique_ptr<baseline::EzSegwaySwitch>> ez_switches_;
+  std::vector<std::unique_ptr<baseline::CentralSwitch>> central_switches_;
+  std::unique_ptr<core::P4UpdateController> p4u_ctrl_;
+  std::unique_ptr<baseline::EzSegwayController> ez_ctrl_;
+  std::unique_ptr<baseline::CentralController> central_ctrl_;
+};
+
+}  // namespace p4u::harness

@@ -1,0 +1,103 @@
+#include "harness/traffic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace p4u::harness {
+
+std::vector<double> gravity_sizes(
+    std::size_t n_nodes,
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+    sim::Rng& rng) {
+  // Roughan's gravity model: traffic(i, j) ~ w_out(i) * w_in(j), with node
+  // weights drawn from an exponential distribution (heavy-ish tail).
+  std::vector<double> w_out(n_nodes), w_in(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    w_out[i] = rng.exponential(1.0);
+    w_in[i] = rng.exponential(1.0);
+  }
+  std::vector<double> sizes;
+  sizes.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) {
+    sizes.push_back(w_out[static_cast<std::size_t>(src)] *
+                    w_in[static_cast<std::size_t>(dst)]);
+  }
+  return sizes;
+}
+
+double peak_utilization(const net::Graph& g,
+                        const std::vector<TrafficFlow>& flows, bool use_new) {
+  std::map<std::pair<net::NodeId, net::NodeId>, double> load;
+  for (const TrafficFlow& tf : flows) {
+    const net::Path& p = use_new ? tf.new_path : tf.old_path;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      load[{p[i], p[i + 1]}] += tf.flow.size;
+    }
+  }
+  double peak = 0.0;
+  for (const auto& [edge, used] : load) {
+    const auto link = g.find_link(edge.first, edge.second);
+    if (!link) throw std::logic_error("peak_utilization: path off graph");
+    peak = std::max(peak, used / g.link(*link).capacity);
+  }
+  return peak;
+}
+
+std::vector<TrafficFlow> gravity_multiflow(const net::Graph& g, sim::Rng& rng,
+                                           const TrafficParams& params) {
+  const auto n = g.node_count();
+  if (n < 3) throw std::invalid_argument("gravity_multiflow: graph too small");
+
+  for (int attempt = 0; attempt < params.max_retries; ++attempt) {
+    std::vector<TrafficFlow> flows;
+    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      const auto src = static_cast<net::NodeId>(i);
+      // Uniform random destination != src with a usable 2nd-shortest path.
+      net::NodeId dst = net::kNoNode;
+      net::Path old_path, new_path;
+      for (int tries = 0; tries < 32; ++tries) {
+        const auto cand = static_cast<net::NodeId>(rng.uniform(n));
+        if (cand == src) continue;
+        const auto ks = net::k_shortest_paths(g, src, cand, 2, params.metric);
+        if (ks.size() < 2) continue;
+        dst = cand;
+        old_path = ks[0];
+        new_path = ks[1];
+        break;
+      }
+      if (dst == net::kNoNode) {
+        ok = false;
+        break;
+      }
+      TrafficFlow tf;
+      tf.flow.id = net::flow_id_of(src, dst) ^ (static_cast<std::uint64_t>(i) << 48);
+      tf.flow.ingress = src;
+      tf.flow.egress = dst;
+      tf.old_path = std::move(old_path);
+      tf.new_path = std::move(new_path);
+      flows.push_back(std::move(tf));
+      pairs.emplace_back(src, dst);
+    }
+    if (!ok) continue;
+
+    const std::vector<double> sizes =
+        gravity_sizes(n, pairs, rng);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      flows[i].flow.size = sizes[i];
+    }
+    // Scale so the busiest directed link under either configuration runs at
+    // the target utilization; both endpoint configurations stay feasible.
+    const double peak = std::max(peak_utilization(g, flows, false),
+                                 peak_utilization(g, flows, true));
+    if (peak <= 0.0) continue;
+    const double scale = params.target_utilization / peak;
+    for (TrafficFlow& tf : flows) tf.flow.size *= scale;
+    return flows;
+  }
+  throw std::runtime_error("gravity_multiflow: no feasible workload found");
+}
+
+}  // namespace p4u::harness

@@ -1,0 +1,46 @@
+// Workload generation for the multi-flow scenarios (§9.1): every node picks
+// a uniform-random destination; the old path is the shortest path and the
+// new path the 2nd-shortest; flow sizes follow Roughan's gravity model [66],
+// scaled so the busiest directed link sits near capacity under both the old
+// and the new configuration (regenerated if infeasible, as in the paper).
+#pragma once
+
+#include <vector>
+
+#include "net/fattree.hpp"
+#include "net/flow.hpp"
+#include "net/paths.hpp"
+#include "sim/random.hpp"
+
+namespace p4u::harness {
+
+struct TrafficFlow {
+  net::Flow flow;
+  net::Path old_path;
+  net::Path new_path;
+};
+
+struct TrafficParams {
+  double target_utilization = 0.9;  // busiest link load / capacity
+  int max_retries = 50;
+  net::Metric metric = net::Metric::kHops;
+};
+
+/// One flow per node (destination uniform at random, old = shortest,
+/// new = 2nd shortest). Nodes whose 2nd-shortest path does not exist are
+/// re-rolled; sizes come from the gravity model.
+std::vector<TrafficFlow> gravity_multiflow(const net::Graph& g, sim::Rng& rng,
+                                           const TrafficParams& params = {});
+
+/// Gravity-model sizes for an explicit set of (src, dst) pairs; exposed
+/// separately for tests.
+std::vector<double> gravity_sizes(std::size_t n_nodes,
+                                  const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+                                  sim::Rng& rng);
+
+/// Max over directed links of (total flow size routed on it) / capacity,
+/// for the given path assignment (old or new).
+double peak_utilization(const net::Graph& g,
+                        const std::vector<TrafficFlow>& flows, bool use_new);
+
+}  // namespace p4u::harness

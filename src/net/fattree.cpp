@@ -1,0 +1,46 @@
+#include "net/fattree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p4u::net {
+
+FatTree fattree_topology(int k, sim::Duration link_latency) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree K must be even >= 2");
+  const int half = k / 2;
+  FatTree t;
+  Graph& g = t.graph;
+
+  for (int i = 0; i < half * half; ++i) {
+    t.core.push_back(g.add_node("core" + std::to_string(i)));
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      t.aggregation.push_back(
+          g.add_node("agg" + std::to_string(p) + "_" + std::to_string(i)));
+    }
+    for (int i = 0; i < half; ++i) {
+      t.edge.push_back(
+          g.add_node("edge" + std::to_string(p) + "_" + std::to_string(i)));
+    }
+  }
+
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      const NodeId agg = t.aggregation[static_cast<std::size_t>(p * half + a)];
+      // Aggregation switch a of each pod uplinks to core group a.
+      for (int c = 0; c < half; ++c) {
+        const NodeId core = t.core[static_cast<std::size_t>(a * half + c)];
+        g.add_link(agg, core, link_latency);
+      }
+      // Full bipartite agg <-> edge inside the pod.
+      for (int e = 0; e < half; ++e) {
+        const NodeId edge = t.edge[static_cast<std::size_t>(p * half + e)];
+        g.add_link(agg, edge, link_latency);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace p4u::net

@@ -1,0 +1,26 @@
+// K-ary fat-tree data-center topology (§9.1 uses K = 4).
+//
+// Switch layout for even K:
+//   - (K/2)^2 core switches,
+//   - K pods, each with K/2 aggregation and K/2 edge switches.
+// Flows in the evaluation run between edge switches. Links carry a small,
+// uniform intra-DC latency.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace p4u::net {
+
+struct FatTree {
+  Graph graph;
+  std::vector<NodeId> core;
+  std::vector<NodeId> aggregation;  // pod-major order
+  std::vector<NodeId> edge;         // pod-major order
+};
+
+/// Builds a K-ary fat-tree. K must be even and >= 2.
+FatTree fattree_topology(int k, sim::Duration link_latency = sim::microseconds(25));
+
+}  // namespace p4u::net

@@ -1,0 +1,16 @@
+#include "net/flow.hpp"
+
+namespace p4u::net {
+
+FlowId flow_id_of(NodeId src, NodeId dst) {
+  // splitmix64-style mix of the pair; collision-free for |V| < 2^31.
+  std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                     << 32) |
+                    static_cast<std::uint32_t>(dst);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return z == 0 ? 1 : z;  // 0 is reserved for "no flow"
+}
+
+}  // namespace p4u::net

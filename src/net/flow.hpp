@@ -1,0 +1,27 @@
+// Flow model (§5 "Flow and Routing Model"): unit of routing between an
+// ingress and an egress switch, with an upper size bound known to the
+// controller (the standard congestion-freedom assumption, cf. SWAN [37]).
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+
+namespace p4u::net {
+
+/// Stable flow identifier. The paper derives it as a hash of the
+/// source-destination pair carried in the FRM; any unique 64-bit id works.
+using FlowId = std::uint64_t;
+
+struct Flow {
+  FlowId id = 0;
+  NodeId ingress = kNoNode;
+  NodeId egress = kNoNode;
+  double size = 0.0;  // immutable upper bound, same unit as link capacity
+};
+
+/// The FRM hash: a deterministic id from the (src, dst) pair.
+FlowId flow_id_of(NodeId src, NodeId dst);
+
+}  // namespace p4u::net

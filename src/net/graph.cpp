@@ -1,0 +1,104 @@
+#include "net/graph.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p4u::net {
+
+NodeId Graph::add_node(std::string name, double latitude, double longitude) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), latitude, longitude});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, sim::Duration latency,
+                       double capacity) {
+  if (a == b) throw std::invalid_argument("self-loop link");
+  if (idx(a) >= nodes_.size() || idx(b) >= nodes_.size()) {
+    throw std::out_of_range("add_link: unknown node");
+  }
+  if (find_link(a, b)) throw std::invalid_argument("duplicate link");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, latency, capacity});
+  adjacency_[idx(a)].push_back(
+      Adjacency{b, id, static_cast<std::int32_t>(adjacency_[idx(a)].size())});
+  adjacency_[idx(b)].push_back(
+      Adjacency{a, id, static_cast<std::int32_t>(adjacency_[idx(b)].size())});
+  return id;
+}
+
+std::optional<LinkId> Graph::find_link(NodeId a, NodeId b) const {
+  for (const auto& adj : adjacency_.at(idx(a))) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return std::nullopt;
+}
+
+std::int32_t Graph::port_of(NodeId node, NodeId neighbor) const {
+  for (const auto& adj : adjacency_.at(idx(node))) {
+    if (adj.neighbor == neighbor) return adj.port;
+  }
+  return -1;
+}
+
+NodeId Graph::neighbor_via(NodeId node, std::int32_t port) const {
+  const auto& adj = adjacency_.at(idx(node));
+  if (port < 0 || static_cast<std::size_t>(port) >= adj.size()) return kNoNode;
+  return adj[static_cast<std::size_t>(port)].neighbor;
+}
+
+sim::Duration Graph::latency_between(NodeId a, NodeId b) const {
+  const auto l = find_link(a, b);
+  if (!l) throw std::invalid_argument("latency_between: nodes not adjacent");
+  return link(*l).latency;
+}
+
+std::optional<NodeId> Graph::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+bool Graph::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const auto& adj : adjacency_[idx(n)]) {
+      if (!seen[idx(adj.neighbor)]) {
+        seen[idx(adj.neighbor)] = true;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+double great_circle_km(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dphi = (lat2 - lat1) * kDegToRad;
+  const double dlam = (lon2 - lon1) * kDegToRad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) *
+                       std::sin(dlam / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+sim::Duration fiber_latency(double km) {
+  constexpr double kFiberKmPerSec = 2.0e5;  // §9.1: ~2/3 c in optical fibre
+  const double sec = km / kFiberKmPerSec;
+  return static_cast<sim::Duration>(sec * static_cast<double>(sim::kSecond));
+}
+
+}  // namespace p4u::net

@@ -1,0 +1,102 @@
+// Network topology model: an undirected connected graph of P4 switches with
+// per-link propagation latency and capacity (§5 "Network Model").
+//
+// Links are undirected for connectivity/latency but capacity is tracked per
+// direction (a flow placed on (u -> v) consumes (u, v) capacity only), which
+// matches how the paper accounts congestion on directed forwarding edges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace p4u::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+constexpr NodeId kNoNode = -1;
+constexpr LinkId kNoLink = -1;
+
+struct Node {
+  std::string name;
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+struct Link {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  sim::Duration latency = 0;  // one-way propagation delay
+  double capacity = 1.0;      // per-direction capacity (abstract units/Mbps)
+};
+
+/// Adjacency record: edge from some node to `neighbor` over `link`, reachable
+/// through local port `port` (ports index the node's adjacency list, exactly
+/// like BMv2's port numbering of veth interfaces).
+struct Adjacency {
+  NodeId neighbor = kNoNode;
+  LinkId link = kNoLink;
+  std::int32_t port = -1;
+};
+
+class Graph {
+ public:
+  NodeId add_node(std::string name, double latitude = 0.0,
+                  double longitude = 0.0);
+  LinkId add_link(NodeId a, NodeId b, sim::Duration latency,
+                  double capacity = 1.0);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId n) const { return nodes_.at(idx(n)); }
+  [[nodiscard]] const Link& link(LinkId l) const { return links_.at(idx(l)); }
+
+  /// Adjusts one link's per-direction capacity (scenario knob).
+  void set_link_capacity(LinkId l, double capacity) {
+    links_.at(idx(l)).capacity = capacity;
+  }
+
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(NodeId n) const {
+    return adjacency_.at(idx(n));
+  }
+
+  /// Link between a and b, if any.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  /// Local port on `node` that reaches `neighbor`; -1 if not adjacent.
+  [[nodiscard]] std::int32_t port_of(NodeId node, NodeId neighbor) const;
+
+  /// Neighbor reached from `node` through `port`; kNoNode if out of range.
+  [[nodiscard]] NodeId neighbor_via(NodeId node, std::int32_t port) const;
+
+  [[nodiscard]] sim::Duration latency_between(NodeId a, NodeId b) const;
+
+  /// Node id by name (topology builders name nodes "v0", "nyc", ...).
+  [[nodiscard]] std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// True if a graph walk can reach every node from node 0.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  static std::size_t idx(std::int32_t id) {
+    return static_cast<std::size_t>(id);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+/// Great-circle distance in kilometres (haversine).
+double great_circle_km(double lat1, double lon1, double lat2, double lon2);
+
+/// Propagation delay over `km` kilometres of optical fibre at 2*10^5 km/s
+/// (the paper's §9.1 assumption).
+sim::Duration fiber_latency(double km);
+
+}  // namespace p4u::net

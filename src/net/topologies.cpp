@@ -1,0 +1,82 @@
+#include "net/topologies.hpp"
+
+namespace p4u::net {
+
+namespace {
+constexpr sim::Duration kSyntheticLinkLatency = sim::milliseconds(20);
+
+NodeId v(Graph& g, int i) {
+  return g.add_node("v" + std::to_string(i));
+}
+}  // namespace
+
+NamedTopology fig1_topology() {
+  NamedTopology t;
+  Graph& g = t.graph;
+  for (int i = 0; i < 8; ++i) v(g, i);
+  // Old path P_o = (v0, v4, v2, v7), solid in Fig. 1.
+  g.add_link(0, 4, kSyntheticLinkLatency);
+  g.add_link(4, 2, kSyntheticLinkLatency);
+  g.add_link(2, 7, kSyntheticLinkLatency);
+  // New path P_n = (v0, v1, ..., v7), dashed in Fig. 1.
+  g.add_link(0, 1, kSyntheticLinkLatency);
+  g.add_link(1, 2, kSyntheticLinkLatency);
+  g.add_link(2, 3, kSyntheticLinkLatency);
+  g.add_link(3, 4, kSyntheticLinkLatency);
+  g.add_link(4, 5, kSyntheticLinkLatency);
+  g.add_link(5, 6, kSyntheticLinkLatency);
+  g.add_link(6, 7, kSyntheticLinkLatency);
+  t.old_path = {0, 4, 2, 7};
+  t.new_path = {0, 1, 2, 3, 4, 5, 6, 7};
+  return t;
+}
+
+NamedTopology fig2_topology(sim::Duration link_latency) {
+  NamedTopology t;
+  Graph& g = t.graph;
+  for (int i = 0; i < 5; ++i) v(g, i);
+  // Config (a): v0 -> v1 -> v2 -> v3 -> v4.
+  g.add_link(0, 1, link_latency);
+  g.add_link(1, 2, link_latency);
+  g.add_link(2, 3, link_latency);
+  g.add_link(3, 4, link_latency);
+  // Config (b) shortcut: v2 -> v4.
+  g.add_link(2, 4, link_latency);
+  // Config (c) detour: v0 -> v3 and v3 -> v1.
+  g.add_link(0, 3, link_latency);
+  g.add_link(1, 3, link_latency);
+  t.old_path = {0, 1, 2, 3, 4};
+  t.new_path = {0, 3, 1, 2, 4};  // config (c), assuming (b) is in place
+  return t;
+}
+
+NamedTopology fig4_topology() {
+  NamedTopology t;
+  Graph& g = t.graph;
+  for (int i = 0; i < 6; ++i) v(g, i);
+  // A 6-node mesh: outer ring plus chords, so that U2 (the "complex" update)
+  // reverses traversal direction (backward segment) while U3 (the "simple"
+  // one) is a short forward detour.
+  g.add_link(0, 1, kSyntheticLinkLatency);
+  g.add_link(1, 2, kSyntheticLinkLatency);
+  g.add_link(2, 3, kSyntheticLinkLatency);
+  g.add_link(3, 4, kSyntheticLinkLatency);
+  g.add_link(4, 5, kSyntheticLinkLatency);
+  g.add_link(0, 5, kSyntheticLinkLatency);
+  g.add_link(0, 2, kSyntheticLinkLatency);
+  g.add_link(1, 4, kSyntheticLinkLatency);
+  g.add_link(2, 5, kSyntheticLinkLatency);
+  g.add_link(2, 4, kSyntheticLinkLatency);
+  g.add_link(3, 5, kSyntheticLinkLatency);
+  t.old_path = {0, 1, 2, 3, 4, 5};  // V1: the long way around
+  t.new_path = {0, 2, 5};           // U3: the simple final configuration
+  return t;
+}
+
+void set_uniform_capacity(Graph& g, double capacity) {
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    g.set_link_capacity(static_cast<LinkId>(l), capacity);
+  }
+}
+
+}  // namespace p4u::net

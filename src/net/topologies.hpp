@@ -1,0 +1,39 @@
+// Builders for the paper's evaluation topologies.
+//
+//  - fig1_topology(): the 8-node synthetic example of Fig. 1 (20 ms links);
+//    old path (v0,v4,v2,v7), new path (v0,...,v7).
+//  - fig2_topology(): the 5-node chain of Fig. 2 with the extra links used by
+//    configurations (b) and (c).
+//  - fig4_topology(): the 6-node network of the §4.2 fast-forward demo.
+//  - Topology-Zoo-style WANs (B4, Internet2, AttMpls, Chinanet) live in
+//    topology_zoo.hpp; the fat-tree in fattree.hpp.
+#pragma once
+
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+
+namespace p4u::net {
+
+/// A topology plus the paper-designated old/new paths, where applicable.
+struct NamedTopology {
+  Graph graph;
+  Path old_path;  // may be empty when the scenario picks paths itself
+  Path new_path;
+};
+
+/// Fig. 1: v0..v7; old (v0,v4,v2,v7) solid, new (v0..v7) dashed; 20 ms links.
+NamedTopology fig1_topology();
+
+/// Fig. 2: chain v0..v4 (config (a)) plus links for (b): v2-v4 and
+/// (c): v0-v3, v1-v3. The §4.1 demo ran on BMv2 veth links (~ms), so the
+/// default link latency is 1 ms; pass another value to override.
+NamedTopology fig2_topology(sim::Duration link_latency = sim::milliseconds(1));
+
+/// §4.2: six nodes with enough redundancy for a "complex" update U2
+/// (backward segment) and a "simple" follow-up U3 (short detour).
+NamedTopology fig4_topology();
+
+/// Uniform-capacity helper: rebuilds all links with the given capacity.
+void set_uniform_capacity(Graph& g, double capacity);
+
+}  // namespace p4u::net

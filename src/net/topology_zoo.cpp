@@ -1,0 +1,208 @@
+#include "net/topology_zoo.hpp"
+
+#include <cstddef>
+#include <iterator>
+#include <stdexcept>
+
+namespace p4u::net {
+
+namespace {
+
+struct City {
+  const char* name;
+  double lat;
+  double lon;
+};
+
+struct Edge {
+  int a;
+  int b;
+};
+
+Graph build(const City* cities, std::size_t n_cities, const Edge* edges,
+            std::size_t n_edges) {
+  Graph g;
+  for (std::size_t i = 0; i < n_cities; ++i) {
+    g.add_node(cities[i].name, cities[i].lat, cities[i].lon);
+  }
+  for (std::size_t i = 0; i < n_edges; ++i) {
+    const City& ca = cities[edges[i].a];
+    const City& cb = cities[edges[i].b];
+    const double km = great_circle_km(ca.lat, ca.lon, cb.lat, cb.lon);
+    g.add_link(edges[i].a, edges[i].b, fiber_latency(km));
+  }
+  if (!g.connected()) throw std::logic_error("embedded topology disconnected");
+  return g;
+}
+
+}  // namespace
+
+Graph b4_topology() {
+  static constexpr City kCities[] = {
+      {"us-west-or", 45.6, -121.1},  // 0  The Dalles, OR
+      {"us-west-ca", 37.4, -122.1},  // 1  Mountain View, CA
+      {"us-central-ok", 36.3, -95.3},// 2  Pryor, OK
+      {"us-central-ia", 41.2, -95.9},// 3  Council Bluffs, IA
+      {"us-east-sc", 33.2, -80.0},   // 4  Berkeley County, SC
+      {"us-east-va", 39.0, -77.5},   // 5  Ashburn, VA
+      {"eu-ie", 53.3, -6.3},         // 6  Dublin
+      {"eu-be", 50.5, 3.9},          // 7  St. Ghislain
+      {"eu-fi", 60.6, 27.2},         // 8  Hamina
+      {"asia-tw", 24.1, 120.5},      // 9  Changhua
+      {"asia-sg", 1.35, 103.8},      // 10 Singapore
+      {"asia-jp", 35.7, 139.7},      // 11 Tokyo
+  };
+  static constexpr Edge kEdges[] = {
+      {0, 1}, {0, 3}, {1, 2},  {1, 3},  {2, 3},  {2, 4},   {3, 5},
+      {4, 5}, {2, 5}, {5, 6},  {5, 7},  {6, 7},  {6, 8},   {7, 8},
+      {0, 9}, {1, 9}, {9, 10}, {9, 11}, {10, 11},
+  };
+  static_assert(std::size(kCities) == 12);
+  static_assert(std::size(kEdges) == 19);
+  return build(kCities, std::size(kCities), kEdges, std::size(kEdges));
+}
+
+Graph internet2_topology() {
+  static constexpr City kCities[] = {
+      {"seattle", 47.6, -122.3},      // 0
+      {"sunnyvale", 37.4, -122.0},    // 1
+      {"losangeles", 34.1, -118.2},   // 2
+      {"saltlake", 40.8, -111.9},     // 3
+      {"denver", 39.7, -105.0},       // 4
+      {"albuquerque", 35.1, -106.6},  // 5
+      {"elpaso", 31.8, -106.5},       // 6
+      {"houston", 29.8, -95.4},       // 7
+      {"kansascity", 39.1, -94.6},    // 8
+      {"dallas", 32.8, -96.8},        // 9
+      {"chicago", 41.9, -87.6},       // 10
+      {"indianapolis", 39.8, -86.2},  // 11
+      {"atlanta", 33.7, -84.4},       // 12
+      {"nashville", 36.2, -86.8},     // 13
+      {"washington", 38.9, -77.0},    // 14
+      {"newyork", 40.7, -74.0},       // 15
+  };
+  static constexpr Edge kEdges[] = {
+      {0, 1},  {0, 3},   {0, 10},  {1, 2},   {1, 3},   {2, 5},  {2, 6},
+      {3, 4},  {3, 8},   {4, 5},   {4, 8},   {5, 6},   {5, 9},  {6, 7},
+      {7, 9},  {7, 12},  {8, 9},   {8, 10},  {9, 13},  {10, 11},{10, 15},
+      {11, 13},{11, 14}, {12, 13}, {12, 14}, {14, 15},
+  };
+  static_assert(std::size(kCities) == 16);
+  static_assert(std::size(kEdges) == 26);
+  return build(kCities, std::size(kCities), kEdges, std::size(kEdges));
+}
+
+Graph attmpls_topology() {
+  static constexpr City kCities[] = {
+      {"seattle", 47.6, -122.3},      // 0
+      {"portland", 45.5, -122.7},     // 1
+      {"sanfrancisco", 37.8, -122.4}, // 2
+      {"sanjose", 37.3, -121.9},      // 3
+      {"losangeles", 34.1, -118.2},   // 4
+      {"sandiego", 32.7, -117.2},     // 5
+      {"phoenix", 33.4, -112.1},      // 6
+      {"saltlake", 40.8, -111.9},     // 7
+      {"denver", 39.7, -105.0},       // 8
+      {"albuquerque", 35.1, -106.6},  // 9
+      {"dallas", 32.8, -96.8},        // 10
+      {"houston", 29.8, -95.4},       // 11
+      {"sanantonio", 29.4, -98.5},    // 12
+      {"kansascity", 39.1, -94.6},    // 13
+      {"stlouis", 38.6, -90.2},       // 14
+      {"chicago", 41.9, -87.6},       // 15
+      {"detroit", 42.3, -83.0},       // 16
+      {"cleveland", 41.5, -81.7},     // 17
+      {"nashville", 36.2, -86.8},     // 18
+      {"atlanta", 33.7, -84.4},       // 19
+      {"orlando", 28.5, -81.4},       // 20
+      {"charlotte", 35.2, -80.8},     // 21
+      {"washington", 38.9, -77.0},    // 22
+      {"philadelphia", 39.9, -75.2},  // 23
+      {"newyork", 40.7, -74.0},       // 24
+  };
+  static constexpr Edge kEdges[] = {
+      // west coast mesh
+      {0, 1},   {0, 2},   {0, 7},   {1, 2},   {1, 7},   {2, 3},   {2, 4},
+      {2, 7},   {3, 4},   {3, 6},   {4, 5},   {4, 6},   {4, 9},   {5, 6},
+      // mountain / central
+      {6, 9},   {6, 10},  {7, 8},   {7, 13},  {8, 9},   {8, 13},  {8, 10},
+      {9, 10},  {10, 11}, {10, 12}, {10, 13}, {10, 14}, {11, 12}, {11, 19},
+      {11, 20}, {12, 9},
+      // midwest
+      {13, 14}, {13, 15}, {14, 15}, {14, 18}, {15, 16}, {15, 17}, {15, 24},
+      {16, 17}, {17, 22}, {17, 24},
+      // south / east
+      {18, 19}, {18, 13}, {19, 20}, {19, 21}, {19, 10}, {20, 21}, {21, 22},
+      {22, 23}, {22, 24}, {23, 24},
+      // long-haul express links (MPLS shortcut overlays)
+      {2, 15},  {4, 10},  {0, 15},  {15, 22}, {19, 22}, {2, 24},
+  };
+  static_assert(std::size(kCities) == 25);
+  static_assert(std::size(kEdges) == 56);
+  return build(kCities, std::size(kCities), kEdges, std::size(kEdges));
+}
+
+Graph chinanet_topology() {
+  // Chinanet is strongly hub-centric: Beijing (0), Shanghai (1) and
+  // Guangzhou (2) form the national core; provincial capitals dual- or
+  // single-home onto the core.
+  static constexpr City kCities[] = {
+      {"beijing", 39.9, 116.4},    // 0 (hub)
+      {"shanghai", 31.2, 121.5},   // 1 (hub)
+      {"guangzhou", 23.1, 113.3},  // 2 (hub)
+      {"tianjin", 39.1, 117.2},    // 3
+      {"shijiazhuang", 38.0, 114.5},// 4
+      {"taiyuan", 37.9, 112.5},    // 5
+      {"hohhot", 40.8, 111.7},     // 6
+      {"shenyang", 41.8, 123.4},   // 7
+      {"changchun", 43.9, 125.3},  // 8
+      {"harbin", 45.8, 126.5},     // 9
+      {"jinan", 36.7, 117.0},      // 10
+      {"nanjing", 32.1, 118.8},    // 11
+      {"hangzhou", 30.3, 120.2},   // 12
+      {"hefei", 31.9, 117.3},      // 13
+      {"fuzhou", 26.1, 119.3},     // 14
+      {"nanchang", 28.7, 115.9},   // 15
+      {"zhengzhou", 34.8, 113.7},  // 16
+      {"wuhan", 30.6, 114.3},      // 17
+      {"changsha", 28.2, 113.0},   // 18
+      {"nanning", 22.8, 108.4},    // 19
+      {"haikou", 20.0, 110.3},     // 20
+      {"chongqing", 29.6, 106.6},  // 21
+      {"chengdu", 30.7, 104.1},    // 22
+      {"guiyang", 26.6, 106.7},    // 23
+      {"kunming", 25.0, 102.7},    // 24
+      {"xian", 34.3, 108.9},       // 25
+      {"lanzhou", 36.1, 103.8},    // 26
+      {"xining", 36.6, 101.8},     // 27
+      {"yinchuan", 38.5, 106.3},   // 28
+      {"urumqi", 43.8, 87.6},      // 29
+      {"lhasa", 29.7, 91.1},       // 30
+      {"shenzhen", 22.5, 114.1},   // 31
+      {"xiamen", 24.5, 118.1},     // 32
+      {"qingdao", 36.1, 120.4},    // 33
+      {"dalian", 38.9, 121.6},     // 34
+      {"suzhou", 31.3, 120.6},     // 35
+      {"ningbo", 29.9, 121.6},     // 36
+      {"wenzhou", 28.0, 120.7},    // 37
+  };
+  static constexpr Edge kEdges[] = {
+      // national core mesh
+      {0, 1}, {0, 2}, {1, 2},
+      // dual-homed provincial nodes (24 cities x 2 edges)
+      {3, 0},  {3, 1},  {4, 0},  {4, 2},  {5, 0},  {5, 1},  {7, 0},  {7, 1},
+      {9, 0},  {9, 1},  {10, 0}, {10, 1}, {11, 0}, {11, 1}, {12, 1}, {12, 2},
+      {13, 0}, {13, 1}, {14, 1}, {14, 2}, {15, 1}, {15, 2}, {16, 0}, {16, 2},
+      {17, 0}, {17, 2}, {18, 1}, {18, 2}, {19, 2}, {19, 0}, {21, 0}, {21, 2},
+      {22, 0}, {22, 2}, {23, 2}, {23, 1}, {24, 2}, {24, 0}, {25, 0}, {25, 2},
+      {26, 0}, {26, 1}, {29, 0}, {29, 2}, {31, 2}, {31, 1}, {33, 0}, {33, 1},
+      // single-homed nodes (11 cities x 1 edge)
+      {35, 1}, {6, 0},  {8, 0},  {20, 2}, {27, 0}, {28, 0}, {30, 2}, {32, 1},
+      {34, 0}, {36, 1}, {37, 1},
+  };
+  static_assert(std::size(kCities) == 38);
+  static_assert(std::size(kEdges) == 62);
+  return build(kCities, std::size(kCities), kEdges, std::size(kEdges));
+}
+
+}  // namespace p4u::net

@@ -1,0 +1,22 @@
+// Embedded WAN topologies used in the paper's evaluation (§9.1, Fig. 7/8):
+// B4 [39], Internet2 [1], AttMpls and Chinanet (Topology Zoo [48]).
+//
+// The Topology Zoo dataset is not redistributable here, so these are
+// documented reconstructions with the paper's node/edge counts — B4 (12, 19),
+// Internet2 (16, 26), AttMpls (25, 56), Chinanet (38, 62) — and real-city
+// coordinates. Link latency is derived from great-circle distance at
+// 2*10^5 km/s, exactly the rule the paper states; absolute latencies are
+// therefore realistic even where an individual edge differs from the
+// (unpublished) original adjacency.
+#pragma once
+
+#include "net/graph.hpp"
+
+namespace p4u::net {
+
+Graph b4_topology();         // 12 nodes, 19 edges (Google's B4 WAN)
+Graph internet2_topology();  // 16 nodes, 26 edges (US research network)
+Graph attmpls_topology();    // 25 nodes, 56 edges (AT&T MPLS backbone)
+Graph chinanet_topology();   // 38 nodes, 62 edges (hub-heavy Chinanet)
+
+}  // namespace p4u::net

@@ -1,0 +1,59 @@
+#include "p4rt/control_channel.hpp"
+
+#include <utility>
+
+#include "net/paths.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::p4rt {
+
+ControlChannel::ControlChannel(sim::Simulator& sim, Fabric& fabric,
+                               std::vector<sim::Duration> latency_to_switch,
+                               sim::Duration service_time)
+    : sim_(sim),
+      fabric_(fabric),
+      latency_(std::move(latency_to_switch)),
+      send_service_(service_time),
+      recv_service_(service_time) {
+  fabric_.set_control_channel(this);
+}
+
+sim::Time ControlChannel::reserve_service_slot(sim::Duration service) {
+  const sim::Time start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + service;
+  return busy_until_;
+}
+
+void ControlChannel::send_to_switch(NodeId sw, Packet pkt) {
+  // The single controller thread serializes outbound messages, then each
+  // one independently travels the control link to its switch.
+  const sim::Time departure = reserve_service_slot(send_service_);
+  const sim::Time arrival = departure + latency(sw) + extra_outbound_;
+  sim_.schedule_at(arrival, [this, sw, pkt = std::move(pkt)]() mutable {
+    fabric_.sw(sw).receive(std::move(pkt), /*in_port=*/-1);
+  });
+}
+
+void ControlChannel::deliver_to_controller(NodeId from, Packet pkt) {
+  const sim::Time arrival = sim_.now() + latency(from);
+  sim_.schedule_at(arrival, [this, from, pkt = std::move(pkt)]() mutable {
+    // Queue for the controller's single service thread.
+    const sim::Time handled_at = reserve_service_slot(recv_service_);
+    sim_.schedule_at(handled_at, [this, from, pkt = std::move(pkt)]() {
+      ++handled_;
+      if (app_ != nullptr) app_->handle_from_switch(from, pkt);
+    });
+  });
+}
+
+std::vector<sim::Duration> wan_control_latencies(const net::Graph& g,
+                                                 NodeId controller_node) {
+  const net::SpTree t = net::dijkstra(g, controller_node, net::Metric::kLatency);
+  std::vector<sim::Duration> out(g.node_count(), 0);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    out[i] = static_cast<sim::Duration>(t.dist[i]);
+  }
+  return out;
+}
+
+}  // namespace p4u::p4rt

@@ -1,0 +1,51 @@
+#include "p4rt/fabric.hpp"
+
+#include <stdexcept>
+
+namespace p4u::p4rt {
+
+Fabric::Fabric(sim::Simulator& sim, const net::Graph& graph,
+               SwitchParams params, std::uint64_t seed)
+    : sim_(sim), graph_(graph), fault_rng_(seed ^ 0xFAB51Cull) {
+  sim::Rng seeder(seed);
+  switches_.reserve(graph.node_count());
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    switches_.push_back(std::make_unique<SwitchDevice>(
+        *this, static_cast<NodeId>(i), params, seeder.fork()));
+  }
+}
+
+void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
+  const NodeId to = graph_.neighbor_via(from, out_port);
+  if (to == net::kNoNode) {
+    throw std::out_of_range("Fabric::transmit: invalid port " +
+                            std::to_string(out_port) + " at switch " +
+                            std::to_string(from));
+  }
+  // Random fault injection (verification model, §5).
+  const bool is_data = pkt.is<DataHeader>();
+  const double drop_p =
+      is_data ? faults_.data_drop_prob : faults_.control_drop_prob;
+  if (drop_p > 0.0 && fault_rng_.uniform01() < drop_p) {
+    trace_.add({sim_.now(), sim::TraceKind::kMessageDropped, from, pkt.flow(),
+                0, 0, "fault: " + describe(pkt)});
+    return;
+  }
+
+  sim::Duration latency = graph_.latency_between(from, to);
+  if (faults_.reorder_jitter > 0) {
+    latency += static_cast<sim::Duration>(fault_rng_.uniform(
+        static_cast<std::uint64_t>(faults_.reorder_jitter) + 1));
+  }
+
+  const std::int32_t in_port = graph_.port_of(to, from);
+  sim_.schedule_in(latency, [this, to, in_port, pkt = std::move(pkt)]() mutable {
+    sw(to).receive(std::move(pkt), in_port);
+  });
+}
+
+void Fabric::inject(NodeId at, Packet pkt, std::int32_t in_port) {
+  sw(at).receive(std::move(pkt), in_port);
+}
+
+}  // namespace p4u::p4rt

@@ -1,0 +1,84 @@
+// Fabric: the wired data plane.
+//
+// Owns one SwitchDevice per topology node, delivers packets across links
+// with propagation latency, and exposes the fault-injection knobs the
+// verification model assumes possible (§5: dropped update packets, update
+// packet reordering) plus observation hooks for the invariant monitor and
+// the Fig. 2 packet-arrival recorders.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "p4rt/packet.hpp"
+#include "p4rt/switch_device.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/trace.hpp"
+
+namespace p4u::p4rt {
+
+class ControlChannel;
+
+/// Random fault injection on switch-to-switch hops. Targeted faults (e.g.
+/// Fig. 2's delayed configuration (b)) are crafted by scenarios instead.
+struct FaultModel {
+  double control_drop_prob = 0.0;   // applies to UIM/UNM/... messages
+  double data_drop_prob = 0.0;      // applies to DataHeader packets
+  sim::Duration reorder_jitter = 0; // extra uniform [0, jitter] per hop
+};
+
+struct FabricHooks {
+  std::function<void(NodeId, FlowId, std::int32_t)> on_rule_installed;
+  std::function<void(NodeId, const DataHeader&)> on_data_arrival;
+  std::function<void(NodeId, const DataHeader&)> on_delivered;
+  std::function<void(NodeId, const DataHeader&)> on_ttl_expired;
+  std::function<void(NodeId, const DataHeader&)> on_blackhole;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, const net::Graph& graph, SwitchParams params,
+         std::uint64_t seed);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] SwitchDevice& sw(NodeId id) {
+    return *switches_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const SwitchDevice& sw(NodeId id) const {
+    return *switches_.at(static_cast<std::size_t>(id));
+  }
+
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] FaultModel& faults() { return faults_; }
+  [[nodiscard]] FabricHooks& hooks() { return hooks_; }
+
+  /// Emits `pkt` from switch `from` on local port `out_port`; the neighbor
+  /// receives it after link latency (+ faults).
+  void transmit(NodeId from, std::int32_t out_port, Packet pkt);
+
+  /// Injects a packet into a switch as if received on `in_port` (traffic
+  /// sources and test harnesses).
+  void inject(NodeId at, Packet pkt, std::int32_t in_port = -1);
+
+  void set_control_channel(ControlChannel* cc) { control_ = cc; }
+  [[nodiscard]] ControlChannel* control() { return control_; }
+
+ private:
+  sim::Simulator& sim_;
+  const net::Graph& graph_;
+  std::vector<std::unique_ptr<SwitchDevice>> switches_;
+  sim::Trace trace_;
+  FaultModel faults_;
+  FabricHooks hooks_;
+  ControlChannel* control_ = nullptr;
+  sim::Rng fault_rng_;
+};
+
+}  // namespace p4u::p4rt

@@ -1,0 +1,70 @@
+#include "p4rt/packet.hpp"
+
+#include <sstream>
+
+namespace p4u::p4rt {
+
+FlowId Packet::flow() const {
+  return std::visit([](const auto& h) -> FlowId { return h.flow; }, header);
+}
+
+std::string describe(const Packet& p) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& h) {
+        using H = std::decay_t<decltype(h)>;
+        if constexpr (std::is_same_v<H, DataHeader>) {
+          os << "DATA flow=" << h.flow << " seq=" << h.seq << " ttl=" << h.ttl;
+        } else if constexpr (std::is_same_v<H, FrmHeader>) {
+          os << "FRM flow=" << h.flow << " in=" << h.ingress
+             << " out=" << h.egress;
+        } else if constexpr (std::is_same_v<H, UimHeader>) {
+          os << "UIM flow=" << h.flow << " target=" << h.target
+             << " V=" << h.version << " Dn=" << h.new_distance
+             << (h.type == UpdateType::kDualLayer ? " DL" : " SL")
+             << " eport=" << h.egress_port_updated
+             << " child=" << h.child_port
+             << (h.is_flow_egress ? " egress" : "")
+             << (h.is_gateway ? " gw" : "")
+             << (h.is_segment_egress ? " seg-egress" : "");
+        } else if constexpr (std::is_same_v<H, UnmHeader>) {
+          os << "UNM flow=" << h.flow << " Vo=" << h.old_version
+             << " Vn=" << h.new_version << " Do=" << h.old_distance
+             << " Dn=" << h.new_distance
+             << (h.type == UpdateType::kDualLayer ? " DL" : " SL")
+             << " layer=" << static_cast<int>(h.layer) << " C=" << h.counter
+             << " from=" << h.from;
+        } else if constexpr (std::is_same_v<H, UfmHeader>) {
+          os << "UFM flow=" << h.flow << " V=" << h.version
+             << (h.success ? " ok" : " alarm")
+             << " code=" << static_cast<int>(h.alarm)
+             << " from=" << h.reporter;
+        } else if constexpr (std::is_same_v<H, EzCmdHeader>) {
+          os << "EZ-CMD flow=" << h.flow << " V=" << h.version
+             << (h.has_rule_change ? " rule" : "")
+             << " seg=" << h.rule_segment << " port=" << h.egress_port_new
+             << (h.starts_chain ? " chain" : "")
+             << " await=" << h.await_segments;
+        } else if constexpr (std::is_same_v<H, EzNotifyHeader>) {
+          os << "EZ-NOTIFY flow=" << h.flow << " V=" << h.version
+             << " seg=" << h.segment_id;
+        } else if constexpr (std::is_same_v<H, SegmentDoneHeader>) {
+          os << "SEG-DONE flow=" << h.flow << " V=" << h.version
+             << " seg=" << h.segment_id << " dst=" << h.final_dst;
+        } else if constexpr (std::is_same_v<H, InstallCmdHeader>) {
+          os << "INSTALL flow=" << h.flow << " V=" << h.version
+             << " port=" << h.egress_port << " round=" << h.round;
+        } else if constexpr (std::is_same_v<H, InstallAckHeader>) {
+          os << "ACK flow=" << h.flow << " V=" << h.version
+             << " node=" << h.node << " round=" << h.round;
+        } else if constexpr (std::is_same_v<H, CleanupHeader>) {
+          os << "CLEANUP flow=" << h.flow << " V=" << h.version;
+        } else if constexpr (std::is_same_v<H, StampHeader>) {
+          os << "STAMP flow=" << h.flow << " -> " << h.rewrite_to;
+        }
+      },
+      p.header);
+  return os.str();
+}
+
+}  // namespace p4u::p4rt

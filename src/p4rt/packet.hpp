@@ -1,0 +1,233 @@
+// Packet and header formats.
+//
+// The paper defines four control message types (§6, Fig. 5) plus ordinary
+// data packets:
+//   FRM  flow report        — data plane -> controller, announces a new flow
+//   UIM  update indication  — controller -> switch, carries the new label
+//                             (distance, version, flow size, egress port)
+//   UNM  update notification— switch -> switch in the data plane, triggers
+//                             and verifies updates hop by hop
+//   UFM  update feedback    — switch -> controller, success or alarm
+//
+// In the P4 prototype these are header stacks parsed by the P4 parser; here
+// each is a plain struct inside a std::variant. Field names follow the
+// paper's notation (V = version, D_n / D_o = new/old distance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::p4rt {
+
+using net::FlowId;
+using net::NodeId;
+
+using Version = std::int64_t;
+using Distance = std::int32_t;
+
+constexpr Distance kNoDistance = -1;
+
+/// §3 / §7: update mechanism selected by the control plane per update.
+enum class UpdateType : std::uint8_t {
+  kSingleLayer,  // SL-P4Update
+  kDualLayer,    // DL-P4Update
+};
+
+/// DL-P4Update distinguishes inter-segment (first-layer) notifications,
+/// which chain gateway updates and signal completion, from intra-segment
+/// (second-layer) notifications, which pre-install nodes inside a segment
+/// and are dropped at the next gateway (§8 "DL-P4Update").
+enum class UnmLayer : std::uint8_t {
+  kInterSegment = 1,
+  kIntraSegment = 2,
+};
+
+/// Ordinary routed traffic. `seq` and `ttl` reproduce the Fig. 2 experiment
+/// (packet sequence IDs; TTL-64 drops after 21 loop traversals).
+struct DataHeader {
+  FlowId flow = 0;
+  std::uint32_t seq = 0;
+  std::int32_t ttl = 64;
+};
+
+/// Flow report: cloned first packet of a new flow (§8 "FRM").
+struct FrmHeader {
+  FlowId flow = 0;
+  NodeId ingress = net::kNoNode;
+  NodeId egress = net::kNoNode;
+};
+
+/// Update indication: the controller's per-switch label for one update.
+struct UimHeader {
+  FlowId flow = 0;
+  NodeId target = net::kNoNode;  // switch this UIM is addressed to
+  Version version = 0;           // V: unique, monotonically increasing
+  Distance new_distance = 0;     // D_n: hops to egress on the new path
+  UpdateType type = UpdateType::kSingleLayer;
+  std::int32_t egress_port_updated = -1;  // new-path egress port at target
+  std::int32_t child_port = -1;  // port toward the target's child
+                                 // (predecessor on the new path); -1 at
+                                 // ingress. This is the paper's one-to-one
+                                 // port-based clone-session table.
+  std::vector<std::int32_t> extra_child_ports;  // destination-tree updates
+                                                // (§11): additional children
+                                                // the UNM fans out to
+  bool is_flow_egress = false;   // target applies directly and emits UNM
+  bool is_gateway = false;       // DL: target sits on both P_o and P_n
+  bool is_segment_egress = false;  // DL: target emits an intra-segment UNM
+  double flow_size = 0.0;        // immutable size bound (congestion checks)
+};
+
+/// Update notification: carries the sender's previous and current state
+/// (§7.1 "The UNM also encapsulates the information of the previous
+/// configuration ... and the current configuration").
+struct UnmHeader {
+  FlowId flow = 0;
+  Version old_version = 0;   // V_o of the sending node
+  Version new_version = 0;   // V_n being propagated
+  Distance old_distance = 0; // D_o: inherited "segment id" (DL) / prev dist
+  Distance new_distance = 0; // D_n of the sending node
+  UpdateType type = UpdateType::kSingleLayer;
+  UnmLayer layer = UnmLayer::kInterSegment;
+  std::int64_t counter = 0;  // hop counter for DL symmetry breaking
+  NodeId from = net::kNoNode;
+  /// Simulation bookkeeping, not protocol content: virtual time when the
+  /// current holder first parked this UNM (resubmission-wait timeout, §11
+  /// "Failures in the Update Process"). 0 = never parked.
+  sim::Time first_parked_at = 0;
+};
+
+/// Alarm codes a switch reports with a failed UFM (Alg. 1/2 "inform
+/// controller"), so the controller can distinguish inconsistency classes.
+enum class AlarmCode : std::uint8_t {
+  kNone = 0,
+  kDistanceMismatch,  // D_n(v) != D_n(UNM) + 1: would risk a loop
+  kOutdatedVersion,   // V_n(UNM) < V(v): stale update replayed
+  kMalformed,         // corrupted/unparseable update content
+};
+
+/// Update feedback: success (flow converged) or alarm.
+struct UfmHeader {
+  FlowId flow = 0;
+  Version version = 0;
+  bool success = false;
+  AlarmCode alarm = AlarmCode::kNone;
+  NodeId reporter = net::kNoNode;
+};
+
+/// Baseline-specific control messages share the fabric: ez-Segway's
+/// per-switch command, in-segment notification and segment-completion
+/// message ("good news" in [63]), and Central's per-node install
+/// command/ack. Modeled as distinct headers so baselines need no side
+/// channels.
+struct SegmentDoneHeader {
+  FlowId flow = 0;
+  Version version = 0;
+  std::int32_t segment_id = 0;  // which dependency got resolved
+  NodeId final_dst = net::kNoNode;  // gateway this notification is for
+};
+
+struct EzNotifyTarget {
+  NodeId node = net::kNoNode;
+  std::int32_t segment_id = 0;
+};
+
+/// ez-Segway per-switch update command. A node can play two roles for one
+/// update: change its own rule as part of segment `rule_segment`, and/or
+/// start the notification chain of segment `chain_segment` as that
+/// segment's egress junction.
+struct EzCmdHeader {
+  FlowId flow = 0;
+  NodeId target = net::kNoNode;  // switch this command is addressed to
+  Version version = 0;
+  // rule-change role
+  bool has_rule_change = false;
+  std::int32_t rule_segment = -1;
+  std::int32_t egress_port_new = -1;
+  std::int32_t upstream_port = -1;  // where to pass the notify next (-1: top)
+  bool is_segment_top = false;      // last installer of rule_segment
+  std::vector<EzNotifyTarget> notify;  // SegmentDone recipients on completion
+  // chain-start role
+  bool starts_chain = false;
+  std::int32_t chain_segment = -1;
+  std::int32_t chain_child_port = -1;  // toward the first chain member
+  std::int32_t await_segments = 0;     // in_loop dependencies to resolve
+  double flow_size = 0.0;
+  std::uint8_t priority = 0;  // centrally precomputed (congestion variant)
+};
+
+/// ez-Segway in-segment "update now" notification, passed upstream.
+struct EzNotifyHeader {
+  FlowId flow = 0;
+  Version version = 0;
+  std::int32_t segment_id = 0;
+};
+
+struct InstallCmdHeader {
+  FlowId flow = 0;
+  Version version = 0;
+  std::int32_t egress_port = -1;
+  std::int32_t round = 0;
+  double flow_size = 0.0;
+  bool remove = false;  // true: delete the rule (old-path cleanup)
+};
+
+struct InstallAckHeader {
+  FlowId flow = 0;
+  Version version = 0;
+  NodeId node = net::kNoNode;
+  std::int32_t round = 0;
+};
+
+/// 2-phase-commit stamp (§11 "2-Phase Commit Updates"): tells the ingress
+/// to rewrite incoming packets of `flow` to the tagged flow id
+/// `rewrite_to`, atomically moving traffic onto the already-installed new
+/// rule generation (per-packet consistency, Reitblatt et al. [64]).
+struct StampHeader {
+  FlowId flow = 0;
+  FlowId rewrite_to = 0;
+};
+
+/// Rule cleanup (§11): sent along the *old* path after an update finished,
+/// telling stale nodes no further packets will come so they can drop their
+/// rule (and release the reserved link capacity). Version-guarded: a node
+/// already at `version` or newer ignores it.
+struct CleanupHeader {
+  FlowId flow = 0;
+  Version version = 0;
+};
+
+struct Packet {
+  std::variant<DataHeader, FrmHeader, UimHeader, UnmHeader, UfmHeader,
+               SegmentDoneHeader, EzCmdHeader, EzNotifyHeader,
+               InstallCmdHeader, InstallAckHeader, CleanupHeader,
+               StampHeader>
+      header;
+
+  template <typename H>
+  [[nodiscard]] bool is() const {
+    return std::holds_alternative<H>(header);
+  }
+  template <typename H>
+  [[nodiscard]] const H& as() const {
+    return std::get<H>(header);
+  }
+  template <typename H>
+  [[nodiscard]] H& as() {
+    return std::get<H>(header);
+  }
+
+  /// Flow this packet belongs to (0 if none).
+  [[nodiscard]] FlowId flow() const;
+};
+
+/// Short human-readable packet description for traces and test failures.
+std::string describe(const Packet& p);
+
+}  // namespace p4u::p4rt

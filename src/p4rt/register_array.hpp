@@ -1,0 +1,75 @@
+// Stateful P4 primitives: register arrays and match-action tables.
+//
+// P4 registers are persistent arrays writable from both planes (§2.1); the
+// P4Update prototype keys them by flow ID (§10: "indexed by the flow ID").
+// BMv2 registers are fixed-size arrays indexed by a hash of the flow; we
+// model the same semantics with sparse storage plus a default value, which
+// keeps "never written" reads well-defined (P4 registers zero-initialize).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace p4u::p4rt {
+
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(T default_value = T{})
+      : default_(default_value) {}
+
+  /// Read register at `index`; unwritten cells hold the default.
+  [[nodiscard]] T read(std::uint64_t index) const {
+    auto it = cells_.find(index);
+    return it == cells_.end() ? default_ : it->second;
+  }
+
+  /// Write register at `index`.
+  void write(std::uint64_t index, T value) { cells_[index] = value; }
+
+  /// Resets one cell to the default (rule cleanup).
+  void clear(std::uint64_t index) { cells_.erase(index); }
+
+  /// Resets the whole array (controller-side reinitialization).
+  void clear_all() { cells_.clear(); }
+
+  [[nodiscard]] bool written(std::uint64_t index) const {
+    return cells_.count(index) != 0;
+  }
+
+  [[nodiscard]] std::size_t populated() const { return cells_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, T> cells_;
+  T default_;
+};
+
+/// Exact-match match-action table: key -> action data. The P4Update
+/// forwarding table matches the flow ID and returns the egress port read
+/// from the egress_port register.
+template <typename Key, typename ActionData>
+class MatchActionTable {
+ public:
+  /// Returns the action data on hit, or nullptr on miss.
+  [[nodiscard]] const ActionData* match(const Key& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void insert(const Key& key, ActionData data) {
+    entries_[key] = std::move(data);
+  }
+
+  void erase(const Key& key) { entries_.erase(key); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const std::unordered_map<Key, ActionData>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<Key, ActionData> entries_;
+};
+
+}  // namespace p4u::p4rt

@@ -1,0 +1,140 @@
+#include "p4rt/switch_device.hpp"
+
+#include <utility>
+
+#include "p4rt/control_channel.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::p4rt {
+
+SwitchDevice::SwitchDevice(Fabric& fabric, NodeId id, SwitchParams params,
+                           sim::Rng rng)
+    : fabric_(fabric), id_(id), params_(params), rng_(rng) {}
+
+sim::Time SwitchDevice::now() const { return fabric_.simulator().now(); }
+
+sim::Simulator& SwitchDevice::simulator() { return fabric_.simulator(); }
+
+void SwitchDevice::receive(Packet pkt, std::int32_t in_port) {
+  enqueue_for_service(std::move(pkt), in_port);
+}
+
+void SwitchDevice::enqueue_for_service(Packet pkt, std::int32_t in_port) {
+  // Single-threaded pipeline: packets drain one per service_time.
+  const sim::Time start = std::max(now(), busy_until_);
+  const sim::Time done = start + params_.service_time;
+  busy_until_ = done;
+  simulator().schedule_at(done, [this, pkt = std::move(pkt), in_port]() mutable {
+    process(std::move(pkt), in_port);
+  });
+}
+
+void SwitchDevice::process(Packet pkt, std::int32_t in_port) {
+  if (pkt.is<DataHeader>()) {
+    DataHeader& data = pkt.as<DataHeader>();
+    if (pipeline_ != nullptr) {
+      pipeline_->on_data_packet(*this, data, in_port);
+    }
+    forward_data(data, in_port);
+    return;
+  }
+  if (pipeline_ != nullptr) {
+    pipeline_->handle(*this, pkt, in_port);
+  }
+}
+
+void SwitchDevice::forward_data(DataHeader data, std::int32_t in_port) {
+  (void)in_port;
+  auto& hooks = fabric_.hooks();
+  if (hooks.on_data_arrival) hooks.on_data_arrival(id_, data);
+
+  const auto port = lookup(data.flow);
+  if (!port) {
+    if (hooks.on_blackhole) hooks.on_blackhole(id_, data);
+    fabric_.trace().add({now(), sim::TraceKind::kBlackholeDetected, id_,
+                         data.flow, data.seq, 0, ""});
+    return;
+  }
+  if (*port == kLocalPort) {
+    if (hooks.on_delivered) hooks.on_delivered(id_, data);
+    fabric_.trace().add({now(), sim::TraceKind::kPacketDelivered, id_,
+                         data.flow, data.seq, 0, ""});
+    return;
+  }
+  if (--data.ttl <= 0) {
+    if (hooks.on_ttl_expired) hooks.on_ttl_expired(id_, data);
+    fabric_.trace().add({now(), sim::TraceKind::kPacketExpired, id_, data.flow,
+                         data.seq, 0, ""});
+    return;
+  }
+  fabric_.transmit(id_, *port, Packet{data});
+}
+
+void SwitchDevice::forward(Packet pkt, std::int32_t out_port) {
+  fabric_.transmit(id_, out_port, std::move(pkt));
+}
+
+void SwitchDevice::clone_to_port(Packet pkt, std::int32_t out_port) {
+  forward(std::move(pkt), out_port);
+}
+
+void SwitchDevice::send_to_controller(Packet pkt) {
+  ControlChannel* cc = fabric_.control();
+  if (cc != nullptr) cc->deliver_to_controller(id_, std::move(pkt));
+}
+
+void SwitchDevice::resubmit(Packet pkt, std::int32_t in_port) {
+  simulator().schedule_in(
+      params_.resubmit_interval,
+      [this, pkt = std::move(pkt), in_port]() mutable {
+        enqueue_for_service(std::move(pkt), in_port);
+      });
+}
+
+std::optional<std::int32_t> SwitchDevice::lookup(FlowId flow) const {
+  auto it = rules_.find(flow);
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+sim::Duration SwitchDevice::sample_install_delay() {
+  sim::Duration d = params_.install_delay;
+  if (params_.straggler_mean_ms > 0.0) {
+    d += sim::exponential_ms(rng_, params_.straggler_mean_ms);
+  }
+  return d;
+}
+
+void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
+                                std::function<void()> on_active, bool quick) {
+  const sim::Duration delay =
+      quick ? params_.register_write_delay : sample_install_delay();
+  sim::Time done = now() + delay;
+  auto [it, inserted] = install_tail_.try_emplace(flow, done);
+  if (!inserted) {
+    done = std::max(done, it->second + 1);
+    it->second = done;
+  }
+  simulator().schedule_at(
+      done, [this, flow, port, on_active = std::move(on_active)]() {
+        rules_[flow] = port;
+        ++installs_completed_;
+        fabric_.trace().add({now(), sim::TraceKind::kRuleInstalled, id_, flow,
+                             port, 0, ""});
+        if (fabric_.hooks().on_rule_installed) {
+          fabric_.hooks().on_rule_installed(id_, flow, port);
+        }
+        if (on_active) on_active();
+      });
+}
+
+void SwitchDevice::set_rule_now(FlowId flow, std::int32_t port) {
+  rules_[flow] = port;
+  if (fabric_.hooks().on_rule_installed) {
+    fabric_.hooks().on_rule_installed(id_, flow, port);
+  }
+}
+
+void SwitchDevice::remove_rule(FlowId flow) { rules_.erase(flow); }
+
+}  // namespace p4u::p4rt

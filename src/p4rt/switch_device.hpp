@@ -1,0 +1,156 @@
+// SwitchDevice: one emulated P4 software switch.
+//
+// Models the BMv2 target the paper runs on:
+//   - a single packet-processing thread (FIFO + per-packet service time),
+//   - a forwarding table keyed by flow ID,
+//   - rule installs that take time (base install delay, plus the optional
+//     exp(100 ms) "straggler" delay of the paper's single-flow setup),
+//   - the P4 primitives pipelines use: forward, clone-to-port, resubmit,
+//     send-to-controller.
+//
+// The system-specific data-plane logic (P4Update / ez-Segway / Central)
+// plugs in as a Pipeline.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/flow.hpp"
+#include "p4rt/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace p4u::p4rt {
+
+class Fabric;
+class SwitchDevice;
+
+struct SwitchParams {
+  /// Per-packet pipeline service time (single BMv2 worker thread).
+  sim::Duration service_time = sim::microseconds(200);
+  /// Base latency of a forwarding-table write becoming active. BMv2 table
+  /// programming goes through a Thrift RPC and costs ~10 ms — consistent
+  /// with the paper's absolute update times (hundreds of ms for paths of a
+  /// handful of switches).
+  sim::Duration install_delay = sim::milliseconds(10);
+  /// Recirculation delay of a resubmitted packet (P4Update's data-plane
+  /// "waiting" mechanism, §8).
+  sim::Duration resubmit_interval = sim::milliseconds(1);
+  /// Mean of the extra exponential per-install straggler delay in ms;
+  /// 0 disables it (§9.1 single-flow setup uses 100).
+  double straggler_mean_ms = 0.0;
+  /// Latency of a pure register write (version/distance bookkeeping when
+  /// the forwarding port itself does not change). Register writes are
+  /// cheap on BMv2 compared to table programming, and the §9.1 straggler
+  /// delay explicitly models "updating rules".
+  sim::Duration register_write_delay = sim::microseconds(100);
+};
+
+/// System-specific packet logic. One Pipeline instance per switch.
+class Pipeline {
+ public:
+  virtual ~Pipeline() = default;
+
+  /// Handles one non-data packet after it leaves the service queue.
+  virtual void handle(SwitchDevice& sw, const Packet& pkt,
+                      std::int32_t in_port) = 0;
+
+  /// Observes (and may rewrite — 2-phase-commit tag stamping, §11) data
+  /// packets before default forwarding.
+  virtual void on_data_packet(SwitchDevice& sw, DataHeader& data,
+                              std::int32_t in_port) {
+    (void)sw;
+    (void)data;
+    (void)in_port;
+  }
+};
+
+class SwitchDevice {
+ public:
+  /// Port value meaning "deliver locally": the egress rule of a flow.
+  static constexpr std::int32_t kLocalPort = -2;
+
+  SwitchDevice(Fabric& fabric, NodeId id, SwitchParams params, sim::Rng rng);
+  SwitchDevice(const SwitchDevice&) = delete;
+  SwitchDevice& operator=(const SwitchDevice&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const SwitchParams& params() const { return params_; }
+
+  void set_pipeline(Pipeline* p) { pipeline_ = p; }
+
+  /// Entry point used by the Fabric: packet arrived on `in_port`.
+  /// Enqueues into the single-threaded service FIFO.
+  void receive(Packet pkt, std::int32_t in_port);
+
+  // --- P4 action primitives (used by pipelines) ---
+
+  /// Emits the packet on `out_port` (link latency applies downstream).
+  void forward(Packet pkt, std::int32_t out_port);
+
+  /// BMv2 `clone`: emits a copy on `out_port`. Identical cost to forward;
+  /// kept distinct for trace readability.
+  void clone_to_port(Packet pkt, std::int32_t out_port);
+
+  /// Sends to the controller over the control channel.
+  void send_to_controller(Packet pkt);
+
+  /// Recirculates the packet: it re-enters this switch's queue after
+  /// `resubmit_interval` and pays service time again.
+  void resubmit(Packet pkt, std::int32_t in_port);
+
+  // --- Forwarding state (the egress_port register of Table 1) ---
+
+  /// Current egress port for the flow, or nullopt (no rule = blackhole).
+  [[nodiscard]] std::optional<std::int32_t> lookup(FlowId flow) const;
+
+  /// Installs a rule after install_delay (+ straggler). `on_active` runs
+  /// once the rule is in effect; pipelines chain UNM forwarding on it.
+  /// With `quick` set the write costs only register_write_delay (no
+  /// straggler) — used when the forwarding port does not actually change.
+  /// Either way, writes retire in per-flow issue order.
+  void install_rule(FlowId flow, std::int32_t port,
+                    std::function<void()> on_active = {}, bool quick = false);
+
+  /// Writes a rule instantly (initial configuration bring-up, not timed).
+  void set_rule_now(FlowId flow, std::int32_t port);
+
+  void remove_rule(FlowId flow);
+
+  [[nodiscard]] const std::map<FlowId, std::int32_t>& rules() const {
+    return rules_;
+  }
+
+  /// Count of timed installs completed (tests assert on install volume).
+  [[nodiscard]] std::uint64_t installs_completed() const {
+    return installs_completed_;
+  }
+
+  // --- Environment access for pipelines ---
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] sim::Time now() const;
+  [[nodiscard]] sim::Simulator& simulator();
+
+ private:
+  void enqueue_for_service(Packet pkt, std::int32_t in_port);
+  void process(Packet pkt, std::int32_t in_port);
+  void forward_data(DataHeader data, std::int32_t in_port);
+  [[nodiscard]] sim::Duration sample_install_delay();
+
+  Fabric& fabric_;
+  NodeId id_;
+  SwitchParams params_;
+  sim::Rng rng_;
+  Pipeline* pipeline_ = nullptr;
+  std::map<FlowId, std::int32_t> rules_;
+  // Per-flow tail of scheduled install completions: register writes retire
+  // in issue order, so a straggling older install can never overwrite a
+  // faster newer one (fast-forward safety).
+  std::map<FlowId, sim::Time> install_tail_;
+  sim::Time busy_until_ = 0;
+  std::uint64_t installs_completed_ = 0;
+};
+
+}  // namespace p4u::p4rt

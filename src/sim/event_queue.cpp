@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace p4u::sim {
+
+void Simulator::schedule_in(Duration delay, Handler fn) {
+  if (delay < 0) delay = 0;
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Time at, Handler fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::pop_and_run(Time until) {
+  if (queue_.empty()) return false;
+  const Event& top = queue_.top();
+  if (top.at > until) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Time at = top.at;
+  Handler fn = std::move(const_cast<Event&>(top).fn);
+  queue_.pop();
+  now_ = at;
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run(Time until) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && pop_and_run(until)) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_steps(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (n < max_events && !stopped_ && pop_and_run(kTimeInfinity)) ++n;
+  return n;
+}
+
+}  // namespace p4u::sim

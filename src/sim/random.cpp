@@ -1,0 +1,97 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace p4u::sim {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed all 256 bits from splitmix64, per the xoshiro authors' guidance.
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the all-zero state (astronomically unlikely, but cheap to exclude).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t n) {
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo) {
+  for (int i = 0; i < 1024; ++i) {
+    double x = normal(mean, stddev);
+    if (x >= lo) return x;
+  }
+  return lo;  // pathological parameters; pin to the floor
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+Duration exponential_ms(Rng& rng, double mean_ms) {
+  return milliseconds_f(rng.exponential(mean_ms));
+}
+
+Duration truncated_normal_ms(Rng& rng, double mean_ms, double stddev_ms,
+                             double lo_ms) {
+  return milliseconds_f(rng.truncated_normal(mean_ms, stddev_ms, lo_ms));
+}
+
+}  // namespace p4u::sim

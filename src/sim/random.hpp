@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// The paper samples node-straggler delays from exp(100 ms) (NumPy) and
+// fat-tree control latencies from a measured normal distribution. We need
+// the same distributions, but bit-reproducible across platforms, so we ship
+// our own xoshiro256++ engine and derive every per-run stream from a master
+// seed via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace p4u::sim {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponential with the given mean (NOT rate), e.g. exp(100 ms).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+  /// Normal truncated below at `lo` (resample; `lo` must be likely enough).
+  double truncated_normal(double mean, double stddev, double lo);
+
+  /// Forks an independent stream; children of distinct forks never collide.
+  Rng fork();
+
+  /// Shuffles a vector in place (Fisher–Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Exponential duration with the given mean in milliseconds.
+Duration exponential_ms(Rng& rng, double mean_ms);
+
+/// Truncated-normal duration (milliseconds), floored at `lo_ms`.
+Duration truncated_normal_ms(Rng& rng, double mean_ms, double stddev_ms,
+                             double lo_ms);
+
+}  // namespace p4u::sim

@@ -1,0 +1,84 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace p4u::sim {
+
+void Samples::add_all(const std::vector<double>& xs) {
+  xs_.insert(xs_.end(), xs.begin(), xs.end());
+}
+
+double Samples::min() const {
+  if (xs_.empty()) throw std::logic_error("Samples::min on empty set");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  if (xs_.empty()) throw std::logic_error("Samples::max on empty set");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) throw std::logic_error("Samples::mean on empty set");
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("Samples::percentile on empty set");
+  std::vector<double> s = sorted();
+  if (s.size() == 1) return s.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double idx = clamped / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Samples::ci_halfwidth(double z) const {
+  if (xs_.size() < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(xs_.size()));
+}
+
+std::vector<double> Samples::sorted() const {
+  std::vector<double> s = xs_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(const Samples& s) {
+  std::vector<CdfPoint> cdf;
+  const std::vector<double> sorted = s.sorted();
+  cdf.reserve(sorted.size());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+std::string summary_line(const Samples& s) {
+  std::ostringstream os;
+  if (s.empty()) return "n=0";
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "mean=" << s.mean() << " p50=" << s.percentile(50)
+     << " p95=" << s.percentile(95) << " min=" << s.min()
+     << " max=" << s.max() << " n=" << s.count();
+  return os.str();
+}
+
+}  // namespace p4u::sim

@@ -1,0 +1,54 @@
+// Descriptive statistics used by the experiment harness: means, percentiles,
+// empirical CDFs, and 99% confidence intervals (Fig. 8 reports mean ratios
+// of 30 runs with a 99% CI; Fig. 4/7 report empirical CDFs of 30 runs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p4u::sim {
+
+/// Accumulates samples and answers summary queries. Samples are stored, so
+/// percentile queries are exact (experiment scale is tens to thousands).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  // sample stddev (n-1)
+
+  /// Exact percentile via linear interpolation; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Half-width of the normal-approximation CI at the given z (2.576 = 99%).
+  [[nodiscard]] double ci_halfwidth(double z = 2.576) const;
+
+  /// Sorted copy of the samples (the empirical CDF support).
+  [[nodiscard]] std::vector<double> sorted() const;
+
+  [[nodiscard]] const std::vector<double>& raw() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// One point of an empirical CDF: P[X <= value] = cumulative.
+struct CdfPoint {
+  double value;
+  double cumulative;
+};
+
+/// Empirical CDF of the samples (steps at each sorted sample).
+std::vector<CdfPoint> empirical_cdf(const Samples& s);
+
+/// Renders "mean=… p50=… p95=… n=…" for logs and bench output.
+std::string summary_line(const Samples& s);
+
+}  // namespace p4u::sim

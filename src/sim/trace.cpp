@@ -1,0 +1,59 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace p4u::sim {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kRuleInstalled: return "rule-installed";
+    case TraceKind::kVerifyAccepted: return "verify-accepted";
+    case TraceKind::kVerifyRejected: return "verify-rejected";
+    case TraceKind::kVerifyDeferred: return "verify-deferred";
+    case TraceKind::kMessageSent: return "message-sent";
+    case TraceKind::kMessageDropped: return "message-dropped";
+    case TraceKind::kControllerAlarm: return "controller-alarm";
+    case TraceKind::kUpdateCompleted: return "update-completed";
+    case TraceKind::kCongestionDefer: return "congestion-defer";
+    case TraceKind::kPriorityRaised: return "priority-raised";
+    case TraceKind::kLoopDetected: return "loop-detected";
+    case TraceKind::kBlackholeDetected: return "blackhole-detected";
+    case TraceKind::kCapacityViolated: return "capacity-violated";
+    case TraceKind::kPacketDelivered: return "packet-delivered";
+    case TraceKind::kPacketExpired: return "packet-expired";
+    case TraceKind::kRuleCleaned: return "rule-cleaned";
+    case TraceKind::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+std::size_t Trace::count(TraceKind k) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == k) ++n;
+  }
+  return n;
+}
+
+const TraceEntry* Trace::first(TraceKind k) const {
+  for (const auto& e : entries_) {
+    if (e.kind == k) return &e;
+  }
+  return nullptr;
+}
+
+std::string Trace::dump() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const auto& e : entries_) {
+    os << "t=" << to_ms(e.at) << "ms node=" << e.node << " "
+       << to_string(e.kind) << " flow=" << e.flow << " a=" << e.a
+       << " b=" << e.b;
+    if (!e.note.empty()) os << " | " << e.note;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace p4u::sim

@@ -1,0 +1,78 @@
+// Structured event tracing.
+//
+// Every consequential action in a run (rule install, message drop, verifier
+// reject, controller alarm) is appended to a Trace. Tests assert on traces;
+// benches summarize them. Tracing is in-memory and cheap; it can be disabled
+// per-run for large sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace p4u::sim {
+
+enum class TraceKind : std::uint8_t {
+  kRuleInstalled,     // switch applied a new forwarding rule
+  kVerifyAccepted,    // local verification accepted an update
+  kVerifyRejected,    // local verification rejected an inconsistent update
+  kVerifyDeferred,    // verification waiting (UIM not yet present / capacity)
+  kMessageSent,       // data-plane control message (UNM/UIM/...) sent
+  kMessageDropped,    // fabric or verifier dropped a message
+  kControllerAlarm,   // switch informed controller of an inconsistency
+  kUpdateCompleted,   // flow converged to a version (UFM received)
+  kCongestionDefer,   // update deferred due to insufficient link capacity
+  kPriorityRaised,    // data-plane scheduler raised a flow's priority
+  kLoopDetected,      // invariant monitor found a forwarding loop
+  kBlackholeDetected, // invariant monitor found a blackhole
+  kCapacityViolated,  // invariant monitor found a link over capacity
+  kPacketDelivered,   // data packet reached its egress
+  kPacketExpired,     // data packet dropped on TTL = 0
+  kRuleCleaned,       // stale rule removed by a cleanup packet (§11)
+  kInfo,              // free-form annotation
+};
+
+const char* to_string(TraceKind k);
+
+struct TraceEntry {
+  Time at = 0;
+  TraceKind kind = TraceKind::kInfo;
+  std::int32_t node = -1;     // switch id, or -1 for controller/fabric
+  std::uint64_t flow = 0;     // flow id, or 0 if not flow-scoped
+  std::int64_t a = 0, b = 0;  // kind-specific operands (version, distance...)
+  std::string note;
+};
+
+/// Append-only in-memory trace shared by one simulation run.
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add(TraceEntry e) {
+    if (enabled_) entries_.push_back(std::move(e));
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Number of entries of the given kind.
+  [[nodiscard]] std::size_t count(TraceKind k) const;
+
+  /// First entry of the given kind, or nullptr.
+  [[nodiscard]] const TraceEntry* first(TraceKind k) const;
+
+  /// Renders entries as one line each ("t=12.3ms node=4 verify-rejected …").
+  [[nodiscard]] std::string dump() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<TraceEntry> entries_;
+  bool enabled_ = true;
+};
+
+}  // namespace p4u::sim

@@ -1,0 +1,119 @@
+// Central (Dionysus-style) baseline end-to-end.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+
+namespace p4u::baseline {
+namespace {
+
+using harness::SystemKind;
+using harness::TestBed;
+using harness::TestBedParams;
+
+net::Flow flow_over(const net::Path& p, double size = 1.0) {
+  net::Flow f;
+  f.ingress = p.front();
+  f.egress = p.back();
+  f.id = net::flow_id_of(f.ingress, f.egress);
+  f.size = size;
+  return f;
+}
+
+TEST(CentralTest, CompletesFig1UpdateWithoutViolations) {
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.system = SystemKind::kCentral;
+  TestBed bed(topo.graph, params);
+  const net::Flow f = flow_over(topo.old_path);
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  for (std::size_t i = 0; i + 1 < topo.new_path.size(); ++i) {
+    EXPECT_EQ(bed.fabric().sw(topo.new_path[i]).lookup(f.id),
+              std::optional<std::int32_t>(topo.graph.port_of(
+                  topo.new_path[i], topo.new_path[i + 1])));
+  }
+}
+
+TEST(CentralTest, DependenciesCostMultipleRounds) {
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.system = SystemKind::kCentral;
+  TestBed bed(topo.graph, params);
+  const net::Flow f = flow_over(topo.old_path);
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+  bed.run();
+  EXPECT_GE(bed.central().rounds_issued(), 3u);
+}
+
+TEST(CentralTest, SlowerThanP4UpdateOnSameScenario) {
+  // The architectural claim of the paper in one assertion. Under the §9.1
+  // single-flow setup (exp(100 ms) straggler installs), Central pays a
+  // max-of-round barrier plus a controller round trip per dependency level
+  // while P4Update pipelines installs in the data plane.
+  net::NamedTopology topo = net::fig1_topology();
+  auto mean_over_seeds = [&](SystemKind kind) {
+    sim::Duration total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      TestBedParams params;
+      params.system = kind;
+      params.seed = seed;
+      params.switch_params.straggler_mean_ms = 100.0;
+      TestBed bed(topo.graph, params);
+      const net::Flow f = flow_over(topo.old_path);
+      bed.deploy_flow(f, topo.old_path);
+      bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+      bed.run();
+      auto d = bed.flow_db().duration(f.id, 2);
+      EXPECT_TRUE(d.has_value()) << to_string(kind);
+      total += d.value_or(0);
+    }
+    return total;
+  };
+  EXPECT_GT(mean_over_seeds(SystemKind::kCentral),
+            mean_over_seeds(SystemKind::kP4Update));
+}
+
+TEST(CentralTest, TrivialUpdateCompletesWithoutCommands) {
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.system = SystemKind::kCentral;
+  TestBed bed(topo.graph, params);
+  const net::Flow f = flow_over(topo.old_path);
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.old_path);
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  EXPECT_EQ(*bed.flow_db().duration(f.id, 2), 0);
+  EXPECT_EQ(bed.central().rounds_issued(), 0u);
+}
+
+TEST(CentralTest, CongestionModeSequencesCapacityMoves) {
+  net::NamedTopology topo = net::fig4_topology();
+  net::set_uniform_capacity(topo.graph, 1.0);
+  TestBedParams params;
+  params.system = SystemKind::kCentral;
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  TestBed bed(topo.graph, params);
+  net::Flow f1;
+  f1.ingress = 0; f1.egress = 5; f1.id = 201; f1.size = 1.0;
+  net::Flow f2;
+  f2.ingress = 0; f2.egress = 5; f2.id = 202; f2.size = 1.0;
+  bed.deploy_flow(f1, {0, 1, 4, 5});
+  bed.deploy_flow(f2, {0, 2, 5});
+  bed.schedule_batch_at(sim::milliseconds(10),
+                        {{f1.id, {0, 5}}, {f2.id, {0, 1, 4, 5}}});
+  bed.run();
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+  EXPECT_TRUE(bed.flow_db().duration(f1.id, 2).has_value());
+  EXPECT_TRUE(bed.flow_db().duration(f2.id, 2).has_value());
+}
+
+}  // namespace
+}  // namespace p4u::baseline

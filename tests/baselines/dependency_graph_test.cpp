@@ -1,0 +1,111 @@
+#include "baselines/dependency_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+
+namespace p4u::baseline {
+namespace {
+
+TEST(EzPrioritiesTest, IndependentMovesAreLowPriority) {
+  const net::NamedTopology t = net::fig1_topology();
+  // Two moves that touch disjoint links and free what nobody needs.
+  std::vector<FlowMove> moves{
+      {1, {0, 4}, {0, 1}, 1.0},
+      {2, {4, 5}, {4, 3}, 1.0},
+  };
+  const auto prios = compute_ez_priorities(t.graph, moves);
+  EXPECT_EQ(prios.at(1), EzPriority::kLow);
+  EXPECT_EQ(prios.at(2), EzPriority::kLow);
+}
+
+TEST(EzPrioritiesTest, SwapDeadlockDetectedAsCycle) {
+  const net::NamedTopology t = net::fig1_topology();
+  // Classic 15-puzzle swap: flow 1 moves onto flow 2's old link and vice
+  // versa — a circular capacity dependency.
+  std::vector<FlowMove> moves{
+      {1, {0, 4}, {0, 1}, 1.0},  // needs 0->1, frees 0->4
+      {2, {0, 1}, {0, 4}, 1.0},  // needs 0->4, frees 0->1
+  };
+  const auto prios = compute_ez_priorities(t.graph, moves);
+  EXPECT_EQ(prios.at(1), EzPriority::kInCycle);
+  EXPECT_EQ(prios.at(2), EzPriority::kInCycle);
+}
+
+TEST(EzPrioritiesTest, FeederClassifiedBetweenLowAndCycle) {
+  const net::NamedTopology t = net::fig1_topology();
+  std::vector<FlowMove> moves{
+      {1, {0, 4}, {0, 1}, 1.0},   // cycle member
+      {2, {0, 1}, {0, 4}, 1.0},   // cycle member
+      {3, {2, 3}, {2, 1, 0}, 1.0},  // needs 1->0? no: consumes 2->1 and 1->0
+  };
+  // Flow 3 consumes link (2->1),(1->0); nothing links it into the cycle, so
+  // it must not be InCycle. Whether it feeds depends on shared links.
+  const auto prios = compute_ez_priorities(t.graph, moves);
+  EXPECT_NE(prios.at(3), EzPriority::kInCycle);
+}
+
+TEST(EzPrioritiesTest, EmptyInputYieldsEmptyMap) {
+  const net::NamedTopology t = net::fig1_topology();
+  EXPECT_TRUE(compute_ez_priorities(t.graph, {}).empty());
+}
+
+TEST(CentralSafetyTest, ForwardMoveIsImmediatelySafe) {
+  // old 0-1-2, new 0-2 (0 jumps ahead): no loop possible.
+  EXPECT_TRUE(central_safe_to_update({0, 1, 2}, {0, 2}, 0, {}, {}));
+}
+
+TEST(CentralSafetyTest, BackwardMoveUnsafeUntilDownstreamUpdates) {
+  // old 0-1-2-3, new 0-2-1-3. Node 2 switching to 1 while 1 still points
+  // to 2 creates the loop 2 -> 1 -> 2.
+  EXPECT_FALSE(central_safe_to_update({0, 1, 2, 3}, {0, 2, 1, 3}, 2, {}, {}));
+  // Once node 1 (the downstream dependency) updated to 3, it is safe.
+  EXPECT_TRUE(central_safe_to_update({0, 1, 2, 3}, {0, 2, 1, 3}, 2, {1}, {}));
+}
+
+TEST(CentralSafetyTest, BlackholePreventedForFreshNodes) {
+  // new node 9 (not on the old path) has no rule yet: 0 cannot point to it.
+  EXPECT_FALSE(central_safe_to_update({0, 1, 2}, {0, 9, 2}, 0, {}, {}));
+  EXPECT_TRUE(central_safe_to_update({0, 1, 2}, {0, 9, 2}, 0, {9}, {}));
+  // And 9 itself is safe any time (its next hop 2 has an old rule... 2 is
+  // the egress).
+  EXPECT_TRUE(central_safe_to_update({0, 1, 2}, {0, 9, 2}, 9, {}, {}));
+}
+
+TEST(CentralSafetyTest, ConcurrentCandidatesTreatedPessimistically) {
+  // Nodes 1 and 2 both candidates in old 0-1-2-3 / new 0-2-1-3: node 2's
+  // safety must consider that candidate 1 may still be on its old rule.
+  EXPECT_FALSE(
+      central_safe_to_update({0, 1, 2, 3}, {0, 2, 1, 3}, 2, {}, {1}));
+}
+
+TEST(CentralNextRoundTest, Fig1FirstRoundIsForwardNodes) {
+  const net::Path old_p{0, 4, 2, 7};
+  const net::Path new_p{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto round = central_next_round(old_p, new_p, {});
+  // v6, v5 are fresh chains toward the egress: v6 safe (7 = egress), v5
+  // needs v6 (not yet updated) -> unsafe. The round must be nonempty and
+  // never contain an unsafe node like v2 (backward gateway).
+  EXPECT_FALSE(round.empty());
+  for (net::NodeId n : round) {
+    EXPECT_NE(n, 2);
+  }
+}
+
+TEST(CentralNextRoundTest, RoundsEventuallyCoverEverything) {
+  const net::Path old_p{0, 4, 2, 7};
+  const net::Path new_p{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<net::NodeId> updated;
+  int rounds = 0;
+  while (updated.size() < 7 && rounds < 20) {
+    const auto round = central_next_round(old_p, new_p, updated);
+    ASSERT_FALSE(round.empty()) << "stuck after " << rounds << " rounds";
+    updated.insert(updated.end(), round.begin(), round.end());
+    ++rounds;
+  }
+  EXPECT_EQ(updated.size(), 7u);
+  EXPECT_GE(rounds, 2);  // the backward dependency forces multiple rounds
+}
+
+}  // namespace
+}  // namespace p4u::baseline

@@ -1,0 +1,93 @@
+#include "control/dest_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::control {
+namespace {
+
+TEST(SpanningTreeTest, CoversMembersAndIntermediates) {
+  const net::Graph g = net::b4_topology();
+  const DestTree t = spanning_tree_toward(g, 5, {8, 10, 4});
+  EXPECT_TRUE(valid_tree(g, t));
+  EXPECT_TRUE(t.contains(8));
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(4));
+  EXPECT_TRUE(t.contains(5));  // root
+  // Every member's parent chain ends at the root.
+  for (net::NodeId m : {8, 10, 4}) {
+    net::NodeId cur = m;
+    int hops = 0;
+    while (cur != 5 && hops < 100) {
+      cur = t.parent[static_cast<std::size_t>(cur)];
+      ++hops;
+    }
+    EXPECT_EQ(cur, 5);
+  }
+}
+
+TEST(DestTreeTest, ValidTreeRejectsCycles) {
+  const net::NamedTopology topo = net::fig1_topology();
+  DestTree t;
+  t.root = 7;
+  t.parent.assign(topo.graph.node_count(), net::kNoNode);
+  t.parent[0] = 4;
+  t.parent[4] = 2;
+  t.parent[2] = 7;
+  EXPECT_TRUE(valid_tree(topo.graph, t));
+  t.parent[2] = 4;  // 4 <-> 2 cycle... wait, 4's parent is 2: 2 -> 4 -> 2
+  EXPECT_FALSE(valid_tree(topo.graph, t));
+}
+
+TEST(DestTreeTest, ValidTreeRejectsNonAdjacentParent) {
+  const net::NamedTopology topo = net::fig1_topology();
+  DestTree t;
+  t.root = 7;
+  t.parent.assign(topo.graph.node_count(), net::kNoNode);
+  t.parent[0] = 7;  // no 0-7 link in Fig. 1
+  EXPECT_FALSE(valid_tree(topo.graph, t));
+}
+
+TEST(LabelTreeTest, DepthsAndPortsAreConsistent) {
+  const net::NamedTopology topo = net::fig1_topology();
+  DestTree t;
+  t.root = 7;
+  t.parent.assign(topo.graph.node_count(), net::kNoNode);
+  t.parent[2] = 7;
+  t.parent[4] = 2;
+  t.parent[1] = 2;
+  t.parent[0] = 4;
+  const auto labels = label_tree(topo.graph, t);
+  ASSERT_EQ(labels.size(), 5u);  // root + 4 members
+  EXPECT_EQ(labels.front().node, 7);
+  EXPECT_EQ(labels.front().depth, 0);
+  EXPECT_EQ(labels.front().parent_port, p4rt::SwitchDevice::kLocalPort);
+  EXPECT_EQ(labels.front().child_ports.size(), 1u);  // only child: 2
+  for (const auto& l : labels) {
+    if (l.node == 2) {
+      EXPECT_EQ(l.depth, 1);
+      EXPECT_EQ(l.child_ports.size(), 2u);  // children 4 and 1
+      EXPECT_FALSE(l.is_leaf);
+    }
+    if (l.node == 0 || l.node == 1) {
+      EXPECT_TRUE(l.is_leaf);
+    }
+    if (l.node == 0) {
+      EXPECT_EQ(l.depth, 3);
+    }
+  }
+}
+
+TEST(LabelTreeTest, MalformedTreeThrows) {
+  const net::NamedTopology topo = net::fig1_topology();
+  DestTree t;
+  t.root = net::kNoNode;
+  t.parent.assign(topo.graph.node_count(), net::kNoNode);
+  EXPECT_THROW(label_tree(topo.graph, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4u::control

@@ -1,0 +1,76 @@
+#include "control/flow_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::control {
+namespace {
+
+TEST(FlowDbTest, IssueCompleteLifecycle) {
+  FlowDb db;
+  db.on_issued(7, 2, sim::milliseconds(10));
+  EXPECT_FALSE(db.all_completed());
+  db.on_completed(7, 2, sim::milliseconds(110));
+  EXPECT_TRUE(db.all_completed());
+  ASSERT_TRUE(db.duration(7, 2).has_value());
+  EXPECT_EQ(*db.duration(7, 2), sim::milliseconds(100));
+  EXPECT_EQ(db.last_completion(), sim::milliseconds(110));
+}
+
+TEST(FlowDbTest, AlarmMarksFailed) {
+  FlowDb db;
+  db.on_issued(7, 2, 0);
+  db.on_alarm(7, 2);
+  db.on_alarm(7, 2);
+  const UpdateRecord* r = db.record(7, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->state, UpdateState::kFailed);
+  EXPECT_EQ(r->alarms, 2u);
+  EXPECT_EQ(db.total_alarms(), 2u);
+  EXPECT_FALSE(db.duration(7, 2).has_value());
+}
+
+TEST(FlowDbTest, LaterIssueSupersedesInProgress) {
+  FlowDb db;
+  db.on_issued(7, 2, 0);
+  db.on_issued(7, 3, sim::milliseconds(5));
+  EXPECT_EQ(db.record(7, 2)->state, UpdateState::kSuperseded);
+  EXPECT_EQ(db.record(7, 3)->state, UpdateState::kInProgress);
+  // A superseded update never blocks all_completed.
+  db.on_completed(7, 3, sim::milliseconds(10));
+  EXPECT_TRUE(db.all_completed());
+}
+
+TEST(FlowDbTest, UnknownFlowQueriesAreSafe) {
+  FlowDb db;
+  EXPECT_TRUE(db.history(1).empty());
+  EXPECT_EQ(db.record(1, 1), nullptr);
+  EXPECT_FALSE(db.duration(1, 1).has_value());
+  db.on_completed(1, 1, 5);  // no-op, no crash
+  db.on_alarm(1, 1);
+  EXPECT_EQ(db.total_alarms(), 0u);
+  EXPECT_EQ(db.last_completion(), 0);
+}
+
+TEST(FlowDbTest, CompletionAfterAlarmStillRecordsTime) {
+  // An alarm from one switch does not prevent eventual convergence.
+  FlowDb db;
+  db.on_issued(9, 4, 0);
+  db.on_alarm(9, 4);
+  db.on_completed(9, 4, sim::milliseconds(50));
+  EXPECT_EQ(db.record(9, 4)->state, UpdateState::kCompleted);
+  EXPECT_TRUE(db.duration(9, 4).has_value());
+}
+
+TEST(FlowDbTest, MultipleFlowsTrackedIndependently) {
+  FlowDb db;
+  db.on_issued(1, 2, 0);
+  db.on_issued(2, 2, 0);
+  db.on_completed(1, 2, sim::milliseconds(30));
+  EXPECT_FALSE(db.all_completed());
+  db.on_completed(2, 2, sim::milliseconds(60));
+  EXPECT_TRUE(db.all_completed());
+  EXPECT_EQ(db.last_completion(), sim::milliseconds(60));
+}
+
+}  // namespace
+}  // namespace p4u::control

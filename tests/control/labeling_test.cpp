@@ -1,0 +1,52 @@
+#include "control/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::control {
+namespace {
+
+TEST(LabelingTest, DistancesDecreaseTowardEgress) {
+  const net::NamedTopology t = net::fig1_topology();
+  const auto labels = label_path(t.graph, t.new_path);
+  ASSERT_EQ(labels.size(), 8u);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i].node, t.new_path[i]);
+    EXPECT_EQ(labels[i].new_distance,
+              static_cast<p4rt::Distance>(7 - i));
+  }
+}
+
+TEST(LabelingTest, EndpointFlagsAndPorts) {
+  const net::NamedTopology t = net::fig1_topology();
+  const auto labels = label_path(t.graph, t.new_path);
+  EXPECT_TRUE(labels.front().is_flow_ingress);
+  EXPECT_FALSE(labels.front().is_flow_egress);
+  EXPECT_TRUE(labels.back().is_flow_egress);
+  EXPECT_EQ(labels.back().egress_port_updated,
+            p4rt::SwitchDevice::kLocalPort);
+  EXPECT_EQ(labels.front().child_port, -1);
+  // Interior node v1: egress port toward v2, child port toward v0.
+  EXPECT_EQ(labels[1].egress_port_updated, t.graph.port_of(1, 2));
+  EXPECT_EQ(labels[1].child_port, t.graph.port_of(1, 0));
+}
+
+TEST(LabelingTest, RejectsMalformedPaths) {
+  const net::NamedTopology t = net::fig1_topology();
+  EXPECT_THROW(label_path(t.graph, {0}), std::invalid_argument);
+  EXPECT_THROW(label_path(t.graph, {0, 5}), std::invalid_argument);  // no link
+  EXPECT_THROW(label_path(t.graph, {0, 1, 0}), std::invalid_argument);
+}
+
+TEST(LabelingTest, DistanceOnPath) {
+  const net::Path p{4, 2, 9, 7};
+  EXPECT_EQ(distance_on_path(p, 4), 3);
+  EXPECT_EQ(distance_on_path(p, 9), 1);
+  EXPECT_EQ(distance_on_path(p, 7), 0);
+  EXPECT_EQ(distance_on_path(p, 55), p4rt::kNoDistance);
+}
+
+}  // namespace
+}  // namespace p4u::control

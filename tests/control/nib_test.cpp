@@ -1,0 +1,69 @@
+#include "control/nib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+
+namespace p4u::control {
+namespace {
+
+net::Flow make_flow(net::NodeId src, net::NodeId dst, double size) {
+  net::Flow f;
+  f.id = net::flow_id_of(src, dst);
+  f.ingress = src;
+  f.egress = dst;
+  f.size = size;
+  return f;
+}
+
+TEST(NibTest, RecordAndQueryFlow) {
+  const net::NamedTopology t = net::fig1_topology();
+  Nib nib(t.graph);
+  const net::Flow f = make_flow(0, 7, 2.0);
+  nib.record_flow(f, t.old_path);
+  ASSERT_TRUE(nib.knows(f.id));
+  EXPECT_EQ(nib.view(f.id).believed_path, t.old_path);
+  EXPECT_EQ(nib.view(f.id).version, 1);
+  EXPECT_FALSE(nib.knows(12345));
+}
+
+TEST(NibTest, DuplicateFlowThrows) {
+  const net::NamedTopology t = net::fig1_topology();
+  Nib nib(t.graph);
+  const net::Flow f = make_flow(0, 7, 1.0);
+  nib.record_flow(f, t.old_path);
+  EXPECT_THROW(nib.record_flow(f, t.old_path), std::invalid_argument);
+}
+
+TEST(NibTest, VersionsIncrementMonotonically) {
+  const net::NamedTopology t = net::fig1_topology();
+  Nib nib(t.graph);
+  const net::Flow f = make_flow(0, 7, 1.0);
+  nib.record_flow(f, t.old_path);
+  EXPECT_EQ(nib.next_version(f.id), 2);
+  EXPECT_EQ(nib.next_version(f.id), 3);
+  EXPECT_EQ(nib.view(f.id).version, 3);
+}
+
+TEST(NibTest, BelievedPathCanDivergeFromReality) {
+  // The verification experiments rely on the NIB being wrong on purpose.
+  const net::NamedTopology t = net::fig1_topology();
+  Nib nib(t.graph);
+  const net::Flow f = make_flow(0, 7, 1.0);
+  nib.record_flow(f, t.old_path);
+  nib.believe_path(f.id, t.new_path);
+  EXPECT_EQ(nib.view(f.id).believed_path, t.new_path);
+}
+
+TEST(NibTest, BelievedResidualSubtractsFlowSizes) {
+  net::NamedTopology t = net::fig1_topology();
+  net::set_uniform_capacity(t.graph, 10.0);
+  Nib nib(t.graph);
+  nib.record_flow(make_flow(0, 7, 4.0), t.old_path);  // uses 0->4 directed
+  EXPECT_DOUBLE_EQ(nib.believed_residual(0, 4), 6.0);
+  EXPECT_DOUBLE_EQ(nib.believed_residual(4, 0), 10.0);  // reverse unused
+  EXPECT_THROW((void)nib.believed_residual(0, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4u::control

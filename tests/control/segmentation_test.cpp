@@ -1,0 +1,90 @@
+#include "control/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::control {
+namespace {
+
+// The paper's running example (Fig. 1): old (v0,v4,v2,v7), new (v0..v7).
+const net::Path kOld{0, 4, 2, 7};
+const net::Path kNew{0, 1, 2, 3, 4, 5, 6, 7};
+
+TEST(SegmentationTest, Fig1GatewaysMatchPaper) {
+  const Segmentation s = segment_paths(kOld, kNew);
+  // G = {v0, v2, v4, v7} in new-path order (§3.2).
+  EXPECT_EQ(s.gateways, (std::vector<net::NodeId>{0, 2, 4, 7}));
+}
+
+TEST(SegmentationTest, Fig1SegmentsAndClasses) {
+  const Segmentation s = segment_paths(kOld, kNew);
+  ASSERT_EQ(s.segments.size(), 3u);
+  EXPECT_EQ(s.segments[0].nodes, (std::vector<net::NodeId>{0, 1, 2}));
+  EXPECT_TRUE(s.segments[0].forward);   // D_o: 1 < 3
+  EXPECT_EQ(s.segments[1].nodes, (std::vector<net::NodeId>{2, 3, 4}));
+  EXPECT_FALSE(s.segments[1].forward);  // D_o: 2 > 1 -> backward
+  EXPECT_EQ(s.segments[2].nodes, (std::vector<net::NodeId>{4, 5, 6, 7}));
+  EXPECT_TRUE(s.segments[2].forward);   // D_o: 0 < 2
+  EXPECT_FALSE(s.all_forward());
+}
+
+TEST(SegmentationTest, Fig1EveryRuleChanges) {
+  const Segmentation s = segment_paths(kOld, kNew);
+  EXPECT_EQ(s.changed_rules, 7u);  // all non-egress nodes move
+}
+
+TEST(SegmentationTest, IdenticalPathsProduceTrivialSegments) {
+  const net::Path p{0, 1, 2, 3};
+  const Segmentation s = segment_paths(p, p);
+  EXPECT_EQ(s.gateways.size(), 4u);
+  EXPECT_EQ(s.changed_rules, 0u);
+  EXPECT_TRUE(s.all_forward());  // no distance ever increases
+}
+
+TEST(SegmentationTest, SimpleForwardDetour) {
+  // old 0-1-2, new 0-3-2 (disjoint detour): one forward segment.
+  const Segmentation s = segment_paths({0, 1, 2}, {0, 3, 2});
+  EXPECT_EQ(s.gateways, (std::vector<net::NodeId>{0, 2}));
+  ASSERT_EQ(s.segments.size(), 1u);
+  EXPECT_TRUE(s.segments[0].forward);
+  EXPECT_EQ(s.changed_rules, 2u);  // v0 -> v3, v3 new rule
+}
+
+TEST(SegmentationTest, ReversedMiddleIsBackward) {
+  // old 0-1-2-3, new 0-2-1-3: middle traversal reversed.
+  const Segmentation s = segment_paths({0, 1, 2, 3}, {0, 2, 1, 3});
+  ASSERT_EQ(s.gateways.size(), 4u);
+  EXPECT_EQ(s.gateways, (std::vector<net::NodeId>{0, 2, 1, 3}));
+  ASSERT_EQ(s.segments.size(), 3u);
+  EXPECT_TRUE(s.segments[0].forward);   // 0 -> 2: D_o 1 < 3
+  EXPECT_FALSE(s.segments[1].forward);  // 2 -> 1: D_o 2 > 1
+  EXPECT_TRUE(s.segments[2].forward);   // 1 -> 3: D_o 0 < 2
+}
+
+TEST(SegmentationTest, EndpointMismatchThrows) {
+  EXPECT_THROW(segment_paths({0, 1}, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(segment_paths({0, 1}, {2, 1}), std::invalid_argument);
+  EXPECT_THROW(segment_paths({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(ChooseUpdateTypeTest, SlForSmallForwardUpdates) {
+  const Segmentation s = segment_paths({0, 1, 2}, {0, 3, 2});
+  EXPECT_EQ(choose_update_type(s), p4rt::UpdateType::kSingleLayer);
+}
+
+TEST(ChooseUpdateTypeTest, DlWhenBackwardSegmentExists) {
+  const Segmentation s = segment_paths(kOld, kNew);
+  EXPECT_EQ(choose_update_type(s), p4rt::UpdateType::kDualLayer);
+}
+
+TEST(ChooseUpdateTypeTest, DlWhenTooManyNodesEvenIfForward) {
+  // Long forward detour: old 0-9, new 0-1-...-8-9 (8 rule changes > 5).
+  net::Path old_p{0, 9};
+  net::Path new_p{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Segmentation s = segment_paths(old_p, new_p);
+  EXPECT_TRUE(s.all_forward());
+  EXPECT_EQ(choose_update_type(s, 5), p4rt::UpdateType::kDualLayer);
+  EXPECT_EQ(choose_update_type(s, 20), p4rt::UpdateType::kSingleLayer);
+}
+
+}  // namespace
+}  // namespace p4u::control

@@ -1,0 +1,147 @@
+// §7.4 data-plane scheduler: capacity accounting and dynamic priorities.
+#include "core/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::core {
+namespace {
+
+struct Env {
+  Env() {
+    net::set_uniform_capacity(topo.graph, 10.0);
+    fabric = std::make_unique<p4rt::Fabric>(sim, topo.graph,
+                                            p4rt::SwitchParams{}, 1);
+  }
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig1_topology();
+  std::unique_ptr<p4rt::Fabric> fabric;
+  Uib uib;
+};
+
+TEST(CongestionSchedulerTest, PortCapacityReadsLink) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  EXPECT_DOUBLE_EQ(sched.port_capacity(0), 10.0);
+}
+
+TEST(CongestionSchedulerTest, ReservedSumsRuledFlows) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  env.uib.set_flow_size(1, 4.0);
+  env.uib.set_flow_size(2, 3.0);
+  sw.set_rule_now(1, 0);
+  sw.set_rule_now(2, 0);
+  EXPECT_DOUBLE_EQ(sched.reserved(sw, env.uib, 0, /*except=*/0), 7.0);
+  EXPECT_DOUBLE_EQ(sched.reserved(sw, env.uib, 0, /*except=*/1), 3.0);
+  EXPECT_DOUBLE_EQ(sched.reserved(sw, env.uib, 1, 0), 0.0);
+}
+
+TEST(CongestionSchedulerTest, MoveAllowedWithinCapacity) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  const auto d = sched.try_move(sw, env.uib, 1, 0, 5.0);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_TRUE(d.capacity_ok);
+}
+
+TEST(CongestionSchedulerTest, MoveBlockedWhenOverCapacity) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  env.uib.set_flow_size(2, 8.0);
+  sw.set_rule_now(2, 0);
+  const auto d = sched.try_move(sw, env.uib, 1, 0, 5.0);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_FALSE(d.capacity_ok);
+}
+
+TEST(CongestionSchedulerTest, MoveToCurrentPortAlwaysAllowed) {
+  // §A.2: the flow already holds capacity on its own link.
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  env.uib.set_flow_size(1, 20.0);  // bigger than capacity
+  sw.set_rule_now(1, 0);
+  EXPECT_TRUE(sched.try_move(sw, env.uib, 1, 0, 20.0).allowed);
+}
+
+TEST(CongestionSchedulerTest, LocalPortNeedsNoCapacity) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  EXPECT_TRUE(sched
+                  .try_move(sw, env.uib, 1, p4rt::SwitchDevice::kLocalPort,
+                            1000.0)
+                  .allowed);
+}
+
+TEST(CongestionSchedulerTest, DeferredMoveRaisesPrioritiesOfLeavers) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  // Flow 2 occupies port 0 and wants to leave to port 1.
+  env.uib.set_flow_size(2, 8.0);
+  sw.set_rule_now(2, 0);
+  UimHeader pending;
+  pending.flow = 2;
+  pending.version = 2;
+  pending.egress_port_updated = 1;
+  env.uib.offer_uim(pending);
+  // Flow 1 cannot enter port 0 -> flow 2 becomes high priority (§7.4).
+  const int raised = sched.on_deferred(sw, env.uib, 1, 0);
+  EXPECT_EQ(raised, 1);
+  EXPECT_TRUE(env.uib.high_priority(2));
+  EXPECT_EQ(sched.waiting().size(), 1u);
+}
+
+TEST(CongestionSchedulerTest, FlowsStayingOnLinkAreNotRaised) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  env.uib.set_flow_size(2, 8.0);
+  sw.set_rule_now(2, 0);
+  UimHeader pending;
+  pending.flow = 2;
+  pending.version = 2;
+  pending.egress_port_updated = 0;  // stays on the contended link
+  env.uib.offer_uim(pending);
+  EXPECT_EQ(sched.on_deferred(sw, env.uib, 1, 0), 0);
+  EXPECT_FALSE(env.uib.high_priority(2));
+}
+
+TEST(CongestionSchedulerTest, LowPriorityYieldsToHighPriorityWaiter) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  // Flow 2 waits for port 1 with high priority.
+  env.uib.set_high_priority(2, true);
+  env.uib.set_flow_size(2, 2.0);
+  sched.on_deferred(sw, env.uib, 2, 1);
+  // Low-priority flow 1 has capacity on port 1 but must yield.
+  const auto d = sched.try_move(sw, env.uib, 1, 1, 1.0);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_TRUE(d.capacity_ok);
+  EXPECT_TRUE(d.blocked_by_priority);
+  // A high-priority flow is not blocked by other waiters.
+  env.uib.set_high_priority(1, true);
+  EXPECT_TRUE(sched.try_move(sw, env.uib, 1, 1, 1.0).allowed);
+}
+
+TEST(CongestionSchedulerTest, ResolveClearsWaitingAndPriority) {
+  Env env;
+  CongestionScheduler sched(env.topo.graph, 0);
+  auto& sw = env.fabric->sw(0);
+  env.uib.set_high_priority(1, true);
+  sched.on_deferred(sw, env.uib, 1, 0);
+  sched.on_resolved(env.uib, 1);
+  EXPECT_TRUE(sched.waiting().empty());
+  EXPECT_FALSE(env.uib.high_priority(1));
+}
+
+}  // namespace
+}  // namespace p4u::core

@@ -1,0 +1,217 @@
+// Algorithm 2 (Appendix A.1) branch-by-branch, tracing the Fig. 1 example.
+#include "core/dl_verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::core {
+namespace {
+
+UimHeader dl_uim(Version v, Distance dn) {
+  UimHeader u;
+  u.flow = 1;
+  u.version = v;
+  u.new_distance = dn;
+  u.type = UpdateType::kDualLayer;
+  return u;
+}
+
+p4rt::UnmHeader dl_unm(Version vn, Distance dn, Version vo, Distance do_,
+                       std::int64_t counter = 0) {
+  p4rt::UnmHeader n;
+  n.flow = 1;
+  n.new_version = vn;
+  n.new_distance = dn;
+  n.old_version = vo;
+  n.old_distance = do_;
+  n.counter = counter;
+  n.type = UpdateType::kDualLayer;
+  return n;
+}
+
+AppliedState state(Version vn, Distance dn, Version vo = 0,
+                   Distance do_ = p4rt::kNoDistance, bool dual = false,
+                   std::int64_t counter = 0) {
+  AppliedState s;
+  s.new_version = vn;
+  s.new_distance = dn;
+  s.old_version = vo;
+  s.old_distance = do_;
+  s.ever_dual = dual;
+  s.last_type = dual ? UpdateType::kDualLayer : UpdateType::kSingleLayer;
+  s.counter = counter;
+  return s;
+}
+
+TEST(DlVerifyTest, SingleLayerMessagesFallBackToAlgorithmOne) {
+  auto unm = dl_unm(2, 1, 1, 1);
+  unm.type = UpdateType::kSingleLayer;
+  const auto uim = dl_uim(2, 2);
+  EXPECT_EQ(dl_verify(state(1, 2), &uim, unm), DlOutcome::kSwitchToSl);
+
+  auto sl_uim = dl_uim(2, 2);
+  sl_uim.type = UpdateType::kSingleLayer;
+  EXPECT_EQ(dl_verify(state(1, 2), &sl_uim, dl_unm(2, 1, 1, 1)),
+            DlOutcome::kSwitchToSl);
+}
+
+TEST(DlVerifyTest, WaitsWithoutUim) {
+  EXPECT_EQ(dl_verify(state(1, 2), nullptr, dl_unm(2, 1, 1, 1)),
+            DlOutcome::kWaitForUim);
+  const auto uim = dl_uim(2, 2);
+  EXPECT_EQ(dl_verify(state(1, 2), &uim, dl_unm(3, 1, 2, 1)),
+            DlOutcome::kWaitForUim);
+}
+
+TEST(DlVerifyTest, OutdatedDropped) {
+  const auto uim = dl_uim(3, 2);
+  EXPECT_EQ(dl_verify(state(1, 2), &uim, dl_unm(2, 1, 1, 1)),
+            DlOutcome::kDropOutdated);
+}
+
+TEST(DlVerifyTest, InnerNodeUpdatesAndInherits) {
+  // Fig. 1: v1 (no rules, V_n = 0) receives v2's intra-segment proposal
+  // (V_n = 2, D_n = 5, V_o = 1, D_o = 1); UIM at v1 has D_n = 6.
+  const auto uim = dl_uim(2, 6);
+  const auto unm = dl_unm(2, 5, 1, 1, 0);
+  const AppliedState st = state(0, p4rt::kNoDistance);
+  ASSERT_EQ(dl_verify(st, &uim, unm), DlOutcome::kInnerUpdate);
+  const AppliedState next = dl_apply(DlOutcome::kInnerUpdate, st, uim, unm);
+  EXPECT_EQ(next.new_version, 2);
+  EXPECT_EQ(next.new_distance, 6);
+  EXPECT_EQ(next.old_version, 1);
+  EXPECT_EQ(next.old_distance, 1);  // inherited segment id
+  EXPECT_EQ(next.counter, 1);
+  EXPECT_TRUE(next.ever_dual);
+}
+
+TEST(DlVerifyTest, InnerNodeDistanceMismatchAlarms) {
+  const auto uim = dl_uim(2, 6);
+  EXPECT_EQ(dl_verify(state(0, p4rt::kNoDistance), &uim, dl_unm(2, 4, 1, 1)),
+            DlOutcome::kDropDistance);
+}
+
+TEST(DlVerifyTest, BackwardGatewayRejectsLargerSegmentId) {
+  // Fig. 1: v2 (D_n = 1 at version 1) rejects v4's proposal with segment id
+  // D_o = 2 ("v2 will reject (2 > 1)").
+  const auto uim = dl_uim(2, 5);
+  const auto unm = dl_unm(2, 4, 1, 2);
+  EXPECT_EQ(dl_verify(state(1, 1), &uim, unm), DlOutcome::kRejectGateway);
+}
+
+TEST(DlVerifyTest, GatewayAcceptsSmallerSegmentId) {
+  // Fig. 1: v4 (D_n = 2) accepts the egress chain with D_o = 0 ("v4
+  // accepts v7 (0 < 2)").
+  const auto uim = dl_uim(2, 3);
+  const auto unm = dl_unm(2, 2, 1, 0, 2);
+  const AppliedState st = state(1, 2);
+  ASSERT_EQ(dl_verify(st, &uim, unm), DlOutcome::kGatewayUpdate);
+  const AppliedState next = dl_apply(DlOutcome::kGatewayUpdate, st, uim, unm);
+  EXPECT_EQ(next.new_version, 2);
+  EXPECT_EQ(next.new_distance, 3);
+  EXPECT_EQ(next.old_version, 1);
+  EXPECT_EQ(next.old_distance, 0);  // inherited
+  EXPECT_EQ(next.counter, 3);
+}
+
+TEST(DlVerifyTest, GatewayWithDualHistoryRejectsByDefault) {
+  // §11: a dual-layer update must follow a single-layer one.
+  const auto uim = dl_uim(3, 3);
+  const auto unm = dl_unm(3, 2, 2, 0);
+  EXPECT_EQ(dl_verify(state(2, 2, 1, 1, /*dual=*/true), &uim, unm),
+            DlOutcome::kRejectGateway);
+}
+
+TEST(DlVerifyTest, AppendixCExtensionAllowsConsecutiveDual) {
+  const auto uim = dl_uim(3, 3);
+  const auto unm = dl_unm(3, 2, 2, 0);
+  // Kept old distance 1 > proposal 0: accepted under the extension.
+  EXPECT_EQ(dl_verify(state(2, 2, 1, 1, true), &uim, unm,
+                      /*allow_consecutive_dual=*/true),
+            DlOutcome::kGatewayUpdate);
+  // Equal old distance: the counter breaks symmetry.
+  EXPECT_EQ(dl_verify(state(2, 2, 1, 0, true, /*counter=*/5), &uim, unm,
+                      true),
+            DlOutcome::kGatewayUpdate);
+  EXPECT_EQ(dl_verify(state(2, 2, 1, 0, true, /*counter=*/0),
+                      &uim, dl_unm(3, 2, 2, 0, /*counter=*/5), true),
+            DlOutcome::kRejectGateway);
+}
+
+TEST(DlVerifyTest, GatewayDistanceMismatchAlarms) {
+  const auto uim = dl_uim(2, 4);
+  EXPECT_EQ(dl_verify(state(1, 2), &uim, dl_unm(2, 2, 1, 0)),
+            DlOutcome::kDropDistance);
+}
+
+TEST(DlVerifyTest, UpdatedNodeInheritsSmallerOldDistance) {
+  // Fig. 1: v3 already at version 2 with D_o = 2 gets the chain with
+  // D_o = 0 and passes it on.
+  const auto uim = dl_uim(2, 4);
+  const auto unm = dl_unm(2, 3, 1, 0, 3);
+  const AppliedState st = state(2, 4, 1, 2, true, 1);
+  ASSERT_EQ(dl_verify(st, &uim, unm), DlOutcome::kInherit);
+  const AppliedState next = dl_apply(DlOutcome::kInherit, st, uim, unm);
+  EXPECT_EQ(next.old_distance, 0);
+  EXPECT_EQ(next.counter, 4);
+  EXPECT_EQ(next.new_distance, 4);  // rule unchanged
+}
+
+TEST(DlVerifyTest, InheritRequiresProgress) {
+  const auto uim = dl_uim(2, 4);
+  // Same old distance, not-larger counter: no progress -> ignore.
+  EXPECT_EQ(dl_verify(state(2, 4, 1, 0, true, 1), &uim,
+                      dl_unm(2, 3, 1, 0, 5)),
+            DlOutcome::kIgnore);
+  // Larger counter at the node than in the message: inherit (symmetry
+  // breaking, line 26).
+  EXPECT_EQ(dl_verify(state(2, 4, 1, 0, true, 9), &uim,
+                      dl_unm(2, 3, 1, 0, 5)),
+            DlOutcome::kInherit);
+}
+
+TEST(DlVerifyTest, ApplyThrowsOnNonAcceptingOutcome) {
+  const auto uim = dl_uim(2, 4);
+  const auto unm = dl_unm(2, 3, 1, 0);
+  EXPECT_THROW(dl_apply(DlOutcome::kIgnore, state(1, 1), uim, unm),
+               std::logic_error);
+}
+
+TEST(DlVerifyTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(to_string(DlOutcome::kInnerUpdate), "inner-update");
+  EXPECT_STREQ(to_string(DlOutcome::kGatewayUpdate), "gateway-update");
+  EXPECT_STREQ(to_string(DlOutcome::kInherit), "inherit");
+  EXPECT_STREQ(to_string(DlOutcome::kRejectGateway), "reject-gateway");
+}
+
+// Property sweep over version relationships: the accept branches only fire
+// in exactly the version configurations Alg. 2 lists.
+class DlVersionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DlVersionProperty, BranchSelectionFollowsVersionArithmetic) {
+  const auto [node_v, unm_v, unm_vo] = GetParam();
+  const auto uim = dl_uim(unm_v, 5);  // UIM matches the UNM version
+  const auto unm = dl_unm(unm_v, 4, unm_vo, 0);
+  const AppliedState st = state(node_v, 9, node_v > 0 ? node_v - 1 : 0, 9);
+  const DlOutcome out = dl_verify(st, &uim, unm);
+  if (node_v + 1 < unm_v) {
+    EXPECT_EQ(out, DlOutcome::kInnerUpdate);
+  } else if (node_v + 1 == unm_v && unm_v == unm_vo + 1) {
+    EXPECT_EQ(out, DlOutcome::kGatewayUpdate);  // 9 > 0 always
+  } else if (node_v == unm_v && st.old_version == unm_vo) {
+    // st.new_distance = 9 != uim.new_distance = 5 -> distance alarm.
+    EXPECT_EQ(out, DlOutcome::kDropDistance);
+  } else {
+    EXPECT_TRUE(out == DlOutcome::kIgnore || out == DlOutcome::kRejectGateway)
+        << to_string(out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VersionGrid, DlVersionProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(3, 4),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace p4u::core

@@ -1,0 +1,177 @@
+// Controller-side preparation: labels, segmentation flags, strategy choice,
+// and the UIM send order.
+#include "core/p4update_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "p4rt/fabric.hpp"
+#include "p4rt/switch_device.hpp"
+
+namespace p4u::core {
+namespace {
+
+struct Env {
+  Env() {
+    topo = net::fig1_topology();
+    fabric = std::make_unique<p4rt::Fabric>(sim, topo.graph,
+                                            p4rt::SwitchParams{}, 1);
+    channel = std::make_unique<p4rt::ControlChannel>(
+        sim, *fabric,
+        std::vector<sim::Duration>(topo.graph.node_count(),
+                                   sim::milliseconds(5)),
+        sim::milliseconds(1));
+  }
+
+  P4UpdateController make(P4UpdateControllerParams params = {}) {
+    return P4UpdateController(*channel, control::Nib(topo.graph), params);
+  }
+
+  net::Flow flow() const {
+    net::Flow f;
+    f.ingress = 0;
+    f.egress = 7;
+    f.id = net::flow_id_of(0, 7);
+    f.size = 2.0;
+    return f;
+  }
+
+  sim::Simulator sim;
+  net::NamedTopology topo;
+  std::unique_ptr<p4rt::Fabric> fabric;
+  std::unique_ptr<p4rt::ControlChannel> channel;
+};
+
+TEST(P4UpdateControllerTest, PrepareChoosesDualLayerForFig1) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const auto prep = ctrl.prepare(env.flow().id, env.topo.new_path, 2);
+  EXPECT_EQ(prep.type, p4rt::UpdateType::kDualLayer);
+  EXPECT_EQ(prep.segmentation.segments.size(), 3u);
+  EXPECT_EQ(prep.uims.size(), 8u);
+}
+
+TEST(P4UpdateControllerTest, PrepareEmitsEgressFirst) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const auto prep = ctrl.prepare(env.flow().id, env.topo.new_path, 2);
+  EXPECT_EQ(prep.uims.front().target, 7);
+  EXPECT_TRUE(prep.uims.front().is_flow_egress);
+  EXPECT_EQ(prep.uims.back().target, 0);
+  EXPECT_EQ(prep.uims.back().child_port, -1);
+}
+
+TEST(P4UpdateControllerTest, UimFlagsMatchSegmentation) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const auto prep = ctrl.prepare(env.flow().id, env.topo.new_path, 2);
+  for (const auto& uim : prep.uims) {
+    const bool is_gateway =
+        uim.target == 0 || uim.target == 2 || uim.target == 4 ||
+        uim.target == 7;
+    EXPECT_EQ(uim.is_gateway, is_gateway) << "node " << uim.target;
+    // Segment egresses v2 and v4 emit intra-segment proposals; the flow
+    // egress v7 emits the first-layer chain instead.
+    EXPECT_EQ(uim.is_segment_egress, uim.target == 2 || uim.target == 4);
+    EXPECT_DOUBLE_EQ(uim.flow_size, 2.0);
+    EXPECT_EQ(uim.version, 2);
+  }
+}
+
+TEST(P4UpdateControllerTest, SimpleDetourUsesSingleLayer) {
+  Env env;
+  auto ctrl = env.make();
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 2;
+  f.id = net::flow_id_of(0, 2);
+  f.size = 1.0;
+  ctrl.register_flow(f, {0, 4, 2});
+  const auto prep = ctrl.prepare(f.id, {0, 1, 2}, 2);
+  EXPECT_EQ(prep.type, p4rt::UpdateType::kSingleLayer);
+  for (const auto& uim : prep.uims) EXPECT_FALSE(uim.is_segment_egress);
+}
+
+TEST(P4UpdateControllerTest, ForceTypeOverridesStrategy) {
+  Env env;
+  P4UpdateControllerParams params;
+  params.force_type = p4rt::UpdateType::kSingleLayer;
+  auto ctrl = env.make(params);
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  EXPECT_EQ(ctrl.prepare(env.flow().id, env.topo.new_path, 2).type,
+            p4rt::UpdateType::kSingleLayer);
+}
+
+TEST(P4UpdateControllerTest, DlAfterDlDowngradesToSlByDefault) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  ctrl.schedule_update(env.flow().id, env.topo.new_path);  // DL issued
+  // No UFM arrived yet, so the believed path is still the old one and the
+  // same move stays DL-worthy — but the §11 restriction forces SL after a
+  // dual-layer issue.
+  const auto prep2 = ctrl.prepare(env.flow().id, env.topo.new_path, 3);
+  EXPECT_EQ(prep2.type, p4rt::UpdateType::kSingleLayer);
+}
+
+TEST(P4UpdateControllerTest, AppendixCAllowsConsecutiveDl) {
+  Env env;
+  P4UpdateControllerParams params;
+  params.allow_consecutive_dual = true;
+  auto ctrl = env.make(params);
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  const auto prep2 = ctrl.prepare(env.flow().id, env.topo.new_path, 3);
+  EXPECT_EQ(prep2.type, p4rt::UpdateType::kDualLayer);
+}
+
+TEST(P4UpdateControllerTest, ScheduleRecordsIssueInFlowDb) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const p4rt::Version v =
+      ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  EXPECT_EQ(v, 2);
+  const auto* rec = ctrl.flow_db().record(env.flow().id, 2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, control::UpdateState::kInProgress);
+}
+
+TEST(P4UpdateControllerTest, AlarmUfmInvokesCallbackAndFlowDb) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  int alarms = 0;
+  ctrl.on_alarm = [&](net::FlowId, p4rt::Version, p4rt::AlarmCode) {
+    ++alarms;
+  };
+  p4rt::UfmHeader ufm;
+  ufm.flow = env.flow().id;
+  ufm.version = 2;
+  ufm.success = false;
+  ufm.alarm = p4rt::AlarmCode::kDistanceMismatch;
+  ctrl.handle_from_switch(3, p4rt::Packet{ufm});
+  EXPECT_EQ(alarms, 1);
+  EXPECT_EQ(ctrl.flow_db().total_alarms(), 1u);
+}
+
+TEST(P4UpdateControllerTest, SuccessUfmUpdatesBelief) {
+  Env env;
+  auto ctrl = env.make();
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  p4rt::UfmHeader ufm;
+  ufm.flow = env.flow().id;
+  ufm.version = 2;
+  ufm.success = true;
+  ctrl.handle_from_switch(0, p4rt::Packet{ufm});
+  EXPECT_EQ(ctrl.nib().view(env.flow().id).believed_path, env.topo.new_path);
+  EXPECT_FALSE(ctrl.nib().view(env.flow().id).update_in_progress);
+}
+
+}  // namespace
+}  // namespace p4u::core

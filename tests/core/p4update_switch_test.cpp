@@ -1,0 +1,229 @@
+// P4UpdateSwitch pipeline behavior at the packet level (no controller; UIMs
+// and UNMs are injected directly).
+#include "core/p4update_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "p4rt/control_channel.hpp"
+
+namespace p4u::core {
+namespace {
+
+struct Env {
+  explicit Env(P4UpdateSwitchParams sp = {}) {
+    topo = net::fig1_topology();
+    fabric = std::make_unique<p4rt::Fabric>(sim, topo.graph,
+                                            p4rt::SwitchParams{}, 1);
+    for (std::size_t n = 0; n < topo.graph.node_count(); ++n) {
+      pipes.push_back(std::make_unique<P4UpdateSwitch>(
+          static_cast<net::NodeId>(n), topo.graph, sp));
+      fabric->sw(static_cast<net::NodeId>(n)).set_pipeline(pipes.back().get());
+    }
+  }
+
+  void bootstrap_old_path(net::FlowId f, double size = 1.0) {
+    const net::Path& p = topo.old_path;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const net::NodeId n = p[i];
+      const auto dist = static_cast<p4rt::Distance>(p.size() - 1 - i);
+      const std::int32_t port =
+          i + 1 == p.size() ? p4rt::SwitchDevice::kLocalPort
+                            : topo.graph.port_of(n, p[i + 1]);
+      pipes[static_cast<std::size_t>(n)]->bootstrap_flow(fabric->sw(n), f, 1,
+                                                         dist, port, size);
+    }
+  }
+
+  p4rt::UimHeader uim_for(net::FlowId f, const net::Path& path,
+                          std::size_t idx, p4rt::Version version,
+                          p4rt::UpdateType type) {
+    p4rt::UimHeader u;
+    u.flow = f;
+    u.target = path[idx];
+    u.version = version;
+    u.type = type;
+    u.new_distance = static_cast<p4rt::Distance>(path.size() - 1 - idx);
+    u.egress_port_updated =
+        idx + 1 == path.size()
+            ? p4rt::SwitchDevice::kLocalPort
+            : topo.graph.port_of(path[idx], path[idx + 1]);
+    u.child_port = idx == 0 ? -1 : topo.graph.port_of(path[idx], path[idx - 1]);
+    u.is_flow_egress = idx + 1 == path.size();
+    u.flow_size = 1.0;
+    return u;
+  }
+
+  sim::Simulator sim;
+  net::NamedTopology topo;
+  std::unique_ptr<p4rt::Fabric> fabric;
+  std::vector<std::unique_ptr<P4UpdateSwitch>> pipes;
+};
+
+TEST(P4UpdateSwitchTest, BootstrapWritesUibAndRule) {
+  Env env;
+  env.bootstrap_old_path(7, 2.5);
+  const AppliedState s = env.pipes[4]->uib().applied(7);
+  EXPECT_EQ(s.new_version, 1);
+  EXPECT_EQ(s.new_distance, 2);
+  EXPECT_DOUBLE_EQ(env.pipes[4]->uib().flow_size(7), 2.5);
+  EXPECT_TRUE(env.fabric->sw(4).lookup(7).has_value());
+  EXPECT_EQ(env.fabric->sw(7).lookup(7),
+            std::optional<std::int32_t>(p4rt::SwitchDevice::kLocalPort));
+}
+
+TEST(P4UpdateSwitchTest, EgressAppliesUimDirectlyAndEmitsUnm) {
+  Env env;
+  env.bootstrap_old_path(7);
+  auto uim = env.uim_for(7, env.topo.new_path, 7, 2,
+                         p4rt::UpdateType::kSingleLayer);
+  env.fabric->inject(7, p4rt::Packet{uim}, -1);
+  env.sim.run();
+  EXPECT_EQ(env.pipes[7]->uib().applied(7).new_version, 2);
+  EXPECT_GE(env.pipes[7]->unms_sent(), 1u);
+  // The UNM traveled to v6 which lacks a UIM: it parks (resubmissions) and
+  // eventually times out; either way v6 must not have updated.
+  EXPECT_EQ(env.pipes[6]->uib().applied(7).new_version, 0);
+  EXPECT_GT(env.pipes[6]->resubmissions(), 0u);
+}
+
+TEST(P4UpdateSwitchTest, MalformedEgressUimRejected) {
+  Env env;
+  env.bootstrap_old_path(7);
+  auto uim = env.uim_for(7, env.topo.new_path, 7, 2,
+                         p4rt::UpdateType::kSingleLayer);
+  uim.new_distance = 3;  // egress distance must be 0
+  env.fabric->inject(7, p4rt::Packet{uim}, -1);
+  env.sim.run();
+  EXPECT_EQ(env.pipes[7]->uib().applied(7).new_version, 1);
+  EXPECT_GE(env.pipes[7]->rejects(), 1u);
+  EXPECT_GE(env.fabric->trace().count(sim::TraceKind::kControllerAlarm), 1u);
+}
+
+TEST(P4UpdateSwitchTest, StaleUimAlarmsController) {
+  Env env;
+  env.bootstrap_old_path(7);
+  auto uim = env.uim_for(7, env.topo.old_path, 1, 1,
+                         p4rt::UpdateType::kSingleLayer);
+  uim.version = 0;  // older than the applied version 1
+  env.fabric->inject(4, p4rt::Packet{uim}, -1);
+  env.sim.run();
+  EXPECT_GE(env.pipes[4]->rejects(), 1u);
+}
+
+TEST(P4UpdateSwitchTest, FlowSizeChangeRejected) {
+  Env env;
+  env.bootstrap_old_path(7, 1.0);
+  auto uim = env.uim_for(7, env.topo.new_path, 4, 2,
+                         p4rt::UpdateType::kSingleLayer);
+  uim.flow_size = 99.0;  // flow sizes are immutable (§A.2)
+  env.fabric->inject(4, p4rt::Packet{uim}, -1);
+  env.sim.run();
+  EXPECT_EQ(env.pipes[4]->uib().pending_uim(7), nullptr);
+  EXPECT_GE(env.pipes[4]->rejects(), 1u);
+}
+
+TEST(P4UpdateSwitchTest, SlUnmChainUpdatesWholePath) {
+  // Full SL update over the new path: inject all UIMs; the egress one
+  // triggers the chain; every node converges to version 2.
+  Env env;
+  env.bootstrap_old_path(7);
+  const net::Path& p = env.topo.new_path;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    env.fabric->inject(
+        p[i],
+        p4rt::Packet{env.uim_for(7, p, i, 2, p4rt::UpdateType::kSingleLayer)},
+        -1);
+  }
+  env.sim.run();
+  for (net::NodeId n : p) {
+    EXPECT_EQ(env.pipes[static_cast<std::size_t>(n)]->uib().applied(7).new_version, 2)
+        << "node " << n;
+  }
+  // Rules now follow the new path.
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_EQ(env.fabric->sw(p[i]).lookup(7),
+              std::optional<std::int32_t>(env.topo.graph.port_of(p[i], p[i + 1])));
+  }
+}
+
+TEST(P4UpdateSwitchTest, CorruptedUnmDistanceAlarmsAndDoesNotUpdate) {
+  Env env;
+  env.bootstrap_old_path(7);
+  const net::Path& p = env.topo.new_path;
+  // v6 holds its UIM; a corrupted UNM (distance off by 2) arrives.
+  env.fabric->inject(
+      6, p4rt::Packet{env.uim_for(7, p, 6, 2, p4rt::UpdateType::kSingleLayer)},
+      -1);
+  p4rt::UnmHeader bad;
+  bad.flow = 7;
+  bad.new_version = 2;
+  bad.new_distance = 3;  // v6's D_n is 1, so 1 != 3 + 1
+  bad.type = p4rt::UpdateType::kSingleLayer;
+  env.fabric->inject(6, p4rt::Packet{bad},
+                     env.topo.graph.port_of(6, 7));
+  env.sim.run();
+  EXPECT_EQ(env.pipes[6]->uib().applied(7).new_version, 0);
+  EXPECT_GE(env.pipes[6]->rejects(), 1u);
+}
+
+TEST(P4UpdateSwitchTest, DlSegmentEgressEmitsIntraSegmentProposal) {
+  Env env;
+  env.bootstrap_old_path(7);
+  auto uim = env.uim_for(7, env.topo.new_path, 4, 2,
+                         p4rt::UpdateType::kDualLayer);
+  uim.is_segment_egress = true;
+  uim.is_gateway = true;
+  env.fabric->inject(4, p4rt::Packet{uim}, -1);
+  env.sim.run();
+  // v4 emitted an intra-segment UNM toward v3 (which then parks, lacking
+  // its UIM); v4 itself must not have updated.
+  EXPECT_GE(env.pipes[4]->unms_sent(), 1u);
+  EXPECT_EQ(env.pipes[4]->uib().applied(7).new_version, 1);
+  EXPECT_GT(env.pipes[3]->resubmissions(), 0u);
+}
+
+TEST(P4UpdateSwitchTest, ParkedUnmTimesOutWithAlarm) {
+  P4UpdateSwitchParams sp;
+  sp.wait_timeout = sim::milliseconds(20);
+  Env env(sp);
+  env.bootstrap_old_path(7);
+  p4rt::UnmHeader unm;
+  unm.flow = 7;
+  unm.new_version = 9;  // UIM will never arrive
+  unm.type = p4rt::UpdateType::kSingleLayer;
+  env.fabric->inject(6, p4rt::Packet{unm}, -1);
+  env.sim.run(sim::seconds(2));
+  EXPECT_TRUE(env.sim.idle()) << "parked UNM must stop recirculating";
+  EXPECT_GE(env.pipes[6]->rejects(), 1u);
+}
+
+class FrmRecorder final : public p4rt::ControllerApp {
+ public:
+  void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override {
+    if (pkt.is<p4rt::FrmHeader>()) frms.push_back(from);
+  }
+  std::vector<net::NodeId> frms;
+};
+
+TEST(P4UpdateSwitchTest, FrmGeneratedOncePerNewFlowAtIngress) {
+  Env env;
+  p4rt::ControlChannel channel(
+      env.sim, *env.fabric,
+      std::vector<sim::Duration>(env.topo.graph.node_count(),
+                                 sim::milliseconds(1)),
+      sim::milliseconds(1));
+  FrmRecorder app;
+  channel.set_app(&app);
+  // Unknown flow arrives host-side (in_port -1) twice at node 0.
+  env.fabric->inject(0, p4rt::Packet{p4rt::DataHeader{555, 0, 64}}, -1);
+  env.fabric->inject(0, p4rt::Packet{p4rt::DataHeader{555, 1, 64}}, -1);
+  // And once mid-network (in_port >= 0): no FRM from node 1.
+  env.fabric->inject(1, p4rt::Packet{p4rt::DataHeader{555, 2, 64}}, 0);
+  env.sim.run();
+  ASSERT_EQ(app.frms.size(), 1u);
+  EXPECT_EQ(app.frms[0], 0);
+}
+
+}  // namespace
+}  // namespace p4u::core

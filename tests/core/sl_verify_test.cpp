@@ -1,0 +1,111 @@
+// Algorithm 1 against the paper's Fig. 6 scenarios plus edge cases.
+#include "core/sl_verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::core {
+namespace {
+
+UimHeader make_uim(Version v, Distance dn) {
+  UimHeader u;
+  u.flow = 1;
+  u.version = v;
+  u.new_distance = dn;
+  return u;
+}
+
+p4rt::UnmHeader make_unm(Version vn, Distance dn) {
+  p4rt::UnmHeader n;
+  n.flow = 1;
+  n.new_version = vn;
+  n.new_distance = dn;
+  return n;
+}
+
+TEST(SlVerifyTest, Fig6aConsistentUpdateAccepts) {
+  // Node with D_n = 2 receiving UNM with D_n = 1, same version: VS = 1.
+  const UimHeader uim = make_uim(1, 2);
+  EXPECT_EQ(sl_verify(&uim, make_unm(1, 1)), SlOutcome::kAccept);
+}
+
+TEST(SlVerifyTest, Fig6bDistanceErrorRejected) {
+  // Identical distances can cause a forwarding loop (scenario (ii)).
+  const UimHeader uim = make_uim(1, 2);
+  EXPECT_EQ(sl_verify(&uim, make_unm(1, 2)), SlOutcome::kDropDistance);
+}
+
+TEST(SlVerifyTest, DistanceTooSmallAlsoRejected) {
+  const UimHeader uim = make_uim(1, 3);
+  EXPECT_EQ(sl_verify(&uim, make_unm(1, 1)), SlOutcome::kDropDistance);
+  EXPECT_EQ(sl_verify(&uim, make_unm(1, 3)), SlOutcome::kDropDistance);
+}
+
+TEST(SlVerifyTest, Fig6cVersionFallbackRejected) {
+  // Parent claims version 2 while this node's newest UIM is version... the
+  // node must never fall back to an older version (scenario (iii)).
+  const UimHeader uim = make_uim(2, 1);
+  EXPECT_EQ(sl_verify(&uim, make_unm(1, 0)), SlOutcome::kDropOutdated);
+}
+
+TEST(SlVerifyTest, FutureVersionWaitsForUim) {
+  const UimHeader uim = make_uim(1, 2);
+  EXPECT_EQ(sl_verify(&uim, make_unm(5, 1)), SlOutcome::kWaitForUim);
+}
+
+TEST(SlVerifyTest, MissingUimWaits) {
+  EXPECT_EQ(sl_verify(nullptr, make_unm(1, 1)), SlOutcome::kWaitForUim);
+}
+
+TEST(SlVerifyTest, FastForwardAcceptsNewestSkippingIntermediates) {
+  // Node holds UIM for version 7 (never applied 3..6); the UNM for 7 is
+  // accepted directly — the fast-forward behavior of §4.2.
+  const UimHeader uim = make_uim(7, 4);
+  EXPECT_EQ(sl_verify(&uim, make_unm(7, 3)), SlOutcome::kAccept);
+  // Stray notification from the superseded version 5 is dropped.
+  EXPECT_EQ(sl_verify(&uim, make_unm(5, 3)), SlOutcome::kDropOutdated);
+}
+
+TEST(SlVerifyTest, LocalityPureFunction) {
+  // Same inputs always produce the same outcome (no hidden state).
+  const UimHeader uim = make_uim(2, 5);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sl_verify(&uim, make_unm(2, 4)), SlOutcome::kAccept);
+  }
+}
+
+TEST(SlVerifyTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(to_string(SlOutcome::kAccept), "accept");
+  EXPECT_STREQ(to_string(SlOutcome::kWaitForUim), "wait-for-uim");
+  EXPECT_STREQ(to_string(SlOutcome::kDropDistance), "drop-distance");
+  EXPECT_STREQ(to_string(SlOutcome::kDropOutdated), "drop-outdated");
+}
+
+// Property sweep: for every (uim version, unm version, distance delta) the
+// outcome matches Alg. 1's case analysis exactly.
+class SlVerifyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SlVerifyProperty, MatchesAlgorithmOneCases) {
+  const auto [uim_v, unm_v, delta] = GetParam();
+  const UimHeader uim = make_uim(uim_v, 5);
+  const auto unm = make_unm(unm_v, 5 - delta);
+  const SlOutcome out = sl_verify(&uim, unm);
+  if (unm_v > uim_v) {
+    EXPECT_EQ(out, SlOutcome::kWaitForUim);
+  } else if (unm_v < uim_v) {
+    EXPECT_EQ(out, SlOutcome::kDropOutdated);
+  } else if (delta == 1) {
+    EXPECT_EQ(out, SlOutcome::kAccept);
+  } else {
+    EXPECT_EQ(out, SlOutcome::kDropDistance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, SlVerifyProperty,
+    ::testing::Combine(::testing::Values(1, 2, 5),
+                       ::testing::Values(1, 2, 5, 9),
+                       ::testing::Values(-1, 0, 1, 2, 4)));
+
+}  // namespace
+}  // namespace p4u::core

@@ -1,0 +1,61 @@
+#include "harness/cdf_render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::harness {
+namespace {
+
+sim::Samples samples_of(std::initializer_list<double> xs) {
+  sim::Samples s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+TEST(CdfRenderTest, TableHasHeaderAndRows) {
+  const sim::Samples a = samples_of({1, 2, 3});
+  const sim::Samples b = samples_of({4, 5, 6});
+  const std::string t =
+      render_cdf_table({{"sysA", &a}, {"sysB", &b}}, "ms");
+  EXPECT_NE(t.find("CDF"), std::string::npos);
+  EXPECT_NE(t.find("sysA"), std::string::npos);
+  EXPECT_NE(t.find("sysB"), std::string::npos);
+  // 3 data rows + header.
+  EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 4);
+}
+
+TEST(CdfRenderTest, TableHandlesEmptySeries) {
+  const sim::Samples a = samples_of({1, 2});
+  const sim::Samples empty;
+  const std::string t =
+      render_cdf_table({{"full", &a}, {"none", &empty}}, "ms");
+  EXPECT_NE(t.find("-"), std::string::npos);
+}
+
+TEST(CdfRenderTest, ComparisonReportsMeansAndDeltas) {
+  const sim::Samples fast = samples_of({100, 100, 100});
+  const sim::Samples slow = samples_of({200, 200, 200});
+  const std::string c =
+      render_comparison({{"fast", &fast}, {"slow", &slow}}, "ms");
+  EXPECT_NE(c.find("mean=100.0"), std::string::npos);
+  EXPECT_NE(c.find("mean=200.0"), std::string::npos);
+  EXPECT_NE(c.find("-50.0%"), std::string::npos);  // fast vs slow
+}
+
+TEST(CdfRenderTest, AsciiCdfPlotsAllSeries) {
+  const sim::Samples a = samples_of({1, 2, 3, 4, 5});
+  const sim::Samples b = samples_of({6, 7, 8, 9, 10});
+  const std::string p = render_ascii_cdf({{"a", &a}, {"b", &b}});
+  EXPECT_NE(p.find("[*] a"), std::string::npos);
+  EXPECT_NE(p.find("[o] b"), std::string::npos);
+  EXPECT_NE(p.find('*'), std::string::npos);
+  EXPECT_NE(p.find('o'), std::string::npos);
+}
+
+TEST(CdfRenderTest, AsciiCdfDegenerateRange) {
+  const sim::Samples a = samples_of({5, 5, 5});
+  EXPECT_NE(render_ascii_cdf({{"a", &a}}).find("not enough data"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,71 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/segmentation.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+TEST(LongDetourTest, B4PairTriggersSegmentation) {
+  const net::Graph g = net::b4_topology();
+  const DetourPaths p = long_detour_paths(g);
+  ASSERT_TRUE(net::valid_simple_path(g, p.old_path));
+  ASSERT_TRUE(net::valid_simple_path(g, p.new_path));
+  EXPECT_EQ(p.old_path.front(), p.new_path.front());
+  EXPECT_EQ(p.old_path.back(), p.new_path.back());
+  const auto seg = control::segment_paths(p.old_path, p.new_path);
+  EXPECT_FALSE(seg.all_forward()) << "must contain a backward segment";
+  EXPECT_GE(seg.segments.size(), 2u);
+}
+
+TEST(LongDetourTest, Internet2PairTriggersSegmentation) {
+  const net::Graph g = net::internet2_topology();
+  const DetourPaths p = long_detour_paths(g);
+  const auto seg = control::segment_paths(p.old_path, p.new_path);
+  EXPECT_FALSE(seg.all_forward());
+  EXPECT_GE(p.old_path.size() + p.new_path.size(), 10u) << "long detour";
+}
+
+TEST(LongDetourTest, Deterministic) {
+  const net::Graph g = net::b4_topology();
+  const DetourPaths a = long_detour_paths(g);
+  const DetourPaths b = long_detour_paths(g);
+  EXPECT_EQ(a.old_path, b.old_path);
+  EXPECT_EQ(a.new_path, b.new_path);
+}
+
+TEST(RunSingleFlowTest, ReportsConsistencyAndSamplesPerRun) {
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  const DetourPaths p = long_detour_paths(g);
+  SingleFlowConfig cfg;
+  cfg.old_path = p.old_path;
+  cfg.new_path = p.new_path;
+  cfg.runs = 3;
+  cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  const ExperimentResult r = run_single_flow(g, cfg);
+  EXPECT_EQ(r.update_times_ms.count(), 3u);
+  EXPECT_EQ(r.violations.loops, 0u);
+  EXPECT_EQ(r.violations.blackholes, 0u);
+}
+
+TEST(RunMultiFlowTest, SamplesAreLastFlowCompletions) {
+  net::Graph g = net::internet2_topology();
+  net::set_uniform_capacity(g, 100.0);
+  MultiFlowConfig cfg;
+  cfg.runs = 2;
+  cfg.bed.congestion_mode = true;
+  cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  const ExperimentResult r = run_multi_flow(g, cfg);
+  EXPECT_EQ(r.update_times_ms.count() + r.incomplete_runs, 2u);
+  if (!r.update_times_ms.empty()) {
+    EXPECT_GT(r.update_times_ms.min(), 0.0);
+  }
+  EXPECT_EQ(r.violations.capacity, 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

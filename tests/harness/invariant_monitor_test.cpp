@@ -1,0 +1,102 @@
+#include "harness/invariant_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+
+namespace p4u::harness {
+namespace {
+
+struct Env {
+  Env() {
+    net::set_uniform_capacity(topo.graph, 2.0);
+    fabric = std::make_unique<p4rt::Fabric>(sim, topo.graph,
+                                            p4rt::SwitchParams{}, 1);
+    monitor = std::make_unique<InvariantMonitor>(*fabric, true);
+  }
+  net::Flow flow(net::NodeId src, net::NodeId dst, double size,
+                 net::FlowId id) {
+    net::Flow f;
+    f.id = id;
+    f.ingress = src;
+    f.egress = dst;
+    f.size = size;
+    monitor->watch_flow(f);
+    return f;
+  }
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig1_topology();
+  std::unique_ptr<p4rt::Fabric> fabric;
+  std::unique_ptr<InvariantMonitor> monitor;
+};
+
+TEST(InvariantMonitorTest, DetectsLoop) {
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, env.topo.graph.port_of(2, 3));
+  env.fabric->sw(3).set_rule_now(1, env.topo.graph.port_of(3, 4));  // loop!
+  EXPECT_TRUE(env.monitor->has_loop(1));
+  env.monitor->check_flow(1);
+  EXPECT_GE(env.monitor->violations().loops, 1u);
+}
+
+TEST(InvariantMonitorTest, UnreachableStaleCycleStillCountsAsLoop) {
+  // The forwarding-graph definition (§5) forbids any cycle, reachable from
+  // the ingress or not.
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, p4rt::SwitchDevice::kLocalPort);
+  env.fabric->sw(5).set_rule_now(1, env.topo.graph.port_of(5, 6));
+  env.fabric->sw(6).set_rule_now(1, env.topo.graph.port_of(6, 5));
+  EXPECT_TRUE(env.monitor->has_loop(1));
+}
+
+TEST(InvariantMonitorTest, DetectsBlackholeFromIngressOnly) {
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  // Node 4 has no rule: reachable blackhole.
+  EXPECT_TRUE(env.monitor->has_blackhole(1));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, env.topo.graph.port_of(2, 7));
+  env.fabric->sw(7).set_rule_now(1, p4rt::SwitchDevice::kLocalPort);
+  EXPECT_FALSE(env.monitor->has_blackhole(1));
+  // A dormant ruleless node elsewhere is NOT a blackhole.
+  env.fabric->sw(5).remove_rule(1);
+  EXPECT_FALSE(env.monitor->has_blackhole(1));
+}
+
+TEST(InvariantMonitorTest, DetectsCapacityOverload) {
+  Env env;
+  env.flow(0, 2, 1.5, 1);
+  env.flow(4, 2, 1.5, 2);
+  // Both flows on directed link 4->2 (capacity 2.0 < 3.0).
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, p4rt::SwitchDevice::kLocalPort);
+  env.fabric->sw(4).set_rule_now(2, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(2, p4rt::SwitchDevice::kLocalPort);
+  const auto overloads = env.monitor->capacity_overloads();
+  ASSERT_EQ(overloads.size(), 1u);
+  EXPECT_NE(overloads[0].find("4->2"), std::string::npos);
+}
+
+TEST(InvariantMonitorTest, AttachChainsIntoRuleInstallHook) {
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.monitor->attach();
+  // Installing a rule that forms a loop triggers the check automatically.
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, env.topo.graph.port_of(2, 3));
+  env.fabric->sw(3).set_rule_now(1, env.topo.graph.port_of(3, 4));
+  EXPECT_GE(env.monitor->violations().loops, 1u);
+  EXPECT_FALSE(env.monitor->findings().empty());
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,126 @@
+// §7.4 / §A.2 end-to-end: the data-plane scheduler defers moves that lack
+// capacity, raises priorities dynamically, and never violates capacity.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+
+namespace p4u::harness {
+namespace {
+
+struct TwoFlowBed {
+  TwoFlowBed() {
+    topo = net::fig4_topology();
+    net::set_uniform_capacity(topo.graph, 1.0);
+    TestBedParams params;
+    params.system = SystemKind::kP4Update;
+    params.congestion_mode = true;
+    params.monitor_capacity = true;
+    bed = std::make_unique<TestBed>(topo.graph, params);
+    f1.ingress = 0; f1.egress = 5; f1.id = 301; f1.size = 1.0;
+    f2.ingress = 0; f2.egress = 5; f2.id = 302; f2.size = 1.0;
+    bed->deploy_flow(f1, {0, 1, 4, 5});
+    bed->deploy_flow(f2, {0, 2, 5});
+  }
+  net::NamedTopology topo;
+  std::unique_ptr<TestBed> bed;
+  net::Flow f1, f2;
+};
+
+TEST(CongestionIntegrationTest, ChainedMoveCompletesWithoutViolation) {
+  TwoFlowBed env;
+  // f1 vacates to the direct link; f2 takes f1's old links — it must wait
+  // for each hop's capacity to free up.
+  env.bed->schedule_batch_at(
+      sim::milliseconds(10),
+      {{env.f1.id, {0, 5}}, {env.f2.id, {0, 1, 4, 5}}});
+  env.bed->run();
+  EXPECT_TRUE(env.bed->flow_db().duration(env.f1.id, 2).has_value());
+  EXPECT_TRUE(env.bed->flow_db().duration(env.f2.id, 2).has_value());
+  EXPECT_EQ(env.bed->monitor().violations().capacity, 0u);
+  EXPECT_EQ(env.bed->monitor().violations().loops, 0u);
+  EXPECT_EQ(env.bed->monitor().violations().blackholes, 0u);
+}
+
+TEST(CongestionIntegrationTest, DeferralsAreObservable) {
+  TwoFlowBed env;
+  env.bed->schedule_batch_at(
+      sim::milliseconds(10),
+      {{env.f1.id, {0, 5}}, {env.f2.id, {0, 1, 4, 5}}});
+  env.bed->run();
+  // f2's moves were deferred at least once while f1 still held capacity.
+  EXPECT_GT(env.bed->trace().count(sim::TraceKind::kCongestionDefer), 0u);
+}
+
+TEST(CongestionIntegrationTest, PriorityRaisedForBlockingLeaver) {
+  // Reverse roles so the deferral happens at a node where the blocking
+  // flow also has a pending move away -> §7.4 priority raise fires.
+  net::NamedTopology topo = net::fig4_topology();
+  net::set_uniform_capacity(topo.graph, 1.0);
+  TestBedParams params;
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  TestBed bed(topo.graph, params);
+  net::Flow f1, f2;
+  f1.ingress = 0; f1.egress = 5; f1.id = 311; f1.size = 1.0;
+  f2.ingress = 0; f2.egress = 5; f2.id = 312; f2.size = 1.0;
+  bed.deploy_flow(f1, {0, 1, 4, 5});  // holds 0->1
+  bed.deploy_flow(f2, {0, 2, 5});     // holds 0->2
+  // f2 wants 0->1 (blocked by f1 at node 0); f1 wants to leave 0->1 for
+  // 0->5. Node 0 must raise f1's priority when f2's move defers.
+  bed.schedule_batch_at(sim::milliseconds(10),
+                        {{f2.id, {0, 1, 4, 5}}, {f1.id, {0, 5}}});
+  bed.run();
+  EXPECT_TRUE(bed.flow_db().duration(f1.id, 2).has_value());
+  EXPECT_TRUE(bed.flow_db().duration(f2.id, 2).has_value());
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+}
+
+TEST(CongestionIntegrationTest, InfeasibleSwapDefersForeverButStaysSafe) {
+  // A two-flow atomic swap over a degree-2 node has no consistent order:
+  // neither system may violate capacity; the updates time out instead.
+  net::NamedTopology topo = net::fig1_topology();
+  net::set_uniform_capacity(topo.graph, 1.0);
+  TestBedParams params;
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  TestBed bed(topo.graph, params);
+  net::Flow f1, f2;
+  f1.ingress = 0; f1.egress = 2; f1.id = 321; f1.size = 1.0;
+  f2.ingress = 0; f2.egress = 2; f2.id = 322; f2.size = 1.0;
+  bed.deploy_flow(f1, {0, 1, 2});
+  bed.deploy_flow(f2, {0, 4, 2});
+  bed.schedule_batch_at(sim::milliseconds(10),
+                        {{f1.id, {0, 4, 2}}, {f2.id, {0, 1, 2}}});
+  bed.run(sim::seconds(60));
+  EXPECT_TRUE(bed.simulator().idle()) << "deferral must stop at the timeout";
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+  // Rules unchanged at the contended node.
+  EXPECT_EQ(bed.fabric().sw(0).lookup(f1.id),
+            std::optional<std::int32_t>(topo.graph.port_of(0, 1)));
+}
+
+TEST(CongestionIntegrationTest, WithoutCongestionModeCapacityIsViolated) {
+  // Ablation sanity: disabling the scheduler produces the violation the
+  // monitor is designed to catch.
+  net::NamedTopology topo = net::fig1_topology();
+  net::set_uniform_capacity(topo.graph, 1.0);
+  TestBedParams params;
+  params.congestion_mode = false;
+  params.monitor_capacity = true;
+  TestBed bed(topo.graph, params);
+  net::Flow f1, f2;
+  f1.ingress = 0; f1.egress = 2; f1.id = 331; f1.size = 1.0;
+  f2.ingress = 4; f2.egress = 2; f2.id = 332; f2.size = 1.0;
+  bed.deploy_flow(f1, {0, 1, 2});
+  bed.deploy_flow(f2, {4, 2});
+  // f2 moves onto 1->2 (via 4->3->2? no: onto path 4,5,... keep simple:
+  // f2 reroutes over node 1's link to 2 which f1 already fills.
+  bed.schedule_update_at(sim::milliseconds(10), f2.id, {4, 3, 2});
+  bed.schedule_update_at(sim::milliseconds(12), f1.id, {0, 4, 3, 2});
+  bed.run();
+  EXPECT_GT(bed.monitor().violations().capacity, 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,147 @@
+// Coordination edge cases that could plausibly harbor bugs: flow-keyed
+// register independence, parked-state fast-forward, cleanup scoping, and
+// the 2-phase-commit / congestion interplay.
+#include <gtest/gtest.h>
+
+#include "core/two_phase.hpp"
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+
+namespace p4u::harness {
+namespace {
+
+TEST(CoordinationEdgeTest, ConcurrentFlowsShareNodesButNotState) {
+  // Two flows cross the same switches in opposite directions and update
+  // simultaneously; UIB registers are flow-indexed, so neither may see the
+  // other's versions or distances.
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  TestBed bed(topo.graph, params);
+  net::Flow a, b;
+  a.ingress = 0; a.egress = 7; a.id = 501; a.size = 1.0;
+  b.ingress = 7; b.egress = 0; b.id = 502; b.size = 1.0;
+  bed.deploy_flow(a, {0, 4, 2, 7});
+  bed.deploy_flow(b, {7, 2, 4, 0});
+  bed.schedule_update_at(sim::milliseconds(10), a.id, topo.new_path);
+  net::Path b_new{7, 6, 5, 4, 3, 2, 1, 0};
+  bed.schedule_update_at(sim::milliseconds(10), b.id, b_new);
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(a.id, 2).has_value());
+  ASSERT_TRUE(bed.flow_db().duration(b.id, 2).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+  // Shared node v4 holds independent per-flow state.
+  const auto sa = bed.p4update_switch(4).uib().applied(a.id);
+  const auto sb = bed.p4update_switch(4).uib().applied(b.id);
+  EXPECT_EQ(sa.new_version, 2);
+  EXPECT_EQ(sb.new_version, 2);
+  EXPECT_NE(sa.new_distance, sb.new_distance);  // 3 vs 4 hops to egress
+}
+
+TEST(CoordinationEdgeTest, FastForwardOutOfCongestionDeferral) {
+  // A DL update parks on missing capacity; a newer SL update arrives and
+  // must supersede the parked one (the parked UNM becomes outdated and is
+  // alarmed, not applied).
+  net::NamedTopology topo = net::fig4_topology();
+  net::set_uniform_capacity(topo.graph, 1.0);
+  TestBedParams params;
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  params.p4u_wait_timeout = sim::seconds(30);
+  TestBed bed(topo.graph, params);
+  net::Flow blocker, f;
+  blocker.ingress = 2; blocker.egress = 5; blocker.id = 601; blocker.size = 1.0;
+  f.ingress = 0; f.egress = 5; f.id = 602; f.size = 1.0;
+  bed.deploy_flow(blocker, {2, 5});        // occupies 2->5
+  bed.deploy_flow(f, {0, 1, 2, 3, 4, 5});
+  // v2 wants 2->5 (blocked by `blocker`); v3 avoids the contended link.
+  bed.schedule_update_at(sim::milliseconds(10), f.id, {0, 2, 5});
+  bed.schedule_update_at(sim::milliseconds(200), f.id, {0, 1, 4, 5});
+  bed.run(sim::seconds(120));
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 3).has_value())
+      << "the newer version must not wait behind the blocked one";
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  // v2 never completed; the blocked state did not leak into v3's rules.
+  EXPECT_EQ(bed.fabric().sw(0).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(0, 1)));
+  EXPECT_TRUE(bed.simulator().idle());
+}
+
+TEST(CoordinationEdgeTest, CleanupRemovesOnlyStaleRulesOfThatFlow) {
+  net::NamedTopology topo = net::fig4_topology();
+  TestBedParams params;
+  params.congestion_mode = true;  // cleanup runs in congestion deployments
+  TestBed bed(topo.graph, params);
+  net::Flow f, other;
+  f.ingress = 0; f.egress = 5; f.id = 701; f.size = 0.1;
+  other.ingress = 1; other.egress = 5; other.id = 702; other.size = 0.1;
+  bed.deploy_flow(f, {0, 1, 4, 5});
+  bed.deploy_flow(other, {1, 4, 5});  // shares nodes 1, 4 with f's old path
+  bed.schedule_update_at(sim::milliseconds(10), f.id, {0, 5});
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  // f's stale rules on the abandoned branch are gone...
+  EXPECT_FALSE(bed.fabric().sw(1).lookup(f.id).has_value());
+  EXPECT_FALSE(bed.fabric().sw(4).lookup(f.id).has_value());
+  // ...but the other flow's rules on the same switches are untouched.
+  EXPECT_TRUE(bed.fabric().sw(1).lookup(other.id).has_value());
+  EXPECT_TRUE(bed.fabric().sw(4).lookup(other.id).has_value());
+  // And the shared endpoint keeps f's new rule.
+  EXPECT_EQ(bed.fabric().sw(0).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(0, 5)));
+}
+
+TEST(CoordinationEdgeTest, TwoPhaseUnderCongestionNeedsDoubleHeadroom) {
+  // §10's observation about 2-phase commit: "the required rule space can
+  // double" — here, so can the reserved capacity, because both generations
+  // hold their links until cleanup. With 2x headroom the migration goes
+  // through with zero violations.
+  net::NamedTopology topo = net::fig1_topology();
+  net::set_uniform_capacity(topo.graph, 2.0);
+  TestBedParams params;
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  TestBed bed(topo.graph, params);
+  core::TwoPhaseCoordinator coordinator(bed.p4update(), bed.channel(),
+                                        sim::milliseconds(200));
+  net::Flow f;
+  f.ingress = 0; f.egress = 7; f.id = 801; f.size = 1.0;
+  bed.simulator().schedule_at(sim::milliseconds(5), [&]() {
+    coordinator.deploy(f, topo.old_path);
+  });
+  bed.simulator().schedule_at(sim::milliseconds(500), [&]() {
+    coordinator.migrate(f.id, topo.new_path);
+  });
+  bed.run();
+  EXPECT_EQ(coordinator.active_tag(f.id), core::tagged_flow_id(f.id, 1));
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  // New generation installed along the new path.
+  const net::FlowId tag1 = core::tagged_flow_id(f.id, 1);
+  for (std::size_t i = 0; i + 1 < topo.new_path.size(); ++i) {
+    EXPECT_TRUE(
+        bed.fabric().sw(topo.new_path[i]).lookup(tag1).has_value());
+  }
+}
+
+TEST(CoordinationEdgeTest, SegmentEgressEmitsNothingWithoutPriorState) {
+  // A DL segment-egress gateway that has no applied state (fresh node) must
+  // not emit an intra-segment proposal (there is no segment id to offer).
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  TestBed bed(topo.graph, params);
+  p4rt::UimHeader uim;
+  uim.flow = 901;
+  uim.target = 3;  // node 3 has no state for this flow
+  uim.version = 2;
+  uim.type = p4rt::UpdateType::kDualLayer;
+  uim.is_segment_egress = true;
+  uim.new_distance = 4;
+  uim.child_port = topo.graph.port_of(3, 2);
+  bed.fabric().inject(3, p4rt::Packet{uim}, -1);
+  bed.run();
+  EXPECT_EQ(bed.p4update_switch(3).unms_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,85 @@
+// The §4.2 demonstration (Fig. 4): P4Update safely skips ahead to the
+// newest configuration while ez-Segway waits out the in-flight update.
+#include <gtest/gtest.h>
+
+#include "harness/demo_scenarios.hpp"
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+
+namespace p4u::harness {
+namespace {
+
+TEST(FastForwardDemoTest, P4UpdateBeatsEzSegwayOnU3Completion) {
+  double p4u_total = 0.0, ez_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Fig4Result p4u = run_fig4_demo(SystemKind::kP4Update, seed);
+    const Fig4Result ez = run_fig4_demo(SystemKind::kEzSegway, seed);
+    ASSERT_TRUE(p4u.u3_completed);
+    ASSERT_TRUE(ez.u3_completed);
+    EXPECT_EQ(p4u.violations, 0u);
+    EXPECT_EQ(ez.violations, 0u);
+    p4u_total += p4u.u3_completion_ms;
+    ez_total += ez.u3_completion_ms;
+  }
+  // The paper reports ~4x on its Mininet/BMv2 stack, whose per-hop
+  // processing is far heavier than our switch model; the ordering and a
+  // clear (>=1.5x) separation are the reproducible shape. The measured
+  // factor is reported by bench/fig4_fastforward.
+  EXPECT_GT(ez_total, 1.5 * p4u_total);
+}
+
+TEST(FastForwardTest, NodesSkipDirectlyToNewestVersion) {
+  // Three updates in rapid succession; nodes must converge to version 4
+  // and alarms must flag the superseded UNMs instead of applying them.
+  net::NamedTopology topo = net::fig4_topology();
+  TestBedParams params;
+  params.switch_params.straggler_mean_ms = 50.0;
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 5;
+  f.id = net::flow_id_of(0, 5);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, {0, 2, 1, 4, 5});
+  bed.schedule_update_at(sim::milliseconds(14), f.id, {0, 1, 4, 5});
+  bed.schedule_update_at(sim::milliseconds(18), f.id, {0, 2, 5});
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 4).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+  // Final rules = newest path.
+  EXPECT_EQ(bed.fabric().sw(0).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(0, 2)));
+  EXPECT_EQ(bed.fabric().sw(2).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(2, 5)));
+  // Nodes on the newest path applied version 4.
+  for (net::NodeId n : net::Path{0, 2, 5}) {
+    EXPECT_EQ(bed.p4update_switch(n).uib().applied(f.id).new_version, 4);
+  }
+}
+
+TEST(FastForwardTest, EzSegwaySerializesVersions) {
+  net::NamedTopology topo = net::fig4_topology();
+  TestBedParams params;
+  params.system = SystemKind::kEzSegway;
+  params.switch_params.straggler_mean_ms = 50.0;
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 5;
+  f.id = net::flow_id_of(0, 5);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, {0, 2, 1, 4, 5});
+  bed.schedule_update_at(sim::milliseconds(14), f.id, {0, 2, 5});
+  bed.run();
+  const auto* r2 = bed.flow_db().record(f.id, 2);
+  const auto* r3 = bed.flow_db().record(f.id, 3);
+  ASSERT_NE(r2, nullptr);
+  ASSERT_NE(r3, nullptr);
+  EXPECT_GE(r3->issued_at, r2->completed_at);  // strict serialization
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

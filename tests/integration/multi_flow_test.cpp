@@ -1,0 +1,92 @@
+// Multi-flow batch updates (the §9.2 right-column scenario) on a real WAN.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/traffic.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+TEST(TrafficGeneratorTest, GravityMultiflowIsFeasibleAndComplete) {
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  sim::Rng rng(7);
+  TrafficParams params;
+  params.target_utilization = 0.9;
+  const auto flows = gravity_multiflow(g, rng, params);
+  EXPECT_EQ(flows.size(), g.node_count());  // one flow per node
+  for (const TrafficFlow& tf : flows) {
+    EXPECT_TRUE(net::valid_simple_path(g, tf.old_path));
+    EXPECT_TRUE(net::valid_simple_path(g, tf.new_path));
+    EXPECT_NE(tf.old_path, tf.new_path);
+    EXPECT_EQ(tf.old_path.front(), tf.flow.ingress);
+    EXPECT_EQ(tf.old_path.back(), tf.flow.egress);
+    EXPECT_GT(tf.flow.size, 0.0);
+  }
+  // The busiest link sits at the target utilization under either config.
+  const double peak = std::max(peak_utilization(g, flows, false),
+                               peak_utilization(g, flows, true));
+  EXPECT_NEAR(peak, 0.9, 1e-9);
+}
+
+TEST(TrafficGeneratorTest, GravitySizesFollowNodeWeights) {
+  sim::Rng rng(9);
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs{{0, 1}, {0, 2},
+                                                         {1, 2}};
+  const auto sizes = gravity_sizes(3, pairs, rng);
+  ASSERT_EQ(sizes.size(), 3u);
+  for (double s : sizes) EXPECT_GT(s, 0.0);
+}
+
+TEST(MultiFlowTest, B4BatchCompletesOnAllSystems) {
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  for (SystemKind kind :
+       {SystemKind::kP4Update, SystemKind::kEzSegway, SystemKind::kCentral}) {
+    MultiFlowConfig cfg;
+    cfg.runs = 2;
+    cfg.bed.system = kind;
+    cfg.bed.congestion_mode = true;
+    cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+    const ExperimentResult r = run_multi_flow(g, cfg);
+    EXPECT_EQ(r.incomplete_runs, 0u) << to_string(kind);
+    EXPECT_EQ(r.update_times_ms.count(), 2u) << to_string(kind);
+    EXPECT_EQ(r.violations.loops, 0u) << to_string(kind);
+    EXPECT_EQ(r.violations.blackholes, 0u) << to_string(kind);
+    EXPECT_EQ(r.violations.capacity, 0u) << to_string(kind);
+  }
+}
+
+TEST(MultiFlowTest, P4UpdateNotSlowerThanCentralOnB4) {
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  auto mean_for = [&](SystemKind kind) {
+    MultiFlowConfig cfg;
+    cfg.runs = 2;
+    cfg.bed.system = kind;
+    cfg.bed.congestion_mode = true;
+    cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+    const ExperimentResult r = run_multi_flow(g, cfg);
+    EXPECT_EQ(r.incomplete_runs, 0u);
+    return r.update_times_ms.empty() ? 1e18 : r.update_times_ms.mean();
+  };
+  EXPECT_LT(mean_for(SystemKind::kP4Update), mean_for(SystemKind::kCentral));
+}
+
+TEST(MultiFlowTest, FattreeBatchCompletes) {
+  net::FatTree ft = net::fattree_topology(4);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  MultiFlowConfig cfg;
+  cfg.runs = 1;
+  cfg.bed.congestion_mode = true;
+  cfg.bed.ctrl_latency_model = CtrlLatencyModel::kFattreeNormal;
+  const ExperimentResult r = run_multi_flow(ft.graph, cfg);
+  EXPECT_EQ(r.incomplete_runs, 0u);
+  EXPECT_EQ(r.violations.loops, 0u);
+  EXPECT_EQ(r.violations.capacity, 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

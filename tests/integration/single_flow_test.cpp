@@ -1,0 +1,135 @@
+// End-to-end single-flow updates through the full P4Update stack.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+#include "harness/experiment.hpp"
+
+namespace p4u::harness {
+namespace {
+
+net::Flow flow_over(const net::Path& p, double size = 1.0) {
+  net::Flow f;
+  f.ingress = p.front();
+  f.egress = p.back();
+  f.id = net::flow_id_of(f.ingress, f.egress);
+  f.size = size;
+  return f;
+}
+
+TEST(SingleFlowTest, SlUpdateConvergesAndIsConsistent) {
+  // Simple forward detour -> controller picks SL (§7.5).
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  TestBed bed(topo.graph, params);
+  const net::Path old_p{0, 4, 2};
+  const net::Path new_p{0, 1, 2};
+  const net::Flow f = flow_over(old_p);
+  bed.deploy_flow(f, old_p);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, new_p);
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+  EXPECT_EQ(bed.fabric().sw(0).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(0, 1)));
+  EXPECT_EQ(bed.fabric().sw(1).lookup(f.id),
+            std::optional<std::int32_t>(topo.graph.port_of(1, 2)));
+  EXPECT_EQ(bed.flow_db().total_alarms(), 0u);
+}
+
+TEST(SingleFlowTest, UpdateTimeComposesLatencies) {
+  // SL over the 2-hop detour with fixed latencies: the completion time must
+  // be dominated by ctrl latency + chain traversal, well under a second.
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.fixed_ctrl_latency = sim::milliseconds(5);
+  TestBed bed(topo.graph, params);
+  const net::Path old_p{0, 4, 2};
+  const net::Path new_p{0, 1, 2};
+  const net::Flow f = flow_over(old_p);
+  bed.deploy_flow(f, old_p);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, new_p);
+  bed.run();
+  const auto d = bed.flow_db().duration(f.id, 2);
+  ASSERT_TRUE(d.has_value());
+  // Lower bound: ctrl latency out (5) + 2x 20 ms links (UNM hops) + ctrl
+  // latency back (5) = 50 ms. Upper bound: generous 120 ms.
+  EXPECT_GE(*d, sim::milliseconds(50));
+  EXPECT_LE(*d, sim::milliseconds(120));
+}
+
+TEST(SingleFlowTest, DeterministicAcrossIdenticalSeeds) {
+  auto once = [](std::uint64_t seed) {
+    net::NamedTopology topo = net::fig1_topology();
+    TestBedParams params;
+    params.seed = seed;
+    params.switch_params.straggler_mean_ms = 100.0;
+    TestBed bed(topo.graph, params);
+    const net::Flow f = flow_over(topo.old_path);
+    bed.deploy_flow(f, topo.old_path);
+    bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+    bed.run();
+    return bed.flow_db().duration(f.id, 2).value_or(-1);
+  };
+  EXPECT_EQ(once(77), once(77));
+  EXPECT_NE(once(77), once(78));  // stragglers differ across seeds
+}
+
+TEST(SingleFlowTest, WanDetourCompletesOnB4) {
+  const net::Graph g = net::b4_topology();
+  const DetourPaths paths = long_detour_paths(g);
+  ASSERT_TRUE(net::valid_simple_path(g, paths.old_path));
+  ASSERT_TRUE(net::valid_simple_path(g, paths.new_path));
+  TestBedParams params;
+  params.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  TestBed bed(g, params);
+  const net::Flow f = flow_over(paths.old_path);
+  bed.deploy_flow(f, paths.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, paths.new_path);
+  bed.run();
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+}
+
+TEST(SingleFlowTest, AllThreeSystemsReachTheSameFinalRules) {
+  net::NamedTopology topo = net::fig1_topology();
+  std::vector<std::map<net::FlowId, std::int32_t>> finals;
+  for (SystemKind kind :
+       {SystemKind::kP4Update, SystemKind::kEzSegway, SystemKind::kCentral}) {
+    TestBedParams params;
+    params.system = kind;
+    TestBed bed(topo.graph, params);
+    const net::Flow f = flow_over(topo.old_path);
+    bed.deploy_flow(f, topo.old_path);
+    bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+    bed.run();
+    ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value())
+        << to_string(kind);
+    std::map<net::FlowId, std::int32_t> rules;
+    for (net::NodeId n : topo.new_path) {
+      rules[static_cast<net::FlowId>(n)] = *bed.fabric().sw(n).lookup(f.id);
+    }
+    finals.push_back(std::move(rules));
+  }
+  EXPECT_EQ(finals[0], finals[1]);
+  EXPECT_EQ(finals[0], finals[2]);
+}
+
+TEST(SingleFlowExperimentTest, RunnerCollectsAllRuns) {
+  net::NamedTopology topo = net::fig1_topology();
+  SingleFlowConfig cfg;
+  cfg.old_path = topo.old_path;
+  cfg.new_path = topo.new_path;
+  cfg.runs = 5;
+  cfg.bed.switch_params.straggler_mean_ms = 100.0;
+  const ExperimentResult r = run_single_flow(topo.graph, cfg);
+  EXPECT_EQ(r.update_times_ms.count(), 5u);
+  EXPECT_EQ(r.incomplete_runs, 0u);
+  EXPECT_EQ(r.violations.loops, 0u);
+  EXPECT_EQ(r.violations.blackholes, 0u);
+  EXPECT_GT(r.update_times_ms.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,61 @@
+#include "net/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/flow.hpp"
+#include "net/paths.hpp"
+
+namespace p4u::net {
+namespace {
+
+TEST(FatTreeTest, K4Structure) {
+  const FatTree t = fattree_topology(4);
+  // (K/2)^2 = 4 cores, K pods * (2 agg + 2 edge) = 16, total 20 switches.
+  EXPECT_EQ(t.graph.node_count(), 20u);
+  EXPECT_EQ(t.core.size(), 4u);
+  EXPECT_EQ(t.aggregation.size(), 8u);
+  EXPECT_EQ(t.edge.size(), 8u);
+  // 8 aggs * 2 core links + 4 pods * 2*2 agg-edge links = 16 + 16 = 32.
+  EXPECT_EQ(t.graph.link_count(), 32u);
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(FatTreeTest, EdgeSwitchDegreeIsHalfK) {
+  const FatTree t = fattree_topology(4);
+  for (NodeId e : t.edge) EXPECT_EQ(t.graph.neighbors(e).size(), 2u);
+  for (NodeId a : t.aggregation) EXPECT_EQ(t.graph.neighbors(a).size(), 4u);
+  for (NodeId c : t.core) EXPECT_EQ(t.graph.neighbors(c).size(), 4u);
+}
+
+TEST(FatTreeTest, InterPodPathsExist) {
+  const FatTree t = fattree_topology(4);
+  // Edge in pod 0 to edge in pod 3: a 4-hop path via agg-core-agg.
+  const auto p = shortest_path(t.graph, t.edge.front(), t.edge.back(),
+                               Metric::kHops);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);
+  // And at least two edge-disjoint-ish alternatives (multipath fabric).
+  const auto ks = k_shortest_paths(t.graph, t.edge.front(), t.edge.back(), 3,
+                                   Metric::kHops);
+  EXPECT_GE(ks.size(), 3u);
+}
+
+TEST(FatTreeTest, RejectsOddK) {
+  EXPECT_THROW(fattree_topology(3), std::invalid_argument);
+  EXPECT_THROW(fattree_topology(0), std::invalid_argument);
+}
+
+TEST(FatTreeTest, K6Scales) {
+  const FatTree t = fattree_topology(6);
+  EXPECT_EQ(t.graph.node_count(), 9u + 36u);  // 9 cores + 6 pods * 6
+  EXPECT_TRUE(t.graph.connected());
+}
+
+TEST(FlowIdTest, DeterministicAndDistinct) {
+  EXPECT_EQ(flow_id_of(1, 2), flow_id_of(1, 2));
+  EXPECT_NE(flow_id_of(1, 2), flow_id_of(2, 1));
+  EXPECT_NE(flow_id_of(0, 0), 0u);  // 0 is reserved
+}
+
+}  // namespace
+}  // namespace p4u::net

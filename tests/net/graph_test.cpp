@@ -1,0 +1,96 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::net {
+namespace {
+
+Graph triangle() {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("c");
+  g.add_link(0, 1, sim::milliseconds(1), 10.0);
+  g.add_link(1, 2, sim::milliseconds(2), 20.0);
+  g.add_link(0, 2, sim::milliseconds(3), 30.0);
+  return g;
+}
+
+TEST(GraphTest, NodeAndLinkCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.link_count(), 3u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GraphTest, FindLinkBothDirections) {
+  const Graph g = triangle();
+  ASSERT_TRUE(g.find_link(0, 1).has_value());
+  ASSERT_TRUE(g.find_link(1, 0).has_value());
+  EXPECT_EQ(*g.find_link(0, 1), *g.find_link(1, 0));
+  EXPECT_FALSE(Graph(g).find_link(0, 0).has_value());
+}
+
+TEST(GraphTest, PortsIndexAdjacency) {
+  const Graph g = triangle();
+  // Node 0's neighbors in insertion order: 1 (port 0), 2 (port 1).
+  EXPECT_EQ(g.port_of(0, 1), 0);
+  EXPECT_EQ(g.port_of(0, 2), 1);
+  EXPECT_EQ(g.neighbor_via(0, 0), 1);
+  EXPECT_EQ(g.neighbor_via(0, 1), 2);
+  EXPECT_EQ(g.neighbor_via(0, 7), kNoNode);
+  EXPECT_EQ(g.port_of(1, 1), -1);
+}
+
+TEST(GraphTest, LatencyBetween) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.latency_between(1, 2), sim::milliseconds(2));
+  EXPECT_EQ(g.latency_between(2, 1), sim::milliseconds(2));
+  Graph g2 = triangle();
+  EXPECT_THROW((void)g2.latency_between(0, 0), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndDuplicates) {
+  Graph g = triangle();
+  EXPECT_THROW(g.add_link(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 9, 0), std::out_of_range);
+}
+
+TEST(GraphTest, FindNodeByName) {
+  const Graph g = triangle();
+  ASSERT_TRUE(g.find_node("b").has_value());
+  EXPECT_EQ(*g.find_node("b"), 1);
+  EXPECT_FALSE(g.find_node("zz").has_value());
+}
+
+TEST(GraphTest, DisconnectedDetected) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("c");
+  g.add_link(0, 1, 0);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(GraphTest, SetLinkCapacity) {
+  Graph g = triangle();
+  const LinkId l = *g.find_link(0, 1);
+  g.set_link_capacity(l, 99.0);
+  EXPECT_DOUBLE_EQ(g.link(l).capacity, 99.0);
+}
+
+TEST(GeoTest, GreatCircleKnownDistance) {
+  // New York (40.7, -74.0) to Los Angeles (34.1, -118.2): ~3940 km.
+  const double km = great_circle_km(40.7, -74.0, 34.1, -118.2);
+  EXPECT_NEAR(km, 3940.0, 60.0);
+  EXPECT_DOUBLE_EQ(great_circle_km(10, 20, 10, 20), 0.0);
+}
+
+TEST(GeoTest, FiberLatencyMatchesPropagationRule) {
+  // 2000 km at 2*10^5 km/s = 10 ms.
+  EXPECT_EQ(fiber_latency(2000.0), sim::milliseconds(10));
+}
+
+}  // namespace
+}  // namespace p4u::net

@@ -1,0 +1,112 @@
+#include "net/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::net {
+namespace {
+
+/// A 2x3 grid:
+///   0 - 1 - 2
+///   |   |   |
+///   3 - 4 - 5
+Graph grid() {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.add_node("n" + std::to_string(i));
+  g.add_link(0, 1, sim::milliseconds(1));
+  g.add_link(1, 2, sim::milliseconds(1));
+  g.add_link(3, 4, sim::milliseconds(1));
+  g.add_link(4, 5, sim::milliseconds(1));
+  g.add_link(0, 3, sim::milliseconds(1));
+  g.add_link(1, 4, sim::milliseconds(1));
+  g.add_link(2, 5, sim::milliseconds(1));
+  return g;
+}
+
+TEST(DijkstraTest, ShortestPathByHops) {
+  const Graph g = grid();
+  const auto p = shortest_path(g, 0, 5, Metric::kHops);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 4u);
+  EXPECT_EQ(p->front(), 0);
+  EXPECT_EQ(p->back(), 5);
+  EXPECT_TRUE(valid_simple_path(g, *p));
+}
+
+TEST(DijkstraTest, LatencyMetricPrefersFastEdges) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node("n");
+  g.add_link(0, 2, sim::milliseconds(10));               // direct, slow
+  g.add_link(0, 1, sim::milliseconds(1));
+  g.add_link(1, 2, sim::milliseconds(1));                // detour, fast
+  const auto p = shortest_path(g, 0, 2, Metric::kLatency);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 2}));
+  EXPECT_EQ(*shortest_path(g, 0, 2, Metric::kHops), (Path{0, 2}));
+}
+
+TEST(DijkstraTest, UnreachableReturnsNullopt) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_FALSE(shortest_path(g, 0, 1).has_value());
+}
+
+TEST(KShortestTest, ProducesDistinctLooplessPathsInOrder) {
+  const Graph g = grid();
+  const auto ks = k_shortest_paths(g, 0, 5, 4, Metric::kHops);
+  ASSERT_GE(ks.size(), 3u);
+  for (const auto& p : ks) {
+    EXPECT_TRUE(valid_simple_path(g, p));
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 5);
+  }
+  for (std::size_t i = 1; i < ks.size(); ++i) {
+    EXPECT_NE(ks[i - 1], ks[i]);
+    EXPECT_LE(path_cost(g, ks[i - 1], Metric::kHops),
+              path_cost(g, ks[i], Metric::kHops));
+  }
+}
+
+TEST(KShortestTest, SecondShortestDiffersFromFirst) {
+  const Graph g = grid();
+  const auto ks = k_shortest_paths(g, 0, 2, 2, Metric::kHops);
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[0].size(), 3u);   // 0-1-2
+  EXPECT_EQ(ks[1].size(), 5u);   // 0-3-4-5-2 (or symmetric)
+}
+
+TEST(KShortestTest, ExhaustsWhenFewPathsExist) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_link(0, 1, 1);
+  const auto ks = k_shortest_paths(g, 0, 1, 5);
+  EXPECT_EQ(ks.size(), 1u);
+}
+
+TEST(PathCostTest, SumsEdgeWeights) {
+  const Graph g = grid();
+  EXPECT_DOUBLE_EQ(path_cost(g, {0, 1, 4}, Metric::kHops), 2.0);
+  EXPECT_DOUBLE_EQ(path_cost(g, {0, 1, 4}, Metric::kLatency),
+                   static_cast<double>(sim::milliseconds(2)));
+  EXPECT_THROW(path_cost(g, {0, 5}, Metric::kHops), std::invalid_argument);
+}
+
+TEST(ValidSimplePathTest, RejectsRepeatsAndGaps) {
+  const Graph g = grid();
+  EXPECT_TRUE(valid_simple_path(g, {0, 1, 2}));
+  EXPECT_FALSE(valid_simple_path(g, {0, 1, 0}));   // repeat
+  EXPECT_FALSE(valid_simple_path(g, {0, 2}));      // not adjacent
+  EXPECT_FALSE(valid_simple_path(g, {}));          // empty
+}
+
+TEST(CentroidTest, PicksMinimaxNode) {
+  // Chain 0-1-2-3-4: centroid is node 2.
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_node("n");
+  for (int i = 0; i < 4; ++i) g.add_link(i, i + 1, sim::milliseconds(1));
+  EXPECT_EQ(centroid_node(g), 2);
+}
+
+}  // namespace
+}  // namespace p4u::net

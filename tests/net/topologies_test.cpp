@@ -1,0 +1,103 @@
+#include "net/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_zoo.hpp"
+
+namespace p4u::net {
+namespace {
+
+TEST(Fig1TopologyTest, MatchesPaperStructure) {
+  const NamedTopology t = fig1_topology();
+  EXPECT_EQ(t.graph.node_count(), 8u);
+  EXPECT_EQ(t.graph.link_count(), 10u);
+  EXPECT_TRUE(t.graph.connected());
+  EXPECT_TRUE(valid_simple_path(t.graph, t.old_path));
+  EXPECT_TRUE(valid_simple_path(t.graph, t.new_path));
+  EXPECT_EQ(t.old_path, (Path{0, 4, 2, 7}));
+  EXPECT_EQ(t.new_path, (Path{0, 1, 2, 3, 4, 5, 6, 7}));
+  // All links homogeneous 20 ms (§9.1).
+  for (std::size_t l = 0; l < t.graph.link_count(); ++l) {
+    EXPECT_EQ(t.graph.link(static_cast<LinkId>(l)).latency,
+              sim::milliseconds(20));
+  }
+}
+
+TEST(Fig2TopologyTest, HasConfigABCLinks) {
+  const NamedTopology t = fig2_topology();
+  EXPECT_EQ(t.graph.node_count(), 5u);
+  // Config (a) chain.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(t.graph.find_link(i, i + 1).has_value());
+  }
+  // Config (b) shortcut and config (c) detour links.
+  EXPECT_TRUE(t.graph.find_link(2, 4).has_value());
+  EXPECT_TRUE(t.graph.find_link(0, 3).has_value());
+  EXPECT_TRUE(t.graph.find_link(1, 3).has_value());
+  EXPECT_TRUE(valid_simple_path(t.graph, t.new_path));
+}
+
+TEST(Fig4TopologyTest, SupportsComplexAndSimpleUpdates) {
+  const NamedTopology t = fig4_topology();
+  EXPECT_EQ(t.graph.node_count(), 6u);
+  EXPECT_TRUE(t.graph.connected());
+  EXPECT_TRUE(valid_simple_path(t.graph, t.old_path));
+  EXPECT_TRUE(valid_simple_path(t.graph, t.new_path));
+  EXPECT_EQ(t.old_path.front(), t.new_path.front());
+  EXPECT_EQ(t.old_path.back(), t.new_path.back());
+}
+
+TEST(SetUniformCapacityTest, AppliesToAllLinks) {
+  NamedTopology t = fig1_topology();
+  set_uniform_capacity(t.graph, 42.0);
+  for (std::size_t l = 0; l < t.graph.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(t.graph.link(static_cast<LinkId>(l)).capacity, 42.0);
+  }
+}
+
+TEST(TopologyZooTest, B4HasPaperCounts) {
+  const Graph g = b4_topology();
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.link_count(), 19u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(TopologyZooTest, Internet2HasPaperCounts) {
+  const Graph g = internet2_topology();
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.link_count(), 26u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(TopologyZooTest, AttMplsHasPaperCounts) {
+  const Graph g = attmpls_topology();
+  EXPECT_EQ(g.node_count(), 25u);
+  EXPECT_EQ(g.link_count(), 56u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(TopologyZooTest, ChinanetHasPaperCounts) {
+  const Graph g = chinanet_topology();
+  EXPECT_EQ(g.node_count(), 38u);
+  EXPECT_EQ(g.link_count(), 62u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(TopologyZooTest, WanLatenciesAreGeographicallyPlausible) {
+  const Graph g = b4_topology();
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    const auto& link = g.link(static_cast<LinkId>(l));
+    EXPECT_GT(link.latency, sim::microseconds(100));  // > 20 km
+    EXPECT_LT(link.latency, sim::milliseconds(100));  // < 20000 km
+  }
+  // Transatlantic Ashburn -> Dublin must be tens of ms.
+  const auto us = g.find_node("us-east-va");
+  const auto ie = g.find_node("eu-ie");
+  ASSERT_TRUE(us && ie);
+  const auto link = g.find_link(*us, *ie);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_GT(g.link(*link).latency, sim::milliseconds(20));
+}
+
+}  // namespace
+}  // namespace p4u::net

@@ -1,0 +1,108 @@
+#include "p4rt/control_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::p4rt {
+namespace {
+
+class RecordingApp final : public ControllerApp {
+ public:
+  void handle_from_switch(NodeId from, const Packet& pkt) override {
+    messages.emplace_back(from, describe(pkt));
+  }
+  std::vector<std::pair<NodeId, std::string>> messages;
+};
+
+class RecordingPipeline final : public Pipeline {
+ public:
+  void handle(SwitchDevice& sw, const Packet&, std::int32_t in_port) override {
+    arrivals.push_back({sw.now(), in_port});
+  }
+  std::vector<std::pair<sim::Time, std::int32_t>> arrivals;
+};
+
+struct Env {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric{sim, topo.graph, SwitchParams{}, 1};
+  ControlChannel channel{sim, fabric,
+                         std::vector<sim::Duration>(5, sim::milliseconds(5)),
+                         sim::milliseconds(1)};
+};
+
+TEST(ControlChannelTest, SendToSwitchPaysServicePlusLatency) {
+  Env env;
+  RecordingPipeline pipe;
+  env.fabric.sw(2).set_pipeline(&pipe);
+  env.channel.send_to_switch(2, Packet{UimHeader{}});
+  env.sim.run();
+  ASSERT_EQ(pipe.arrivals.size(), 1u);
+  // 1 ms controller service + 5 ms latency + 200 us switch service.
+  EXPECT_EQ(pipe.arrivals[0].first,
+            sim::milliseconds(6) + sim::microseconds(200));
+  EXPECT_EQ(pipe.arrivals[0].second, -1);  // from-controller marker
+}
+
+TEST(ControlChannelTest, OutboundMessagesSerializeThroughController) {
+  Env env;
+  RecordingPipeline pipe;
+  env.fabric.sw(2).set_pipeline(&pipe);
+  // Three messages queued at once leave 1 ms apart.
+  for (int i = 0; i < 3; ++i) {
+    env.channel.send_to_switch(2, Packet{UimHeader{}});
+  }
+  env.sim.run();
+  ASSERT_EQ(pipe.arrivals.size(), 3u);
+  EXPECT_EQ(pipe.arrivals[1].first - pipe.arrivals[0].first,
+            sim::milliseconds(1));
+  EXPECT_EQ(pipe.arrivals[2].first - pipe.arrivals[1].first,
+            sim::milliseconds(1));
+}
+
+TEST(ControlChannelTest, InboundQueuesForControllerService) {
+  Env env;
+  RecordingApp app;
+  env.channel.set_app(&app);
+  UfmHeader ufm;
+  ufm.flow = 1;
+  env.channel.deliver_to_controller(0, Packet{ufm});
+  env.channel.deliver_to_controller(1, Packet{ufm});
+  env.sim.run();
+  ASSERT_EQ(app.messages.size(), 2u);
+  EXPECT_EQ(app.messages[0].first, 0);
+  EXPECT_EQ(app.messages[1].first, 1);
+  EXPECT_EQ(env.channel.controller_messages(), 2u);
+  // Latency 5 ms + two service slots of 1 ms = handled by 7 ms.
+  EXPECT_EQ(env.sim.now(), sim::milliseconds(7));
+}
+
+TEST(ControlChannelTest, SwitchSendToControllerRoundTrip) {
+  Env env;
+  RecordingApp app;
+  env.channel.set_app(&app);
+  env.fabric.sw(3).send_to_controller(Packet{FrmHeader{7, 3, net::kNoNode}});
+  env.sim.run();
+  ASSERT_EQ(app.messages.size(), 1u);
+  EXPECT_EQ(app.messages[0].first, 3);
+  EXPECT_NE(app.messages[0].second.find("FRM"), std::string::npos);
+}
+
+TEST(ControlChannelTest, WanLatenciesComeFromShortestPaths) {
+  const net::Graph g = net::b4_topology();
+  const net::NodeId c = net::centroid_node(g);
+  const auto lat = wan_control_latencies(g, c);
+  ASSERT_EQ(lat.size(), g.node_count());
+  EXPECT_EQ(lat[static_cast<std::size_t>(c)], 0);
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    if (static_cast<net::NodeId>(i) != c) {
+      EXPECT_GT(lat[i], 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p4u::p4rt

@@ -1,0 +1,126 @@
+#include "p4rt/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+
+namespace p4u::p4rt {
+namespace {
+
+class CountingPipeline final : public Pipeline {
+ public:
+  void handle(SwitchDevice&, const Packet&, std::int32_t in_port) override {
+    ++count;
+    last_in_port = in_port;
+  }
+  int count = 0;
+  std::int32_t last_in_port = -99;
+};
+
+TEST(FabricTest, TransmitDeliversAfterLinkLatency) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology(sim::milliseconds(20));
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 1);
+  CountingPipeline pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+  UnmHeader unm;
+  unm.flow = 1;
+  fabric.transmit(0, topo.graph.port_of(0, 1), Packet{unm});
+  sim.run();
+  EXPECT_EQ(pipe.count, 1);
+  // Arrives on node 1's port toward node 0.
+  EXPECT_EQ(pipe.last_in_port, topo.graph.port_of(1, 0));
+  // 20 ms link + 200 us service.
+  EXPECT_EQ(sim.now(), sim::milliseconds(20) + sim::microseconds(200));
+}
+
+TEST(FabricTest, InvalidPortThrows) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 1);
+  EXPECT_THROW(fabric.transmit(0, 99, Packet{UnmHeader{}}), std::out_of_range);
+}
+
+TEST(FabricTest, ControlDropProbabilityDropsControlMessages) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
+  fabric.faults().control_drop_prob = 1.0;  // drop everything
+  CountingPipeline pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+  for (int i = 0; i < 5; ++i) {
+    fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
+  }
+  sim.run();
+  EXPECT_EQ(pipe.count, 0);
+  EXPECT_EQ(fabric.trace().count(sim::TraceKind::kMessageDropped), 5u);
+}
+
+TEST(FabricTest, DataDropProbabilityIndependentOfControl) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
+  fabric.faults().data_drop_prob = 1.0;
+  fabric.faults().control_drop_prob = 0.0;
+  CountingPipeline pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+  int arrivals = 0;
+  fabric.hooks().on_data_arrival = [&](net::NodeId, const DataHeader&) {
+    ++arrivals;
+  };
+  fabric.transmit(0, topo.graph.port_of(0, 1), Packet{DataHeader{1, 0, 64}});
+  fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
+  sim.run();
+  EXPECT_EQ(arrivals, 0);   // data dropped
+  EXPECT_EQ(pipe.count, 1); // control message got through
+}
+
+TEST(FabricTest, ReorderJitterCanInvertArrivalOrder) {
+  // With large jitter some pair of back-to-back messages must reorder.
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 11);
+  fabric.faults().reorder_jitter = sim::milliseconds(50);
+
+  class SeqPipeline final : public Pipeline {
+   public:
+    void handle(SwitchDevice&, const Packet& pkt, std::int32_t) override {
+      seen.push_back(pkt.as<UnmHeader>().counter);
+    }
+    std::vector<std::int64_t> seen;
+  } pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+
+  for (int i = 0; i < 20; ++i) {
+    UnmHeader unm;
+    unm.counter = i;
+    fabric.transmit(0, topo.graph.port_of(0, 1), Packet{unm});
+  }
+  sim.run();
+  ASSERT_EQ(pipe.seen.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(pipe.seen.begin(), pipe.seen.end()));
+}
+
+TEST(FabricTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::NamedTopology topo = net::fig2_topology();
+    Fabric fabric(sim, topo.graph, SwitchParams{}, seed);
+    fabric.faults().control_drop_prob = 0.5;
+    CountingPipeline pipe;
+    fabric.sw(1).set_pipeline(&pipe);
+    for (int i = 0; i < 64; ++i) {
+      fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
+    }
+    sim.run();
+    return pipe.count;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  // Sanity: the fault coin is not degenerate for this seed.
+  const int c = run_once(42);
+  EXPECT_GT(c, 0);
+  EXPECT_LT(c, 64);
+}
+
+}  // namespace
+}  // namespace p4u::p4rt

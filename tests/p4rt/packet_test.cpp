@@ -1,0 +1,83 @@
+#include "p4rt/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::p4rt {
+namespace {
+
+TEST(PacketTest, VariantAccessors) {
+  Packet p{DataHeader{42, 7, 64}};
+  EXPECT_TRUE(p.is<DataHeader>());
+  EXPECT_FALSE(p.is<UimHeader>());
+  EXPECT_EQ(p.as<DataHeader>().seq, 7u);
+  p.as<DataHeader>().ttl = 1;
+  EXPECT_EQ(p.as<DataHeader>().ttl, 1);
+}
+
+TEST(PacketTest, FlowExtractionAcrossHeaderTypes) {
+  EXPECT_EQ((Packet{DataHeader{5, 0, 64}}.flow()), 5u);
+  UimHeader uim;
+  uim.flow = 6;
+  EXPECT_EQ(Packet{uim}.flow(), 6u);
+  UnmHeader unm;
+  unm.flow = 7;
+  EXPECT_EQ(Packet{unm}.flow(), 7u);
+  UfmHeader ufm;
+  ufm.flow = 8;
+  EXPECT_EQ(Packet{ufm}.flow(), 8u);
+  EzCmdHeader cmd;
+  cmd.flow = 9;
+  EXPECT_EQ(Packet{cmd}.flow(), 9u);
+  InstallCmdHeader inst;
+  inst.flow = 10;
+  EXPECT_EQ(Packet{inst}.flow(), 10u);
+}
+
+TEST(PacketTest, DescribeMentionsKindAndFields) {
+  UnmHeader unm;
+  unm.flow = 3;
+  unm.new_version = 2;
+  unm.old_distance = 1;
+  unm.type = UpdateType::kDualLayer;
+  const std::string d = describe(Packet{unm});
+  EXPECT_NE(d.find("UNM"), std::string::npos);
+  EXPECT_NE(d.find("Vn=2"), std::string::npos);
+  EXPECT_NE(d.find("DL"), std::string::npos);
+
+  UimHeader uim;
+  uim.flow = 4;
+  uim.is_flow_egress = true;
+  const std::string e = describe(Packet{uim});
+  EXPECT_NE(e.find("UIM"), std::string::npos);
+  EXPECT_NE(e.find("egress"), std::string::npos);
+}
+
+TEST(PacketTest, DescribeCoversEveryHeaderKind) {
+  EXPECT_NE(describe(Packet{DataHeader{}}).find("DATA"), std::string::npos);
+  EXPECT_NE(describe(Packet{FrmHeader{}}).find("FRM"), std::string::npos);
+  EXPECT_NE(describe(Packet{UimHeader{}}).find("UIM"), std::string::npos);
+  EXPECT_NE(describe(Packet{UnmHeader{}}).find("UNM"), std::string::npos);
+  EXPECT_NE(describe(Packet{UfmHeader{}}).find("UFM"), std::string::npos);
+  EXPECT_NE(describe(Packet{SegmentDoneHeader{}}).find("SEG-DONE"),
+            std::string::npos);
+  EXPECT_NE(describe(Packet{EzCmdHeader{}}).find("EZ-CMD"), std::string::npos);
+  EXPECT_NE(describe(Packet{EzNotifyHeader{}}).find("EZ-NOTIFY"),
+            std::string::npos);
+  EXPECT_NE(describe(Packet{InstallCmdHeader{}}).find("INSTALL"),
+            std::string::npos);
+  EXPECT_NE(describe(Packet{InstallAckHeader{}}).find("ACK"),
+            std::string::npos);
+}
+
+TEST(PacketTest, CopySemanticsAreDeep) {
+  EzCmdHeader cmd;
+  cmd.notify.push_back(EzNotifyTarget{3, 1});
+  Packet a{cmd};
+  Packet b = a;
+  b.as<EzCmdHeader>().notify.push_back(EzNotifyTarget{4, 2});
+  EXPECT_EQ(a.as<EzCmdHeader>().notify.size(), 1u);
+  EXPECT_EQ(b.as<EzCmdHeader>().notify.size(), 2u);
+}
+
+}  // namespace
+}  // namespace p4u::p4rt

@@ -1,0 +1,67 @@
+#include "p4rt/register_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace p4u::p4rt {
+namespace {
+
+TEST(RegisterArrayTest, DefaultValueForUnwrittenCells) {
+  RegisterArray<int> r(-1);
+  EXPECT_EQ(r.read(0), -1);
+  EXPECT_EQ(r.read(999999), -1);
+  EXPECT_FALSE(r.written(0));
+}
+
+TEST(RegisterArrayTest, WriteThenRead) {
+  RegisterArray<std::int64_t> r;
+  r.write(17, 42);
+  EXPECT_EQ(r.read(17), 42);
+  EXPECT_TRUE(r.written(17));
+  EXPECT_EQ(r.populated(), 1u);
+  r.write(17, 43);
+  EXPECT_EQ(r.read(17), 43);
+  EXPECT_EQ(r.populated(), 1u);
+}
+
+TEST(RegisterArrayTest, ClearRestoresDefault) {
+  RegisterArray<int> r(7);
+  r.write(1, 100);
+  r.clear(1);
+  EXPECT_EQ(r.read(1), 7);
+  r.write(2, 1);
+  r.write(3, 2);
+  r.clear_all();
+  EXPECT_EQ(r.populated(), 0u);
+}
+
+TEST(RegisterArrayTest, SparseHugeIndices) {
+  RegisterArray<double> r(0.0);
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFFEull;
+  r.write(big, 3.5);
+  EXPECT_DOUBLE_EQ(r.read(big), 3.5);
+  EXPECT_DOUBLE_EQ(r.read(big - 1), 0.0);
+}
+
+TEST(MatchActionTableTest, HitAndMiss) {
+  MatchActionTable<std::uint64_t, int> t;
+  EXPECT_EQ(t.match(5), nullptr);
+  t.insert(5, 99);
+  ASSERT_NE(t.match(5), nullptr);
+  EXPECT_EQ(*t.match(5), 99);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MatchActionTableTest, InsertOverwritesAndEraseRemoves) {
+  MatchActionTable<std::uint64_t, std::string> t;
+  t.insert(1, "a");
+  t.insert(1, "b");
+  EXPECT_EQ(*t.match(1), "b");
+  t.erase(1);
+  EXPECT_EQ(t.match(1), nullptr);
+  t.erase(1);  // idempotent
+}
+
+}  // namespace
+}  // namespace p4u::p4rt

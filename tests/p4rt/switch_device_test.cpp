@@ -1,0 +1,174 @@
+#include "p4rt/switch_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::p4rt {
+namespace {
+
+struct Env {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric{sim, topo.graph, SwitchParams{}, /*seed=*/1};
+};
+
+/// Pipeline that records what it saw.
+class RecordingPipeline final : public Pipeline {
+ public:
+  void handle(SwitchDevice& sw, const Packet& pkt, std::int32_t in_port) override {
+    (void)sw;
+    handled.push_back({describe(pkt), in_port});
+  }
+  void on_data_packet(SwitchDevice&, DataHeader& d, std::int32_t) override {
+    data_seen.push_back(d.seq);
+  }
+  std::vector<std::pair<std::string, std::int32_t>> handled;
+  std::vector<std::uint32_t> data_seen;
+};
+
+TEST(SwitchDeviceTest, ServiceQueueSerializesPackets) {
+  Env env;
+  RecordingPipeline pipe;
+  auto& sw = env.fabric.sw(0);
+  sw.set_pipeline(&pipe);
+  UnmHeader unm;
+  unm.flow = 1;
+  // Two packets injected at t=0 drain 200us apart (default service time).
+  env.fabric.inject(0, Packet{unm}, -1);
+  env.fabric.inject(0, Packet{unm}, -1);
+  env.sim.run();
+  ASSERT_EQ(pipe.handled.size(), 2u);
+  EXPECT_EQ(env.sim.now(), sim::microseconds(400));
+}
+
+TEST(SwitchDeviceTest, DataForwardingFollowsRules) {
+  Env env;
+  // Rule chain 0 -> 1 -> 2, deliver at 2.
+  const net::FlowId f = 9;
+  env.fabric.sw(0).set_rule_now(f, env.topo.graph.port_of(0, 1));
+  env.fabric.sw(1).set_rule_now(f, env.topo.graph.port_of(1, 2));
+  env.fabric.sw(2).set_rule_now(f, SwitchDevice::kLocalPort);
+  int delivered = 0;
+  env.fabric.hooks().on_delivered = [&](net::NodeId n, const DataHeader&) {
+    EXPECT_EQ(n, 2);
+    ++delivered;
+  };
+  env.fabric.inject(0, Packet{DataHeader{f, 1, 64}}, -1);
+  env.sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(SwitchDeviceTest, MissingRuleIsBlackholeHook) {
+  Env env;
+  int blackholes = 0;
+  env.fabric.hooks().on_blackhole = [&](net::NodeId, const DataHeader&) {
+    ++blackholes;
+  };
+  env.fabric.inject(0, Packet{DataHeader{123, 0, 64}}, -1);
+  env.sim.run();
+  EXPECT_EQ(blackholes, 1);
+  EXPECT_EQ(env.fabric.trace().count(sim::TraceKind::kBlackholeDetected), 1u);
+}
+
+TEST(SwitchDeviceTest, TtlExpiryDropsPacket) {
+  Env env;
+  // Loop: 0 -> 1 -> 0.
+  const net::FlowId f = 5;
+  env.fabric.sw(0).set_rule_now(f, env.topo.graph.port_of(0, 1));
+  env.fabric.sw(1).set_rule_now(f, env.topo.graph.port_of(1, 0));
+  int expired = 0;
+  env.fabric.hooks().on_ttl_expired = [&](net::NodeId, const DataHeader&) {
+    ++expired;
+  };
+  env.fabric.inject(0, Packet{DataHeader{f, 0, 8}}, -1);
+  env.sim.run();
+  EXPECT_EQ(expired, 1);
+}
+
+TEST(SwitchDeviceTest, InstallRuleTakesInstallDelay) {
+  Env env;
+  auto& sw = env.fabric.sw(0);
+  bool active = false;
+  sim::Time when = 0;
+  sw.install_rule(7, 0, [&] {
+    active = true;
+    when = env.sim.now();
+  });
+  EXPECT_FALSE(sw.lookup(7).has_value());
+  env.sim.run();
+  EXPECT_TRUE(active);
+  EXPECT_EQ(when, sim::milliseconds(10));  // default install delay
+  EXPECT_EQ(sw.lookup(7), std::optional<std::int32_t>(0));
+  EXPECT_EQ(sw.installs_completed(), 1u);
+}
+
+TEST(SwitchDeviceTest, InstallsRetireInIssueOrderPerFlow) {
+  // A straggling older install must not overwrite a newer one, even if the
+  // newer was issued later with a shorter delay (fast-forward safety).
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  SwitchParams params;
+  params.straggler_mean_ms = 200.0;  // huge variance across installs
+  Fabric fabric(sim, topo.graph, params, /*seed=*/3);
+  auto& sw = fabric.sw(0);
+  std::vector<int> completion_order;
+  sw.install_rule(7, 0, [&] { completion_order.push_back(1); });
+  sw.install_rule(7, 1, [&] { completion_order.push_back(2); });
+  sw.install_rule(7, 0, [&] { completion_order.push_back(3); });
+  sw.install_rule(7, 1, [&] { completion_order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sw.lookup(7), std::optional<std::int32_t>(1));  // last write
+}
+
+TEST(SwitchDeviceTest, StragglerDelayIncreasesInstallTime) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  SwitchParams params;
+  params.straggler_mean_ms = 100.0;
+  Fabric fabric(sim, topo.graph, params, /*seed=*/5);
+  sim::Time done = 0;
+  fabric.sw(0).install_rule(1, 0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_GT(done, sim::milliseconds(10));  // base + exp(100ms) sample
+}
+
+TEST(SwitchDeviceTest, ResubmitReentersQueueAfterInterval) {
+  Env env;
+  RecordingPipeline pipe;
+  auto& sw = env.fabric.sw(0);
+  sw.set_pipeline(&pipe);
+  UnmHeader unm;
+  unm.flow = 2;
+  sw.resubmit(Packet{unm}, 3);
+  env.sim.run();
+  ASSERT_EQ(pipe.handled.size(), 1u);
+  EXPECT_EQ(pipe.handled[0].second, 3);
+  // resubmit_interval (1ms) + service (200us).
+  EXPECT_EQ(env.sim.now(), sim::milliseconds(1) + sim::microseconds(200));
+}
+
+TEST(SwitchDeviceTest, RemoveRuleDeletesEntry) {
+  Env env;
+  auto& sw = env.fabric.sw(0);
+  sw.set_rule_now(4, 1);
+  EXPECT_TRUE(sw.lookup(4).has_value());
+  sw.remove_rule(4);
+  EXPECT_FALSE(sw.lookup(4).has_value());
+}
+
+TEST(SwitchDeviceTest, DataPacketsVisibleToPipelineHook) {
+  Env env;
+  RecordingPipeline pipe;
+  env.fabric.sw(0).set_pipeline(&pipe);
+  env.fabric.sw(0).set_rule_now(11, SwitchDevice::kLocalPort);
+  env.fabric.inject(0, Packet{DataHeader{11, 42, 64}}, -1);
+  env.sim.run();
+  ASSERT_EQ(pipe.data_seen.size(), 1u);
+  EXPECT_EQ(pipe.data_seen[0], 42u);
+}
+
+}  // namespace
+}  // namespace p4u::p4rt

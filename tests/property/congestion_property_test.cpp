@@ -1,0 +1,104 @@
+// Property: under random near-capacity multi-flow workloads, P4Update's
+// data-plane scheduler never lets installed rules exceed any link capacity
+// (Corollaries 1-4), terminates, and — on workloads generated feasible by
+// construction — usually completes every flow.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "harness/traffic.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+class CongestionProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(CongestionProperty, CapacityNeverViolatedOnB4) {
+  const auto [utilization, seed] = GetParam();
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 3);
+  TrafficParams traffic;
+  traffic.target_utilization = utilization;
+  const auto flows = gravity_multiflow(g, rng, traffic);
+
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  params.congestion_mode = true;
+  params.monitor_capacity = true;
+  params.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  params.trace_enabled = false;
+  TestBed bed(g, params);
+  std::vector<std::pair<net::FlowId, net::Path>> batch;
+  for (const TrafficFlow& tf : flows) {
+    bed.deploy_flow(tf.flow, tf.old_path);
+    batch.emplace_back(tf.flow.id, tf.new_path);
+  }
+  bed.schedule_batch_at(sim::milliseconds(10), std::move(batch));
+  bed.run(sim::seconds(300));
+
+  EXPECT_EQ(bed.monitor().violations().capacity, 0u);
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  EXPECT_TRUE(bed.simulator().idle()) << "must terminate (timeouts bound it)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UtilizationAndSeeds, CongestionProperty,
+    ::testing::Combine(::testing::Values(0.5, 0.9, 0.99),
+                       ::testing::Range(0, 4)));
+
+TEST(CongestionPropertyTest, ModerateUtilizationAlwaysCompletes) {
+  // At 50% utilization there is always enough slack: every flow finishes.
+  net::Graph g = net::internet2_topology();
+  net::set_uniform_capacity(g, 100.0);
+  MultiFlowConfig cfg;
+  cfg.runs = 3;
+  cfg.traffic.target_utilization = 0.5;
+  cfg.bed.congestion_mode = true;
+  cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  const ExperimentResult r = run_multi_flow(g, cfg);
+  EXPECT_EQ(r.incomplete_runs, 0u);
+  EXPECT_EQ(r.violations.capacity, 0u);
+}
+
+TEST(CongestionPropertyTest, SchedulerAblationViolatesWithoutChecks) {
+  // Negative control: the same near-capacity workload with the scheduler
+  // off must eventually put some link over capacity, proving the monitor
+  // and the workload actually bite.
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  for (int seed = 0; seed < 8; ++seed) {
+    sim::Rng rng(static_cast<std::uint64_t>(seed) * 13007 + 17);
+    TrafficParams traffic;
+    traffic.target_utilization = 0.99;
+    const auto flows = gravity_multiflow(g, rng, traffic);
+    TestBedParams params;
+    params.seed = static_cast<std::uint64_t>(seed);
+    params.congestion_mode = false;  // scheduler off
+    params.monitor_capacity = true;
+    params.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+    params.trace_enabled = false;
+    TestBed bed(g, params);
+    std::vector<std::pair<net::FlowId, net::Path>> batch;
+    for (const TrafficFlow& tf : flows) {
+      bed.deploy_flow(tf.flow, tf.old_path);
+      batch.emplace_back(tf.flow.id, tf.new_path);
+    }
+    bed.schedule_batch_at(sim::milliseconds(10), std::move(batch));
+    bed.run(sim::seconds(300));
+    if (bed.monitor().violations().capacity > 0) {
+      SUCCEED();
+      return;
+    }
+  }
+  // Transient overuse is workload-dependent; not finding one in 8 seeds at
+  // 99% utilization would be extremely surprising.
+  FAIL() << "no transient capacity violation found across seeds";
+}
+
+}  // namespace
+}  // namespace p4u::harness

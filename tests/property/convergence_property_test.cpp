@@ -1,0 +1,128 @@
+// Property: with consistent messages and no faults, the flow converges to
+// the HIGHEST version pushed by the controller (Theorems 2 and 4), no
+// matter how many updates are issued in rapid succession, in either order
+// of SL/DL choices.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+std::vector<net::Path> candidate_paths(const net::Graph& g, net::NodeId src,
+                                       net::NodeId dst) {
+  return net::k_shortest_paths(g, src, dst, 5, net::Metric::kHops);
+}
+
+class ConvergenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvergenceProperty, RapidUpdateBurstsConvergeToNewestVersion) {
+  const auto [n_updates, seed] = GetParam();
+  const net::Graph g = net::internet2_topology();
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 31337 + 11);
+
+  // Diameter-ish pair with several alternative paths.
+  const net::NodeId src = 0;
+  const net::NodeId dst = 15;
+  const auto paths = candidate_paths(g, src, dst);
+  ASSERT_GE(paths.size(), 3u);
+
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  params.switch_params.straggler_mean_ms = 30.0;
+  params.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  TestBed bed(g, params);
+  net::Flow f;
+  f.ingress = src;
+  f.egress = dst;
+  f.id = net::flow_id_of(src, dst);
+  f.size = 1.0;
+  bed.deploy_flow(f, paths[0]);
+
+  // Issue n_updates in a burst, a few ms apart — far faster than any can
+  // complete; the data plane must fast-forward.
+  std::vector<net::Path> targets;
+  for (int i = 0; i < n_updates; ++i) {
+    targets.push_back(paths[rng.uniform(paths.size() - 1) + 1]);
+    bed.schedule_update_at(sim::milliseconds(10 + 3 * i), f.id,
+                           targets.back());
+  }
+  bed.run(sim::seconds(300));
+
+  const p4rt::Version newest = static_cast<p4rt::Version>(n_updates + 1);
+  ASSERT_TRUE(bed.flow_db().duration(f.id, newest).has_value())
+      << "newest version must converge";
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+
+  // Every node on the newest path runs the newest version, and the data
+  // path from ingress follows the newest target exactly.
+  const net::Path& final_path = targets.back();
+  for (net::NodeId n : final_path) {
+    EXPECT_EQ(bed.p4update_switch(n).uib().applied(f.id).new_version, newest)
+        << "node " << n;
+  }
+  for (std::size_t i = 0; i + 1 < final_path.size(); ++i) {
+    EXPECT_EQ(bed.fabric().sw(final_path[i]).lookup(f.id),
+              std::optional<std::int32_t>(
+                  g.port_of(final_path[i], final_path[i + 1])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstsAndSeeds, ConvergenceProperty,
+    ::testing::Combine(::testing::Values(2, 4, 7),
+                       ::testing::Range(0, 4)));
+
+TEST(ConvergenceTest, BackAndForthFlappingConverges) {
+  // Flap between two paths many times; the last one wins.
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 7;
+  f.id = net::flow_id_of(0, 7);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  for (int i = 0; i < 8; ++i) {
+    bed.schedule_update_at(sim::milliseconds(10 + 5 * i), f.id,
+                           (i % 2 == 0) ? topo.new_path : topo.old_path);
+  }
+  bed.run(sim::seconds(300));
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 9).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+  // i = 7 (odd) -> old path is final.
+  for (std::size_t i = 0; i + 1 < topo.old_path.size(); ++i) {
+    EXPECT_EQ(bed.fabric().sw(topo.old_path[i]).lookup(f.id),
+              std::optional<std::int32_t>(topo.graph.port_of(
+                  topo.old_path[i], topo.old_path[i + 1])));
+  }
+}
+
+TEST(ConvergenceTest, AppendixCConsecutiveDualLayerConverges) {
+  // With the extension on, two DL updates back to back converge too.
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.allow_consecutive_dual = true;
+  params.force_type = p4rt::UpdateType::kDualLayer;
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 7;
+  f.id = net::flow_id_of(0, 7);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+  bed.schedule_update_at(sim::seconds(3), f.id, topo.old_path);
+  bed.run(sim::seconds(300));
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  ASSERT_TRUE(bed.flow_db().duration(f.id, 3).has_value());
+  EXPECT_EQ(bed.monitor().violations().total(), 0u);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,153 @@
+// Property: under dropped and reordered update messages (the §5
+// verification model), P4Update may fail to converge, but the data plane is
+// NEVER inconsistent — no loops, no blackholes, and inconsistent messages
+// produce controller alarms instead of state corruption.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+class FaultInjectionProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(FaultInjectionProperty, DropsAndReordersNeverBreakConsistency) {
+  const auto [drop_prob, seed] = GetParam();
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  TestBed bed(topo.graph, params);
+  bed.fabric().faults().control_drop_prob = drop_prob;
+  bed.fabric().faults().reorder_jitter = sim::milliseconds(30);
+
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 7;
+  f.id = net::flow_id_of(0, 7);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+  bed.schedule_update_at(sim::milliseconds(500), f.id, {0, 4, 5, 6, 7});
+  bed.run(sim::seconds(120));
+
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  // Whatever happened, the simulation must terminate (no infinite
+  // recirculation).
+  EXPECT_TRUE(bed.simulator().idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropRates, FaultInjectionProperty,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.5),
+                       ::testing::Range(0, 5)));
+
+// Corruption: flip fields of UNMs in flight; verification must reject and
+// alarm, never install.
+class CorruptionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionProperty, CorruptedUnmFieldsAreRejected) {
+  const int seed = GetParam();
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 7;
+  f.id = net::flow_id_of(0, 7);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
+
+  // Inject corrupted UNMs at random nodes mid-update. Corruption per the
+  // paper's model (§7.1: "the content of UIM or UNM could also be
+  // corrupted") mangles fields of real messages — the distances below are
+  // outside any node's label, so Alg. 1/2 must reject every one of them.
+  // (A forged message with *perfectly consistent* fields is
+  // indistinguishable from a real one without authentication and is outside
+  // the paper's fault model.)
+  sim::Rng rng(static_cast<std::uint64_t>(seed) ^ 0xBAD);
+  for (int i = 0; i < 10; ++i) {
+    p4rt::UnmHeader bad;
+    bad.flow = f.id;
+    bad.new_version = 2;
+    bad.new_distance = static_cast<p4rt::Distance>(rng.uniform(8)) + 50;
+    bad.old_version = 1;
+    bad.old_distance = static_cast<p4rt::Distance>(rng.uniform(8));
+    bad.type = (i % 2 == 0) ? p4rt::UpdateType::kDualLayer
+                            : p4rt::UpdateType::kSingleLayer;
+    bad.from = 99;
+    const auto node =
+        static_cast<net::NodeId>(rng.uniform(topo.graph.node_count()));
+    const sim::Time at = sim::milliseconds(15 + 7 * i);
+    bed.simulator().schedule_at(at, [&bed, node, bad]() {
+      bed.fabric().inject(node, p4rt::Packet{bad}, 0);
+    });
+  }
+  bed.run(sim::seconds(120));
+
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  EXPECT_TRUE(bed.simulator().idle());
+  // Detectably-corrupted messages are all rejected; the legitimate update
+  // still converges.
+  EXPECT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+  for (std::size_t n = 0; n < topo.graph.node_count(); ++n) {
+    const auto node = static_cast<net::NodeId>(n);
+    const auto rule = bed.fabric().sw(node).lookup(f.id);
+    if (!rule) continue;
+    // Every installed rule must come from the old or the new configuration
+    // (rules only ever originate from legitimate UIM contents).
+    const auto succ_on = [&](const net::Path& p) -> std::int32_t {
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        if (p[i] == node) return topo.graph.port_of(node, p[i + 1]);
+      }
+      return p.back() == node ? p4rt::SwitchDevice::kLocalPort : -1;
+    };
+    const std::int32_t old_rule = succ_on(topo.old_path);
+    const std::int32_t new_rule = succ_on(topo.new_path);
+    EXPECT_TRUE(*rule == old_rule || *rule == new_rule)
+        << "node " << node << " runs a rule from no configuration: " << *rule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionProperty, ::testing::Range(0, 8));
+
+TEST(FaultInjectionTest, LostUimLeavesNodeWaitingThenAlarming) {
+  // Drop every control-plane-to-switch message for one node by removing it
+  // from the path's UIM set: the UNM chain stalls there, times out, and the
+  // controller gets an alarm — no partial installs downstream of the stall.
+  net::NamedTopology topo = net::fig1_topology();
+  TestBedParams params;
+  TestBed bed(topo.graph, params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 7;
+  f.id = net::flow_id_of(0, 7);
+  f.size = 1.0;
+  bed.deploy_flow(f, topo.old_path);
+
+  // Craft the update manually: send UIMs for all new-path nodes except v5.
+  bed.simulator().schedule_at(sim::milliseconds(10), [&]() {
+    auto prepared = bed.p4update().prepare(f.id, topo.new_path, 2);
+    for (const auto& uim : prepared.uims) {
+      if (uim.target == 5) continue;  // "lost" UIM
+      bed.channel().send_to_switch(uim.target, p4rt::Packet{uim});
+    }
+  });
+  bed.run(sim::seconds(120));
+
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  // v5 never updates; neither does anything upstream of it on the chain.
+  EXPECT_EQ(bed.p4update_switch(5).uib().applied(f.id).new_version, 0);
+  EXPECT_NE(bed.p4update_switch(4).uib().applied(f.id).new_version, 2);
+  EXPECT_TRUE(bed.simulator().idle());
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,114 @@
+// Property: on any topology, for any random (old path, new path) pair and
+// any seed, P4Update never creates a loop or a blackhole at any moment of
+// the update (Theorems 1 and 3), with and without stragglers.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/fattree.hpp"
+#include "net/topologies.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace p4u::harness {
+namespace {
+
+net::Graph topology_by_name(const std::string& name) {
+  if (name == "b4") return net::b4_topology();
+  if (name == "internet2") return net::internet2_topology();
+  if (name == "fattree4") return net::fattree_topology(4).graph;
+  return net::fig1_topology().graph;
+}
+
+struct RandomPaths {
+  net::Path old_path;
+  net::Path new_path;
+};
+
+std::optional<RandomPaths> random_path_pair(const net::Graph& g,
+                                            sim::Rng& rng) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const auto src = static_cast<net::NodeId>(rng.uniform(g.node_count()));
+    const auto dst = static_cast<net::NodeId>(rng.uniform(g.node_count()));
+    if (src == dst) continue;
+    const auto ks = net::k_shortest_paths(g, src, dst, 4, net::Metric::kHops);
+    if (ks.size() < 2) continue;
+    const std::size_t a = rng.uniform(ks.size());
+    std::size_t b = rng.uniform(ks.size());
+    if (a == b) b = (b + 1) % ks.size();
+    return RandomPaths{ks[a], ks[b]};
+  }
+  return std::nullopt;
+}
+
+class LoopFreedomProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(LoopFreedomProperty, NoLoopNoBlackholeEver) {
+  const auto [topo_name, seed] = GetParam();
+  const net::Graph g = topology_by_name(topo_name);
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const auto paths = random_path_pair(g, rng);
+  ASSERT_TRUE(paths.has_value());
+
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  params.switch_params.straggler_mean_ms = (seed % 2 == 0) ? 100.0 : 0.0;
+  TestBed bed(g, params);
+  net::Flow f;
+  f.ingress = paths->old_path.front();
+  f.egress = paths->old_path.back();
+  f.id = net::flow_id_of(f.ingress, f.egress);
+  f.size = 1.0;
+  bed.deploy_flow(f, paths->old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, paths->new_path);
+  bed.run();
+
+  EXPECT_EQ(bed.monitor().violations().loops, 0u)
+      << "old: " << ::testing::PrintToString(paths->old_path)
+      << " new: " << ::testing::PrintToString(paths->new_path);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  // With no faults, the update must also converge (Theorem 2/4).
+  EXPECT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndSeeds, LoopFreedomProperty,
+    ::testing::Combine(::testing::Values("fig1", "b4", "internet2",
+                                         "fattree4"),
+                       ::testing::Range(0, 6)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Forced-DL variant: even when the controller would have chosen SL, the
+// dual-layer machinery must uphold the same invariants.
+class ForcedDlProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForcedDlProperty, DualLayerAlwaysConsistent) {
+  const int seed = GetParam();
+  const net::Graph g = net::internet2_topology();
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+  const auto paths = random_path_pair(g, rng);
+  ASSERT_TRUE(paths.has_value());
+
+  TestBedParams params;
+  params.seed = static_cast<std::uint64_t>(seed);
+  params.force_type = p4rt::UpdateType::kDualLayer;
+  TestBed bed(g, params);
+  net::Flow f;
+  f.ingress = paths->old_path.front();
+  f.egress = paths->old_path.back();
+  f.id = net::flow_id_of(f.ingress, f.egress);
+  f.size = 1.0;
+  bed.deploy_flow(f, paths->old_path);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, paths->new_path);
+  bed.run();
+  EXPECT_EQ(bed.monitor().violations().loops, 0u);
+  EXPECT_EQ(bed.monitor().violations().blackholes, 0u);
+  EXPECT_TRUE(bed.flow_db().duration(f.id, 2).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForcedDlProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace p4u::harness

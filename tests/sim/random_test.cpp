@@ -1,0 +1,114 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p4u::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatesParameter) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, NormalMomentsApproximateParameters) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(4.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 4.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalRespectsFloor) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(rng.truncated_normal(4.0, 3.0, 0.5), 0.5);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, DurationHelpers) {
+  Rng rng(31);
+  const Duration d = exponential_ms(rng, 100.0);
+  EXPECT_GT(d, 0);
+  const Duration t = truncated_normal_ms(rng, 4.0, 3.0, 0.5);
+  EXPECT_GE(t, milliseconds_f(0.5));
+}
+
+TEST(RngTest, UniformRejectionIsUnbiasedAcrossSmallRange) {
+  Rng rng(37);
+  std::vector<int> counts(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(3)];
+  for (int c : counts) EXPECT_NEAR(c, n / 3, n / 60);
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -1,0 +1,90 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::sim {
+namespace {
+
+TEST(SamplesTest, BasicMoments) {
+  Samples s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(SamplesTest, PercentileClampsOutOfRange) {
+  Samples s;
+  s.add(5.0);
+  s.add(15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 15.0);
+}
+
+TEST(SamplesTest, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(SamplesTest, SingleSample) {
+  Samples s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(SamplesTest, CiHalfwidthShrinksWithMoreSamples) {
+  Samples small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) big.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci_halfwidth(), big.ci_halfwidth());
+}
+
+TEST(SamplesTest, AddAllAppends) {
+  Samples s;
+  s.add_all({1.0, 2.0, 3.0});
+  s.add_all({4.0});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(EmpiricalCdfTest, MonotoneAndEndsAtOne) {
+  Samples s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  const auto cdf = empirical_cdf(s);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative, cdf[i].cumulative);
+  }
+}
+
+TEST(SummaryLineTest, ContainsKeyFields) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  const std::string line = summary_line(s);
+  EXPECT_NE(line.find("mean="), std::string::npos);
+  EXPECT_NE(line.find("n=2"), std::string::npos);
+  EXPECT_EQ(summary_line(Samples{}), "n=0");
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::sim {
+namespace {
+
+TEST(TraceTest, RecordsAndCounts) {
+  Trace t;
+  t.add({milliseconds(1), TraceKind::kRuleInstalled, 3, 77, 1, 2, "x"});
+  t.add({milliseconds(2), TraceKind::kVerifyRejected, 4, 77, 0, 0, ""});
+  t.add({milliseconds(3), TraceKind::kRuleInstalled, 5, 78, 0, 0, ""});
+  EXPECT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.count(TraceKind::kRuleInstalled), 2u);
+  EXPECT_EQ(t.count(TraceKind::kLoopDetected), 0u);
+}
+
+TEST(TraceTest, FirstFindsEarliestOfKind) {
+  Trace t;
+  t.add({milliseconds(1), TraceKind::kInfo, 1, 0, 0, 0, "a"});
+  t.add({milliseconds(2), TraceKind::kInfo, 2, 0, 0, 0, "b"});
+  const TraceEntry* e = t.first(TraceKind::kInfo);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->note, "a");
+  EXPECT_EQ(t.first(TraceKind::kLoopDetected), nullptr);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  Trace t;
+  t.set_enabled(false);
+  t.add({0, TraceKind::kInfo, 0, 0, 0, 0, ""});
+  EXPECT_TRUE(t.entries().empty());
+  t.set_enabled(true);
+  t.add({0, TraceKind::kInfo, 0, 0, 0, 0, ""});
+  EXPECT_EQ(t.entries().size(), 1u);
+}
+
+TEST(TraceTest, DumpRendersOneLinePerEntry) {
+  Trace t;
+  t.add({milliseconds(5), TraceKind::kVerifyAccepted, 2, 9, 3, 4, "note"});
+  const std::string d = t.dump();
+  EXPECT_NE(d.find("verify-accepted"), std::string::npos);
+  EXPECT_NE(d.find("node=2"), std::string::npos);
+  EXPECT_NE(d.find("note"), std::string::npos);
+}
+
+TEST(TraceTest, ClearEmpties) {
+  Trace t;
+  t.add({0, TraceKind::kInfo, 0, 0, 0, 0, ""});
+  t.clear();
+  EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(TraceTest, EveryKindHasName) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kInfo); ++k) {
+    EXPECT_STRNE(to_string(static_cast<TraceKind>(k)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace p4u::sim
