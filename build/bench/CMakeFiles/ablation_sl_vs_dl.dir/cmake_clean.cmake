@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sl_vs_dl.dir/ablation_sl_vs_dl.cpp.o"
+  "CMakeFiles/ablation_sl_vs_dl.dir/ablation_sl_vs_dl.cpp.o.d"
+  "ablation_sl_vs_dl"
+  "ablation_sl_vs_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sl_vs_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_sl_vs_dl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_inconsistency.dir/fig2_inconsistency.cpp.o"
+  "CMakeFiles/fig2_inconsistency.dir/fig2_inconsistency.cpp.o.d"
+  "fig2_inconsistency"
+  "fig2_inconsistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_inconsistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fastforward.dir/fig4_fastforward.cpp.o"
+  "CMakeFiles/fig4_fastforward.dir/fig4_fastforward.cpp.o.d"
+  "fig4_fastforward"
+  "fig4_fastforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fastforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dest_tree.dir/dest_tree.cpp.o"
+  "CMakeFiles/dest_tree.dir/dest_tree.cpp.o.d"
+  "dest_tree"
+  "dest_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dest_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

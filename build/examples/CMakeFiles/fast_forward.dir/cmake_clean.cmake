@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_forward.dir/fast_forward.cpp.o"
+  "CMakeFiles/fast_forward.dir/fast_forward.cpp.o.d"
+  "fast_forward"
+  "fast_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

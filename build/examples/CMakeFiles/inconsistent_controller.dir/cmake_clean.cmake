@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inconsistent_controller.dir/inconsistent_controller.cpp.o"
+  "CMakeFiles/inconsistent_controller.dir/inconsistent_controller.cpp.o.d"
+  "inconsistent_controller"
+  "inconsistent_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inconsistent_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for inconsistent_controller.
+# This may be replaced when dependencies are built.

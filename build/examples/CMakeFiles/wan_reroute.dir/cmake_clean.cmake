@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_reroute.dir/wan_reroute.cpp.o"
+  "CMakeFiles/wan_reroute.dir/wan_reroute.cpp.o.d"
+  "wan_reroute"
+  "wan_reroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_reroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

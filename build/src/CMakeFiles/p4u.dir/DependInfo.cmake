@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central_controller.cpp" "src/CMakeFiles/p4u.dir/baselines/central_controller.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/baselines/central_controller.cpp.o.d"
+  "/root/repo/src/baselines/central_switch.cpp" "src/CMakeFiles/p4u.dir/baselines/central_switch.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/baselines/central_switch.cpp.o.d"
+  "/root/repo/src/baselines/dependency_graph.cpp" "src/CMakeFiles/p4u.dir/baselines/dependency_graph.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/baselines/dependency_graph.cpp.o.d"
+  "/root/repo/src/baselines/ezsegway_controller.cpp" "src/CMakeFiles/p4u.dir/baselines/ezsegway_controller.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/baselines/ezsegway_controller.cpp.o.d"
+  "/root/repo/src/baselines/ezsegway_switch.cpp" "src/CMakeFiles/p4u.dir/baselines/ezsegway_switch.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/baselines/ezsegway_switch.cpp.o.d"
+  "/root/repo/src/control/dest_tree.cpp" "src/CMakeFiles/p4u.dir/control/dest_tree.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/control/dest_tree.cpp.o.d"
+  "/root/repo/src/control/flow_db.cpp" "src/CMakeFiles/p4u.dir/control/flow_db.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/control/flow_db.cpp.o.d"
+  "/root/repo/src/control/labeling.cpp" "src/CMakeFiles/p4u.dir/control/labeling.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/control/labeling.cpp.o.d"
+  "/root/repo/src/control/nib.cpp" "src/CMakeFiles/p4u.dir/control/nib.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/control/nib.cpp.o.d"
+  "/root/repo/src/control/segmentation.cpp" "src/CMakeFiles/p4u.dir/control/segmentation.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/control/segmentation.cpp.o.d"
+  "/root/repo/src/core/congestion.cpp" "src/CMakeFiles/p4u.dir/core/congestion.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/congestion.cpp.o.d"
+  "/root/repo/src/core/dl_verify.cpp" "src/CMakeFiles/p4u.dir/core/dl_verify.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/dl_verify.cpp.o.d"
+  "/root/repo/src/core/p4update_controller.cpp" "src/CMakeFiles/p4u.dir/core/p4update_controller.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/p4update_controller.cpp.o.d"
+  "/root/repo/src/core/p4update_switch.cpp" "src/CMakeFiles/p4u.dir/core/p4update_switch.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/p4update_switch.cpp.o.d"
+  "/root/repo/src/core/sl_verify.cpp" "src/CMakeFiles/p4u.dir/core/sl_verify.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/sl_verify.cpp.o.d"
+  "/root/repo/src/core/two_phase.cpp" "src/CMakeFiles/p4u.dir/core/two_phase.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/two_phase.cpp.o.d"
+  "/root/repo/src/core/uib.cpp" "src/CMakeFiles/p4u.dir/core/uib.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/core/uib.cpp.o.d"
+  "/root/repo/src/harness/cdf_render.cpp" "src/CMakeFiles/p4u.dir/harness/cdf_render.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/cdf_render.cpp.o.d"
+  "/root/repo/src/harness/demo_scenarios.cpp" "src/CMakeFiles/p4u.dir/harness/demo_scenarios.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/demo_scenarios.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/p4u.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/invariant_monitor.cpp" "src/CMakeFiles/p4u.dir/harness/invariant_monitor.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/invariant_monitor.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/CMakeFiles/p4u.dir/harness/scenario.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/scenario.cpp.o.d"
+  "/root/repo/src/harness/traffic.cpp" "src/CMakeFiles/p4u.dir/harness/traffic.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/harness/traffic.cpp.o.d"
+  "/root/repo/src/net/fattree.cpp" "src/CMakeFiles/p4u.dir/net/fattree.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/fattree.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/p4u.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/p4u.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "src/CMakeFiles/p4u.dir/net/paths.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/paths.cpp.o.d"
+  "/root/repo/src/net/topologies.cpp" "src/CMakeFiles/p4u.dir/net/topologies.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/topologies.cpp.o.d"
+  "/root/repo/src/net/topology_zoo.cpp" "src/CMakeFiles/p4u.dir/net/topology_zoo.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/net/topology_zoo.cpp.o.d"
+  "/root/repo/src/p4rt/control_channel.cpp" "src/CMakeFiles/p4u.dir/p4rt/control_channel.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/p4rt/control_channel.cpp.o.d"
+  "/root/repo/src/p4rt/fabric.cpp" "src/CMakeFiles/p4u.dir/p4rt/fabric.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/p4rt/fabric.cpp.o.d"
+  "/root/repo/src/p4rt/packet.cpp" "src/CMakeFiles/p4u.dir/p4rt/packet.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/p4rt/packet.cpp.o.d"
+  "/root/repo/src/p4rt/switch_device.cpp" "src/CMakeFiles/p4u.dir/p4rt/switch_device.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/p4rt/switch_device.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/p4u.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/p4u.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/p4u.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/p4u.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/p4u.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

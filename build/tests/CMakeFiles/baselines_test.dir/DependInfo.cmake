@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/central_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/central_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/central_test.cpp.o.d"
+  "/root/repo/tests/baselines/dependency_graph_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/dependency_graph_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/dependency_graph_test.cpp.o.d"
+  "/root/repo/tests/baselines/ezsegway_switch_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/ezsegway_switch_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/ezsegway_switch_test.cpp.o.d"
+  "/root/repo/tests/baselines/ezsegway_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/ezsegway_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/ezsegway_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4u.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

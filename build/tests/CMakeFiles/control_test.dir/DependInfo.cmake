@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/dest_tree_test.cpp" "tests/CMakeFiles/control_test.dir/control/dest_tree_test.cpp.o" "gcc" "tests/CMakeFiles/control_test.dir/control/dest_tree_test.cpp.o.d"
+  "/root/repo/tests/control/flow_db_test.cpp" "tests/CMakeFiles/control_test.dir/control/flow_db_test.cpp.o" "gcc" "tests/CMakeFiles/control_test.dir/control/flow_db_test.cpp.o.d"
+  "/root/repo/tests/control/labeling_test.cpp" "tests/CMakeFiles/control_test.dir/control/labeling_test.cpp.o" "gcc" "tests/CMakeFiles/control_test.dir/control/labeling_test.cpp.o.d"
+  "/root/repo/tests/control/nib_test.cpp" "tests/CMakeFiles/control_test.dir/control/nib_test.cpp.o" "gcc" "tests/CMakeFiles/control_test.dir/control/nib_test.cpp.o.d"
+  "/root/repo/tests/control/segmentation_test.cpp" "tests/CMakeFiles/control_test.dir/control/segmentation_test.cpp.o" "gcc" "tests/CMakeFiles/control_test.dir/control/segmentation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4u.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_test.dir/control/dest_tree_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/dest_tree_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/control/flow_db_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/flow_db_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/control/labeling_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/labeling_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/control/nib_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/nib_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/control/segmentation_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/segmentation_test.cpp.o.d"
+  "control_test"
+  "control_test.pdb"
+  "control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

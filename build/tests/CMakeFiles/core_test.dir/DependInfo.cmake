@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/congestion_test.cpp" "tests/CMakeFiles/core_test.dir/core/congestion_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/congestion_test.cpp.o.d"
+  "/root/repo/tests/core/dl_verify_test.cpp" "tests/CMakeFiles/core_test.dir/core/dl_verify_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dl_verify_test.cpp.o.d"
+  "/root/repo/tests/core/p4update_controller_test.cpp" "tests/CMakeFiles/core_test.dir/core/p4update_controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/p4update_controller_test.cpp.o.d"
+  "/root/repo/tests/core/p4update_switch_test.cpp" "tests/CMakeFiles/core_test.dir/core/p4update_switch_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/p4update_switch_test.cpp.o.d"
+  "/root/repo/tests/core/sl_verify_test.cpp" "tests/CMakeFiles/core_test.dir/core/sl_verify_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sl_verify_test.cpp.o.d"
+  "/root/repo/tests/core/two_phase_test.cpp" "tests/CMakeFiles/core_test.dir/core/two_phase_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/two_phase_test.cpp.o.d"
+  "/root/repo/tests/core/uib_test.cpp" "tests/CMakeFiles/core_test.dir/core/uib_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/uib_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4u.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/congestion_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/congestion_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/dl_verify_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/dl_verify_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/p4update_controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/p4update_controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/p4update_switch_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/p4update_switch_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sl_verify_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sl_verify_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/two_phase_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/two_phase_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/uib_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/uib_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

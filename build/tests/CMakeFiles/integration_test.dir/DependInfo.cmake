@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/congestion_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/congestion_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/congestion_test.cpp.o.d"
+  "/root/repo/tests/integration/coordination_edge_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/coordination_edge_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/coordination_edge_test.cpp.o.d"
+  "/root/repo/tests/integration/dest_routing_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/dest_routing_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/dest_routing_test.cpp.o.d"
+  "/root/repo/tests/integration/dual_layer_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/dual_layer_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/dual_layer_test.cpp.o.d"
+  "/root/repo/tests/integration/fast_forward_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fast_forward_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fast_forward_test.cpp.o.d"
+  "/root/repo/tests/integration/inconsistency_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/inconsistency_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/inconsistency_test.cpp.o.d"
+  "/root/repo/tests/integration/multi_flow_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/multi_flow_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/multi_flow_test.cpp.o.d"
+  "/root/repo/tests/integration/recovery_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/recovery_test.cpp.o.d"
+  "/root/repo/tests/integration/single_flow_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/single_flow_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/single_flow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4u.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

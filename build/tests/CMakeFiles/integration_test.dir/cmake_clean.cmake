@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/congestion_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/congestion_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/coordination_edge_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/coordination_edge_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/dest_routing_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/dest_routing_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/dual_layer_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/dual_layer_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fast_forward_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fast_forward_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/inconsistency_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/inconsistency_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/multi_flow_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/multi_flow_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/recovery_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/recovery_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/single_flow_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/single_flow_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

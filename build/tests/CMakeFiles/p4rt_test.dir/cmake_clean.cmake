@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4rt_test.dir/p4rt/control_channel_test.cpp.o"
+  "CMakeFiles/p4rt_test.dir/p4rt/control_channel_test.cpp.o.d"
+  "CMakeFiles/p4rt_test.dir/p4rt/fabric_test.cpp.o"
+  "CMakeFiles/p4rt_test.dir/p4rt/fabric_test.cpp.o.d"
+  "CMakeFiles/p4rt_test.dir/p4rt/packet_test.cpp.o"
+  "CMakeFiles/p4rt_test.dir/p4rt/packet_test.cpp.o.d"
+  "CMakeFiles/p4rt_test.dir/p4rt/register_array_test.cpp.o"
+  "CMakeFiles/p4rt_test.dir/p4rt/register_array_test.cpp.o.d"
+  "CMakeFiles/p4rt_test.dir/p4rt/switch_device_test.cpp.o"
+  "CMakeFiles/p4rt_test.dir/p4rt/switch_device_test.cpp.o.d"
+  "p4rt_test"
+  "p4rt_test.pdb"
+  "p4rt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4rt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/baseline_consistency_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/baseline_consistency_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/baseline_consistency_property_test.cpp.o.d"
+  "/root/repo/tests/property/congestion_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/congestion_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/congestion_property_test.cpp.o.d"
+  "/root/repo/tests/property/convergence_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/convergence_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/convergence_property_test.cpp.o.d"
+  "/root/repo/tests/property/fault_injection_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/fault_injection_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/fault_injection_property_test.cpp.o.d"
+  "/root/repo/tests/property/loop_freedom_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/loop_freedom_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/loop_freedom_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4u.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
