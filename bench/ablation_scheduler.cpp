@@ -4,19 +4,24 @@
 // reports (i) capacity violations (off -> transient overcommitment; on ->
 // zero) and (ii) the completion cost of enforcing congestion freedom.
 #include <cstdio>
+#include <string>
 
 #include "harness/experiment.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
   std::printf("Ablation: data-plane congestion scheduler (§7.4), B4 and "
               "Internet2, 30 runs each\n\n");
   std::printf("%-12s %-10s %12s %14s %14s %12s\n", "topology", "scheduler",
               "mean [ms]", "cap.violations", "deadlocked", "alarms");
 
   bool shape = true;
+  obs::MetricsRegistry merged;
+  std::vector<std::pair<std::string, sim::Samples>> series;
   for (const char* name : {"B4", "Internet2"}) {
     net::Graph g = std::string(name) == "B4" ? net::b4_topology()
                                              : net::internet2_topology();
@@ -38,8 +43,21 @@ int main() {
                   static_cast<unsigned long long>(r.alarms));
       (scheduler_on ? violations_on : violations_off) +=
           r.violations.capacity;
+      merged.merge_from(r.metrics);
+      series.emplace_back(std::string(name) + "." +
+                              (scheduler_on ? "on" : "off") +
+                              ".update_time_ms",
+                          r.update_times_ms);
     }
     shape = shape && violations_on == 0 && violations_off > 0;
+  }
+
+  if (!out_dir.empty()) {
+    obs::RunReport rep(out_dir, "ablation_scheduler");
+    rep.set_meta("ablation", "scheduler");
+    rep.add_metrics(merged);
+    for (const auto& [slug, s] : series) rep.add_samples(slug, s, "ms");
+    std::printf("\nrun report: %s\n", rep.write().c_str());
   }
 
   std::printf("\n---- expected shape ----\n");

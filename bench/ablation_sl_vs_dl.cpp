@@ -8,12 +8,14 @@
 // two in each regime.
 #include <cstdio>
 #include <optional>
+#include <string>
 
 #include "harness/cdf_render.hpp"
 #include "harness/experiment.hpp"
 #include "net/fattree.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 
 namespace {
 
@@ -23,6 +25,9 @@ using harness::CtrlLatencyModel;
 struct Triple {
   sim::Samples sl, dl, acc;
 };
+
+/// All modes' merged metrics, harvested for the --out run report.
+obs::MetricsRegistry g_metrics;
 
 Triple run_single(const net::Graph& g, const net::Path& old_p,
                   const net::Path& new_p, CtrlLatencyModel lat) {
@@ -42,7 +47,9 @@ Triple run_single(const net::Graph& g, const net::Path& old_p,
     cfg.bed.ctrl_latency_model = lat;
     cfg.bed.switch_params.straggler_mean_ms = 100.0;
     cfg.bed.force_type = m.force;
-    *m.sink = run_single_flow(g, cfg).update_times_ms;
+    const harness::ExperimentResult r = run_single_flow(g, cfg);
+    *m.sink = r.update_times_ms;
+    g_metrics.merge_from(r.metrics);
   }
   return out;
 }
@@ -62,7 +69,9 @@ Triple run_multi(const net::Graph& g, CtrlLatencyModel lat) {
     cfg.bed.congestion_mode = true;
     cfg.bed.ctrl_latency_model = lat;
     cfg.bed.force_type = m.force;
-    *m.sink = run_multi_flow(g, cfg).update_times_ms;
+    const harness::ExperimentResult r = run_multi_flow(g, cfg);
+    *m.sink = r.update_times_ms;
+    g_metrics.merge_from(r.metrics);
   }
   return out;
 }
@@ -83,32 +92,51 @@ void report(const char* title, const Triple& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
   std::printf("Ablation: SL vs DL vs automatic strategy (§7.5), 30 runs "
               "each\n");
+  std::vector<std::pair<std::string, Triple>> figures;
   {
     net::NamedTopology topo = net::fig1_topology();
     net::set_uniform_capacity(topo.graph, 100.0);
-    report("synthetic (Fig. 1) -- single flow",
-           run_single(topo.graph, topo.old_path, topo.new_path,
-                      CtrlLatencyModel::kFixed));
+    figures.emplace_back("synthetic.single",
+                         run_single(topo.graph, topo.old_path, topo.new_path,
+                                    CtrlLatencyModel::kFixed));
+    report("synthetic (Fig. 1) -- single flow", figures.back().second);
   }
   {
     net::Graph g = net::b4_topology();
     net::set_uniform_capacity(g, 100.0);
     const auto paths = harness::long_detour_paths(g);
-    report("B4 -- single flow",
-           run_single(g, paths.old_path, paths.new_path,
-                      CtrlLatencyModel::kWanCentroid));
-    report("B4 -- multiple flows",
-           run_multi(g, CtrlLatencyModel::kWanCentroid));
+    figures.emplace_back("b4.single",
+                         run_single(g, paths.old_path, paths.new_path,
+                                    CtrlLatencyModel::kWanCentroid));
+    report("B4 -- single flow", figures.back().second);
+    figures.emplace_back("b4.multi",
+                         run_multi(g, CtrlLatencyModel::kWanCentroid));
+    report("B4 -- multiple flows", figures.back().second);
   }
   {
     net::FatTree ft = net::fattree_topology(4);
     net::set_uniform_capacity(ft.graph, 100.0);
-    report("fat-tree K=4 -- multiple flows",
-           run_multi(ft.graph, CtrlLatencyModel::kFattreeNormal));
+    figures.emplace_back("fattree4.multi",
+                         run_multi(ft.graph, CtrlLatencyModel::kFattreeNormal));
+    report("fat-tree K=4 -- multiple flows", figures.back().second);
   }
+
+  if (!out_dir.empty()) {
+    obs::RunReport rep(out_dir, "ablation_sl_vs_dl");
+    rep.set_meta("ablation", "sl_vs_dl");
+    rep.add_metrics(g_metrics);
+    for (const auto& [slug, t] : figures) {
+      rep.add_samples(slug + ".forced_sl.update_time_ms", t.sl, "ms");
+      rep.add_samples(slug + ".forced_dl.update_time_ms", t.dl, "ms");
+      rep.add_samples(slug + ".auto.update_time_ms", t.acc, "ms");
+    }
+    std::printf("\nrun report: %s\n", rep.write().c_str());
+  }
+
   std::printf("\n---- expected shape (paper, §9.2) ----\n");
   std::printf(
       "single flow: DL < SL (parallel segments absorb the straggler\n"

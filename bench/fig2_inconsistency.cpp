@@ -5,8 +5,10 @@
 // (Fig. 2b: looped packets revisit) and deliveries at the egress v4
 // (Fig. 2c: TTL losses) — for ez-Segway and SL-P4Update.
 #include <cstdio>
+#include <string>
 
 #include "harness/demo_scenarios.hpp"
+#include "obs/run_report.hpp"
 
 namespace {
 
@@ -43,13 +45,28 @@ void report(const char* name, const Fig2Result& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = p4u::obs::parse_out_dir(argc, argv);
   std::printf("Fig. 2 reproduction: inconsistent updates "
               "(config (b) delayed, controller oblivious, (c) deployed)\n");
   const Fig2Result ez = harness::run_fig2_demo(SystemKind::kEzSegway);
   const Fig2Result p4u = harness::run_fig2_demo(SystemKind::kP4Update);
   report("ez-Segway", ez);
   report("SL-P4Update", p4u);
+
+  if (!out_dir.empty()) {
+    obs::MetricsRegistry merged;
+    merged.merge_from(ez.metrics);
+    merged.merge_from(p4u.metrics);
+    obs::RunReport rep(out_dir, "fig2_inconsistency");
+    rep.set_meta("figure", "2");
+    rep.set_meta("packets_sent",
+                 static_cast<std::uint64_t>(ez.packets_sent));
+    rep.set_meta("ez_ttl_drops", static_cast<std::uint64_t>(ez.ttl_drops));
+    rep.set_meta("p4u_alarms", p4u.alarms);
+    rep.add_metrics(merged);
+    std::printf("\nrun report: %s\n", rep.write().c_str());
+  }
 
   std::printf("\n---- expected shape (paper, Fig. 2) ----\n");
   std::printf("ez-Segway: packets trapped in the (v1,v2,v3) loop during the\n"

@@ -3,16 +3,20 @@
 // ez-Segway waits for U2 to finish. Prints the U3-completion-time CDF over
 // 30 runs for both systems (the paper reports ~4x on its BMv2 stack).
 #include <cstdio>
+#include <string>
 
 #include "harness/cdf_render.hpp"
 #include "harness/demo_scenarios.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
   constexpr int kRuns = 30;
 
   sim::Samples p4u_times, ez_times;
   std::uint64_t violations = 0;
+  obs::MetricsRegistry merged;
   for (int run = 0; run < kRuns; ++run) {
     const auto seed = static_cast<std::uint64_t>(run) + 1;
     const auto p4u = harness::run_fig4_demo(harness::SystemKind::kP4Update,
@@ -22,6 +26,8 @@ int main() {
     if (p4u.u3_completed) p4u_times.add(p4u.u3_completion_ms);
     if (ez.u3_completed) ez_times.add(ez.u3_completion_ms);
     violations += p4u.violations + ez.violations;
+    merged.merge_from(p4u.metrics);
+    merged.merge_from(ez.metrics);
   }
 
   std::printf("Fig. 4 reproduction: U3 completion time while U2 is in "
@@ -33,6 +39,16 @@ int main() {
   std::printf("%s\n", harness::render_cdf_table(series, "ms").c_str());
   std::printf("%s\n", harness::render_ascii_cdf(series).c_str());
   std::printf("%s\n", harness::render_comparison(series, "ms").c_str());
+
+  if (!out_dir.empty()) {
+    obs::RunReport rep(out_dir, "fig4_fastforward");
+    rep.set_meta("figure", "4");
+    rep.set_meta("runs", static_cast<std::uint64_t>(kRuns));
+    rep.add_metrics(merged);
+    rep.add_samples("fig4.P4Update.u3_completion_ms", p4u_times, "ms");
+    rep.add_samples("fig4.ez-Segway.u3_completion_ms", ez_times, "ms");
+    std::printf("run report: %s\n\n", rep.write().c_str());
+  }
 
   const double speedup = ez_times.mean() / p4u_times.mean();
   std::printf("---- expected shape (paper, Fig. 4) ----\n");

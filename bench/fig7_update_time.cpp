@@ -15,12 +15,14 @@
 // freedom on (the data-plane scheduler at work).
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "harness/cdf_render.hpp"
 #include "harness/experiment.hpp"
 #include "net/fattree.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 
 namespace {
 
@@ -31,6 +33,25 @@ using harness::SystemKind;
 
 struct FigureResult {
   ExperimentResult p4u, ez, central;
+};
+
+/// Accumulates every subfigure's metrics and sample series for the
+/// machine-readable run report (--out).
+struct Collector {
+  obs::MetricsRegistry metrics;
+  std::vector<std::pair<std::string, sim::Samples>> series;
+
+  void take(const char* slug, FigureResult& r) {
+    metrics.merge_from(r.p4u.metrics);
+    metrics.merge_from(r.ez.metrics);
+    metrics.merge_from(r.central.metrics);
+    series.emplace_back(std::string(slug) + ".P4Update.update_time_ms",
+                        r.p4u.update_times_ms);
+    series.emplace_back(std::string(slug) + ".ez-Segway.update_time_ms",
+                        r.ez.update_times_ms);
+    series.emplace_back(std::string(slug) + ".Central.update_time_ms",
+                        r.central.update_times_ms);
+  }
 };
 
 struct Verdict {
@@ -84,10 +105,10 @@ FigureResult run_single(const net::Graph& g, const net::Path& old_path,
     cfg.bed.system = kind;
     cfg.bed.ctrl_latency_model = latency_model;
     cfg.bed.switch_params.straggler_mean_ms = 100.0;  // §9.1 single-flow
-    const ExperimentResult r = run_single_flow(g, cfg);
-    if (kind == SystemKind::kP4Update) out.p4u = r;
-    if (kind == SystemKind::kEzSegway) out.ez = r;
-    if (kind == SystemKind::kCentral) out.central = r;
+    ExperimentResult r = run_single_flow(g, cfg);
+    if (kind == SystemKind::kP4Update) out.p4u = std::move(r);
+    else if (kind == SystemKind::kEzSegway) out.ez = std::move(r);
+    else out.central = std::move(r);
   }
   return out;
 }
@@ -102,28 +123,30 @@ FigureResult run_multi(const net::Graph& g, CtrlLatencyModel latency_model) {
     cfg.bed.system = kind;
     cfg.bed.congestion_mode = true;
     cfg.bed.ctrl_latency_model = latency_model;
-    const ExperimentResult r = run_multi_flow(g, cfg);
-    if (kind == SystemKind::kP4Update) out.p4u = r;
-    if (kind == SystemKind::kEzSegway) out.ez = r;
-    if (kind == SystemKind::kCentral) out.central = r;
+    ExperimentResult r = run_multi_flow(g, cfg);
+    if (kind == SystemKind::kP4Update) out.p4u = std::move(r);
+    else if (kind == SystemKind::kEzSegway) out.ez = std::move(r);
+    else out.central = std::move(r);
   }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
   std::printf("Fig. 7 reproduction: total update time CDFs "
               "(30 runs per system per scenario)\n");
   int headline = 0, ordered = 0, total = 0;
+  Collector collect;
 
   {
     net::NamedTopology topo = net::fig1_topology();
     net::set_uniform_capacity(topo.graph, 100.0);
-    const Verdict v = report("(a) synthetic (Fig. 1) -- single flow",
-                             run_single(topo.graph, topo.old_path,
-                                        topo.new_path,
-                                        CtrlLatencyModel::kFixed));
+    FigureResult r = run_single(topo.graph, topo.old_path, topo.new_path,
+                                CtrlLatencyModel::kFixed);
+    const Verdict v = report("(a) synthetic (Fig. 1) -- single flow", r);
+    collect.take("fig7a", r);
     headline += v.headline;
     ordered += v.ordering;
     ++total;
@@ -131,9 +154,9 @@ int main() {
   {
     net::FatTree ft = net::fattree_topology(4);
     net::set_uniform_capacity(ft.graph, 100.0);
-    const Verdict v = report("(b) fat-tree K=4 -- multiple flows",
-                             run_multi(ft.graph,
-                                       CtrlLatencyModel::kFattreeNormal));
+    FigureResult r = run_multi(ft.graph, CtrlLatencyModel::kFattreeNormal);
+    const Verdict v = report("(b) fat-tree K=4 -- multiple flows", r);
+    collect.take("fig7b", r);
     headline += v.headline;
     ordered += v.ordering;
     ++total;
@@ -142,14 +165,16 @@ int main() {
     net::Graph g = net::b4_topology();
     net::set_uniform_capacity(g, 100.0);
     const auto paths = harness::long_detour_paths(g);
-    const Verdict vc = report("(c) B4 -- single flow",
-                              run_single(g, paths.old_path, paths.new_path,
-                                         CtrlLatencyModel::kWanCentroid));
+    FigureResult rc = run_single(g, paths.old_path, paths.new_path,
+                                 CtrlLatencyModel::kWanCentroid);
+    const Verdict vc = report("(c) B4 -- single flow", rc);
+    collect.take("fig7c", rc);
     headline += vc.headline;
     ordered += vc.ordering;
     ++total;
-    const Verdict vd = report("(d) B4 -- multiple flows",
-                              run_multi(g, CtrlLatencyModel::kWanCentroid));
+    FigureResult rd = run_multi(g, CtrlLatencyModel::kWanCentroid);
+    const Verdict vd = report("(d) B4 -- multiple flows", rd);
+    collect.take("fig7d", rd);
     headline += vd.headline;
     ordered += vd.ordering;
     ++total;
@@ -158,17 +183,30 @@ int main() {
     net::Graph g = net::internet2_topology();
     net::set_uniform_capacity(g, 100.0);
     const auto paths = harness::long_detour_paths(g);
-    const Verdict ve = report("(e) Internet2 -- single flow",
-                              run_single(g, paths.old_path, paths.new_path,
-                                         CtrlLatencyModel::kWanCentroid));
+    FigureResult re = run_single(g, paths.old_path, paths.new_path,
+                                 CtrlLatencyModel::kWanCentroid);
+    const Verdict ve = report("(e) Internet2 -- single flow", re);
+    collect.take("fig7e", re);
     headline += ve.headline;
     ordered += ve.ordering;
     ++total;
-    const Verdict vf = report("(f) Internet2 -- multiple flows",
-                              run_multi(g, CtrlLatencyModel::kWanCentroid));
+    FigureResult rf = run_multi(g, CtrlLatencyModel::kWanCentroid);
+    const Verdict vf = report("(f) Internet2 -- multiple flows", rf);
+    collect.take("fig7f", rf);
     headline += vf.headline;
     ordered += vf.ordering;
     ++total;
+  }
+
+  if (!out_dir.empty()) {
+    obs::RunReport rep(out_dir, "fig7_update_time");
+    rep.set_meta("figure", "7");
+    rep.set_meta("runs_per_system", std::uint64_t{30});
+    rep.add_metrics(collect.metrics);
+    for (const auto& [name, samples] : collect.series) {
+      rep.add_samples(name, samples, "ms");
+    }
+    std::printf("\nrun report: %s\n", rep.write().c_str());
   }
 
   std::printf("\n---- expected shape (paper, Fig. 7) ----\n");

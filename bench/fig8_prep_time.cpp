@@ -16,15 +16,20 @@
 
 #include "baselines/ezsegway_controller.hpp"
 #include "core/p4update_controller.hpp"
+#include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 #include "sim/stats.hpp"
 
 namespace {
 
 using namespace p4u;
+
+/// Per-topology preparation-time ratio samples, harvested by --out.
+std::vector<std::pair<std::string, sim::Samples>> g_ratio_series;
 
 struct Workload {
   std::string name;
@@ -187,6 +192,8 @@ void print_ratio_table() {
     std::printf("%-22s %17.3f +- %6.3f %17.4f +- %6.4f\n",
                 fx.workload->name.c_str(), plain.mean(), plain.ci_halfwidth(),
                 cong.mean(), cong.ci_halfwidth());
+    g_ratio_series.emplace_back(fx.workload->name + ".ratio_plain", plain);
+    g_ratio_series.emplace_back(fx.workload->name + ".ratio_congestion", cong);
     shape = shape && plain.mean() <= 1.0 && cong.mean() < plain.mean();
   }
   std::printf("\n---- expected shape (paper, Fig. 8) ----\n");
@@ -196,12 +203,39 @@ void print_ratio_table() {
               shape ? "YES" : "NO");
 }
 
+/// The preparation benchmarks never exercise the fabric, so the run report
+/// would carry no per-switch counters or latency histograms. Run one real
+/// end-to-end update (Fig. 1 topology, P4Update) so every fig8 report also
+/// contains fabric/switch metrics plus the ctrl.prep_ms histogram from the
+/// controller's live schedule_update path.
+void write_report(const std::string& out_dir) {
+  net::NamedTopology topo = net::fig1_topology();
+  net::set_uniform_capacity(topo.graph, 100.0);
+  harness::SingleFlowConfig cfg;
+  cfg.old_path = topo.old_path;
+  cfg.new_path = topo.new_path;
+  cfg.runs = 3;
+  const harness::ExperimentResult probe =
+      run_single_flow(topo.graph, cfg);
+
+  obs::RunReport rep(out_dir, "fig8_prep_time");
+  rep.set_meta("figure", "8");
+  rep.add_metrics(probe.metrics);
+  for (const auto& [slug, s] : g_ratio_series) {
+    rep.add_samples(slug, s, "ratio");
+  }
+  std::printf("\nrun report: %s\n", rep.write().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --out is ours, not google-benchmark's: strip it before Initialize.
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   print_ratio_table();
+  if (!out_dir.empty()) write_report(out_dir);
   return 0;
 }

@@ -3,15 +3,18 @@
 // instant, verified hop-locally, with the update wave fanning out from the
 // destination to all tree leaves.
 //
-// Run:  ./build/examples/dest_tree
+// Run:  ./build/examples/dest_tree [--out <dir>]
 #include <cstdio>
+#include <string>
 
 #include "control/dest_tree.hpp"
 #include "harness/scenario.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
 
   net::Graph g = net::b4_topology();
   harness::TestBedParams params;
@@ -64,5 +67,13 @@ int main() {
   std::printf("loops during the migration: %llu (must be 0)\n",
               static_cast<unsigned long long>(
                   bed.monitor().violations().loops));
+
+  if (!out_dir.empty()) {
+    bed.collect_metrics();
+    obs::RunReport rep(out_dir, "dest_tree");
+    rep.set_meta("example", "dest_tree");
+    rep.add_metrics(bed.metrics());
+    std::printf("run report: %s\n", rep.write().c_str());
+  }
   return bed.monitor().violations().loops == 0 ? 0 : 1;
 }

@@ -3,15 +3,19 @@
 // P4Update's switches jump straight to the newest version; ez-Segway must
 // finish U2 first.
 //
-// Run:  ./build/examples/fast_forward
+// Run:  ./build/examples/fast_forward [--out <dir>]
 #include <cstdio>
+#include <string>
 
 #include "harness/demo_scenarios.hpp"
 #include "harness/scenario.hpp"
 #include "net/topologies.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  obs::MetricsRegistry demo_metrics;
 
   std::printf("Scenario (Fig. 4): six nodes; U2 = complex (five segments,\n"
               "two backward), U3 = the simple final configuration, issued\n"
@@ -27,6 +31,8 @@ int main() {
                 static_cast<unsigned long long>(seed), p4u.u3_completion_ms,
                 ez.u3_completion_ms,
                 ez.u3_completion_ms / p4u.u3_completion_ms);
+    demo_metrics.merge_from(p4u.metrics);
+    demo_metrics.merge_from(ez.metrics);
   }
 
   // Show the version state after a burst: nodes converge to the newest
@@ -55,5 +61,14 @@ int main() {
   std::printf("consistency violations: %llu (must be 0)\n",
               static_cast<unsigned long long>(
                   bed.monitor().violations().total()));
+
+  if (!out_dir.empty()) {
+    bed.collect_metrics();
+    demo_metrics.merge_from(bed.metrics());
+    obs::RunReport rep(out_dir, "fast_forward");
+    rep.set_meta("example", "fast_forward");
+    rep.add_metrics(demo_metrics);
+    std::printf("run report: %s\n", rep.write().c_str());
+  }
   return bed.monitor().violations().total() == 0 ? 0 : 1;
 }

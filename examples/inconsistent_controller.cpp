@@ -4,13 +4,17 @@
 // on top. ez-Segway melts into a forwarding loop; P4Update's switches
 // verify locally and reject the stale state.
 //
-// Run:  ./build/examples/inconsistent_controller
+// Run:  ./build/examples/inconsistent_controller [--out <dir>]
 #include <cstdio>
+#include <string>
 
 #include "harness/demo_scenarios.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  obs::MetricsRegistry merged;
 
   std::printf("Scenario (Fig. 2): chain v0..v4; config (b)'s messages are\n"
               "delayed 400 ms; the oblivious controller deploys config (c)\n"
@@ -29,6 +33,14 @@ int main() {
                 static_cast<unsigned long long>(r.loop_observations));
     std::printf("  %llu alarms raised to the controller\n\n",
                 static_cast<unsigned long long>(r.alarms));
+    merged.merge_from(r.metrics);
+  }
+
+  if (!out_dir.empty()) {
+    obs::RunReport rep(out_dir, "inconsistent_controller");
+    rep.set_meta("example", "inconsistent_controller");
+    rep.add_metrics(merged);
+    std::printf("run report: %s\n\n", rep.write().c_str());
   }
 
   std::printf("P4Update's verification (Alg. 1) rejected the out-of-date\n"

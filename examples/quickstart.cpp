@@ -6,14 +6,17 @@
 // backward segment), the switches verify and coordinate the update entirely
 // in the data plane, and the ingress reports convergence via UFM.
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/examples/quickstart [--out <dir>]
 #include <cstdio>
+#include <string>
 
 #include "harness/scenario.hpp"
 #include "net/topologies.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
 
   // 1. Topology and testbed (P4Update switches + controller, 20 ms links).
   net::NamedTopology topo = net::fig1_topology();
@@ -49,5 +52,14 @@ int main() {
 
   // 5. The trace shows the verified hop-by-hop coordination.
   std::printf("\n--- trace ---\n%s", bed.trace().dump().c_str());
+
+  if (!out_dir.empty()) {
+    bed.collect_metrics();
+    obs::RunReport rep(out_dir, "quickstart");
+    rep.set_meta("example", "quickstart");
+    rep.add_metrics(bed.metrics());
+    rep.add_trace(bed.trace());
+    std::printf("\nrun report: %s\n", rep.write().c_str());
+  }
   return bed.monitor().violations().total() == 0 ? 0 : 1;
 }

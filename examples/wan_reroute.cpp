@@ -3,16 +3,19 @@
 // alternate paths at once, close to link capacity, with congestion freedom
 // enforced by the data-plane scheduler (§7.4).
 //
-// Run:  ./build/examples/wan_reroute
+// Run:  ./build/examples/wan_reroute [--out <dir>]
 #include <cstdio>
+#include <string>
 
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
+#include "obs/run_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p4u;
+  const std::string out_dir = obs::parse_out_dir(argc, argv);
 
   // Google's B4 backbone, uniform link capacity, one flow per site.
   net::Graph graph = net::b4_topology();
@@ -63,5 +66,14 @@ int main() {
               "(moves sequenced by the data plane)\n",
               static_cast<unsigned long long>(
                   bed.trace().count(sim::TraceKind::kCongestionDefer)));
+
+  if (!out_dir.empty()) {
+    bed.collect_metrics();
+    obs::RunReport rep(out_dir, "wan_reroute");
+    rep.set_meta("example", "wan_reroute");
+    rep.set_meta("flows", static_cast<std::uint64_t>(flows.size()));
+    rep.add_metrics(bed.metrics());
+    std::printf("run report: %s\n", rep.write().c_str());
+  }
   return bed.monitor().violations().total() == 0 ? 0 : 1;
 }

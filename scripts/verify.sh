@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + tests, then the same suite under
+# ASan + UBSan (P4U_SANITIZE=ON). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier-1: ASan + UBSan build + ctest =="
+cmake -B build-asan -S . -DP4U_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "verify: OK"

@@ -1,8 +1,10 @@
 #include "core/p4update_controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "p4rt/switch_device.hpp"
 
 namespace p4u::core {
@@ -89,7 +91,14 @@ P4UpdateController::Prepared P4UpdateController::prepare(
 p4rt::Version P4UpdateController::schedule_update(net::FlowId flow,
                                                   const net::Path& new_path) {
   const p4rt::Version version = nib_.next_version(flow);
+  // Wall-clock preparation cost: the Fig. 8 quantity, also surfaced in
+  // every run report (the only real-time measurement in the simulation).
+  const auto t0 = std::chrono::steady_clock::now();
   Prepared prepared = prepare(flow, new_path, version);
+  const auto t1 = std::chrono::steady_clock::now();
+  channel_.metrics()
+      .histogram("ctrl.prep_ms", {})
+      .observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
   last_issued_type_[flow] = prepared.type;
   issued_paths_[{flow, version}] = new_path;
   nib_.view(flow).update_in_progress = true;
@@ -161,6 +170,11 @@ void P4UpdateController::handle_from_switch(net::NodeId from,
         expected_ufms_.erase(exp);
       }
       flow_db_.on_completed(ufm.flow, ufm.version, channel_.now());
+      if (const auto rtt = flow_db_.duration(ufm.flow, ufm.version)) {
+        channel_.metrics()
+            .histogram("ctrl.update_rtt_ms", {})
+            .observe(sim::to_ms(*rtt));
+      }
       auto it = issued_paths_.find({ufm.flow, ufm.version});
       if (it != issued_paths_.end()) {
         nib_.believe_path(ufm.flow, it->second);
@@ -169,6 +183,7 @@ void P4UpdateController::handle_from_switch(net::NodeId from,
       if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
     } else {
       flow_db_.on_alarm(ufm.flow, ufm.version);
+      channel_.metrics().counter("ctrl.alarms_received", {}).inc();
       if (on_alarm) on_alarm(ufm.flow, ufm.version, ufm.alarm);
       // §11 failure recovery: a kMalformed alarm means a switch gave up
       // waiting (lost UIM or UNM). If this version is still the one we
@@ -182,6 +197,7 @@ void P4UpdateController::handle_from_switch(net::NodeId from,
             nib_.view(ufm.flow).version == ufm.version &&
             retriggers_[key] < params_.max_retriggers) {
           ++retriggers_[key];
+          channel_.metrics().counter("ctrl.retriggers", {}).inc();
           const auto type_it = last_issued_type_.find(ufm.flow);
           const Prepared again = prepare(
               ufm.flow, issued->second, ufm.version,

@@ -11,6 +11,28 @@ using p4rt::UnmHeader;
 using p4rt::UnmLayer;
 using sim::TraceKind;
 
+namespace {
+
+const char* alarm_code_name(AlarmCode code) {
+  switch (code) {
+    case AlarmCode::kNone: return "none";
+    case AlarmCode::kDistanceMismatch: return "distance-mismatch";
+    case AlarmCode::kOutdatedVersion: return "outdated-version";
+    case AlarmCode::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+void count_verify(SwitchDevice& sw, const char* outcome) {
+  sw.fabric()
+      .metrics()
+      .counter("p4update.verify", {{"switch", std::to_string(sw.id())},
+                                   {"outcome", outcome}})
+      .inc();
+}
+
+}  // namespace
+
 P4UpdateSwitch::P4UpdateSwitch(net::NodeId id, const net::Graph& graph,
                                P4UpdateSwitchParams params)
     : id_(id), graph_(&graph), params_(params), scheduler_(graph, id) {}
@@ -72,6 +94,11 @@ void P4UpdateSwitch::handle(SwitchDevice& sw, const Packet& pkt,
 void P4UpdateSwitch::alarm(SwitchDevice& sw, FlowId f, Version v,
                            AlarmCode code) {
   ++rejects_;
+  sw.fabric()
+      .metrics()
+      .counter("p4update.alarms", {{"switch", std::to_string(id_)},
+                                   {"code", alarm_code_name(code)}})
+      .inc();
   sw.fabric().trace().add({sw.now(), TraceKind::kControllerAlarm, id_, f,
                            static_cast<std::int64_t>(code), v, ""});
   p4rt::UfmHeader ufm;
@@ -81,6 +108,45 @@ void P4UpdateSwitch::alarm(SwitchDevice& sw, FlowId f, Version v,
   ufm.alarm = code;
   ufm.reporter = id_;
   sw.send_to_controller(Packet{ufm});
+}
+
+bool P4UpdateSwitch::completion_reported(FlowId f, Version v) const {
+  return completed_sent_.count((f << 8) ^ static_cast<std::uint64_t>(v)) > 0;
+}
+
+void P4UpdateSwitch::arm_watchdog(SwitchDevice& sw,
+                                  const p4rt::UimHeader& uim) {
+  if (params_.uim_watchdog <= 0 || uim.is_flow_egress) return;
+  const std::uint64_t gen = ++watchdog_gen_[uim.flow];
+  // The switch is resolved through the fabric at fire time by node id,
+  // never through a captured reference: the device object owns no timer
+  // state the event could dangle on.
+  p4rt::Fabric* fabric = &sw.fabric();
+  const net::NodeId node = sw.id();
+  const FlowId flow = uim.flow;
+  const Version version = uim.version;
+  const bool is_ingress = uim.child_port < 0;
+  fabric->metrics()
+      .counter("p4update.watchdog_armed", {{"switch", std::to_string(node)}})
+      .inc();
+  sw.simulator().schedule_in(
+      params_.uim_watchdog,
+      [this, fabric, node, flow, version, gen, is_ingress]() {
+        const auto it = watchdog_gen_.find(flow);
+        if (it == watchdog_gen_.end() || it->second != gen) return;
+        // Stalled if the rule never went in — or, at the flow ingress, if
+        // it went in but the convergence report never went out (a lost
+        // intra-segment UNM leaves a DL ingress applied yet unconverged).
+        const bool stalled =
+            uib_.applied(flow).new_version < version ||
+            (is_ingress && !completion_reported(flow, version));
+        if (!stalled) return;
+        fabric->metrics()
+            .counter("p4update.watchdog_fired",
+                     {{"switch", std::to_string(node)}})
+            .inc();
+        alarm(fabric->sw(node), flow, version, AlarmCode::kMalformed);
+      });
 }
 
 void P4UpdateSwitch::handle_uim(SwitchDevice& sw, const p4rt::UimHeader& uim) {
@@ -100,6 +166,14 @@ void P4UpdateSwitch::handle_uim(SwitchDevice& sw, const p4rt::UimHeader& uim) {
       // the controller re-triggers the update.
       emit_unm_fanout(sw, uim, UnmLayer::kInterSegment);
     }
+    if (uim.version == st.new_version && uim.child_port < 0 &&
+        !completion_reported(uim.flow, uim.version)) {
+      // Applied-but-unconverged ingress (DL: the intra-segment UNM that
+      // zeroes the inherited old distance was lost). The re-triggered UIM
+      // just re-fanned the notifications out; watch for the convergence
+      // report again so another stall is alarmed, not swallowed.
+      arm_watchdog(sw, uim);
+    }
     return;  // otherwise a duplicate of the applied version: ignore
   }
 
@@ -112,17 +186,11 @@ void P4UpdateSwitch::handle_uim(SwitchDevice& sw, const p4rt::UimHeader& uim) {
 
   const bool stored = uib_.offer_uim(uim);
   // §11 watchdog: expect the update to have gone through within the window;
-  // otherwise assume a lost notification and tell the controller. Re-armed
-  // by re-triggered (duplicate) UIMs.
-  if (params_.uim_watchdog > 0 && !uim.is_flow_egress &&
-      uim.version > st.new_version) {
-    const p4rt::UimHeader watched = uim;
-    sw.simulator().schedule_in(params_.uim_watchdog, [this, &sw, watched]() {
-      if (uib_.applied(watched.flow).new_version < watched.version) {
-        alarm(sw, watched.flow, watched.version, AlarmCode::kMalformed);
-      }
-    });
-  }
+  // otherwise assume a lost notification and tell the controller. Each arm
+  // bumps the flow's generation and the timer no-ops when stale, so a
+  // re-triggered (duplicate) UIM *re-arms* the watchdog — extending the
+  // deadline instead of stacking a second alarm.
+  arm_watchdog(sw, uim);
   if (!stored) return;  // older than (or same as) the pending UIM
   if (uim.flow_size > 0.0) uib_.set_flow_size(uim.flow, uim.flow_size);
 
@@ -171,6 +239,7 @@ void P4UpdateSwitch::apply_egress(SwitchDevice& sw,
   next.last_type = uim.type;
   next.ever_dual = uim.type == UpdateType::kDualLayer;
   uib_.write_applied(uim.flow, next);
+  count_verify(sw, "accept");
   sw.fabric().trace().add({sw.now(), TraceKind::kVerifyAccepted, id_, uim.flow,
                            uim.version, 0, "egress direct apply"});
   const FlowId f = uim.flow;
@@ -226,6 +295,7 @@ void P4UpdateSwitch::park(SwitchDevice& sw, Packet pkt, std::int32_t in_port,
     return;
   }
   ++resubmissions_;
+  count_verify(sw, "defer");
   sw.fabric().trace().add({sw.now(), TraceKind::kVerifyDeferred, id_,
                            unm.flow, unm.new_version, 0, why});
   sw.resubmit(std::move(pkt), in_port);
@@ -267,6 +337,10 @@ void P4UpdateSwitch::after_state_change(SwitchDevice& sw,
     const std::uint64_t key = (uim.flow << 8) ^ static_cast<std::uint64_t>(
                                                     uim.version);
     if (!completed_sent_.insert(key).second) return;  // already reported
+    sw.fabric()
+        .metrics()
+        .counter("p4update.update_completed", {{"switch", std::to_string(id_)}})
+        .inc();
     sw.fabric().trace().add({sw.now(), TraceKind::kUpdateCompleted, id_,
                              uim.flow, uim.version, 0, ""});
     p4rt::UfmHeader ufm;
@@ -348,11 +422,13 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
         park(sw, std::move(pkt), in_port, "wait-for-uim");
         return;
       case SlOutcome::kDropOutdated:
+        count_verify(sw, "reject");
         trace.add({sw.now(), TraceKind::kVerifyRejected, id_, f,
                    unm.new_version, st.new_version, "sl outdated"});
         alarm(sw, f, unm.new_version, AlarmCode::kOutdatedVersion);
         return;
       case SlOutcome::kDropDistance:
+        count_verify(sw, "reject");
         trace.add({sw.now(), TraceKind::kVerifyRejected, id_, f,
                    unm.new_distance, uim->new_distance, "sl distance"});
         alarm(sw, f, unm.new_version, AlarmCode::kDistanceMismatch);
@@ -370,6 +446,7 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
     if (!congestion_gate(sw, pkt, in_port, f, uim->egress_port_updated)) {
       return;
     }
+    count_verify(sw, "accept");
     trace.add({sw.now(), TraceKind::kVerifyAccepted, id_, f, unm.new_version,
                unm.new_distance, "sl accept"});
     apply_sl(sw, *uim, unm);
@@ -387,11 +464,13 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       park(sw, std::move(pkt), in_port, "wait-for-uim");
       return;
     case DlOutcome::kDropOutdated:
+      count_verify(sw, "reject");
       trace.add({sw.now(), TraceKind::kVerifyRejected, id_, f,
                  unm.new_version, st.new_version, "dl outdated"});
       alarm(sw, f, unm.new_version, AlarmCode::kOutdatedVersion);
       return;
     case DlOutcome::kDropDistance:
+      count_verify(sw, "reject");
       trace.add({sw.now(), TraceKind::kVerifyRejected, id_, f,
                  unm.new_distance, uim->new_distance, "dl distance"});
       alarm(sw, f, unm.new_version, AlarmCode::kDistanceMismatch);
@@ -400,6 +479,7 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       // Normal dependency resolution: a later proposal with a smaller
       // segment id will arrive once downstream segments merged.
       ++rejects_;
+      count_verify(sw, "reject");
       trace.add({sw.now(), TraceKind::kVerifyRejected, id_, f,
                  unm.old_distance, st.new_distance, "dl gateway-reject"});
       return;
@@ -419,6 +499,7 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       if (!congestion_gate(sw, pkt, in_port, f, uim->egress_port_updated)) {
         return;
       }
+      count_verify(sw, "accept");
       trace.add({sw.now(), TraceKind::kVerifyAccepted, id_, f,
                  unm.new_version, unm.old_distance,
                  outcome == DlOutcome::kInnerUpdate ? "dl inner"
@@ -441,6 +522,7 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       return;
     }
     case DlOutcome::kInherit: {
+      count_verify(sw, "accept");
       trace.add({sw.now(), TraceKind::kVerifyAccepted, id_, f,
                  unm.new_version, unm.old_distance, "dl inherit"});
       uib_.write_applied(f, dl_apply(outcome, st, *uim, unm));

@@ -99,6 +99,14 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
 
   void alarm(p4rt::SwitchDevice& sw, FlowId f, Version v, p4rt::AlarmCode code);
 
+  /// (Re-)arms the §11 UIM watchdog for this UIM's flow. Each arm bumps the
+  /// flow's generation; a timer whose generation went stale no-ops.
+  void arm_watchdog(p4rt::SwitchDevice& sw, const p4rt::UimHeader& uim);
+
+  /// True once this node (as flow ingress) sent the success UFM for
+  /// (flow, version).
+  [[nodiscard]] bool completion_reported(FlowId f, Version v) const;
+
   net::NodeId id_;
   const net::Graph* graph_;
   P4UpdateSwitchParams params_;
@@ -111,6 +119,10 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
   std::unordered_map<FlowId, std::int32_t> ingress_old_port_;
   // §11 2-phase commit: base flow id -> tagged flow id stamped at ingress.
   std::unordered_map<FlowId, FlowId> stamps_;
+  // Watchdog arm generation per flow: a scheduled timer only fires if its
+  // generation is still current, so re-arming (duplicate UIM) supersedes
+  // the previous timer instead of double-alarming.
+  std::unordered_map<FlowId, std::uint64_t> watchdog_gen_;
   std::uint64_t unms_sent_ = 0;
   std::uint64_t resubmissions_ = 0;
   std::uint64_t rejects_ = 0;

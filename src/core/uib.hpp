@@ -73,6 +73,20 @@ class Uib {
   /// True if this switch has ever applied a configuration for `f`.
   [[nodiscard]] bool knows(FlowId f) const { return new_version_.read(f) != 0; }
 
+  /// Total register-array accesses across every Table-1 array, for the
+  /// observability layer's per-switch uib.register_{reads,writes} counters.
+  [[nodiscard]] std::uint64_t register_reads() const {
+    return new_distance_.reads() + new_version_.reads() +
+           old_distance_.reads() + old_version_.reads() + flow_size_.reads() +
+           flow_priority_.reads() + t_.reads() + counter_.reads();
+  }
+  [[nodiscard]] std::uint64_t register_writes() const {
+    return new_distance_.writes() + new_version_.writes() +
+           old_distance_.writes() + old_version_.writes() +
+           flow_size_.writes() + flow_priority_.writes() + t_.writes() +
+           counter_.writes();
+  }
+
  private:
   // Table 1 registers.
   p4rt::RegisterArray<Distance> new_distance_{p4rt::kNoDistance};

@@ -83,6 +83,8 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed) {
   result.unique_at_v4 = static_cast<std::uint32_t>(seen_v4.size());
   result.loop_observations = bed.monitor().violations().loops;
   result.alarms = bed.flow_db().total_alarms();
+  bed.collect_metrics();
+  result.metrics.merge_from(bed.metrics());
   return result;
 }
 
@@ -123,6 +125,8 @@ Fig4Result run_fig4_demo(SystemKind system, std::uint64_t seed) {
     result.u3_completion_ms = sim::to_ms(rec->completed_at - u3_at);
   }
   result.violations = bed.monitor().violations().total();
+  bed.collect_metrics();
+  result.metrics.merge_from(bed.metrics());
   return result;
 }
 

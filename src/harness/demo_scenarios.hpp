@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace p4u::harness {
@@ -29,6 +30,7 @@ struct Fig2Result {
   std::uint32_t ttl_drops = 0;
   std::uint64_t loop_observations = 0;  // invariant monitor
   std::uint64_t alarms = 0;             // verification rejects (P4Update)
+  obs::MetricsRegistry metrics;         // the run's full registry
 };
 
 /// Runs the §4.1 scenario: config (a) deployed; (b)'s control messages
@@ -40,6 +42,7 @@ struct Fig4Result {
   bool u3_completed = false;
   double u3_completion_ms = 0.0;  // from U3 issue to its UFM
   std::uint64_t violations = 0;
+  obs::MetricsRegistry metrics;  // the run's full registry
 };
 
 /// Runs the §4.2 scenario: U2 (complex, straggler-delayed installs) is

@@ -39,6 +39,8 @@ ExperimentResult run_single_flow(const net::Graph& g,
     out.violations.loops += bed.monitor().violations().loops;
     out.violations.blackholes += bed.monitor().violations().blackholes;
     out.violations.capacity += bed.monitor().violations().capacity;
+    bed.collect_metrics();
+    out.metrics.merge_from(bed.metrics());
   }
   return out;
 }
@@ -87,6 +89,8 @@ ExperimentResult run_multi_flow(const net::Graph& g,
     out.violations.loops += bed.monitor().violations().loops;
     out.violations.blackholes += bed.monitor().violations().blackholes;
     out.violations.capacity += bed.monitor().violations().capacity;
+    bed.collect_metrics();
+    out.metrics.merge_from(bed.metrics());
   }
   return out;
 }

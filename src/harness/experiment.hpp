@@ -9,6 +9,7 @@
 
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace p4u::harness {
@@ -18,6 +19,8 @@ struct ExperimentResult {
   std::uint64_t alarms = 0;
   InvariantMonitor::Violations violations;
   std::uint64_t incomplete_runs = 0;
+  /// Merged across every seeded run (counters add, histograms merge).
+  obs::MetricsRegistry metrics;
 };
 
 struct SingleFlowConfig {

@@ -236,4 +236,22 @@ void TestBed::force_belief(net::FlowId flow, net::Path path) {
 
 void TestBed::run(sim::Time until) { sim_.run(until); }
 
+void TestBed::collect_metrics() {
+  auto& m = fabric_->metrics();
+  // Tops a counter up to `total` (collect may run more than once per bed).
+  const auto top_up = [&m](const char* name, const obs::LabelSet& labels,
+                           std::uint64_t total) {
+    auto c = m.counter(name, labels);
+    if (total > c.value()) c.inc(total - c.value());
+  };
+  for (const auto& pipe : p4u_switches_) {
+    const obs::LabelSet self{{"switch", std::to_string(pipe->id())}};
+    top_up("uib.register_reads", self, pipe->uib().register_reads());
+    top_up("uib.register_writes", self, pipe->uib().register_writes());
+    top_up("p4update.unms_sent", self, pipe->unms_sent());
+    top_up("p4update.resubmissions", self, pipe->resubmissions());
+    top_up("p4update.rejects", self, pipe->rejects());
+  }
+}
+
 }  // namespace p4u::harness

@@ -95,6 +95,16 @@ class TestBed {
   [[nodiscard]] p4rt::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] p4rt::ControlChannel& channel() { return *channel_; }
 
+  /// The run's metrics registry (owned by the fabric; pipelines and the
+  /// controller write into it live).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return fabric_->metrics(); }
+
+  /// Flushes end-of-run state into the registry: per-switch UIB register
+  /// access counters and pipeline totals that are kept as plain members
+  /// during the run. Idempotent (counters are topped up to the current
+  /// totals), so experiments can call it right before harvesting.
+  void collect_metrics();
+
   /// Scenario fault injection: makes the controller *believe* the flow is
   /// installed on `path` even though the data plane may disagree — the
   /// inconsistent-view failure mode of [69, 71] driving §4.1.

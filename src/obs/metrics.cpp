@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace p4u::obs {
+
+void Histogram::observe(double x) {
+  if (data_ == nullptr) return;
+  HistogramData& d = *data_;
+  if (d.count == 0) {
+    d.min = d.max = x;
+  } else {
+    d.min = std::min(d.min, x);
+    d.max = std::max(d.max, x);
+  }
+  ++d.count;
+  d.sum += x;
+  const auto it = std::lower_bound(d.bounds.begin(), d.bounds.end(), x);
+  ++d.counts[static_cast<std::size_t>(it - d.bounds.begin())];
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> kBuckets{
+      0.1,  0.2,  0.5,   1.0,   2.0,   5.0,    10.0,   20.0,
+      50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+      20000.0, 50000.0, 100000.0};
+  return kBuckets;
+}
+
+std::string MetricsRegistry::encode(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\x1f';  // unit separator: cannot appear in sane label values
+  }
+  return out;
+}
+
+Counter MetricsRegistry::counter(const std::string& name,
+                                 const LabelSet& labels) {
+  auto [it, inserted] = counters_.try_emplace({name, encode(labels)});
+  if (inserted) it->second.labels = labels;
+  return Counter(&it->second.value);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, const LabelSet& labels) {
+  auto [it, inserted] = gauges_.try_emplace({name, encode(labels)});
+  if (inserted) it->second.labels = labels;
+  return Gauge(&it->second.value);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     const LabelSet& labels,
+                                     const std::vector<double>& bounds) {
+  auto [it, inserted] = histograms_.try_emplace({name, encode(labels)});
+  if (inserted) {
+    it->second.labels = labels;
+    it->second.data.bounds = bounds;
+    std::sort(it->second.data.bounds.begin(), it->second.data.bounds.end());
+    it->second.data.counts.assign(it->second.data.bounds.size() + 1, 0);
+  }
+  return Histogram(&it->second.data);
+}
+
+std::vector<MetricsRegistry::Row<std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::vector<Row<std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, cell] : counters_) {
+    out.push_back({key.first, cell.labels, cell.value});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Row<double>> MetricsRegistry::gauges() const {
+  std::vector<Row<double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, cell] : gauges_) {
+    out.push_back({key.first, cell.labels, cell.value});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Row<const HistogramData*>>
+MetricsRegistry::histograms() const {
+  std::vector<Row<const HistogramData*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, cell] : histograms_) {
+    out.push_back({key.first, cell.labels, &cell.data});
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound({name, std::string()});
+       it != counters_.end() && it->first.first == name; ++it) {
+    total += it->second.value;
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const LabelSet& labels) const {
+  const auto it = counters_.find({name, encode(labels)});
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, cell] : other.counters_) {
+    auto [it, inserted] = counters_.try_emplace(key, cell);
+    if (!inserted) it->second.value += cell.value;
+  }
+  for (const auto& [key, cell] : other.gauges_) {
+    gauges_[key] = cell;  // latest wins
+  }
+  for (const auto& [key, cell] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(key, cell);
+    if (inserted) continue;
+    HistogramData& dst = it->second.data;
+    const HistogramData& src = cell.data;
+    if (src.count == 0) continue;
+    if (dst.bounds != src.bounds) {
+      // Incompatible buckets: keep dst's shape, fold in the scalars only
+      // (counts cannot be re-bucketed without the raw observations).
+      dst.counts.back() += src.count;
+    } else {
+      for (std::size_t i = 0; i < dst.counts.size(); ++i) {
+        dst.counts[i] += src.counts[i];
+      }
+    }
+    if (dst.count == 0) {
+      dst.min = src.min;
+      dst.max = src.max;
+    } else {
+      dst.min = std::min(dst.min, src.min);
+      dst.max = std::max(dst.max, src.max);
+    }
+    dst.count += src.count;
+    dst.sum += src.sum;
+  }
+}
+
+}  // namespace p4u::obs

@@ -1,0 +1,66 @@
+// RunReport: machine-readable run artifacts.
+//
+// Serializes a run's MetricsRegistry, its sim::Trace, and any number of
+// named sim::Samples series into one JSON-Lines file (plus a flat CSV of
+// the raw samples) under an output directory — the `--out <dir>` flag every
+// bench and example accepts. One line = one self-describing JSON object
+// with a "type" discriminator; see EXPERIMENTS.md ("Run reports") for the
+// full schema. JSONL keeps the writer trivial, appends cheap, and lets
+// downstream tooling (jq, pandas) consume reports without a parser of ours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace p4u::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+class RunReport {
+ public:
+  /// `run_name` becomes the file stem: <out_dir>/<run_name>.jsonl.
+  RunReport(std::string out_dir, std::string run_name);
+
+  /// Free-form metadata, serialized into the leading "meta" line.
+  void set_meta(const std::string& key, const std::string& value);
+  void set_meta(const std::string& key, std::uint64_t value);
+
+  /// Adds every counter/gauge/histogram of `m` to the report.
+  void add_metrics(const MetricsRegistry& m);
+
+  /// Adds one samples series ("fig7a.P4Update.update_time_ms", unit "ms"):
+  /// a summary line plus the raw values (exact CDF reconstruction).
+  void add_samples(const std::string& name, const sim::Samples& s,
+                   const std::string& unit = "ms");
+
+  /// Appends every trace entry as a "trace" line. Skip for large sweeps.
+  void add_trace(const sim::Trace& trace);
+
+  /// Writes <out_dir>/<run_name>.jsonl (and .csv when samples were added),
+  /// creating the directory if needed. Returns the JSONL path. Throws
+  /// std::runtime_error on I/O failure.
+  std::string write() const;
+
+  [[nodiscard]] const std::string& out_dir() const { return out_dir_; }
+
+ private:
+  std::string out_dir_;
+  std::string run_name_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // pre-encoded JSON
+  std::vector<std::string> lines_;                         // body JSONL lines
+  std::vector<std::pair<std::string, double>> csv_rows_;   // (series, value)
+};
+
+/// Extracts `--out <dir>` (or `--out=<dir>`) from argv, removing the
+/// consumed arguments so downstream parsers (google-benchmark) never see
+/// them. Returns the directory, or "" when the flag is absent.
+std::string parse_out_dir(int& argc, char** argv);
+
+}  // namespace p4u::obs

@@ -24,7 +24,10 @@ sim::Time ControlChannel::reserve_service_slot(sim::Duration service) {
   return busy_until_;
 }
 
+obs::MetricsRegistry& ControlChannel::metrics() { return fabric_.metrics(); }
+
 void ControlChannel::send_to_switch(NodeId sw, Packet pkt) {
+  metrics().counter("ctrl.msgs_out", {{"msg", message_kind(pkt)}}).inc();
   // The single controller thread serializes outbound messages, then each
   // one independently travels the control link to its switch.
   const sim::Time departure = reserve_service_slot(send_service_);
@@ -35,6 +38,7 @@ void ControlChannel::send_to_switch(NodeId sw, Packet pkt) {
 }
 
 void ControlChannel::deliver_to_controller(NodeId from, Packet pkt) {
+  metrics().counter("ctrl.msgs_in", {{"msg", message_kind(pkt)}}).inc();
   const sim::Time arrival = sim_.now() + latency(from);
   sim_.schedule_at(arrival, [this, from, pkt = std::move(pkt)]() mutable {
     // Queue for the controller's single service thread.

@@ -16,6 +16,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace p4u::obs {
+class MetricsRegistry;
+}
+
 namespace p4u::p4rt {
 
 class Fabric;
@@ -70,6 +74,10 @@ class ControlChannel {
 
   /// Current virtual time (controller apps have no other clock).
   [[nodiscard]] sim::Time now() const { return sim_.now(); }
+
+  /// The run's metrics registry (shared with the fabric), so controller
+  /// apps can record histograms/counters without holding a Fabric&.
+  [[nodiscard]] obs::MetricsRegistry& metrics();
 
   /// Scenario fault knob: additional delay applied to every subsequent
   /// controller->switch message (the §4.1 "messages of (b) are delayed, with

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "sim/time.hpp"
+
 namespace p4u::p4rt {
+
+namespace {
+
+obs::LabelSet switch_msg_labels(NodeId node, const Packet& pkt) {
+  return {{"switch", std::to_string(node)}, {"msg", message_kind(pkt)}};
+}
+
+}  // namespace
 
 Fabric::Fabric(sim::Simulator& sim, const net::Graph& graph,
                SwitchParams params, std::uint64_t seed)
@@ -13,6 +23,14 @@ Fabric::Fabric(sim::Simulator& sim, const net::Graph& graph,
     switches_.push_back(std::make_unique<SwitchDevice>(
         *this, static_cast<NodeId>(i), params, seeder.fork()));
   }
+  // Pre-register the traffic families (Prometheus idiom) so every run
+  // report carries tx/rx/drop and latency lines even when a run never
+  // exercises them (e.g. zero drops without a fault model).
+  metrics_.counter("fabric.tx");
+  metrics_.counter("fabric.rx");
+  metrics_.counter("fabric.drop");
+  metrics_.histogram("fabric.hop_latency_ms", {{"class", "control"}});
+  metrics_.histogram("fabric.hop_latency_ms", {{"class", "data"}});
 }
 
 void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
@@ -22,11 +40,14 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
                             std::to_string(out_port) + " at switch " +
                             std::to_string(from));
   }
+  metrics_.counter("fabric.tx", switch_msg_labels(from, pkt)).inc();
+
   // Random fault injection (verification model, §5).
   const bool is_data = pkt.is<DataHeader>();
   const double drop_p =
       is_data ? faults_.data_drop_prob : faults_.control_drop_prob;
   if (drop_p > 0.0 && fault_rng_.uniform01() < drop_p) {
+    metrics_.counter("fabric.drop", switch_msg_labels(from, pkt)).inc();
     trace_.add({sim_.now(), sim::TraceKind::kMessageDropped, from, pkt.flow(),
                 0, 0, "fault: " + describe(pkt)});
     return;
@@ -34,18 +55,34 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
 
   sim::Duration latency = graph_.latency_between(from, to);
   if (faults_.reorder_jitter > 0) {
-    latency += static_cast<sim::Duration>(fault_rng_.uniform(
+    const auto extra = static_cast<sim::Duration>(fault_rng_.uniform(
         static_cast<std::uint64_t>(faults_.reorder_jitter) + 1));
+    // Saturate instead of overflowing: an arbitrarily large jitter knob
+    // must delay, never wrap into the past.
+    latency = extra > sim::kTimeInfinity - latency ? sim::kTimeInfinity
+                                                   : latency + extra;
+    if (extra > 0) {
+      metrics_.counter("fabric.reordered", switch_msg_labels(from, pkt)).inc();
+    }
   }
+  metrics_
+      .histogram("fabric.hop_latency_ms",
+                 {{"class", is_data ? "data" : "control"}})
+      .observe(sim::to_ms(latency));
 
   const std::int32_t in_port = graph_.port_of(to, from);
   sim_.schedule_in(latency, [this, to, in_port, pkt = std::move(pkt)]() mutable {
+    metrics_.counter("fabric.rx", switch_msg_labels(to, pkt)).inc();
     sw(to).receive(std::move(pkt), in_port);
   });
 }
 
 void Fabric::inject(NodeId at, Packet pkt, std::int32_t in_port) {
-  sw(at).receive(std::move(pkt), in_port);
+  sw(at);  // validate `at` eagerly, while the caller is on the stack
+  metrics_.counter("fabric.inject", switch_msg_labels(at, pkt)).inc();
+  sim_.schedule_in(0, [this, at, in_port, pkt = std::move(pkt)]() mutable {
+    sw(at).receive(std::move(pkt), in_port);
+  });
 }
 
 }  // namespace p4u::p4rt

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "obs/metrics.hpp"
 #include "p4rt/packet.hpp"
 #include "p4rt/switch_device.hpp"
 #include "sim/event_queue.hpp"
@@ -56,6 +57,8 @@ class Fabric {
   [[nodiscard]] const net::Graph& graph() const { return graph_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] FaultModel& faults() { return faults_; }
   [[nodiscard]] FabricHooks& hooks() { return hooks_; }
 
@@ -64,7 +67,10 @@ class Fabric {
   void transmit(NodeId from, std::int32_t out_port, Packet pkt);
 
   /// Injects a packet into a switch as if received on `in_port` (traffic
-  /// sources and test harnesses).
+  /// sources and test harnesses). Delivery goes through the event queue
+  /// (a zero-delay event), never synchronously: an inject issued from
+  /// inside an in-flight handler takes effect after every event already
+  /// scheduled for the current instant, keeping event order deterministic.
   void inject(NodeId at, Packet pkt, std::int32_t in_port = -1);
 
   void set_control_channel(ControlChannel* cc) { control_ = cc; }
@@ -75,6 +81,7 @@ class Fabric {
   const net::Graph& graph_;
   std::vector<std::unique_ptr<SwitchDevice>> switches_;
   sim::Trace trace_;
+  obs::MetricsRegistry metrics_;
   FaultModel faults_;
   FabricHooks hooks_;
   ControlChannel* control_ = nullptr;

@@ -67,4 +67,25 @@ std::string describe(const Packet& p) {
   return os.str();
 }
 
+const char* message_kind(const Packet& p) {
+  return std::visit(
+      [](const auto& h) -> const char* {
+        using H = std::decay_t<decltype(h)>;
+        if constexpr (std::is_same_v<H, DataHeader>) return "DATA";
+        else if constexpr (std::is_same_v<H, FrmHeader>) return "FRM";
+        else if constexpr (std::is_same_v<H, UimHeader>) return "UIM";
+        else if constexpr (std::is_same_v<H, UnmHeader>) return "UNM";
+        else if constexpr (std::is_same_v<H, UfmHeader>) return "UFM";
+        else if constexpr (std::is_same_v<H, SegmentDoneHeader>) return "SEG-DONE";
+        else if constexpr (std::is_same_v<H, EzCmdHeader>) return "EZ-CMD";
+        else if constexpr (std::is_same_v<H, EzNotifyHeader>) return "EZ-NOTIFY";
+        else if constexpr (std::is_same_v<H, InstallCmdHeader>) return "INSTALL";
+        else if constexpr (std::is_same_v<H, InstallAckHeader>) return "ACK";
+        else if constexpr (std::is_same_v<H, CleanupHeader>) return "CLEANUP";
+        else if constexpr (std::is_same_v<H, StampHeader>) return "STAMP";
+        else return "?";
+      },
+      p.header);
+}
+
 }  // namespace p4u::p4rt

@@ -230,4 +230,8 @@ struct Packet {
 /// Short human-readable packet description for traces and test failures.
 std::string describe(const Packet& p);
 
+/// Stable short message-type tag ("UIM", "UNM", "DATA", ...) used as the
+/// `msg` label on fabric metrics.
+const char* message_kind(const Packet& p);
+
 }  // namespace p4u::p4rt

@@ -20,12 +20,16 @@ class RegisterArray {
 
   /// Read register at `index`; unwritten cells hold the default.
   [[nodiscard]] T read(std::uint64_t index) const {
+    ++reads_;
     auto it = cells_.find(index);
     return it == cells_.end() ? default_ : it->second;
   }
 
   /// Write register at `index`.
-  void write(std::uint64_t index, T value) { cells_[index] = value; }
+  void write(std::uint64_t index, T value) {
+    ++writes_;
+    cells_[index] = value;
+  }
 
   /// Resets one cell to the default (rule cleanup).
   void clear(std::uint64_t index) { cells_.erase(index); }
@@ -39,9 +43,16 @@ class RegisterArray {
 
   [[nodiscard]] std::size_t populated() const { return cells_.size(); }
 
+  /// Access volume (plane-agnostic), for the observability layer. BMv2
+  /// register ops are the unit the paper's overhead argument counts in.
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
  private:
   std::unordered_map<std::uint64_t, T> cells_;
   T default_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
 };
 
 /// Exact-match match-action table: key -> action data. The P4Update

@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "p4rt/control_channel.hpp"
 #include "p4rt/fabric.hpp"
+#include "sim/time.hpp"
 
 namespace p4u::p4rt {
 
@@ -24,12 +26,25 @@ void SwitchDevice::enqueue_for_service(Packet pkt, std::int32_t in_port) {
   const sim::Time start = std::max(now(), busy_until_);
   const sim::Time done = start + params_.service_time;
   busy_until_ = done;
+  const obs::LabelSet self{{"switch", std::to_string(id_)}};
+  fabric_.metrics().gauge("switch.queue_depth", self)
+      .set(static_cast<double>(++queue_depth_));
+  fabric_.metrics()
+      .histogram("switch.service_ms", self)
+      .observe(sim::to_ms(done - now()));
   simulator().schedule_at(done, [this, pkt = std::move(pkt), in_port]() mutable {
     process(std::move(pkt), in_port);
   });
 }
 
 void SwitchDevice::process(Packet pkt, std::int32_t in_port) {
+  const obs::LabelSet self{{"switch", std::to_string(id_)}};
+  fabric_.metrics().gauge("switch.queue_depth", self)
+      .set(static_cast<double>(--queue_depth_));
+  fabric_.metrics()
+      .counter("switch.handled",
+               {{"switch", std::to_string(id_)}, {"msg", message_kind(pkt)}})
+      .inc();
   if (pkt.is<DataHeader>()) {
     DataHeader& data = pkt.as<DataHeader>();
     if (pipeline_ != nullptr) {
@@ -119,6 +134,10 @@ void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
       done, [this, flow, port, on_active = std::move(on_active)]() {
         rules_[flow] = port;
         ++installs_completed_;
+        fabric_.metrics()
+            .counter("switch.rule_installs",
+                     {{"switch", std::to_string(id_)}})
+            .inc();
         fabric_.trace().add({now(), sim::TraceKind::kRuleInstalled, id_, flow,
                              port, 0, ""});
         if (fabric_.hooks().on_rule_installed) {

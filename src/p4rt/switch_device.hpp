@@ -150,6 +150,7 @@ class SwitchDevice {
   // faster newer one (fast-forward safety).
   std::map<FlowId, sim::Time> install_tail_;
   sim::Time busy_until_ = 0;
+  std::uint64_t queue_depth_ = 0;  // packets scheduled but not yet processed
   std::uint64_t installs_completed_ = 0;
 };
 

@@ -6,7 +6,11 @@ namespace p4u::sim {
 
 void Simulator::schedule_in(Duration delay, Handler fn) {
   if (delay < 0) delay = 0;
-  schedule_at(now_ + delay, std::move(fn));
+  // Saturate: a delay near kTimeInfinity must park the event at the end of
+  // time, not wrap `now_ + delay` into the past.
+  const Time at =
+      delay > kTimeInfinity - now_ ? kTimeInfinity : now_ + delay;
+  schedule_at(at, std::move(fn));
 }
 
 void Simulator::schedule_at(Time at, Handler fn) {

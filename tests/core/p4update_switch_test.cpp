@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/topologies.hpp"
 #include "p4rt/control_channel.hpp"
 
@@ -196,6 +198,63 @@ TEST(P4UpdateSwitchTest, ParkedUnmTimesOutWithAlarm) {
   env.sim.run(sim::seconds(2));
   EXPECT_TRUE(env.sim.idle()) << "parked UNM must stop recirculating";
   EXPECT_GE(env.pipes[6]->rejects(), 1u);
+}
+
+TEST(P4UpdateSwitchTest, DuplicateUimReArmsWatchdogWithoutDoubleAlarm) {
+  // Regression: each UIM used to arm an independent watchdog timer (holding
+  // a captured switch reference), so a re-triggered update alarmed once per
+  // received UIM. Re-arming must extend the deadline and fire at most once.
+  P4UpdateSwitchParams sp;
+  sp.uim_watchdog = sim::milliseconds(50);
+  Env env(sp);
+  env.bootstrap_old_path(7);
+  const auto uim = env.uim_for(7, env.topo.new_path, 6, 2,
+                               p4rt::UpdateType::kSingleLayer);
+  // v6 is mid-path: without the egress-triggered UNM chain the update never
+  // applies, so the watchdog must eventually fire — once.
+  env.fabric->inject(6, p4rt::Packet{uim}, -1);
+  env.sim.schedule_at(sim::milliseconds(10), [&]() {
+    env.fabric->inject(6, p4rt::Packet{uim}, -1);  // controller re-trigger
+  });
+  env.sim.run(sim::seconds(2));
+
+  const auto& m = env.fabric->metrics();
+  EXPECT_EQ(m.counter_value("p4update.watchdog_armed", {{"switch", "6"}}), 2u);
+  EXPECT_EQ(m.counter_value("p4update.watchdog_fired", {{"switch", "6"}}), 1u);
+  EXPECT_EQ(env.fabric->trace().count(sim::TraceKind::kControllerAlarm), 1u);
+  // The surviving timer is the re-armed one: it fires a watchdog interval
+  // after the *second* UIM, not the first.
+  const auto& entries = env.fabric->trace().entries();
+  const auto it = std::find_if(entries.begin(), entries.end(), [](const auto& e) {
+    return e.kind == sim::TraceKind::kControllerAlarm;
+  });
+  ASSERT_NE(it, entries.end());
+  EXPECT_GE(it->at, sim::milliseconds(60));
+}
+
+TEST(P4UpdateSwitchTest, WatchdogStaysQuietWhenUpdateCompletes) {
+  P4UpdateSwitchParams sp;
+  sp.uim_watchdog = sim::milliseconds(500);
+  Env env(sp);
+  env.bootstrap_old_path(7);
+  const net::Path& p = env.topo.new_path;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    env.fabric->inject(
+        p[i],
+        p4rt::Packet{env.uim_for(7, p, i, 2, p4rt::UpdateType::kSingleLayer)},
+        -1);
+  }
+  env.sim.run(sim::seconds(5));
+  EXPECT_TRUE(env.sim.idle());
+  const auto& m = env.fabric->metrics();
+  EXPECT_GT(m.counter_total("p4update.watchdog_armed"), 0u);
+  EXPECT_EQ(m.counter_total("p4update.watchdog_fired"), 0u);
+  EXPECT_EQ(env.fabric->trace().count(sim::TraceKind::kControllerAlarm), 0u);
+  for (net::NodeId n : p) {
+    EXPECT_EQ(
+        env.pipes[static_cast<std::size_t>(n)]->uib().applied(7).new_version,
+        2);
+  }
 }
 
 class FrmRecorder final : public p4rt::ControllerApp {

@@ -52,6 +52,42 @@ TEST(RunSingleFlowTest, ReportsConsistencyAndSamplesPerRun) {
   EXPECT_EQ(r.violations.blackholes, 0u);
 }
 
+TEST(RunSingleFlowTest, ResultCarriesMergedMetricsAndWritableReport) {
+  // End-to-end observability: an experiment's result registry holds the
+  // counters and histograms the acceptance pipeline (bench --out reports)
+  // depends on, and a RunReport built from it writes parseable JSONL.
+  net::Graph g = net::b4_topology();
+  net::set_uniform_capacity(g, 100.0);
+  const DetourPaths p = long_detour_paths(g);
+  SingleFlowConfig cfg;
+  cfg.old_path = p.old_path;
+  cfg.new_path = p.new_path;
+  cfg.runs = 2;
+  cfg.bed.ctrl_latency_model = CtrlLatencyModel::kWanCentroid;
+  const ExperimentResult r = run_single_flow(g, cfg);
+
+  EXPECT_FALSE(r.metrics.empty());
+  // Per-switch message counters (ingress transmitted something).
+  EXPECT_GT(r.metrics.counter_total("fabric.tx"), 0u);
+  EXPECT_GT(r.metrics.counter_total("switch.handled"), 0u);
+  // Drop counter family exists but counted nothing (no fault model here).
+  EXPECT_EQ(r.metrics.counter_total("fabric.drop"), 0u);
+  // At least one latency histogram with observations.
+  bool saw_latency = false;
+  for (const auto& row : r.metrics.histograms()) {
+    if (row.name == "fabric.hop_latency_ms" && row.value->count > 0) {
+      saw_latency = true;
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+  // Controller-side prep time landed in the merged registry too.
+  std::uint64_t prep_count = 0;
+  for (const auto& row : r.metrics.histograms()) {
+    if (row.name == "ctrl.prep_ms") prep_count += row.value->count;
+  }
+  EXPECT_EQ(prep_count, 2u);  // one prepare per run
+}
+
 TEST(RunMultiFlowTest, SamplesAreLastFlowCompletions) {
   net::Graph g = net::internet2_topology();
   net::set_uniform_capacity(g, 100.0);

@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4u::obs {
+namespace {
+
+TEST(MetricsTest, DefaultHandlesAreNullSinks) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc(5);
+  g.set(3.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.data(), nullptr);
+}
+
+TEST(MetricsTest, CounterAccumulatesAndResolvesToSameCell) {
+  MetricsRegistry m;
+  Counter a = m.counter("fabric.tx", {{"switch", "0"}});
+  a.inc();
+  a.inc(4);
+  // Re-resolving the same (name, labels) sees the same cell.
+  EXPECT_EQ(m.counter("fabric.tx", {{"switch", "0"}}).value(), 5u);
+  // Different labels are a different cell.
+  EXPECT_EQ(m.counter("fabric.tx", {{"switch", "1"}}).value(), 0u);
+}
+
+TEST(MetricsTest, HandlesStayValidAcrossInsertsAndMoves) {
+  MetricsRegistry m;
+  Counter a = m.counter("a");
+  a.inc();
+  // Force many inserts around it.
+  for (int i = 0; i < 100; ++i) {
+    m.counter("pad", {{"i", std::to_string(i)}}).inc();
+  }
+  MetricsRegistry moved = std::move(m);
+  a.inc();  // the map nodes (and thus the cell) must not have moved
+  EXPECT_EQ(moved.counter_value("a", {}), 2u);
+}
+
+TEST(MetricsTest, CounterTotalSumsAcrossLabelSets) {
+  MetricsRegistry m;
+  m.counter("fabric.drop", {{"switch", "0"}, {"msg", "UIM"}}).inc(2);
+  m.counter("fabric.drop", {{"switch", "1"}, {"msg", "UNM"}}).inc(3);
+  m.counter("fabric.tx", {{"switch", "0"}}).inc(9);
+  EXPECT_EQ(m.counter_total("fabric.drop"), 5u);
+  EXPECT_EQ(m.counter_total("absent"), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry m;
+  Gauge g = m.gauge("switch.queue_depth", {{"switch", "3"}});
+  g.set(4.0);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("switch.queue_depth", {{"switch", "3"}}).value(),
+                   3.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry m;
+  Histogram h = m.histogram("lat", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  ASSERT_NE(h.data(), nullptr);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 18.5);
+  EXPECT_DOUBLE_EQ(h.data()->min, 0.5);
+  EXPECT_DOUBLE_EQ(h.data()->max, 50.0);
+  ASSERT_EQ(h.data()->counts.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(h.data()->counts[0], 1u);
+  EXPECT_EQ(h.data()->counts[1], 1u);
+  EXPECT_EQ(h.data()->counts[2], 1u);
+}
+
+TEST(MetricsTest, RowsAreSortedAndComplete) {
+  MetricsRegistry m;
+  m.counter("b").inc();
+  m.counter("a", {{"x", "2"}}).inc();
+  m.counter("a", {{"x", "1"}}).inc();
+  const auto rows = m.counters();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "a");
+  EXPECT_EQ(rows[0].labels, (LabelSet{{"x", "1"}}));
+  EXPECT_EQ(rows[1].name, "a");
+  EXPECT_EQ(rows[1].labels, (LabelSet{{"x", "2"}}));
+  EXPECT_EQ(rows[2].name, "b");
+}
+
+TEST(MetricsTest, MergeFromAddsCountersAndMergesHistograms) {
+  MetricsRegistry a, b;
+  a.counter("c", {{"k", "v"}}).inc(2);
+  b.counter("c", {{"k", "v"}}).inc(3);
+  b.counter("only_b").inc(7);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h", {}, {1.0}).observe(0.5);
+  b.histogram("h", {}, {1.0}).observe(2.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("c", {{"k", "v"}}), 5u);
+  EXPECT_EQ(a.counter_value("only_b", {}), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 9.0);  // latest wins
+  const Histogram h = a.histogram("h", {}, {1.0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+  EXPECT_DOUBLE_EQ(h.data()->min, 0.5);
+  EXPECT_DOUBLE_EQ(h.data()->max, 2.0);
+  EXPECT_EQ(h.data()->counts[0], 1u);
+  EXPECT_EQ(h.data()->counts[1], 1u);
+}
+
+TEST(MetricsTest, MergeFromIsIdentityOnEmpty) {
+  MetricsRegistry a;
+  a.counter("c").inc(4);
+  MetricsRegistry empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.counter_value("c", {}), 4u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace p4u::obs

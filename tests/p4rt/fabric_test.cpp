@@ -101,6 +101,93 @@ TEST(FabricTest, ReorderJitterCanInvertArrivalOrder) {
   EXPECT_FALSE(std::is_sorted(pipe.seen.begin(), pipe.seen.end()));
 }
 
+TEST(FabricTest, InjectIsQueuedBehindSameInstantEvents) {
+  // Regression: inject() used to call receive() synchronously on the
+  // caller's stack, so an injected packet jumped ahead of work scheduled at
+  // the same instant. It must go through the event queue instead.
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  SwitchParams params;
+  params.service_time = 0;  // make service ordering visible at one instant
+  Fabric fabric(sim, topo.graph, params, 1);
+
+  std::vector<int> order;
+  class OrderPipeline final : public Pipeline {
+   public:
+    explicit OrderPipeline(std::vector<int>& o) : order_(o) {}
+    void handle(SwitchDevice&, const Packet&, std::int32_t) override {
+      order_.push_back(2);
+    }
+   private:
+    std::vector<int>& order_;
+  } pipe(order);
+  fabric.sw(1).set_pipeline(&pipe);
+
+  sim.schedule_at(sim::milliseconds(5), [&] {
+    order.push_back(1);
+    fabric.inject(1, Packet{UnmHeader{}}, 0);
+    // Scheduled after the inject call, still at t=5ms: with synchronous
+    // delivery the packet's service event would already sit ahead of this.
+    sim.schedule_in(0, [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(fabric.metrics().counter_total("fabric.inject"), 1u);
+}
+
+TEST(FabricTest, InjectValidatesNodeEagerly) {
+  // The deferred delivery must not defer the error: an invalid node throws
+  // on the caller's stack, not inside the event loop.
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 1);
+  EXPECT_THROW(fabric.inject(99, Packet{UnmHeader{}}, 0), std::out_of_range);
+  EXPECT_EQ(sim.run(), 0u);  // nothing was queued
+}
+
+TEST(FabricTest, HugeReorderJitterSaturatesInsteadOfWrapping) {
+  // Regression: latency + jitter used to overflow int64 and schedule the
+  // delivery in the past. An absurd jitter knob must only delay.
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 3);
+  fabric.faults().reorder_jitter = sim::kTimeInfinity;
+  CountingPipeline pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+  fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
+  sim.run(sim::seconds(3600));
+  // The packet is parked far in the future, not delivered at a wrapped
+  // (negative -> clamped-to-now) instant.
+  EXPECT_EQ(pipe.count, 0);
+  EXPECT_EQ(fabric.metrics().counter_total("fabric.reordered"), 1u);
+}
+
+TEST(FabricTest, CountersReconcileWithTraceAndDelivery) {
+  sim::Simulator sim;
+  net::NamedTopology topo = net::fig2_topology();
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
+  fabric.faults().control_drop_prob = 0.5;
+  CountingPipeline pipe;
+  fabric.sw(1).set_pipeline(&pipe);
+  constexpr int kSent = 64;
+  for (int i = 0; i < kSent; ++i) {
+    fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
+  }
+  sim.run();
+  const auto& m = fabric.metrics();
+  EXPECT_EQ(m.counter_total("fabric.tx"), static_cast<std::uint64_t>(kSent));
+  EXPECT_EQ(m.counter_total("fabric.drop"),
+            fabric.trace().count(sim::TraceKind::kMessageDropped));
+  EXPECT_EQ(m.counter_total("fabric.rx"),
+            static_cast<std::uint64_t>(pipe.count));
+  EXPECT_EQ(m.counter_total("fabric.tx"),
+            m.counter_total("fabric.drop") + m.counter_total("fabric.rx"));
+  // Labels carry the message kind.
+  EXPECT_EQ(m.counter_value("fabric.tx",
+                            {{"switch", "0"}, {"msg", "UNM"}}),
+            static_cast<std::uint64_t>(kSent));
+}
+
 TEST(FabricTest, DeterministicAcrossRunsWithSameSeed) {
   auto run_once = [](std::uint64_t seed) {
     sim::Simulator sim;

@@ -60,6 +60,23 @@ TEST(SimulatorTest, NegativeDelayClampsToNow) {
   EXPECT_EQ(seen, milliseconds(5));
 }
 
+TEST(SimulatorTest, NearInfiniteDelaySaturatesInsteadOfWrapping) {
+  // now + kTimeInfinity must not overflow into the past: the event parks at
+  // the end of time and never fires inside a bounded run.
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(milliseconds(5), [&] {
+    sim.schedule_in(kTimeInfinity, [&] { fired = true; });
+  });
+  sim.run(seconds(3600));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+  // An unbounded run still reaches it (it sits at kTimeInfinity, not beyond).
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBound) {
   Simulator sim;
   int fired = 0;
