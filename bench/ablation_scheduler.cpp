@@ -3,61 +3,76 @@
 // Runs near-capacity multi-flow workloads with the scheduler on and off and
 // reports (i) capacity violations (off -> transient overcommitment; on ->
 // zero) and (ii) the completion cost of enforcing congestion freedom.
+//
+// The {B4, Internet2} x {off, on} matrix is one declarative Campaign.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
-#include "obs/run_report.hpp"
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
-  std::printf("Ablation: data-plane congestion scheduler (§7.4), B4 and "
-              "Internet2, 30 runs each\n\n");
-  std::printf("%-12s %-10s %12s %14s %14s %12s\n", "topology", "scheduler",
-              "mean [ms]", "cap.violations", "deadlocked", "alarms");
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "ablation_scheduler";
+  cli_spec.description =
+      "Ablation (§7.4): data-plane congestion scheduler on vs off.";
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
 
-  bool shape = true;
-  obs::MetricsRegistry merged;
-  std::vector<std::pair<std::string, sim::Samples>> series;
+  harness::Campaign campaign;
   for (const char* name : {"B4", "Internet2"}) {
     net::Graph g = std::string(name) == "B4" ? net::b4_topology()
                                              : net::internet2_topology();
     net::set_uniform_capacity(g, 100.0);
-    std::uint64_t violations_off = 0, violations_on = 0;
+    const auto graph = std::make_shared<const net::Graph>(std::move(g));
     for (bool scheduler_on : {false, true}) {
-      harness::MultiFlowConfig cfg;
-      cfg.runs = 30;
-      cfg.traffic.target_utilization = 0.97;  // tight: moves must sequence
-      cfg.bed.congestion_mode = scheduler_on;
-      cfg.bed.monitor_capacity = true;
-      cfg.bed.ctrl_latency_model = harness::CtrlLatencyModel::kWanCentroid;
-      const harness::ExperimentResult r = run_multi_flow(g, cfg);
-      std::printf("%-12s %-10s %12.1f %14llu %14llu %12llu\n", name,
-                  scheduler_on ? "on" : "off",
-                  r.update_times_ms.empty() ? 0.0 : r.update_times_ms.mean(),
-                  static_cast<unsigned long long>(r.violations.capacity),
-                  static_cast<unsigned long long>(r.incomplete_runs),
-                  static_cast<unsigned long long>(r.alarms));
-      (scheduler_on ? violations_on : violations_off) +=
-          r.violations.capacity;
-      merged.merge_from(r.metrics);
-      series.emplace_back(std::string(name) + "." +
-                              (scheduler_on ? "on" : "off") +
-                              ".update_time_ms",
-                          r.update_times_ms);
+      harness::RunSpec spec;
+      spec.slug = std::string(name) + "." + (scheduler_on ? "on" : "off") +
+                  ".update_time_ms";
+      spec.family = harness::ScenarioFamily::kMultiFlow;
+      spec.graph = graph;
+      spec.traffic.target_utilization = 0.97;  // tight: moves must sequence
+      spec.bed.congestion_mode = scheduler_on;
+      spec.bed.monitor_capacity = true;
+      spec.bed.ctrl_latency_model = harness::CtrlLatencyModel::kWanCentroid;
+      spec.runs = cli.runs_or(30);
+      spec.base_seed = cli.seed_or(5000);
+      campaign.add(std::move(spec));
     }
-    shape = shape && violations_on == 0 && violations_off > 0;
   }
 
-  if (!out_dir.empty()) {
-    obs::RunReport rep(out_dir, "ablation_scheduler");
-    rep.set_meta("ablation", "scheduler");
-    rep.add_metrics(merged);
-    for (const auto& [slug, s] : series) rep.add_samples(slug, s, "ms");
-    std::printf("\nrun report: %s\n", rep.write().c_str());
+  std::printf("Ablation: data-plane congestion scheduler (§7.4), B4 and "
+              "Internet2, %d runs each\n\n",
+              campaign.specs().front().runs);
+  const std::vector<harness::SpecResult> results = campaign.run(cli.jobs);
+
+  std::printf("%-12s %-10s %12s %14s %14s %12s\n", "topology", "scheduler",
+              "mean [ms]", "cap.violations", "deadlocked", "alarms");
+  bool shape = true;
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const harness::ExperimentResult& off = results[i].result;
+    const harness::ExperimentResult& on = results[i + 1].result;
+    const std::string topo = results[i].slug.substr(0, results[i].slug.find('.'));
+    for (const auto* r : {&off, &on}) {
+      std::printf("%-12s %-10s %12.1f %14llu %14llu %12llu\n", topo.c_str(),
+                  r == &on ? "on" : "off",
+                  r->update_times_ms.empty() ? 0.0 : r->update_times_ms.mean(),
+                  static_cast<unsigned long long>(r->violations.capacity),
+                  static_cast<unsigned long long>(r->incomplete_runs),
+                  static_cast<unsigned long long>(r->alarms));
+    }
+    shape = shape && on.violations.capacity == 0 && off.violations.capacity > 0;
+  }
+
+  const std::string report_path = harness::write_campaign_report(
+      cli.out_dir, "ablation_scheduler", {{"ablation", "scheduler"}}, results);
+  if (!report_path.empty()) {
+    std::printf("\nrun report: %s\n", report_path.c_str());
   }
 
   std::printf("\n---- expected shape ----\n");
@@ -66,5 +81,6 @@ int main(int argc, char** argv) {
               "sequenced (slower) completion and occasional deadlocked runs\n"
               "on genuinely unorderable instances (the NP-hard core, §7.4).\n");
   std::printf("---- measured shape holds: %s\n", shape ? "YES" : "NO");
+  if (cli.smoke) return 0;  // 3-run smoke can miss the transient violations
   return shape ? 0 : 1;
 }

@@ -6,135 +6,141 @@
 // scenarios the picked SL improves over DL (fat-tree -27.3%, B4 -39.2%,
 // Internet2 -27.2%). The automatic strategy should track the better of the
 // two in each regime.
+//
+// The figure x {forced SL, forced DL, auto} matrix is one Campaign.
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "harness/cdf_render.hpp"
 #include "harness/experiment.hpp"
 #include "net/fattree.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
-#include "obs/run_report.hpp"
 
 namespace {
 
 using namespace p4u;
 using harness::CtrlLatencyModel;
+using harness::RunSpec;
+using harness::ScenarioFamily;
+using harness::SpecResult;
 
-struct Triple {
-  sim::Samples sl, dl, acc;
+struct Figure {
+  const char* slug;   // "b4.single"
+  const char* title;  // report heading
+  ScenarioFamily family;
+  std::shared_ptr<const net::Graph> graph;
+  net::Path old_path, new_path;  // single-flow only
+  CtrlLatencyModel latency;
 };
 
-/// All modes' merged metrics, harvested for the --out run report.
-obs::MetricsRegistry g_metrics;
+struct Mode {
+  const char* slug;  // "forced_sl"
+  std::optional<p4rt::UpdateType> force;
+};
 
-Triple run_single(const net::Graph& g, const net::Path& old_p,
-                  const net::Path& new_p, CtrlLatencyModel lat) {
-  Triple out;
-  struct Mode {
-    std::optional<p4rt::UpdateType> force;
-    sim::Samples* sink;
-  };
-  Mode modes[3] = {{p4rt::UpdateType::kSingleLayer, &out.sl},
-                   {p4rt::UpdateType::kDualLayer, &out.dl},
-                   {std::nullopt, &out.acc}};
-  for (const Mode& m : modes) {
-    harness::SingleFlowConfig cfg;
-    cfg.old_path = old_p;
-    cfg.new_path = new_p;
-    cfg.runs = 30;
-    cfg.bed.ctrl_latency_model = lat;
-    cfg.bed.switch_params.straggler_mean_ms = 100.0;
-    cfg.bed.force_type = m.force;
-    const harness::ExperimentResult r = run_single_flow(g, cfg);
-    *m.sink = r.update_times_ms;
-    g_metrics.merge_from(r.metrics);
-  }
-  return out;
-}
+const Mode kModes[] = {{"forced_sl", p4rt::UpdateType::kSingleLayer},
+                       {"forced_dl", p4rt::UpdateType::kDualLayer},
+                       {"auto", std::nullopt}};
 
-Triple run_multi(const net::Graph& g, CtrlLatencyModel lat) {
-  Triple out;
-  struct Mode {
-    std::optional<p4rt::UpdateType> force;
-    sim::Samples* sink;
-  };
-  Mode modes[3] = {{p4rt::UpdateType::kSingleLayer, &out.sl},
-                   {p4rt::UpdateType::kDualLayer, &out.dl},
-                   {std::nullopt, &out.acc}};
-  for (const Mode& m : modes) {
-    harness::MultiFlowConfig cfg;
-    cfg.runs = 30;
-    cfg.bed.congestion_mode = true;
-    cfg.bed.ctrl_latency_model = lat;
-    cfg.bed.force_type = m.force;
-    const harness::ExperimentResult r = run_multi_flow(g, cfg);
-    *m.sink = r.update_times_ms;
-    g_metrics.merge_from(r.metrics);
-  }
-  return out;
-}
-
-void report(const char* title, const Triple& t) {
+/// `per_mode` holds the figure's three SpecResults in kModes order.
+void report(const char* title, const SpecResult* per_mode) {
+  const sim::Samples& sl = per_mode[0].result.update_times_ms;
+  const sim::Samples& dl = per_mode[1].result.update_times_ms;
+  const sim::Samples& acc = per_mode[2].result.update_times_ms;
   std::printf("\n================ %s ================\n", title);
   const std::vector<harness::NamedSeries> series{
-      {"auto (§7.5)", &t.acc},
-      {"forced SL", &t.sl},
-      {"forced DL", &t.dl},
+      {"auto (§7.5)", &acc},
+      {"forced SL", &sl},
+      {"forced DL", &dl},
   };
   std::printf("%s", harness::render_comparison(series, "ms").c_str());
-  if (!t.sl.empty() && !t.dl.empty()) {
+  if (!sl.empty() && !dl.empty()) {
     std::printf("  SL vs DL: %+.1f%% (positive = SL slower)\n",
-                (t.sl.mean() - t.dl.mean()) / t.dl.mean() * 100.0);
+                (sl.mean() - dl.mean()) / dl.mean() * 100.0);
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
-  std::printf("Ablation: SL vs DL vs automatic strategy (§7.5), 30 runs "
-              "each\n");
-  std::vector<std::pair<std::string, Triple>> figures;
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "ablation_sl_vs_dl";
+  cli_spec.description =
+      "Ablation (§7.5): SL vs DL vs the automatic layer choice.";
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
+
+  std::vector<Figure> figures;
   {
     net::NamedTopology topo = net::fig1_topology();
     net::set_uniform_capacity(topo.graph, 100.0);
-    figures.emplace_back("synthetic.single",
-                         run_single(topo.graph, topo.old_path, topo.new_path,
-                                    CtrlLatencyModel::kFixed));
-    report("synthetic (Fig. 1) -- single flow", figures.back().second);
+    figures.push_back({"synthetic.single", "synthetic (Fig. 1) -- single flow",
+                       ScenarioFamily::kSingleFlow,
+                       std::make_shared<net::Graph>(std::move(topo.graph)),
+                       topo.old_path, topo.new_path, CtrlLatencyModel::kFixed});
   }
   {
     net::Graph g = net::b4_topology();
     net::set_uniform_capacity(g, 100.0);
     const auto paths = harness::long_detour_paths(g);
-    figures.emplace_back("b4.single",
-                         run_single(g, paths.old_path, paths.new_path,
-                                    CtrlLatencyModel::kWanCentroid));
-    report("B4 -- single flow", figures.back().second);
-    figures.emplace_back("b4.multi",
-                         run_multi(g, CtrlLatencyModel::kWanCentroid));
-    report("B4 -- multiple flows", figures.back().second);
+    auto graph = std::make_shared<const net::Graph>(std::move(g));
+    figures.push_back({"b4.single", "B4 -- single flow",
+                       ScenarioFamily::kSingleFlow, graph, paths.old_path,
+                       paths.new_path, CtrlLatencyModel::kWanCentroid});
+    figures.push_back({"b4.multi", "B4 -- multiple flows",
+                       ScenarioFamily::kMultiFlow, graph, {}, {},
+                       CtrlLatencyModel::kWanCentroid});
   }
   {
     net::FatTree ft = net::fattree_topology(4);
     net::set_uniform_capacity(ft.graph, 100.0);
-    figures.emplace_back("fattree4.multi",
-                         run_multi(ft.graph, CtrlLatencyModel::kFattreeNormal));
-    report("fat-tree K=4 -- multiple flows", figures.back().second);
+    figures.push_back({"fattree4.multi", "fat-tree K=4 -- multiple flows",
+                       ScenarioFamily::kMultiFlow,
+                       std::make_shared<net::Graph>(std::move(ft.graph)), {},
+                       {}, CtrlLatencyModel::kFattreeNormal});
   }
 
-  if (!out_dir.empty()) {
-    obs::RunReport rep(out_dir, "ablation_sl_vs_dl");
-    rep.set_meta("ablation", "sl_vs_dl");
-    rep.add_metrics(g_metrics);
-    for (const auto& [slug, t] : figures) {
-      rep.add_samples(slug + ".forced_sl.update_time_ms", t.sl, "ms");
-      rep.add_samples(slug + ".forced_dl.update_time_ms", t.dl, "ms");
-      rep.add_samples(slug + ".auto.update_time_ms", t.acc, "ms");
+  harness::Campaign campaign;
+  for (const Figure& fig : figures) {
+    for (const Mode& mode : kModes) {
+      RunSpec spec;
+      spec.slug = std::string(fig.slug) + "." + mode.slug + ".update_time_ms";
+      spec.family = fig.family;
+      spec.graph = fig.graph;
+      spec.bed.ctrl_latency_model = fig.latency;
+      spec.bed.force_type = mode.force;
+      if (fig.family == ScenarioFamily::kSingleFlow) {
+        spec.old_path = fig.old_path;
+        spec.new_path = fig.new_path;
+        spec.bed.switch_params.straggler_mean_ms = 100.0;
+        spec.base_seed = cli.seed_or(1000);
+      } else {
+        spec.bed.congestion_mode = true;
+        spec.base_seed = cli.seed_or(5000);
+      }
+      spec.runs = cli.runs_or(30);
+      campaign.add(std::move(spec));
     }
-    std::printf("\nrun report: %s\n", rep.write().c_str());
+  }
+
+  std::printf("Ablation: SL vs DL vs automatic strategy (§7.5), %d runs "
+              "each\n",
+              campaign.specs().front().runs);
+  const std::vector<SpecResult> results = campaign.run(cli.jobs);
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    report(figures[i].title, &results[i * 3]);
+  }
+
+  const std::string report_path = harness::write_campaign_report(
+      cli.out_dir, "ablation_sl_vs_dl", {{"ablation", "sl_vs_dl"}}, results);
+  if (!report_path.empty()) {
+    std::printf("\nrun report: %s\n", report_path.c_str());
   }
 
   std::printf("\n---- expected shape (paper, §9.2) ----\n");

@@ -3,12 +3,16 @@
 //
 // Prints the packet-sequence series the paper plots — arrivals at v1
 // (Fig. 2b: looped packets revisit) and deliveries at the egress v4
-// (Fig. 2c: TTL losses) — for ez-Segway and SL-P4Update.
+// (Fig. 2c: TTL losses) — for ez-Segway and SL-P4Update. The seeded runs
+// behind the report are a two-spec Campaign; the headline packet series
+// are re-run directly at the base seed for display.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "harness/demo_scenarios.hpp"
-#include "obs/run_report.hpp"
 
 namespace {
 
@@ -46,26 +50,49 @@ void report(const char* name, const Fig2Result& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = p4u::obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "fig2_inconsistency";
+  cli_spec.description =
+      "Fig. 2 (§4.1): out-of-order deployment under an inconsistent view.";
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
+
   std::printf("Fig. 2 reproduction: inconsistent updates "
               "(config (b) delayed, controller oblivious, (c) deployed)\n");
-  const Fig2Result ez = harness::run_fig2_demo(SystemKind::kEzSegway);
-  const Fig2Result p4u = harness::run_fig2_demo(SystemKind::kP4Update);
+  const std::uint64_t base_seed = cli.seed_or(1);
+
+  // The paper's figure is one run; --runs widens the report's seed sweep.
+  harness::Campaign campaign;
+  for (SystemKind kind : {SystemKind::kEzSegway, SystemKind::kP4Update}) {
+    harness::RunSpec spec;
+    spec.slug = std::string("fig2.") + harness::to_string(kind) +
+                ".delivered_at_v4";
+    spec.family = harness::ScenarioFamily::kFig2Inconsistency;
+    spec.bed.system = kind;
+    spec.runs = cli.runs_or(1);
+    spec.base_seed = base_seed;
+    spec.sample_unit = "packets";
+    campaign.add(std::move(spec));
+  }
+  const std::vector<harness::SpecResult> results = campaign.run(cli.jobs);
+
+  // Headline packet series at the base seed (what Fig. 2b/2c plot).
+  const Fig2Result ez = harness::run_fig2_demo(SystemKind::kEzSegway,
+                                               base_seed);
+  const Fig2Result p4u = harness::run_fig2_demo(SystemKind::kP4Update,
+                                                base_seed);
   report("ez-Segway", ez);
   report("SL-P4Update", p4u);
 
-  if (!out_dir.empty()) {
-    obs::MetricsRegistry merged;
-    merged.merge_from(ez.metrics);
-    merged.merge_from(p4u.metrics);
-    obs::RunReport rep(out_dir, "fig2_inconsistency");
-    rep.set_meta("figure", "2");
-    rep.set_meta("packets_sent",
-                 static_cast<std::uint64_t>(ez.packets_sent));
-    rep.set_meta("ez_ttl_drops", static_cast<std::uint64_t>(ez.ttl_drops));
-    rep.set_meta("p4u_alarms", p4u.alarms);
-    rep.add_metrics(merged);
-    std::printf("\nrun report: %s\n", rep.write().c_str());
+  const std::string report_path = harness::write_campaign_report(
+      cli.out_dir, "fig2_inconsistency",
+      {{"figure", "2"},
+       {"packets_sent", std::to_string(ez.packets_sent)},
+       {"ez_ttl_drops", std::to_string(ez.ttl_drops)},
+       {"p4u_alarms", std::to_string(p4u.alarms)}},
+      results);
+  if (!report_path.empty()) {
+    std::printf("\nrun report: %s\n", report_path.c_str());
   }
 
   std::printf("\n---- expected shape (paper, Fig. 2) ----\n");
@@ -87,5 +114,6 @@ int main(int argc, char** argv) {
                            p4u.duplicates_at_v1 == 0 && p4u.ttl_drops == 0 &&
                            p4u.unique_at_v4 == p4u.packets_sent;
   std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+  if (cli.smoke) return 0;
   return shape_holds ? 0 : 1;
 }

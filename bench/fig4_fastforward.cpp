@@ -2,55 +2,66 @@
 // arrives while the complex U2 is still in flight. P4Update fast-forwards;
 // ez-Segway waits for U2 to finish. Prints the U3-completion-time CDF over
 // 30 runs for both systems (the paper reports ~4x on its BMv2 stack).
+//
+// The runs are a two-spec Campaign (one per system); `--jobs N` spreads the
+// seeds across workers without changing the output.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "harness/cdf_render.hpp"
-#include "harness/demo_scenarios.hpp"
-#include "obs/run_report.hpp"
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
-  constexpr int kRuns = 30;
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "fig4_fastforward";
+  cli_spec.description =
+      "Fig. 4 (§4.2): U3 completion while U2 is in flight (fast-forward).";
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
 
-  sim::Samples p4u_times, ez_times;
-  std::uint64_t violations = 0;
-  obs::MetricsRegistry merged;
-  for (int run = 0; run < kRuns; ++run) {
-    const auto seed = static_cast<std::uint64_t>(run) + 1;
-    const auto p4u = harness::run_fig4_demo(harness::SystemKind::kP4Update,
-                                            seed);
-    const auto ez = harness::run_fig4_demo(harness::SystemKind::kEzSegway,
-                                           seed);
-    if (p4u.u3_completed) p4u_times.add(p4u.u3_completion_ms);
-    if (ez.u3_completed) ez_times.add(ez.u3_completion_ms);
-    violations += p4u.violations + ez.violations;
-    merged.merge_from(p4u.metrics);
-    merged.merge_from(ez.metrics);
+  harness::Campaign campaign;
+  for (harness::SystemKind kind :
+       {harness::SystemKind::kP4Update, harness::SystemKind::kEzSegway}) {
+    harness::RunSpec spec;
+    spec.slug = std::string("fig4.") + harness::to_string(kind) +
+                ".u3_completion_ms";
+    spec.family = harness::ScenarioFamily::kFig4FastForward;
+    spec.bed.system = kind;
+    spec.runs = cli.runs_or(30);
+    spec.base_seed = cli.seed_or(1);  // historical fig4 seeds: 1..runs
+    campaign.add(std::move(spec));
   }
+  const int runs = campaign.specs().front().runs;
+  const std::vector<harness::SpecResult> results = campaign.run(cli.jobs);
+  const harness::ExperimentResult& p4u = results[0].result;
+  const harness::ExperimentResult& ez = results[1].result;
 
   std::printf("Fig. 4 reproduction: U3 completion time while U2 is in "
-              "flight (%d runs)\n\n", kRuns);
+              "flight (%d runs)\n\n", runs);
   const std::vector<harness::NamedSeries> series{
-      {"P4Update", &p4u_times},
-      {"ez-Segway", &ez_times},
+      {"P4Update", &p4u.update_times_ms},
+      {"ez-Segway", &ez.update_times_ms},
   };
   std::printf("%s\n", harness::render_cdf_table(series, "ms").c_str());
   std::printf("%s\n", harness::render_ascii_cdf(series).c_str());
   std::printf("%s\n", harness::render_comparison(series, "ms").c_str());
 
-  if (!out_dir.empty()) {
-    obs::RunReport rep(out_dir, "fig4_fastforward");
-    rep.set_meta("figure", "4");
-    rep.set_meta("runs", static_cast<std::uint64_t>(kRuns));
-    rep.add_metrics(merged);
-    rep.add_samples("fig4.P4Update.u3_completion_ms", p4u_times, "ms");
-    rep.add_samples("fig4.ez-Segway.u3_completion_ms", ez_times, "ms");
-    std::printf("run report: %s\n\n", rep.write().c_str());
+  const std::string report_path = harness::write_campaign_report(
+      cli.out_dir, "fig4_fastforward",
+      {{"figure", "4"}, {"runs", std::to_string(runs)}}, results);
+  if (!report_path.empty()) {
+    std::printf("run report: %s\n\n", report_path.c_str());
   }
 
-  const double speedup = ez_times.mean() / p4u_times.mean();
+  const std::uint64_t violations =
+      p4u.violations.total() + ez.violations.total();
+  const double speedup = p4u.update_times_ms.empty()
+                             ? 0.0
+                             : ez.update_times_ms.mean() /
+                                   p4u.update_times_ms.mean();
   std::printf("---- expected shape (paper, Fig. 4) ----\n");
   std::printf("P4Update completes U3 markedly faster (paper: ~4x on their\n"
               "Mininet/BMv2 stack); consistency violations: none.\n");
@@ -60,5 +71,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(violations));
   const bool shape_holds = speedup > 1.5 && violations == 0;
   std::printf("shape holds: %s\n", shape_holds ? "YES" : "NO");
+  if (cli.smoke) return 0;  // smoke exercises the pipeline, not the verdict
   return shape_holds ? 0 : 1;
 }

@@ -13,78 +13,166 @@
 // Multi-flow runs use per-node random destinations, shortest -> 2nd
 // shortest paths, gravity-model sizes near capacity, and congestion
 // freedom on (the data-plane scheduler at work).
+//
+// The whole figure is one declarative Campaign: 6 subfigures x 3 systems,
+// each expanded into independently seeded jobs that `--jobs N` spreads
+// across worker threads without changing a single output byte.
 #include <cstdio>
+#include <memory>
 #include <string>
-#include <utility>
+#include <vector>
 
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "harness/cdf_render.hpp"
 #include "harness/experiment.hpp"
 #include "net/fattree.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
-#include "obs/run_report.hpp"
 
 namespace {
 
 using namespace p4u;
 using harness::CtrlLatencyModel;
-using harness::ExperimentResult;
+using harness::RunSpec;
+using harness::ScenarioFamily;
+using harness::SpecResult;
 using harness::SystemKind;
 
-struct FigureResult {
-  ExperimentResult p4u, ez, central;
+constexpr SystemKind kSystems[] = {SystemKind::kP4Update,
+                                   SystemKind::kEzSegway,
+                                   SystemKind::kCentral};
+
+/// One subfigure: a topology plus either a single-flow detour or a
+/// near-capacity multi-flow batch. Expands into one RunSpec per system.
+struct Subfigure {
+  const char* slug;   // "fig7a"
+  const char* title;  // report heading
+  ScenarioFamily family;
+  std::shared_ptr<const net::Graph> graph;
+  net::Path old_path, new_path;  // single-flow only
+  CtrlLatencyModel latency;
 };
 
-/// Accumulates every subfigure's metrics and sample series for the
-/// machine-readable run report (--out).
-struct Collector {
-  obs::MetricsRegistry metrics;
-  std::vector<std::pair<std::string, sim::Samples>> series;
+Subfigure single(const char* slug, const char* title, net::Graph g,
+                 net::Path old_path, net::Path new_path,
+                 CtrlLatencyModel latency) {
+  return {slug,
+          title,
+          ScenarioFamily::kSingleFlow,
+          std::make_shared<net::Graph>(std::move(g)),
+          std::move(old_path),
+          std::move(new_path),
+          latency};
+}
 
-  void take(const char* slug, FigureResult& r) {
-    metrics.merge_from(r.p4u.metrics);
-    metrics.merge_from(r.ez.metrics);
-    metrics.merge_from(r.central.metrics);
-    series.emplace_back(std::string(slug) + ".P4Update.update_time_ms",
-                        r.p4u.update_times_ms);
-    series.emplace_back(std::string(slug) + ".ez-Segway.update_time_ms",
-                        r.ez.update_times_ms);
-    series.emplace_back(std::string(slug) + ".Central.update_time_ms",
-                        r.central.update_times_ms);
+Subfigure multi(const char* slug, const char* title, net::Graph g,
+                CtrlLatencyModel latency) {
+  return {slug,
+          title,
+          ScenarioFamily::kMultiFlow,
+          std::make_shared<net::Graph>(std::move(g)),
+          {},
+          {},
+          latency};
+}
+
+std::vector<Subfigure> subfigures() {
+  std::vector<Subfigure> figs;
+  {
+    net::NamedTopology topo = net::fig1_topology();
+    net::set_uniform_capacity(topo.graph, 100.0);
+    figs.push_back(single("fig7a", "(a) synthetic (Fig. 1) -- single flow",
+                          std::move(topo.graph), topo.old_path, topo.new_path,
+                          CtrlLatencyModel::kFixed));
   }
-};
+  {
+    net::FatTree ft = net::fattree_topology(4);
+    net::set_uniform_capacity(ft.graph, 100.0);
+    figs.push_back(multi("fig7b", "(b) fat-tree K=4 -- multiple flows",
+                         std::move(ft.graph),
+                         CtrlLatencyModel::kFattreeNormal));
+  }
+  {
+    net::Graph g = net::b4_topology();
+    net::set_uniform_capacity(g, 100.0);
+    const auto paths = harness::long_detour_paths(g);
+    figs.push_back(single("fig7c", "(c) B4 -- single flow", g, paths.old_path,
+                          paths.new_path, CtrlLatencyModel::kWanCentroid));
+    figs.push_back(multi("fig7d", "(d) B4 -- multiple flows", std::move(g),
+                         CtrlLatencyModel::kWanCentroid));
+  }
+  {
+    net::Graph g = net::internet2_topology();
+    net::set_uniform_capacity(g, 100.0);
+    const auto paths = harness::long_detour_paths(g);
+    figs.push_back(single("fig7e", "(e) Internet2 -- single flow", g,
+                          paths.old_path, paths.new_path,
+                          CtrlLatencyModel::kWanCentroid));
+    figs.push_back(multi("fig7f", "(f) Internet2 -- multiple flows",
+                         std::move(g), CtrlLatencyModel::kWanCentroid));
+  }
+  return figs;
+}
+
+RunSpec spec_for(const Subfigure& fig, SystemKind kind,
+                 const harness::BenchCli& cli) {
+  RunSpec spec;
+  spec.slug = std::string(fig.slug) + "." + harness::to_string(kind) +
+              ".update_time_ms";
+  spec.family = fig.family;
+  spec.graph = fig.graph;
+  spec.bed.system = kind;
+  spec.bed.ctrl_latency_model = fig.latency;
+  if (fig.family == ScenarioFamily::kSingleFlow) {
+    spec.old_path = fig.old_path;
+    spec.new_path = fig.new_path;
+    spec.bed.switch_params.straggler_mean_ms = 100.0;  // §9.1 single-flow
+    spec.base_seed = cli.seed_or(1000);
+  } else {
+    spec.traffic.target_utilization = 0.9;  // "close to the capacity"
+    spec.bed.congestion_mode = true;
+    spec.base_seed = cli.seed_or(5000);
+  }
+  spec.runs = cli.runs_or(30);
+  return spec;
+}
 
 struct Verdict {
   bool headline = false;  // P4Update <= ez-Segway (within noise)
   bool ordering = false;  // strict P4Update < ez-Segway < Central
 };
 
-Verdict report(const char* title, const FigureResult& r) {
+/// `per_system` holds the subfigure's three SpecResults in kSystems order.
+Verdict report(const char* title, const SpecResult* per_system) {
+  const harness::ExperimentResult& p4u = per_system[0].result;
+  const harness::ExperimentResult& ez = per_system[1].result;
+  const harness::ExperimentResult& central = per_system[2].result;
   std::printf("\n================ %s ================\n", title);
   const std::vector<harness::NamedSeries> series{
-      {"P4Update", &r.p4u.update_times_ms},
-      {"ez-Segway", &r.ez.update_times_ms},
-      {"Central", &r.central.update_times_ms},
+      {"P4Update", &p4u.update_times_ms},
+      {"ez-Segway", &ez.update_times_ms},
+      {"Central", &central.update_times_ms},
   };
   std::printf("%s\n", harness::render_cdf_table(series, "ms").c_str());
   std::printf("%s\n", harness::render_ascii_cdf(series).c_str());
   std::printf("%s", harness::render_comparison(series, "ms").c_str());
   std::printf("  violations (P4U/ez/Central): %llu / %llu / %llu,"
               "  incomplete runs: %llu / %llu / %llu\n",
-              static_cast<unsigned long long>(r.p4u.violations.total()),
-              static_cast<unsigned long long>(r.ez.violations.total()),
-              static_cast<unsigned long long>(r.central.violations.total()),
-              static_cast<unsigned long long>(r.p4u.incomplete_runs),
-              static_cast<unsigned long long>(r.ez.incomplete_runs),
-              static_cast<unsigned long long>(r.central.incomplete_runs));
+              static_cast<unsigned long long>(p4u.violations.total()),
+              static_cast<unsigned long long>(ez.violations.total()),
+              static_cast<unsigned long long>(central.violations.total()),
+              static_cast<unsigned long long>(p4u.incomplete_runs),
+              static_cast<unsigned long long>(ez.incomplete_runs),
+              static_cast<unsigned long long>(central.incomplete_runs));
   Verdict v;
-  if (!r.p4u.update_times_ms.empty() && !r.ez.update_times_ms.empty() &&
-      !r.central.update_times_ms.empty()) {
-    const double p4u = r.p4u.update_times_ms.mean();
-    const double ez = r.ez.update_times_ms.mean();
-    const double central = r.central.update_times_ms.mean();
-    v.headline = p4u <= ez * 1.05;  // paper's headline: P4Update fastest
-    v.ordering = p4u < ez && ez < central;
+  if (!p4u.update_times_ms.empty() && !ez.update_times_ms.empty() &&
+      !central.update_times_ms.empty()) {
+    const double p4u_mean = p4u.update_times_ms.mean();
+    const double ez_mean = ez.update_times_ms.mean();
+    const double central_mean = central.update_times_ms.mean();
+    v.headline = p4u_mean <= ez_mean * 1.05;  // paper: P4Update fastest
+    v.ordering = p4u_mean < ez_mean && ez_mean < central_mean;
   }
   std::printf("  P4Update fastest (within 5%%): %s;"
               "  strict P4U < ez < Central: %s\n",
@@ -92,121 +180,42 @@ Verdict report(const char* title, const FigureResult& r) {
   return v;
 }
 
-FigureResult run_single(const net::Graph& g, const net::Path& old_path,
-                        const net::Path& new_path,
-                        CtrlLatencyModel latency_model) {
-  FigureResult out;
-  for (SystemKind kind :
-       {SystemKind::kP4Update, SystemKind::kEzSegway, SystemKind::kCentral}) {
-    harness::SingleFlowConfig cfg;
-    cfg.old_path = old_path;
-    cfg.new_path = new_path;
-    cfg.runs = 30;
-    cfg.bed.system = kind;
-    cfg.bed.ctrl_latency_model = latency_model;
-    cfg.bed.switch_params.straggler_mean_ms = 100.0;  // §9.1 single-flow
-    ExperimentResult r = run_single_flow(g, cfg);
-    if (kind == SystemKind::kP4Update) out.p4u = std::move(r);
-    else if (kind == SystemKind::kEzSegway) out.ez = std::move(r);
-    else out.central = std::move(r);
-  }
-  return out;
-}
-
-FigureResult run_multi(const net::Graph& g, CtrlLatencyModel latency_model) {
-  FigureResult out;
-  for (SystemKind kind :
-       {SystemKind::kP4Update, SystemKind::kEzSegway, SystemKind::kCentral}) {
-    harness::MultiFlowConfig cfg;
-    cfg.runs = 30;
-    cfg.traffic.target_utilization = 0.9;  // "close to the capacity"
-    cfg.bed.system = kind;
-    cfg.bed.congestion_mode = true;
-    cfg.bed.ctrl_latency_model = latency_model;
-    ExperimentResult r = run_multi_flow(g, cfg);
-    if (kind == SystemKind::kP4Update) out.p4u = std::move(r);
-    else if (kind == SystemKind::kEzSegway) out.ez = std::move(r);
-    else out.central = std::move(r);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "fig7_update_time";
+  cli_spec.description =
+      "Fig. 7 (§9.2): total update time CDFs over seeded runs.";
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
+
+  const std::vector<Subfigure> figs = subfigures();
+  harness::Campaign campaign;
+  for (const Subfigure& fig : figs) {
+    for (SystemKind kind : kSystems) campaign.add(spec_for(fig, kind, cli));
+  }
+
   std::printf("Fig. 7 reproduction: total update time CDFs "
-              "(30 runs per system per scenario)\n");
+              "(%d runs per system per scenario)\n",
+              campaign.specs().front().runs);
+  const std::vector<SpecResult> results = campaign.run(cli.jobs);
+
   int headline = 0, ordered = 0, total = 0;
-  Collector collect;
-
-  {
-    net::NamedTopology topo = net::fig1_topology();
-    net::set_uniform_capacity(topo.graph, 100.0);
-    FigureResult r = run_single(topo.graph, topo.old_path, topo.new_path,
-                                CtrlLatencyModel::kFixed);
-    const Verdict v = report("(a) synthetic (Fig. 1) -- single flow", r);
-    collect.take("fig7a", r);
+  for (std::size_t i = 0; i < figs.size(); ++i) {
+    const Verdict v = report(figs[i].title, &results[i * 3]);
     headline += v.headline;
     ordered += v.ordering;
     ++total;
   }
-  {
-    net::FatTree ft = net::fattree_topology(4);
-    net::set_uniform_capacity(ft.graph, 100.0);
-    FigureResult r = run_multi(ft.graph, CtrlLatencyModel::kFattreeNormal);
-    const Verdict v = report("(b) fat-tree K=4 -- multiple flows", r);
-    collect.take("fig7b", r);
-    headline += v.headline;
-    ordered += v.ordering;
-    ++total;
-  }
-  {
-    net::Graph g = net::b4_topology();
-    net::set_uniform_capacity(g, 100.0);
-    const auto paths = harness::long_detour_paths(g);
-    FigureResult rc = run_single(g, paths.old_path, paths.new_path,
-                                 CtrlLatencyModel::kWanCentroid);
-    const Verdict vc = report("(c) B4 -- single flow", rc);
-    collect.take("fig7c", rc);
-    headline += vc.headline;
-    ordered += vc.ordering;
-    ++total;
-    FigureResult rd = run_multi(g, CtrlLatencyModel::kWanCentroid);
-    const Verdict vd = report("(d) B4 -- multiple flows", rd);
-    collect.take("fig7d", rd);
-    headline += vd.headline;
-    ordered += vd.ordering;
-    ++total;
-  }
-  {
-    net::Graph g = net::internet2_topology();
-    net::set_uniform_capacity(g, 100.0);
-    const auto paths = harness::long_detour_paths(g);
-    FigureResult re = run_single(g, paths.old_path, paths.new_path,
-                                 CtrlLatencyModel::kWanCentroid);
-    const Verdict ve = report("(e) Internet2 -- single flow", re);
-    collect.take("fig7e", re);
-    headline += ve.headline;
-    ordered += ve.ordering;
-    ++total;
-    FigureResult rf = run_multi(g, CtrlLatencyModel::kWanCentroid);
-    const Verdict vf = report("(f) Internet2 -- multiple flows", rf);
-    collect.take("fig7f", rf);
-    headline += vf.headline;
-    ordered += vf.ordering;
-    ++total;
-  }
 
-  if (!out_dir.empty()) {
-    obs::RunReport rep(out_dir, "fig7_update_time");
-    rep.set_meta("figure", "7");
-    rep.set_meta("runs_per_system", std::uint64_t{30});
-    rep.add_metrics(collect.metrics);
-    for (const auto& [name, samples] : collect.series) {
-      rep.add_samples(name, samples, "ms");
-    }
-    std::printf("\nrun report: %s\n", rep.write().c_str());
+  const std::string report_path = harness::write_campaign_report(
+      cli.out_dir, "fig7_update_time",
+      {{"figure", "7"},
+       {"runs_per_system", std::to_string(campaign.specs().front().runs)}},
+      results);
+  if (!report_path.empty()) {
+    std::printf("\nrun report: %s\n", report_path.c_str());
   }
 
   std::printf("\n---- expected shape (paper, Fig. 7) ----\n");
@@ -218,5 +227,6 @@ int main(int argc, char** argv) {
               headline, total);
   std::printf("subfigures with strict P4U < ez < Central ordering: %d / %d\n",
               ordered, total);
+  if (cli.smoke) return 0;  // 3-run smoke numbers are noise, not a verdict
   return headline == total ? 0 : 1;
 }

@@ -6,18 +6,25 @@
 // preparation code (the paper records it for 1000 updates), so it uses
 // google-benchmark for the per-operation numbers and then prints the ratio
 // table (mean of 30 repetitions with a 99% CI, like Fig. 8's bars).
+//
+// Speaks the shared bench CLI; `--benchmark*` flags pass through to
+// google-benchmark. Wall-clock timing is inherently serial, so --jobs only
+// parallelizes the simulated probe runs behind the --out report; --smoke
+// cuts the repetitions to 3 and skips the google-benchmark sweep.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <memory>
 #include <cstdio>
 #include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/ezsegway_controller.hpp"
 #include "core/p4update_controller.hpp"
-#include "harness/experiment.hpp"
-#include "harness/scenario.hpp"
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
 #include "harness/traffic.hpp"
 #include "net/topologies.hpp"
 #include "net/topology_zoo.hpp"
@@ -169,17 +176,17 @@ double measure_seconds(const std::function<std::uint64_t()>& fn) {
   return std::chrono::duration<double>(dt).count() / reps;
 }
 
-void print_ratio_table() {
+void print_ratio_table(int reps) {
   std::printf("\nFig. 8 reproduction: control-plane preparation time ratio "
-              "DL-P4Update / ez-Segway\n(mean of 30 repetitions, 99%% CI; "
-              "< 1.0 means P4Update prepares faster)\n\n");
+              "DL-P4Update / ez-Segway\n(mean of %d repetitions, 99%% CI; "
+              "< 1.0 means P4Update prepares faster)\n\n", reps);
   std::printf("%-22s %28s %28s\n", "topology", "(a) w/o congestion",
               "(b) with congestion");
   bool shape = true;
   for (std::size_t i = 0; i < workloads().size(); ++i) {
     Fixture& fx = fixture_for(i);
     sim::Samples plain, cong;
-    for (int rep = 0; rep < 30; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       const double p4u =
           measure_seconds([&] { return p4update_prepare_all(fx); });
       const double ez_plain =
@@ -204,23 +211,30 @@ void print_ratio_table() {
 }
 
 /// The preparation benchmarks never exercise the fabric, so the run report
-/// would carry no per-switch counters or latency histograms. Run one real
-/// end-to-end update (Fig. 1 topology, P4Update) so every fig8 report also
-/// contains fabric/switch metrics plus the ctrl.prep_ms histogram from the
-/// controller's live schedule_update path.
-void write_report(const std::string& out_dir) {
+/// would carry no per-switch counters or latency histograms. Run a few real
+/// end-to-end updates (Fig. 1 topology, P4Update) so every fig8 report also
+/// contains fabric/switch metrics. (The probe's registry is deterministic —
+/// the wall-clock preparation numbers live in the ratio series above.)
+void write_report(const harness::BenchCli& cli) {
   net::NamedTopology topo = net::fig1_topology();
   net::set_uniform_capacity(topo.graph, 100.0);
-  harness::SingleFlowConfig cfg;
-  cfg.old_path = topo.old_path;
-  cfg.new_path = topo.new_path;
-  cfg.runs = 3;
-  const harness::ExperimentResult probe =
-      run_single_flow(topo.graph, cfg);
+  harness::Campaign probe;
+  {
+    harness::RunSpec spec;
+    spec.slug = "fig8.probe.update_time_ms";
+    spec.family = harness::ScenarioFamily::kSingleFlow;
+    spec.graph = std::make_shared<net::Graph>(std::move(topo.graph));
+    spec.old_path = topo.old_path;
+    spec.new_path = topo.new_path;
+    spec.runs = 3;
+    spec.base_seed = cli.seed_or(1000);
+    probe.add(std::move(spec));
+  }
+  const std::vector<harness::SpecResult> probe_results = probe.run(cli.jobs);
 
-  obs::RunReport rep(out_dir, "fig8_prep_time");
+  obs::RunReport rep(cli.out_dir, "fig8_prep_time");
   rep.set_meta("figure", "8");
-  rep.add_metrics(probe.metrics);
+  rep.add_metrics(probe_results.front().result.metrics);
   for (const auto& [slug, s] : g_ratio_series) {
     rep.add_samples(slug, s, "ratio");
   }
@@ -230,12 +244,20 @@ void write_report(const std::string& out_dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --out is ours, not google-benchmark's: strip it before Initialize.
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  print_ratio_table();
-  if (!out_dir.empty()) write_report(out_dir);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "fig8_prep_time";
+  cli_spec.description =
+      "Fig. 8 (§9.3): controller preparation-time ratios (wall clock).";
+  cli_spec.passthrough_prefixes = {"--benchmark"};
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
+
+  if (!cli.smoke) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+  print_ratio_table(cli.runs_or(30));
+  if (!cli.out_dir.empty()) write_report(cli);
   return 0;
 }

@@ -8,13 +8,21 @@
 #include <string>
 
 #include "control/dest_tree.hpp"
+#include "harness/bench_cli.hpp"
 #include "harness/scenario.hpp"
 #include "net/topology_zoo.hpp"
 #include "obs/run_report.hpp"
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "dest_tree";
+  cli_spec.description = "A destination-tree (multi-ingress) update.";
+  cli_spec.with_jobs = false;
+  cli_spec.with_runs = false;
+  cli_spec.with_smoke = false;
+  const std::string out_dir =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec).out_dir;
 
   net::Graph g = net::b4_topology();
   harness::TestBedParams params;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_cli.hpp"
 #include "harness/demo_scenarios.hpp"
 #include "harness/scenario.hpp"
 #include "net/topologies.hpp"
@@ -14,7 +15,14 @@
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "fast_forward";
+  cli_spec.description = "The Fig. 4 fast-forward scenario, both systems.";
+  cli_spec.with_jobs = false;
+  cli_spec.with_runs = false;
+  cli_spec.with_smoke = false;
+  const std::string out_dir =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec).out_dir;
   obs::MetricsRegistry demo_metrics;
 
   std::printf("Scenario (Fig. 4): six nodes; U2 = complex (five segments,\n"

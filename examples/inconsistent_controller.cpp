@@ -8,12 +8,20 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_cli.hpp"
 #include "harness/demo_scenarios.hpp"
 #include "obs/run_report.hpp"
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "inconsistent_controller";
+  cli_spec.description = "The Fig. 2 inconsistent-view scenario, both systems.";
+  cli_spec.with_jobs = false;
+  cli_spec.with_runs = false;
+  cli_spec.with_smoke = false;
+  const std::string out_dir =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec).out_dir;
   obs::MetricsRegistry merged;
 
   std::printf("Scenario (Fig. 2): chain v0..v4; config (b)'s messages are\n"

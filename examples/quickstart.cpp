@@ -10,13 +10,21 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_cli.hpp"
 #include "harness/scenario.hpp"
 #include "net/topologies.hpp"
 #include "obs/run_report.hpp"
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "quickstart";
+  cli_spec.description = "A complete P4Update run on the Fig. 1 topology.";
+  cli_spec.with_jobs = false;
+  cli_spec.with_runs = false;
+  cli_spec.with_smoke = false;
+  const std::string out_dir =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec).out_dir;
 
   // 1. Topology and testbed (P4Update switches + controller, 20 ms links).
   net::NamedTopology topo = net::fig1_topology();

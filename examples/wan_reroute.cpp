@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/bench_cli.hpp"
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
 #include "net/topologies.hpp"
@@ -15,7 +16,14 @@
 
 int main(int argc, char** argv) {
   using namespace p4u;
-  const std::string out_dir = obs::parse_out_dir(argc, argv);
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "wan_reroute";
+  cli_spec.description = "A WAN reroute with segmentation on the B4 topology.";
+  cli_spec.with_jobs = false;
+  cli_spec.with_runs = false;
+  cli_spec.with_smoke = false;
+  const std::string out_dir =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec).out_dir;
 
   // Google's B4 backbone, uniform link capacity, one flow per site.
   net::Graph graph = net::b4_topology();

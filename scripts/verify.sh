@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: plain build + tests, then the same suite under
-# ASan + UBSan (P4U_SANITIZE=ON). Run from the repository root.
+# ASan + UBSan (P4U_SANITIZE=ON), then the parallel campaign runner under
+# ThreadSanitizer (P4U_TSAN=ON). Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +17,14 @@ cmake -B build-asan -S . -DP4U_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== tier-1: TSan build + parallel-runner/campaign tests =="
+# TSan and ASan are mutually exclusive, so this is a third tree; only the
+# threaded code paths (the campaign's worker pool) need the data-race pass.
+cmake -B build-tsan -S . -DP4U_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-tsan -j "$JOBS" --target harness_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ParallelRunner|Campaign'
 
 echo "verify: OK"

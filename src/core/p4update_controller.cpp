@@ -91,14 +91,17 @@ P4UpdateController::Prepared P4UpdateController::prepare(
 p4rt::Version P4UpdateController::schedule_update(net::FlowId flow,
                                                   const net::Path& new_path) {
   const p4rt::Version version = nib_.next_version(flow);
-  // Wall-clock preparation cost: the Fig. 8 quantity, also surfaced in
-  // every run report (the only real-time measurement in the simulation).
+  // Wall-clock preparation cost: the Fig. 8 quantity (the only real-time
+  // measurement in the simulation), recorded unless the run needs a fully
+  // deterministic registry.
   const auto t0 = std::chrono::steady_clock::now();
   Prepared prepared = prepare(flow, new_path, version);
-  const auto t1 = std::chrono::steady_clock::now();
-  channel_.metrics()
-      .histogram("ctrl.prep_ms", {})
-      .observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  if (params_.measure_prep_wallclock) {
+    const auto t1 = std::chrono::steady_clock::now();
+    channel_.metrics()
+        .histogram("ctrl.prep_ms", {})
+        .observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
   last_issued_type_[flow] = prepared.type;
   issued_paths_[{flow, version}] = new_path;
   nib_.view(flow).update_in_progress = true;

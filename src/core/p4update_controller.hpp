@@ -36,6 +36,11 @@ struct P4UpdateControllerParams {
   /// egress re-generates the notification chain. Bounded per version.
   bool enable_retrigger = false;
   int max_retriggers = 5;
+  /// Record the wall-clock preparation cost (the Fig. 8 quantity) into the
+  /// ctrl.prep_ms histogram. The one real-time measurement in the
+  /// simulation — campaigns turn it off so merged run reports stay
+  /// byte-identical across reruns and worker counts.
+  bool measure_prep_wallclock = true;
 };
 
 class P4UpdateController final : public p4rt::ControllerApp {

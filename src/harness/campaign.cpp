@@ -1,0 +1,209 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/demo_scenarios.hpp"
+#include "harness/parallel_runner.hpp"
+#include "obs/run_report.hpp"
+
+namespace p4u::harness {
+
+namespace {
+constexpr sim::Time kIssueAt = sim::milliseconds(10);
+constexpr sim::Time kRunUntil = sim::seconds(300);
+
+void harvest_bed(TestBed& bed, RunOutcome& out) {
+  out.alarms += bed.flow_db().total_alarms();
+  out.violations.loops += bed.monitor().violations().loops;
+  out.violations.blackholes += bed.monitor().violations().blackholes;
+  out.violations.capacity += bed.monitor().violations().capacity;
+  bed.collect_metrics();
+  out.metrics.merge_from(bed.metrics());
+}
+
+RunOutcome run_single_flow_job(const RunSpec& spec, std::uint64_t seed) {
+  TestBedParams params = spec.bed;
+  params.seed = seed;
+  params.trace_enabled = false;  // large sweeps: skip trace allocation
+  params.measure_prep_wallclock = false;  // keep the registry deterministic
+  TestBed bed(*spec.graph, params);
+
+  net::Flow f;
+  f.ingress = spec.old_path.front();
+  f.egress = spec.old_path.back();
+  f.id = net::flow_id_of(f.ingress, f.egress);
+  f.size = 1.0;
+  bed.deploy_flow(f, spec.old_path);
+  bed.schedule_update_at(kIssueAt, f.id, spec.new_path);
+  bed.run(kRunUntil);
+
+  RunOutcome out;
+  const auto d = bed.flow_db().duration(f.id, 2);
+  if (d) out.sample = sim::to_ms(*d);
+  harvest_bed(bed, out);
+  return out;
+}
+
+RunOutcome run_multi_flow_job(const RunSpec& spec, std::uint64_t seed) {
+  sim::Rng traffic_rng(seed ^ 0x7AFF1Cull);
+  const std::vector<TrafficFlow> flows =
+      gravity_multiflow(*spec.graph, traffic_rng, spec.traffic);
+
+  TestBedParams params = spec.bed;
+  params.seed = seed;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  params.monitor_capacity = params.monitor_capacity || params.congestion_mode;
+  TestBed bed(*spec.graph, params);
+
+  std::vector<std::pair<net::FlowId, net::Path>> batch;
+  for (const TrafficFlow& tf : flows) {
+    bed.deploy_flow(tf.flow, tf.old_path);
+    batch.emplace_back(tf.flow.id, tf.new_path);
+  }
+  bed.schedule_batch_at(kIssueAt, std::move(batch));
+  bed.run(kRunUntil);
+
+  // Sample: completion time of the last flow update in the batch.
+  RunOutcome out;
+  bool all_done = true;
+  sim::Time last = 0;
+  for (const TrafficFlow& tf : flows) {
+    const auto* rec = bed.flow_db().record(tf.flow.id, 2);
+    if (rec == nullptr || rec->state != control::UpdateState::kCompleted) {
+      all_done = false;
+      break;
+    }
+    last = std::max(last, rec->completed_at);
+  }
+  if (all_done) out.sample = sim::to_ms(last - kIssueAt);
+  harvest_bed(bed, out);
+  return out;
+}
+
+RunOutcome run_fig2_job(const RunSpec& spec, std::uint64_t seed) {
+  Fig2Result r = run_fig2_demo(spec.bed.system, seed);
+  RunOutcome out;
+  out.sample = static_cast<double>(r.unique_at_v4);
+  out.alarms = r.alarms;
+  out.violations.loops = r.loop_observations;
+  out.metrics = std::move(r.metrics);
+  return out;
+}
+
+RunOutcome run_fig4_job(const RunSpec& spec, std::uint64_t seed) {
+  Fig4Result r = run_fig4_demo(spec.bed.system, seed);
+  RunOutcome out;
+  if (r.u3_completed) out.sample = r.u3_completion_ms;
+  out.violations = r.violations;
+  out.metrics = std::move(r.metrics);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ScenarioFamily f) {
+  switch (f) {
+    case ScenarioFamily::kSingleFlow: return "single-flow";
+    case ScenarioFamily::kMultiFlow: return "multi-flow";
+    case ScenarioFamily::kFig2Inconsistency: return "fig2-inconsistency";
+    case ScenarioFamily::kFig4FastForward: return "fig4-fast-forward";
+  }
+  return "?";
+}
+
+RunOutcome execute_run(const RunSpec& spec, int run_index) {
+  const std::uint64_t seed =
+      spec.base_seed + static_cast<std::uint64_t>(run_index);
+  switch (spec.family) {
+    case ScenarioFamily::kSingleFlow: return run_single_flow_job(spec, seed);
+    case ScenarioFamily::kMultiFlow: return run_multi_flow_job(spec, seed);
+    case ScenarioFamily::kFig2Inconsistency: return run_fig2_job(spec, seed);
+    case ScenarioFamily::kFig4FastForward: return run_fig4_job(spec, seed);
+  }
+  throw std::logic_error("execute_run: unknown scenario family");
+}
+
+RunSpec& Campaign::add(RunSpec spec) {
+  if (spec.runs < 0) throw std::invalid_argument("Campaign: negative runs");
+  const bool needs_graph = spec.family == ScenarioFamily::kSingleFlow ||
+                           spec.family == ScenarioFamily::kMultiFlow;
+  if (needs_graph && spec.graph == nullptr) {
+    throw std::invalid_argument("Campaign: spec '" + spec.slug +
+                                "' has no topology");
+  }
+  specs_.push_back(std::move(spec));
+  return specs_.back();
+}
+
+std::size_t Campaign::total_runs() const {
+  std::size_t n = 0;
+  for (const RunSpec& s : specs_) n += static_cast<std::size_t>(s.runs);
+  return n;
+}
+
+std::vector<SpecResult> Campaign::run(int jobs) const {
+  // Expand specs into the flat job list, in spec-then-seed order. The
+  // outcome of job i lands in slot i whatever thread ran it, so the merge
+  // below never observes scheduling order.
+  struct Job {
+    std::size_t spec;
+    int run;
+  };
+  std::vector<Job> expanded;
+  expanded.reserve(total_runs());
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    for (int r = 0; r < specs_[s].runs; ++r) expanded.push_back({s, r});
+  }
+
+  std::vector<RunOutcome> outcomes =
+      parallel_map_indexed(expanded.size(), jobs, [&](std::size_t i) {
+        return execute_run(specs_[expanded[i].spec], expanded[i].run);
+      });
+
+  // Merge on this thread, spec by spec in seed order: samples concatenate,
+  // counters add, registries fold — deterministically.
+  std::vector<SpecResult> results;
+  results.reserve(specs_.size());
+  std::size_t i = 0;
+  for (const RunSpec& spec : specs_) {
+    SpecResult sr;
+    sr.slug = spec.slug;
+    sr.sample_unit = spec.sample_unit;
+    for (int r = 0; r < spec.runs; ++r, ++i) {
+      RunOutcome& out = outcomes[i];
+      if (out.sample) {
+        sr.result.update_times_ms.add(*out.sample);
+      } else {
+        ++sr.result.incomplete_runs;
+      }
+      sr.result.alarms += out.alarms;
+      sr.result.violations.loops += out.violations.loops;
+      sr.result.violations.blackholes += out.violations.blackholes;
+      sr.result.violations.capacity += out.violations.capacity;
+      sr.result.metrics.merge_from(out.metrics);
+    }
+    results.push_back(std::move(sr));
+  }
+  return results;
+}
+
+std::string write_campaign_report(
+    const std::string& out_dir, const std::string& run_name,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const std::vector<SpecResult>& results) {
+  if (out_dir.empty()) return "";
+  obs::RunReport rep(out_dir, run_name);
+  for (const auto& [k, v] : meta) rep.set_meta(k, v);
+  obs::MetricsRegistry merged;
+  for (const SpecResult& sr : results) merged.merge_from(sr.result.metrics);
+  rep.add_metrics(merged);
+  for (const SpecResult& sr : results) {
+    rep.add_samples(sr.slug, sr.result.update_times_ms, sr.sample_unit);
+  }
+  return rep.write();
+}
+
+}  // namespace p4u::harness

@@ -82,7 +82,7 @@ std::string render_ascii_cdf(const std::vector<NamedSeries>& series,
   for (std::size_t si = 0; si < series.size(); ++si) {
     const auto& s = *series[si].samples;
     if (s.empty()) continue;
-    const auto sorted = s.sorted();
+    const auto& sorted = s.sorted();
     for (std::size_t i = 0; i < sorted.size(); ++i) {
       const double frac =
           static_cast<double>(i + 1) / static_cast<double>(sorted.size());

@@ -14,6 +14,7 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed) {
   params.ctrl_latency_model = CtrlLatencyModel::kFixed;
   params.fixed_ctrl_latency = sim::milliseconds(5);
   params.trace_enabled = false;
+  params.measure_prep_wallclock = false;  // deterministic demo metrics
   TestBed bed(topo.graph, params);
 
   net::Flow flow;
@@ -56,17 +57,7 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed) {
   // 400 ms; the controller is oblivious and believes (b) applied.
   bed.simulator().schedule_at(sim::seconds(10) + sim::milliseconds(100), [&]() {
     bed.channel().set_extra_outbound_delay(sim::milliseconds(400));
-    switch (system) {
-      case SystemKind::kP4Update:
-        bed.p4update().schedule_update(flow.id, config_b);
-        break;
-      case SystemKind::kEzSegway:
-        bed.ezsegway().schedule_update(flow.id, config_b);
-        break;
-      case SystemKind::kCentral:
-        bed.central().schedule_update(flow.id, config_b);
-        break;
-    }
+    bed.issue_update_now(flow.id, config_b);
     bed.channel().set_extra_outbound_delay(0);
     bed.force_belief(flow.id, config_b);
   });
@@ -96,6 +87,7 @@ Fig4Result run_fig4_demo(SystemKind system, std::uint64_t seed) {
   params.ctrl_latency_model = CtrlLatencyModel::kFixed;
   params.fixed_ctrl_latency = sim::milliseconds(20);
   params.trace_enabled = false;
+  params.measure_prep_wallclock = false;  // deterministic demo metrics
   TestBed bed(topo.graph, params);
 
   net::Flow flow;
@@ -124,7 +116,7 @@ Fig4Result run_fig4_demo(SystemKind system, std::uint64_t seed) {
     // ez-Segway for the waiting it chooses to do.
     result.u3_completion_ms = sim::to_ms(rec->completed_at - u3_at);
   }
-  result.violations = bed.monitor().violations().total();
+  result.violations = bed.monitor().violations();
   bed.collect_metrics();
   result.metrics.merge_from(bed.metrics());
   return result;

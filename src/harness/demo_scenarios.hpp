@@ -41,7 +41,7 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed = 1);
 struct Fig4Result {
   bool u3_completed = false;
   double u3_completion_ms = 0.0;  // from U3 issue to its UFM
-  std::uint64_t violations = 0;
+  InvariantMonitor::Violations violations;
   obs::MetricsRegistry metrics;  // the run's full registry
 };
 

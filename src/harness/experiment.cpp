@@ -1,98 +1,40 @@
 #include "harness/experiment.hpp"
 
-#include <algorithm>
+#include <memory>
 
 #include "control/segmentation.hpp"
 
 namespace p4u::harness {
 
-namespace {
-constexpr sim::Time kIssueAt = sim::milliseconds(10);
-constexpr sim::Time kRunUntil = sim::seconds(300);
-}  // namespace
-
 ExperimentResult run_single_flow(const net::Graph& g,
                                  const SingleFlowConfig& cfg) {
-  ExperimentResult out;
-  for (int run = 0; run < cfg.runs; ++run) {
-    TestBedParams params = cfg.bed;
-    params.seed = cfg.base_seed + static_cast<std::uint64_t>(run);
-    params.trace_enabled = false;  // large sweeps: skip trace allocation
-    TestBed bed(g, params);
-
-    net::Flow f;
-    f.ingress = cfg.old_path.front();
-    f.egress = cfg.old_path.back();
-    f.id = net::flow_id_of(f.ingress, f.egress);
-    f.size = 1.0;
-    bed.deploy_flow(f, cfg.old_path);
-    bed.schedule_update_at(kIssueAt, f.id, cfg.new_path);
-    bed.run(kRunUntil);
-
-    const auto d = bed.flow_db().duration(f.id, 2);
-    if (d) {
-      out.update_times_ms.add(sim::to_ms(*d));
-    } else {
-      ++out.incomplete_runs;
-    }
-    out.alarms += bed.flow_db().total_alarms();
-    out.violations.loops += bed.monitor().violations().loops;
-    out.violations.blackholes += bed.monitor().violations().blackholes;
-    out.violations.capacity += bed.monitor().violations().capacity;
-    bed.collect_metrics();
-    out.metrics.merge_from(bed.metrics());
-  }
-  return out;
+  RunSpec spec;
+  spec.slug = "single_flow";
+  spec.family = ScenarioFamily::kSingleFlow;
+  spec.graph = std::make_shared<net::Graph>(g);
+  spec.old_path = cfg.old_path;
+  spec.new_path = cfg.new_path;
+  spec.bed = cfg.bed;
+  spec.runs = cfg.runs;
+  spec.base_seed = cfg.base_seed;
+  Campaign campaign;
+  campaign.add(std::move(spec));
+  return std::move(campaign.run(/*jobs=*/1).front().result);
 }
 
 ExperimentResult run_multi_flow(const net::Graph& g,
                                 const MultiFlowConfig& cfg) {
-  ExperimentResult out;
-  for (int run = 0; run < cfg.runs; ++run) {
-    const std::uint64_t seed = cfg.base_seed + static_cast<std::uint64_t>(run);
-    sim::Rng traffic_rng(seed ^ 0x7AFF1Cull);
-    const std::vector<TrafficFlow> flows =
-        gravity_multiflow(g, traffic_rng, cfg.traffic);
-
-    TestBedParams params = cfg.bed;
-    params.seed = seed;
-    params.trace_enabled = false;
-    params.monitor_capacity =
-        params.monitor_capacity || params.congestion_mode;
-    TestBed bed(g, params);
-
-    std::vector<std::pair<net::FlowId, net::Path>> batch;
-    for (const TrafficFlow& tf : flows) {
-      bed.deploy_flow(tf.flow, tf.old_path);
-      batch.emplace_back(tf.flow.id, tf.new_path);
-    }
-    bed.schedule_batch_at(kIssueAt, std::move(batch));
-    bed.run(kRunUntil);
-
-    // Sample: completion time of the last flow update in the batch.
-    bool all_done = true;
-    sim::Time last = 0;
-    for (const TrafficFlow& tf : flows) {
-      const auto* rec = bed.flow_db().record(tf.flow.id, 2);
-      if (rec == nullptr || rec->state != control::UpdateState::kCompleted) {
-        all_done = false;
-        break;
-      }
-      last = std::max(last, rec->completed_at);
-    }
-    if (all_done) {
-      out.update_times_ms.add(sim::to_ms(last - kIssueAt));
-    } else {
-      ++out.incomplete_runs;
-    }
-    out.alarms += bed.flow_db().total_alarms();
-    out.violations.loops += bed.monitor().violations().loops;
-    out.violations.blackholes += bed.monitor().violations().blackholes;
-    out.violations.capacity += bed.monitor().violations().capacity;
-    bed.collect_metrics();
-    out.metrics.merge_from(bed.metrics());
-  }
-  return out;
+  RunSpec spec;
+  spec.slug = "multi_flow";
+  spec.family = ScenarioFamily::kMultiFlow;
+  spec.graph = std::make_shared<net::Graph>(g);
+  spec.traffic = cfg.traffic;
+  spec.bed = cfg.bed;
+  spec.runs = cfg.runs;
+  spec.base_seed = cfg.base_seed;
+  Campaign campaign;
+  campaign.add(std::move(spec));
+  return std::move(campaign.run(/*jobs=*/1).front().result);
 }
 
 DetourPaths long_detour_paths(const net::Graph& g) {

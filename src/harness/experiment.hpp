@@ -1,27 +1,19 @@
-// Experiment drivers for the paper's evaluation (§9): run many seeded
-// TestBeds and collect update-time samples plus consistency-violation
-// counts. One function per scenario family; the bench binaries print the
-// figures from these results.
+// Experiment drivers for the paper's evaluation (§9): thin wrappers over
+// the campaign subsystem (harness/campaign.hpp) for callers that want one
+// scenario family on one topology without building a spec table. The bench
+// binaries declare RunSpec tables and run them through a Campaign directly.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "harness/campaign.hpp"
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
 #include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace p4u::harness {
-
-struct ExperimentResult {
-  sim::Samples update_times_ms;  // per run: the measured completion time
-  std::uint64_t alarms = 0;
-  InvariantMonitor::Violations violations;
-  std::uint64_t incomplete_runs = 0;
-  /// Merged across every seeded run (counters add, histograms merge).
-  obs::MetricsRegistry metrics;
-};
 
 struct SingleFlowConfig {
   net::Path old_path;
@@ -33,7 +25,8 @@ struct SingleFlowConfig {
 
 /// §9.2 single-flow scenario: deploy one flow on old_path, update it to
 /// new_path, measure UIM-send -> UFM-receive. Per-node exp(100 ms)
-/// straggler delays are set via bed.switch_params.
+/// straggler delays are set via bed.switch_params. Runs serially; use a
+/// Campaign for parallel sweeps.
 ExperimentResult run_single_flow(const net::Graph& g,
                                  const SingleFlowConfig& cfg);
 

@@ -1,0 +1,15 @@
+#include "harness/parallel_runner.hpp"
+
+namespace p4u::harness {
+
+unsigned hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+int resolve_jobs(int requested) {
+  if (requested <= 0) return static_cast<int>(hardware_jobs());
+  return requested;
+}
+
+}  // namespace p4u::harness

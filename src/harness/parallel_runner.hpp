@@ -1,0 +1,73 @@
+// Deterministic parallel execution of independent seeded jobs.
+//
+// parallel_map_indexed runs fn(0), ..., fn(n-1) across a small thread pool
+// and returns the results in index order, regardless of which worker
+// finished first: results land in a fixed slot array and are only touched
+// by the main thread after every worker joined. A job must be self-
+// contained (own Simulator, Rng, MetricsRegistry, ...) and share nothing
+// mutable with its siblings; under that contract the parallel result is
+// byte-identical to the serial one — parallelism is purely a wall-clock
+// optimization, determinism is the invariant.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace p4u::harness {
+
+/// std::thread::hardware_concurrency, clamped to >= 1.
+unsigned hardware_jobs();
+
+/// Resolves a --jobs request: values <= 0 mean "use every core".
+int resolve_jobs(int requested);
+
+/// Runs fn(i) for i in [0, n) on up to `jobs` workers (<= 0: every core)
+/// and returns the results in index order. Workers claim indices from an
+/// atomic counter; a thrown job exception is captured and rethrown on the
+/// calling thread (lowest index wins) after all workers drained.
+template <typename Fn>
+auto parallel_map_indexed(std::size_t n, int jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_move_constructible_v<R>,
+                "job results must be movable");
+  std::vector<std::optional<R>> slots(n);
+  const auto workers = static_cast<std::size_t>(resolve_jobs(jobs));
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(workers, n));
+    for (std::size_t w = 0; w < std::min(workers, n); ++w) {
+      pool.emplace_back([&]() {
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace p4u::harness

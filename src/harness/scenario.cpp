@@ -3,16 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
-namespace p4u::harness {
+#include "control/labeling.hpp"
 
-const char* to_string(SystemKind k) {
-  switch (k) {
-    case SystemKind::kP4Update: return "P4Update";
-    case SystemKind::kEzSegway: return "ez-Segway";
-    case SystemKind::kCentral: return "Central";
-  }
-  return "?";
-}
+namespace p4u::harness {
 
 namespace {
 
@@ -49,71 +42,51 @@ TestBed::TestBed(net::Graph graph, TestBedParams params)
       params_.ctrl_send_service);
   channel_->set_services(params_.ctrl_send_service, params_.ctrl_recv_service);
 
-  control::Nib nib(graph_);
-  switch (params_.system) {
-    case SystemKind::kP4Update: {
-      core::P4UpdateSwitchParams sp;
-      sp.congestion_mode = params_.congestion_mode;
-      sp.allow_consecutive_dual = params_.allow_consecutive_dual;
-      sp.wait_timeout = params_.p4u_wait_timeout;
-      sp.uim_watchdog = params_.p4u_uim_watchdog;
-      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
-        auto pipe = std::make_unique<core::P4UpdateSwitch>(
-            static_cast<net::NodeId>(n), graph_, sp);
-        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
-        p4u_switches_.push_back(std::move(pipe));
-      }
-      core::P4UpdateControllerParams cp;
-      cp.congestion_mode = params_.congestion_mode;
-      cp.force_type = params_.force_type;
-      cp.allow_consecutive_dual = params_.allow_consecutive_dual;
-      cp.enable_retrigger = params_.enable_retrigger;
-      p4u_ctrl_ = std::make_unique<core::P4UpdateController>(
-          *channel_, std::move(nib), cp);
-      break;
-    }
-    case SystemKind::kEzSegway: {
-      baseline::EzSwitchParams sp;
-      sp.congestion_mode = params_.congestion_mode;
-      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
-        auto pipe = std::make_unique<baseline::EzSegwaySwitch>(
-            static_cast<net::NodeId>(n), graph_, sp);
-        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
-        ez_switches_.push_back(std::move(pipe));
-      }
-      baseline::EzControllerParams cp;
-      cp.congestion_mode = params_.congestion_mode;
-      ez_ctrl_ = std::make_unique<baseline::EzSegwayController>(
-          *channel_, std::move(nib), cp);
-      break;
-    }
-    case SystemKind::kCentral: {
-      baseline::CentralParams cp;
-      cp.congestion_mode = params_.congestion_mode;
-      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
-        auto pipe = std::make_unique<baseline::CentralSwitch>(
-            static_cast<net::NodeId>(n));
-        fabric_->sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
-        central_switches_.push_back(std::move(pipe));
-      }
-      central_ctrl_ = std::make_unique<baseline::CentralController>(
-          *channel_, std::move(nib), cp);
-      break;
-    }
-  }
+  adapter_ = SystemFactory::instance().create(
+      params_.system,
+      SystemContext{sim_, *fabric_, *channel_, graph_, params_});
 
   monitor_ = std::make_unique<InvariantMonitor>(*fabric_,
                                                 params_.monitor_capacity);
   monitor_->attach();
 }
 
-const control::FlowDb& TestBed::flow_db() const {
-  switch (params_.system) {
-    case SystemKind::kP4Update: return p4u_ctrl_->flow_db();
-    case SystemKind::kEzSegway: return ez_ctrl_->flow_db();
-    case SystemKind::kCentral: return central_ctrl_->flow_db();
+const control::FlowDb& TestBed::flow_db() const { return adapter_->flow_db(); }
+
+core::P4UpdateController& TestBed::p4update() {
+  auto* ctrl = adapter_->as_p4update();
+  if (ctrl == nullptr) {
+    throw std::logic_error("TestBed::p4update: bed runs " +
+                           std::string(to_string(params_.system)));
   }
-  throw std::logic_error("unknown system");
+  return *ctrl;
+}
+
+baseline::EzSegwayController& TestBed::ezsegway() {
+  auto* ctrl = adapter_->as_ezsegway();
+  if (ctrl == nullptr) {
+    throw std::logic_error("TestBed::ezsegway: bed runs " +
+                           std::string(to_string(params_.system)));
+  }
+  return *ctrl;
+}
+
+baseline::CentralController& TestBed::central() {
+  auto* ctrl = adapter_->as_central();
+  if (ctrl == nullptr) {
+    throw std::logic_error("TestBed::central: bed runs " +
+                           std::string(to_string(params_.system)));
+  }
+  return *ctrl;
+}
+
+core::P4UpdateSwitch& TestBed::p4update_switch(net::NodeId n) {
+  auto* sw = adapter_->p4update_switch(n);
+  if (sw == nullptr) {
+    throw std::logic_error("TestBed::p4update_switch: bed runs " +
+                           std::string(to_string(params_.system)));
+  }
+  return *sw;
 }
 
 void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path) {
@@ -128,32 +101,15 @@ void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path) {
         i + 1 == initial_path.size()
             ? p4rt::SwitchDevice::kLocalPort
             : graph_.port_of(n, initial_path[i + 1]);
-    auto& sw = fabric_->sw(n);
-    switch (params_.system) {
-      case SystemKind::kP4Update:
-        p4u_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(
-            sw, f.id, /*version=*/1, dist, port, f.size);
-        break;
-      case SystemKind::kEzSegway:
-        ez_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(sw, f.id,
-                                                                  port, f.size);
-        break;
-      case SystemKind::kCentral:
-        central_switches_[static_cast<std::size_t>(n)]->bootstrap_flow(
-            sw, f.id, port);
-        break;
-    }
+    adapter_->bootstrap_flow_hop(fabric_->sw(n), f, dist, port);
   }
-  switch (params_.system) {
-    case SystemKind::kP4Update: p4u_ctrl_->register_flow(f, initial_path); break;
-    case SystemKind::kEzSegway: ez_ctrl_->register_flow(f, initial_path); break;
-    case SystemKind::kCentral: central_ctrl_->register_flow(f, initial_path); break;
-  }
+  adapter_->register_flow(f, initial_path);
   monitor_->watch_flow(f);
 }
 
 void TestBed::deploy_tree(const net::Flow& f, const control::DestTree& tree) {
-  if (params_.system != SystemKind::kP4Update) {
+  auto* ctrl = adapter_->as_p4update();
+  if (ctrl == nullptr) {
     throw std::logic_error("deploy_tree: destination trees are a P4Update "
                            "extension (§11)");
   }
@@ -161,49 +117,28 @@ void TestBed::deploy_tree(const net::Flow& f, const control::DestTree& tree) {
     throw std::invalid_argument("deploy_tree: flow egress must be the root");
   }
   for (const control::TreeNodeLabel& l : control::label_tree(graph_, tree)) {
-    p4u_switches_[static_cast<std::size_t>(l.node)]->bootstrap_flow(
-        fabric_->sw(l.node), f.id, /*version=*/1, l.depth, l.parent_port,
-        f.size);
+    adapter_->bootstrap_flow_hop(fabric_->sw(l.node), f, l.depth,
+                                 l.parent_port);
   }
-  p4u_ctrl_->register_tree(f);
+  ctrl->register_tree(f);
   monitor_->watch_flow(f);
 }
 
 void TestBed::schedule_update_at(sim::Time at, net::FlowId flow,
                                  net::Path new_path) {
   sim_.schedule_at(at, [this, flow, new_path = std::move(new_path)]() {
-    switch (params_.system) {
-      case SystemKind::kP4Update:
-        p4u_ctrl_->schedule_update(flow, new_path);
-        break;
-      case SystemKind::kEzSegway:
-        ez_ctrl_->schedule_update(flow, new_path);
-        break;
-      case SystemKind::kCentral:
-        central_ctrl_->schedule_update(flow, new_path);
-        break;
-    }
+    adapter_->schedule_update(flow, new_path);
   });
+}
+
+void TestBed::issue_update_now(net::FlowId flow, const net::Path& new_path) {
+  adapter_->schedule_update(flow, new_path);
 }
 
 void TestBed::schedule_batch_at(
     sim::Time at, std::vector<std::pair<net::FlowId, net::Path>> batch) {
   sim_.schedule_at(at, [this, batch = std::move(batch)]() {
-    switch (params_.system) {
-      case SystemKind::kP4Update:
-        for (const auto& [flow, path] : batch) {
-          p4u_ctrl_->schedule_update(flow, path);
-        }
-        break;
-      case SystemKind::kEzSegway:
-        ez_ctrl_->schedule_updates(batch);
-        break;
-      case SystemKind::kCentral:
-        for (const auto& [flow, path] : batch) {
-          central_ctrl_->schedule_update(flow, path);
-        }
-        break;
-    }
+    adapter_->schedule_batch(batch);
   });
 }
 
@@ -224,34 +159,15 @@ void TestBed::start_traffic(net::FlowId flow, net::NodeId ingress, double pps,
 }
 
 void TestBed::force_belief(net::FlowId flow, net::Path path) {
-  control::Nib* nib = nullptr;
-  switch (params_.system) {
-    case SystemKind::kP4Update: nib = &p4u_ctrl_->nib(); break;
-    case SystemKind::kEzSegway: nib = &ez_ctrl_->nib(); break;
-    case SystemKind::kCentral: nib = &central_ctrl_->nib(); break;
-  }
-  nib->believe_path(flow, std::move(path));
-  nib->view(flow).update_in_progress = false;
+  control::Nib& nib = adapter_->nib();
+  nib.believe_path(flow, std::move(path));
+  nib.view(flow).update_in_progress = false;
 }
 
 void TestBed::run(sim::Time until) { sim_.run(until); }
 
 void TestBed::collect_metrics() {
-  auto& m = fabric_->metrics();
-  // Tops a counter up to `total` (collect may run more than once per bed).
-  const auto top_up = [&m](const char* name, const obs::LabelSet& labels,
-                           std::uint64_t total) {
-    auto c = m.counter(name, labels);
-    if (total > c.value()) c.inc(total - c.value());
-  };
-  for (const auto& pipe : p4u_switches_) {
-    const obs::LabelSet self{{"switch", std::to_string(pipe->id())}};
-    top_up("uib.register_reads", self, pipe->uib().register_reads());
-    top_up("uib.register_writes", self, pipe->uib().register_writes());
-    top_up("p4update.unms_sent", self, pipe->unms_sent());
-    top_up("p4update.resubmissions", self, pipe->resubmissions());
-    top_up("p4update.rejects", self, pipe->rejects());
-  }
+  adapter_->collect_metrics(fabric_->metrics());
 }
 
 }  // namespace p4u::harness

@@ -1,7 +1,12 @@
 // TestBed: one fully wired simulation run — topology, fabric, one pipeline
 // per switch for the system under test, control channel, controller, and
 // the invariant monitor. Scenarios (single-flow, multi-flow, the §4 demos)
-// drive a TestBed; experiments run many seeded TestBeds and collect stats.
+// drive a TestBed; campaigns (harness/campaign.hpp) run many seeded
+// TestBeds and collect stats.
+//
+// The system under test is built by the SystemFactory registry
+// (harness/system_factory.hpp): the TestBed drives it exclusively through
+// the SystemAdapter interface and never switches over SystemKind.
 #pragma once
 
 #include <memory>
@@ -9,57 +14,16 @@
 #include <vector>
 
 #include "baselines/central_controller.hpp"
-#include "baselines/central_switch.hpp"
 #include "baselines/ezsegway_controller.hpp"
-#include "baselines/ezsegway_switch.hpp"
+#include "control/dest_tree.hpp"
 #include "core/p4update_controller.hpp"
 #include "core/p4update_switch.hpp"
 #include "harness/invariant_monitor.hpp"
+#include "harness/system_factory.hpp"
 #include "p4rt/control_channel.hpp"
 #include "p4rt/fabric.hpp"
 
 namespace p4u::harness {
-
-enum class SystemKind {
-  kP4Update,
-  kEzSegway,
-  kCentral,
-};
-
-const char* to_string(SystemKind k);
-
-/// How controller <-> switch latency is derived.
-enum class CtrlLatencyModel {
-  kWanCentroid,     // shortest-path latency from the centroid node (§9.1)
-  kFattreeNormal,   // per-switch truncated normal (mean 4 ms, sd 3, min .5)
-  kFixed,           // constant (synthetic topologies)
-};
-
-struct TestBedParams {
-  SystemKind system = SystemKind::kP4Update;
-  std::uint64_t seed = 1;
-  p4rt::SwitchParams switch_params;
-  /// Controller costs are asymmetric (§9.1, [40]): emitting a precomputed
-  /// message is a cheap write, but each inbound notification is parsed,
-  /// fed into the NIB, and may trigger dependency recomputation on the
-  /// single-threaded (Python, in the paper) controller — that queuing +
-  /// processing delay is what penalizes chatty centralized updates.
-  sim::Duration ctrl_send_service = sim::microseconds(500);
-  sim::Duration ctrl_recv_service = sim::milliseconds(5);
-  CtrlLatencyModel ctrl_latency_model = CtrlLatencyModel::kFixed;
-  /// For synthetic topologies the controller is "one designated node" (§5),
-  /// i.e. reachable over the same kind of links: default = one 20 ms hop.
-  sim::Duration fixed_ctrl_latency = sim::milliseconds(20);
-  bool congestion_mode = false;
-  bool monitor_capacity = false;
-  // P4Update-specific knobs.
-  std::optional<p4rt::UpdateType> force_type;
-  bool allow_consecutive_dual = false;
-  bool enable_retrigger = false;               // §11 failure recovery
-  sim::Duration p4u_wait_timeout = sim::seconds(10);
-  sim::Duration p4u_uim_watchdog = 0;          // 0 = watchdog off
-  bool trace_enabled = true;
-};
 
 class TestBed {
  public:
@@ -78,6 +42,10 @@ class TestBed {
 
   /// Schedules one flow update at virtual time `at`.
   void schedule_update_at(sim::Time at, net::FlowId flow, net::Path new_path);
+
+  /// Issues one flow update right now (scenario hooks that fire from inside
+  /// a scheduled event — e.g. the §4.1 demo's mid-run reconfiguration).
+  void issue_update_now(net::FlowId flow, const net::Path& new_path);
 
   /// Schedules a batch of updates at `at` (multi-flow scenarios; ez-Segway
   /// computes its priorities once per batch).
@@ -114,12 +82,15 @@ class TestBed {
   [[nodiscard]] const control::FlowDb& flow_db() const;
   [[nodiscard]] sim::Trace& trace() { return fabric_->trace(); }
 
-  [[nodiscard]] core::P4UpdateController& p4update() { return *p4u_ctrl_; }
-  [[nodiscard]] baseline::EzSegwayController& ezsegway() { return *ez_ctrl_; }
-  [[nodiscard]] baseline::CentralController& central() { return *central_ctrl_; }
-  [[nodiscard]] core::P4UpdateSwitch& p4update_switch(net::NodeId n) {
-    return *p4u_switches_.at(static_cast<std::size_t>(n));
-  }
+  /// The system under test, behind the uniform adapter interface.
+  [[nodiscard]] SystemAdapter& system() { return *adapter_; }
+
+  // Typed accessors for tests/demos that poke one concrete system; they
+  // throw std::logic_error when the bed runs a different system.
+  [[nodiscard]] core::P4UpdateController& p4update();
+  [[nodiscard]] baseline::EzSegwayController& ezsegway();
+  [[nodiscard]] baseline::CentralController& central();
+  [[nodiscard]] core::P4UpdateSwitch& p4update_switch(net::NodeId n);
 
   [[nodiscard]] const TestBedParams& params() const { return params_; }
 
@@ -130,13 +101,7 @@ class TestBed {
   std::unique_ptr<p4rt::Fabric> fabric_;
   std::unique_ptr<p4rt::ControlChannel> channel_;
   std::unique_ptr<InvariantMonitor> monitor_;
-  // Exactly one family below is populated, per params_.system.
-  std::vector<std::unique_ptr<core::P4UpdateSwitch>> p4u_switches_;
-  std::vector<std::unique_ptr<baseline::EzSegwaySwitch>> ez_switches_;
-  std::vector<std::unique_ptr<baseline::CentralSwitch>> central_switches_;
-  std::unique_ptr<core::P4UpdateController> p4u_ctrl_;
-  std::unique_ptr<baseline::EzSegwayController> ez_ctrl_;
-  std::unique_ptr<baseline::CentralController> central_ctrl_;
+  std::unique_ptr<SystemAdapter> adapter_;
 };
 
 }  // namespace p4u::harness

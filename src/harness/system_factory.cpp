@@ -1,0 +1,256 @@
+#include "harness/system_factory.hpp"
+
+#include <stdexcept>
+
+#include "baselines/central_controller.hpp"
+#include "baselines/central_switch.hpp"
+#include "baselines/ezsegway_controller.hpp"
+#include "baselines/ezsegway_switch.hpp"
+#include "core/p4update_controller.hpp"
+#include "core/p4update_switch.hpp"
+#include "p4rt/control_channel.hpp"
+#include "p4rt/fabric.hpp"
+
+namespace p4u::harness {
+
+const char* to_string(SystemKind k) {
+  switch (k) {
+    case SystemKind::kP4Update: return "P4Update";
+    case SystemKind::kEzSegway: return "ez-Segway";
+    case SystemKind::kCentral: return "Central";
+  }
+  return "?";
+}
+
+namespace {
+
+class P4UpdateAdapter final : public SystemAdapter {
+ public:
+  explicit P4UpdateAdapter(const SystemContext& ctx) {
+    core::P4UpdateSwitchParams sp;
+    sp.congestion_mode = ctx.params.congestion_mode;
+    sp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
+    sp.wait_timeout = ctx.params.p4u_wait_timeout;
+    sp.uim_watchdog = ctx.params.p4u_uim_watchdog;
+    for (std::size_t n = 0; n < ctx.graph.node_count(); ++n) {
+      auto pipe = std::make_unique<core::P4UpdateSwitch>(
+          static_cast<net::NodeId>(n), ctx.graph, sp);
+      ctx.fabric.sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+      switches_.push_back(std::move(pipe));
+    }
+    core::P4UpdateControllerParams cp;
+    cp.congestion_mode = ctx.params.congestion_mode;
+    cp.force_type = ctx.params.force_type;
+    cp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
+    cp.enable_retrigger = ctx.params.enable_retrigger;
+    cp.measure_prep_wallclock = ctx.params.measure_prep_wallclock;
+    ctrl_ = std::make_unique<core::P4UpdateController>(
+        ctx.channel, control::Nib(ctx.graph), cp);
+  }
+
+  void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
+                          p4rt::Distance dist, std::int32_t port) override {
+    switches_[static_cast<std::size_t>(sw.id())]->bootstrap_flow(
+        sw, f.id, /*version=*/1, dist, port, f.size);
+  }
+  void register_flow(const net::Flow& f, const net::Path& path) override {
+    ctrl_->register_flow(f, path);
+  }
+  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
+    ctrl_->schedule_update(flow, new_path);
+  }
+  void schedule_batch(
+      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
+    for (const auto& [flow, path] : batch) ctrl_->schedule_update(flow, path);
+  }
+  [[nodiscard]] const control::FlowDb& flow_db() const override {
+    return ctrl_->flow_db();
+  }
+  [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
+
+  void collect_metrics(obs::MetricsRegistry& m) override {
+    // Tops a counter up to `total` (collect may run more than once per bed).
+    const auto top_up = [&m](const char* name, const obs::LabelSet& labels,
+                             std::uint64_t total) {
+      auto c = m.counter(name, labels);
+      if (total > c.value()) c.inc(total - c.value());
+    };
+    for (const auto& pipe : switches_) {
+      const obs::LabelSet self{{"switch", std::to_string(pipe->id())}};
+      top_up("uib.register_reads", self, pipe->uib().register_reads());
+      top_up("uib.register_writes", self, pipe->uib().register_writes());
+      top_up("p4update.unms_sent", self, pipe->unms_sent());
+      top_up("p4update.resubmissions", self, pipe->resubmissions());
+      top_up("p4update.rejects", self, pipe->rejects());
+    }
+  }
+
+  [[nodiscard]] core::P4UpdateController* as_p4update() override {
+    return ctrl_.get();
+  }
+  [[nodiscard]] core::P4UpdateSwitch* p4update_switch(net::NodeId n) override {
+    return switches_.at(static_cast<std::size_t>(n)).get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<core::P4UpdateSwitch>> switches_;
+  std::unique_ptr<core::P4UpdateController> ctrl_;
+};
+
+class EzSegwayAdapter final : public SystemAdapter {
+ public:
+  explicit EzSegwayAdapter(const SystemContext& ctx) {
+    baseline::EzSwitchParams sp;
+    sp.congestion_mode = ctx.params.congestion_mode;
+    for (std::size_t n = 0; n < ctx.graph.node_count(); ++n) {
+      auto pipe = std::make_unique<baseline::EzSegwaySwitch>(
+          static_cast<net::NodeId>(n), ctx.graph, sp);
+      ctx.fabric.sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+      switches_.push_back(std::move(pipe));
+    }
+    baseline::EzControllerParams cp;
+    cp.congestion_mode = ctx.params.congestion_mode;
+    ctrl_ = std::make_unique<baseline::EzSegwayController>(
+        ctx.channel, control::Nib(ctx.graph), cp);
+  }
+
+  void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
+                          p4rt::Distance dist, std::int32_t port) override {
+    (void)dist;  // ez-Segway keeps no distance labels
+    switches_[static_cast<std::size_t>(sw.id())]->bootstrap_flow(sw, f.id,
+                                                                 port, f.size);
+  }
+  void register_flow(const net::Flow& f, const net::Path& path) override {
+    ctrl_->register_flow(f, path);
+  }
+  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
+    ctrl_->schedule_update(flow, new_path);
+  }
+  void schedule_batch(
+      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
+    ctrl_->schedule_updates(batch);
+  }
+  [[nodiscard]] const control::FlowDb& flow_db() const override {
+    return ctrl_->flow_db();
+  }
+  [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
+  [[nodiscard]] baseline::EzSegwayController* as_ezsegway() override {
+    return ctrl_.get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<baseline::EzSegwaySwitch>> switches_;
+  std::unique_ptr<baseline::EzSegwayController> ctrl_;
+};
+
+class CentralAdapter final : public SystemAdapter {
+ public:
+  explicit CentralAdapter(const SystemContext& ctx) {
+    baseline::CentralParams cp;
+    cp.congestion_mode = ctx.params.congestion_mode;
+    for (std::size_t n = 0; n < ctx.graph.node_count(); ++n) {
+      auto pipe =
+          std::make_unique<baseline::CentralSwitch>(static_cast<net::NodeId>(n));
+      ctx.fabric.sw(static_cast<net::NodeId>(n)).set_pipeline(pipe.get());
+      switches_.push_back(std::move(pipe));
+    }
+    ctrl_ = std::make_unique<baseline::CentralController>(
+        ctx.channel, control::Nib(ctx.graph), cp);
+  }
+
+  void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
+                          p4rt::Distance dist, std::int32_t port) override {
+    (void)dist;
+    switches_[static_cast<std::size_t>(sw.id())]->bootstrap_flow(sw, f.id,
+                                                                 port);
+  }
+  void register_flow(const net::Flow& f, const net::Path& path) override {
+    ctrl_->register_flow(f, path);
+  }
+  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
+    ctrl_->schedule_update(flow, new_path);
+  }
+  void schedule_batch(
+      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
+    for (const auto& [flow, path] : batch) ctrl_->schedule_update(flow, path);
+  }
+  [[nodiscard]] const control::FlowDb& flow_db() const override {
+    return ctrl_->flow_db();
+  }
+  [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
+  [[nodiscard]] baseline::CentralController* as_central() override {
+    return ctrl_.get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<baseline::CentralSwitch>> switches_;
+  std::unique_ptr<baseline::CentralController> ctrl_;
+};
+
+}  // namespace
+
+SystemFactory::SystemFactory() {
+  entries_.emplace_back(
+      SystemKind::kP4Update,
+      Entry{"P4Update", [](const SystemContext& ctx) {
+              return std::unique_ptr<SystemAdapter>(new P4UpdateAdapter(ctx));
+            }});
+  entries_.emplace_back(
+      SystemKind::kEzSegway,
+      Entry{"ez-Segway", [](const SystemContext& ctx) {
+              return std::unique_ptr<SystemAdapter>(new EzSegwayAdapter(ctx));
+            }});
+  entries_.emplace_back(
+      SystemKind::kCentral,
+      Entry{"Central", [](const SystemContext& ctx) {
+              return std::unique_ptr<SystemAdapter>(new CentralAdapter(ctx));
+            }});
+}
+
+SystemFactory& SystemFactory::instance() {
+  static SystemFactory factory;
+  return factory;
+}
+
+void SystemFactory::register_system(SystemKind kind, std::string name,
+                                    FactoryFn fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, entry] : entries_) {
+    if (k == kind) {
+      entry = Entry{std::move(name), std::move(fn)};
+      return;
+    }
+  }
+  entries_.emplace_back(kind, Entry{std::move(name), std::move(fn)});
+}
+
+std::unique_ptr<SystemAdapter> SystemFactory::create(
+    SystemKind kind, const SystemContext& ctx) const {
+  FactoryFn fn;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, entry] : entries_) {
+      if (k == kind) {
+        fn = entry.fn;
+        break;
+      }
+    }
+  }
+  if (!fn) {
+    throw std::logic_error(std::string("SystemFactory: no system registered "
+                                       "for kind '") +
+                           to_string(kind) + "'");
+  }
+  return fn(ctx);
+}
+
+std::vector<std::pair<SystemKind, std::string>> SystemFactory::registered()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<SystemKind, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, entry] : entries_) out.emplace_back(k, entry.name);
+  return out;
+}
+
+}  // namespace p4u::harness

@@ -1,0 +1,185 @@
+// SystemFactory: uniform construction of the systems under test.
+//
+// Every protocol (P4Update, ez-Segway, Central, and anything future PRs
+// add) plugs into the TestBed through one SystemAdapter interface: build
+// the per-switch pipelines against the fabric, build the controller, and
+// answer the handful of operations scenarios need (bootstrap a hop,
+// register / update flows, expose the FlowDb and NIB). The registry maps a
+// SystemKind to a factory so the harness, experiments, and benches never
+// switch over the enum — adding a protocol is one register_system call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "control/flow_db.hpp"
+#include "control/nib.hpp"
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+#include "obs/metrics.hpp"
+#include "p4rt/packet.hpp"
+#include "p4rt/switch_device.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::core {
+class P4UpdateController;
+class P4UpdateSwitch;
+}  // namespace p4u::core
+namespace p4u::baseline {
+class EzSegwayController;
+class CentralController;
+}  // namespace p4u::baseline
+namespace p4u::p4rt {
+class ControlChannel;
+class Fabric;
+}  // namespace p4u::p4rt
+namespace p4u::sim {
+class Simulator;
+}  // namespace p4u::sim
+
+namespace p4u::harness {
+
+enum class SystemKind {
+  kP4Update,
+  kEzSegway,
+  kCentral,
+};
+
+const char* to_string(SystemKind k);
+
+/// How controller <-> switch latency is derived.
+enum class CtrlLatencyModel {
+  kWanCentroid,     // shortest-path latency from the centroid node (§9.1)
+  kFattreeNormal,   // per-switch truncated normal (mean 4 ms, sd 3, min .5)
+  kFixed,           // constant (synthetic topologies)
+};
+
+struct TestBedParams {
+  SystemKind system = SystemKind::kP4Update;
+  std::uint64_t seed = 1;
+  p4rt::SwitchParams switch_params;
+  /// Controller costs are asymmetric (§9.1, [40]): emitting a precomputed
+  /// message is a cheap write, but each inbound notification is parsed,
+  /// fed into the NIB, and may trigger dependency recomputation on the
+  /// single-threaded (Python, in the paper) controller — that queuing +
+  /// processing delay is what penalizes chatty centralized updates.
+  sim::Duration ctrl_send_service = sim::microseconds(500);
+  sim::Duration ctrl_recv_service = sim::milliseconds(5);
+  CtrlLatencyModel ctrl_latency_model = CtrlLatencyModel::kFixed;
+  /// For synthetic topologies the controller is "one designated node" (§5),
+  /// i.e. reachable over the same kind of links: default = one 20 ms hop.
+  sim::Duration fixed_ctrl_latency = sim::milliseconds(20);
+  bool congestion_mode = false;
+  bool monitor_capacity = false;
+  // P4Update-specific knobs.
+  std::optional<p4rt::UpdateType> force_type;
+  bool allow_consecutive_dual = false;
+  bool enable_retrigger = false;               // §11 failure recovery
+  sim::Duration p4u_wait_timeout = sim::seconds(10);
+  sim::Duration p4u_uim_watchdog = 0;          // 0 = watchdog off
+  bool trace_enabled = true;
+  /// Record the controller's wall-clock preparation cost (ctrl.prep_ms).
+  /// The one nondeterministic metric: campaigns force it off so merged
+  /// reports are byte-identical across reruns and `--jobs` counts.
+  bool measure_prep_wallclock = true;
+};
+
+/// Everything an adapter needs to wire one system into a run. The fabric
+/// and channel outlive the adapter; the graph and params are owned by the
+/// TestBed.
+struct SystemContext {
+  sim::Simulator& sim;
+  p4rt::Fabric& fabric;
+  p4rt::ControlChannel& channel;
+  const net::Graph& graph;
+  const TestBedParams& params;
+};
+
+/// One system under test, fully wired: the per-switch pipelines (already
+/// attached to the fabric) plus the controller. The TestBed drives every
+/// system exclusively through this interface.
+class SystemAdapter {
+ public:
+  virtual ~SystemAdapter() = default;
+
+  /// Installs the version-1 state for one on-path hop of `f`: `dist` hops
+  /// to the egress, forwarding out of `port` (kLocalPort delivers).
+  virtual void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
+                                  p4rt::Distance dist, std::int32_t port) = 0;
+
+  /// Registers an already-deployed flow with the controller.
+  virtual void register_flow(const net::Flow& f, const net::Path& path) = 0;
+
+  /// Asks the controller to move `flow` onto `new_path`, now.
+  virtual void schedule_update(net::FlowId flow, const net::Path& new_path) = 0;
+
+  /// Issues a batch of updates (systems that precompute per-batch state —
+  /// ez-Segway's priorities — do it here; others loop).
+  virtual void schedule_batch(
+      const std::vector<std::pair<net::FlowId, net::Path>>& batch) = 0;
+
+  [[nodiscard]] virtual const control::FlowDb& flow_db() const = 0;
+  [[nodiscard]] virtual control::Nib& nib() = 0;
+
+  /// Flushes end-of-run state (per-switch register access counters, …)
+  /// into the registry. Must be idempotent; the default does nothing.
+  virtual void collect_metrics(obs::MetricsRegistry& m) { (void)m; }
+
+  // Narrow accessors for tests and demos that poke one concrete system.
+  // Adapters for other systems keep the nullptr defaults.
+  [[nodiscard]] virtual core::P4UpdateController* as_p4update() {
+    return nullptr;
+  }
+  [[nodiscard]] virtual core::P4UpdateSwitch* p4update_switch(net::NodeId n) {
+    (void)n;
+    return nullptr;
+  }
+  [[nodiscard]] virtual baseline::EzSegwayController* as_ezsegway() {
+    return nullptr;
+  }
+  [[nodiscard]] virtual baseline::CentralController* as_central() {
+    return nullptr;
+  }
+};
+
+/// Process-wide registry of SystemKind -> adapter factory. The built-in
+/// systems are registered on first use; future protocols call
+/// register_system once (e.g. from a static initializer).
+class SystemFactory {
+ public:
+  using FactoryFn =
+      std::function<std::unique_ptr<SystemAdapter>(const SystemContext&)>;
+
+  /// The singleton, with the built-in systems pre-registered.
+  static SystemFactory& instance();
+
+  /// Registers (or replaces) the factory for `kind`. Thread-safe.
+  void register_system(SystemKind kind, std::string name, FactoryFn fn);
+
+  /// Builds the adapter for `kind`; throws std::logic_error when no factory
+  /// is registered. Thread-safe: campaign jobs create adapters concurrently.
+  [[nodiscard]] std::unique_ptr<SystemAdapter> create(
+      SystemKind kind, const SystemContext& ctx) const;
+
+  /// Registered (kind, name) pairs, in enum order.
+  [[nodiscard]] std::vector<std::pair<SystemKind, std::string>> registered()
+      const;
+
+ private:
+  SystemFactory();
+  struct Entry {
+    std::string name;
+    FactoryFn fn;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::pair<SystemKind, Entry>> entries_;
+};
+
+}  // namespace p4u::harness

@@ -180,23 +180,4 @@ std::string RunReport::write() const {
   return jsonl_path;
 }
 
-std::string parse_out_dir(int& argc, char** argv) {
-  std::string out;
-  int w = 1;
-  for (int r = 1; r < argc; ++r) {
-    const std::string arg = argv[r];
-    if (arg == "--out" && r + 1 < argc) {
-      out = argv[++r];
-      continue;
-    }
-    if (arg.rfind("--out=", 0) == 0) {
-      out = arg.substr(6);
-      continue;
-    }
-    argv[w++] = argv[r];
-  }
-  argc = w;
-  return out;
-}
-
 }  // namespace p4u::obs

@@ -58,9 +58,4 @@ class RunReport {
   std::vector<std::pair<std::string, double>> csv_rows_;   // (series, value)
 };
 
-/// Extracts `--out <dir>` (or `--out=<dir>`) from argv, removing the
-/// consumed arguments so downstream parsers (google-benchmark) never see
-/// them. Returns the directory, or "" when the flag is absent.
-std::string parse_out_dir(int& argc, char** argv);
-
 }  // namespace p4u::obs

@@ -10,6 +10,7 @@ namespace p4u::sim {
 
 void Samples::add_all(const std::vector<double>& xs) {
   xs_.insert(xs_.end(), xs.begin(), xs.end());
+  dirty_ = true;
 }
 
 double Samples::min() const {
@@ -38,7 +39,7 @@ double Samples::stddev() const {
 
 double Samples::percentile(double p) const {
   if (xs_.empty()) throw std::logic_error("Samples::percentile on empty set");
-  std::vector<double> s = sorted();
+  const std::vector<double>& s = sorted();
   if (s.size() == 1) return s.front();
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double idx = clamped / 100.0 * static_cast<double>(s.size() - 1);
@@ -53,15 +54,18 @@ double Samples::ci_halfwidth(double z) const {
   return z * stddev() / std::sqrt(static_cast<double>(xs_.size()));
 }
 
-std::vector<double> Samples::sorted() const {
-  std::vector<double> s = xs_;
-  std::sort(s.begin(), s.end());
-  return s;
+const std::vector<double>& Samples::sorted() const {
+  if (dirty_) {
+    sorted_cache_ = xs_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    dirty_ = false;
+  }
+  return sorted_cache_;
 }
 
 std::vector<CdfPoint> empirical_cdf(const Samples& s) {
   std::vector<CdfPoint> cdf;
-  const std::vector<double> sorted = s.sorted();
+  const std::vector<double>& sorted = s.sorted();
   cdf.reserve(sorted.size());
   const auto n = static_cast<double>(sorted.size());
   for (std::size_t i = 0; i < sorted.size(); ++i) {

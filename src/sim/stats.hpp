@@ -11,9 +11,16 @@ namespace p4u::sim {
 
 /// Accumulates samples and answers summary queries. Samples are stored, so
 /// percentile queries are exact (experiment scale is tens to thousands).
+/// Order statistics come from a lazily rebuilt sorted cache, so a summary
+/// (p50 + p95 + min + max) sorts once, not once per query. Not thread-safe
+/// — even const queries may rebuild the cache; campaigns give every
+/// parallel job its own instance and merge on one thread.
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    dirty_ = true;
+  }
   void add_all(const std::vector<double>& xs);
 
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
@@ -30,13 +37,16 @@ class Samples {
   /// Half-width of the normal-approximation CI at the given z (2.576 = 99%).
   [[nodiscard]] double ci_halfwidth(double z = 2.576) const;
 
-  /// Sorted copy of the samples (the empirical CDF support).
-  [[nodiscard]] std::vector<double> sorted() const;
+  /// Sorted view of the samples (the empirical CDF support). The returned
+  /// reference stays valid until the next add.
+  [[nodiscard]] const std::vector<double>& sorted() const;
 
   [[nodiscard]] const std::vector<double>& raw() const { return xs_; }
 
  private:
   std::vector<double> xs_;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool dirty_ = true;
 };
 
 /// One point of an empirical CDF: P[X <= value] = cumulative.

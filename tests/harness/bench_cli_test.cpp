@@ -1,0 +1,166 @@
+#include "harness/bench_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace p4u::harness {
+namespace {
+
+/// Builds a mutable argv from string literals (parse compacts it in place).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (std::string& s : storage) ptrs.push_back(s.data());
+    argc = static_cast<int>(ptrs.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** data() { return ptrs.data(); }
+};
+
+BenchCliSpec full_spec() {
+  BenchCliSpec spec;
+  spec.program = "bench";
+  return spec;
+}
+
+TEST(BenchCliTest, ParsesAllFlagsInBothForms) {
+  Argv a({"bench", "--out", "/tmp/x", "--jobs=4", "--runs", "7", "--seed=99",
+          "--smoke"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_FALSE(r.help);
+  EXPECT_EQ(r.cli.out_dir, "/tmp/x");
+  EXPECT_EQ(r.cli.jobs, 4);
+  ASSERT_TRUE(r.cli.runs.has_value());
+  EXPECT_EQ(*r.cli.runs, 7);
+  ASSERT_TRUE(r.cli.seed.has_value());
+  EXPECT_EQ(*r.cli.seed, 99u);
+  EXPECT_TRUE(r.cli.smoke);
+  EXPECT_EQ(a.argc, 1);  // everything consumed
+}
+
+TEST(BenchCliTest, DefaultsWhenNoFlagsGiven) {
+  Argv a({"bench"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  ASSERT_TRUE(r.error.empty());
+  EXPECT_EQ(r.cli.out_dir, "");
+  EXPECT_EQ(r.cli.jobs, 0);
+  EXPECT_FALSE(r.cli.runs.has_value());
+  EXPECT_FALSE(r.cli.seed.has_value());
+  EXPECT_FALSE(r.cli.smoke);
+}
+
+TEST(BenchCliTest, TrailingOutWithoutValueIsAnError) {
+  // The old obs::parse_out_dir silently dropped this; it must be loud now.
+  Argv a({"bench", "--out"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  EXPECT_NE(r.error.find("--out"), std::string::npos) << r.error;
+}
+
+TEST(BenchCliTest, EmptyEqValueIsAnError) {
+  Argv a({"bench", "--out="});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(BenchCliTest, UnknownFlagIsAnError) {
+  // The old parser left unknown flags in argv unchecked.
+  Argv a({"bench", "--frobnicate"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  EXPECT_NE(r.error.find("--frobnicate"), std::string::npos) << r.error;
+}
+
+TEST(BenchCliTest, StrayPositionalIsAnError) {
+  Argv a({"bench", "out_dir"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(BenchCliTest, MalformedNumbersAreErrors) {
+  for (const char* arg : {"--jobs=0", "--jobs=-2", "--jobs=zippy",
+                          "--runs=1e3", "--seed=0x10",
+                          "--seed=99999999999999999999999999"}) {
+    Argv a({"bench", arg});
+    const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+    EXPECT_FALSE(r.error.empty()) << arg;
+  }
+}
+
+TEST(BenchCliTest, SeedZeroIsValid) {
+  Argv a({"bench", "--seed", "0"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  ASSERT_TRUE(r.cli.seed.has_value());
+  EXPECT_EQ(*r.cli.seed, 0u);
+}
+
+TEST(BenchCliTest, DisabledFlagsAreRejected) {
+  BenchCliSpec spec = full_spec();
+  spec.with_jobs = false;
+  spec.with_runs = false;
+  spec.with_smoke = false;
+  for (const char* arg : {"--jobs=2", "--runs=5", "--seed=1", "--smoke"}) {
+    Argv a({"bench", arg});
+    const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+    EXPECT_NE(r.error.find("unknown"), std::string::npos) << arg << ": "
+                                                          << r.error;
+  }
+  Argv ok({"bench", "--out", "/tmp/x"});
+  EXPECT_TRUE(parse_bench_cli(ok.argc, ok.data(), spec).error.empty());
+}
+
+TEST(BenchCliTest, PassthroughArgsSurviveCompaction) {
+  BenchCliSpec spec = full_spec();
+  spec.passthrough_prefixes = {"--benchmark"};
+  Argv a({"bench", "--benchmark_filter=bm_ez", "--out", "/tmp/x",
+          "--benchmark_min_time=0.01"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.cli.out_dir, "/tmp/x");
+  ASSERT_EQ(a.argc, 3);
+  EXPECT_STREQ(a.data()[0], "bench");
+  EXPECT_STREQ(a.data()[1], "--benchmark_filter=bm_ez");
+  EXPECT_STREQ(a.data()[2], "--benchmark_min_time=0.01");
+}
+
+TEST(BenchCliTest, HelpIsReportedNotFatal) {
+  Argv a({"bench", "--help"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+  EXPECT_TRUE(r.help);
+  EXPECT_TRUE(r.error.empty());
+}
+
+TEST(BenchCliTest, RunsOrPrecedence) {
+  BenchCli cli;
+  EXPECT_EQ(cli.runs_or(30), 30);  // table default
+  cli.smoke = true;
+  EXPECT_EQ(cli.runs_or(30), 3);  // smoke caps
+  EXPECT_EQ(cli.runs_or(1), 1);   // ...but never raises
+  cli.runs = 12;
+  EXPECT_EQ(cli.runs_or(30), 12);  // explicit --runs beats smoke
+}
+
+TEST(BenchCliTest, SeedOrPrecedence) {
+  BenchCli cli;
+  EXPECT_EQ(cli.seed_or(1000), 1000u);
+  cli.seed = 42;
+  EXPECT_EQ(cli.seed_or(1000), 42u);
+}
+
+TEST(BenchCliTest, UsageMentionsOnlyEnabledFlags) {
+  BenchCliSpec spec = full_spec();
+  spec.with_jobs = false;
+  spec.with_runs = false;
+  spec.with_smoke = false;
+  const std::string u = bench_cli_usage(spec);
+  EXPECT_NE(u.find("--out"), std::string::npos);
+  EXPECT_EQ(u.find("--jobs"), std::string::npos);
+  EXPECT_EQ(u.find("--runs"), std::string::npos);
+  EXPECT_EQ(u.find("--smoke"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,91 @@
+#include "harness/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace p4u::harness {
+namespace {
+
+TEST(ParallelRunnerTest, ResultsLandInIndexOrder) {
+  for (int jobs : {1, 2, 7}) {
+    const auto out = parallel_map_indexed(
+        25, jobs, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 25u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, EveryIndexRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  const auto out = parallel_map_indexed(hits.size(), 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(i);
+  });
+  ASSERT_EQ(out.size(), hits.size());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunnerTest, ZeroTasksIsFine) {
+  const auto out =
+      parallel_map_indexed(0, 8, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelRunnerTest, MoveOnlyResultsWork) {
+  const auto out = parallel_map_indexed(4, 2, [](std::size_t i) {
+    return std::make_unique<std::size_t>(i);
+  });
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(*out[i], i);
+}
+
+TEST(ParallelRunnerTest, FirstExceptionByIndexPropagates) {
+  // Two jobs throw; the rethrown one must be the lowest-index failure so
+  // the error a user sees does not depend on thread scheduling.
+  for (int jobs : {1, 4}) {
+    try {
+      parallel_map_indexed(10, jobs, [](std::size_t i) -> int {
+        if (i == 3) throw std::runtime_error("boom at 3");
+        if (i == 7) throw std::runtime_error("boom at 7");
+        return 0;
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, SurvivingJobsStillComplete) {
+  // An exception must not strand the other workers' slots.
+  std::atomic<int> completed{0};
+  try {
+    parallel_map_indexed(20, 3, [&](std::size_t i) -> int {
+      if (i == 0) throw std::runtime_error("early");
+      completed.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_GT(completed.load(), 0);
+}
+
+TEST(ParallelRunnerTest, JobsResolution) {
+  EXPECT_GE(hardware_jobs(), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5);
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(0), static_cast<int>(hardware_jobs()));
+  EXPECT_EQ(resolve_jobs(-3), static_cast<int>(hardware_jobs()));
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -16,8 +16,8 @@ TEST(FastForwardDemoTest, P4UpdateBeatsEzSegwayOnU3Completion) {
     const Fig4Result ez = run_fig4_demo(SystemKind::kEzSegway, seed);
     ASSERT_TRUE(p4u.u3_completed);
     ASSERT_TRUE(ez.u3_completed);
-    EXPECT_EQ(p4u.violations, 0u);
-    EXPECT_EQ(ez.violations, 0u);
+    EXPECT_EQ(p4u.violations.total(), 0u);
+    EXPECT_EQ(ez.violations.total(), 0u);
     p4u_total += p4u.u3_completion_ms;
     ez_total += ez.u3_completion_ms;
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace p4u::obs {
 namespace {
 
@@ -113,6 +115,48 @@ TEST(MetricsTest, MergeFromAddsCountersAndMergesHistograms) {
   EXPECT_DOUBLE_EQ(h.data()->max, 2.0);
   EXPECT_EQ(h.data()->counts[0], 1u);
   EXPECT_EQ(h.data()->counts[1], 1u);
+}
+
+TEST(MetricsTest, CounterAndHistogramMergeIsOrderIndependent) {
+  // Counters add and histograms merge bucket-wise, so folding per-run
+  // registries in any order yields the same rows — the property the
+  // parallel campaign runner's determinism note leans on. (Gauges keep the
+  // incoming value and are deliberately excluded: the campaign fixes their
+  // merge order instead.)
+  auto make = [](std::uint64_t c, double h) {
+    auto m = std::make_unique<MetricsRegistry>();
+    m->counter("fabric.tx", {{"switch", "1"}}).inc(c);
+    m->counter("fabric.tx", {{"switch", "2"}}).inc(c * 3);
+    m->histogram("lat_ms", {}, {1.0, 10.0}).observe(h);
+    return m;
+  };
+  const auto a = make(5, 0.5), b = make(7, 20.0);
+
+  MetricsRegistry ab;
+  ab.merge_from(*a);
+  ab.merge_from(*b);
+  MetricsRegistry ba;
+  ba.merge_from(*b);
+  ba.merge_from(*a);
+
+  const auto ab_counters = ab.counters();
+  const auto ba_counters = ba.counters();
+  ASSERT_EQ(ab_counters.size(), ba_counters.size());
+  for (std::size_t i = 0; i < ab_counters.size(); ++i) {
+    EXPECT_EQ(ab_counters[i].name, ba_counters[i].name);
+    EXPECT_EQ(ab_counters[i].labels, ba_counters[i].labels);
+    EXPECT_EQ(ab_counters[i].value, ba_counters[i].value);
+  }
+  EXPECT_EQ(ab.counter_value("fabric.tx", {{"switch", "1"}}), 12u);
+
+  const auto ab_h = ab.histograms();
+  const auto ba_h = ba.histograms();
+  ASSERT_EQ(ab_h.size(), 1u);
+  ASSERT_EQ(ba_h.size(), 1u);
+  EXPECT_EQ(ab_h[0].value->counts, ba_h[0].value->counts);
+  EXPECT_DOUBLE_EQ(ab_h[0].value->sum, ba_h[0].value->sum);
+  EXPECT_DOUBLE_EQ(ab_h[0].value->min, ba_h[0].value->min);
+  EXPECT_DOUBLE_EQ(ab_h[0].value->max, ba_h[0].value->max);
 }
 
 TEST(MetricsTest, MergeFromIsIdentityOnEmpty) {

@@ -139,30 +139,5 @@ TEST(RunReportTest, WriteThrowsWhenDirectoryIsAFile) {
   EXPECT_THROW(rep.write(), std::runtime_error);
 }
 
-TEST(ParseOutDirTest, StripsFlagFormsAndPreservesOtherArgs) {
-  const char* raw[] = {"prog", "--foo", "--out", "/tmp/x", "--bar"};
-  std::vector<char*> argv;
-  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
-  int argc = static_cast<int>(argv.size());
-  EXPECT_EQ(parse_out_dir(argc, argv.data()), "/tmp/x");
-  ASSERT_EQ(argc, 3);
-  EXPECT_STREQ(argv[0], "prog");
-  EXPECT_STREQ(argv[1], "--foo");
-  EXPECT_STREQ(argv[2], "--bar");
-
-  const char* raw2[] = {"prog", "--out=/tmp/y"};
-  std::vector<char*> argv2;
-  for (const char* a : raw2) argv2.push_back(const_cast<char*>(a));
-  int argc2 = static_cast<int>(argv2.size());
-  EXPECT_EQ(parse_out_dir(argc2, argv2.data()), "/tmp/y");
-  EXPECT_EQ(argc2, 1);
-
-  const char* raw3[] = {"prog"};
-  std::vector<char*> argv3{const_cast<char*>(raw3[0])};
-  int argc3 = 1;
-  EXPECT_EQ(parse_out_dir(argc3, argv3.data()), "");
-  EXPECT_EQ(argc3, 1);
-}
-
 }  // namespace
 }  // namespace p4u::obs

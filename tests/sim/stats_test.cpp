@@ -62,6 +62,48 @@ TEST(SamplesTest, AddAllAppends) {
   EXPECT_DOUBLE_EQ(s.mean(), 2.5);
 }
 
+TEST(SamplesTest, PercentileInterpolationIsPinned) {
+  // Linear interpolation over the sorted samples {10, 20, 30, 40}: rank
+  // r = p/100 * (n-1), value = s[floor(r)] + frac(r) * (s[ceil(r)]-s[floor(r)]).
+  Samples s;
+  s.add_all({40.0, 10.0, 30.0, 20.0});  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95.0), 38.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+}
+
+TEST(SamplesTest, SortedCacheInvalidatesOnAdd) {
+  // The sorted view is cached between queries; adds must invalidate it and
+  // never reorder raw().
+  Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);  // builds the cache
+  EXPECT_EQ(s.sorted(), (std::vector<double>{1.0, 3.0}));
+  s.add(2.0);  // cache now stale
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_EQ(s.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(s.raw(), (std::vector<double>{3.0, 1.0, 2.0}));
+  s.add_all({0.0});
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.sorted().front(), 0.0);
+}
+
+TEST(SamplesTest, RepeatedQueriesReuseTheCache) {
+  // The cached vector's address is stable across const queries (the
+  // documented "valid until the next add" contract).
+  Samples s;
+  s.add_all({5.0, 4.0, 6.0});
+  const std::vector<double>* first = &s.sorted();
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 6.0);
+  EXPECT_EQ(&s.sorted(), first);
+  s.add(1.0);
+  EXPECT_EQ(s.sorted().size(), 4u);
+}
+
 TEST(EmpiricalCdfTest, MonotoneAndEndsAtOne) {
   Samples s;
   for (double x : {3.0, 1.0, 2.0}) s.add(x);
