@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-format over the C++ tree using the committed .clang-format.
+#
+# Usage:
+#   scripts/format.sh           # rewrite files in place
+#   scripts/format.sh --check   # exit 1 if any file needs reformatting (CI)
+#
+# The repo has never been mass-reformatted: --check is the CI mode and is
+# expected to be applied to new/changed code, so it only fails loudly; the
+# in-place mode is for local use. Skips with a notice when clang-format is
+# not installed (optional tooling, same gating as scripts/lint.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then CHECK=1; shift; fi
+if [[ $# -gt 0 ]]; then
+  echo "format.sh: unknown argument '$1'" >&2
+  exit 2
+fi
+
+FMT=""
+for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+            clang-format-15 clang-format-14; do
+  if command -v "$cand" >/dev/null 2>&1; then FMT="$cand"; break; fi
+done
+if [[ -z "$FMT" ]]; then
+  echo "format: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+mapfile -t FILES < <(find src bench tests examples tools -name '*.cpp' \
+                       -o -name '*.hpp' | sort)
+if [[ "$CHECK" == 1 ]]; then
+  if ! printf '%s\n' "${FILES[@]}" | xargs "$FMT" --dry-run --Werror; then
+    echo "format: files need reformatting (run scripts/format.sh)" >&2
+    exit 1
+  fi
+  echo "format: OK"
+else
+  printf '%s\n' "${FILES[@]}" | xargs "$FMT" -i
+  echo "format: done"
+fi

@@ -50,8 +50,12 @@ class Graph {
   LinkId add_link(NodeId a, NodeId b, sim::Duration latency,
                   double capacity = 1.0);
 
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
 
   [[nodiscard]] const Node& node(NodeId n) const { return nodes_.at(idx(n)); }
   [[nodiscard]] const Link& link(LinkId l) const { return links_.at(idx(l)); }
@@ -83,7 +87,7 @@ class Graph {
   [[nodiscard]] bool connected() const;
 
  private:
-  static std::size_t idx(std::int32_t id) {
+  static std::size_t idx(std::int32_t id) noexcept {
     return static_cast<std::size_t>(id);
   }
 

@@ -28,10 +28,10 @@ using LabelSet = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   Counter() = default;
-  void inc(std::uint64_t n = 1) {
+  void inc(std::uint64_t n = 1) noexcept {
     if (cell_ != nullptr) *cell_ += n;
   }
-  [[nodiscard]] std::uint64_t value() const {
+  [[nodiscard]] std::uint64_t value() const noexcept {
     return cell_ == nullptr ? 0 : *cell_;
   }
 
@@ -45,13 +45,15 @@ class Counter {
 class Gauge {
  public:
   Gauge() = default;
-  void set(double v) {
+  void set(double v) noexcept {
     if (cell_ != nullptr) *cell_ = v;
   }
-  void add(double d) {
+  void add(double d) noexcept {
     if (cell_ != nullptr) *cell_ += d;
   }
-  [[nodiscard]] double value() const { return cell_ == nullptr ? 0.0 : *cell_; }
+  [[nodiscard]] double value() const noexcept {
+    return cell_ == nullptr ? 0.0 : *cell_;
+  }
 
  private:
   friend class MetricsRegistry;
@@ -75,16 +77,18 @@ class Histogram {
  public:
   Histogram() = default;
   void observe(double x);
-  [[nodiscard]] std::uint64_t count() const {
+  [[nodiscard]] std::uint64_t count() const noexcept {
     return data_ == nullptr ? 0 : data_->count;
   }
-  [[nodiscard]] double sum() const { return data_ == nullptr ? 0 : data_->sum; }
-  [[nodiscard]] double mean() const {
+  [[nodiscard]] double sum() const noexcept {
+    return data_ == nullptr ? 0 : data_->sum;
+  }
+  [[nodiscard]] double mean() const noexcept {
     return data_ == nullptr || data_->count == 0
                ? 0.0
                : data_->sum / static_cast<double>(data_->count);
   }
-  [[nodiscard]] const HistogramData* data() const { return data_; }
+  [[nodiscard]] const HistogramData* data() const noexcept { return data_; }
 
  private:
   friend class MetricsRegistry;
@@ -139,7 +143,7 @@ class MetricsRegistry {
   /// experiments to aggregate per-seed TestBed registries into one report.
   void merge_from(const MetricsRegistry& other);
 
-  [[nodiscard]] bool empty() const {
+  [[nodiscard]] bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 

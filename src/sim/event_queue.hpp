@@ -30,7 +30,7 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedules `fn` to run `delay` after the current time. Negative delays
   /// are clamped to zero (run "now", after already-queued same-time events).
@@ -47,16 +47,16 @@ class Simulator {
   std::size_t run_steps(std::size_t max_events);
 
   /// True if no events remain.
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 
   /// Number of pending events.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Total number of events executed since construction.
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
   /// Stops the current `run()` after the in-flight handler returns.
-  void stop() { stopped_ = true; }
+  void stop() noexcept { stopped_ = true; }
 
  private:
   struct Event {

@@ -24,10 +24,10 @@ class Rng {
 
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return UINT64_MAX; }
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return UINT64_MAX; }
 
-  result_type operator()();
+  result_type operator()() noexcept;
 
   /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
   std::uint64_t uniform(std::uint64_t n);

@@ -23,23 +23,27 @@ constexpr Duration kSecond = 1'000'000'000;
 /// Largest representable time; used as "run forever" bound.
 constexpr Time kTimeInfinity = INT64_MAX;
 
-constexpr Duration nanoseconds(std::int64_t n) { return n; }
-constexpr Duration microseconds(std::int64_t us) { return us * kMicrosecond; }
-constexpr Duration milliseconds(std::int64_t ms) { return ms * kMillisecond; }
-constexpr Duration seconds(std::int64_t s) { return s * kSecond; }
+constexpr Duration nanoseconds(std::int64_t n) noexcept { return n; }
+constexpr Duration microseconds(std::int64_t us) noexcept {
+  return us * kMicrosecond;
+}
+constexpr Duration milliseconds(std::int64_t ms) noexcept {
+  return ms * kMillisecond;
+}
+constexpr Duration seconds(std::int64_t s) noexcept { return s * kSecond; }
 
 /// Converts a duration expressed in (possibly fractional) milliseconds.
-constexpr Duration milliseconds_f(double ms) {
+constexpr Duration milliseconds_f(double ms) noexcept {
   return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
 }
 
 /// Converts a virtual time/duration to fractional milliseconds for reporting.
-constexpr double to_ms(Duration d) {
+constexpr double to_ms(Duration d) noexcept {
   return static_cast<double>(d) / static_cast<double>(kMillisecond);
 }
 
 /// Converts a virtual time/duration to fractional seconds for reporting.
-constexpr double to_sec(Duration d) {
+constexpr double to_sec(Duration d) noexcept {
   return static_cast<double>(d) / static_cast<double>(kSecond);
 }
 

@@ -75,9 +75,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("fig1", "b4", "internet2",
                                          "fattree4"),
                        ::testing::Range(0, 6)),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {  // `info` would shadow the macro's parameter
+      return std::get<0>(param_info.param) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // Forced-DL variant: even when the controller would have chosen SL, the
