@@ -37,11 +37,13 @@ class CentralController final : public p4rt::ControllerApp {
 
   void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
 
-  [[nodiscard]] control::Nib& nib() { return nib_; }
-  [[nodiscard]] control::FlowDb& flow_db() { return flow_db_; }
+  [[nodiscard]] control::Nib& nib() noexcept { return nib_; }
+  [[nodiscard]] control::FlowDb& flow_db() noexcept { return flow_db_; }
 
   /// Number of scheduling rounds issued so far (tests/benches).
-  [[nodiscard]] std::uint64_t rounds_issued() const { return rounds_; }
+  [[nodiscard]] std::uint64_t rounds_issued() const noexcept {
+    return rounds_;
+  }
 
   std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
 

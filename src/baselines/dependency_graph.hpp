@@ -41,7 +41,7 @@ enum class EzPriority : std::uint8_t {
 /// `work_units`, if given, receives a deterministic count of elementary
 /// graph operations performed — the in-simulation virtual cost of this
 /// centralized computation is charged proportionally (see DESIGN.md).
-std::map<net::FlowId, EzPriority> compute_ez_priorities(
+[[nodiscard]] std::map<net::FlowId, EzPriority> compute_ez_priorities(
     const net::Graph& g, const std::vector<FlowMove>& moves,
     std::uint64_t* work_units = nullptr);
 
@@ -49,14 +49,14 @@ std::map<net::FlowId, EzPriority> compute_ez_priorities(
 /// its new rule now, given that `updated` nodes already did and `candidates`
 /// may flip concurrently? Safe iff the new next hop has forwarding state
 /// and no walk over the uncertainty multigraph returns to `node`.
-bool central_safe_to_update(const net::Path& old_path,
-                            const net::Path& new_path, net::NodeId node,
-                            const std::vector<net::NodeId>& updated,
-                            const std::vector<net::NodeId>& candidates);
+[[nodiscard]] bool central_safe_to_update(
+    const net::Path& old_path, const net::Path& new_path, net::NodeId node,
+    const std::vector<net::NodeId>& updated,
+    const std::vector<net::NodeId>& candidates);
 
 /// Greedy round computation for Central: the maximal safe set of not-yet-
 /// updated nodes (deterministic order: new-path order from egress side).
-std::vector<net::NodeId> central_next_round(
+[[nodiscard]] std::vector<net::NodeId> central_next_round(
     const net::Path& old_path, const net::Path& new_path,
     const std::vector<net::NodeId>& updated);
 

@@ -42,7 +42,9 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
   void bootstrap_flow(p4rt::SwitchDevice& sw, net::FlowId f,
                       std::int32_t egress_port, double size);
 
-  [[nodiscard]] std::uint64_t notifies_sent() const { return notifies_sent_; }
+  [[nodiscard]] std::uint64_t notifies_sent() const noexcept {
+    return notifies_sent_;
+  }
 
  private:
   struct PendingUpdate {
@@ -63,7 +65,8 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
 
   /// Capacity gate for the congestion variant. Static priorities: yield if
   /// a strictly higher-priority flow at this node still waits for the port.
-  bool capacity_ok(const p4rt::SwitchDevice& sw, const PendingUpdate& pu) const;
+  [[nodiscard]] bool capacity_ok(const p4rt::SwitchDevice& sw,
+                                 const PendingUpdate& pu) const;
 
   net::NodeId id_;
   const net::Graph* graph_;

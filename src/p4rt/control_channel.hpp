@@ -70,7 +70,9 @@ class ControlChannel {
   }
 
   /// Messages handled by the controller app so far.
-  [[nodiscard]] std::uint64_t controller_messages() const { return handled_; }
+  [[nodiscard]] std::uint64_t controller_messages() const noexcept {
+    return handled_;
+  }
 
   /// Current virtual time (controller apps have no other clock).
   [[nodiscard]] sim::Time now() const { return sim_.now(); }
@@ -84,7 +86,7 @@ class ControlChannel {
   /// the control plane being oblivious to it"). Reset to 0 to stop.
   void set_extra_outbound_delay(sim::Duration d) { extra_outbound_ = d; }
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
  private:
   sim::Time reserve_service_slot(sim::Duration service);
@@ -102,7 +104,7 @@ class ControlChannel {
 
 /// Per-switch control latencies for a WAN: shortest-path propagation latency
 /// from the controller node (the paper places it at the centroid).
-std::vector<sim::Duration> wan_control_latencies(const net::Graph& g,
-                                                 NodeId controller_node);
+[[nodiscard]] std::vector<sim::Duration> wan_control_latencies(
+    const net::Graph& g, NodeId controller_node);
 
 }  // namespace p4u::p4rt

@@ -78,7 +78,9 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
 }
 
 void Fabric::inject(NodeId at, Packet pkt, std::int32_t in_port) {
-  sw(at);  // validate `at` eagerly, while the caller is on the stack
+  // Validate `at` eagerly, while the caller is on the stack; the returned
+  // reference itself is unused.
+  static_cast<void>(sw(at));
   metrics_.counter("fabric.inject", switch_msg_labels(at, pkt)).inc();
   sim_.schedule_in(0, [this, at, in_port, pkt = std::move(pkt)]() mutable {
     sw(at).receive(std::move(pkt), in_port);

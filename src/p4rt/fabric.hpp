@@ -53,14 +53,18 @@ class Fabric {
     return *switches_.at(static_cast<std::size_t>(id));
   }
 
-  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
-  [[nodiscard]] const net::Graph& graph() const { return graph_; }
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] sim::Trace& trace() { return trace_; }
-  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
-  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
-  [[nodiscard]] FaultModel& faults() { return faults_; }
-  [[nodiscard]] FabricHooks& hooks() { return hooks_; }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] FaultModel& faults() noexcept { return faults_; }
+  [[nodiscard]] FabricHooks& hooks() noexcept { return hooks_; }
 
   /// Emits `pkt` from switch `from` on local port `out_port`; the neighbor
   /// receives it after link latency (+ faults).
@@ -74,7 +78,7 @@ class Fabric {
   void inject(NodeId at, Packet pkt, std::int32_t in_port = -1);
 
   void set_control_channel(ControlChannel* cc) { control_ = cc; }
-  [[nodiscard]] ControlChannel* control() { return control_; }
+  [[nodiscard]] ControlChannel* control() noexcept { return control_; }
 
  private:
   sim::Simulator& sim_;

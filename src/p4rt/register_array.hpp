@@ -41,12 +41,14 @@ class RegisterArray {
     return cells_.count(index) != 0;
   }
 
-  [[nodiscard]] std::size_t populated() const { return cells_.size(); }
+  [[nodiscard]] std::size_t populated() const noexcept {
+    return cells_.size();
+  }
 
   /// Access volume (plane-agnostic), for the observability layer. BMv2
   /// register ops are the unit the paper's overhead argument counts in.
-  [[nodiscard]] std::uint64_t reads() const { return reads_; }
-  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
 
  private:
   std::unordered_map<std::uint64_t, T> cells_;
@@ -73,9 +75,10 @@ class MatchActionTable {
 
   void erase(const Key& key) { entries_.erase(key); }
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  [[nodiscard]] const std::unordered_map<Key, ActionData>& entries() const {
+  [[nodiscard]] const std::unordered_map<Key, ActionData>& entries()
+      const noexcept {
     return entries_;
   }
 

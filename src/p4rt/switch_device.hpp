@@ -75,8 +75,8 @@ class SwitchDevice {
   SwitchDevice(const SwitchDevice&) = delete;
   SwitchDevice& operator=(const SwitchDevice&) = delete;
 
-  [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] const SwitchParams& params() const { return params_; }
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const SwitchParams& params() const noexcept { return params_; }
 
   void set_pipeline(Pipeline* p) { pipeline_ = p; }
 
@@ -118,18 +118,18 @@ class SwitchDevice {
 
   void remove_rule(FlowId flow);
 
-  [[nodiscard]] const std::map<FlowId, std::int32_t>& rules() const {
+  [[nodiscard]] const std::map<FlowId, std::int32_t>& rules() const noexcept {
     return rules_;
   }
 
   /// Count of timed installs completed (tests assert on install volume).
-  [[nodiscard]] std::uint64_t installs_completed() const {
+  [[nodiscard]] std::uint64_t installs_completed() const noexcept {
     return installs_completed_;
   }
 
   // --- Environment access for pipelines ---
-  [[nodiscard]] Fabric& fabric() { return fabric_; }
-  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] sim::Time now() const;
   [[nodiscard]] sim::Simulator& simulator();
 
