@@ -56,6 +56,7 @@ std::optional<sim::Duration> FlowDb::duration(net::FlowId f,
 }
 
 bool FlowDb::all_completed() const {
+  // p4u-detlint: allow(unordered-iter) order-independent reduction (boolean AND)
   for (const auto& [flow, hist] : records_) {
     for (const auto& r : hist) {
       if (r.state == UpdateState::kInProgress) return false;
@@ -66,6 +67,7 @@ bool FlowDb::all_completed() const {
 
 sim::Time FlowDb::last_completion() const {
   sim::Time t = 0;
+  // p4u-detlint: allow(unordered-iter) order-independent reduction (max)
   for (const auto& [flow, hist] : records_) {
     for (const auto& r : hist) t = std::max(t, r.completed_at);
   }
@@ -74,6 +76,7 @@ sim::Time FlowDb::last_completion() const {
 
 std::uint64_t FlowDb::total_alarms() const {
   std::uint64_t n = 0;
+  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
   for (const auto& [flow, hist] : records_) {
     for (const auto& r : hist) n += r.alarms;
   }

@@ -1,6 +1,8 @@
 #include "control/nib.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace p4u::control {
 
@@ -19,8 +21,17 @@ void Nib::record_flow(const net::Flow& f, net::Path initial_path,
 double Nib::believed_residual(net::NodeId from, net::NodeId to) const {
   const auto link = graph_->find_link(from, to);
   if (!link) throw std::invalid_argument("believed_residual: no such link");
+  // Float accumulation order must not depend on hash order, or the residual
+  // (and every admission decision derived from it) varies with flow
+  // insertion history. Sum in flow-id order.
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows_.size());
+  // p4u-detlint: allow(unordered-iter) key harvest only; ids are sorted before any value is read
+  for (const auto& [id, view] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   double used = 0.0;
-  for (const auto& [id, view] : flows_) {
+  for (const net::FlowId id : ids) {
+    const FlowView& view = flows_.at(id);
     const net::Path& p = view.believed_path;
     for (std::size_t i = 0; i + 1 < p.size(); ++i) {
       if (p[i] == from && p[i + 1] == to) {

@@ -1,10 +1,20 @@
 #include "harness/invariant_monitor.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
 
 namespace p4u::harness {
+
+std::vector<net::FlowId> InvariantMonitor::watched_ids_sorted() const {
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows_.size());
+  // p4u-detlint: allow(unordered-iter) key harvest only; ids are sorted before use
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
 
 void InvariantMonitor::attach() {
   auto previous = fabric_->hooks().on_rule_installed;
@@ -62,8 +72,12 @@ bool InvariantMonitor::has_blackhole(net::FlowId flow) const {
 
 std::vector<std::string> InvariantMonitor::capacity_overloads() const {
   // Aggregate per directed edge: sum of watched-flow sizes routed over it.
+  // Flow order fixes the float accumulation order, so iterate sorted ids —
+  // hash order would make near-capacity verdicts depend on insertion
+  // history.
   std::map<std::pair<net::NodeId, net::NodeId>, double> load;
-  for (const auto& [id, flow] : flows_) {
+  for (const net::FlowId id : watched_ids_sorted()) {
+    const net::Flow& flow = flows_.at(id);
     for (std::size_t n = 0; n < fabric_->switch_count(); ++n) {
       const auto node = static_cast<net::NodeId>(n);
       const auto port = fabric_->sw(node).lookup(id);
@@ -116,7 +130,9 @@ void InvariantMonitor::check_flow(net::FlowId flow) {
 }
 
 void InvariantMonitor::check_all() {
-  for (const auto& [id, flow] : flows_) check_flow(id);
+  // Sorted order: findings_ and trace entries are emitted here, and their
+  // order is part of the deterministic-report contract.
+  for (const net::FlowId id : watched_ids_sorted()) check_flow(id);
 }
 
 }  // namespace p4u::harness

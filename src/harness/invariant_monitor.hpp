@@ -59,6 +59,11 @@ class InvariantMonitor {
   [[nodiscard]] std::vector<std::string> capacity_overloads() const;
 
  private:
+  /// Watched flow ids in ascending order. All iteration over the watched
+  /// set goes through this so findings, trace entries, and float
+  /// accumulations are independent of hash order.
+  [[nodiscard]] std::vector<net::FlowId> watched_ids_sorted() const;
+
   p4rt::Fabric* fabric_;
   bool check_capacity_;
   std::unordered_map<net::FlowId, net::Flow> flows_;

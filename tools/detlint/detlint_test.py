@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Unit tests for detlint itself (run as a ctest case).
+
+Two layers:
+  * function-level tests of the tricky pieces — comment/string stripping,
+    suppression parsing, range-for extraction, unordered-declaration
+    harvesting;
+  * end-to-end runs over the committed fixtures (pass/ must exit 0,
+    fail/ must exit 1 with the expected rule ids).
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import detlint  # noqa: E402
+
+
+def run_detlint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(HERE / "detlint.py"), *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class StripTest(unittest.TestCase):
+    def test_line_comment_blanked(self):
+        lines = detlint.strip_comments_and_strings("int x; // rand()\n")
+        self.assertEqual(lines[0], "int x; ")
+
+    def test_block_comment_preserves_line_numbers(self):
+        src = "a\n/* rand()\n   rand() */\nb\n"
+        lines = detlint.strip_comments_and_strings(src)
+        self.assertEqual(len(lines), 5)
+        self.assertEqual(lines[0], "a")
+        self.assertNotIn("rand", "".join(lines))
+        self.assertEqual(lines[3], "b")
+
+    def test_string_and_char_literals_blanked(self):
+        src = 'auto s = "rand()"; char c = \'"\'; int y = rand();\n'
+        lines = detlint.strip_comments_and_strings(src)
+        self.assertNotIn('"rand()"', lines[0])
+        self.assertIn("rand()", lines[0])  # the real call survives
+
+    def test_raw_string_blanked(self):
+        src = 'auto s = R"(getenv("X"))"; int z = 0;\n'
+        lines = detlint.strip_comments_and_strings(src)
+        self.assertNotIn("getenv", lines[0])
+        self.assertIn("int z = 0;", lines[0])
+
+    def test_escaped_quote_in_string(self):
+        src = 'auto s = "a\\"b rand() c"; int q = 1;\n'
+        lines = detlint.strip_comments_and_strings(src)
+        self.assertNotIn("rand", lines[0])
+        self.assertIn("int q = 1;", lines[0])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_parse_rules_and_reason(self):
+        sups = detlint.parse_suppressions(
+            ["int x;", "// p4u-detlint: allow(wall-clock, raw-rand) why not"]
+        )
+        self.assertIn(2, sups)
+        self.assertEqual(sups[2].rules, ("wall-clock", "raw-rand"))
+        self.assertEqual(sups[2].reason, "why not")
+
+    def test_missing_reason_is_empty(self):
+        sups = detlint.parse_suppressions(["// p4u-detlint: allow(raw-rand)"])
+        self.assertEqual(sups[1].reason, "")
+
+    def test_non_annotation_ignored(self):
+        sups = detlint.parse_suppressions(
+            ["// detlint allow(raw-rand) not our marker"]
+        )
+        self.assertEqual(sups, {})
+
+
+class RangeForTest(unittest.TestCase):
+    def test_simple(self):
+        got = detlint.range_for_exprs("for (auto x : items) {\n}\n")
+        self.assertEqual(got, [(1, "items")])
+
+    def test_single_statement_body(self):
+        got = detlint.range_for_exprs("for (const auto& [k, v] : m_) f(k);\n")
+        self.assertEqual(got, [(1, "m_")])
+
+    def test_classic_for_skipped(self):
+        got = detlint.range_for_exprs("for (int i = 0; i < n; ++i) {}\n")
+        self.assertEqual(got, [])
+
+    def test_nested_call_expr(self):
+        got = detlint.range_for_exprs("for (auto& e : obj.entries()) {}\n")
+        self.assertEqual(got, [(1, "obj.entries()")])
+
+    def test_structured_binding_with_scope_colons(self):
+        got = detlint.range_for_exprs(
+            "for (std::size_t i : p4u::net::ids(g)) {}\n"
+        )
+        self.assertEqual(got, [(1, "p4u::net::ids(g)")])
+
+    def test_multiline_head(self):
+        got = detlint.range_for_exprs(
+            "for (const auto& very_long_name :\n     container_) {\n}\n"
+        )
+        self.assertEqual(got, [(1, "container_")])
+
+
+class UnorderedNamesTest(unittest.TestCase):
+    def test_member_declaration(self):
+        names = detlint.unordered_names(
+            "std::unordered_map<int, std::vector<int>> records_;"
+        )
+        self.assertEqual(names, {"records_"})
+
+    def test_nested_template_balanced(self):
+        names = detlint.unordered_names(
+            "std::unordered_map<std::pair<int,int>, std::map<int,int>> deep_;"
+        )
+        self.assertEqual(names, {"deep_"})
+
+    def test_alias_then_declaration(self):
+        names = detlint.unordered_names(
+            "using Table = std::unordered_map<int, int>;\nTable cells_;"
+        )
+        self.assertIn("cells_", names)
+
+    def test_ordered_map_not_matched(self):
+        names = detlint.unordered_names("std::map<int, int> fine_;")
+        self.assertEqual(names, set())
+
+
+class FixtureTest(unittest.TestCase):
+    FIXTURES = HERE / "fixtures"
+
+    def test_pass_fixtures_are_clean(self):
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "pass",
+            "--critical", "pass",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_fail_fixtures_are_flagged(self):
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "fail",
+            "--critical", "fail",
+        )
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        expected = {
+            "fail/wall_clock.cpp": "wall-clock",
+            "fail/raw_rand.cpp": "raw-rand",
+            "fail/env_read.cpp": "env-read",
+            "fail/unordered_iter.cpp": "unordered-iter",
+            "fail/bad_suppressions.cpp": "bad-suppression",
+        }
+        for path, rule in expected.items():
+            self.assertIn(f"{path}:", r.stdout)
+            self.assertRegex(r.stdout, rf"{path}:\d+: {rule}:")
+        self.assertRegex(
+            r.stdout, r"bad_suppressions\.cpp:\d+: unused-suppression:"
+        )
+
+    def test_fail_fixture_finding_counts(self):
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "fail",
+            "--critical", "fail",
+        )
+        # wall_clock: 4, raw_rand: 3, env_read: 2, unordered_iter: 3 (two
+        # range-fors + one .begin() walk), bad_suppressions: 3.
+        banned = [l for l in r.stdout.splitlines() if "[banned]" in l]
+        self.assertEqual(len(banned), 15, r.stdout)
+
+    def test_expect_allowed_mismatch_fails(self):
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "pass",
+            "--critical", "pass",
+            "--expect-allowed", "wall-clock:pass=99",
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("expected 99 allowed", r.stderr)
+
+    def test_expect_allowed_match_passes(self):
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "pass",
+            "--critical", "pass",
+            "--expect-allowed", "wall-clock:pass=2",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

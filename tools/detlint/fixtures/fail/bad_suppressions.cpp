@@ -1,0 +1,19 @@
+// Fixture: malformed and stale suppressions — all three must be flagged.
+#include <cstdlib>
+
+namespace fixture {
+
+int missing_reason() {
+  // p4u-detlint: allow(raw-rand)
+  return rand();
+}
+
+int unknown_rule() {
+  // p4u-detlint: allow(wibble) no such rule id
+  return 1;
+}
+
+// p4u-detlint: allow(wall-clock) nothing on the next line uses a clock
+int stale() { return 2; }
+
+}  // namespace fixture

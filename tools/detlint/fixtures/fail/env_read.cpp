@@ -1,0 +1,9 @@
+// Fixture: environment-dependent logic — must be flagged.
+#include <cstdlib>
+
+namespace fixture {
+
+bool verbose() { return std::getenv("P4U_VERBOSE") != nullptr; }
+void poison() { setenv("P4U_MODE", "fast", 1); }
+
+}  // namespace fixture

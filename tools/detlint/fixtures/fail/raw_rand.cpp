@@ -1,0 +1,14 @@
+// Fixture: unseeded randomness — every construct here must be flagged.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int r1() { return rand(); }
+void r2() { srand(42); }
+unsigned r3() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

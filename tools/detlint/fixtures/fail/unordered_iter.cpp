@@ -1,0 +1,30 @@
+// Fixture: hash-order iteration in campaign-critical code — both the
+// range-for forms and the explicit iterator walk must be flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<int, double> totals;
+std::unordered_set<std::string> names;
+
+double emit_csv() {
+  double acc = 0.0;
+  for (const auto& [k, v] : totals) acc += v;  // float sum in hash order
+  return acc;
+}
+
+std::string emit_names() {
+  std::string out;
+  for (const std::string& n : names) out += n + ",";
+  return out;
+}
+
+std::size_t walk() {
+  std::size_t c = 0;
+  for (auto it = totals.begin(); it != totals.end(); ++it) ++c;
+  return c;
+}
+
+}  // namespace fixture

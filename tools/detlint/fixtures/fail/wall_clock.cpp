@@ -1,0 +1,14 @@
+// Fixture: unannotated wall-clock reads — every line here must be flagged.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long t1() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long t2() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+long t3() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+long t4() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture

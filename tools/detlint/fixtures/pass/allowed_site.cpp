@@ -1,0 +1,42 @@
+// Fixture: every banned construct appears once, each carrying a correctly
+// formed allow annotation — this file must lint clean, and the annotations
+// must all register as used.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+double wallclock_ms() {
+  // p4u-detlint: allow(wall-clock) fixture exercising same-line suppression
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+int annotated_rand() {
+  // p4u-detlint: allow(raw-rand) fixture exercising line-above suppression
+  return rand();
+}
+
+const char* annotated_env() {
+  const char* home = std::getenv("HOME");  // p4u-detlint: allow(env-read) fixture: same-line trailing annotation
+  return home;
+}
+
+std::unordered_map<int, int> table;
+
+int annotated_iteration() {
+  int sum = 0;
+  // p4u-detlint: allow(unordered-iter) order-independent integer sum
+  for (const auto& [k, v] : table) sum += v;
+  return sum;
+}
+
+// Multiple rules in one annotation:
+long combined() {
+  // p4u-detlint: allow(wall-clock,raw-rand) fixture: multi-rule allow list
+  return std::chrono::system_clock::now().time_since_epoch().count() + rand();
+}
+
+}  // namespace fixture
