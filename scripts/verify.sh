@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: plain build + tests, then the same suite under
-# ASan + UBSan (P4U_SANITIZE=ON), then the parallel campaign runner under
-# ThreadSanitizer (P4U_TSAN=ON). Run from the repository root.
+# Tier-1 verification, four legs:
+#   1. plain build + full ctest,
+#   2. the same suite under ASan + UBSan (P4U_SANITIZE=ON),
+#   3. the parallel campaign runner under ThreadSanitizer (P4U_TSAN=ON),
+#   4. static analysis: warnings-hardened -Werror build (P4U_WERROR=ON)
+#      plus scripts/lint.sh (clang-tidy when installed + the determinism
+#      linter, which must report exactly one allowed wall-clock site).
+# Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,5 +31,11 @@ cmake -B build-tsan -S . -DP4U_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan -j "$JOBS" --target harness_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ParallelRunner|Campaign'
+
+echo "== tier-1: -Werror hardened build + static analysis =="
+cmake -B build-lint -S . -DP4U_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-lint -j "$JOBS"
+scripts/lint.sh --build-dir build-lint
 
 echo "verify: OK"
