@@ -2,7 +2,7 @@
 
 namespace p4u::baseline {
 
-void CentralSwitch::handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+void CentralSwitch::handle(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
                            std::int32_t in_port) {
   (void)in_port;
   if (!pkt.is<p4rt::InstallCmdHeader>()) return;

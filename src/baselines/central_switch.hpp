@@ -13,7 +13,7 @@ class CentralSwitch final : public p4rt::Pipeline {
  public:
   explicit CentralSwitch(net::NodeId id) : id_(id) {}
 
-  void handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+  void handle(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
               std::int32_t in_port) override;
 
   void bootstrap_flow(p4rt::SwitchDevice& sw, net::FlowId f,

@@ -1,5 +1,7 @@
 #include "baselines/ezsegway_switch.hpp"
 
+#include <utility>
+
 #include "net/paths.hpp"
 
 namespace p4u::baseline {
@@ -30,15 +32,15 @@ void EzSegwaySwitch::bootstrap_flow(SwitchDevice& sw, net::FlowId f,
   sw.set_rule_now(f, egress_port);
 }
 
-void EzSegwaySwitch::handle(SwitchDevice& sw, const Packet& pkt,
+void EzSegwaySwitch::handle(SwitchDevice& sw, Packet pkt,
                             std::int32_t in_port) {
   (void)in_port;
   if (pkt.is<p4rt::EzCmdHeader>()) {
     handle_cmd(sw, pkt.as<p4rt::EzCmdHeader>());
   } else if (pkt.is<p4rt::EzNotifyHeader>()) {
-    handle_notify(sw, pkt);
+    handle_notify(sw, std::move(pkt));
   } else if (pkt.is<p4rt::SegmentDoneHeader>()) {
-    handle_segment_done(sw, pkt);
+    handle_segment_done(sw, std::move(pkt));
   } else if (pkt.is<p4rt::CleanupHeader>()) {
     const auto& c = pkt.as<p4rt::CleanupHeader>();
     // Nodes that are part of this version's new configuration keep their
@@ -207,10 +209,11 @@ void EzSegwaySwitch::route_towards(SwitchDevice& sw, net::NodeId dst,
   sw.clone_to_port(std::move(pkt), port);
 }
 
-void EzSegwaySwitch::handle_segment_done(SwitchDevice& sw, const Packet& pkt) {
-  const auto& d = pkt.as<p4rt::SegmentDoneHeader>();
+void EzSegwaySwitch::handle_segment_done(SwitchDevice& sw, Packet pkt) {
+  // Copy the header out first: the relay branch moves the packet onward.
+  const p4rt::SegmentDoneHeader d = pkt.as<p4rt::SegmentDoneHeader>();
   if (d.final_dst != id_) {
-    route_towards(sw, d.final_dst, pkt);
+    route_towards(sw, d.final_dst, std::move(pkt));
     return;
   }
   const Key key{d.flow, d.version};

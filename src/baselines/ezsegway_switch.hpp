@@ -35,7 +35,7 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
   EzSegwaySwitch(net::NodeId id, const net::Graph& graph,
                  EzSwitchParams params = {});
 
-  void handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+  void handle(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
               std::int32_t in_port) override;
 
   /// Installs the initial configuration for a flow (bring-up).
@@ -57,7 +57,7 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
 
   void handle_cmd(p4rt::SwitchDevice& sw, const p4rt::EzCmdHeader& cmd);
   void handle_notify(p4rt::SwitchDevice& sw, p4rt::Packet pkt);
-  void handle_segment_done(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt);
+  void handle_segment_done(p4rt::SwitchDevice& sw, p4rt::Packet pkt);
   void start_chain(p4rt::SwitchDevice& sw, PendingUpdate& pu);
   void do_install(p4rt::SwitchDevice& sw, PendingUpdate& pu);
   void route_towards(p4rt::SwitchDevice& sw, net::NodeId dst,

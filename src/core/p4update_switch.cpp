@@ -1,6 +1,7 @@
 #include "core/p4update_switch.hpp"
 
 #include <string>
+#include <utility>
 
 namespace p4u::core {
 
@@ -73,12 +74,12 @@ void P4UpdateSwitch::on_data_packet(SwitchDevice& sw, p4rt::DataHeader& data,
   sw.send_to_controller(Packet{frm});
 }
 
-void P4UpdateSwitch::handle(SwitchDevice& sw, const Packet& pkt,
+void P4UpdateSwitch::handle(SwitchDevice& sw, Packet pkt,
                             std::int32_t in_port) {
   if (pkt.is<p4rt::UimHeader>()) {
     handle_uim(sw, pkt.as<p4rt::UimHeader>());
   } else if (pkt.is<UnmHeader>()) {
-    handle_unm(sw, pkt, in_port);
+    handle_unm(sw, std::move(pkt), in_port);
   } else if (pkt.is<p4rt::CleanupHeader>()) {
     handle_cleanup(sw, pkt.as<p4rt::CleanupHeader>());
   } else if (pkt.is<p4rt::StampHeader>()) {
@@ -301,7 +302,7 @@ void P4UpdateSwitch::park(SwitchDevice& sw, Packet pkt, std::int32_t in_port,
   sw.resubmit(std::move(pkt), in_port);
 }
 
-bool P4UpdateSwitch::congestion_gate(SwitchDevice& sw, const Packet& pkt,
+bool P4UpdateSwitch::congestion_gate(SwitchDevice& sw, Packet pkt,
                                      std::int32_t in_port, FlowId f,
                                      std::int32_t to_port) {
   if (!params_.congestion_mode) return true;
@@ -320,7 +321,8 @@ bool P4UpdateSwitch::congestion_gate(SwitchDevice& sw, const Packet& pkt,
           {sw.now(), TraceKind::kPriorityRaised, id_, f, raised, 0, ""});
     }
   }
-  park(sw, pkt, in_port, d.capacity_ok ? "yield-to-priority" : "no-capacity");
+  park(sw, std::move(pkt), in_port,
+       d.capacity_ok ? "yield-to-priority" : "no-capacity");
   return false;
 }
 
@@ -443,7 +445,8 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       after_state_change(sw, *uim, unm.layer);
       return;
     }
-    if (!congestion_gate(sw, pkt, in_port, f, uim->egress_port_updated)) {
+    if (!congestion_gate(sw, std::move(pkt), in_port, f,
+                         uim->egress_port_updated)) {
       return;
     }
     count_verify(sw, "accept");
@@ -496,7 +499,8 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
       return;
     case DlOutcome::kInnerUpdate:
     case DlOutcome::kGatewayUpdate: {
-      if (!congestion_gate(sw, pkt, in_port, f, uim->egress_port_updated)) {
+      if (!congestion_gate(sw, std::move(pkt), in_port, f,
+                           uim->egress_port_updated)) {
         return;
       }
       count_verify(sw, "accept");

@@ -42,7 +42,7 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
   P4UpdateSwitch(net::NodeId id, const net::Graph& graph,
                  P4UpdateSwitchParams params = {});
 
-  void handle(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+  void handle(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
               std::int32_t in_port) override;
   void on_data_packet(p4rt::SwitchDevice& sw, p4rt::DataHeader& data,
                       std::int32_t in_port) override;
@@ -79,9 +79,10 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
   void park(p4rt::SwitchDevice& sw, p4rt::Packet pkt, std::int32_t in_port,
             const char* why);
 
-  /// Capacity gate; returns true if the move may proceed now. On deferral,
-  /// parks the packet and adjusts priorities.
-  bool congestion_gate(p4rt::SwitchDevice& sw, const p4rt::Packet& pkt,
+  /// Capacity gate; returns true if the move may proceed now. Owns the
+  /// packet: on deferral it is parked (moved into resubmission), on success
+  /// it is consumed (callers keep their own copy of the UNM header).
+  bool congestion_gate(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
                        std::int32_t in_port, FlowId f, std::int32_t to_port);
 
   /// Emits an UNM carrying this node's applied state out of `port`.

@@ -29,6 +29,9 @@ RunOutcome run_single_flow_job(const RunSpec& spec, std::uint64_t seed) {
   params.trace_enabled = false;  // large sweeps: skip trace allocation
   params.measure_prep_wallclock = false;  // keep the registry deterministic
   TestBed bed(*spec.graph, params);
+  // Pre-size the event pool from the spec: a single-flow update touches each
+  // node a bounded number of times (service, UNM hops, installs, retries).
+  bed.simulator().reserve(spec.graph->node_count() * 96 + 512);
 
   net::Flow f;
   f.ingress = spec.old_path.front();
@@ -57,6 +60,10 @@ RunOutcome run_multi_flow_job(const RunSpec& spec, std::uint64_t seed) {
   params.measure_prep_wallclock = false;
   params.monitor_capacity = params.monitor_capacity || params.congestion_mode;
   TestBed bed(*spec.graph, params);
+  // Event volume scales with both the topology and the flow batch; the
+  // estimate only pre-sizes slabs, so overshoot costs memory, not time.
+  bed.simulator().reserve(spec.graph->node_count() * 64 + flows.size() * 192 +
+                          512);
 
   std::vector<std::pair<net::FlowId, net::Path>> batch;
   for (const TrafficFlow& tf : flows) {

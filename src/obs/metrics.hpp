@@ -34,6 +34,9 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const noexcept {
     return cell_ == nullptr ? 0 : *cell_;
   }
+  /// True once bound to a registry cell (caches use this to lazily resolve
+  /// without eagerly creating cells that would alter report contents).
+  [[nodiscard]] bool resolved() const noexcept { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
@@ -54,6 +57,7 @@ class Gauge {
   [[nodiscard]] double value() const noexcept {
     return cell_ == nullptr ? 0.0 : *cell_;
   }
+  [[nodiscard]] bool resolved() const noexcept { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
@@ -89,6 +93,7 @@ class Histogram {
                : data_->sum / static_cast<double>(data_->count);
   }
   [[nodiscard]] const HistogramData* data() const noexcept { return data_; }
+  [[nodiscard]] bool resolved() const noexcept { return data_ != nullptr; }
 
  private:
   friend class MetricsRegistry;

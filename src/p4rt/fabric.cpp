@@ -23,14 +23,30 @@ Fabric::Fabric(sim::Simulator& sim, const net::Graph& graph,
     switches_.push_back(std::make_unique<SwitchDevice>(
         *this, static_cast<NodeId>(i), params, seeder.fork()));
   }
+  tx_counters_.resize(graph.node_count());
+  rx_counters_.resize(graph.node_count());
+  drop_counters_.resize(graph.node_count());
+  inject_counters_.resize(graph.node_count());
+  reorder_counters_.resize(graph.node_count());
   // Pre-register the traffic families (Prometheus idiom) so every run
   // report carries tx/rx/drop and latency lines even when a run never
   // exercises them (e.g. zero drops without a fault model).
   metrics_.counter("fabric.tx");
   metrics_.counter("fabric.rx");
   metrics_.counter("fabric.drop");
-  metrics_.histogram("fabric.hop_latency_ms", {{"class", "control"}});
-  metrics_.histogram("fabric.hop_latency_ms", {{"class", "data"}});
+  hop_latency_control_ =
+      metrics_.histogram("fabric.hop_latency_ms", {{"class", "control"}});
+  hop_latency_data_ =
+      metrics_.histogram("fabric.hop_latency_ms", {{"class", "data"}});
+}
+
+obs::Counter& Fabric::msg_counter(std::vector<KindCounters>& family,
+                                  const char* name, NodeId node,
+                                  const Packet& pkt) {
+  obs::Counter& c =
+      family[static_cast<std::size_t>(node)].by_kind[pkt.kind_index()];
+  if (!c.resolved()) c = metrics_.counter(name, switch_msg_labels(node, pkt));
+  return c;
 }
 
 void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
@@ -40,16 +56,18 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
                             std::to_string(out_port) + " at switch " +
                             std::to_string(from));
   }
-  metrics_.counter("fabric.tx", switch_msg_labels(from, pkt)).inc();
+  msg_counter(tx_counters_, "fabric.tx", from, pkt).inc();
 
   // Random fault injection (verification model, §5).
   const bool is_data = pkt.is<DataHeader>();
   const double drop_p =
       is_data ? faults_.data_drop_prob : faults_.control_drop_prob;
   if (drop_p > 0.0 && fault_rng_.uniform01() < drop_p) {
-    metrics_.counter("fabric.drop", switch_msg_labels(from, pkt)).inc();
-    trace_.add({sim_.now(), sim::TraceKind::kMessageDropped, from, pkt.flow(),
-                0, 0, "fault: " + describe(pkt)});
+    msg_counter(drop_counters_, "fabric.drop", from, pkt).inc();
+    trace_.add_lazy([&] {
+      return sim::TraceEntry{sim_.now(), sim::TraceKind::kMessageDropped, from,
+                             pkt.flow(), 0, 0, "fault: " + describe(pkt)};
+    });
     return;
   }
 
@@ -62,17 +80,15 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
     latency = extra > sim::kTimeInfinity - latency ? sim::kTimeInfinity
                                                    : latency + extra;
     if (extra > 0) {
-      metrics_.counter("fabric.reordered", switch_msg_labels(from, pkt)).inc();
+      msg_counter(reorder_counters_, "fabric.reordered", from, pkt).inc();
     }
   }
-  metrics_
-      .histogram("fabric.hop_latency_ms",
-                 {{"class", is_data ? "data" : "control"}})
+  (is_data ? hop_latency_data_ : hop_latency_control_)
       .observe(sim::to_ms(latency));
 
   const std::int32_t in_port = graph_.port_of(to, from);
   sim_.schedule_in(latency, [this, to, in_port, pkt = std::move(pkt)]() mutable {
-    metrics_.counter("fabric.rx", switch_msg_labels(to, pkt)).inc();
+    msg_counter(rx_counters_, "fabric.rx", to, pkt).inc();
     sw(to).receive(std::move(pkt), in_port);
   });
 }
@@ -81,7 +97,7 @@ void Fabric::inject(NodeId at, Packet pkt, std::int32_t in_port) {
   // Validate `at` eagerly, while the caller is on the stack; the returned
   // reference itself is unused.
   static_cast<void>(sw(at));
-  metrics_.counter("fabric.inject", switch_msg_labels(at, pkt)).inc();
+  msg_counter(inject_counters_, "fabric.inject", at, pkt).inc();
   sim_.schedule_in(0, [this, at, in_port, pkt = std::move(pkt)]() mutable {
     sw(at).receive(std::move(pkt), in_port);
   });

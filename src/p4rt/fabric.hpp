@@ -7,6 +7,7 @@
 // the Fig. 2 packet-arrival recorders.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -81,6 +82,18 @@ class Fabric {
   [[nodiscard]] ControlChannel* control() noexcept { return control_; }
 
  private:
+  /// Lazily resolved per-(switch, message-kind) counter handles for one
+  /// metric family. Resolution is deferred to first use so the set of
+  /// registry cells (and hence report contents) matches uncached behavior
+  /// exactly; afterwards the hot path pays one array index per packet
+  /// instead of a LabelSet allocation plus map lookup.
+  struct KindCounters {
+    std::array<obs::Counter, kPacketKindCount> by_kind;
+  };
+
+  obs::Counter& msg_counter(std::vector<KindCounters>& family,
+                            const char* name, NodeId node, const Packet& pkt);
+
   sim::Simulator& sim_;
   const net::Graph& graph_;
   std::vector<std::unique_ptr<SwitchDevice>> switches_;
@@ -90,6 +103,13 @@ class Fabric {
   FabricHooks hooks_;
   ControlChannel* control_ = nullptr;
   sim::Rng fault_rng_;
+  std::vector<KindCounters> tx_counters_;
+  std::vector<KindCounters> rx_counters_;
+  std::vector<KindCounters> drop_counters_;
+  std::vector<KindCounters> inject_counters_;
+  std::vector<KindCounters> reorder_counters_;
+  obs::Histogram hop_latency_control_;
+  obs::Histogram hop_latency_data_;
 };
 
 }  // namespace p4u::p4rt

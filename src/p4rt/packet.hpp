@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <string>
 #include <variant>
-#include <vector>
 
 #include "net/flow.hpp"
 #include "net/graph.hpp"
+#include "sim/small_vec.hpp"
 #include "sim/time.hpp"
 
 namespace p4u::p4rt {
@@ -75,9 +75,12 @@ struct UimHeader {
                                  // (predecessor on the new path); -1 at
                                  // ingress. This is the paper's one-to-one
                                  // port-based clone-session table.
-  std::vector<std::int32_t> extra_child_ports;  // destination-tree updates
-                                                // (§11): additional children
-                                                // the UNM fans out to
+  sim::SmallVec<std::int32_t, 4> extra_child_ports;  // destination-tree
+                                                     // updates (§11): extra
+                                                     // children the UNM fans
+                                                     // out to; inline up to 4
+                                                     // so typical UIMs never
+                                                     // heap-allocate
   bool is_flow_egress = false;   // target applies directly and emits UNM
   bool is_gateway = false;       // DL: target sits on both P_o and P_n
   bool is_segment_egress = false;  // DL: target emits an intra-segment UNM
@@ -152,7 +155,9 @@ struct EzCmdHeader {
   std::int32_t egress_port_new = -1;
   std::int32_t upstream_port = -1;  // where to pass the notify next (-1: top)
   bool is_segment_top = false;      // last installer of rule_segment
-  std::vector<EzNotifyTarget> notify;  // SegmentDone recipients on completion
+  sim::SmallVec<EzNotifyTarget, 4> notify;  // SegmentDone recipients on
+                                            // completion (inline capacity 4:
+                                            // segments rarely resolve more)
   // chain-start role
   bool starts_chain = false;
   std::int32_t chain_segment = -1;
@@ -204,11 +209,12 @@ struct CleanupHeader {
 };
 
 struct Packet {
-  std::variant<DataHeader, FrmHeader, UimHeader, UnmHeader, UfmHeader,
-               SegmentDoneHeader, EzCmdHeader, EzNotifyHeader,
-               InstallCmdHeader, InstallAckHeader, CleanupHeader,
-               StampHeader>
-      header;
+  using HeaderVariant =
+      std::variant<DataHeader, FrmHeader, UimHeader, UnmHeader, UfmHeader,
+                   SegmentDoneHeader, EzCmdHeader, EzNotifyHeader,
+                   InstallCmdHeader, InstallAckHeader, CleanupHeader,
+                   StampHeader>;
+  HeaderVariant header;
 
   template <typename H>
   [[nodiscard]] bool is() const {
@@ -225,7 +231,16 @@ struct Packet {
 
   /// Flow this packet belongs to (0 if none).
   [[nodiscard]] FlowId flow() const;
+
+  /// Dense header-kind index (variant alternative), for per-kind caches.
+  [[nodiscard]] std::size_t kind_index() const noexcept {
+    return header.index();
+  }
 };
+
+/// Number of distinct header kinds a Packet can carry.
+inline constexpr std::size_t kPacketKindCount =
+    std::variant_size_v<Packet::HeaderVariant>;
 
 /// Short human-readable packet description for traces and test failures.
 std::string describe(const Packet& p);

@@ -11,7 +11,44 @@ namespace p4u::p4rt {
 
 SwitchDevice::SwitchDevice(Fabric& fabric, NodeId id, SwitchParams params,
                            sim::Rng rng)
-    : fabric_(fabric), id_(id), params_(params), rng_(rng) {}
+    : fabric_(fabric),
+      id_(id),
+      params_(params),
+      rng_(rng),
+      id_label_(std::to_string(id)) {}
+
+obs::Gauge& SwitchDevice::queue_depth_gauge() {
+  if (!queue_depth_gauge_.resolved()) {
+    queue_depth_gauge_ =
+        fabric_.metrics().gauge("switch.queue_depth", {{"switch", id_label_}});
+  }
+  return queue_depth_gauge_;
+}
+
+obs::Histogram& SwitchDevice::service_histogram() {
+  if (!service_hist_.resolved()) {
+    service_hist_ =
+        fabric_.metrics().histogram("switch.service_ms", {{"switch", id_label_}});
+  }
+  return service_hist_;
+}
+
+obs::Counter& SwitchDevice::handled_counter(const Packet& pkt) {
+  obs::Counter& c = handled_[pkt.kind_index()];
+  if (!c.resolved()) {
+    c = fabric_.metrics().counter(
+        "switch.handled", {{"switch", id_label_}, {"msg", message_kind(pkt)}});
+  }
+  return c;
+}
+
+obs::Counter& SwitchDevice::rule_installs_counter() {
+  if (!rule_installs_.resolved()) {
+    rule_installs_ = fabric_.metrics().counter("switch.rule_installs",
+                                               {{"switch", id_label_}});
+  }
+  return rule_installs_;
+}
 
 sim::Time SwitchDevice::now() const { return fabric_.simulator().now(); }
 
@@ -26,25 +63,16 @@ void SwitchDevice::enqueue_for_service(Packet pkt, std::int32_t in_port) {
   const sim::Time start = std::max(now(), busy_until_);
   const sim::Time done = start + params_.service_time;
   busy_until_ = done;
-  const obs::LabelSet self{{"switch", std::to_string(id_)}};
-  fabric_.metrics().gauge("switch.queue_depth", self)
-      .set(static_cast<double>(++queue_depth_));
-  fabric_.metrics()
-      .histogram("switch.service_ms", self)
-      .observe(sim::to_ms(done - now()));
+  queue_depth_gauge().set(static_cast<double>(++queue_depth_));
+  service_histogram().observe(sim::to_ms(done - now()));
   simulator().schedule_at(done, [this, pkt = std::move(pkt), in_port]() mutable {
     process(std::move(pkt), in_port);
   });
 }
 
 void SwitchDevice::process(Packet pkt, std::int32_t in_port) {
-  const obs::LabelSet self{{"switch", std::to_string(id_)}};
-  fabric_.metrics().gauge("switch.queue_depth", self)
-      .set(static_cast<double>(--queue_depth_));
-  fabric_.metrics()
-      .counter("switch.handled",
-               {{"switch", std::to_string(id_)}, {"msg", message_kind(pkt)}})
-      .inc();
+  queue_depth_gauge().set(static_cast<double>(--queue_depth_));
+  handled_counter(pkt).inc();
   if (pkt.is<DataHeader>()) {
     DataHeader& data = pkt.as<DataHeader>();
     if (pipeline_ != nullptr) {
@@ -54,7 +82,7 @@ void SwitchDevice::process(Packet pkt, std::int32_t in_port) {
     return;
   }
   if (pipeline_ != nullptr) {
-    pipeline_->handle(*this, pkt, in_port);
+    pipeline_->handle(*this, std::move(pkt), in_port);
   }
 }
 
@@ -134,10 +162,7 @@ void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
       done, [this, flow, port, on_active = std::move(on_active)]() {
         rules_[flow] = port;
         ++installs_completed_;
-        fabric_.metrics()
-            .counter("switch.rule_installs",
-                     {{"switch", std::to_string(id_)}})
-            .inc();
+        rule_installs_counter().inc();
         fabric_.trace().add({now(), sim::TraceKind::kRuleInstalled, id_, flow,
                              port, 0, ""});
         if (fabric_.hooks().on_rule_installed) {

@@ -12,11 +12,14 @@
 // plugs in as a Pipeline.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
 #include "p4rt/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -52,9 +55,10 @@ class Pipeline {
  public:
   virtual ~Pipeline() = default;
 
-  /// Handles one non-data packet after it leaves the service queue.
-  virtual void handle(SwitchDevice& sw, const Packet& pkt,
-                      std::int32_t in_port) = 0;
+  /// Handles one non-data packet after it leaves the service queue. The
+  /// pipeline owns the packet: resubmit/park paths move it onward without
+  /// copying; only an explicit clone_to_port duplicates payload.
+  virtual void handle(SwitchDevice& sw, Packet pkt, std::int32_t in_port) = 0;
 
   /// Observes (and may rewrite — 2-phase-commit tag stamping, §11) data
   /// packets before default forwarding.
@@ -139,10 +143,22 @@ class SwitchDevice {
   void forward_data(DataHeader data, std::int32_t in_port);
   [[nodiscard]] sim::Duration sample_install_delay();
 
+  // Lazily resolved metric handles (resolved on first use so the set of
+  // registry cells — and hence report bytes — matches uncached behavior).
+  obs::Gauge& queue_depth_gauge();
+  obs::Histogram& service_histogram();
+  obs::Counter& handled_counter(const Packet& pkt);
+  obs::Counter& rule_installs_counter();
+
   Fabric& fabric_;
   NodeId id_;
   SwitchParams params_;
   sim::Rng rng_;
+  std::string id_label_;  // std::to_string(id_), built once
+  obs::Gauge queue_depth_gauge_;
+  obs::Histogram service_hist_;
+  obs::Counter rule_installs_;
+  std::array<obs::Counter, kPacketKindCount> handled_;
   Pipeline* pipeline_ = nullptr;
   std::map<FlowId, std::int32_t> rules_;
   // Per-flow tail of scheduled install completions: register writes retire

@@ -1,34 +1,98 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <stdexcept>
 
 namespace p4u::sim {
 
-void Simulator::schedule_in(Duration delay, Handler fn) {
-  if (delay < 0) delay = 0;
-  // Saturate: a delay near kTimeInfinity must park the event at the end of
-  // time, not wrap `now_ + delay` into the past.
-  const Time at =
-      delay > kTimeInfinity - now_ ? kTimeInfinity : now_ + delay;
-  schedule_at(at, std::move(fn));
+std::uint32_t Simulator::allocate_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  if (next_fresh_ == kMaxSlots) {
+    throw std::length_error(
+        "Simulator: more than 2^20 concurrently pending events");
+  }
+  if ((next_fresh_ >> kSlabShift) == slabs_.size()) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+  }
+  return next_fresh_++;
 }
 
-void Simulator::schedule_at(Time at, Handler fn) {
-  if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+void Simulator::raise_seq_overflow() {
+  throw std::length_error("Simulator: event sequence counter exhausted");
+}
+
+void Simulator::reserve(std::size_t n) {
+  if (n > kMaxSlots) n = kMaxSlots;
+  heap_.reserve(n);
+  free_.reserve(n);
+  const std::size_t want_slabs = (n + kSlabSize - 1) >> kSlabShift;
+  slabs_.reserve(want_slabs);
+  while (slabs_.size() < want_slabs) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+  }
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  // Hole-based sift-up: shift parents down into the hole, write `e` once.
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_remove_min() {
+  const std::size_t n = heap_.size() - 1;
+  const HeapEntry moving = heap_[n];
+  heap_.pop_back();
+  if (n == 0) return;
+  // Hole-based sift-down from the root: pull the best child up into the
+  // hole until `moving` fits, then write it once.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    const std::size_t end =
+        first_child + 4 <= n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
 }
 
 bool Simulator::pop_and_run(Time until) {
-  if (queue_.empty()) return false;
-  const Event& top = queue_.top();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
   if (top.at > until) return false;
-  // Copy out before pop: the handler may schedule new events.
-  Time at = top.at;
-  Handler fn = std::move(const_cast<Event&>(top).fn);
-  queue_.pop();
-  now_ = at;
+  // Start pulling the winning handler's slab lines in now; the fetch
+  // overlaps the sift-down below, which never touches the pool.
+  Handler& fn = slot(top.idx());
+  __builtin_prefetch(static_cast<void*>(&fn), 1);
+  __builtin_prefetch(reinterpret_cast<char*>(&fn) + 64, 1);
+  __builtin_prefetch(reinterpret_cast<char*>(&fn) + 128, 1);
+  heap_remove_min();
+  now_ = top.at;
   ++executed_;
+  // Run the handler in place in its slab slot. The slot is not on the free
+  // list while the handler runs, so the handler may freely schedule new
+  // events (they take other slots); destroy and recycle happen only after
+  // it returns. Slot numbering never feeds the (at, seq) order, so this
+  // cannot change the pop sequence.
   fn();
+  fn.reset();
+  free_.push_back(top.idx());
   return true;
 }
 

@@ -1,0 +1,128 @@
+// InlineFn: a fixed-capacity, allocation-free std::function<void()>.
+//
+// The simulator core schedules millions of handlers per campaign; with
+// std::function every capture larger than the implementation's small-buffer
+// (typically 16-32 bytes — any handler owning a Packet) costs a heap
+// round-trip per event. InlineFn stores the callable inline, always:
+// a callable larger than the capacity is a compile error, not a silent
+// heap fallback, so the event hot path provably never allocates.
+//
+// Contract:
+//   - move-only (like the handlers it wraps: they own Packets and
+//     std::function continuations),
+//   - the wrapped callable must fit in Capacity bytes and be
+//     max_align_t-aligned or less (static_assert-enforced),
+//   - invoking an empty InlineFn is undefined; check with operator bool.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p4u::sim {
+
+template <std::size_t Capacity>
+class InlineFn {
+ public:
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors
+                     // std::function's implicit conversion from callables
+    emplace(std::forward<F>(f));
+  }
+
+  /// Constructs the callable directly in this object's inline buffer,
+  /// destroying any current callable first. This is the zero-relocation
+  /// path the scheduler uses to build a handler in its slab slot: the
+  /// capture is copied exactly once, from the caller's frame.
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= Capacity,
+                  "handler capture too large for InlineFn: grow the "
+                  "Simulator::Handler capacity or shrink the capture");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned handler capture");
+    static_assert(std::is_nothrow_move_constructible_v<D> ||
+                      std::is_copy_constructible_v<D>,
+                  "handler must be move-constructible");
+    reset();
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    ops_ = &ops_for<D>;
+  }
+
+  /// Destroys the held callable (if any) and leaves the object empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct into
+                                                      // dst, destroy src
+    void (*destroy)(void*) noexcept;  // nullptr when ~D() is trivial, so
+                                      // the dispatch loop skips the call
+  };
+
+  template <typename D>
+  static constexpr void (*destroy_for())(void*) noexcept {
+    if constexpr (std::is_trivially_destructible_v<D>) {
+      return nullptr;
+    } else {
+      return [](void* p) noexcept { static_cast<D*>(p)->~D(); };
+    }
+  }
+
+  template <typename D>
+  static constexpr Ops ops_for{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      destroy_for<D>(),
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace p4u::sim

@@ -1,0 +1,153 @@
+// SmallVec: a vector with inline storage for its first N elements.
+//
+// Packet headers carry tiny lists (a UIM's extra destination-tree child
+// ports, an ez-Segway command's SegmentDone recipients) that are almost
+// always empty or a handful of entries. std::vector heap-allocates for the
+// first element, which every Packet copy/clone then pays again; SmallVec
+// keeps up to N elements inline and only spills to the heap past that.
+//
+// Deliberately minimal: trivially-copyable T only (the headers store ints
+// and small PODs), so grow/copy are memcpy-class operations and the type
+// stays cheap to move through the std::variant packet fabric.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <type_traits>
+
+namespace p4u::sim {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept {
+    take_from(other);
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      take_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while the elements live in the inline buffer (no heap spill).
+  [[nodiscard]] bool inlined() const noexcept { return data_ == inline_data(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data_[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+    return back();
+  }
+
+  void pop_back() noexcept { --size_; }
+  void clear() noexcept { size_ = 0; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow(std::size_t want) {
+    const std::size_t cap = std::max<std::size_t>(want, N * 2);
+    T* heap = new T[cap];
+    std::copy(data_, data_ + size_, heap);
+    release();
+    data_ = heap;
+    capacity_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void release() noexcept {
+    if (!inlined()) delete[] data_;
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  /// Move support: inline payloads copy (trivial, N is tiny); a heap
+  /// allocation is stolen. `other` is left empty and inline either way.
+  void take_from(SmallVec& other) noexcept {
+    if (other.inlined()) {
+      std::copy(other.begin(), other.end(), inline_data());
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = N;
+};
+
+}  // namespace p4u::sim

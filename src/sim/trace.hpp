@@ -55,6 +55,14 @@ class Trace {
     if (enabled_) entries_.push_back(std::move(e));
   }
 
+  /// Lazy variant for call sites whose entry is expensive to build (string
+  /// formatting, describe(pkt)): `make` runs only when tracing is enabled,
+  /// so disabled sweeps never pay for discarded strings.
+  template <typename F>
+  void add_lazy(F&& make) {
+    if (enabled_) entries_.push_back(std::forward<F>(make)());
+  }
+
   [[nodiscard]] const std::vector<TraceEntry>& entries() const {
     return entries_;
   }

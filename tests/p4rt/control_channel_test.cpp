@@ -19,7 +19,7 @@ class RecordingApp final : public ControllerApp {
 
 class RecordingPipeline final : public Pipeline {
  public:
-  void handle(SwitchDevice& sw, const Packet&, std::int32_t in_port) override {
+  void handle(SwitchDevice& sw, Packet, std::int32_t in_port) override {
     arrivals.push_back({sw.now(), in_port});
   }
   std::vector<std::pair<sim::Time, std::int32_t>> arrivals;

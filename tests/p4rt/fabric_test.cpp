@@ -9,7 +9,7 @@ namespace {
 
 class CountingPipeline final : public Pipeline {
  public:
-  void handle(SwitchDevice&, const Packet&, std::int32_t in_port) override {
+  void handle(SwitchDevice&, Packet, std::int32_t in_port) override {
     ++count;
     last_in_port = in_port;
   }
@@ -84,7 +84,7 @@ TEST(FabricTest, ReorderJitterCanInvertArrivalOrder) {
 
   class SeqPipeline final : public Pipeline {
    public:
-    void handle(SwitchDevice&, const Packet& pkt, std::int32_t) override {
+    void handle(SwitchDevice&, Packet pkt, std::int32_t) override {
       seen.push_back(pkt.as<UnmHeader>().counter);
     }
     std::vector<std::int64_t> seen;
@@ -115,7 +115,7 @@ TEST(FabricTest, InjectIsQueuedBehindSameInstantEvents) {
   class OrderPipeline final : public Pipeline {
    public:
     explicit OrderPipeline(std::vector<int>& o) : order_(o) {}
-    void handle(SwitchDevice&, const Packet&, std::int32_t) override {
+    void handle(SwitchDevice&, Packet, std::int32_t) override {
       order_.push_back(2);
     }
    private:

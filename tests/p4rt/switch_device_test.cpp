@@ -17,7 +17,7 @@ struct Env {
 /// Pipeline that records what it saw.
 class RecordingPipeline final : public Pipeline {
  public:
-  void handle(SwitchDevice& sw, const Packet& pkt, std::int32_t in_port) override {
+  void handle(SwitchDevice& sw, Packet pkt, std::int32_t in_port) override {
     (void)sw;
     handled.push_back({describe(pkt), in_port});
   }

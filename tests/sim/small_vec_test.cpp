@@ -1,0 +1,133 @@
+#include "sim/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace p4u::sim {
+namespace {
+
+using Vec = SmallVec<std::int32_t, 4>;
+
+TEST(SmallVecTest, StartsEmptyAndInline) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.inlined());
+}
+
+TEST(SmallVecTest, StaysInlineUpToN) {
+  Vec v;
+  for (std::int32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inlined());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVecTest, SpillsToHeapPastNPreservingElements) {
+  Vec v;
+  for (std::int32_t i = 0; i < 9; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inlined());
+  ASSERT_EQ(v.size(), 9u);
+  for (std::int32_t i = 0; i < 9; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, InitializerListAndEquality) {
+  Vec a{1, 2, 3};
+  Vec b{1, 2, 3};
+  Vec c{1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SmallVecTest, CopyIsDeep) {
+  Vec a{1, 2, 3, 4, 5, 6};  // spilled
+  Vec b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b.size(), a.size());
+  a = b;
+  EXPECT_EQ(a[0], 99);
+}
+
+TEST(SmallVecTest, MoveStealsHeapAllocation) {
+  Vec a;
+  for (std::int32_t i = 0; i < 8; ++i) a.push_back(i);
+  const std::int32_t* heap = a.data();
+  Vec b = std::move(a);
+  EXPECT_EQ(b.data(), heap);  // allocation transferred, not copied
+  EXPECT_TRUE(a.empty());     // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.inlined());
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[7], 7);
+}
+
+TEST(SmallVecTest, MoveOfInlinePayloadCopies) {
+  Vec a{5, 6};
+  Vec b = std::move(a);
+  EXPECT_TRUE(b.inlined());
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 5);
+  EXPECT_EQ(b[1], 6);
+}
+
+TEST(SmallVecTest, MoveAssignReleasesExistingHeap) {
+  Vec a;
+  for (std::int32_t i = 0; i < 8; ++i) a.push_back(i);  // a spilled
+  Vec b{1};
+  a = std::move(b);  // must free a's old heap block (ASan would flag a leak)
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_TRUE(a.inlined());
+}
+
+TEST(SmallVecTest, AssignFromIteratorRange) {
+  const std::vector<std::int32_t> src{10, 20, 30, 40, 50};
+  Vec v{1, 2};
+  v.assign(src.begin() + 1, src.end());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 20);
+  EXPECT_EQ(v[3], 50);
+}
+
+TEST(SmallVecTest, ClearKeepsCapacityPopBackShrinks) {
+  Vec v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVecTest, ReserveSpillsEagerly) {
+  Vec v{1};
+  v.reserve(100);
+  EXPECT_FALSE(v.inlined());
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(SmallVecTest, EmplaceBackAggregates) {
+  struct PortPair {
+    std::int32_t a;
+    std::int32_t b;
+  };
+  SmallVec<PortPair, 2> v;
+  v.emplace_back(1, 2);
+  EXPECT_EQ(v.back().b, 2);
+}
+
+TEST(SmallVecTest, RangeForIterates) {
+  Vec v{1, 2, 3, 4, 5};
+  std::int64_t sum = 0;
+  for (std::int32_t x : v) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -185,12 +185,27 @@ class FixtureTest(unittest.TestCase):
         self.assertIn("expected 99 allowed", r.stderr)
 
     def test_expect_allowed_match_passes(self):
+        # allowed_site.cpp carries two wall-clock sites, bench_clock.cpp one.
         r = run_detlint(
             "--repo", str(self.FIXTURES), "--paths", "pass",
             "--critical", "pass",
-            "--expect-allowed", "wall-clock:pass=2",
+            "--expect-allowed", "wall-clock:pass=3",
         )
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_bench_clock_alias_fixture_registers_as_allowed(self):
+        # The sanctioned bench idiom: one annotated `using BenchClock = ...`
+        # alias. The annotation must register (not be flagged unused), the
+        # file must lint clean, and --list-allowed must surface the site so
+        # repo-scan pins can count it.
+        r = run_detlint(
+            "--repo", str(self.FIXTURES), "--paths", "pass",
+            "--critical", "pass", "--list-allowed",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertRegex(
+            r.stdout, r"pass/bench_clock\.cpp:\d+: wall-clock:.*\[allowed"
+        )
 
 
 if __name__ == "__main__":

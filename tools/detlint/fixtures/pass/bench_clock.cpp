@@ -1,0 +1,21 @@
+// Fixture: the sanctioned bench-clock idiom. Wall-clock throughput benches
+// alias the banned clock once, behind an annotation whose reason names the
+// artifact the numbers feed — the alias is then the only clock spelled out
+// in the file, and the repo-scan pin (scripts/lint.sh --expect-allowed)
+// counts exactly these sites.
+#include <chrono>
+
+namespace fixture {
+
+// p4u-detlint: allow(wall-clock) microbenchmark measurand; numbers go to a trajectory artifact, not a campaign report
+using BenchClock = std::chrono::steady_clock;
+
+double measure_ms() {
+  const auto t0 = BenchClock::now();
+  double acc = 0.0;
+  for (int i = 0; i < 1000; ++i) acc += static_cast<double>(i);
+  const std::chrono::duration<double, std::milli> dt = BenchClock::now() - t0;
+  return acc > 0.0 ? dt.count() : 0.0;
+}
+
+}  // namespace fixture
