@@ -15,12 +15,16 @@
 #include "baselines/dependency_graph.hpp"
 #include "control/flow_db.hpp"
 #include "control/nib.hpp"
+#include "faults/recovery.hpp"
 #include "p4rt/control_channel.hpp"
 
 namespace p4u::baseline {
 
 struct CentralParams {
   bool congestion_mode = false;
+  /// Failure-domain recovery: round timers, install-command resends, repair
+  /// updates around dead elements. Off by default.
+  faults::RecoveryParams recovery;
 };
 
 /// Virtual cost of one centralized dependency-graph recomputation round.
@@ -36,6 +40,11 @@ class CentralController final : public p4rt::ControllerApp {
   p4rt::Version schedule_update(net::FlowId flow, const net::Path& new_path);
 
   void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
+
+  // Failure detection (ControlChannel).
+  void handle_link_state(net::LinkId link, net::NodeId a, net::NodeId b,
+                         bool up) override;
+  void handle_switch_state(net::NodeId node, bool up) override;
 
   [[nodiscard]] control::Nib& nib() noexcept { return nib_; }
   [[nodiscard]] control::FlowDb& flow_db() noexcept { return flow_db_; }
@@ -69,14 +78,37 @@ class CentralController final : public p4rt::ControllerApp {
   void collect_safe(net::FlowId flow, Job& job,
                     std::vector<std::pair<net::FlowId, net::NodeId>>* round);
 
+  /// Sends the install command for node `n` of `job` (initial or resend).
+  void send_install(net::FlowId flow, const Job& job, net::NodeId n);
+
+  // --- recovery state machine (params_.recovery) ---
+  struct RetryState {
+    p4rt::Version version = 0;
+    int attempts = 0;
+    std::uint64_t gen = 0;
+  };
+  void track_update(net::FlowId flow, p4rt::Version version);
+  void arm_retry_timer(net::FlowId flow);
+  void on_retry_timer(net::FlowId flow, std::uint64_t gen);
+  void settle_update(net::FlowId flow, p4rt::Version version);
+  /// Drops a job and rebalances the global round barrier (its unacked
+  /// commands will never be counted) without recording an outcome.
+  void cancel_job(net::FlowId flow, Job& job);
+  void repair_around(const std::function<bool(const net::Path&)>& hits);
+  void reissue_after_recovery(std::optional<net::NodeId> restarted);
+
   p4rt::ControlChannel& channel_;
   control::Nib nib_;
   control::FlowDb flow_db_;
   CentralParams params_;
   std::map<net::FlowId, Job> jobs_;
   std::map<std::int64_t, double> link_used_;  // directed-link capacity ledger
+  std::map<std::pair<net::FlowId, p4rt::Version>, net::Path> issued_paths_;
   std::uint64_t rounds_ = 0;
   std::size_t global_outstanding_ = 0;  // acks pending for the current round
+  faults::HealthView health_;
+  std::map<net::FlowId, RetryState> retry_;
+  std::uint64_t retry_gen_ = 0;
 };
 
 }  // namespace p4u::baseline

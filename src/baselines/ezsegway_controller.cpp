@@ -152,6 +152,7 @@ p4rt::Version EzSegwayController::issue(net::FlowId flow,
     cmd.priority = priority;
     channel_.send_to_switch(cmd.target, p4rt::Packet{cmd});
   }
+  if (params_.recovery.enabled) track_update(flow, version);
   return version;
 }
 
@@ -199,24 +200,246 @@ void EzSegwayController::handle_from_switch(net::NodeId from,
   (void)from;
   if (!pkt.is<p4rt::UfmHeader>()) return;
   const auto& ufm = pkt.as<p4rt::UfmHeader>();
-  const auto key = std::make_pair(ufm.flow, ufm.version);
+  const Key key{ufm.flow, ufm.version};
   auto it = remaining_.find(key);
   if (it == remaining_.end()) return;
+  // Recovery resends can duplicate a segment top's UFM; count each reporter
+  // once or a double-decrement completes a half-finished update.
+  if (!ufm_seen_[key].insert(ufm.reporter).second) return;
   if (--it->second > 0) return;
   remaining_.erase(it);
+  ufm_seen_.erase(key);
 
   flow_db_.on_completed(ufm.flow, ufm.version, channel_.now());
   nib_.believe_path(ufm.flow, issued_paths_.at(key));
   nib_.view(ufm.flow).update_in_progress = false;
+  auto rit = retry_.find(ufm.flow);
+  if (rit != retry_.end() && rit->second.version == ufm.version) {
+    retry_.erase(rit);
+  }
   if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
+  issue_next_queued(ufm.flow);
+}
 
-  auto q = queued_.find(ufm.flow);
-  if (q != queued_.end() && !q->second.empty()) {
-    const net::Path next = q->second.front();
-    q->second.pop_front();
-    const auto prio_it = priority_.find(ufm.flow);
-    issue(ufm.flow, next,
-          prio_it == priority_.end() ? 0 : prio_it->second);
+void EzSegwayController::issue_next_queued(net::FlowId flow) {
+  auto q = queued_.find(flow);
+  if (q == queued_.end() || q->second.empty()) return;
+  const net::Path next = q->second.front();
+  q->second.pop_front();
+  const auto prio_it = priority_.find(flow);
+  issue(flow, next, prio_it == priority_.end() ? 0 : prio_it->second);
+}
+
+void EzSegwayController::track_update(net::FlowId flow,
+                                      p4rt::Version version) {
+  retry_[flow] = RetryState{version, 0, ++retry_gen_};
+  arm_retry_timer(flow);
+}
+
+void EzSegwayController::arm_retry_timer(net::FlowId flow) {
+  const RetryState& rs = retry_.at(flow);
+  channel_.simulator().schedule_in(
+      params_.recovery.timeout_for(rs.attempts),
+      [this, flow, gen = rs.gen]() { on_retry_timer(flow, gen); });
+}
+
+void EzSegwayController::on_retry_timer(net::FlowId flow, std::uint64_t gen) {
+  auto it = retry_.find(flow);
+  if (it == retry_.end() || it->second.gen != gen) return;  // superseded
+  RetryState& rs = it->second;
+  if (rs.attempts >= params_.recovery.max_retries) {
+    settle_update(flow, rs.version);
+    return;
+  }
+  ++rs.attempts;
+  rs.gen = ++retry_gen_;
+  channel_.metrics().counter("ctrl.recovery_resends", {}).inc();
+  resend_cmds(flow, rs.version);
+  arm_retry_timer(flow);
+}
+
+void EzSegwayController::resend_cmds(net::FlowId flow, p4rt::Version version) {
+  const auto pit = issued_paths_.find({flow, version});
+  if (pit == issued_paths_.end()) return;
+  // The believed path is untouched while the update is in flight, so the
+  // preparation reproduces the original commands exactly.
+  Prepared prepared = prepare(flow, pit->second, version);
+  const auto prio_it = priority_.find(flow);
+  for (p4rt::EzCmdHeader cmd : prepared.cmds) {
+    cmd.priority = prio_it == priority_.end() ? 0 : prio_it->second;
+    cmd.retrigger = true;
+    channel_.send_to_switch(cmd.target, p4rt::Packet{cmd});
+  }
+}
+
+void EzSegwayController::settle_update(net::FlowId flow,
+                                       p4rt::Version version) {
+  const Key key{flow, version};
+  remaining_.erase(key);
+  ufm_seen_.erase(key);
+  const bool old_ok =
+      health_.path_ok(nib_.graph(), nib_.view(flow).believed_path);
+  const control::UpdateOutcome outcome =
+      old_ok ? control::UpdateOutcome::kRolledBack
+             : control::UpdateOutcome::kAbandoned;
+  flow_db_.on_gave_up(flow, version, outcome, channel_.now());
+  channel_.metrics()
+      .counter("ctrl.recovery_gaveup",
+               {{"outcome", control::to_string(outcome)}})
+      .inc();
+  nib_.view(flow).update_in_progress = false;
+  retry_.erase(flow);
+  issue_next_queued(flow);
+}
+
+void EzSegwayController::cancel_inflight(net::FlowId flow,
+                                         p4rt::Version version) {
+  const Key key{flow, version};
+  remaining_.erase(key);
+  ufm_seen_.erase(key);
+  nib_.view(flow).update_in_progress = false;
+  retry_.erase(flow);
+  // Queued follow-ups were planned against a topology that no longer
+  // exists; the repair update supersedes the whole intent.
+  queued_.erase(flow);
+}
+
+void EzSegwayController::handle_link_state(net::LinkId link, net::NodeId a,
+                                           net::NodeId b, bool up) {
+  (void)a;
+  (void)b;
+  if (up) {
+    health_.link_up(link);
+  } else {
+    health_.link_down(link);
+  }
+  if (!params_.recovery.enabled) return;
+  if (!up) {
+    const net::Graph& g = nib_.graph();
+    repair_around([&g, link](const net::Path& p) {
+      return faults::HealthView::path_uses_link(g, p, link);
+    });
+  } else {
+    reissue_after_recovery(std::nullopt);
+  }
+}
+
+void EzSegwayController::handle_switch_state(net::NodeId node, bool up) {
+  if (up) {
+    health_.switch_up(node);
+  } else {
+    health_.switch_down(node);
+  }
+  if (!params_.recovery.enabled) return;
+  if (!up) {
+    repair_around([node](const net::Path& p) {
+      return faults::HealthView::path_uses_node(p, node);
+    });
+  } else {
+    reissue_after_recovery(node);
+  }
+}
+
+void EzSegwayController::repair_around(
+    const std::function<bool(const net::Path&)>& hits) {
+  const net::Graph& g = nib_.graph();
+  for (const net::FlowId flow : nib_.sorted_flow_ids()) {
+    const control::FlowView& view = nib_.view(flow);
+    bool had_inflight = false;
+    if (view.update_in_progress) {
+      const auto rit = retry_.find(flow);
+      const p4rt::Version v =
+          rit != retry_.end() ? rit->second.version : view.version;
+      const auto pit = issued_paths_.find({flow, v});
+      if (pit == issued_paths_.end() || !hits(pit->second)) continue;
+      const auto repair =
+          health_.repair_path(g, view.flow.ingress, view.flow.egress);
+      if (repair) {
+        // ez-Segway queues while an update is in flight (§4.2), so the
+        // doomed update must be cancelled before the repair can issue.
+        cancel_inflight(flow, v);
+        channel_.metrics().counter("ctrl.recovery_repairs", {}).inc();
+        schedule_update(flow, *repair);
+      } else {
+        remaining_.erase({flow, v});
+        ufm_seen_.erase({flow, v});
+        flow_db_.on_gave_up(flow, v, control::UpdateOutcome::kAbandoned,
+                            channel_.now());
+        channel_.metrics()
+            .counter("ctrl.recovery_gaveup", {{"outcome", "abandoned"}})
+            .inc();
+        nib_.view(flow).update_in_progress = false;
+        retry_.erase(flow);
+      }
+      had_inflight = true;
+    }
+    if (had_inflight) continue;
+    if (!hits(view.believed_path)) continue;
+    const auto repair =
+        health_.repair_path(g, view.flow.ingress, view.flow.egress);
+    if (repair) {
+      channel_.metrics().counter("ctrl.recovery_repairs", {}).inc();
+      schedule_update(flow, *repair);
+    } else {
+      channel_.metrics().counter("ctrl.recovery_stranded", {}).inc();
+    }
+  }
+}
+
+void EzSegwayController::reissue_after_recovery(
+    std::optional<net::NodeId> restarted) {
+  const net::Graph& g = nib_.graph();
+  for (const net::FlowId flow : nib_.sorted_flow_ids()) {
+    const control::FlowView& view = nib_.view(flow);
+    if (view.update_in_progress) continue;
+    const auto& hist = flow_db_.history(flow);
+    const bool settled_short =
+        !hist.empty() &&
+        (hist.back().outcome == control::UpdateOutcome::kRolledBack ||
+         hist.back().outcome == control::UpdateOutcome::kAbandoned);
+    if (settled_short) {
+      const auto pit = issued_paths_.find({flow, hist.back().version});
+      if (pit != issued_paths_.end() && health_.path_ok(g, pit->second)) {
+        channel_.metrics().counter("ctrl.recovery_reissues", {}).inc();
+        schedule_update(flow, pit->second);
+        continue;
+      }
+      if (!health_.path_ok(g, view.believed_path)) {
+        const auto repair =
+            health_.repair_path(g, view.flow.ingress, view.flow.egress);
+        if (repair) {
+          channel_.metrics().counter("ctrl.recovery_repairs", {}).inc();
+          schedule_update(flow, *repair);
+          continue;
+        }
+      }
+    }
+    if (restarted &&
+        faults::HealthView::path_uses_node(view.believed_path, *restarted)) {
+      // The restarted switch lost its rules. ez-Segway has no verified
+      // re-deploy wave; the controller directly re-pushes the believed
+      // rule as a one-node segment and kicks it with a notify.
+      const net::NodeId succ = succ_on(view.believed_path, *restarted);
+      channel_.metrics().counter("ctrl.recovery_redeploys", {}).inc();
+      p4rt::EzCmdHeader cmd;
+      cmd.flow = flow;
+      cmd.target = *restarted;
+      cmd.version = view.version;
+      cmd.has_rule_change = true;
+      cmd.rule_segment = 0;
+      cmd.egress_port_new = succ == net::kNoNode
+                                ? p4rt::SwitchDevice::kLocalPort
+                                : g.port_of(*restarted, succ);
+      cmd.upstream_port = -1;
+      cmd.is_segment_top = true;
+      cmd.flow_size = view.flow.size;
+      channel_.send_to_switch(*restarted, p4rt::Packet{cmd});
+      p4rt::EzNotifyHeader n;
+      n.flow = flow;
+      n.version = view.version;
+      n.segment_id = 0;
+      channel_.send_to_switch(*restarted, p4rt::Packet{n});
+    }
   }
 }
 

@@ -12,18 +12,23 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "baselines/dependency_graph.hpp"
 #include "control/flow_db.hpp"
 #include "control/nib.hpp"
 #include "control/segmentation.hpp"
+#include "faults/recovery.hpp"
 #include "p4rt/control_channel.hpp"
 
 namespace p4u::baseline {
 
 struct EzControllerParams {
   bool congestion_mode = false;
+  /// Failure-domain recovery: completion timers, command resends with the
+  /// retrigger flag, repair updates around dead elements. Off by default.
+  faults::RecoveryParams recovery;
 };
 
 /// Virtual controller time per elementary dependency-graph operation (a
@@ -67,23 +72,58 @@ class EzSegwayController final : public p4rt::ControllerApp {
 
   void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
 
+  // Failure detection (ControlChannel).
+  void handle_link_state(net::LinkId link, net::NodeId a, net::NodeId b,
+                         bool up) override;
+  void handle_switch_state(net::NodeId node, bool up) override;
+
   [[nodiscard]] control::Nib& nib() noexcept { return nib_; }
   [[nodiscard]] control::FlowDb& flow_db() noexcept { return flow_db_; }
 
   std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
 
  private:
+  using Key = std::pair<net::FlowId, p4rt::Version>;
+
   p4rt::Version issue(net::FlowId flow, const net::Path& new_path,
                       std::uint8_t priority);
+  /// Pops and issues the next queued update for `flow`, if any.
+  void issue_next_queued(net::FlowId flow);
+
+  // --- recovery state machine (params_.recovery) ---
+  struct RetryState {
+    p4rt::Version version = 0;
+    int attempts = 0;
+    std::uint64_t gen = 0;
+  };
+  void track_update(net::FlowId flow, p4rt::Version version);
+  void arm_retry_timer(net::FlowId flow);
+  void on_retry_timer(net::FlowId flow, std::uint64_t gen);
+  /// Re-sends the update's commands with the retrigger flag: switches that
+  /// already acted re-emit their notifies/UFMs instead of re-installing.
+  void resend_cmds(net::FlowId flow, p4rt::Version version);
+  void settle_update(net::FlowId flow, p4rt::Version version);
+  /// Drops the in-flight update's controller state without a terminal
+  /// outcome (the caller supersedes it with a repair version).
+  void cancel_inflight(net::FlowId flow, p4rt::Version version);
+  void repair_around(const std::function<bool(const net::Path&)>& hits);
+  void reissue_after_recovery(std::optional<net::NodeId> restarted);
 
   p4rt::ControlChannel& channel_;
   control::Nib nib_;
   control::FlowDb flow_db_;
   EzControllerParams params_;
-  std::map<std::pair<net::FlowId, p4rt::Version>, std::int32_t> remaining_;
-  std::map<std::pair<net::FlowId, p4rt::Version>, net::Path> issued_paths_;
+  std::map<Key, std::int32_t> remaining_;
+  std::map<Key, net::Path> issued_paths_;
   std::map<net::FlowId, std::deque<net::Path>> queued_;
   std::map<net::FlowId, std::uint8_t> priority_;
+  // Segment-top reporters already counted against remaining_: recovery
+  // resends make duplicate UFMs possible, and a double-decrement would
+  // complete an update whose segments never all finished.
+  std::map<Key, std::set<net::NodeId>> ufm_seen_;
+  faults::HealthView health_;
+  std::map<net::FlowId, RetryState> retry_;
+  std::uint64_t retry_gen_ = 0;
 };
 
 }  // namespace p4u::baseline

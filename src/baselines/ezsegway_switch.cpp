@@ -61,6 +61,23 @@ void EzSegwaySwitch::handle_cmd(SwitchDevice& sw,
   PendingUpdate& pu = pending_[key];
   pu.cmd = cmd;
   if (cmd.flow_size > 0.0) flow_size_[cmd.flow] = cmd.flow_size;
+  if (cmd.retrigger) {
+    // Controller resend: every message this node already owed may have been
+    // lost, so re-emit — duplicates are absorbed by the installed flag, the
+    // SegmentDone dedup, and the controller's per-reporter UFM dedup.
+    if (pu.cmd.has_rule_change && pu.installed) emit_post_install(sw, pu.cmd);
+    if (pu.cmd.starts_chain && pu.chain_started) {
+      p4rt::EzNotifyHeader n;
+      n.flow = pu.cmd.flow;
+      n.version = pu.cmd.version;
+      n.segment_id = pu.cmd.chain_segment;
+      ++notifies_sent_;
+      sw.fabric().trace().add({sw.now(), TraceKind::kMessageSent, id_, n.flow,
+                               n.version, n.segment_id, "ez chain retrigger"});
+      sw.clone_to_port(Packet{n}, pu.cmd.chain_child_port);
+      return;
+    }
+  }
   // Chain starts fire immediately when they have no unresolved dependency
   // (not_in_loop segments update in parallel right away).
   if (cmd.starts_chain && !pu.chain_started &&
@@ -169,37 +186,42 @@ void EzSegwaySwitch::do_install(SwitchDevice& sw, PendingUpdate& pu) {
       c.version = cmd.version;
       sw.clone_to_port(p4rt::Packet{c}, old_port);
     }
-    if (!cmd.is_segment_top) {
-      // Pass the notification one hop upstream within the segment.
-      p4rt::EzNotifyHeader n;
-      n.flow = cmd.flow;
-      n.version = cmd.version;
-      n.segment_id = cmd.rule_segment;
-      ++notifies_sent_;
-      sw.clone_to_port(Packet{n}, cmd.upstream_port);
-      return;
-    }
-    // Segment complete at its top node: resolve dependencies and report.
-    for (const p4rt::EzNotifyTarget& t : cmd.notify) {
-      p4rt::SegmentDoneHeader d;
-      d.flow = cmd.flow;
-      d.version = cmd.version;
-      d.segment_id = cmd.rule_segment;
-      d.final_dst = t.node;
-      if (t.node == id_) {
-        handle_segment_done(sw, Packet{d});
-      } else {
-        route_towards(sw, t.node, Packet{d});
-      }
-    }
-    p4rt::UfmHeader ufm;
-    ufm.flow = cmd.flow;
-    ufm.version = cmd.version;
-    ufm.success = true;
-    ufm.reporter = id_;
-    ufm.alarm = p4rt::AlarmCode::kNone;
-    sw.send_to_controller(Packet{ufm});
+    emit_post_install(sw, cmd);
   });
+}
+
+void EzSegwaySwitch::emit_post_install(SwitchDevice& sw,
+                                       const p4rt::EzCmdHeader& cmd) {
+  if (!cmd.is_segment_top) {
+    // Pass the notification one hop upstream within the segment.
+    p4rt::EzNotifyHeader n;
+    n.flow = cmd.flow;
+    n.version = cmd.version;
+    n.segment_id = cmd.rule_segment;
+    ++notifies_sent_;
+    sw.clone_to_port(Packet{n}, cmd.upstream_port);
+    return;
+  }
+  // Segment complete at its top node: resolve dependencies and report.
+  for (const p4rt::EzNotifyTarget& t : cmd.notify) {
+    p4rt::SegmentDoneHeader d;
+    d.flow = cmd.flow;
+    d.version = cmd.version;
+    d.segment_id = cmd.rule_segment;
+    d.final_dst = t.node;
+    if (t.node == id_) {
+      handle_segment_done(sw, Packet{d});
+    } else {
+      route_towards(sw, t.node, Packet{d});
+    }
+  }
+  p4rt::UfmHeader ufm;
+  ufm.flow = cmd.flow;
+  ufm.version = cmd.version;
+  ufm.success = true;
+  ufm.reporter = id_;
+  ufm.alarm = p4rt::AlarmCode::kNone;
+  sw.send_to_controller(Packet{ufm});
 }
 
 void EzSegwaySwitch::route_towards(SwitchDevice& sw, net::NodeId dst,
@@ -218,11 +240,23 @@ void EzSegwaySwitch::handle_segment_done(SwitchDevice& sw, Packet pkt) {
   }
   const Key key{d.flow, d.version};
   PendingUpdate& pu = pending_[key];
+  if (!pu.done_from.insert(d.segment_id).second) return;  // duplicate
   ++pu.done_received;
   if (pu.cmd.starts_chain && !pu.chain_started &&
       pu.done_received >= pu.cmd.await_segments) {
     start_chain(sw, pu);
   }
+}
+
+void EzSegwaySwitch::on_crash(SwitchDevice& sw) {
+  (void)sw;
+  // A crash loses everything the agent kept in registers: parked commands,
+  // retry deadlines, in-flight reservations, and the flow-size cells. The
+  // static management routing is program config and survives.
+  pending_.clear();
+  retry_since_.clear();
+  inflight_.clear();
+  flow_size_.clear();
 }
 
 }  // namespace p4u::baseline

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "p4rt/fabric.hpp"
@@ -37,6 +38,7 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
 
   void handle(p4rt::SwitchDevice& sw, p4rt::Packet pkt,
               std::int32_t in_port) override;
+  void on_crash(p4rt::SwitchDevice& sw) override;
 
   /// Installs the initial configuration for a flow (bring-up).
   void bootstrap_flow(p4rt::SwitchDevice& sw, net::FlowId f,
@@ -50,6 +52,9 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
   struct PendingUpdate {
     p4rt::EzCmdHeader cmd;
     std::int32_t done_received = 0;
+    // Resolved dependency segments: recovery resends can duplicate a
+    // SegmentDone, and double-counting would start an in_loop chain early.
+    std::set<std::int32_t> done_from;
     bool chain_started = false;
     bool installed = false;
   };
@@ -60,6 +65,10 @@ class EzSegwaySwitch final : public p4rt::Pipeline {
   void handle_segment_done(p4rt::SwitchDevice& sw, p4rt::Packet pkt);
   void start_chain(p4rt::SwitchDevice& sw, PendingUpdate& pu);
   void do_install(p4rt::SwitchDevice& sw, PendingUpdate& pu);
+  /// The messages a rule-change node owes downstream consumers once its
+  /// install finished: upstream notify, or (segment top) SegmentDone fanout
+  /// plus the UFM. Re-run verbatim on a retrigger command.
+  void emit_post_install(p4rt::SwitchDevice& sw, const p4rt::EzCmdHeader& cmd);
   void route_towards(p4rt::SwitchDevice& sw, net::NodeId dst,
                      p4rt::Packet pkt);
 

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace p4u::control {
 
 const std::vector<UpdateRecord> FlowDb::kEmpty;
+
+const char* to_string(UpdateOutcome o) {
+  switch (o) {
+    case UpdateOutcome::kPending: return "pending";
+    case UpdateOutcome::kCompleted: return "completed";
+    case UpdateOutcome::kRolledBack: return "rolled-back";
+    case UpdateOutcome::kAbandoned: return "abandoned";
+  }
+  return "?";
+}
 
 void FlowDb::on_issued(net::FlowId flow, p4rt::Version v, sim::Time at) {
   auto& hist = records_[flow];
@@ -21,6 +33,20 @@ void FlowDb::on_completed(net::FlowId flow, p4rt::Version v, sim::Time at) {
     if (r.version == v && r.completed_at == 0) {
       r.completed_at = at;
       r.state = UpdateState::kCompleted;
+      r.outcome = UpdateOutcome::kCompleted;
+    }
+  }
+}
+
+void FlowDb::on_gave_up(net::FlowId flow, p4rt::Version v,
+                        UpdateOutcome outcome, sim::Time at) {
+  auto it = records_.find(flow);
+  if (it == records_.end()) return;
+  for (auto& r : it->second) {
+    if (r.version == v && r.outcome == UpdateOutcome::kPending) {
+      r.outcome = outcome;
+      r.completed_at = at;  // when the decision was made, for reporting
+      if (r.state == UpdateState::kInProgress) r.state = UpdateState::kFailed;
     }
   }
 }
@@ -72,6 +98,40 @@ sim::Time FlowDb::last_completion() const {
     for (const auto& r : hist) t = std::max(t, r.completed_at);
   }
   return t;
+}
+
+bool FlowDb::all_terminal() const { return nonterminal_updates() == 0; }
+
+std::uint64_t FlowDb::nonterminal_updates() const {
+  std::uint64_t n = 0;
+  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
+  for (const auto& [flow, hist] : records_) {
+    if (!hist.empty() && hist.back().outcome == UpdateOutcome::kPending) ++n;
+  }
+  return n;
+}
+
+void FlowDb::export_outcomes(obs::MetricsRegistry& m) const {
+  std::uint64_t by_outcome[4] = {0, 0, 0, 0};
+  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
+  for (const auto& [flow, hist] : records_) {
+    for (const auto& r : hist) {
+      by_outcome[static_cast<std::size_t>(r.outcome)] += 1;
+    }
+  }
+  // Top-up pattern: counters only move forward, so re-exporting after more
+  // progress stays correct and re-exporting with no progress is a no-op.
+  for (const UpdateOutcome o :
+       {UpdateOutcome::kCompleted, UpdateOutcome::kRolledBack,
+        UpdateOutcome::kAbandoned}) {
+    obs::Counter c = m.counter("ctrl.outcome", {{"outcome", to_string(o)}});
+    const std::uint64_t total = by_outcome[static_cast<std::size_t>(o)];
+    if (total > c.value()) c.inc(total - c.value());
+  }
+  // Gauge, not counter: the number of unsettled updates shrinks as
+  // recovery drives flows to terminal outcomes.
+  m.gauge("ctrl.updates_nonterminal")
+      .set(static_cast<double>(nonterminal_updates()));
 }
 
 std::uint64_t FlowDb::total_alarms() const {

@@ -12,6 +12,10 @@
 #include "p4rt/packet.hpp"
 #include "sim/time.hpp"
 
+namespace p4u::obs {
+class MetricsRegistry;
+}
+
 namespace p4u::control {
 
 enum class UpdateState {
@@ -21,12 +25,25 @@ enum class UpdateState {
   kSuperseded, // a later version was issued before this one finished
 };
 
+/// How an update finally settled from the recovery state machine's point of
+/// view. Every issued update must reach a terminal outcome (anything but
+/// kPending) — the chaos campaign's core liveness assertion.
+enum class UpdateOutcome {
+  kPending,     // still in flight (non-terminal)
+  kCompleted,   // UFM confirmed the new configuration
+  kRolledBack,  // retries exhausted; traffic stays on the healthy old path
+  kAbandoned,   // retries exhausted and no healthy path exists
+};
+
+const char* to_string(UpdateOutcome o);
+
 struct UpdateRecord {
   p4rt::Version version = 0;
   sim::Time issued_at = 0;
   sim::Time completed_at = 0;
   UpdateState state = UpdateState::kInProgress;
   std::uint32_t alarms = 0;
+  UpdateOutcome outcome = UpdateOutcome::kPending;
 };
 
 class FlowDb {
@@ -34,6 +51,10 @@ class FlowDb {
   void on_issued(net::FlowId flow, p4rt::Version v, sim::Time at);
   void on_completed(net::FlowId flow, p4rt::Version v, sim::Time at);
   void on_alarm(net::FlowId flow, p4rt::Version v);
+  /// Recovery gave up on (flow, v): records the terminal outcome
+  /// (kRolledBack or kAbandoned) and closes the record as kFailed.
+  void on_gave_up(net::FlowId flow, p4rt::Version v, UpdateOutcome outcome,
+                  sim::Time at);
 
   [[nodiscard]] const std::vector<UpdateRecord>& history(net::FlowId f) const;
   [[nodiscard]] const UpdateRecord* record(net::FlowId f, p4rt::Version v) const;
@@ -49,6 +70,18 @@ class FlowDb {
   [[nodiscard]] sim::Time last_completion() const;
 
   [[nodiscard]] std::uint64_t total_alarms() const;
+
+  /// True when the *latest* update of every flow is at a terminal outcome
+  /// (superseded interim versions do not count against terminality).
+  [[nodiscard]] bool all_terminal() const;
+
+  /// Updates (across all flows) whose latest record is still kPending.
+  [[nodiscard]] std::uint64_t nonterminal_updates() const;
+
+  /// Tops up "ctrl.outcome"{outcome=...} counters plus
+  /// "ctrl.updates_nonterminal" to the current totals. Idempotent, so the
+  /// harness can export right before every harvest.
+  void export_outcomes(obs::MetricsRegistry& m) const;
 
  private:
   std::unordered_map<net::FlowId, std::vector<UpdateRecord>> records_;

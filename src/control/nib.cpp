@@ -18,6 +18,15 @@ void Nib::record_flow(const net::Flow& f, net::Path initial_path,
   flows_.emplace(f.id, std::move(v));
 }
 
+std::vector<net::FlowId> Nib::sorted_flow_ids() const {
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows_.size());
+  // p4u-detlint: allow(unordered-iter) key harvest only; ids are sorted before use
+  for (const auto& [id, view] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 double Nib::believed_residual(net::NodeId from, net::NodeId to) const {
   const auto link = graph_->find_link(from, to);
   if (!link) throw std::invalid_argument("believed_residual: no such link");

@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/flow.hpp"
 #include "net/graph.hpp"
@@ -54,6 +55,11 @@ class Nib {
   [[nodiscard]] const std::unordered_map<net::FlowId, FlowView>& flows() const {
     return flows_;
   }
+
+  /// Every known flow id, sorted. Recovery scans ("which flows cross this
+  /// dead link?") iterate this so their side effects — repair updates, give-
+  /// ups — happen in a deterministic order regardless of insertion history.
+  [[nodiscard]] std::vector<net::FlowId> sorted_flow_ids() const;
 
   /// Believed residual capacity of directed link (from -> to): capacity
   /// minus sizes of flows whose believed path uses that directed edge.

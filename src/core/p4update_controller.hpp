@@ -18,6 +18,7 @@
 #include "control/labeling.hpp"
 #include "control/nib.hpp"
 #include "control/segmentation.hpp"
+#include "faults/recovery.hpp"
 #include "p4rt/control_channel.hpp"
 #include "p4rt/fabric.hpp"
 
@@ -41,6 +42,10 @@ struct P4UpdateControllerParams {
   /// simulation — campaigns turn it off so merged run reports stay
   /// byte-identical across reruns and worker counts.
   bool measure_prep_wallclock = true;
+  /// Failure-domain recovery: completion timers with exponential backoff,
+  /// resend on timeout, repair updates around dead elements. Off by default
+  /// (fault-free runs stay bit-exact).
+  faults::RecoveryParams recovery;
 };
 
 class P4UpdateController final : public p4rt::ControllerApp {
@@ -94,6 +99,13 @@ class P4UpdateController final : public p4rt::ControllerApp {
 
   void handle_from_switch(net::NodeId from, const p4rt::Packet& pkt) override;
 
+  // Failure detection (ControlChannel): updates the health view and — when
+  // recovery is enabled — repairs around dead elements / re-deploys after
+  // restarts.
+  void handle_link_state(net::LinkId link, net::NodeId a, net::NodeId b,
+                         bool up) override;
+  void handle_switch_state(net::NodeId node, bool up) override;
+
   [[nodiscard]] control::Nib& nib() { return nib_; }
   [[nodiscard]] control::FlowDb& flow_db() { return flow_db_; }
   [[nodiscard]] const P4UpdateControllerParams& params() const {
@@ -108,6 +120,36 @@ class P4UpdateController final : public p4rt::ControllerApp {
   std::function<void(const p4rt::FrmHeader&)> on_frm;
 
  private:
+  /// Re-sends the UIMs of an already-issued (flow, version), keeping the
+  /// originally decided update type (shared by §11 retrigger and the
+  /// recovery resend path).
+  void resend_uims(net::FlowId flow, p4rt::Version version,
+                   const net::Path& path);
+
+  // --- recovery state machine (params_.recovery) ---
+  /// One live completion timer per flow; a new version supersedes the old
+  /// timer via the generation counter.
+  struct RetryState {
+    p4rt::Version version = 0;
+    int attempts = 0;
+    std::uint64_t gen = 0;
+  };
+  void track_update(net::FlowId flow, p4rt::Version version);
+  void arm_retry_timer(net::FlowId flow);
+  void on_retry_timer(net::FlowId flow, std::uint64_t gen);
+  /// Retries exhausted: settle at kRolledBack (old path believed healthy)
+  /// or kAbandoned, and stop tracking.
+  void settle_update(net::FlowId flow, p4rt::Version version);
+  /// A believed-dead element took out paths: supersede affected in-flight
+  /// updates and reroute affected idle flows. `hits(path)` says whether a
+  /// path crosses the element.
+  void repair_around(
+      const std::function<bool(const net::Path&)>& hits);
+  /// A restarted element came back: re-issue updates that settled without
+  /// completing, and re-deploy believed paths across a restarted switch
+  /// (its Table 1 registers and rules were wiped).
+  void reissue_after_recovery(std::optional<net::NodeId> restarted);
+
   p4rt::ControlChannel& channel_;
   control::Nib nib_;
   control::FlowDb flow_db_;
@@ -117,6 +159,9 @@ class P4UpdateController final : public p4rt::ControllerApp {
   std::map<std::pair<net::FlowId, p4rt::Version>, int> retriggers_;
   // Tree updates complete when every leaf reported (default expectation: 1).
   std::map<std::pair<net::FlowId, p4rt::Version>, int> expected_ufms_;
+  faults::HealthView health_;
+  std::map<net::FlowId, RetryState> retry_;
+  std::uint64_t retry_gen_ = 0;
 
  public:
   /// Number of §11 re-triggers performed (tests/benches).

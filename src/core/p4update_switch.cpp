@@ -38,6 +38,20 @@ P4UpdateSwitch::P4UpdateSwitch(net::NodeId id, const net::Graph& graph,
                                P4UpdateSwitchParams params)
     : id_(id), graph_(&graph), params_(params), scheduler_(graph, id) {}
 
+void P4UpdateSwitch::on_crash(SwitchDevice& sw) {
+  (void)sw;  // the device already wiped its forwarding table
+  // Every Table 1 register is volatile (§6): a power-cycle loses the whole
+  // UIB, pending UIMs, scheduler reservations, and the soft dedup/watchdog
+  // state. Timers armed before the crash find their generation gone.
+  uib_ = Uib{};
+  scheduler_ = CongestionScheduler(*graph_, id_);
+  reported_flows_.clear();
+  completed_sent_.clear();
+  ingress_old_port_.clear();
+  stamps_.clear();
+  watchdog_gen_.clear();
+}
+
 void P4UpdateSwitch::bootstrap_flow(SwitchDevice& sw, FlowId f,
                                     Version version, Distance distance,
                                     std::int32_t egress_port, double size) {

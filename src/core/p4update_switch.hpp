@@ -46,6 +46,7 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
               std::int32_t in_port) override;
   void on_data_packet(p4rt::SwitchDevice& sw, p4rt::DataHeader& data,
                       std::int32_t in_port) override;
+  void on_crash(p4rt::SwitchDevice& sw) override;
 
   /// Installs the initial configuration for a flow (bring-up; instantaneous,
   /// like a pre-existing deployment).

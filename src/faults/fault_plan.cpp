@@ -1,0 +1,154 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4u::faults {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchCrash: return "switch-crash";
+    case FaultKind::kSwitchRestart: return "switch-restart";
+    case FaultKind::kSetModel: return "set-model";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::push(FaultEvent e) {
+  // Keep events sorted by time with ties in insertion order, so the plan's
+  // declaration order and the simulator's (at, seq) tie-break agree.
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+  events_.insert(it, e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(sim::Time at, net::NodeId a, net::NodeId b) {
+  return push({at, FaultKind::kLinkDown, a, b, {}});
+}
+
+FaultPlan& FaultPlan::link_up(sim::Time at, net::NodeId a, net::NodeId b) {
+  return push({at, FaultKind::kLinkUp, a, b, {}});
+}
+
+FaultPlan& FaultPlan::link_down_for(sim::Time at, net::NodeId a, net::NodeId b,
+                                    sim::Duration outage) {
+  link_down(at, a, b);
+  return link_up(at + outage, a, b);
+}
+
+FaultPlan& FaultPlan::switch_crash(sim::Time at, net::NodeId n) {
+  return push({at, FaultKind::kSwitchCrash, n, net::kNoNode, {}});
+}
+
+FaultPlan& FaultPlan::switch_restart(sim::Time at, net::NodeId n) {
+  return push({at, FaultKind::kSwitchRestart, n, net::kNoNode, {}});
+}
+
+FaultPlan& FaultPlan::switch_crash_for(sim::Time at, net::NodeId n,
+                                       sim::Duration outage) {
+  switch_crash(at, n);
+  return switch_restart(at + outage, n);
+}
+
+FaultPlan& FaultPlan::set_model(sim::Time at, FaultModel m) {
+  return push({at, FaultKind::kSetModel, net::kNoNode, net::kNoNode, m});
+}
+
+namespace {
+
+void validate_model(const FaultModel& m) {
+  const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!prob_ok(m.control_drop_prob) || !prob_ok(m.data_drop_prob)) {
+    throw std::invalid_argument(
+        "FaultPlan: drop probability must be within [0, 1]");
+  }
+  if (m.reorder_jitter < 0) {
+    throw std::invalid_argument("FaultPlan: reorder_jitter must be >= 0");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate(const net::Graph& g) const {
+  validate_model(model);
+  const auto node_ok = [&g](net::NodeId n) {
+    return n >= 0 && static_cast<std::size_t>(n) < g.node_count();
+  };
+  for (const FaultEvent& e : events_) {
+    if (e.at < 0) {
+      throw std::invalid_argument("FaultPlan: event time must be >= 0");
+    }
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+        if (!node_ok(e.a) || !node_ok(e.b) || !g.find_link(e.a, e.b)) {
+          throw std::invalid_argument(
+              "FaultPlan: no link between nodes " + std::to_string(e.a) +
+              " and " + std::to_string(e.b));
+        }
+        break;
+      case FaultKind::kSwitchCrash:
+      case FaultKind::kSwitchRestart:
+        if (!node_ok(e.a)) {
+          throw std::invalid_argument("FaultPlan: unknown switch " +
+                                      std::to_string(e.a));
+        }
+        break;
+      case FaultKind::kSetModel:
+        validate_model(e.model);
+        break;
+    }
+  }
+}
+
+bool parse_link_down_spec(const std::string& spec, FaultPlan& plan,
+                          std::string* error) {
+  // Format: t:u-v:dur — all three fields required, t/dur in milliseconds.
+  const auto fail = [error]() {
+    if (error != nullptr) {
+      *error =
+          "--link-down requires a t:u-v:dur spec (milliseconds, e.g. "
+          "50:2-3:2000)";
+    }
+    return false;
+  };
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 = spec.rfind(':');
+  if (c1 == std::string::npos || c2 == c1) return fail();
+  const std::string t_part = spec.substr(0, c1);
+  const std::string link_part = spec.substr(c1 + 1, c2 - c1 - 1);
+  const std::string dur_part = spec.substr(c2 + 1);
+  const std::size_t dash = link_part.find('-');
+  if (dash == std::string::npos) return fail();
+
+  const auto parse_num = [](const std::string& s, long long* out) {
+    if (s.empty()) return false;
+    for (const char ch : s) {
+      if (ch < '0' || ch > '9') return false;
+    }
+    try {
+      *out = std::stoll(s);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  };
+  long long t_ms = 0;
+  long long u = 0;
+  long long v = 0;
+  long long dur_ms = 0;
+  if (!parse_num(t_part, &t_ms) || !parse_num(link_part.substr(0, dash), &u) ||
+      !parse_num(link_part.substr(dash + 1), &v) ||
+      !parse_num(dur_part, &dur_ms) || dur_ms <= 0) {
+    return fail();
+  }
+  plan.link_down_for(sim::milliseconds(t_ms), static_cast<net::NodeId>(u),
+                     static_cast<net::NodeId>(v), sim::milliseconds(dur_ms));
+  return true;
+}
+
+}  // namespace p4u::faults

@@ -1,0 +1,50 @@
+#include "faults/recovery.hpp"
+
+#include <algorithm>
+
+namespace p4u::faults {
+
+sim::Duration RecoveryParams::timeout_for(int attempt) const {
+  double t = static_cast<double>(initial_timeout);
+  for (int i = 0; i < attempt; ++i) {
+    t *= backoff;
+    if (t >= static_cast<double>(sim::kTimeInfinity)) {
+      return sim::kTimeInfinity;
+    }
+  }
+  return static_cast<sim::Duration>(t);
+}
+
+bool HealthView::path_ok(const net::Graph& g, const net::Path& path) const {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!node_ok(path[i])) return false;
+    if (i + 1 < path.size()) {
+      const auto l = g.find_link(path[i], path[i + 1]);
+      if (!l || !link_ok(*l)) return false;
+    }
+  }
+  return true;
+}
+
+bool HealthView::path_uses_node(const net::Path& path, net::NodeId n) {
+  return std::find(path.begin(), path.end(), n) != path.end();
+}
+
+bool HealthView::path_uses_link(const net::Graph& g, const net::Path& path,
+                                net::LinkId l) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto hop = g.find_link(path[i], path[i + 1]);
+    if (hop && *hop == l) return true;
+  }
+  return false;
+}
+
+std::optional<net::Path> HealthView::repair_path(const net::Graph& g,
+                                                 net::NodeId src,
+                                                 net::NodeId dst) const {
+  const std::vector<net::LinkId> links(down_links_.begin(), down_links_.end());
+  const std::vector<net::NodeId> nodes(down_nodes_.begin(), down_nodes_.end());
+  return net::shortest_path_avoiding_elements(g, src, dst, links, nodes);
+}
+
+}  // namespace p4u::faults

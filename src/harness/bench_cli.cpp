@@ -30,6 +30,17 @@ bool parse_positive_int(const std::string& s, int& out) {
   return true;
 }
 
+/// Parses a full-string probability in [0, 1]; false on garbage.
+bool parse_prob(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  out = v;
+  return true;
+}
+
 /// A flag either consumes the next argv entry or carries "=value".
 struct FlagValue {
   bool present = false;
@@ -90,6 +101,12 @@ std::string bench_cli_usage(const BenchCliSpec& spec) {
   if (spec.with_smoke) {
     u += "  --smoke       quick pass: 3 runs per spec, no shape gating\n";
   }
+  if (spec.with_faults) {
+    u += "  --ctrl-drop <p>         drop each control message with prob p\n";
+    u += "  --data-drop <p>         drop each data packet with prob p\n";
+    u += "  --link-down <t:u-v:dur> down link u-v at t ms for dur ms "
+         "(repeatable)\n";
+  }
   for (const std::string& p : spec.passthrough_prefixes) {
     u += "  " + p + "*  passed through\n";
   }
@@ -146,6 +163,35 @@ BenchCliResult parse_bench_cli(int& argc, char** argv,
     if (spec.with_smoke && arg == "--smoke") {
       out.cli.smoke = true;
       continue;
+    }
+    if (spec.with_faults) {
+      if (auto v = match_flag(arg, "--ctrl-drop", r, argc, argv); v.present) {
+        if (v.missing_value ||
+            !parse_prob(v.value, out.cli.fault_plan.model.control_drop_prob)) {
+          out.error = "--ctrl-drop requires a probability in [0, 1]";
+          return out;
+        }
+        continue;
+      }
+      if (auto v = match_flag(arg, "--data-drop", r, argc, argv); v.present) {
+        if (v.missing_value ||
+            !parse_prob(v.value, out.cli.fault_plan.model.data_drop_prob)) {
+          out.error = "--data-drop requires a probability in [0, 1]";
+          return out;
+        }
+        continue;
+      }
+      if (auto v = match_flag(arg, "--link-down", r, argc, argv); v.present) {
+        std::string err;
+        if (v.missing_value ||
+            !faults::parse_link_down_spec(v.value, out.cli.fault_plan, &err)) {
+          out.error = err.empty()
+                          ? "--link-down requires a t:u-v:dur spec"
+                          : err;
+          return out;
+        }
+        continue;
+      }
     }
     const bool passthrough =
         std::any_of(spec.passthrough_prefixes.begin(),

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+
 namespace p4u::harness {
 
 /// Which flags a binary accepts, plus its usage header.
@@ -27,6 +29,9 @@ struct BenchCliSpec {
   bool with_jobs = true;
   bool with_runs = true;    // enables both --runs and --seed
   bool with_smoke = true;
+  /// Enables the failure-domain flags: --ctrl-drop, --data-drop, and
+  /// repeatable --link-down t:u-v:dur (all collected into cli.fault_plan).
+  bool with_faults = false;
   /// Arguments starting with one of these prefixes are left in argv for a
   /// downstream parser (e.g. "--benchmark" for google-benchmark).
   std::vector<std::string> passthrough_prefixes;
@@ -38,6 +43,9 @@ struct BenchCli {
   std::optional<int> runs;           // --runs override
   std::optional<std::uint64_t> seed; // --seed override
   bool smoke = false;
+  /// Fault knobs collected from --ctrl-drop / --data-drop / --link-down
+  /// (with_faults only). Benches merge this into their TestBedParams.
+  faults::FaultPlan fault_plan;
 
   /// Run count for a spec whose table default is `table_runs`: an explicit
   /// --runs wins, then --smoke caps at 3, else the table value.

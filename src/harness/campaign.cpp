@@ -90,6 +90,63 @@ RunOutcome run_multi_flow_job(const RunSpec& spec, std::uint64_t seed) {
   return out;
 }
 
+RunOutcome run_chaos_job(const RunSpec& spec, std::uint64_t seed) {
+  sim::Rng traffic_rng(seed ^ 0x7AFF1Cull);
+  const std::vector<TrafficFlow> flows =
+      gravity_multiflow(*spec.graph, traffic_rng, spec.traffic);
+
+  TestBedParams params = spec.bed;
+  params.seed = seed;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  // Per-seed chaos: one link outage and one switch crash, drawn from a
+  // fault-only stream so the draw never perturbs the traffic model.
+  const net::Graph& g = *spec.graph;
+  sim::Rng chaos_rng(seed ^ 0xC4A05ull);
+  const sim::Duration span =
+      spec.chaos_to > spec.chaos_from ? spec.chaos_to - spec.chaos_from : 1;
+  const auto draw_at = [&]() {
+    return spec.chaos_from + static_cast<sim::Time>(chaos_rng.uniform(
+                                 static_cast<std::uint64_t>(span)));
+  };
+  const auto link =
+      static_cast<net::LinkId>(chaos_rng.uniform(g.link_count()));
+  const net::Link& l = g.link(link);
+  params.fault_plan.link_down_for(draw_at(), l.a, l.b, spec.chaos_outage);
+  const auto victim =
+      static_cast<net::NodeId>(chaos_rng.uniform(g.node_count()));
+  params.fault_plan.switch_crash_for(draw_at(), victim, spec.chaos_outage);
+
+  TestBed bed(g, params);
+  bed.simulator().reserve(g.node_count() * 64 + flows.size() * 256 + 512);
+
+  std::vector<std::pair<net::FlowId, net::Path>> batch;
+  for (const TrafficFlow& tf : flows) {
+    bed.deploy_flow(tf.flow, tf.old_path);
+    batch.emplace_back(tf.flow.id, tf.new_path);
+  }
+  bed.schedule_batch_at(kIssueAt, std::move(batch));
+  bed.run(kRunUntil);
+
+  // Liveness: every flow's latest update must have settled (Completed,
+  // RolledBack, or Abandoned). A run with anything still kPending counts as
+  // incomplete; the sample reports how many updates fully completed.
+  RunOutcome out;
+  if (bed.flow_db().all_terminal()) {
+    double completed = 0.0;
+    for (const TrafficFlow& tf : flows) {
+      const auto& hist = bed.flow_db().history(tf.flow.id);
+      if (!hist.empty() &&
+          hist.back().outcome == control::UpdateOutcome::kCompleted) {
+        completed += 1.0;
+      }
+    }
+    out.sample = completed;
+  }
+  harvest_bed(bed, out);
+  return out;
+}
+
 RunOutcome run_fig2_job(const RunSpec& spec, std::uint64_t seed) {
   Fig2Result r = run_fig2_demo(spec.bed.system, seed);
   RunOutcome out;
@@ -117,6 +174,7 @@ const char* to_string(ScenarioFamily f) {
     case ScenarioFamily::kMultiFlow: return "multi-flow";
     case ScenarioFamily::kFig2Inconsistency: return "fig2-inconsistency";
     case ScenarioFamily::kFig4FastForward: return "fig4-fast-forward";
+    case ScenarioFamily::kChaos: return "chaos";
   }
   return "?";
 }
@@ -129,6 +187,7 @@ RunOutcome execute_run(const RunSpec& spec, int run_index) {
     case ScenarioFamily::kMultiFlow: return run_multi_flow_job(spec, seed);
     case ScenarioFamily::kFig2Inconsistency: return run_fig2_job(spec, seed);
     case ScenarioFamily::kFig4FastForward: return run_fig4_job(spec, seed);
+    case ScenarioFamily::kChaos: return run_chaos_job(spec, seed);
   }
   throw std::logic_error("execute_run: unknown scenario family");
 }
@@ -136,7 +195,8 @@ RunOutcome execute_run(const RunSpec& spec, int run_index) {
 RunSpec& Campaign::add(RunSpec spec) {
   if (spec.runs < 0) throw std::invalid_argument("Campaign: negative runs");
   const bool needs_graph = spec.family == ScenarioFamily::kSingleFlow ||
-                           spec.family == ScenarioFamily::kMultiFlow;
+                           spec.family == ScenarioFamily::kMultiFlow ||
+                           spec.family == ScenarioFamily::kChaos;
   if (needs_graph && spec.graph == nullptr) {
     throw std::invalid_argument("Campaign: spec '" + spec.slug +
                                 "' has no topology");

@@ -39,6 +39,8 @@ enum class ScenarioFamily {
   kMultiFlow,         // §9.2: gravity batch; sample = last flow's completion
   kFig2Inconsistency, // §4.1 demo; sample = packets delivered at the egress
   kFig4FastForward,   // §4.2 demo; sample = U3 completion time
+  kChaos,             // gravity batch + per-seed link-down & switch-crash
+                      // mid-update; sample = updates settling kCompleted
 };
 
 const char* to_string(ScenarioFamily f);
@@ -58,6 +60,13 @@ struct RunSpec {
   net::Path new_path;
   // Multi-flow knobs.
   TrafficParams traffic;
+  // Chaos knobs (kChaos only): each seeded run draws one link outage and
+  // one switch crash — element and instant chosen from a fault-only rng
+  // stream inside [chaos_from, chaos_to] — and appends them to
+  // `bed.fault_plan`. Both outages heal after `chaos_outage`.
+  sim::Time chaos_from = sim::milliseconds(20);
+  sim::Time chaos_to = sim::milliseconds(150);
+  sim::Duration chaos_outage = sim::seconds(2);
   /// System under test, latency model, fault knobs, congestion mode, ...
   /// (`bed.seed` is overwritten per run with base_seed + run index).
   TestBedParams bed;

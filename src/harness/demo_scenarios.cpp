@@ -29,22 +29,24 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed) {
 
   Fig2Result result;
   std::map<std::uint32_t, int> seen_v1, seen_v4;
-  bed.fabric().hooks().on_data_arrival =
-      [&](net::NodeId n, const p4rt::DataHeader& d) {
-        if (n == 1) {
-          result.arrivals_v1.push_back({bed.simulator().now(), d.seq});
-          ++seen_v1[d.seq];
-        }
-      };
-  bed.fabric().hooks().on_delivered =
-      [&](net::NodeId n, const p4rt::DataHeader& d) {
-        if (n == 4) {
-          result.arrivals_v4.push_back({bed.simulator().now(), d.seq});
-          ++seen_v4[d.seq];
-        }
-      };
-  bed.fabric().hooks().on_ttl_expired =
-      [&](net::NodeId, const p4rt::DataHeader&) { ++result.ttl_drops; };
+  p4rt::FabricCallbacks recorder;
+  recorder.data_arrival = [&](net::NodeId n, const p4rt::DataHeader& d) {
+    if (n == 1) {
+      result.arrivals_v1.push_back({bed.simulator().now(), d.seq});
+      ++seen_v1[d.seq];
+    }
+  };
+  recorder.delivered = [&](net::NodeId n, const p4rt::DataHeader& d) {
+    if (n == 4) {
+      result.arrivals_v4.push_back({bed.simulator().now(), d.seq});
+      ++seen_v4[d.seq];
+    }
+  };
+  recorder.ttl_expired = [&](net::NodeId, const p4rt::DataHeader&) {
+    ++result.ttl_drops;
+  };
+  const p4rt::ObserverHandle recorder_handle =
+      bed.fabric().subscribe(&recorder);
 
   // 125 pps, TTL 64, starting at t = 10 s for 0.6 s (§4.1's window).
   result.packets_sent = 75;

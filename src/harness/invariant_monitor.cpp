@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 #include <sstream>
 
 namespace p4u::harness {
@@ -17,12 +16,60 @@ std::vector<net::FlowId> InvariantMonitor::watched_ids_sorted() const {
 }
 
 void InvariantMonitor::attach() {
-  auto previous = fabric_->hooks().on_rule_installed;
-  fabric_->hooks().on_rule_installed =
-      [this, previous](net::NodeId node, net::FlowId flow, std::int32_t port) {
-        if (previous) previous(node, flow, port);
-        if (flows_.count(flow) != 0) check_flow(flow);
-      };
+  if (!handle_.active()) handle_ = fabric_->subscribe(this);
+}
+
+void InvariantMonitor::on_rule_installed(net::NodeId node, net::FlowId flow,
+                                         std::int32_t port) {
+  (void)node;
+  (void)port;
+  if (flows_.count(flow) != 0) check_flow(flow);
+}
+
+void InvariantMonitor::on_link_state(net::LinkId link, net::NodeId a,
+                                     net::NodeId b, bool up) {
+  (void)a;
+  (void)b;
+  if (up) return;
+  // This fires before the fabric downs the link, so the walk below still
+  // sees the pre-fault path: flows routed over the link get excused.
+  for (const net::FlowId id : watched_ids_sorted()) {
+    const std::vector<net::NodeId> walk = walk_nodes(id);
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      const auto hop = fabric_->graph().find_link(walk[i], walk[i + 1]);
+      if (hop && *hop == link) {
+        excused_.insert(id);
+        break;
+      }
+    }
+  }
+}
+
+void InvariantMonitor::on_switch_state(net::NodeId node, bool up) {
+  if (up) return;
+  for (const net::FlowId id : watched_ids_sorted()) {
+    const std::vector<net::NodeId> walk = walk_nodes(id);
+    if (std::find(walk.begin(), walk.end(), node) != walk.end()) {
+      excused_.insert(id);
+    }
+  }
+}
+
+std::vector<net::NodeId> InvariantMonitor::walk_nodes(net::FlowId flow) const {
+  std::vector<net::NodeId> walk;
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return walk;
+  std::set<net::NodeId> visited;
+  net::NodeId cur = it->second.ingress;
+  while (visited.insert(cur).second) {
+    walk.push_back(cur);
+    const auto port = fabric_->sw(cur).lookup(flow);
+    if (!port || *port == p4rt::SwitchDevice::kLocalPort) break;
+    const net::NodeId next = fabric_->graph().neighbor_via(cur, *port);
+    if (next == net::kNoNode) break;
+    cur = next;
+  }
+  return walk;
 }
 
 bool InvariantMonitor::has_loop(net::FlowId flow) const {
@@ -70,6 +117,27 @@ bool InvariantMonitor::has_blackhole(net::FlowId flow) const {
   return false;  // looped: reported by has_loop, not as a blackhole
 }
 
+InvariantMonitor::WalkEnd InvariantMonitor::walk_flow(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return WalkEnd::kDelivered;
+  std::set<net::NodeId> visited;
+  net::NodeId cur = it->second.ingress;
+  while (visited.insert(cur).second) {
+    if (!fabric_->switch_is_up(cur)) return WalkEnd::kFaulted;
+    const auto port = fabric_->sw(cur).lookup(flow);
+    if (!port) return WalkEnd::kBlackhole;
+    if (*port == p4rt::SwitchDevice::kLocalPort) return WalkEnd::kDelivered;
+    const auto& adj = fabric_->graph().neighbors(cur);
+    if (*port < 0 || static_cast<std::size_t>(*port) >= adj.size()) {
+      return WalkEnd::kBlackhole;  // rule points nowhere
+    }
+    const auto& edge = adj[static_cast<std::size_t>(*port)];
+    if (!fabric_->link_is_up(edge.link)) return WalkEnd::kFaulted;
+    cur = edge.neighbor;
+  }
+  return WalkEnd::kLoop;
+}
+
 std::vector<std::string> InvariantMonitor::capacity_overloads() const {
   // Aggregate per directed edge: sum of watched-flow sizes routed over it.
   // Flow order fixes the float accumulation order, so iterate sorted ids —
@@ -105,18 +173,38 @@ std::vector<std::string> InvariantMonitor::capacity_overloads() const {
 void InvariantMonitor::check_flow(net::FlowId flow) {
   const sim::Time now = fabric_->simulator().now();
   if (has_loop(flow)) {
+    // Loops are always the update system's fault — no physical failure
+    // writes a cyclic rule set — so faults never excuse them.
     ++violations_.loops;
     fabric_->trace().add(
         {now, sim::TraceKind::kLoopDetected, -1, flow, 0, 0, "monitor"});
     findings_.push_back("loop in flow " + std::to_string(flow) + " at t=" +
                         std::to_string(sim::to_ms(now)) + "ms");
   }
-  if (has_blackhole(flow)) {
-    ++violations_.blackholes;
-    fabric_->trace().add(
-        {now, sim::TraceKind::kBlackholeDetected, -1, flow, 0, 0, "monitor"});
-    findings_.push_back("blackhole in flow " + std::to_string(flow) +
-                        " at t=" + std::to_string(sim::to_ms(now)) + "ms");
+  switch (walk_flow(flow)) {
+    case WalkEnd::kDelivered:
+      excused_.erase(flow);  // a clean walk ends the fault excuse
+      break;
+    case WalkEnd::kFaulted:
+      // The physical fault, not the update logic, broke this walk.
+      ++violations_.faulted_walks;
+      excused_.insert(flow);
+      break;
+    case WalkEnd::kBlackhole:
+      if (excused_.count(flow) != 0) {
+        ++violations_.faulted_walks;
+        fabric_->trace().add({now, sim::TraceKind::kInfo, -1, flow, 0, 0,
+                              "monitor: blackhole excused by fault"});
+      } else {
+        ++violations_.blackholes;
+        fabric_->trace().add({now, sim::TraceKind::kBlackholeDetected, -1,
+                              flow, 0, 0, "monitor"});
+        findings_.push_back("blackhole in flow " + std::to_string(flow) +
+                            " at t=" + std::to_string(sim::to_ms(now)) + "ms");
+      }
+      break;
+    case WalkEnd::kLoop:
+      break;  // counted above
   }
   if (check_capacity_) {
     for (const std::string& f : capacity_overloads()) {

@@ -8,23 +8,34 @@
 //     routed over it never exceed capacity.
 // The systems under test never see the monitor — it reads switch tables the
 // way an omniscient observer would.
+//
+// Under a FaultPlan the oracle distinguishes *violations* (the update system
+// broke an invariant) from *faulted walks* (the physical fault broke the
+// path): a flow whose walk crossed a downed link or crashed switch is
+// excused while the fault bites, and a broken walk counts as faulted, not as
+// a blackhole violation. Loops are never excused — no fault creates one; the
+// update logic does.
 #pragma once
 
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/flow.hpp"
 #include "p4rt/fabric.hpp"
+#include "p4rt/fabric_observer.hpp"
 
 namespace p4u::harness {
 
-class InvariantMonitor {
+class InvariantMonitor : public p4rt::FabricObserver {
  public:
   struct Violations {
     std::uint64_t loops = 0;
     std::uint64_t blackholes = 0;
     std::uint64_t capacity = 0;
+    /// Walks that broke because of a live fault (excused; not a violation).
+    std::uint64_t faulted_walks = 0;
     [[nodiscard]] std::uint64_t total() const {
       return loops + blackholes + capacity;
     }
@@ -37,8 +48,8 @@ class InvariantMonitor {
   /// blackhole walk; its size feeds the capacity sums).
   void watch_flow(const net::Flow& f) { flows_[f.id] = f; }
 
-  /// Hooks the fabric's on_rule_installed callback (chains any existing
-  /// hook). Call once after all other hooks are set.
+  /// Subscribes to the fabric (rule installs trigger checks; fault events
+  /// mark affected flows excused). Idempotent per monitor instance.
   void attach();
 
   /// Runs all checks for one flow right now; increments counters and logs
@@ -58,7 +69,28 @@ class InvariantMonitor {
   [[nodiscard]] bool has_blackhole(net::FlowId flow) const;
   [[nodiscard]] std::vector<std::string> capacity_overloads() const;
 
+  // FabricObserver:
+  void on_rule_installed(net::NodeId node, net::FlowId flow,
+                         std::int32_t port) override;
+  void on_link_state(net::LinkId link, net::NodeId a, net::NodeId b,
+                     bool up) override;
+  void on_switch_state(net::NodeId node, bool up) override;
+
  private:
+  /// How a walk from the flow ingress along installed rules ends.
+  enum class WalkEnd {
+    kDelivered,  // reached a kLocalPort rule
+    kBlackhole,  // reached a rule-less switch or a dangling port
+    kLoop,       // revisited a node
+    kFaulted,    // hit a crashed switch or a downed link
+  };
+  WalkEnd walk_flow(net::FlowId flow) const;
+
+  /// The node sequence of the flow's current walk (pre-fault when called
+  /// from a state-change notification, which fires before the fabric
+  /// applies the effect).
+  [[nodiscard]] std::vector<net::NodeId> walk_nodes(net::FlowId flow) const;
+
   /// Watched flow ids in ascending order. All iteration over the watched
   /// set goes through this so findings, trace entries, and float
   /// accumulations are independent of hash order.
@@ -69,6 +101,9 @@ class InvariantMonitor {
   std::unordered_map<net::FlowId, net::Flow> flows_;
   Violations violations_;
   std::vector<std::string> findings_;
+  /// Flows whose path a live fault broke; cleared by the next clean walk.
+  std::set<net::FlowId> excused_;
+  p4rt::ObserverHandle handle_;
 };
 
 }  // namespace p4u::harness

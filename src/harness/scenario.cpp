@@ -32,8 +32,10 @@ std::vector<sim::Duration> control_latencies(const net::Graph& g,
 
 TestBed::TestBed(net::Graph graph, TestBedParams params)
     : graph_(std::move(graph)), params_(params) {
+  // Fail loudly on a mistyped fault schedule before anything is wired.
+  params_.fault_plan.validate(graph_);
   fabric_ = std::make_unique<p4rt::Fabric>(sim_, graph_, params_.switch_params,
-                                           params_.seed);
+                                           params_.seed, params_.fault_plan);
   fabric_->trace().set_enabled(params_.trace_enabled);
 
   sim::Rng latency_rng(params_.seed ^ 0xC0117801ull);
@@ -168,6 +170,7 @@ void TestBed::run(sim::Time until) { sim_.run(until); }
 
 void TestBed::collect_metrics() {
   adapter_->collect_metrics(fabric_->metrics());
+  adapter_->flow_db().export_outcomes(fabric_->metrics());
 }
 
 }  // namespace p4u::harness

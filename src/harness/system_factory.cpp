@@ -44,6 +44,7 @@ class P4UpdateAdapter final : public SystemAdapter {
     cp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
     cp.enable_retrigger = ctx.params.enable_retrigger;
     cp.measure_prep_wallclock = ctx.params.measure_prep_wallclock;
+    cp.recovery = ctx.params.recovery;
     ctrl_ = std::make_unique<core::P4UpdateController>(
         ctx.channel, control::Nib(ctx.graph), cp);
   }
@@ -110,6 +111,7 @@ class EzSegwayAdapter final : public SystemAdapter {
     }
     baseline::EzControllerParams cp;
     cp.congestion_mode = ctx.params.congestion_mode;
+    cp.recovery = ctx.params.recovery;
     ctrl_ = std::make_unique<baseline::EzSegwayController>(
         ctx.channel, control::Nib(ctx.graph), cp);
   }
@@ -148,6 +150,7 @@ class CentralAdapter final : public SystemAdapter {
   explicit CentralAdapter(const SystemContext& ctx) {
     baseline::CentralParams cp;
     cp.congestion_mode = ctx.params.congestion_mode;
+    cp.recovery = ctx.params.recovery;
     for (std::size_t n = 0; n < ctx.graph.node_count(); ++n) {
       auto pipe =
           std::make_unique<baseline::CentralSwitch>(static_cast<net::NodeId>(n));

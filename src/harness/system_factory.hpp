@@ -20,6 +20,8 @@
 
 #include "control/flow_db.hpp"
 #include "control/nib.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
 #include "net/flow.hpp"
 #include "net/graph.hpp"
 #include "net/paths.hpp"
@@ -89,6 +91,13 @@ struct TestBedParams {
   /// The one nondeterministic metric: campaigns force it off so merged
   /// reports are byte-identical across reruns and `--jobs` counts.
   bool measure_prep_wallclock = true;
+  /// Failure domain: the probabilistic fault model plus the run's scheduled
+  /// link/switch events. Validated against the graph at TestBed
+  /// construction; the fabric executes it from the event queue.
+  faults::FaultPlan fault_plan;
+  /// Controller-side recovery knobs (completion timers, backoff, repair
+  /// routing). Off by default: fault-free runs stay bit-exact.
+  faults::RecoveryParams recovery;
 };
 
 /// Everything an adapter needs to wire one system into a run. The fabric

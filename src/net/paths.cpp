@@ -87,6 +87,25 @@ std::optional<Path> shortest_path_avoiding(const Graph& g, NodeId src,
   return extract_path(t, src, dst);
 }
 
+std::optional<Path> shortest_path_avoiding_elements(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::vector<LinkId>& banned_links,
+    const std::vector<NodeId>& banned_nodes, Metric metric) {
+  std::vector<bool> node_mask(g.node_count(), false);
+  for (NodeId b : banned_nodes) {
+    if (b == src || b == dst) return std::nullopt;
+    node_mask[static_cast<std::size_t>(b)] = true;
+  }
+  std::set<std::pair<NodeId, NodeId>> edge_banned;
+  for (LinkId l : banned_links) {
+    const Link& link = g.link(l);
+    edge_banned.insert({link.a, link.b});
+    edge_banned.insert({link.b, link.a});
+  }
+  const SpTree t = dijkstra_masked(g, src, metric, &node_mask, &edge_banned);
+  return extract_path(t, src, dst);
+}
+
 double path_cost(const Graph& g, const Path& p, Metric metric) {
   double cost = 0.0;
   for (std::size_t i = 0; i + 1 < p.size(); ++i) {

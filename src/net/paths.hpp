@@ -37,6 +37,16 @@ std::optional<Path> shortest_path_avoiding(const Graph& g, NodeId src,
                                            const std::vector<NodeId>& banned,
                                            Metric metric = Metric::kLatency);
 
+/// Shortest path src -> dst avoiding both `banned_links` (in either
+/// direction) and `banned_nodes` — the repair-path query of the failure
+/// domain: route around dead links and crashed switches. nullopt if the
+/// fault set disconnects src from dst (or bans one of them).
+std::optional<Path> shortest_path_avoiding_elements(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::vector<LinkId>& banned_links,
+    const std::vector<NodeId>& banned_nodes,
+    Metric metric = Metric::kLatency);
+
 /// Yen's algorithm: up to k shortest loopless paths, ascending cost.
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
                                    std::size_t k,

@@ -16,6 +16,28 @@ ControlChannel::ControlChannel(sim::Simulator& sim, Fabric& fabric,
       send_service_(service_time),
       recv_service_(service_time) {
   fabric_.set_control_channel(this);
+  fault_watch_ = fabric_.subscribe(this);
+}
+
+void ControlChannel::on_link_state(net::LinkId link, NodeId a, NodeId b,
+                                   bool up) {
+  // Detection latency: whichever endpoint's control session notices first.
+  const sim::Duration detect = std::min(latency(a), latency(b));
+  sim_.schedule_in(detect, [this, link, a, b, up]() {
+    const sim::Time handled_at = reserve_service_slot(recv_service_);
+    sim_.schedule_at(handled_at, [this, link, a, b, up]() {
+      if (app_ != nullptr) app_->handle_link_state(link, a, b, up);
+    });
+  });
+}
+
+void ControlChannel::on_switch_state(NodeId node, bool up) {
+  sim_.schedule_in(latency(node), [this, node, up]() {
+    const sim::Time handled_at = reserve_service_slot(recv_service_);
+    sim_.schedule_at(handled_at, [this, node, up]() {
+      if (app_ != nullptr) app_->handle_switch_state(node, up);
+    });
+  });
 }
 
 sim::Time ControlChannel::reserve_service_slot(sim::Duration service) {

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "p4rt/fabric_observer.hpp"
 #include "p4rt/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -23,15 +24,31 @@ class MetricsRegistry;
 namespace p4u::p4rt {
 
 class Fabric;
+class ObserverHandle;
 
 /// Controller application callback (P4Update / ez-Segway / Central apps).
 class ControllerApp {
  public:
   virtual ~ControllerApp() = default;
   virtual void handle_from_switch(NodeId from, const Packet& pkt) = 0;
+
+  /// Failure detection (BFD/LLDP stand-in): the channel reports link state
+  /// flaps after the detection latency. Default: not failure-aware.
+  virtual void handle_link_state(net::LinkId link, NodeId a, NodeId b,
+                                 bool up) {
+    (void)link;
+    (void)a;
+    (void)b;
+    (void)up;
+  }
+  /// A switch's control session dropped (up = false) or re-established.
+  virtual void handle_switch_state(NodeId node, bool up) {
+    (void)node;
+    (void)up;
+  }
 };
 
-class ControlChannel {
+class ControlChannel : private FabricObserver {
  public:
   /// `latency_to_switch[i]` = one-way control latency controller <-> switch i;
   /// `service_time` initializes both send and receive processing costs
@@ -91,6 +108,13 @@ class ControlChannel {
  private:
   sim::Time reserve_service_slot(sim::Duration service);
 
+  // Failure detection (FabricObserver): a fault near switch s becomes known
+  // to the controller after the control latency to the closest adjacent
+  // switch (BFD-style adjacency monitoring), then queues for the single
+  // controller thread like any inbound notification.
+  void on_link_state(net::LinkId link, NodeId a, NodeId b, bool up) override;
+  void on_switch_state(NodeId node, bool up) override;
+
   sim::Simulator& sim_;
   Fabric& fabric_;
   std::vector<sim::Duration> latency_;
@@ -100,6 +124,7 @@ class ControlChannel {
   sim::Time busy_until_ = 0;
   ControllerApp* app_ = nullptr;
   std::uint64_t handled_ = 0;
+  ObserverHandle fault_watch_;
 };
 
 /// Per-switch control latencies for a WAN: shortest-path propagation latency

@@ -1,0 +1,136 @@
+// FabricObserver: the fabric's multi-subscriber observation interface.
+//
+// The invariant monitor, the Fig. 2 packet recorders, the control channel's
+// failure detector, and tests all watch the same data-plane events. Each
+// subscribes independently (Fabric::subscribe returns a scoped handle);
+// notifications run in subscription order, so observation side effects are
+// deterministic. Default implementations are no-ops — observers override
+// only what they watch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/graph.hpp"
+#include "p4rt/packet.hpp"
+
+namespace p4u::p4rt {
+
+class Fabric;
+
+/// Scoped subscription returned by Fabric::subscribe: unsubscribes its
+/// observer when destroyed (or reset()). Move-only; a default-constructed
+/// handle is empty.
+class ObserverHandle {
+ public:
+  ObserverHandle() = default;
+  ObserverHandle(Fabric* fabric, std::uint64_t token)
+      : fabric_(fabric), token_(token) {}
+  ObserverHandle(const ObserverHandle&) = delete;
+  ObserverHandle& operator=(const ObserverHandle&) = delete;
+  ObserverHandle(ObserverHandle&& other) noexcept
+      : fabric_(std::exchange(other.fabric_, nullptr)), token_(other.token_) {}
+  ObserverHandle& operator=(ObserverHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fabric_ = std::exchange(other.fabric_, nullptr);
+      token_ = other.token_;
+    }
+    return *this;
+  }
+  ~ObserverHandle() { reset(); }
+
+  /// Unsubscribes now; the handle becomes empty.
+  void reset();
+
+  [[nodiscard]] bool active() const noexcept { return fabric_ != nullptr; }
+
+ private:
+  Fabric* fabric_ = nullptr;
+  std::uint64_t token_ = 0;
+};
+
+class FabricObserver {
+ public:
+  virtual ~FabricObserver() = default;
+
+  /// A forwarding rule became active at `node` (timed install completion or
+  /// instant bring-up write).
+  virtual void on_rule_installed(NodeId node, FlowId flow, std::int32_t port) {
+    (void)node;
+    (void)flow;
+    (void)port;
+  }
+  /// A data packet entered `node`'s forwarding stage.
+  virtual void on_data_arrival(NodeId node, const DataHeader& data) {
+    (void)node;
+    (void)data;
+  }
+  /// A data packet was delivered locally at its egress.
+  virtual void on_delivered(NodeId node, const DataHeader& data) {
+    (void)node;
+    (void)data;
+  }
+  /// A data packet died on TTL = 0.
+  virtual void on_ttl_expired(NodeId node, const DataHeader& data) {
+    (void)node;
+    (void)data;
+  }
+  /// A data packet hit a node with no rule for its flow.
+  virtual void on_blackhole(NodeId node, const DataHeader& data) {
+    (void)node;
+    (void)data;
+  }
+  /// Link (a, b) changed state. Fired *before* the fabric applies the
+  /// effect, so observers can still walk the pre-fault data-plane state.
+  virtual void on_link_state(net::LinkId link, NodeId a, NodeId b, bool up) {
+    (void)link;
+    (void)a;
+    (void)b;
+    (void)up;
+  }
+  /// Switch `node` crashed (up = false; registers/rules are wiped right
+  /// after this notification) or restarted (up = true, state stays wiped).
+  virtual void on_switch_state(NodeId node, bool up) {
+    (void)node;
+    (void)up;
+  }
+};
+
+/// Callback-slot adapter for scenarios and tests that want a lambda per
+/// event instead of a subclass. Unset slots stay no-ops.
+class FabricCallbacks final : public FabricObserver {
+ public:
+  std::function<void(NodeId, FlowId, std::int32_t)> rule_installed;
+  std::function<void(NodeId, const DataHeader&)> data_arrival;
+  std::function<void(NodeId, const DataHeader&)> delivered;
+  std::function<void(NodeId, const DataHeader&)> ttl_expired;
+  std::function<void(NodeId, const DataHeader&)> blackhole;
+  std::function<void(net::LinkId, NodeId, NodeId, bool)> link_state;
+  std::function<void(NodeId, bool)> switch_state;
+
+  void on_rule_installed(NodeId node, FlowId flow, std::int32_t port) override {
+    if (rule_installed) rule_installed(node, flow, port);
+  }
+  void on_data_arrival(NodeId node, const DataHeader& data) override {
+    if (data_arrival) data_arrival(node, data);
+  }
+  void on_delivered(NodeId node, const DataHeader& data) override {
+    if (delivered) delivered(node, data);
+  }
+  void on_ttl_expired(NodeId node, const DataHeader& data) override {
+    if (ttl_expired) ttl_expired(node, data);
+  }
+  void on_blackhole(NodeId node, const DataHeader& data) override {
+    if (blackhole) blackhole(node, data);
+  }
+  void on_link_state(net::LinkId link, NodeId a, NodeId b, bool up) override {
+    if (link_state) link_state(link, a, b, up);
+  }
+  void on_switch_state(NodeId node, bool up) override {
+    if (switch_state) switch_state(node, up);
+  }
+};
+
+}  // namespace p4u::p4rt

@@ -165,6 +165,10 @@ struct EzCmdHeader {
   std::int32_t await_segments = 0;     // in_loop dependencies to resolve
   double flow_size = 0.0;
   std::uint8_t priority = 0;  // centrally precomputed (congestion variant)
+  /// Recovery resend: the controller repeats a command it believes was lost.
+  /// A switch that already acted re-emits its outbound messages (notify /
+  /// SegmentDone / UFM) instead of re-installing.
+  bool retrigger = false;
 };
 
 /// ez-Segway in-segment "update now" notification, passed upstream.

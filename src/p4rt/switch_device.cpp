@@ -50,6 +50,22 @@ obs::Counter& SwitchDevice::rule_installs_counter() {
   return rule_installs_;
 }
 
+obs::Counter& SwitchDevice::crash_dropped_counter() {
+  if (!crash_dropped_.resolved()) {
+    crash_dropped_ = fabric_.metrics().counter("switch.crash_dropped",
+                                               {{"switch", id_label_}});
+  }
+  return crash_dropped_;
+}
+
+obs::Counter& SwitchDevice::installs_rejected_counter() {
+  if (!installs_rejected_.resolved()) {
+    installs_rejected_ = fabric_.metrics().counter("switch.installs_rejected",
+                                                   {{"switch", id_label_}});
+  }
+  return installs_rejected_;
+}
+
 sim::Time SwitchDevice::now() const { return fabric_.simulator().now(); }
 
 sim::Simulator& SwitchDevice::simulator() { return fabric_.simulator(); }
@@ -59,13 +75,31 @@ void SwitchDevice::receive(Packet pkt, std::int32_t in_port) {
 }
 
 void SwitchDevice::enqueue_for_service(Packet pkt, std::int32_t in_port) {
+  if (crashed_) {
+    // Packets handed to a dead switch (inject, resubmit races) die at the
+    // front panel; the fabric already intercepts link deliveries.
+    crash_dropped_counter().inc();
+    fabric_.trace().add_lazy([&] {
+      return sim::TraceEntry{now(),       sim::TraceKind::kMessageDropped,
+                             id_,         pkt.flow(),
+                             0,           0,
+                             "switch down: " + describe(pkt)};
+    });
+    return;
+  }
   // Single-threaded pipeline: packets drain one per service_time.
   const sim::Time start = std::max(now(), busy_until_);
   const sim::Time done = start + params_.service_time;
   busy_until_ = done;
   queue_depth_gauge().set(static_cast<double>(++queue_depth_));
   service_histogram().observe(sim::to_ms(done - now()));
-  simulator().schedule_at(done, [this, pkt = std::move(pkt), in_port]() mutable {
+  simulator().schedule_at(done, [this, epoch = epoch_, pkt = std::move(pkt),
+                                 in_port]() mutable {
+    if (epoch != epoch_) {
+      // The switch crashed while this packet sat in the service queue.
+      crash_dropped_counter().inc();
+      return;
+    }
     process(std::move(pkt), in_port);
   });
 }
@@ -88,24 +122,23 @@ void SwitchDevice::process(Packet pkt, std::int32_t in_port) {
 
 void SwitchDevice::forward_data(DataHeader data, std::int32_t in_port) {
   (void)in_port;
-  auto& hooks = fabric_.hooks();
-  if (hooks.on_data_arrival) hooks.on_data_arrival(id_, data);
+  fabric_.notify_data_arrival(id_, data);
 
   const auto port = lookup(data.flow);
   if (!port) {
-    if (hooks.on_blackhole) hooks.on_blackhole(id_, data);
+    fabric_.notify_blackhole(id_, data);
     fabric_.trace().add({now(), sim::TraceKind::kBlackholeDetected, id_,
                          data.flow, data.seq, 0, ""});
     return;
   }
   if (*port == kLocalPort) {
-    if (hooks.on_delivered) hooks.on_delivered(id_, data);
+    fabric_.notify_delivered(id_, data);
     fabric_.trace().add({now(), sim::TraceKind::kPacketDelivered, id_,
                          data.flow, data.seq, 0, ""});
     return;
   }
   if (--data.ttl <= 0) {
-    if (hooks.on_ttl_expired) hooks.on_ttl_expired(id_, data);
+    fabric_.notify_ttl_expired(id_, data);
     fabric_.trace().add({now(), sim::TraceKind::kPacketExpired, id_, data.flow,
                          data.seq, 0, ""});
     return;
@@ -129,7 +162,12 @@ void SwitchDevice::send_to_controller(Packet pkt) {
 void SwitchDevice::resubmit(Packet pkt, std::int32_t in_port) {
   simulator().schedule_in(
       params_.resubmit_interval,
-      [this, pkt = std::move(pkt), in_port]() mutable {
+      [this, epoch = epoch_, pkt = std::move(pkt), in_port]() mutable {
+        if (epoch != epoch_) {
+          // Recirculating packets live in switch memory; a crash eats them.
+          crash_dropped_counter().inc();
+          return;
+        }
         enqueue_for_service(std::move(pkt), in_port);
       });
 }
@@ -150,6 +188,13 @@ sim::Duration SwitchDevice::sample_install_delay() {
 
 void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
                                 std::function<void()> on_active, bool quick) {
+  if (crashed_) {
+    // The Thrift endpoint is down: the write is lost, not queued. The
+    // on_active continuation never runs — timeout-based recovery upstream
+    // is what notices.
+    installs_rejected_counter().inc();
+    return;
+  }
   const sim::Duration delay =
       quick ? params_.register_write_delay : sample_install_delay();
   sim::Time done = now() + delay;
@@ -158,27 +203,49 @@ void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
     done = std::max(done, it->second + 1);
     it->second = done;
   }
-  simulator().schedule_at(
-      done, [this, flow, port, on_active = std::move(on_active)]() {
-        rules_[flow] = port;
-        ++installs_completed_;
-        rule_installs_counter().inc();
-        fabric_.trace().add({now(), sim::TraceKind::kRuleInstalled, id_, flow,
-                             port, 0, ""});
-        if (fabric_.hooks().on_rule_installed) {
-          fabric_.hooks().on_rule_installed(id_, flow, port);
-        }
-        if (on_active) on_active();
-      });
+  simulator().schedule_at(done, [this, epoch = epoch_, flow, port,
+                                 on_active = std::move(on_active)]() {
+    if (epoch != epoch_) {
+      // Accepted before the crash, wiped with everything else.
+      installs_rejected_counter().inc();
+      return;
+    }
+    rules_[flow] = port;
+    ++installs_completed_;
+    rule_installs_counter().inc();
+    fabric_.trace().add(
+        {now(), sim::TraceKind::kRuleInstalled, id_, flow, port, 0, ""});
+    fabric_.notify_rule_installed(id_, flow, port);
+    if (on_active) on_active();
+  });
 }
 
 void SwitchDevice::set_rule_now(FlowId flow, std::int32_t port) {
-  rules_[flow] = port;
-  if (fabric_.hooks().on_rule_installed) {
-    fabric_.hooks().on_rule_installed(id_, flow, port);
+  if (crashed_) {
+    installs_rejected_counter().inc();
+    return;
   }
+  rules_[flow] = port;
+  fabric_.notify_rule_installed(id_, flow, port);
 }
 
 void SwitchDevice::remove_rule(FlowId flow) { rules_.erase(flow); }
+
+void SwitchDevice::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  // Everything volatile dies with the process: the forwarding table, the
+  // service queue (stale-epoch events count themselves as crash-dropped when
+  // they fire), pending install completions, and pipeline registers.
+  rules_.clear();
+  install_tail_.clear();
+  busy_until_ = 0;
+  queue_depth_ = 0;
+  queue_depth_gauge().set(0.0);
+  if (pipeline_ != nullptr) pipeline_->on_crash(*this);
+}
+
+void SwitchDevice::restart() { crashed_ = false; }
 
 }  // namespace p4u::p4rt

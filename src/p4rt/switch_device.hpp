@@ -68,6 +68,11 @@ class Pipeline {
     (void)data;
     (void)in_port;
   }
+
+  /// The switch crashed: volatile pipeline state (UIB registers, parked
+  /// packets, dedup sets) is gone. Called after the forwarding table is
+  /// wiped; the pipeline must drop everything it holds for this switch.
+  virtual void on_crash(SwitchDevice& sw) { (void)sw; }
 };
 
 class SwitchDevice {
@@ -131,6 +136,20 @@ class SwitchDevice {
     return installs_completed_;
   }
 
+  // --- Failure domain (faults::FaultPlan switch events) ---
+
+  /// Hard power-fail: wipes the forwarding table and pipeline state
+  /// (Pipeline::on_crash), drops every enqueued/parked packet, and rejects
+  /// receives and installs until restart(). Modeled on what a BMv2 reboot
+  /// loses: every Table 1 register array is volatile.
+  void crash();
+
+  /// Brings the switch back into service. State stays wiped — recovery is
+  /// the controller's job (re-issue rules / repair update).
+  void restart();
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   // --- Environment access for pipelines ---
   [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
@@ -149,6 +168,8 @@ class SwitchDevice {
   obs::Histogram& service_histogram();
   obs::Counter& handled_counter(const Packet& pkt);
   obs::Counter& rule_installs_counter();
+  obs::Counter& crash_dropped_counter();
+  obs::Counter& installs_rejected_counter();
 
   Fabric& fabric_;
   NodeId id_;
@@ -158,6 +179,8 @@ class SwitchDevice {
   obs::Gauge queue_depth_gauge_;
   obs::Histogram service_hist_;
   obs::Counter rule_installs_;
+  obs::Counter crash_dropped_;
+  obs::Counter installs_rejected_;
   std::array<obs::Counter, kPacketKindCount> handled_;
   Pipeline* pipeline_ = nullptr;
   std::map<FlowId, std::int32_t> rules_;
@@ -168,6 +191,11 @@ class SwitchDevice {
   sim::Time busy_until_ = 0;
   std::uint64_t queue_depth_ = 0;  // packets scheduled but not yet processed
   std::uint64_t installs_completed_ = 0;
+  bool crashed_ = false;
+  // Bumped by crash(): events scheduled before the crash (service-queue
+  // drains, in-flight install completions, parked resubmits) carry the
+  // epoch they were scheduled in and no-op when it is stale.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace p4u::p4rt

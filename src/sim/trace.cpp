@@ -22,6 +22,10 @@ const char* to_string(TraceKind k) {
     case TraceKind::kPacketDelivered: return "packet-delivered";
     case TraceKind::kPacketExpired: return "packet-expired";
     case TraceKind::kRuleCleaned: return "rule-cleaned";
+    case TraceKind::kLinkDown: return "link-down";
+    case TraceKind::kLinkUp: return "link-up";
+    case TraceKind::kSwitchCrash: return "switch-crash";
+    case TraceKind::kSwitchRestart: return "switch-restart";
     case TraceKind::kInfo: return "info";
   }
   return "unknown";

@@ -31,6 +31,10 @@ enum class TraceKind : std::uint8_t {
   kPacketDelivered,   // data packet reached its egress
   kPacketExpired,     // data packet dropped on TTL = 0
   kRuleCleaned,       // stale rule removed by a cleanup packet (§11)
+  kLinkDown,          // scheduled fault: link blackholes in both directions
+  kLinkUp,            // scheduled fault: link restored
+  kSwitchCrash,       // scheduled fault: switch down, registers/rules wiped
+  kSwitchRestart,     // scheduled fault: switch serving again (state wiped)
   kInfo,              // free-form annotation
 };
 

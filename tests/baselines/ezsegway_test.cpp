@@ -86,12 +86,11 @@ TEST(EzSegwayTest, InLoopSegmentWaitsForDependency) {
   bed.deploy_flow(f, topo.old_path);
 
   std::vector<net::NodeId> install_order;
-  auto prev = bed.fabric().hooks().on_rule_installed;
-  bed.fabric().hooks().on_rule_installed =
-      [&, prev](net::NodeId n, net::FlowId fl, std::int32_t port) {
-        if (prev) prev(n, fl, port);
-        install_order.push_back(n);
-      };
+  p4rt::FabricCallbacks cb;
+  cb.rule_installed = [&](net::NodeId n, net::FlowId, std::int32_t) {
+    install_order.push_back(n);
+  };
+  const auto sub = bed.fabric().subscribe(&cb);
 
   bed.schedule_update_at(sim::milliseconds(10), f.id, topo.new_path);
   bed.run();

@@ -51,12 +51,13 @@ TEST(TwoPhaseTest, DeployInstallsGenerationZeroAndStamps) {
   }
   // A packet injected with the BASE id is stamped and delivered.
   std::uint32_t delivered = 0;
-  env.bed->fabric().hooks().on_delivered =
-      [&](net::NodeId n, const p4rt::DataHeader& d) {
-        EXPECT_EQ(n, 7);
-        EXPECT_EQ(d.flow, tag0);  // rewritten at the ingress
-        ++delivered;
-      };
+  p4rt::FabricCallbacks cb;
+  cb.delivered = [&](net::NodeId n, const p4rt::DataHeader& d) {
+    EXPECT_EQ(n, 7);
+    EXPECT_EQ(d.flow, tag0);  // rewritten at the ingress
+    ++delivered;
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
   env.bed->fabric().inject(0, p4rt::Packet{p4rt::DataHeader{env.flow.id, 1, 64}},
                            -1);
   env.bed->run();
@@ -78,13 +79,15 @@ TEST(TwoPhaseTest, MigrationIsPerPacketConsistent) {
 
   // Record every packet's traversed node sequence by sequence id.
   std::map<std::uint32_t, net::Path> walks;
-  env.bed->fabric().hooks().on_data_arrival =
-      [&](net::NodeId n, const p4rt::DataHeader& d) {
-        walks[d.seq].push_back(n);
-      };
   std::map<std::uint32_t, int> delivered;
-  env.bed->fabric().hooks().on_delivered =
-      [&](net::NodeId, const p4rt::DataHeader& d) { ++delivered[d.seq]; };
+  p4rt::FabricCallbacks cb;
+  cb.data_arrival = [&](net::NodeId n, const p4rt::DataHeader& d) {
+    walks[d.seq].push_back(n);
+  };
+  cb.delivered = [&](net::NodeId, const p4rt::DataHeader& d) {
+    ++delivered[d.seq];
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
 
   env.bed->run();
 

@@ -1,0 +1,160 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/topologies.hpp"
+
+namespace p4u::faults {
+namespace {
+
+TEST(FaultPlanTest, BuilderKeepsEventsSortedByTime) {
+  FaultPlan plan;
+  plan.switch_crash(sim::milliseconds(30), 2);
+  plan.link_down(sim::milliseconds(10), 0, 1);
+  plan.link_up(sim::milliseconds(20), 0, 1);
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(ev[1].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(ev[2].kind, FaultKind::kSwitchCrash);
+  EXPECT_TRUE(ev[0].at <= ev[1].at && ev[1].at <= ev[2].at);
+}
+
+TEST(FaultPlanTest, TiesKeepInsertionOrder) {
+  // Same-instant events must fire in declaration order, matching the
+  // simulator's (at, seq) tie-break.
+  FaultPlan plan;
+  plan.switch_crash(sim::milliseconds(5), 3);
+  plan.link_down(sim::milliseconds(5), 0, 1);
+  plan.switch_restart(sim::milliseconds(5), 3);
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kSwitchCrash);
+  EXPECT_EQ(ev[1].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(ev[2].kind, FaultKind::kSwitchRestart);
+}
+
+TEST(FaultPlanTest, PairedBuildersEmitDownAndUp) {
+  FaultPlan plan;
+  plan.link_down_for(sim::milliseconds(50), 2, 3, sim::seconds(2));
+  plan.switch_crash_for(sim::milliseconds(60), 4, sim::seconds(1));
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(ev[0].a, 2);
+  EXPECT_EQ(ev[0].b, 3);
+  EXPECT_EQ(ev[1].kind, FaultKind::kSwitchCrash);
+  EXPECT_EQ(ev[1].a, 4);
+  EXPECT_EQ(ev[2].kind, FaultKind::kSwitchRestart);
+  EXPECT_EQ(ev[2].at, sim::milliseconds(60) + sim::seconds(1));
+  EXPECT_EQ(ev[3].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(ev[3].at, sim::milliseconds(50) + sim::seconds(2));
+}
+
+TEST(FaultPlanTest, EmptyReflectsModelAndEvents) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.model.control_drop_prob = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan.model.control_drop_prob = 0.0;
+  plan.switch_crash(sim::milliseconds(1), 0);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, ValidateAcceptsWellFormedPlan) {
+  net::NamedTopology topo = net::fig1_topology();
+  FaultPlan plan;
+  plan.model.control_drop_prob = 0.05;
+  plan.link_down_for(sim::milliseconds(10), topo.old_path[0],
+                     topo.old_path[1], sim::seconds(1));
+  plan.switch_crash_for(sim::milliseconds(20), topo.old_path[2],
+                        sim::seconds(1));
+  EXPECT_NO_THROW(plan.validate(topo.graph));
+}
+
+TEST(FaultPlanTest, ValidateRejectsUnknownLink) {
+  net::NamedTopology topo = net::fig1_topology();
+  FaultPlan plan;
+  plan.link_down(sim::milliseconds(10), topo.old_path.front(),
+                 topo.old_path.back());  // ingress-egress: not adjacent
+  EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ValidateRejectsUnknownNode) {
+  net::NamedTopology topo = net::fig1_topology();
+  FaultPlan plan;
+  plan.switch_crash(sim::milliseconds(10),
+                    static_cast<net::NodeId>(topo.graph.node_count()));
+  EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadProbabilities) {
+  net::NamedTopology topo = net::fig1_topology();
+  {
+    FaultPlan plan;
+    plan.model.control_drop_prob = 1.5;
+    EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.model.data_drop_prob = -0.1;
+    EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+  }
+  {
+    // kSetModel payloads are validated too, not just the initial model.
+    FaultPlan plan;
+    FaultModel m;
+    m.control_drop_prob = 2.0;
+    plan.set_model(sim::milliseconds(10), m);
+    EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsNegativeJitter) {
+  net::NamedTopology topo = net::fig1_topology();
+  FaultPlan plan;
+  plan.model.reorder_jitter = -1;
+  EXPECT_THROW(plan.validate(topo.graph), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ParseLinkDownSpecAppendsOutagePair) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(parse_link_down_spec("50:2-3:2000", plan, &err)) << err;
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(ev[0].at, sim::milliseconds(50));
+  EXPECT_EQ(ev[0].a, 2);
+  EXPECT_EQ(ev[0].b, 3);
+  EXPECT_EQ(ev[1].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(ev[1].at, sim::milliseconds(2050));
+  // Repeatable: a second spec stacks onto the same plan.
+  ASSERT_TRUE(parse_link_down_spec("10:0-1:500", plan, &err)) << err;
+  EXPECT_EQ(plan.events().size(), 4u);
+}
+
+TEST(FaultPlanTest, ParseLinkDownSpecRejectsMalformedInput) {
+  const char* bad[] = {
+      "",            // empty
+      "50",          // no fields
+      "50:2-3",      // missing duration
+      "50:23:2000",  // no dash in the link part
+      "x:2-3:2000",  // non-numeric time
+      "50:2-y:2000", // non-numeric endpoint
+      "50:2-3:0",    // zero duration
+      "50:2-3:-5",   // negative duration
+  };
+  for (const char* spec : bad) {
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(parse_link_down_spec(spec, plan, &err)) << spec;
+    EXPECT_NE(err.find("--link-down"), std::string::npos) << spec;
+    EXPECT_TRUE(plan.events().empty()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace p4u::faults

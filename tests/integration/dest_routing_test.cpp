@@ -81,16 +81,15 @@ TEST(DestRoutingTest, EveryIntermediateStateDeliversForAllSources) {
   env.bed->deploy_tree(env.flow, initial);
 
   bool always_delivered = true;
-  auto prev = env.bed->fabric().hooks().on_rule_installed;
-  env.bed->fabric().hooks().on_rule_installed =
-      [&](net::NodeId n, net::FlowId fl, std::int32_t port) {
-        if (prev) prev(n, fl, port);
-        if (fl != env.flow.id) return;
-        for (net::NodeId m : members) {
-          always_delivered =
-              always_delivered && delivers(*env.bed, env.flow.id, m, env.root);
-        }
-      };
+  p4rt::FabricCallbacks cb;
+  cb.rule_installed = [&](net::NodeId, net::FlowId fl, std::int32_t) {
+    if (fl != env.flow.id) return;
+    for (net::NodeId m : members) {
+      always_delivered =
+          always_delivered && delivers(*env.bed, env.flow.id, m, env.root);
+    }
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
 
   const control::DestTree target =
       control::spanning_tree_toward(env.g, env.root, members,

@@ -46,12 +46,11 @@ TEST(DualLayerTest, ConvergesToNewPathWithInheritedDistanceZero) {
 TEST(DualLayerTest, BackwardGatewayInstallsAfterForwardSegmentEnd) {
   Fig1Bed env;
   std::vector<net::NodeId> order;
-  auto prev = env.bed->fabric().hooks().on_rule_installed;
-  env.bed->fabric().hooks().on_rule_installed =
-      [&order, prev](net::NodeId n, net::FlowId fl, std::int32_t port) {
-        if (prev) prev(n, fl, port);
-        order.push_back(n);
-      };
+  p4rt::FabricCallbacks cb;
+  cb.rule_installed = [&order](net::NodeId n, net::FlowId, std::int32_t) {
+    order.push_back(n);
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
   env.bed->schedule_update_at(sim::milliseconds(10), env.flow.id,
                               env.topo.new_path);
   env.bed->run();
@@ -72,12 +71,11 @@ TEST(DualLayerTest, BackwardGatewayInstallsAfterForwardSegmentEnd) {
 TEST(DualLayerTest, ForwardGatewayV0UpdatesEarlyViaIntraProposal) {
   Fig1Bed env;
   std::vector<net::NodeId> order;
-  auto prev = env.bed->fabric().hooks().on_rule_installed;
-  env.bed->fabric().hooks().on_rule_installed =
-      [&order, prev](net::NodeId n, net::FlowId fl, std::int32_t port) {
-        if (prev) prev(n, fl, port);
-        order.push_back(n);
-      };
+  p4rt::FabricCallbacks cb;
+  cb.rule_installed = [&order](net::NodeId n, net::FlowId, std::int32_t) {
+    order.push_back(n);
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
   env.bed->schedule_update_at(sim::milliseconds(10), env.flow.id,
                               env.topo.new_path);
   env.bed->run();
@@ -142,11 +140,12 @@ TEST(DualLayerTest, LiveTrafficCrossesTheUpdateWithoutLossOrDuplicates) {
     return p;
   }());
   std::map<std::uint32_t, int> delivered;
-  env.bed->fabric().hooks().on_delivered =
-      [&](net::NodeId n, const p4rt::DataHeader& d) {
-        EXPECT_EQ(n, 7);
-        ++delivered[d.seq];
-      };
+  p4rt::FabricCallbacks cb;
+  cb.delivered = [&](net::NodeId n, const p4rt::DataHeader& d) {
+    EXPECT_EQ(n, 7);
+    ++delivered[d.seq];
+  };
+  const auto sub = env.bed->fabric().subscribe(&cb);
   // 200 packets at 250 pps covering well past the update window.
   env.bed->start_traffic(env.flow.id, 0, 250.0, 200);
   env.bed->schedule_update_at(sim::milliseconds(100), env.flow.id,

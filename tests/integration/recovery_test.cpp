@@ -9,12 +9,26 @@
 namespace p4u::harness {
 namespace {
 
+/// Plan section that drops every switch-to-switch control message inside
+/// [from, to] — the first UNM chain dies in transit, leaving no parked
+/// state anywhere.
+faults::FaultPlan blackout(sim::Time from, sim::Time to) {
+  faults::FaultPlan plan;
+  faults::FaultModel dark;
+  dark.control_drop_prob = 1.0;
+  plan.set_model(from, dark);
+  plan.set_model(to, faults::FaultModel{});
+  return plan;
+}
+
 struct RecoveryBed {
-  explicit RecoveryBed(bool retrigger) : topo(net::fig1_topology()) {
+  explicit RecoveryBed(bool retrigger, faults::FaultPlan plan = {})
+      : topo(net::fig1_topology()) {
     TestBedParams params;
     params.enable_retrigger = retrigger;
     params.p4u_uim_watchdog = sim::milliseconds(500);
     params.p4u_wait_timeout = sim::milliseconds(500);
+    params.fault_plan = std::move(plan);
     bed = std::make_unique<TestBed>(topo.graph, params);
     flow.ingress = 0;
     flow.egress = 7;
@@ -23,25 +37,14 @@ struct RecoveryBed {
     bed->deploy_flow(flow, topo.old_path);
   }
 
-  /// Drops every switch-to-switch control message inside [from, to] — the
-  /// first UNM chain dies in transit, leaving no parked state anywhere.
-  void blackout(sim::Time from, sim::Time to) {
-    bed->simulator().schedule_at(from, [this]() {
-      bed->fabric().faults().control_drop_prob = 1.0;
-    });
-    bed->simulator().schedule_at(to, [this]() {
-      bed->fabric().faults().control_drop_prob = 0.0;
-    });
-  }
-
   net::NamedTopology topo;
   std::unique_ptr<TestBed> bed;
   net::Flow flow;
 };
 
 TEST(RecoveryTest, WithoutRetriggerALostChainStallsForever) {
-  RecoveryBed env(/*retrigger=*/false);
-  env.blackout(sim::milliseconds(10), sim::milliseconds(200));
+  RecoveryBed env(/*retrigger=*/false,
+                  blackout(sim::milliseconds(10), sim::milliseconds(200)));
   env.bed->schedule_update_at(sim::milliseconds(10), env.flow.id,
                               env.topo.new_path);
   env.bed->run(sim::seconds(120));
@@ -53,8 +56,8 @@ TEST(RecoveryTest, WithoutRetriggerALostChainStallsForever) {
 }
 
 TEST(RecoveryTest, RetriggerRecoversFromLostChain) {
-  RecoveryBed env(/*retrigger=*/true);
-  env.blackout(sim::milliseconds(10), sim::milliseconds(200));
+  RecoveryBed env(/*retrigger=*/true,
+                  blackout(sim::milliseconds(10), sim::milliseconds(200)));
   env.bed->schedule_update_at(sim::milliseconds(10), env.flow.id,
                               env.topo.new_path);
   env.bed->run(sim::seconds(120));
@@ -71,8 +74,9 @@ TEST(RecoveryTest, RetriggerRecoversFromLostChain) {
 }
 
 TEST(RecoveryTest, RetriggerIsBoundedUnderPermanentBlackout) {
-  RecoveryBed env(/*retrigger=*/true);
-  env.blackout(sim::milliseconds(10), sim::seconds(1000));  // never heals
+  RecoveryBed env(
+      /*retrigger=*/true,
+      blackout(sim::milliseconds(10), sim::seconds(1000)));  // never heals
   env.bed->schedule_update_at(sim::milliseconds(10), env.flow.id,
                               env.topo.new_path);
   env.bed->run(sim::seconds(1100));  // past the blackout-end event
@@ -90,8 +94,8 @@ TEST(RecoveryTest, RetriggerUnderRandomLossConvergesAcrossSeeds) {
     params.enable_retrigger = true;
     params.p4u_uim_watchdog = sim::milliseconds(400);
     params.p4u_wait_timeout = sim::milliseconds(400);
+    params.fault_plan.model.control_drop_prob = 0.25;
     TestBed bed(topo.graph, params);
-    bed.fabric().faults().control_drop_prob = 0.25;
     net::Flow f;
     f.ingress = 0;
     f.egress = 7;

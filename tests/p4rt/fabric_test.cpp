@@ -44,8 +44,9 @@ TEST(FabricTest, InvalidPortThrows) {
 TEST(FabricTest, ControlDropProbabilityDropsControlMessages) {
   sim::Simulator sim;
   net::NamedTopology topo = net::fig2_topology();
-  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
-  fabric.faults().control_drop_prob = 1.0;  // drop everything
+  faults::FaultPlan plan;
+  plan.model.control_drop_prob = 1.0;  // drop everything
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7, plan);
   CountingPipeline pipe;
   fabric.sw(1).set_pipeline(&pipe);
   for (int i = 0; i < 5; ++i) {
@@ -59,15 +60,16 @@ TEST(FabricTest, ControlDropProbabilityDropsControlMessages) {
 TEST(FabricTest, DataDropProbabilityIndependentOfControl) {
   sim::Simulator sim;
   net::NamedTopology topo = net::fig2_topology();
-  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
-  fabric.faults().data_drop_prob = 1.0;
-  fabric.faults().control_drop_prob = 0.0;
+  faults::FaultPlan plan;
+  plan.model.data_drop_prob = 1.0;
+  plan.model.control_drop_prob = 0.0;
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7, plan);
   CountingPipeline pipe;
   fabric.sw(1).set_pipeline(&pipe);
   int arrivals = 0;
-  fabric.hooks().on_data_arrival = [&](net::NodeId, const DataHeader&) {
-    ++arrivals;
-  };
+  FabricCallbacks cb;
+  cb.data_arrival = [&](net::NodeId, const DataHeader&) { ++arrivals; };
+  const auto sub = fabric.subscribe(&cb);
   fabric.transmit(0, topo.graph.port_of(0, 1), Packet{DataHeader{1, 0, 64}});
   fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
   sim.run();
@@ -79,8 +81,9 @@ TEST(FabricTest, ReorderJitterCanInvertArrivalOrder) {
   // With large jitter some pair of back-to-back messages must reorder.
   sim::Simulator sim;
   net::NamedTopology topo = net::fig2_topology();
-  Fabric fabric(sim, topo.graph, SwitchParams{}, 11);
-  fabric.faults().reorder_jitter = sim::milliseconds(50);
+  faults::FaultPlan plan;
+  plan.model.reorder_jitter = sim::milliseconds(50);
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 11, plan);
 
   class SeqPipeline final : public Pipeline {
    public:
@@ -150,8 +153,9 @@ TEST(FabricTest, HugeReorderJitterSaturatesInsteadOfWrapping) {
   // delivery in the past. An absurd jitter knob must only delay.
   sim::Simulator sim;
   net::NamedTopology topo = net::fig2_topology();
-  Fabric fabric(sim, topo.graph, SwitchParams{}, 3);
-  fabric.faults().reorder_jitter = sim::kTimeInfinity;
+  faults::FaultPlan plan;
+  plan.model.reorder_jitter = sim::kTimeInfinity;
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 3, plan);
   CountingPipeline pipe;
   fabric.sw(1).set_pipeline(&pipe);
   fabric.transmit(0, topo.graph.port_of(0, 1), Packet{UnmHeader{}});
@@ -165,8 +169,9 @@ TEST(FabricTest, HugeReorderJitterSaturatesInsteadOfWrapping) {
 TEST(FabricTest, CountersReconcileWithTraceAndDelivery) {
   sim::Simulator sim;
   net::NamedTopology topo = net::fig2_topology();
-  Fabric fabric(sim, topo.graph, SwitchParams{}, 7);
-  fabric.faults().control_drop_prob = 0.5;
+  faults::FaultPlan plan;
+  plan.model.control_drop_prob = 0.5;
+  Fabric fabric(sim, topo.graph, SwitchParams{}, 7, plan);
   CountingPipeline pipe;
   fabric.sw(1).set_pipeline(&pipe);
   constexpr int kSent = 64;
@@ -192,8 +197,9 @@ TEST(FabricTest, DeterministicAcrossRunsWithSameSeed) {
   auto run_once = [](std::uint64_t seed) {
     sim::Simulator sim;
     net::NamedTopology topo = net::fig2_topology();
-    Fabric fabric(sim, topo.graph, SwitchParams{}, seed);
-    fabric.faults().control_drop_prob = 0.5;
+    faults::FaultPlan plan;
+    plan.model.control_drop_prob = 0.5;
+    Fabric fabric(sim, topo.graph, SwitchParams{}, seed, plan);
     CountingPipeline pipe;
     fabric.sw(1).set_pipeline(&pipe);
     for (int i = 0; i < 64; ++i) {

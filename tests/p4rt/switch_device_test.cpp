@@ -51,10 +51,12 @@ TEST(SwitchDeviceTest, DataForwardingFollowsRules) {
   env.fabric.sw(1).set_rule_now(f, env.topo.graph.port_of(1, 2));
   env.fabric.sw(2).set_rule_now(f, SwitchDevice::kLocalPort);
   int delivered = 0;
-  env.fabric.hooks().on_delivered = [&](net::NodeId n, const DataHeader&) {
+  FabricCallbacks cb;
+  cb.delivered = [&](net::NodeId n, const DataHeader&) {
     EXPECT_EQ(n, 2);
     ++delivered;
   };
+  const auto sub = env.fabric.subscribe(&cb);
   env.fabric.inject(0, Packet{DataHeader{f, 1, 64}}, -1);
   env.sim.run();
   EXPECT_EQ(delivered, 1);
@@ -63,9 +65,9 @@ TEST(SwitchDeviceTest, DataForwardingFollowsRules) {
 TEST(SwitchDeviceTest, MissingRuleIsBlackholeHook) {
   Env env;
   int blackholes = 0;
-  env.fabric.hooks().on_blackhole = [&](net::NodeId, const DataHeader&) {
-    ++blackholes;
-  };
+  FabricCallbacks cb;
+  cb.blackhole = [&](net::NodeId, const DataHeader&) { ++blackholes; };
+  const auto sub = env.fabric.subscribe(&cb);
   env.fabric.inject(0, Packet{DataHeader{123, 0, 64}}, -1);
   env.sim.run();
   EXPECT_EQ(blackholes, 1);
@@ -79,9 +81,9 @@ TEST(SwitchDeviceTest, TtlExpiryDropsPacket) {
   env.fabric.sw(0).set_rule_now(f, env.topo.graph.port_of(0, 1));
   env.fabric.sw(1).set_rule_now(f, env.topo.graph.port_of(1, 0));
   int expired = 0;
-  env.fabric.hooks().on_ttl_expired = [&](net::NodeId, const DataHeader&) {
-    ++expired;
-  };
+  FabricCallbacks cb;
+  cb.ttl_expired = [&](net::NodeId, const DataHeader&) { ++expired; };
+  const auto sub = env.fabric.subscribe(&cb);
   env.fabric.inject(0, Packet{DataHeader{f, 0, 8}}, -1);
   env.sim.run();
   EXPECT_EQ(expired, 1);

@@ -19,9 +19,9 @@ TEST_P(FaultInjectionProperty, DropsAndReordersNeverBreakConsistency) {
   net::NamedTopology topo = net::fig1_topology();
   TestBedParams params;
   params.seed = static_cast<std::uint64_t>(seed);
+  params.fault_plan.model.control_drop_prob = drop_prob;
+  params.fault_plan.model.reorder_jitter = sim::milliseconds(30);
   TestBed bed(topo.graph, params);
-  bed.fabric().faults().control_drop_prob = drop_prob;
-  bed.fabric().faults().reorder_jitter = sim::milliseconds(30);
 
   net::Flow f;
   f.ingress = 0;

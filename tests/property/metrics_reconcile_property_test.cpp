@@ -38,9 +38,9 @@ TEST_P(MetricsReconcileProperty, CountersMatchTraceUnderFaults) {
 
   TestBedParams params;
   params.seed = static_cast<std::uint64_t>(seed);
+  params.fault_plan.model.control_drop_prob = 0.05;
+  params.fault_plan.model.reorder_jitter = sim::milliseconds(2);
   TestBed bed(g, params);
-  bed.fabric().faults().control_drop_prob = 0.05;
-  bed.fabric().faults().reorder_jitter = sim::milliseconds(2);
 
   net::Flow f;
   f.ingress = old_path.front();
