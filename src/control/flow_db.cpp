@@ -18,18 +18,26 @@ const char* to_string(UpdateOutcome o) {
   return "?";
 }
 
+void FlowDb::reserve(std::size_t expected) {
+  index_.reserve(expected);
+  histories_.reserve(expected);
+}
+
 void FlowDb::on_issued(net::FlowId flow, p4rt::Version v, sim::Time at) {
-  auto& hist = records_[flow];
+  const net::FlowHandle h = index_.intern(flow);
+  if (h >= histories_.size()) histories_.resize(h + 1);
+  auto& hist = histories_[h];
   for (auto& r : hist) {
     if (r.state == UpdateState::kInProgress) r.state = UpdateState::kSuperseded;
   }
-  hist.push_back(UpdateRecord{v, at, 0, UpdateState::kInProgress, 0});
+  hist.push_back(UpdateRecord{v, at, 0, UpdateState::kInProgress, 0,
+                              UpdateOutcome::kPending});
 }
 
 void FlowDb::on_completed(net::FlowId flow, p4rt::Version v, sim::Time at) {
-  auto it = records_.find(flow);
-  if (it == records_.end()) return;
-  for (auto& r : it->second) {
+  const net::FlowHandle h = index_.find(flow);
+  if (h == net::kNoFlowHandle) return;
+  for (auto& r : histories_[h]) {
     if (r.version == v && r.completed_at == 0) {
       r.completed_at = at;
       r.state = UpdateState::kCompleted;
@@ -40,9 +48,9 @@ void FlowDb::on_completed(net::FlowId flow, p4rt::Version v, sim::Time at) {
 
 void FlowDb::on_gave_up(net::FlowId flow, p4rt::Version v,
                         UpdateOutcome outcome, sim::Time at) {
-  auto it = records_.find(flow);
-  if (it == records_.end()) return;
-  for (auto& r : it->second) {
+  const net::FlowHandle h = index_.find(flow);
+  if (h == net::kNoFlowHandle) return;
+  for (auto& r : histories_[h]) {
     if (r.version == v && r.outcome == UpdateOutcome::kPending) {
       r.outcome = outcome;
       r.completed_at = at;  // when the decision was made, for reporting
@@ -52,9 +60,9 @@ void FlowDb::on_gave_up(net::FlowId flow, p4rt::Version v,
 }
 
 void FlowDb::on_alarm(net::FlowId flow, p4rt::Version v) {
-  auto it = records_.find(flow);
-  if (it == records_.end()) return;
-  for (auto& r : it->second) {
+  const net::FlowHandle h = index_.find(flow);
+  if (h == net::kNoFlowHandle) return;
+  for (auto& r : histories_[h]) {
     if (r.version == v) {
       ++r.alarms;
       if (r.state == UpdateState::kInProgress) r.state = UpdateState::kFailed;
@@ -63,8 +71,8 @@ void FlowDb::on_alarm(net::FlowId flow, p4rt::Version v) {
 }
 
 const std::vector<UpdateRecord>& FlowDb::history(net::FlowId f) const {
-  auto it = records_.find(f);
-  return it == records_.end() ? kEmpty : it->second;
+  const net::FlowHandle h = index_.find(f);
+  return h == net::kNoFlowHandle ? kEmpty : histories_[h];
 }
 
 const UpdateRecord* FlowDb::record(net::FlowId f, p4rt::Version v) const {
@@ -82,8 +90,7 @@ std::optional<sim::Duration> FlowDb::duration(net::FlowId f,
 }
 
 bool FlowDb::all_completed() const {
-  // p4u-detlint: allow(unordered-iter) order-independent reduction (boolean AND)
-  for (const auto& [flow, hist] : records_) {
+  for (const auto& hist : histories_) {
     for (const auto& r : hist) {
       if (r.state == UpdateState::kInProgress) return false;
     }
@@ -93,8 +100,7 @@ bool FlowDb::all_completed() const {
 
 sim::Time FlowDb::last_completion() const {
   sim::Time t = 0;
-  // p4u-detlint: allow(unordered-iter) order-independent reduction (max)
-  for (const auto& [flow, hist] : records_) {
+  for (const auto& hist : histories_) {
     for (const auto& r : hist) t = std::max(t, r.completed_at);
   }
   return t;
@@ -104,8 +110,7 @@ bool FlowDb::all_terminal() const { return nonterminal_updates() == 0; }
 
 std::uint64_t FlowDb::nonterminal_updates() const {
   std::uint64_t n = 0;
-  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
-  for (const auto& [flow, hist] : records_) {
+  for (const auto& hist : histories_) {
     if (!hist.empty() && hist.back().outcome == UpdateOutcome::kPending) ++n;
   }
   return n;
@@ -113,8 +118,7 @@ std::uint64_t FlowDb::nonterminal_updates() const {
 
 void FlowDb::export_outcomes(obs::MetricsRegistry& m) const {
   std::uint64_t by_outcome[4] = {0, 0, 0, 0};
-  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
-  for (const auto& [flow, hist] : records_) {
+  for (const auto& hist : histories_) {
     for (const auto& r : hist) {
       by_outcome[static_cast<std::size_t>(r.outcome)] += 1;
     }
@@ -136,8 +140,7 @@ void FlowDb::export_outcomes(obs::MetricsRegistry& m) const {
 
 std::uint64_t FlowDb::total_alarms() const {
   std::uint64_t n = 0;
-  // p4u-detlint: allow(unordered-iter) order-independent reduction (integer sum)
-  for (const auto& [flow, hist] : records_) {
+  for (const auto& hist : histories_) {
     for (const auto& r : hist) n += r.alarms;
   }
   return n;

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/flow.hpp"
+#include "net/flow_index.hpp"
 #include "p4rt/packet.hpp"
 #include "sim/time.hpp"
 
@@ -46,8 +46,15 @@ struct UpdateRecord {
   UpdateOutcome outcome = UpdateOutcome::kPending;
 };
 
+// Flat storage: flow ids intern into a net::FlowIndex; the per-flow update
+// histories live in a dense array addressed by the handle. Whole-DB
+// reductions (all_completed, outcome exports) scan the dense array in
+// handle order — a deterministic order, unlike the hash map this replaced.
 class FlowDb {
  public:
+  /// Pre-sizes the index and history array for `expected` flows.
+  void reserve(std::size_t expected);
+
   void on_issued(net::FlowId flow, p4rt::Version v, sim::Time at);
   void on_completed(net::FlowId flow, p4rt::Version v, sim::Time at);
   void on_alarm(net::FlowId flow, p4rt::Version v);
@@ -84,7 +91,10 @@ class FlowDb {
   void export_outcomes(obs::MetricsRegistry& m) const;
 
  private:
-  std::unordered_map<net::FlowId, std::vector<UpdateRecord>> records_;
+  net::FlowIndex index_;
+  // Dense by handle (the DB never releases handles). An empty inner vector
+  // costs no heap, so idle flows stay at one 24-byte row.
+  std::vector<std::vector<UpdateRecord>> histories_;
   static const std::vector<UpdateRecord> kEmpty;
 };
 

@@ -6,23 +6,40 @@
 
 namespace p4u::control {
 
+void Nib::reserve(std::size_t expected) {
+  index_.reserve(expected);
+  views_.reserve(expected);
+}
+
+net::FlowHandle Nib::handle_of(net::FlowId id) const {
+  const net::FlowHandle h = index_.find(id);
+  if (h == net::kNoFlowHandle) {
+    throw std::out_of_range("Nib: unknown flow");
+  }
+  return h;
+}
+
 void Nib::record_flow(const net::Flow& f, net::Path initial_path,
                       p4rt::Version initial_version) {
-  if (flows_.count(f.id) != 0) {
+  if (index_.find(f.id) != net::kNoFlowHandle) {
     throw std::invalid_argument("Nib::record_flow: duplicate flow");
   }
-  FlowView v;
+  const net::FlowHandle h = index_.intern(f.id);
+  if (h >= views_.size()) views_.resize(h + 1);
+  FlowView& v = views_[h];
   v.flow = f;
   v.believed_path = std::move(initial_path);
   v.version = initial_version;
-  flows_.emplace(f.id, std::move(v));
+  v.update_in_progress = false;
 }
 
 std::vector<net::FlowId> Nib::sorted_flow_ids() const {
   std::vector<net::FlowId> ids;
-  ids.reserve(flows_.size());
-  // p4u-detlint: allow(unordered-iter) key harvest only; ids are sorted before use
-  for (const auto& [id, view] : flows_) ids.push_back(id);
+  ids.reserve(index_.size());
+  index_.for_each([&](net::FlowHandle h, net::FlowId id) {
+    (void)h;
+    ids.push_back(id);
+  });
   std::sort(ids.begin(), ids.end());
   return ids;
 }
@@ -30,17 +47,20 @@ std::vector<net::FlowId> Nib::sorted_flow_ids() const {
 double Nib::believed_residual(net::NodeId from, net::NodeId to) const {
   const auto link = graph_->find_link(from, to);
   if (!link) throw std::invalid_argument("believed_residual: no such link");
-  // Float accumulation order must not depend on hash order, or the residual
-  // (and every admission decision derived from it) varies with flow
-  // insertion history. Sum in flow-id order.
-  std::vector<net::FlowId> ids;
-  ids.reserve(flows_.size());
-  // p4u-detlint: allow(unordered-iter) key harvest only; ids are sorted before any value is read
-  for (const auto& [id, view] : flows_) ids.push_back(id);
+  // Float accumulation order must not depend on storage order, or the
+  // residual (and every admission decision derived from it) varies with
+  // flow insertion history. Sum in flow-id order — the order the old
+  // hash-map implementation pinned, so reports stay byte-identical.
+  std::vector<std::pair<net::FlowId, net::FlowHandle>> ids;
+  ids.reserve(index_.size());
+  index_.for_each([&](net::FlowHandle h, net::FlowId id) {
+    ids.emplace_back(id, h);
+  });
   std::sort(ids.begin(), ids.end());
   double used = 0.0;
-  for (const net::FlowId id : ids) {
-    const FlowView& view = flows_.at(id);
+  for (const auto& [id, h] : ids) {
+    (void)id;
+    const FlowView& view = views_[h];
     const net::Path& p = view.believed_path;
     for (std::size_t i = 0; i + 1 < p.size(); ++i) {
       if (p[i] == from && p[i + 1] == to) {

@@ -4,13 +4,18 @@
 // what the data plane actually installed. The NIB never reads switch state
 // directly; it only learns through UFM/FRM messages, like the paper's
 // controller.
+//
+// Storage is flat (ROADMAP: million-flow state): flow ids intern into a
+// net::FlowIndex and the FlowViews live in a dense pool addressed by the
+// handle, so a controller tracking 10^6 flows pays one contiguous row per
+// flow instead of a hash node, and whole-NIB scans are cache-linear.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/flow.hpp"
+#include "net/flow_index.hpp"
 #include "net/graph.hpp"
 #include "net/paths.hpp"
 #include "p4rt/packet.hpp"
@@ -30,31 +35,34 @@ class Nib {
 
   [[nodiscard]] const net::Graph& graph() const { return *graph_; }
 
+  /// Pre-sizes the index and the view pool for `expected` flows.
+  void reserve(std::size_t expected);
+
   /// Registers a flow. `initial_version` 1 = already deployed in the data
   /// plane; 0 = rules not yet installed (the first update deploys them).
   void record_flow(const net::Flow& f, net::Path initial_path,
                    p4rt::Version initial_version = 1);
   [[nodiscard]] bool knows(net::FlowId id) const {
-    return flows_.count(id) != 0;
+    return index_.find(id) != net::kNoFlowHandle;
   }
-  [[nodiscard]] FlowView& view(net::FlowId id) { return flows_.at(id); }
+  [[nodiscard]] FlowView& view(net::FlowId id) { return views_[handle_of(id)]; }
   [[nodiscard]] const FlowView& view(net::FlowId id) const {
-    return flows_.at(id);
+    return views_[handle_of(id)];
   }
 
   /// Next version for a flow update; versions are globally unique per flow
   /// and strictly increasing (§3).
-  p4rt::Version next_version(net::FlowId id) { return ++flows_.at(id).version; }
+  p4rt::Version next_version(net::FlowId id) {
+    return ++views_[handle_of(id)].version;
+  }
 
   /// Marks an update as deployed in the controller's belief. The belief may
   /// be wrong — that is the point of the verification experiments.
   void believe_path(net::FlowId id, net::Path p) {
-    flows_.at(id).believed_path = std::move(p);
+    views_[handle_of(id)].believed_path = std::move(p);
   }
 
-  [[nodiscard]] const std::unordered_map<net::FlowId, FlowView>& flows() const {
-    return flows_;
-  }
+  [[nodiscard]] std::size_t flow_count() const { return index_.size(); }
 
   /// Every known flow id, sorted. Recovery scans ("which flows cross this
   /// dead link?") iterate this so their side effects — repair updates, give-
@@ -66,8 +74,13 @@ class Nib {
   [[nodiscard]] double believed_residual(net::NodeId from, net::NodeId to) const;
 
  private:
+  [[nodiscard]] net::FlowHandle handle_of(net::FlowId id) const;
+
   const net::Graph* graph_;
-  std::unordered_map<net::FlowId, FlowView> flows_;
+  net::FlowIndex index_;
+  // Dense by handle; the NIB never releases handles, so rows_[h] is live
+  // exactly when h < index_.slot_count().
+  std::vector<FlowView> views_;
 };
 
 }  // namespace p4u::control

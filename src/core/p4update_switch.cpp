@@ -36,17 +36,29 @@ void count_verify(SwitchDevice& sw, const char* outcome) {
 
 P4UpdateSwitch::P4UpdateSwitch(net::NodeId id, const net::Graph& graph,
                                P4UpdateSwitchParams params)
-    : id_(id), graph_(&graph), params_(params), scheduler_(graph, id) {}
+    : id_(id), graph_(&graph), params_(params), scheduler_(graph, id) {
+  if (params_.expected_flows > 0) {
+    uib_.reserve(params_.expected_flows);
+    reported_flows_.reserve(params_.expected_flows);
+    completed_version_.reserve(params_.expected_flows);
+    ingress_old_port_.reserve(params_.expected_flows);
+    stamps_.reserve(params_.expected_flows);
+    watchdog_gen_.reserve(params_.expected_flows);
+  }
+}
 
 void P4UpdateSwitch::on_crash(SwitchDevice& sw) {
   (void)sw;  // the device already wiped its forwarding table
   // Every Table 1 register is volatile (§6): a power-cycle loses the whole
   // UIB, pending UIMs, scheduler reservations, and the soft dedup/watchdog
-  // state. Timers armed before the crash find their generation gone.
+  // state. Timers armed before the crash find their generation gone. The
+  // scratch pools must go with the UIB: its replacement restarts the flow
+  // index (handles and generations from zero), so stale pool rows would
+  // otherwise read as current for the next occupants.
   uib_ = Uib{};
   scheduler_ = CongestionScheduler(*graph_, id_);
   reported_flows_.clear();
-  completed_sent_.clear();
+  completed_version_.clear();
   ingress_old_port_.clear();
   stamps_.clear();
   watchdog_gen_.clear();
@@ -71,17 +83,25 @@ void P4UpdateSwitch::bootstrap_flow(SwitchDevice& sw, FlowId f,
 void P4UpdateSwitch::on_data_packet(SwitchDevice& sw, p4rt::DataHeader& data,
                                     std::int32_t in_port) {
   if (in_port != -1) return;  // only host-injected packets below
-  // §11 2-phase commit: the ingress stamps packets onto the active rule
-  // generation by rewriting the flow id to the tagged one.
-  auto stamp = stamps_.find(data.flow);
-  if (stamp != stamps_.end()) {
-    data.flow = stamp->second;
-    return;
+  const net::FlowIndex& idx = uib_.flow_index();
+  const net::FlowHandle h = idx.find(data.flow);
+  if (h != net::kNoFlowHandle) {
+    // §11 2-phase commit: the ingress stamps packets onto the active rule
+    // generation by rewriting the flow id to the tagged one.
+    const FlowId stamp = stamps_.get(h, idx.generation(h));
+    if (stamp != 0) {
+      data.flow = stamp;
+      return;
+    }
   }
   // Task (1): first packet of an unknown flow entering the network here
   // gets cloned into an FRM for the controller (§8 "FRM").
   if (uib_.knows(data.flow)) return;
-  if (!reported_flows_.insert(data.flow).second) return;
+  net::FlowIndex& widx = uib_.flow_index();
+  const net::FlowHandle rh = widx.intern(data.flow);
+  std::uint8_t& reported = reported_flows_.row(rh, widx.generation(rh));
+  if (reported != 0) return;
+  reported = 1;
   p4rt::FrmHeader frm;
   frm.flow = data.flow;
   frm.ingress = id_;
@@ -98,7 +118,9 @@ void P4UpdateSwitch::handle(SwitchDevice& sw, Packet pkt,
     handle_cleanup(sw, pkt.as<p4rt::CleanupHeader>());
   } else if (pkt.is<p4rt::StampHeader>()) {
     const auto& s = pkt.as<p4rt::StampHeader>();
-    stamps_[s.flow] = s.rewrite_to;
+    net::FlowIndex& idx = uib_.flow_index();
+    const net::FlowHandle h = idx.intern(s.flow);
+    stamps_.row(h, idx.generation(h)) = s.rewrite_to;
     sw.fabric().trace().add({sw.now(), TraceKind::kInfo, id_, s.flow,
                              static_cast<std::int64_t>(s.rewrite_to), 0,
                              "stamp flipped"});
@@ -126,13 +148,20 @@ void P4UpdateSwitch::alarm(SwitchDevice& sw, FlowId f, Version v,
 }
 
 bool P4UpdateSwitch::completion_reported(FlowId f, Version v) const {
-  return completed_sent_.count((f << 8) ^ static_cast<std::uint64_t>(v)) > 0;
+  // Versions are strictly increasing per flow, so "reported some version
+  // >= v" and "reported exactly v" gate identically on the live paths.
+  const net::FlowIndex& idx = uib_.flow_index();
+  const net::FlowHandle h = idx.find(f);
+  if (h == net::kNoFlowHandle) return false;
+  return completed_version_.get(h, idx.generation(h)) >= v;
 }
 
 void P4UpdateSwitch::arm_watchdog(SwitchDevice& sw,
                                   const p4rt::UimHeader& uim) {
   if (params_.uim_watchdog <= 0 || uim.is_flow_egress) return;
-  const std::uint64_t gen = ++watchdog_gen_[uim.flow];
+  net::FlowIndex& fidx = uib_.flow_index();
+  const net::FlowHandle fh = fidx.intern(uim.flow);
+  const std::uint64_t gen = ++watchdog_gen_.row(fh, fidx.generation(fh));
   // The switch is resolved through the fabric at fire time by node id,
   // never through a captured reference: the device object owns no timer
   // state the event could dangle on.
@@ -147,8 +176,12 @@ void P4UpdateSwitch::arm_watchdog(SwitchDevice& sw,
   sw.simulator().schedule_in(
       params_.uim_watchdog,
       [this, fabric, node, flow, version, gen, is_ingress]() {
-        const auto it = watchdog_gen_.find(flow);
-        if (it == watchdog_gen_.end() || it->second != gen) return;
+        // Resolve through the *current* index at fire time: a crash since
+        // arming replaced it (handle gone), a re-arm bumped the generation.
+        const net::FlowIndex& idx = uib_.flow_index();
+        const net::FlowHandle h = idx.find(flow);
+        if (h == net::kNoFlowHandle) return;
+        if (watchdog_gen_.get(h, idx.generation(h)) != gen) return;
         // Stalled if the rule never went in — or, at the flow ingress, if
         // it went in but the convergence report never went out (a lost
         // intra-segment UNM leaves a DL ingress applied yet unconverged).
@@ -350,9 +383,11 @@ void P4UpdateSwitch::after_state_change(SwitchDevice& sw,
     const bool converged = uim.type == UpdateType::kSingleLayer ||
                            st.old_distance == 0;
     if (!converged) return;
-    const std::uint64_t key = (uim.flow << 8) ^ static_cast<std::uint64_t>(
-                                                    uim.version);
-    if (!completed_sent_.insert(key).second) return;  // already reported
+    net::FlowIndex& idx = uib_.flow_index();
+    const net::FlowHandle h = idx.intern(uim.flow);
+    Version& reported_v = completed_version_.row(h, idx.generation(h));
+    if (reported_v >= uim.version) return;  // already reported
+    reported_v = uim.version;
     sw.fabric()
         .metrics()
         .counter("p4update.update_completed", {{"switch", std::to_string(id_)}})
@@ -367,15 +402,15 @@ void P4UpdateSwitch::after_state_change(SwitchDevice& sw,
     sw.send_to_controller(Packet{ufm});
     // §11 rule cleanup: tell the abandoned old path that no further packets
     // will come, so stale rules (and their reserved capacity) are released.
-    auto old_port = ingress_old_port_.find(uim.flow);
-    if (old_port != ingress_old_port_.end() && old_port->second >= 0 &&
-        old_port->second != uim.egress_port_updated) {
+    const std::int32_t old_port =
+        ingress_old_port_.get(h, idx.generation(h));
+    if (old_port >= 0 && old_port != uim.egress_port_updated) {
       p4rt::CleanupHeader c;
       c.flow = uim.flow;
       c.version = uim.version;
-      sw.clone_to_port(Packet{c}, old_port->second);
+      sw.clone_to_port(Packet{c}, old_port);
     }
-    ingress_old_port_.erase(uim.flow);
+    ingress_old_port_.erase(h);
     return;
   }
   emit_unm_fanout(sw, uim, layer);
@@ -408,7 +443,10 @@ void P4UpdateSwitch::apply_sl(SwitchDevice& sw, const p4rt::UimHeader& uim,
   next.ever_dual = false;
   uib_.write_applied(uim.flow, next);
   if (uim.child_port < 0) {
-    ingress_old_port_[uim.flow] = sw.lookup(uim.flow).value_or(-1);
+    net::FlowIndex& idx = uib_.flow_index();
+    const net::FlowHandle h = idx.intern(uim.flow);
+    ingress_old_port_.row(h, idx.generation(h)) =
+        sw.lookup(uim.flow).value_or(-1);
   }
   const p4rt::UimHeader u = uim;
   const bool quick =
@@ -524,7 +562,10 @@ void P4UpdateSwitch::handle_unm(SwitchDevice& sw, Packet pkt,
                                                     : "dl gateway"});
       uib_.write_applied(f, dl_apply(outcome, st, *uim, unm));
       if (uim->child_port < 0) {
-        ingress_old_port_[f] = sw.lookup(f).value_or(-1);
+        net::FlowIndex& idx = uib_.flow_index();
+        const net::FlowHandle h = idx.intern(f);
+        ingress_old_port_.row(h, idx.generation(h)) =
+            sw.lookup(f).value_or(-1);
       }
       const p4rt::UimHeader u = *uim;
       const UnmLayer layer = unm.layer;

@@ -9,8 +9,7 @@
 //   (4) generate UFM (ingress converged, or alarms on rejected updates).
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include "net/flow_index.hpp"
 
 #include "core/congestion.hpp"
 #include "core/dl_verify.hpp"
@@ -35,6 +34,9 @@ struct P4UpdateSwitchParams {
   /// by then, it alarms the controller (which may re-trigger the update).
   /// 0 disables the watchdog.
   sim::Duration uim_watchdog = 0;
+  /// Pre-sizes the per-flow state (UIB registers, scratch pools) so a
+  /// scale campaign's bring-up never rehashes. 0 = grow on demand.
+  std::size_t expected_flows = 0;
 };
 
 class P4UpdateSwitch final : public p4rt::Pipeline {
@@ -65,6 +67,14 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
   [[nodiscard]] std::uint64_t unms_sent() const { return unms_sent_; }
   [[nodiscard]] std::uint64_t resubmissions() const { return resubmissions_; }
   [[nodiscard]] std::uint64_t rejects() const { return rejects_; }
+
+  /// Per-flow rows resident across the UIB index and the protocol scratch
+  /// pools. Every pool is addressed by the UIB's flow index, so the slot
+  /// count bounds them all; the reclaim regression pins that repeated
+  /// batches do not grow it (the old per-(flow,version) UFM-dedup set did).
+  [[nodiscard]] std::size_t resident_flow_slots() const {
+    return uib_.flow_index().slot_count();
+  }
 
  private:
   void handle_uim(p4rt::SwitchDevice& sw, const p4rt::UimHeader& uim);
@@ -114,17 +124,25 @@ class P4UpdateSwitch final : public p4rt::Pipeline {
   P4UpdateSwitchParams params_;
   Uib uib_;
   CongestionScheduler scheduler_;
-  std::unordered_set<FlowId> reported_flows_;   // FRM de-duplication
-  std::unordered_set<FlowId> completed_sent_;  // one UFM per (flow<<8)^ver
+  // Per-flow protocol scratch, flat over the UIB's flow index (one handle
+  // per flow covers every pool; rows of recycled handles read as default).
+  net::FlowPool<std::uint8_t> reported_flows_{0};  // FRM de-duplication
+  // Highest version this node (as flow ingress) sent the success UFM for.
+  // Replaces the per-(flow,version) dedup-key set that grew by one entry
+  // per flow per batch, forever: versions are strictly increasing per flow
+  // (§3), so one Version per flow carries the same "already reported"
+  // decision with O(flows) residency.
+  net::FlowPool<Version> completed_version_{0};
   // Old-path egress port at the ingress, captured when the ingress applies
   // an update; the §11 cleanup packet leaves through it on convergence.
-  std::unordered_map<FlowId, std::int32_t> ingress_old_port_;
-  // §11 2-phase commit: base flow id -> tagged flow id stamped at ingress.
-  std::unordered_map<FlowId, FlowId> stamps_;
+  net::FlowPool<std::int32_t> ingress_old_port_{-1};
+  // §11 2-phase commit: base flow id -> tagged flow id stamped at ingress
+  // (0 = no stamp, matching the TwoPhaseCoordinator's "no tag" sentinel).
+  net::FlowPool<FlowId> stamps_{0};
   // Watchdog arm generation per flow: a scheduled timer only fires if its
   // generation is still current, so re-arming (duplicate UIM) supersedes
   // the previous timer instead of double-alarming.
-  std::unordered_map<FlowId, std::uint64_t> watchdog_gen_;
+  net::FlowPool<std::uint64_t> watchdog_gen_{0};
   std::uint64_t unms_sent_ = 0;
   std::uint64_t resubmissions_ = 0;
   std::uint64_t rejects_ = 0;

@@ -2,40 +2,73 @@
 
 namespace p4u::core {
 
+void Uib::reserve(std::size_t expected_flows) {
+  index_.reserve(expected_flows);
+  new_distance_.reserve(expected_flows);
+  new_version_.reserve(expected_flows);
+  old_distance_.reserve(expected_flows);
+  old_version_.reserve(expected_flows);
+  flow_size_.reserve(expected_flows);
+  flow_priority_.reserve(expected_flows);
+  t_.reserve(expected_flows);
+  counter_.reserve(expected_flows);
+  pending_.reserve(expected_flows);
+}
+
 AppliedState Uib::applied(FlowId f) const {
+  // One flow-id resolution, then per-register pool hits. Each register
+  // access still counts individually — the exported uib.register_reads
+  // totals are part of the byte-identical report contract.
+  const net::FlowHandle h = index_.find(f);
+  const std::uint32_t gen = h == net::kNoFlowHandle ? 0 : index_.generation(h);
   AppliedState s;
-  s.new_version = new_version_.read(f);
-  s.new_distance = new_distance_.read(f);
-  s.old_version = old_version_.read(f);
-  s.old_distance = old_distance_.read(f);
-  s.counter = counter_.read(f);
-  s.last_type = t_.read(f) == 1 ? UpdateType::kDualLayer
-                                : UpdateType::kSingleLayer;
-  s.ever_dual = t_.read(f) == 1;
+  s.new_version = new_version_.read_at(h, gen);
+  s.new_distance = new_distance_.read_at(h, gen);
+  s.old_version = old_version_.read_at(h, gen);
+  s.old_distance = old_distance_.read_at(h, gen);
+  s.counter = counter_.read_at(h, gen);
+  s.last_type = t_.read_at(h, gen) == 1 ? UpdateType::kDualLayer
+                                        : UpdateType::kSingleLayer;
+  s.ever_dual = t_.read_at(h, gen) == 1;
   return s;
 }
 
 void Uib::write_applied(FlowId f, const AppliedState& s) {
-  new_version_.write(f, s.new_version);
-  new_distance_.write(f, s.new_distance);
-  old_version_.write(f, s.old_version);
-  old_distance_.write(f, s.old_distance);
-  counter_.write(f, s.counter);
-  t_.write(f, s.last_type == UpdateType::kDualLayer ? 1 : 0);
+  const net::FlowHandle h = index_.intern(f);
+  const std::uint32_t gen = index_.generation(h);
+  new_version_.write_at(h, gen, s.new_version);
+  new_distance_.write_at(h, gen, s.new_distance);
+  old_version_.write_at(h, gen, s.old_version);
+  old_distance_.write_at(h, gen, s.old_distance);
+  counter_.write_at(h, gen, s.counter);
+  t_.write_at(h, gen, s.last_type == UpdateType::kDualLayer ? 1 : 0);
 }
 
 const UimHeader* Uib::pending_uim(FlowId f) const {
-  auto it = pending_.find(f);
-  return it == pending_.end() ? nullptr : &it->second;
+  const net::FlowHandle h = index_.find(f);
+  if (h == net::kNoFlowHandle) return nullptr;
+  const PendingRow& row = pending_.get(h, index_.generation(h));
+  return row.present ? &row.uim : nullptr;
 }
 
 bool Uib::offer_uim(const UimHeader& uim) {
-  auto it = pending_.find(uim.flow);
-  if (it != pending_.end() && it->second.version >= uim.version) return false;
-  pending_[uim.flow] = uim;
+  const net::FlowHandle h = index_.intern(uim.flow);
+  PendingRow& row = pending_.row(h, index_.generation(h));
+  if (row.present && row.uim.version >= uim.version) return false;
+  if (!row.present) ++pending_count_;
+  row.uim = uim;
+  row.present = true;
   return true;
 }
 
-void Uib::drop_uim(FlowId f) { pending_.erase(f); }
+void Uib::drop_uim(FlowId f) {
+  const net::FlowHandle h = index_.find(f);
+  if (h == net::kNoFlowHandle) return;
+  PendingRow& row = pending_.row(h, index_.generation(h));
+  if (!row.present) return;
+  row.present = false;
+  row.uim = UimHeader{};
+  --pending_count_;
+}
 
 }  // namespace p4u::core

@@ -21,8 +21,8 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
+#include "net/flow_index.hpp"
 #include "p4rt/packet.hpp"
 #include "p4rt/register_array.hpp"
 
@@ -46,10 +46,17 @@ struct AppliedState {
   bool ever_dual = false;        // T(v) == dual for the *last* update
 };
 
-/// Table-1-backed store. Each scalar lives in its own RegisterArray indexed
-/// by flow id, exactly like the P4 prototype.
+/// Table-1-backed store. Each scalar lives in its own register array,
+/// exactly like the P4 prototype — but flat: the flow id is interned once
+/// into a dense handle (net::FlowIndex) and every register is a
+/// FlatRegisterArray addressed by it, so a switch carrying 10^4..10^6 flows
+/// pays one contiguous row per register instead of a hash node per access.
+/// The index is shared with the P4UpdateSwitch's per-flow scratch pools.
 class Uib {
  public:
+  /// Pre-sizes the flow index and every register pool; steady-state
+  /// interning then never rehashes (scale campaigns know the flow count).
+  void reserve(std::size_t expected_flows);
   // ---- applied state ----
   [[nodiscard]] AppliedState applied(FlowId f) const;
   void write_applied(FlowId f, const AppliedState& s);
@@ -61,17 +68,31 @@ class Uib {
   void drop_uim(FlowId f);
 
   // ---- per-flow scalars ----
-  [[nodiscard]] double flow_size(FlowId f) const { return flow_size_.read(f); }
-  void set_flow_size(FlowId f, double s) { flow_size_.write(f, s); }
+  [[nodiscard]] double flow_size(FlowId f) const {
+    return flow_size_.read(index_, f);
+  }
+  void set_flow_size(FlowId f, double s) { flow_size_.write(index_, f, s); }
   [[nodiscard]] bool high_priority(FlowId f) const {
-    return flow_priority_.read(f) != 0;
+    return flow_priority_.read(index_, f) != 0;
   }
   void set_high_priority(FlowId f, bool hi) {
-    flow_priority_.write(f, hi ? 1 : 0);
+    flow_priority_.write(index_, f, hi ? 1 : 0);
   }
 
   /// True if this switch has ever applied a configuration for `f`.
-  [[nodiscard]] bool knows(FlowId f) const { return new_version_.read(f) != 0; }
+  [[nodiscard]] bool knows(FlowId f) const {
+    return new_version_.read(index_, f) != 0;
+  }
+
+  /// The shared per-flow handle space. The owning switch addresses its own
+  /// protocol scratch pools (stamps, watchdog generations, ...) by the same
+  /// handles, so one interning covers every per-flow structure.
+  [[nodiscard]] net::FlowIndex& flow_index() { return index_; }
+  [[nodiscard]] const net::FlowIndex& flow_index() const { return index_; }
+
+  /// Pending-UIM count (bounded by the live flow count; the reclaim
+  /// regression pins that it returns to baseline after repeated batches).
+  [[nodiscard]] std::size_t pending_count() const { return pending_count_; }
 
   /// Total register-array accesses across every Table-1 array, for the
   /// observability layer's per-switch uib.register_{reads,writes} counters.
@@ -88,17 +109,24 @@ class Uib {
   }
 
  private:
-  // Table 1 registers.
-  p4rt::RegisterArray<Distance> new_distance_{p4rt::kNoDistance};
-  p4rt::RegisterArray<Version> new_version_{0};
-  p4rt::RegisterArray<Distance> old_distance_{p4rt::kNoDistance};
-  p4rt::RegisterArray<Version> old_version_{0};
-  p4rt::RegisterArray<double> flow_size_{0.0};
-  p4rt::RegisterArray<std::uint8_t> flow_priority_{0};
-  p4rt::RegisterArray<std::uint8_t> t_{0};  // 0 = single/empty, 1 = dual
-  p4rt::RegisterArray<std::int64_t> counter_{0};
+  struct PendingRow {
+    UimHeader uim;
+    bool present = false;
+  };
+
+  net::FlowIndex index_;
+  // Table 1 registers, flat over the shared index.
+  p4rt::FlatRegisterArray<Distance> new_distance_{p4rt::kNoDistance};
+  p4rt::FlatRegisterArray<Version> new_version_{0};
+  p4rt::FlatRegisterArray<Distance> old_distance_{p4rt::kNoDistance};
+  p4rt::FlatRegisterArray<Version> old_version_{0};
+  p4rt::FlatRegisterArray<double> flow_size_{0.0};
+  p4rt::FlatRegisterArray<std::uint8_t> flow_priority_{0};
+  p4rt::FlatRegisterArray<std::uint8_t> t_{0};  // 0 = single/empty, 1 = dual
+  p4rt::FlatRegisterArray<std::int64_t> counter_{0};
   // Pending UIM content (egress_port_updated + metadata).
-  std::unordered_map<FlowId, UimHeader> pending_;
+  net::FlowPool<PendingRow> pending_;
+  std::size_t pending_count_ = 0;
 };
 
 }  // namespace p4u::core

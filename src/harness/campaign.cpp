@@ -147,6 +147,109 @@ RunOutcome run_chaos_job(const RunSpec& spec, std::uint64_t seed) {
   return out;
 }
 
+RunOutcome run_scale_job(const RunSpec& spec, std::uint64_t seed) {
+  const net::Graph& g = *spec.graph;
+
+  // Pinned endpoint pairs: drawn from scale_endpoints (or every node) with
+  // a pair-only rng stream, each resolved once to (shortest, 2nd-shortest).
+  // Flows are then dealt round-robin over the pairs, so path precompute is
+  // O(scale_pairs) while per-flow state is O(scale_flows).
+  std::vector<net::NodeId> endpoints = spec.scale_endpoints;
+  if (endpoints.empty()) {
+    endpoints.reserve(g.node_count());
+    for (std::size_t n = 0; n < g.node_count(); ++n) {
+      endpoints.push_back(static_cast<net::NodeId>(n));
+    }
+  }
+  struct PairPaths {
+    net::NodeId src;
+    net::NodeId dst;
+    net::Path old_path;
+    net::Path new_path;
+  };
+  sim::Rng pair_rng(seed ^ 0x5CA1Eull);
+  std::vector<PairPaths> pairs;
+  pairs.reserve(spec.scale_pairs);
+  // Bounded rejection: pairs whose 2nd-shortest path does not exist are
+  // re-rolled, like gravity_multiflow does for its per-node destinations.
+  for (int attempts = 0;
+       pairs.size() < spec.scale_pairs &&
+       attempts < static_cast<int>(spec.scale_pairs) * 8;
+       ++attempts) {
+    const net::NodeId src =
+        endpoints[pair_rng.uniform(endpoints.size())];
+    const net::NodeId dst =
+        endpoints[pair_rng.uniform(endpoints.size())];
+    if (src == dst) continue;
+    auto ksp = net::k_shortest_paths(g, src, dst, 2, net::Metric::kHops);
+    if (ksp.size() < 2) continue;
+    pairs.push_back({src, dst, std::move(ksp[0]), std::move(ksp[1])});
+  }
+  if (pairs.empty()) {
+    throw std::logic_error("run_scale_job: no endpoint pair has two paths");
+  }
+
+  TestBedParams params = spec.bed;
+  params.seed = seed;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  params.expected_flows = spec.scale_flows;
+  // Per-switch residency: total hop-slots / switches, with headroom. The
+  // hint only pre-sizes pools; undershoot costs a few grows, not wrongness.
+  params.expected_flows_per_switch =
+      spec.scale_flows * 12 / std::max<std::size_t>(g.node_count(), 1);
+  TestBed bed(g, params);
+  // The event volume is dominated by the updated subset, not residency:
+  // deployment is instant bring-up, no events.
+  bed.simulator().reserve(g.node_count() * 64 +
+                          spec.scale_update_flows * 192 + 512);
+
+  // Synthetic unique ids: splitmix64 is a bijection on uint64, so a
+  // million sequential indices give a million distinct FlowIds without
+  // storing a dedup set.
+  const auto synthetic_id = [](std::uint64_t i) {
+    std::uint64_t state = i + 0x9E3779B97F4A7C15ull;
+    return sim::splitmix64(state);
+  };
+
+  const std::size_t n_update =
+      std::min(spec.scale_update_flows, spec.scale_flows);
+  std::vector<std::pair<net::FlowId, net::Path>> batch;
+  batch.reserve(n_update);
+  for (std::size_t i = 0; i < spec.scale_flows; ++i) {
+    const PairPaths& pp = pairs[i % pairs.size()];
+    net::Flow f;
+    f.id = synthetic_id(i);
+    f.ingress = pp.src;
+    f.egress = pp.dst;
+    f.size = 1.0;
+    const bool updated = i < n_update;
+    // Only the updated prefix is monitor-watched: the monitor's per-flow
+    // bookkeeping stays O(update_flows) under a million resident flows.
+    bed.deploy_flow(f, pp.old_path, /*watch=*/updated);
+    if (updated) batch.emplace_back(f.id, pp.new_path);
+  }
+  bed.schedule_batch_at(kIssueAt, std::move(batch));
+  bed.run(kRunUntil);
+
+  // Sample: completion time of the last updated flow (the resident
+  // background flows never change, they only stress the state layer).
+  RunOutcome out;
+  bool all_done = true;
+  sim::Time last = 0;
+  for (std::size_t i = 0; i < n_update; ++i) {
+    const auto* rec = bed.flow_db().record(synthetic_id(i), 2);
+    if (rec == nullptr || rec->state != control::UpdateState::kCompleted) {
+      all_done = false;
+      break;
+    }
+    last = std::max(last, rec->completed_at);
+  }
+  if (all_done) out.sample = sim::to_ms(last - kIssueAt);
+  harvest_bed(bed, out);
+  return out;
+}
+
 RunOutcome run_fig2_job(const RunSpec& spec, std::uint64_t seed) {
   Fig2Result r = run_fig2_demo(spec.bed.system, seed);
   RunOutcome out;
@@ -175,6 +278,7 @@ const char* to_string(ScenarioFamily f) {
     case ScenarioFamily::kFig2Inconsistency: return "fig2-inconsistency";
     case ScenarioFamily::kFig4FastForward: return "fig4-fast-forward";
     case ScenarioFamily::kChaos: return "chaos";
+    case ScenarioFamily::kScale: return "scale";
   }
   return "?";
 }
@@ -188,6 +292,7 @@ RunOutcome execute_run(const RunSpec& spec, int run_index) {
     case ScenarioFamily::kFig2Inconsistency: return run_fig2_job(spec, seed);
     case ScenarioFamily::kFig4FastForward: return run_fig4_job(spec, seed);
     case ScenarioFamily::kChaos: return run_chaos_job(spec, seed);
+    case ScenarioFamily::kScale: return run_scale_job(spec, seed);
   }
   throw std::logic_error("execute_run: unknown scenario family");
 }
@@ -196,7 +301,8 @@ RunSpec& Campaign::add(RunSpec spec) {
   if (spec.runs < 0) throw std::invalid_argument("Campaign: negative runs");
   const bool needs_graph = spec.family == ScenarioFamily::kSingleFlow ||
                            spec.family == ScenarioFamily::kMultiFlow ||
-                           spec.family == ScenarioFamily::kChaos;
+                           spec.family == ScenarioFamily::kChaos ||
+                           spec.family == ScenarioFamily::kScale;
   if (needs_graph && spec.graph == nullptr) {
     throw std::invalid_argument("Campaign: spec '" + spec.slug +
                                 "' has no topology");

@@ -41,6 +41,10 @@ enum class ScenarioFamily {
   kFig4FastForward,   // §4.2 demo; sample = U3 completion time
   kChaos,             // gravity batch + per-seed link-down & switch-crash
                       // mid-update; sample = updates settling kCompleted
+  kScale,             // million-flow flat-state campaign: scale_flows
+                      // resident flows over pinned edge pairs, a prefix of
+                      // scale_update_flows rerouted in one batch; sample =
+                      // the batch's last completion time
 };
 
 const char* to_string(ScenarioFamily f);
@@ -67,6 +71,19 @@ struct RunSpec {
   sim::Time chaos_from = sim::milliseconds(20);
   sim::Time chaos_to = sim::milliseconds(150);
   sim::Duration chaos_outage = sim::seconds(2);
+  // Scale knobs (kScale only). The run deploys `scale_flows` resident
+  // flows with synthetic unique ids (splitmix64 of the flow index —
+  // bijective, so a million flows never collide) distributed round-robin
+  // over up to `scale_pairs` pinned edge-switch (src, dst) pairs; the
+  // first `scale_update_flows` of them are rerouted old -> 2nd-shortest
+  // in one batch. Keeping the distinct pair set small bounds the k-paths
+  // precompute while the per-flow state still scales with scale_flows.
+  std::size_t scale_flows = 100000;
+  std::size_t scale_update_flows = 1000;
+  std::size_t scale_pairs = 256;
+  /// Candidate flow endpoints (e.g. the fat-tree's edge switches); pairs
+  /// are drawn from here. Empty = every node is a candidate.
+  std::vector<net::NodeId> scale_endpoints;
   /// System under test, latency model, fault knobs, congestion mode, ...
   /// (`bed.seed` is overwritten per run with base_seed + run index).
   TestBedParams bed;

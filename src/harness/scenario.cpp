@@ -91,7 +91,8 @@ core::P4UpdateSwitch& TestBed::p4update_switch(net::NodeId n) {
   return *sw;
 }
 
-void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path) {
+void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path,
+                          bool watch) {
   if (initial_path.front() != f.ingress || initial_path.back() != f.egress) {
     throw std::invalid_argument("deploy_flow: path does not match flow");
   }
@@ -106,7 +107,7 @@ void TestBed::deploy_flow(const net::Flow& f, const net::Path& initial_path) {
     adapter_->bootstrap_flow_hop(fabric_->sw(n), f, dist, port);
   }
   adapter_->register_flow(f, initial_path);
-  monitor_->watch_flow(f);
+  if (watch) monitor_->watch_flow(f);
 }
 
 void TestBed::deploy_tree(const net::Flow& f, const control::DestTree& tree) {

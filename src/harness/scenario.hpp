@@ -32,8 +32,12 @@ class TestBed {
   TestBed& operator=(const TestBed&) = delete;
 
   /// Deploys a flow's initial configuration (instant bring-up, version 1)
-  /// and registers it with controller and monitor.
-  void deploy_flow(const net::Flow& f, const net::Path& initial_path);
+  /// and registers it with controller and monitor. Scale campaigns pass
+  /// `watch = false` for the resident (never-updated) background flows:
+  /// the monitor's per-flow bookkeeping is then bounded by the updated
+  /// subset instead of the full million-flow population.
+  void deploy_flow(const net::Flow& f, const net::Path& initial_path,
+                   bool watch = true);
 
   /// Deploys a destination tree's initial configuration (P4Update only):
   /// every tree node gets a version-1 rule toward its parent, the root

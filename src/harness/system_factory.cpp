@@ -32,6 +32,7 @@ class P4UpdateAdapter final : public SystemAdapter {
     sp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
     sp.wait_timeout = ctx.params.p4u_wait_timeout;
     sp.uim_watchdog = ctx.params.p4u_uim_watchdog;
+    sp.expected_flows = ctx.params.expected_flows_per_switch;
     for (std::size_t n = 0; n < ctx.graph.node_count(); ++n) {
       auto pipe = std::make_unique<core::P4UpdateSwitch>(
           static_cast<net::NodeId>(n), ctx.graph, sp);
@@ -47,6 +48,10 @@ class P4UpdateAdapter final : public SystemAdapter {
     cp.recovery = ctx.params.recovery;
     ctrl_ = std::make_unique<core::P4UpdateController>(
         ctx.channel, control::Nib(ctx.graph), cp);
+    if (ctx.params.expected_flows > 0) {
+      ctrl_->nib().reserve(ctx.params.expected_flows);
+      ctrl_->flow_db().reserve(ctx.params.expected_flows);
+    }
   }
 
   void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,

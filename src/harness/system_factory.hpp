@@ -98,6 +98,14 @@ struct TestBedParams {
   /// Controller-side recovery knobs (completion timers, backoff, repair
   /// routing). Off by default: fault-free runs stay bit-exact.
   faults::RecoveryParams recovery;
+  /// Capacity hints for million-flow runs; 0 = grow on demand (the
+  /// default keeps small beds allocation-lean). `expected_flows` is the
+  /// total distinct flows the run will register (controller NIB + FlowDb
+  /// preallocation); `expected_flows_per_switch` sizes each switch's UIB
+  /// and per-flow pools — per switch, not total, since a flow only
+  /// occupies the switches on its path.
+  std::size_t expected_flows = 0;
+  std::size_t expected_flows_per_switch = 0;
 };
 
 /// Everything an adapter needs to wire one system into a run. The fabric

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "net/flow_index.hpp"
+
 namespace p4u::p4rt {
 
 template <typename T>
@@ -53,6 +55,58 @@ class RegisterArray {
  private:
   std::unordered_map<std::uint64_t, T> cells_;
   T default_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Index-addressed register array: the million-flow variant of
+/// RegisterArray. Instead of hashing the 64-bit flow id per access into a
+/// node-based map, cells live in a flat pool addressed by the dense
+/// FlowHandle of a shared net::FlowIndex (one interning per flow, however
+/// many registers the switch keeps). Same semantics as RegisterArray —
+/// unwritten cells read as the default, and every access bumps the
+/// plane-agnostic read/write counters the observability layer exports —
+/// so swapping one for the other never changes exported metrics.
+///
+/// The owner passes the index explicitly: reads resolve (find) without
+/// creating a handle, writes intern. `read_at`/`write_at` skip the lookup
+/// for callers that already resolved the handle (a multi-register access
+/// like Uib::applied interns once, then hits each register's pool).
+template <typename T>
+class FlatRegisterArray {
+ public:
+  explicit FlatRegisterArray(T default_value = T{})
+      : pool_(default_value) {}
+
+  [[nodiscard]] T read(const net::FlowIndex& idx, std::uint64_t flow) const {
+    const net::FlowHandle h = idx.find(flow);
+    return read_at(h, h == net::kNoFlowHandle ? 0 : idx.generation(h));
+  }
+
+  /// Read via a pre-resolved handle (kNoFlowHandle reads the default).
+  [[nodiscard]] T read_at(net::FlowHandle h, std::uint32_t gen) const {
+    ++reads_;
+    return pool_.get(h, gen);
+  }
+
+  void write(net::FlowIndex& idx, std::uint64_t flow, T value) {
+    const net::FlowHandle h = idx.intern(flow);
+    write_at(h, idx.generation(h), value);
+  }
+
+  void write_at(net::FlowHandle h, std::uint32_t gen, T value) {
+    ++writes_;
+    pool_.row(h, gen) = value;
+  }
+
+  void reserve(std::size_t n) { pool_.reserve(n); }
+  void clear() { pool_.clear(); }
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  net::FlowPool<T> pool_;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 };

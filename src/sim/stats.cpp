@@ -9,17 +9,24 @@
 namespace p4u::sim {
 
 void Samples::add_all(const std::vector<double>& xs) {
+  // An empty batch must not invalidate the sorted cache: campaign merges
+  // call add_all per run, and runs with no samples are common (incomplete
+  // runs) — each one used to force a full re-sort on the next query.
+  if (xs.empty()) return;
+  xs_.reserve(xs_.size() + xs.size());
   xs_.insert(xs_.end(), xs.begin(), xs.end());
   dirty_ = true;
 }
 
 double Samples::min() const {
   if (xs_.empty()) throw std::logic_error("Samples::min on empty set");
+  if (!dirty_) return sorted_cache_.front();
   return *std::min_element(xs_.begin(), xs_.end());
 }
 
 double Samples::max() const {
   if (xs_.empty()) throw std::logic_error("Samples::max on empty set");
+  if (!dirty_) return sorted_cache_.back();
   return *std::max_element(xs_.begin(), xs_.end());
 }
 

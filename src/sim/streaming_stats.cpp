@@ -1,0 +1,150 @@
+#include "sim/streaming_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace p4u::sim {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+  }
+  np_[0] = 1.0;
+  np_[1] = 1.0 + 2.0 * p;
+  np_[2] = 1.0 + 4.0 * p;
+  np_[3] = 3.0 + 2.0 * p;
+  np_[4] = 5.0;
+  dn_[0] = 0.0;
+  dn_[1] = p / 2.0;
+  dn_[2] = p;
+  dn_[3] = (1.0 + p) / 2.0;
+  dn_[4] = 1.0;
+}
+
+double P2Quantile::parabolic(int i, double s) const {
+  return q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                     ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                          (n_[i + 1] - n_[i]) +
+                      (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                          (n_[i] - n_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int s) const {
+  return q_[i] + s * (q_[i + s] - q_[i]) / (n_[i + s] - n_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(q_, q_ + 5);
+    return;
+  }
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const int s = d >= 0.0 ? 1 : -1;
+      const double candidate = parabolic(i, s);
+      q_[i] = q_[i - 1] < candidate && candidate < q_[i + 1]
+                  ? candidate
+                  : linear(i, s);
+      n_[i] += s;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) throw std::logic_error("P2Quantile::value on empty set");
+  if (count_ >= 5) return q_[2];
+  // Exact small-sample estimate: interpolate the sorted prefix the same way
+  // Samples::percentile does.
+  double sorted[5];
+  std::copy(q_, q_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  if (count_ == 1) return sorted[0];
+  const double idx = p_ * static_cast<double>(count_ - 1);
+  const auto lo = static_cast<int>(idx);
+  const int hi = std::min(lo + 1, count_ - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+StreamingStats::StreamingStats(std::vector<double> quantiles) {
+  quantiles_.reserve(quantiles.size());
+  for (const double p : quantiles) {
+    quantiles_.emplace_back(p / 100.0);
+  }
+}
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  // Welford: numerically stable single-pass mean and M2.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  for (P2Quantile& q : quantiles_) q.add(x);
+}
+
+double StreamingStats::min() const {
+  if (count_ == 0) throw std::logic_error("StreamingStats::min on empty set");
+  return min_;
+}
+
+double StreamingStats::max() const {
+  if (count_ == 0) throw std::logic_error("StreamingStats::max on empty set");
+  return max_;
+}
+
+double StreamingStats::mean() const {
+  if (count_ == 0) throw std::logic_error("StreamingStats::mean on empty set");
+  return mean_;
+}
+
+double StreamingStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double StreamingStats::quantile(double p) const {
+  for (const P2Quantile& q : quantiles_) {
+    if (std::abs(q.probability() * 100.0 - p) < 1e-9) return q.value();
+  }
+  throw std::invalid_argument("StreamingStats::quantile: untracked probe");
+}
+
+std::string summary_line(const StreamingStats& s) {
+  std::ostringstream os;
+  if (s.empty()) return "n=0";
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "mean=" << s.mean() << " p50=" << s.quantile(50.0)
+     << " p95=" << s.quantile(95.0) << " min=" << s.min()
+     << " max=" << s.max() << " n=" << s.count();
+  return os.str();
+}
+
+}  // namespace p4u::sim

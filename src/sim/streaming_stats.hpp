@@ -1,0 +1,82 @@
+// StreamingStats: fixed-memory summary statistics for million-observation
+// series (ROADMAP: million-flow scale campaign).
+//
+// sim::Samples stores every observation so percentile queries are exact —
+// right for the figure campaigns (30 runs per spec), wrong for a scale run
+// that observes 10^6 per-flow completion times: there RSS would grow with
+// the observation count. StreamingStats keeps count/mean/M2 (Welford) plus
+// exact min/max and a fixed set of P² quantile estimators (Jain &
+// Chlamtac, CACM '85: five markers per probe, O(1) memory and update), so
+// the whole accumulator is a few hundred bytes however many observations
+// stream through.
+//
+// Rule of thumb (DESIGN.md §10): Samples where a bench pins interpolated
+// percentiles byte-for-byte or needs the empirical CDF; StreamingStats
+// where only the summary leaves the run. Everything here is deterministic
+// — same observation sequence, same estimates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p4u::sim {
+
+/// One P² quantile estimator for probability `p` in (0, 1). Exact while
+/// fewer than five observations arrived; a five-marker parabolic estimate
+/// afterwards.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x);
+  [[nodiscard]] double probability() const { return p_; }
+  /// Current estimate; throws std::logic_error before any observation.
+  [[nodiscard]] double value() const;
+
+ private:
+  [[nodiscard]] double parabolic(int i, double s) const;
+  [[nodiscard]] double linear(int i, int s) const;
+
+  double p_;
+  int count_ = 0;
+  double q_[5] = {0, 0, 0, 0, 0};   // marker heights
+  double n_[5] = {1, 2, 3, 4, 5};   // marker positions (1-based)
+  double np_[5] = {0, 0, 0, 0, 0};  // desired positions
+  double dn_[5] = {0, 0, 0, 0, 0};  // desired-position increments
+};
+
+class StreamingStats {
+ public:
+  /// `quantiles` are the tracked probabilities as percentages (a P²
+  /// estimator each); defaults to p50/p95/p99.
+  explicit StreamingStats(std::vector<double> quantiles = {50.0, 95.0, 99.0});
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  // sample stddev (n-1), like Samples
+
+  /// Estimate for one of the tracked percentages (p in [0, 100]); throws
+  /// std::invalid_argument for an untracked probe — the fixed-memory
+  /// accumulator only knows the probes it was constructed with.
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<P2Quantile> quantiles_;
+};
+
+/// "mean=… p50=… p95=… min=… max=… n=…" — the streaming twin of
+/// summary_line(const Samples&).
+std::string summary_line(const StreamingStats& s);
+
+}  // namespace p4u::sim

@@ -1,0 +1,108 @@
+// Post-terminal state reclaim: per-flow switch state must be O(flows),
+// never O(flows x batches). The regression this pins: the pipeline once
+// recorded every reported completion in a per-(flow, version) set that was
+// never erased, so N update batches over the same flow population grew
+// switch state N-fold. The flat rebuild stores a single max-completed
+// version per interned flow, so repeated batches reuse the same rows.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "control/flow_db.hpp"
+#include "harness/scenario.hpp"
+#include "net/fattree.hpp"
+#include "net/flow.hpp"
+#include "net/paths.hpp"
+#include "net/topologies.hpp"
+
+namespace p4u::harness {
+namespace {
+
+constexpr int kBatches = 8;
+
+TEST(ScaleReclaimTest, ResidentSlotsStayFlatAcrossBatches) {
+  net::FatTree ft = net::fattree_topology(4);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  const net::Graph& g = ft.graph;
+
+  // A handful of edge-switch pairs, each with two distinct paths; every
+  // batch moves every flow to the path it is not currently on.
+  struct FlowPlan {
+    net::Flow flow;
+    net::Path a;
+    net::Path b;
+  };
+  std::vector<FlowPlan> plans;
+  for (std::size_t i = 0; i + 1 < ft.edge.size() && plans.size() < 6; i += 2) {
+    const net::NodeId src = ft.edge[i];
+    const net::NodeId dst = ft.edge[i + 1];
+    auto ksp = net::k_shortest_paths(g, src, dst, 2, net::Metric::kHops);
+    if (ksp.size() < 2) continue;
+    net::Flow f;
+    f.id = net::flow_id_of(src, dst);
+    f.ingress = src;
+    f.egress = dst;
+    f.size = 1.0;
+    plans.push_back({f, std::move(ksp[0]), std::move(ksp[1])});
+  }
+  ASSERT_GE(plans.size(), 4u);
+
+  TestBedParams params;
+  params.system = SystemKind::kP4Update;
+  params.seed = 7;
+  params.trace_enabled = false;
+  TestBed bed(g, params);
+  for (const FlowPlan& p : plans) bed.deploy_flow(p.flow, p.a);
+
+  // Schedule every batch up front, far enough apart that each settles
+  // before the next one is issued.
+  const auto issue_at = [](int b) { return sim::seconds(2) * (b + 1); };
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::pair<net::FlowId, net::Path>> batch;
+    for (const FlowPlan& p : plans) {
+      batch.emplace_back(p.flow.id, b % 2 == 0 ? p.b : p.a);
+    }
+    bed.schedule_batch_at(issue_at(b), std::move(batch));
+  }
+
+  // Baseline after two settled batches (one to each path), so every
+  // on-path switch has seen a UIM. Note the retained-UIM slot is per flow
+  // by design (§11 duplicate re-propagation keeps the last applied UIM),
+  // so the flat invariant is equality with this baseline, not emptiness.
+  bed.run(issue_at(2) - sim::milliseconds(1));
+  std::vector<std::size_t> baseline_slots;
+  std::vector<std::size_t> baseline_pending;
+  for (std::size_t n = 0; n < g.node_count(); ++n) {
+    auto& sw = bed.p4update_switch(static_cast<net::NodeId>(n));
+    baseline_slots.push_back(sw.resident_flow_slots());
+    baseline_pending.push_back(sw.uib().pending_count());
+  }
+  for (const FlowPlan& p : plans) {
+    const auto* rec = bed.flow_db().record(p.flow.id, 3);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->state, control::UpdateState::kCompleted);
+  }
+
+  // Remaining batches: per-switch slot counts must come back to baseline —
+  // the same flows land in the same rows, whatever the batch count.
+  bed.run(issue_at(kBatches) + sim::seconds(10));
+  for (std::size_t n = 0; n < g.node_count(); ++n) {
+    auto& sw = bed.p4update_switch(static_cast<net::NodeId>(n));
+    EXPECT_EQ(sw.resident_flow_slots(), baseline_slots[n])
+        << "switch " << n << ": per-flow state grew with the batch count";
+    EXPECT_EQ(sw.uib().pending_count(), baseline_pending[n])
+        << "switch " << n << ": retained-UIM count grew with batches";
+  }
+  // And every batch really completed: the final version is 1 (deploy) +
+  // kBatches updates.
+  for (const FlowPlan& p : plans) {
+    const auto* rec =
+        bed.flow_db().record(p.flow.id, 1 + kBatches);
+    ASSERT_NE(rec, nullptr) << "flow " << p.flow.id;
+    EXPECT_EQ(rec->state, control::UpdateState::kCompleted);
+  }
+}
+
+}  // namespace
+}  // namespace p4u::harness

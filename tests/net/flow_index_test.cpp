@@ -1,0 +1,139 @@
+#include "net/flow_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace p4u::net {
+namespace {
+
+TEST(FlowIndexTest, InternIsIdempotent) {
+  FlowIndex idx;
+  const FlowHandle h = idx.intern(42);
+  EXPECT_EQ(idx.intern(42), h);
+  EXPECT_EQ(idx.find(42), h);
+  EXPECT_EQ(idx.id_of(h), 42u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(FlowIndexTest, FindUnknownIsNoHandle) {
+  FlowIndex idx;
+  EXPECT_EQ(idx.find(7), kNoFlowHandle);
+  idx.intern(7);
+  EXPECT_EQ(idx.find(8), kNoFlowHandle);
+}
+
+TEST(FlowIndexTest, HandlesAreDense) {
+  FlowIndex idx;
+  for (FlowId id = 100; id < 100 + 64; ++id) {
+    EXPECT_EQ(idx.intern(id), static_cast<FlowHandle>(id - 100));
+  }
+  EXPECT_EQ(idx.size(), 64u);
+  EXPECT_EQ(idx.slot_count(), 64u);
+}
+
+TEST(FlowIndexTest, ReleaseRecyclesHandleWithBumpedGeneration) {
+  FlowIndex idx;
+  const FlowHandle h = idx.intern(1);
+  const std::uint32_t gen0 = idx.generation(h);
+  idx.release(1);
+  EXPECT_EQ(idx.find(1), kNoFlowHandle);
+  EXPECT_FALSE(idx.live(h));
+  // The freed slot is reused for the next intern, under a new generation.
+  const FlowHandle h2 = idx.intern(2);
+  EXPECT_EQ(h2, h);
+  EXPECT_NE(idx.generation(h2), gen0);
+  EXPECT_EQ(idx.id_of(h2), 2u);
+}
+
+TEST(FlowIndexTest, PoolRowsResetAcrossRecycling) {
+  FlowIndex idx;
+  FlowPool<int> pool(-1);
+  const FlowHandle h = idx.intern(10);
+  pool.row(h, idx.generation(h)) = 99;
+  EXPECT_EQ(pool.get(h, idx.generation(h)), 99);
+  idx.release(10);
+  const FlowHandle h2 = idx.intern(11);
+  ASSERT_EQ(h2, h);  // recycled slot
+  // The old occupant's row must not leak into the new flow.
+  EXPECT_EQ(pool.get(h2, idx.generation(h2)), -1);
+  EXPECT_FALSE(pool.set(h2, idx.generation(h2)));
+  pool.row(h2, idx.generation(h2)) = 7;
+  EXPECT_EQ(pool.get(h2, idx.generation(h2)), 7);
+}
+
+TEST(FlowIndexTest, ForEachVisitsLiveHandlesInHandleOrder) {
+  FlowIndex idx;
+  idx.intern(30);
+  idx.intern(20);
+  idx.intern(10);
+  idx.release(20);
+  std::vector<FlowId> seen;
+  idx.for_each([&](FlowHandle h, FlowId id) {
+    (void)h;
+    seen.push_back(id);
+  });
+  EXPECT_EQ(seen, (std::vector<FlowId>{30, 10}));
+}
+
+TEST(FlowIndexTest, ClearDropsEverything) {
+  FlowIndex idx;
+  idx.intern(1);
+  idx.intern(2);
+  idx.clear();
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.find(1), kNoFlowHandle);
+  EXPECT_EQ(idx.intern(3), 0u);  // slots restart dense
+}
+
+// Churn property test: random intern/find/release against a std::map
+// reference model, with a generation-stamped pool checked for stale leaks.
+TEST(FlowIndexTest, ChurnMatchesReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng(seed);
+    FlowIndex idx;
+    FlowPool<std::uint64_t> pool(0);
+    std::map<FlowId, std::uint64_t> model;  // id -> value written
+    std::uint64_t next_value = 1;
+    for (int step = 0; step < 20000; ++step) {
+      const FlowId id = 1 + rng.uniform(512);  // small space: heavy reuse
+      const std::uint64_t op = rng.uniform(10);
+      if (op < 5) {  // intern + write
+        const FlowHandle h = idx.intern(id);
+        pool.row(h, idx.generation(h)) = next_value;
+        model[id] = next_value;
+        ++next_value;
+      } else if (op < 8) {  // find + read
+        const FlowHandle h = idx.find(id);
+        const auto it = model.find(id);
+        if (it == model.end()) {
+          EXPECT_EQ(h, kNoFlowHandle) << "seed " << seed << " step " << step;
+        } else {
+          ASSERT_NE(h, kNoFlowHandle) << "seed " << seed << " step " << step;
+          EXPECT_EQ(idx.id_of(h), id);
+          EXPECT_EQ(pool.get(h, idx.generation(h)), it->second)
+              << "seed " << seed << " step " << step;
+        }
+      } else {  // release
+        idx.release(id);
+        model.erase(id);
+      }
+      ASSERT_EQ(idx.size(), model.size());
+    }
+    // Full sweep: every surviving flow still reads its last written value.
+    for (const auto& [id, value] : model) {
+      const FlowHandle h = idx.find(id);
+      ASSERT_NE(h, kNoFlowHandle);
+      EXPECT_EQ(pool.get(h, idx.generation(h)), value);
+    }
+    // Handle space stays bounded by the peak live count, not the op count.
+    EXPECT_LE(idx.slot_count(), 512u);
+  }
+}
+
+}  // namespace
+}  // namespace p4u::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/random.hpp"
+
 namespace p4u::sim {
 namespace {
 
@@ -102,6 +104,36 @@ TEST(SamplesTest, RepeatedQueriesReuseTheCache) {
   EXPECT_EQ(&s.sorted(), first);
   s.add(1.0);
   EXPECT_EQ(s.sorted().size(), 4u);
+}
+
+TEST(SamplesTest, EmptyAddAllKeepsSortedCache) {
+  Samples s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  (void)s.sorted();  // build the cache
+  const double* cache = s.sorted().data();
+  s.add_all({});  // must NOT discard the cache
+  EXPECT_EQ(s.sorted().data(), cache);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add_all({2.0});  // non-empty batch still invalidates
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(SamplesTest, MinMaxMatchScansWithAndWithoutCache) {
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    Samples s;
+    const int n = 1 + static_cast<int>(rng.uniform(40));
+    for (int i = 0; i < n; ++i) s.add(rng.uniform01() * 1000.0 - 500.0);
+    // Dirty path (fresh samples, no cache yet) ...
+    const double dirty_min = s.min();
+    const double dirty_max = s.max();
+    // ... must agree exactly with the sorted-cache path.
+    (void)s.sorted();
+    EXPECT_EQ(s.min(), dirty_min);
+    EXPECT_EQ(s.max(), dirty_max);
+    EXPECT_EQ(s.min(), s.percentile(0.0));
+    EXPECT_EQ(s.max(), s.percentile(100.0));
+  }
 }
 
 TEST(EmpiricalCdfTest, MonotoneAndEndsAtOne) {

@@ -1,0 +1,132 @@
+// Streaming-vs-exact equivalence: StreamingStats must agree with the exact
+// Samples accumulator — bitwise for count/min/max, to 1e-9 for the moments,
+// and within a distribution-scaled error bound for the P² quantiles —
+// across seeds and input distributions. This is what licenses swapping
+// StreamingStats in wherever only the summary leaves the run.
+#include "sim/streaming_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace p4u::sim {
+namespace {
+
+enum class Dist { kUniform, kExponential, kNormal };
+
+double draw(Rng& rng, Dist d) {
+  switch (d) {
+    case Dist::kUniform: return rng.uniform01() * 1000.0;
+    case Dist::kExponential: return rng.exponential(100.0);
+    case Dist::kNormal: return rng.normal(50.0, 15.0);
+  }
+  return 0.0;
+}
+
+TEST(StreamingStatsTest, MomentsMatchExactAcross24Seeds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto dist = static_cast<Dist>(seed % 3);
+    Rng rng(seed * 7919);
+    Samples exact;
+    StreamingStats streaming;
+    const int n = 5000 + static_cast<int>(seed) * 100;
+    for (int i = 0; i < n; ++i) {
+      const double x = draw(rng, dist);
+      exact.add(x);
+      streaming.add(x);
+    }
+    ASSERT_EQ(streaming.count(), exact.count());
+    // min/max are tracked exactly — equality, not tolerance.
+    EXPECT_EQ(streaming.min(), exact.min()) << "seed " << seed;
+    EXPECT_EQ(streaming.max(), exact.max()) << "seed " << seed;
+    // Welford vs two-pass: identical to within rounding noise.
+    EXPECT_NEAR(streaming.mean(), exact.mean(),
+                1e-9 * std::max(1.0, std::abs(exact.mean())))
+        << "seed " << seed;
+    EXPECT_NEAR(streaming.stddev(), exact.stddev(),
+                1e-9 * std::max(1.0, exact.stddev()))
+        << "seed " << seed;
+  }
+}
+
+TEST(StreamingStatsTest, QuantilesWithinBoundAcross24Seeds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto dist = static_cast<Dist>(seed % 3);
+    Rng rng(seed * 104729);
+    Samples exact;
+    StreamingStats streaming;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = draw(rng, dist);
+      exact.add(x);
+      streaming.add(x);
+    }
+    // P² error scales with the local density of the distribution; bound it
+    // by a fraction of the exact inter-quartile-ish spread around each
+    // probe rather than an absolute epsilon.
+    for (const double p : {50.0, 95.0, 99.0}) {
+      const double got = streaming.quantile(p);
+      const double want = exact.percentile(p);
+      const double spread = exact.percentile(99.5) - exact.percentile(5.0);
+      EXPECT_NEAR(got, want, 0.05 * spread)
+          << "seed " << seed << " p" << p << " dist "
+          << static_cast<int>(dist);
+    }
+  }
+}
+
+TEST(StreamingStatsTest, SmallSampleQuantilesAreExact) {
+  // Below five observations the P² marker set is just the sorted prefix;
+  // estimates must match Samples::percentile exactly.
+  Samples exact;
+  StreamingStats streaming;
+  for (const double x : {7.0, 3.0, 9.0, 1.0}) {
+    exact.add(x);
+    streaming.add(x);
+    for (const double p : {50.0, 95.0, 99.0}) {
+      EXPECT_DOUBLE_EQ(streaming.quantile(p), exact.percentile(p))
+          << "n=" << exact.count() << " p" << p;
+    }
+  }
+}
+
+TEST(StreamingStatsTest, EmptyAndErrorCases) {
+  StreamingStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.quantile(50.0), std::logic_error);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_THROW((void)s.quantile(42.0), std::invalid_argument);
+  EXPECT_THROW(StreamingStats({0.0}), std::invalid_argument);
+}
+
+TEST(StreamingStatsTest, DeterministicForIdenticalStreams) {
+  Rng a(42);
+  Rng b(42);
+  StreamingStats sa;
+  StreamingStats sb;
+  for (int i = 0; i < 10000; ++i) sa.add(a.exponential(10.0));
+  for (int i = 0; i < 10000; ++i) sb.add(b.exponential(10.0));
+  EXPECT_EQ(sa.quantile(95.0), sb.quantile(95.0));
+  EXPECT_EQ(sa.mean(), sb.mean());
+  EXPECT_EQ(summary_line(sa), summary_line(sb));
+}
+
+TEST(StreamingStatsTest, SummaryLineMatchesSamplesFormat) {
+  StreamingStats s;
+  EXPECT_EQ(summary_line(s), "n=0");
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const std::string line = summary_line(s);
+  EXPECT_NE(line.find("mean=50.500"), std::string::npos);
+  EXPECT_NE(line.find("n=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4u::sim
