@@ -55,8 +55,12 @@ if [[ "$RUN_DETLINT" == 1 ]]; then
   # Pinned allow counts: the PrepClock alias in src/core (Fig. 8 prep-cost
   # measurement) and the BenchClock aliases in bench/ (fig8_prep_time,
   # hotpath, and scale's flows/sec measurement). A new sanctioned
-  # wall-clock site must bump these explicitly.
+  # wall-clock site must bump these explicitly. bench/mc.cpp is promoted
+  # to campaign-critical: its merged interleaving report and its
+  # counterexample artifacts gate CI, so hash-order iteration is banned
+  # there exactly as in src/.
   if ! python3 tools/detlint/detlint.py --repo . \
+      --critical src bench/mc.cpp \
       --expect-allowed wall-clock:src=1 \
       --expect-allowed wall-clock:bench=3; then
     echo "lint: detlint found issues" >&2

@@ -107,6 +107,13 @@ std::string bench_cli_usage(const BenchCliSpec& spec) {
     u += "  --link-down <t:u-v:dur> down link u-v at t ms for dur ms "
          "(repeatable)\n";
   }
+  if (spec.with_mc) {
+    u += "  --strategy <seeded|explore>  event-ordering strategy\n";
+    u += "  --replay <file>              re-execute a recorded schedule "
+         "(forces --runs 1)\n";
+    u += "  --max-depth <N>              bound the explorer's branch depth "
+         "(explore only)\n";
+  }
   for (const std::string& p : spec.passthrough_prefixes) {
     u += "  " + p + "*  passed through\n";
   }
@@ -193,6 +200,34 @@ BenchCliResult parse_bench_cli(int& argc, char** argv,
         continue;
       }
     }
+    if (spec.with_mc) {
+      if (auto v = match_flag(arg, "--strategy", r, argc, argv); v.present) {
+        if (v.missing_value ||
+            (v.value != "seeded" && v.value != "explore")) {
+          out.error = "--strategy must be 'seeded' or 'explore'";
+          return out;
+        }
+        out.cli.strategy = v.value;
+        continue;
+      }
+      if (auto v = match_flag(arg, "--replay", r, argc, argv); v.present) {
+        if (v.missing_value) {
+          out.error = "--replay requires a schedule file";
+          return out;
+        }
+        out.cli.replay_path = v.value;
+        continue;
+      }
+      if (auto v = match_flag(arg, "--max-depth", r, argc, argv); v.present) {
+        int depth = 0;
+        if (v.missing_value || !parse_positive_int(v.value, depth)) {
+          out.error = "--max-depth requires a positive integer";
+          return out;
+        }
+        out.cli.max_depth = depth;
+        continue;
+      }
+    }
     const bool passthrough =
         std::any_of(spec.passthrough_prefixes.begin(),
                     spec.passthrough_prefixes.end(),
@@ -204,6 +239,24 @@ BenchCliResult parse_bench_cli(int& argc, char** argv,
       continue;
     }
     out.error = "unknown argument '" + arg + "'";
+    return out;
+  }
+  // Cross-flag conflicts: checked after the loop so the diagnostics do not
+  // depend on argument order.
+  if (!out.cli.replay_path.empty()) {
+    if (!out.cli.strategy.empty()) {
+      out.error = "--replay and --strategy are mutually exclusive: a replay "
+                  "fixes the schedule";
+      return out;
+    }
+    if (out.cli.runs && *out.cli.runs > 1) {
+      out.error = "--replay re-executes one recorded schedule: --runs must "
+                  "be 1";
+      return out;
+    }
+  }
+  if (out.cli.max_depth && out.cli.strategy != "explore") {
+    out.error = "--max-depth requires --strategy explore";
     return out;
   }
   argc = w;

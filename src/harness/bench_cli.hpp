@@ -32,6 +32,11 @@ struct BenchCliSpec {
   /// Enables the failure-domain flags: --ctrl-drop, --data-drop, and
   /// repeatable --link-down t:u-v:dur (all collected into cli.fault_plan).
   bool with_faults = false;
+  /// Enables the model-checking flags: --strategy <seeded|explore>,
+  /// --replay <schedule.json>, --max-depth <N>. Conflicting combinations
+  /// (--replay with --strategy, --replay with --runs > 1, --max-depth
+  /// without --strategy explore) are hard usage errors.
+  bool with_mc = false;
   /// Arguments starting with one of these prefixes are left in argv for a
   /// downstream parser (e.g. "--benchmark" for google-benchmark).
   std::vector<std::string> passthrough_prefixes;
@@ -46,6 +51,13 @@ struct BenchCli {
   /// Fault knobs collected from --ctrl-drop / --data-drop / --link-down
   /// (with_faults only). Benches merge this into their TestBedParams.
   faults::FaultPlan fault_plan;
+  /// Model-checking knobs (with_mc only). `strategy` is "seeded",
+  /// "explore", or empty (the bench's default); `replay_path` names a
+  /// recorded schedule to re-execute (mutually exclusive with --strategy
+  /// and with --runs > 1); `max_depth` bounds the explorer's branch depth.
+  std::string strategy;
+  std::string replay_path;
+  std::optional<int> max_depth;
 
   /// Run count for a spec whose table default is `table_runs`: an explicit
   /// --runs wins, then --smoke caps at 3, else the table value.

@@ -7,6 +7,7 @@
 #include "harness/demo_scenarios.hpp"
 #include "harness/parallel_runner.hpp"
 #include "obs/run_report.hpp"
+#include "sim/schedule_strategy.hpp"
 
 namespace p4u::harness {
 
@@ -19,8 +20,21 @@ void harvest_bed(TestBed& bed, RunOutcome& out) {
   out.violations.loops += bed.monitor().violations().loops;
   out.violations.blackholes += bed.monitor().violations().blackholes;
   out.violations.capacity += bed.monitor().violations().capacity;
+  out.violations.faulted_walks += bed.monitor().violations().faulted_walks;
   bed.collect_metrics();
   out.metrics.merge_from(bed.metrics());
+}
+
+/// Builds the spec's per-run strategy (if any) and points `params` at it.
+/// The returned owner must outlive the TestBed built from `params`.
+std::unique_ptr<sim::ScheduleStrategy> install_strategy(const RunSpec& spec,
+                                                        TestBedParams& params,
+                                                        std::uint64_t seed) {
+  if (!spec.strategy_factory) return nullptr;
+  std::unique_ptr<sim::ScheduleStrategy> strategy =
+      spec.strategy_factory(seed);
+  params.strategy = strategy.get();
+  return strategy;
 }
 
 RunOutcome run_single_flow_job(const RunSpec& spec, std::uint64_t seed) {
@@ -28,6 +42,7 @@ RunOutcome run_single_flow_job(const RunSpec& spec, std::uint64_t seed) {
   params.seed = seed;
   params.trace_enabled = false;  // large sweeps: skip trace allocation
   params.measure_prep_wallclock = false;  // keep the registry deterministic
+  const auto strategy = install_strategy(spec, params, seed);
   TestBed bed(*spec.graph, params);
   // Pre-size the event pool from the spec: a single-flow update touches each
   // node a bounded number of times (service, UNM hops, installs, retries).
@@ -59,6 +74,7 @@ RunOutcome run_multi_flow_job(const RunSpec& spec, std::uint64_t seed) {
   params.trace_enabled = false;
   params.measure_prep_wallclock = false;
   params.monitor_capacity = params.monitor_capacity || params.congestion_mode;
+  const auto strategy = install_strategy(spec, params, seed);
   TestBed bed(*spec.graph, params);
   // Event volume scales with both the topology and the flow batch; the
   // estimate only pre-sizes slabs, so overshoot costs memory, not time.
@@ -117,6 +133,7 @@ RunOutcome run_chaos_job(const RunSpec& spec, std::uint64_t seed) {
       static_cast<net::NodeId>(chaos_rng.uniform(g.node_count()));
   params.fault_plan.switch_crash_for(draw_at(), victim, spec.chaos_outage);
 
+  const auto strategy = install_strategy(spec, params, seed);
   TestBed bed(g, params);
   bed.simulator().reserve(g.node_count() * 64 + flows.size() * 256 + 512);
 
@@ -198,6 +215,7 @@ RunOutcome run_scale_job(const RunSpec& spec, std::uint64_t seed) {
   // hint only pre-sizes pools; undershoot costs a few grows, not wrongness.
   params.expected_flows_per_switch =
       spec.scale_flows * 12 / std::max<std::size_t>(g.node_count(), 1);
+  const auto strategy = install_strategy(spec, params, seed);
   TestBed bed(g, params);
   // The event volume is dominated by the updated subset, not residency:
   // deployment is instant bring-up, no events.
@@ -356,6 +374,7 @@ std::vector<SpecResult> Campaign::run(int jobs) const {
       sr.result.violations.loops += out.violations.loops;
       sr.result.violations.blackholes += out.violations.blackholes;
       sr.result.violations.capacity += out.violations.capacity;
+      sr.result.violations.faulted_walks += out.violations.faulted_walks;
       sr.result.metrics.merge_from(out.metrics);
     }
     results.push_back(std::move(sr));

@@ -11,6 +11,8 @@
 // as `--jobs 1`, just ~8x sooner.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -87,6 +89,14 @@ struct RunSpec {
   /// System under test, latency model, fault knobs, congestion mode, ...
   /// (`bed.seed` is overwritten per run with base_seed + run index).
   TestBedParams bed;
+  /// Optional per-run event-ordering strategy (e.g. a SeededStrategy for
+  /// A/B-testing the strategy path, or a ReplayStrategy for re-running a
+  /// recorded schedule). Called once per seeded job with that job's seed;
+  /// the job owns the returned strategy for its bed's lifetime. Leave
+  /// empty for the simulator's historical fast path. Note: the §4 demo
+  /// families build their own beds and ignore this hook.
+  std::function<std::unique_ptr<sim::ScheduleStrategy>(std::uint64_t)>
+      strategy_factory;
   int runs = 30;
   std::uint64_t base_seed = 1000;
   std::string sample_unit = "ms";

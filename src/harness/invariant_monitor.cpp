@@ -217,6 +217,22 @@ void InvariantMonitor::check_flow(net::FlowId flow) {
   }
 }
 
+void InvariantMonitor::export_violations(obs::MetricsRegistry& m) const {
+  const std::pair<const char*, std::uint64_t> kinds[] = {
+      {"loop", violations_.loops},
+      {"blackhole", violations_.blackholes},
+      {"capacity", violations_.capacity},
+  };
+  for (const auto& [kind, total] : kinds) {
+    obs::Counter c = m.counter("monitor.violation", {{"kind", kind}});
+    if (total > c.value()) c.inc(total - c.value());
+  }
+  obs::Counter fw = m.counter("monitor.faulted_walks");
+  if (violations_.faulted_walks > fw.value()) {
+    fw.inc(violations_.faulted_walks - fw.value());
+  }
+}
+
 void InvariantMonitor::check_all() {
   // Sorted order: findings_ and trace entries are emitted here, and their
   // order is part of the deterministic-report contract.

@@ -64,6 +64,14 @@ class InvariantMonitor : public p4rt::FabricObserver {
     return findings_;
   }
 
+  /// Tops up "monitor.violation"{kind=loop|blackhole|capacity} plus
+  /// "monitor.faulted_walks" to the current totals, so every run report
+  /// attributes explorer/chaos failures per invariant without reading
+  /// traces. Zero cells are exported too: a clean run visibly reports
+  /// zeroes rather than omitting the family. Idempotent (top-up pattern,
+  /// like FlowDb::export_outcomes).
+  void export_violations(obs::MetricsRegistry& m) const;
+
   // Direct predicates (used by tests).
   [[nodiscard]] bool has_loop(net::FlowId flow) const;
   [[nodiscard]] bool has_blackhole(net::FlowId flow) const;

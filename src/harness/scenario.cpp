@@ -32,6 +32,10 @@ std::vector<sim::Duration> control_latencies(const net::Graph& g,
 
 TestBed::TestBed(net::Graph graph, TestBedParams params)
     : graph_(std::move(graph)), params_(params) {
+  // The strategy goes in first: the Fabric constructor below already
+  // schedules fault-plan events, and those must be tagged and steered like
+  // everything else.
+  sim_.set_strategy(params_.strategy);
   // Fail loudly on a mistyped fault schedule before anything is wired.
   params_.fault_plan.validate(graph_);
   fabric_ = std::make_unique<p4rt::Fabric>(sim_, graph_, params_.switch_params,
@@ -129,9 +133,12 @@ void TestBed::deploy_tree(const net::Flow& f, const control::DestTree& tree) {
 
 void TestBed::schedule_update_at(sim::Time at, net::FlowId flow,
                                  net::Path new_path) {
-  sim_.schedule_at(at, [this, flow, new_path = std::move(new_path)]() {
-    adapter_->schedule_update(flow, new_path);
-  });
+  // kScenario is opaque to the independence relation: issuing an update
+  // reshapes controller state for the whole run.
+  sim_.schedule_at(at, sim::EventTag{-1, sim::EventClass::kScenario, flow},
+                   [this, flow, new_path = std::move(new_path)]() {
+                     adapter_->schedule_update(flow, new_path);
+                   });
 }
 
 void TestBed::issue_update_now(net::FlowId flow, const net::Path& new_path) {
@@ -140,9 +147,10 @@ void TestBed::issue_update_now(net::FlowId flow, const net::Path& new_path) {
 
 void TestBed::schedule_batch_at(
     sim::Time at, std::vector<std::pair<net::FlowId, net::Path>> batch) {
-  sim_.schedule_at(at, [this, batch = std::move(batch)]() {
-    adapter_->schedule_batch(batch);
-  });
+  sim_.schedule_at(at, sim::EventTag{-1, sim::EventClass::kScenario, 0},
+                   [this, batch = std::move(batch)]() {
+                     adapter_->schedule_batch(batch);
+                   });
 }
 
 void TestBed::start_traffic(net::FlowId flow, net::NodeId ingress, double pps,
@@ -155,6 +163,7 @@ void TestBed::start_traffic(net::FlowId flow, net::NodeId ingress, double pps,
     d.seq = i;
     d.ttl = ttl;
     sim_.schedule_in(gap * static_cast<sim::Duration>(i + 1),
+                     sim::EventTag{-1, sim::EventClass::kScenario, flow},
                      [this, ingress, d]() {
                        fabric_->inject(ingress, p4rt::Packet{d}, -1);
                      });
@@ -172,6 +181,7 @@ void TestBed::run(sim::Time until) { sim_.run(until); }
 void TestBed::collect_metrics() {
   adapter_->collect_metrics(fabric_->metrics());
   adapter_->flow_db().export_outcomes(fabric_->metrics());
+  monitor_->export_violations(fabric_->metrics());
 }
 
 }  // namespace p4u::harness

@@ -43,6 +43,7 @@ class ControlChannel;
 class Fabric;
 }  // namespace p4u::p4rt
 namespace p4u::sim {
+class ScheduleStrategy;
 class Simulator;
 }  // namespace p4u::sim
 
@@ -106,6 +107,11 @@ struct TestBedParams {
   /// occupies the switches on its path.
   std::size_t expected_flows = 0;
   std::size_t expected_flows_per_switch = 0;
+  /// Event-ordering strategy for the run; nullptr keeps the simulator's
+  /// historical fast path (equivalent to SeededStrategy). Not owned: must
+  /// outlive the TestBed. Installed before any event is scheduled, so even
+  /// construction-time fault events are under strategy control.
+  sim::ScheduleStrategy* strategy = nullptr;
 };
 
 /// Everything an adapter needs to wire one system into a run. The fabric

@@ -7,6 +7,15 @@
 
 namespace p4u::p4rt {
 
+namespace {
+
+/// All controller-side work serializes on the single service thread
+/// (busy_until_), so control events are mutually dependent regardless of
+/// which switch or flow they concern.
+constexpr sim::EventTag kCtrlTag{-1, sim::EventClass::kControl, 0};
+
+}  // namespace
+
 ControlChannel::ControlChannel(sim::Simulator& sim, Fabric& fabric,
                                std::vector<sim::Duration> latency_to_switch,
                                sim::Duration service_time)
@@ -23,18 +32,18 @@ void ControlChannel::on_link_state(net::LinkId link, NodeId a, NodeId b,
                                    bool up) {
   // Detection latency: whichever endpoint's control session notices first.
   const sim::Duration detect = std::min(latency(a), latency(b));
-  sim_.schedule_in(detect, [this, link, a, b, up]() {
+  sim_.schedule_in(detect, kCtrlTag, [this, link, a, b, up]() {
     const sim::Time handled_at = reserve_service_slot(recv_service_);
-    sim_.schedule_at(handled_at, [this, link, a, b, up]() {
+    sim_.schedule_at(handled_at, kCtrlTag, [this, link, a, b, up]() {
       if (app_ != nullptr) app_->handle_link_state(link, a, b, up);
     });
   });
 }
 
 void ControlChannel::on_switch_state(NodeId node, bool up) {
-  sim_.schedule_in(latency(node), [this, node, up]() {
+  sim_.schedule_in(latency(node), kCtrlTag, [this, node, up]() {
     const sim::Time handled_at = reserve_service_slot(recv_service_);
-    sim_.schedule_at(handled_at, [this, node, up]() {
+    sim_.schedule_at(handled_at, kCtrlTag, [this, node, up]() {
       if (app_ != nullptr) app_->handle_switch_state(node, up);
     });
   });
@@ -54,18 +63,24 @@ void ControlChannel::send_to_switch(NodeId sw, Packet pkt) {
   // one independently travels the control link to its switch.
   const sim::Time departure = reserve_service_slot(send_service_);
   const sim::Time arrival = departure + latency(sw) + extra_outbound_;
-  sim_.schedule_at(arrival, [this, sw, pkt = std::move(pkt)]() mutable {
-    fabric_.sw(sw).receive(std::move(pkt), /*in_port=*/-1);
-  });
+  // The arrival runs on the switch, not the controller: tag it as a
+  // delivery so it can commute with unrelated switches' work. The flow is
+  // hoisted because the tag and the move-capture are indeterminately
+  // sequenced within the call.
+  const net::FlowId flow = pkt.flow();
+  sim_.schedule_at(arrival, sim::EventTag{sw, sim::EventClass::kDelivery, flow},
+                   [this, sw, pkt = std::move(pkt)]() mutable {
+                     fabric_.sw(sw).receive(std::move(pkt), /*in_port=*/-1);
+                   });
 }
 
 void ControlChannel::deliver_to_controller(NodeId from, Packet pkt) {
   metrics().counter("ctrl.msgs_in", {{"msg", message_kind(pkt)}}).inc();
   const sim::Time arrival = sim_.now() + latency(from);
-  sim_.schedule_at(arrival, [this, from, pkt = std::move(pkt)]() mutable {
+  sim_.schedule_at(arrival, kCtrlTag, [this, from, pkt = std::move(pkt)]() mutable {
     // Queue for the controller's single service thread.
     const sim::Time handled_at = reserve_service_slot(recv_service_);
-    sim_.schedule_at(handled_at, [this, from, pkt = std::move(pkt)]() {
+    sim_.schedule_at(handled_at, kCtrlTag, [this, from, pkt = std::move(pkt)]() {
       ++handled_;
       if (app_ != nullptr) app_->handle_from_switch(from, pkt);
     });

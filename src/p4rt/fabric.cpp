@@ -56,7 +56,11 @@ Fabric::Fabric(sim::Simulator& sim, const net::Graph& graph,
     link_down_drops_ = metrics_.counter("fabric.link_down_drop");
     crash_drops_ = metrics_.counter("fabric.crash_drop");
     for (const faults::FaultEvent& e : plan_.events()) {
-      sim_.schedule_at(e.at, [this, e] { apply_fault(e); });
+      // kFault is opaque to the independence relation: a fault may touch
+      // topology state every flow depends on.
+      sim_.schedule_at(e.at,
+                       sim::EventTag{-1, sim::EventClass::kFault, 0},
+                       [this, e] { apply_fault(e); });
     }
   }
 }
@@ -185,23 +189,41 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
     return;
   }
 
-  // Random fault injection (verification model, §5).
+  // Random fault injection (verification model, §5). The coin is a
+  // schedule choice point: with a strategy installed it decides (an
+  // explorer enumerates both outcomes); without one the seeded stream
+  // draws exactly as it always has.
   const bool is_data = pkt.is<DataHeader>();
   const double drop_p =
       is_data ? model_.data_drop_prob : model_.control_drop_prob;
-  if (drop_p > 0.0 && fault_rng_.uniform01() < drop_p) {
-    msg_counter(drop_counters_, "fabric.drop", from, pkt).inc();
-    trace_.add_lazy([&] {
-      return sim::TraceEntry{sim_.now(), sim::TraceKind::kMessageDropped, from,
-                             pkt.flow(), 0, 0, "fault: " + describe(pkt)};
-    });
-    return;
+  sim::ScheduleStrategy* const strat = sim_.strategy();
+  if (drop_p > 0.0) {
+    const sim::CoinPoint cp{
+        is_data ? sim::CoinKind::kDataDrop : sim::CoinKind::kCtrlDrop, from,
+        pkt.flow(), drop_p};
+    const bool dropped = strat != nullptr
+                             ? strat->coin(cp, fault_rng_)
+                             : fault_rng_.uniform01() < drop_p;
+    if (dropped) {
+      msg_counter(drop_counters_, "fabric.drop", from, pkt).inc();
+      trace_.add_lazy([&] {
+        return sim::TraceEntry{sim_.now(), sim::TraceKind::kMessageDropped,
+                               from,       pkt.flow(),
+                               0,          0,
+                               "fault: " + describe(pkt)};
+      });
+      return;
+    }
   }
 
   sim::Duration latency = graph_.latency_between(from, to);
   if (model_.reorder_jitter > 0) {
-    const auto extra = static_cast<sim::Duration>(fault_rng_.uniform(
-        static_cast<std::uint64_t>(model_.reorder_jitter) + 1));
+    const sim::CoinPoint cp{sim::CoinKind::kReorder, from, pkt.flow(), 0.0};
+    const sim::Duration extra =
+        strat != nullptr
+            ? strat->jitter(cp, model_.reorder_jitter, fault_rng_)
+            : static_cast<sim::Duration>(fault_rng_.uniform(
+                  static_cast<std::uint64_t>(model_.reorder_jitter) + 1));
     // Saturate instead of overflowing: an arbitrarily large jitter knob
     // must delay, never wrap into the past.
     latency = extra > sim::kTimeInfinity - latency ? sim::kTimeInfinity
@@ -214,8 +236,12 @@ void Fabric::transmit(NodeId from, std::int32_t out_port, Packet pkt) {
       .observe(sim::to_ms(latency));
 
   const std::int32_t in_port = graph_.port_of(to, from);
+  // Hoisted: the tag argument and the move-capture of pkt are
+  // indeterminately sequenced within the schedule_in call.
+  const FlowId flow = pkt.flow();
   sim_.schedule_in(
-      latency, [this, from, to, in_port, pkt = std::move(pkt)]() mutable {
+      latency, sim::EventTag{to, sim::EventClass::kDelivery, flow},
+      [this, from, to, in_port, pkt = std::move(pkt)]() mutable {
         // A switch that crashed while the packet was in flight eats it:
         // accounted as a fabric drop (tx = rx + drop stays an invariant),
         // attributed to the transmitting hop like every other drop.
@@ -246,9 +272,11 @@ void Fabric::inject(NodeId at, Packet pkt, std::int32_t in_port) {
   // reference itself is unused.
   static_cast<void>(sw(at));
   msg_counter(inject_counters_, "fabric.inject", at, pkt).inc();
-  sim_.schedule_in(0, [this, at, in_port, pkt = std::move(pkt)]() mutable {
-    sw(at).receive(std::move(pkt), in_port);
-  });
+  const FlowId flow = pkt.flow();  // hoisted past the move-capture below
+  sim_.schedule_in(0, sim::EventTag{at, sim::EventClass::kDelivery, flow},
+                   [this, at, in_port, pkt = std::move(pkt)]() mutable {
+                     sw(at).receive(std::move(pkt), in_port);
+                   });
 }
 
 }  // namespace p4u::p4rt

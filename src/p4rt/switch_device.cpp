@@ -9,6 +9,18 @@
 
 namespace p4u::p4rt {
 
+namespace {
+
+/// Tag for work on one switch scoped to one flow. A zero flow id means the
+/// scope is unknown, and the event degrades to kInternal — conservatively
+/// dependent on everything — rather than falsely claiming flow isolation.
+sim::EventTag switch_tag(NodeId node, sim::EventClass cls, FlowId flow) {
+  if (flow == 0) return sim::EventTag{node, sim::EventClass::kInternal, 0};
+  return sim::EventTag{node, cls, flow};
+}
+
+}  // namespace
+
 SwitchDevice::SwitchDevice(Fabric& fabric, NodeId id, SwitchParams params,
                            sim::Rng rng)
     : fabric_(fabric),
@@ -93,8 +105,13 @@ void SwitchDevice::enqueue_for_service(Packet pkt, std::int32_t in_port) {
   busy_until_ = done;
   queue_depth_gauge().set(static_cast<double>(++queue_depth_));
   service_histogram().observe(sim::to_ms(done - now()));
-  simulator().schedule_at(done, [this, epoch = epoch_, pkt = std::move(pkt),
-                                 in_port]() mutable {
+  // Hoisted: the tag and the move-capture of pkt are indeterminately
+  // sequenced within the schedule_at call.
+  const FlowId flow = pkt.flow();
+  simulator().schedule_at(done,
+                          switch_tag(id_, sim::EventClass::kService, flow),
+                          [this, epoch = epoch_, pkt = std::move(pkt),
+                           in_port]() mutable {
     if (epoch != epoch_) {
       // The switch crashed while this packet sat in the service queue.
       crash_dropped_counter().inc();
@@ -160,8 +177,10 @@ void SwitchDevice::send_to_controller(Packet pkt) {
 }
 
 void SwitchDevice::resubmit(Packet pkt, std::int32_t in_port) {
+  const FlowId flow = pkt.flow();  // hoisted past the move-capture below
   simulator().schedule_in(
       params_.resubmit_interval,
+      switch_tag(id_, sim::EventClass::kTimer, flow),
       [this, epoch = epoch_, pkt = std::move(pkt), in_port]() mutable {
         if (epoch != epoch_) {
           // Recirculating packets live in switch memory; a crash eats them.
@@ -203,8 +222,10 @@ void SwitchDevice::install_rule(FlowId flow, std::int32_t port,
     done = std::max(done, it->second + 1);
     it->second = done;
   }
-  simulator().schedule_at(done, [this, epoch = epoch_, flow, port,
-                                 on_active = std::move(on_active)]() {
+  simulator().schedule_at(done,
+                          switch_tag(id_, sim::EventClass::kInstall, flow),
+                          [this, epoch = epoch_, flow, port,
+                           on_active = std::move(on_active)]() {
     if (epoch != epoch_) {
       // Accepted before the crash, wiped with everything else.
       installs_rejected_counter().inc();

@@ -1,0 +1,50 @@
+// EventOrder: the (at, seq) total order every determinism claim rests on.
+//
+// An event's position in the execution is decided by its timestamp, ties
+// broken by scheduling sequence number. The heap in sim/event_queue.hpp,
+// the co-enabled-set collection the ScheduleStrategy sees, and schedule
+// replay validation (sim/schedule.hpp) all compare with this one function,
+// so the order cannot silently fork between the live core and the replay
+// checker.
+//
+// The seq operand is "seq-monotone": any word that strictly increases with
+// the scheduling sequence number compares equivalently. The event core
+// exploits this by packing (seq << kSlotBits) | slot into one word — the
+// slot bits sit below every seq bit and can never flip a comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace p4u::sim {
+
+/// Ordering key of one scheduled event.
+struct EventKey {
+  Time at = 0;
+  std::uint64_t seq = 0;
+};
+
+struct EventOrder {
+  /// Strict "earlier-than": by timestamp, then by sequence word. `seq` is
+  /// unique per simulator, so this is a strict total order.
+  [[nodiscard]] static constexpr bool before(Time a_at, std::uint64_t a_seq,
+                                             Time b_at,
+                                             std::uint64_t b_seq) noexcept {
+    if (a_at != b_at) return a_at < b_at;
+    return a_seq < b_seq;
+  }
+
+  [[nodiscard]] static constexpr bool before(const EventKey& a,
+                                             const EventKey& b) noexcept {
+    return before(a.at, a.seq, b.at, b.seq);
+  }
+
+  /// Keys compare equal only when they are the same event.
+  [[nodiscard]] static constexpr bool equal(const EventKey& a,
+                                            const EventKey& b) noexcept {
+    return a.at == b.at && a.seq == b.seq;
+  }
+};
+
+}  // namespace p4u::sim

@@ -16,6 +16,7 @@ std::uint32_t Simulator::allocate_slot() {
   }
   if ((next_fresh_ >> kSlabShift) == slabs_.size()) {
     slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    tags_.resize(tags_.size() + kSlabSize);
   }
   return next_fresh_++;
 }
@@ -32,6 +33,7 @@ void Simulator::reserve(std::size_t n) {
   slabs_.reserve(want_slabs);
   while (slabs_.size() < want_slabs) {
     slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    tags_.resize(tags_.size() + kSlabSize);
   }
 }
 
@@ -72,17 +74,51 @@ void Simulator::heap_remove_min() {
   heap_[i] = moving;
 }
 
+Simulator::HeapEntry Simulator::strategy_select() {
+  const Time t = heap_.front().at;
+  // Pop every event scheduled for this instant; the heap yields them in
+  // (at, seq) order, so the options vector is already sorted by EventOrder
+  // and index 0 is the event the historical tie-break would run.
+  co_enabled_.clear();
+  options_.clear();
+  while (!heap_.empty() && heap_.front().at == t) {
+    const HeapEntry e = heap_.front();
+    heap_remove_min();
+    co_enabled_.push_back(e);
+    options_.push_back(ChoiceOption{EventKey{e.at, e.seq_idx}, tags_[e.idx()]});
+  }
+  // The strategy sees singleton sets too: an explorer tracking an
+  // independence-based sleep set must observe every executed event, not
+  // just the contested ones, to keep its pruning sound.
+  const std::size_t chosen = strategy_->pick(options_);
+  if (chosen >= options_.size()) {
+    throw std::logic_error(
+        "Simulator: strategy picked an out-of-range co-enabled event");
+  }
+  // Re-push the losers with their keys intact: their seq words are
+  // unchanged, so among themselves they keep the same relative order.
+  for (std::size_t i = 0; i < co_enabled_.size(); ++i) {
+    if (i != chosen) heap_push(co_enabled_[i]);
+  }
+  return co_enabled_[chosen];
+}
+
 bool Simulator::pop_and_run(Time until) {
   if (heap_.empty()) return false;
-  const HeapEntry top = heap_.front();
+  HeapEntry top = heap_.front();
   if (top.at > until) return false;
-  // Start pulling the winning handler's slab lines in now; the fetch
-  // overlaps the sift-down below, which never touches the pool.
+  if (strategy_ == nullptr) [[likely]] {
+    // Start pulling the winning handler's slab lines in now; the fetch
+    // overlaps the sift-down below, which never touches the pool.
+    Handler& pf = slot(top.idx());
+    __builtin_prefetch(static_cast<void*>(&pf), 1);
+    __builtin_prefetch(reinterpret_cast<char*>(&pf) + 64, 1);
+    __builtin_prefetch(reinterpret_cast<char*>(&pf) + 128, 1);
+    heap_remove_min();
+  } else {
+    top = strategy_select();
+  }
   Handler& fn = slot(top.idx());
-  __builtin_prefetch(static_cast<void*>(&fn), 1);
-  __builtin_prefetch(reinterpret_cast<char*>(&fn) + 64, 1);
-  __builtin_prefetch(reinterpret_cast<char*>(&fn) + 128, 1);
-  heap_remove_min();
   now_ = top.at;
   ++executed_;
   // Run the handler in place in its slab slot. The slot is not on the free

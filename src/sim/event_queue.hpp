@@ -15,9 +15,14 @@
 //     the ordering key travels with the entry, so sift comparisons read a
 //     contiguous array and never dereference into the pool, and the
 //     shallower tree halves the comparison depth of a binary heap.
-// Ordering is by (at, seq) exactly as before — seq is unique, so the
+// Ordering is by (at, seq) via sim::EventOrder — seq is unique, so the
 // comparison is a strict total order and the heap arity cannot change the
 // pop sequence.
+//
+// Event ordering is pluggable: install a ScheduleStrategy and the pop path
+// presents every *co-enabled* event (same timestamp as the minimum) to
+// strategy->pick() instead of hardcoding the seq tie-break. With no
+// strategy installed (the default) the historical fast path runs unchanged.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +31,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_order.hpp"
 #include "sim/inline_fn.hpp"
+#include "sim/schedule_strategy.hpp"
 #include "sim/time.hpp"
 
 namespace p4u::sim {
@@ -60,17 +67,30 @@ class Simulator {
   /// is copied exactly once, from the caller's frame.
   template <typename F>
   void schedule_in(Duration delay, F&& f) {
+    schedule_in(delay, EventTag{}, std::forward<F>(f));
+  }
+
+  /// Tagged variant: the tag travels with the event and is shown to the
+  /// installed ScheduleStrategy when the event is co-enabled with others.
+  template <typename F>
+  void schedule_in(Duration delay, EventTag tag, F&& f) {
     if (delay < 0) delay = 0;
     // Saturate: a delay near kTimeInfinity must park the event at the end
     // of time, not wrap `now_ + delay` into the past.
     const Time at =
         delay > kTimeInfinity - now_ ? kTimeInfinity : now_ + delay;
-    schedule_at(at, std::forward<F>(f));
+    schedule_at(at, tag, std::forward<F>(f));
   }
 
   /// Schedules `f` at absolute time `at` (clamped to `now()` if in the past).
   template <typename F>
   void schedule_at(Time at, F&& f) {
+    schedule_at(at, EventTag{}, std::forward<F>(f));
+  }
+
+  /// Tagged variant of schedule_at.
+  template <typename F>
+  void schedule_at(Time at, EventTag tag, F&& f) {
     if (at < now_) at = now_;
     const std::uint32_t idx = allocate_slot();
     if constexpr (std::is_same_v<std::decay_t<F>, Handler>) {
@@ -78,8 +98,21 @@ class Simulator {
     } else {
       slot(idx).emplace(std::forward<F>(f));
     }
+    tags_[idx] = tag;
     if (next_seq_ == kMaxSeq) raise_seq_overflow();
     heap_push(HeapEntry{at, (next_seq_++ << kSlotBits) | idx});
+  }
+
+  /// Installs the event-ordering strategy (nullptr restores the historical
+  /// fast path). The strategy must outlive the simulator or be cleared
+  /// before it dies; it is consulted only while `run()` is executing.
+  void set_strategy(ScheduleStrategy* s) noexcept { strategy_ = s; }
+
+  /// The installed strategy, or nullptr. Components with probabilistic
+  /// decisions (fabric drops, jitter) route their coins through this so an
+  /// explorer can branch on them.
+  [[nodiscard]] ScheduleStrategy* strategy() const noexcept {
+    return strategy_;
   }
 
   /// Pre-sizes the heap and the handler slab for about `n` concurrently
@@ -118,9 +151,9 @@ class Simulator {
   /// Heap element: 16 bytes — the full ordering key with the pool slot
   /// packed into the low bits of the word that carries the sequence
   /// number. `seq` is unique, so comparing `seq_idx` words compares `seq`
-  /// and the slot bits can never influence the order. Sift operations move
-  /// these, and only these; the (large) handler stays put in its slab
-  /// until it runs.
+  /// and the slot bits can never influence the order (EventOrder's
+  /// seq-monotone-word contract). Sift operations move these, and only
+  /// these; the (large) handler stays put in its slab until it runs.
   struct HeapEntry {
     Time at;
     std::uint64_t seq_idx;  // (seq << kSlotBits) | slot
@@ -138,6 +171,8 @@ class Simulator {
 
   /// Pool slot: line-aligned so the pop-path prefetch of three cache lines
   /// covers any handler completely, and no capture straddles an extra line.
+  /// Tags live in a parallel array, not here — a tag in the slot would
+  /// spill the handler onto a fourth cache line.
   struct alignas(64) Slot {
     Handler fn;
   };
@@ -146,21 +181,26 @@ class Simulator {
   [[nodiscard]] Handler& slot(std::uint32_t idx) noexcept {
     return slabs_[idx >> kSlabShift][idx & kSlabMask].fn;
   }
-  /// Earlier-than: the strict (at, seq) order the whole repo's determinism
-  /// contract rests on.
+  /// Earlier-than: the shared strict (at, seq) order. seq_idx is
+  /// seq-monotone (slot bits sit below every seq bit), so comparing the
+  /// packed words compares seq.
   [[nodiscard]] static bool before(const HeapEntry& a,
                                    const HeapEntry& b) noexcept {
-    if (a.at != b.at) return a.at < b.at;
-    return a.seq_idx < b.seq_idx;
+    return EventOrder::before(a.at, a.seq_idx, b.at, b.seq_idx);
   }
 
   [[nodiscard]] std::uint32_t allocate_slot();
   [[noreturn]] static void raise_seq_overflow();
   void heap_push(HeapEntry e);
   void heap_remove_min();
+  /// Strategy pop path: removes every event at the minimum timestamp (the
+  /// co-enabled set), lets the strategy pick one, re-pushes the rest with
+  /// their keys intact, and returns the winner (already removed).
+  [[nodiscard]] HeapEntry strategy_select();
   bool pop_and_run(Time until);
 
   std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<EventTag> tags_;        // per-slot tag, parallel to slabs_
   std::vector<std::uint32_t> free_;   // recycled pool slots
   std::uint32_t next_fresh_ = 0;      // first never-used slot
   std::vector<HeapEntry> heap_;       // 4-ary min-heap keyed by (at, seq)
@@ -168,6 +208,11 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  ScheduleStrategy* strategy_ = nullptr;
+  // Scratch for strategy_select(); members so the strategy pop path does
+  // not allocate per event once warm.
+  std::vector<HeapEntry> co_enabled_;
+  std::vector<ChoiceOption> options_;
 };
 
 }  // namespace p4u::sim

@@ -1,0 +1,231 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace p4u::sim {
+
+namespace {
+
+bool is_asleep(const std::vector<ChoiceOption>& sleep, std::uint64_t seq) {
+  for (const ChoiceOption& s : sleep) {
+    if (s.key.seq == seq) return true;
+  }
+  return false;
+}
+
+/// Sleep set after executing the event tagged `taken`: everything that
+/// commutes with it stays asleep, everything dependent wakes up.
+std::vector<ChoiceOption> filtered_sleep(const std::vector<ChoiceOption>& sleep,
+                                         const EventTag& taken) {
+  std::vector<ChoiceOption> out;
+  out.reserve(sleep.size());
+  for (const ChoiceOption& s : sleep) {
+    if (tags_independent(s.tag, taken)) out.push_back(s);
+  }
+  return out;
+}
+
+/// A decision a default continuation would have made on its own.
+bool is_default_decision(const ChoiceRec& rec) {
+  switch (rec.kind) {
+    case ChoiceRec::Kind::kPick: return rec.chosen == 0;
+    case ChoiceRec::Kind::kCoin:
+    case ChoiceRec::Kind::kJitter: return rec.value == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+Explorer::Explorer(RunFn run, ExplorerOptions options)
+    : run_(std::move(run)), options_(options) {}
+
+Explorer::Recorded Explorer::run_once(const std::vector<ChoiceRec>& prefix) {
+  ++stats_.runs;
+  Schedule forced;
+  forced.choices = prefix;
+  ReplayStrategy replay(forced);
+  RecordingStrategy recording(replay);
+  Recorded out;
+  out.verdict = run_(recording);
+  out.picks = recording.pick_options();
+  out.schedule = recording.take_schedule();
+  return out;
+}
+
+bool Explorer::budget_left() const {
+  return options_.max_runs == 0 || stats_.runs < options_.max_runs;
+}
+
+void Explorer::count_leaf(const Recorded& r, bool truncated) {
+  ++stats_.interleavings;
+  if (truncated) {
+    ++stats_.max_depth_hits;
+    stats_.exhausted = false;
+  }
+  if (!r.verdict.ok) {
+    ++stats_.failures;
+    report_failure(r);
+  }
+}
+
+void Explorer::report_failure(const Recorded& r) {
+  if (!on_failure_) return;
+  // Minimize: trailing decisions a default continuation makes anyway add
+  // nothing to the replay prefix. Trim them, then prove the trimmed
+  // schedule still reproduces the failure before publishing it.
+  Schedule minimized = r.schedule;
+  while (!minimized.choices.empty() &&
+         is_default_decision(minimized.choices.back())) {
+    minimized.choices.pop_back();
+  }
+  if (minimized.choices.size() < r.schedule.choices.size()) {
+    const Recorded check = run_once(minimized.choices);
+    if (check.verdict.ok || check.verdict.failure != r.verdict.failure) {
+      minimized = r.schedule;  // trimming changed the outcome: keep it all
+    }
+  }
+  on_failure_(minimized, r.verdict.failure);
+}
+
+ExplorerStats Explorer::explore() {
+  stats_ = ExplorerStats{};
+  frontier_ = 0;
+  expand({}, {}, nullptr, 0, 0);
+  return stats_;
+}
+
+void Explorer::expand(std::vector<ChoiceRec> prefix,
+                      std::vector<ChoiceOption> sleep,
+                      std::unique_ptr<Recorded> reuse, std::size_t depth,
+                      std::uint64_t faults_used) {
+  if (!budget_left()) {
+    stats_.exhausted = false;
+    return;
+  }
+  Recorded r = reuse != nullptr ? std::move(*reuse) : run_once(prefix);
+  reuse.reset();
+
+  // Walk the default continuation to the first branchable decision,
+  // filtering the sleep set through every event executed on the way.
+  std::size_t pick_i = 0;
+  for (std::size_t k = 0; k < prefix.size(); ++k) {
+    if (r.schedule.choices[k].kind == ChoiceRec::Kind::kPick) ++pick_i;
+  }
+  const bool depth_open =
+      options_.max_depth == 0 || depth < options_.max_depth;
+  bool truncated = false;
+  std::size_t j = prefix.size();
+  for (; j < r.schedule.choices.size(); ++j) {
+    const ChoiceRec& rec = r.schedule.choices[j];
+    if (rec.kind == ChoiceRec::Kind::kPick) {
+      const std::size_t this_pick = pick_i++;
+      if (r.picks[this_pick].size() > 1) {
+        if (depth_open) break;  // branch node
+        truncated = true;
+      }
+      if (options_.dpor && !sleep.empty()) {
+        // Executing a sleeping event — even through a singleton pick —
+        // means some earlier sibling's subtree already covers this path's
+        // equivalence class. Cut it here, not only at branch nodes.
+        if (is_asleep(sleep, rec.chosen_seq)) {
+          ++stats_.redundant_paths;
+          return;
+        }
+        sleep = filtered_sleep(sleep, rec.tag);
+      }
+      continue;
+    }
+    if (rec.kind == ChoiceRec::Kind::kCoin) {
+      if (faults_used < options_.max_faults) {
+        if (depth_open) break;  // can branch to "fault happens"
+        truncated = true;
+      }
+      continue;
+    }
+    // kJitter
+    if (options_.branch_jitter && rec.max_extra > 0) {
+      if (depth_open) break;
+      truncated = true;
+    }
+  }
+  if (j >= r.schedule.choices.size()) {
+    count_leaf(r, truncated);
+    return;
+  }
+
+  // Branch node at decision index j.
+  ++stats_.choice_points;
+  const ChoiceRec rec = r.schedule.choices[j];
+  std::vector<ChoiceRec> base(r.schedule.choices.begin(),
+                              r.schedule.choices.begin() +
+                                  static_cast<std::ptrdiff_t>(j));
+
+  if (rec.kind == ChoiceRec::Kind::kPick) {
+    const std::vector<ChoiceOption> opts = r.picks[pick_i - 1];
+    // Godefroid sleep sets: the branch set is fixed at node entry; options
+    // explored earlier go to sleep inside later siblings' subtrees.
+    std::vector<bool> asleep(opts.size(), false);
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+      asleep[i] = options_.dpor && is_asleep(sleep, opts[i].key.seq);
+      if (!asleep[i]) ++live;
+    }
+    frontier_ += live;
+    stats_.max_frontier = std::max(stats_.max_frontier, frontier_);
+    std::unique_ptr<Recorded> ride;
+    if (asleep.empty() || asleep[0]) {
+      // The run in hand continues through a sleeping event: its whole
+      // suffix is covered by an earlier sibling's subtree.
+      ++stats_.redundant_paths;
+    } else {
+      ride = std::make_unique<Recorded>(std::move(r));
+    }
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+      if (asleep[i]) {
+        ++stats_.sleep_pruned;
+        continue;
+      }
+      --frontier_;
+      std::vector<ChoiceRec> child = base;
+      ChoiceRec forced = rec;
+      forced.chosen = static_cast<std::uint32_t>(i);
+      forced.chosen_seq = opts[i].key.seq;
+      forced.tag = opts[i].tag;
+      child.push_back(forced);
+      std::vector<ChoiceOption> child_sleep;
+      if (options_.dpor) child_sleep = filtered_sleep(sleep, opts[i].tag);
+      expand(std::move(child), std::move(child_sleep),
+             i == 0 ? std::move(ride) : nullptr, depth + 1, faults_used);
+      if (options_.dpor) sleep.push_back(opts[i]);
+    }
+    return;
+  }
+
+  // Coin / jitter: two branches — the default (no fault / zero jitter,
+  // riding the run in hand) and the adversarial value. The adversarial
+  // branch wakes every sleeping event: a dropped or delayed packet changes
+  // which events exist downstream, so commutativity arguments made on the
+  // fault-free structure no longer apply.
+  frontier_ += 2;
+  stats_.max_frontier = std::max(stats_.max_frontier, frontier_);
+  {
+    --frontier_;
+    std::vector<ChoiceRec> child = base;
+    child.push_back(rec);  // default decision as recorded (value 0)
+    expand(std::move(child), std::move(sleep),
+           std::make_unique<Recorded>(std::move(r)), depth + 1, faults_used);
+  }
+  --frontier_;
+  std::vector<ChoiceRec> child = base;
+  ChoiceRec forced = rec;
+  const bool is_coin = rec.kind == ChoiceRec::Kind::kCoin;
+  forced.value =
+      is_coin ? 1 : static_cast<std::uint64_t>(forced.max_extra);
+  child.push_back(forced);
+  expand(std::move(child), {}, nullptr, depth + 1,
+         faults_used + (is_coin ? 1 : 0));
+}
+
+}  // namespace p4u::sim

@@ -1,0 +1,121 @@
+// Explorer: stateless DFS/DPOR enumeration of scheduling decisions.
+//
+// Each explored interleaving is a fresh deterministic simulation steered by
+// a forced decision prefix (ReplayStrategy) and observed through a
+// RecordingStrategy, so the explorer needs no snapshot/restore support from
+// the simulator — determinism *is* the checkpoint. The search tree's nodes
+// are decision points (co-enabled pick sets, fault coins, jitter bounds);
+// DFS expands one non-default branch per fresh run and rides the recorded
+// run down its default spine, so the number of executions tracks the number
+// of distinct interleavings, not the number of tree nodes.
+//
+// Reduction (partial order, Godefroid-style sleep sets): the co-enabled set
+// is used as the (trivially sound) persistent set, and a sleep set prunes
+// permutations of independent events. After exploring option x at a node,
+// x goes to sleep for the node's later siblings; descending through option
+// y keeps asleep only the events independent of y (tags_independent). A
+// path whose forced continuation would execute a sleeping event is
+// redundant — some earlier sibling's subtree already covers it — and is cut
+// without being counted. Fault-coin and jitter branches conservatively wake
+// everything (the fault changes the enabled-event structure).
+//
+// Every failing execution is minimized (trailing default decisions trimmed,
+// re-validated by replay) and handed to the failure callback as a
+// replayable Schedule artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "sim/schedule_strategy.hpp"
+
+namespace p4u::sim {
+
+/// Search bounds and reduction toggles.
+struct ExplorerOptions {
+  /// Maximum number of *branch* decisions along one path; deeper decision
+  /// points are not branched (the run still completes with defaults, and
+  /// the truncation is reported in max_depth_hits). 0 = unlimited.
+  std::size_t max_depth = 0;
+  /// Hard ceiling on executions; the search reports exhausted=false when
+  /// it bites. 0 = unlimited.
+  std::uint64_t max_runs = 0;
+  /// How many fault coins may land "true" along one path (bounded fault
+  /// placement). 0 = coins never branch, every path is fault-free.
+  std::uint64_t max_faults = 0;
+  /// Branch reorder-jitter points over {0, max_extra} instead of pinning
+  /// them to 0.
+  bool branch_jitter = false;
+  /// Sleep-set reduction on pick nodes; off = plain exhaustive DFS.
+  bool dpor = true;
+};
+
+struct ExplorerStats {
+  std::uint64_t runs = 0;           // simulations executed (incl. re-checks)
+  std::uint64_t interleavings = 0;  // distinct complete paths counted
+  std::uint64_t choice_points = 0;  // branch nodes discovered (>1 option)
+  std::uint64_t sleep_pruned = 0;   // branches skipped as sleeping
+  std::uint64_t redundant_paths = 0;  // paths cut (continuation asleep)
+  std::uint64_t max_frontier = 0;   // peak count of pending branches
+  std::uint64_t max_depth_hits = 0; // paths truncated at max_depth
+  std::uint64_t failures = 0;       // property-violating interleavings
+  bool exhausted = true;            // false if a bound stopped the search
+};
+
+class Explorer {
+ public:
+  /// Verdict of one steered simulation.
+  struct Verdict {
+    bool ok = true;
+    std::string failure;  // human-readable property violation
+  };
+
+  /// Executes one complete simulation under `strategy` and judges it. Must
+  /// build a fresh deterministic system each call (same inputs, no shared
+  /// mutable state between calls).
+  using RunFn = std::function<Verdict(ScheduleStrategy& strategy)>;
+
+  /// Receives the minimized, replayable schedule of each failing path.
+  using FailureFn =
+      std::function<void(const Schedule& schedule, const std::string& what)>;
+
+  Explorer(RunFn run, ExplorerOptions options);
+
+  void set_failure_handler(FailureFn f) { on_failure_ = std::move(f); }
+
+  /// Runs the search to exhaustion (or to its bounds) and returns the
+  /// totals. Call once per Explorer.
+  ExplorerStats explore();
+
+ private:
+  struct Recorded {
+    Schedule schedule;
+    std::vector<std::vector<ChoiceOption>> picks;
+    Verdict verdict;
+  };
+
+  [[nodiscard]] Recorded run_once(const std::vector<ChoiceRec>& prefix);
+  [[nodiscard]] bool budget_left() const;
+  /// Explores the subtree of the state reached by `prefix`. `sleep` is the
+  /// sleep set at that state (events whose immediate execution is covered
+  /// by an earlier sibling's subtree), `reuse` an already-recorded run
+  /// whose decisions extend `prefix` with defaults, `depth` the number of
+  /// branch nodes inside `prefix`, `faults_used` the count of true coins.
+  void expand(std::vector<ChoiceRec> prefix, std::vector<ChoiceOption> sleep,
+              std::unique_ptr<Recorded> reuse, std::size_t depth,
+              std::uint64_t faults_used);
+  void count_leaf(const Recorded& r, bool truncated);
+  void report_failure(const Recorded& r);
+
+  RunFn run_;
+  ExplorerOptions options_;
+  FailureFn on_failure_;
+  ExplorerStats stats_;
+  std::uint64_t frontier_ = 0;  // pending sibling branches across the stack
+};
+
+}  // namespace p4u::sim

@@ -1,0 +1,586 @@
+#include "sim/schedule.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace p4u::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("Schedule: " + what);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kind_name(ChoiceRec::Kind k) {
+  switch (k) {
+    case ChoiceRec::Kind::kPick: return "pick";
+    case ChoiceRec::Kind::kCoin: return "coin";
+    case ChoiceRec::Kind::kJitter: return "jitter";
+  }
+  return "?";
+}
+
+bool event_class_from_string(std::string_view s, EventClass& out) {
+  for (const EventClass c :
+       {EventClass::kInternal, EventClass::kDelivery, EventClass::kService,
+        EventClass::kInstall, EventClass::kControl, EventClass::kFault,
+        EventClass::kTimer, EventClass::kScenario}) {
+    if (s == to_string(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool coin_kind_from_string(std::string_view s, CoinKind& out) {
+  for (const CoinKind k :
+       {CoinKind::kCtrlDrop, CoinKind::kDataDrop, CoinKind::kReorder}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- minimal strict JSON reader -------------------------------------------
+//
+// Only what the schedule format needs: objects, arrays, strings, numbers,
+// booleans. Numbers keep their raw token so 64-bit sequence words never
+// round-trip through a double.
+
+struct JsonValue {
+  enum class Type { kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kBool;
+  bool boolean = false;
+  std::string text;  // string value or raw number token
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& src) : src_(src) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of document");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' at offset " +
+           std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (src_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.text = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character at offset " + std::to_string(pos_));
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= src_.size()) fail("unterminated escape");
+      const char e = src_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = src_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unsupported escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("empty number token");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.text = src_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed field access ----------------------------------------------------
+
+const JsonValue& field(const JsonValue& obj, std::string_view name) {
+  for (const auto& [k, v] : obj.fields) {
+    if (k == name) return v;
+  }
+  fail("missing field \"" + std::string(name) + "\"");
+}
+
+void reject_unknown_fields(const JsonValue& obj,
+                           std::initializer_list<std::string_view> allowed) {
+  for (const auto& [k, v] : obj.fields) {
+    (void)v;
+    bool ok = false;
+    for (const std::string_view a : allowed) {
+      if (k == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) fail("unknown field \"" + k + "\"");
+  }
+}
+
+std::uint64_t as_u64(const JsonValue& v, std::string_view name) {
+  if (v.type != JsonValue::Type::kNumber || v.text.empty() ||
+      v.text[0] == '-' || v.text.find_first_of(".eE") != std::string::npos) {
+    fail("field \"" + std::string(name) + "\" must be a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t out = std::strtoull(v.text.c_str(), &end, 10);
+  if (errno != 0 || end != v.text.c_str() + v.text.size()) {
+    fail("field \"" + std::string(name) + "\" is out of range");
+  }
+  return out;
+}
+
+std::int64_t as_i64(const JsonValue& v, std::string_view name) {
+  if (v.type != JsonValue::Type::kNumber ||
+      v.text.find_first_of(".eE") != std::string::npos) {
+    fail("field \"" + std::string(name) + "\" must be an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v.text.c_str(), &end, 10);
+  if (errno != 0 || end != v.text.c_str() + v.text.size()) {
+    fail("field \"" + std::string(name) + "\" is out of range");
+  }
+  return out;
+}
+
+double as_double(const JsonValue& v, std::string_view name) {
+  if (v.type != JsonValue::Type::kNumber) {
+    fail("field \"" + std::string(name) + "\" must be a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(v.text.c_str(), &end);
+  if (errno != 0 || end != v.text.c_str() + v.text.size()) {
+    fail("field \"" + std::string(name) + "\" is not a valid number");
+  }
+  return out;
+}
+
+const std::string& as_string(const JsonValue& v, std::string_view name) {
+  if (v.type != JsonValue::Type::kString) {
+    fail("field \"" + std::string(name) + "\" must be a string");
+  }
+  return v.text;
+}
+
+ChoiceRec parse_choice(const JsonValue& obj, Time& last_pick_at) {
+  if (obj.type != JsonValue::Type::kObject) fail("choice must be an object");
+  ChoiceRec rec;
+  const std::string& kind = as_string(field(obj, "kind"), "kind");
+  if (kind == "pick") {
+    reject_unknown_fields(
+        obj, {"kind", "at", "n", "chosen", "seq", "node", "cls", "flow"});
+    rec.kind = ChoiceRec::Kind::kPick;
+    rec.at = as_i64(field(obj, "at"), "at");
+    rec.n_options =
+        static_cast<std::uint32_t>(as_u64(field(obj, "n"), "n"));
+    rec.chosen =
+        static_cast<std::uint32_t>(as_u64(field(obj, "chosen"), "chosen"));
+    rec.chosen_seq = as_u64(field(obj, "seq"), "seq");
+    rec.tag.node =
+        static_cast<std::int32_t>(as_i64(field(obj, "node"), "node"));
+    rec.tag.flow = as_u64(field(obj, "flow"), "flow");
+    const std::string& cls = as_string(field(obj, "cls"), "cls");
+    if (!event_class_from_string(cls, rec.tag.cls)) {
+      fail("unknown event class \"" + cls + "\"");
+    }
+    if (rec.n_options < 1) fail("pick with no options");
+    if (rec.chosen >= rec.n_options) fail("pick chose an out-of-range option");
+    if (rec.at < last_pick_at) fail("pick timestamps run backwards");
+    last_pick_at = rec.at;
+    return rec;
+  }
+  const bool is_coin = kind == "coin";
+  if (!is_coin && kind != "jitter") fail("unknown choice kind \"" + kind + "\"");
+  rec.kind = is_coin ? ChoiceRec::Kind::kCoin : ChoiceRec::Kind::kJitter;
+  const std::string& coin = as_string(field(obj, "coin"), "coin");
+  if (!coin_kind_from_string(coin, rec.coin)) {
+    fail("unknown coin kind \"" + coin + "\"");
+  }
+  rec.tag.node = static_cast<std::int32_t>(as_i64(field(obj, "node"), "node"));
+  rec.tag.flow = as_u64(field(obj, "flow"), "flow");
+  rec.value = as_u64(field(obj, "value"), "value");
+  if (is_coin) {
+    reject_unknown_fields(obj,
+                          {"kind", "coin", "node", "flow", "prob", "value"});
+    rec.prob = as_double(field(obj, "prob"), "prob");
+    if (rec.prob < 0.0 || rec.prob > 1.0) fail("coin prob outside [0, 1]");
+    if (rec.value > 1) fail("coin value must be 0 or 1");
+  } else {
+    reject_unknown_fields(obj,
+                          {"kind", "coin", "node", "flow", "max", "value"});
+    rec.max_extra = as_i64(field(obj, "max"), "max");
+    if (rec.max_extra < 0) fail("jitter max must be non-negative");
+    if (rec.value > static_cast<std::uint64_t>(rec.max_extra)) {
+      fail("jitter value exceeds its bound");
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::string Schedule::to_json() const {
+  std::string out = "{\n  \"version\": 1,\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += escape(k);
+    out += "\": \"";
+    out += escape(v);
+    out += '"';
+  }
+  out += "},\n  \"choices\": [";
+  char buf[64];
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const ChoiceRec& c = choices[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"kind\":\"";
+    out += kind_name(c.kind);
+    out += '"';
+    switch (c.kind) {
+      case ChoiceRec::Kind::kPick:
+        out += ",\"at\":" + std::to_string(c.at);
+        out += ",\"n\":" + std::to_string(c.n_options);
+        out += ",\"chosen\":" + std::to_string(c.chosen);
+        out += ",\"seq\":" + std::to_string(c.chosen_seq);
+        out += ",\"node\":" + std::to_string(c.tag.node);
+        out += ",\"cls\":\"";
+        out += to_string(c.tag.cls);
+        out += "\",\"flow\":" + std::to_string(c.tag.flow);
+        break;
+      case ChoiceRec::Kind::kCoin:
+        out += ",\"coin\":\"";
+        out += to_string(c.coin);
+        out += "\",\"node\":" + std::to_string(c.tag.node);
+        out += ",\"flow\":" + std::to_string(c.tag.flow);
+        std::snprintf(buf, sizeof buf, "%.17g", c.prob);
+        out += ",\"prob\":";
+        out += buf;
+        out += ",\"value\":" + std::to_string(c.value);
+        break;
+      case ChoiceRec::Kind::kJitter:
+        out += ",\"coin\":\"";
+        out += to_string(c.coin);
+        out += "\",\"node\":" + std::to_string(c.tag.node);
+        out += ",\"flow\":" + std::to_string(c.tag.flow);
+        out += ",\"max\":" + std::to_string(c.max_extra);
+        out += ",\"value\":" + std::to_string(c.value);
+        break;
+    }
+    out += '}';
+  }
+  out += choices.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Schedule Schedule::parse(const std::string& json) {
+  JsonReader reader(json);
+  const JsonValue root = reader.parse_document();
+  if (root.type != JsonValue::Type::kObject) fail("document must be an object");
+  reject_unknown_fields(root, {"version", "meta", "choices"});
+  if (as_u64(field(root, "version"), "version") != 1) {
+    fail("unsupported schedule version");
+  }
+  Schedule s;
+  const JsonValue& meta = field(root, "meta");
+  if (meta.type != JsonValue::Type::kObject) fail("\"meta\" must be an object");
+  for (const auto& [k, v] : meta.fields) {
+    s.meta.emplace_back(k, as_string(v, k));
+  }
+  const JsonValue& choices = field(root, "choices");
+  if (choices.type != JsonValue::Type::kArray) {
+    fail("\"choices\" must be an array");
+  }
+  s.choices.reserve(choices.items.size());
+  Time last_pick_at = 0;
+  for (const JsonValue& c : choices.items) {
+    s.choices.push_back(parse_choice(c, last_pick_at));
+  }
+  return s;
+}
+
+// --- RecordingStrategy -----------------------------------------------------
+
+std::size_t RecordingStrategy::pick(const std::vector<ChoiceOption>& options) {
+  const std::size_t chosen = inner_.pick(options);
+  if (chosen >= options.size()) {
+    throw std::logic_error("RecordingStrategy: inner pick out of range");
+  }
+  ChoiceRec rec;
+  rec.kind = ChoiceRec::Kind::kPick;
+  rec.at = options.front().key.at;
+  rec.n_options = static_cast<std::uint32_t>(options.size());
+  rec.chosen = static_cast<std::uint32_t>(chosen);
+  rec.chosen_seq = options[chosen].key.seq;
+  rec.tag = options[chosen].tag;
+  schedule_.choices.push_back(rec);
+  pick_options_.push_back(options);
+  return chosen;
+}
+
+bool RecordingStrategy::coin(const CoinPoint& cp, Rng& rng) {
+  const bool v = inner_.coin(cp, rng);
+  ChoiceRec rec;
+  rec.kind = ChoiceRec::Kind::kCoin;
+  rec.coin = cp.kind;
+  rec.tag.node = cp.node;
+  rec.tag.flow = cp.flow;
+  rec.prob = cp.prob;
+  rec.value = v ? 1 : 0;
+  schedule_.choices.push_back(rec);
+  return v;
+}
+
+Duration RecordingStrategy::jitter(const CoinPoint& cp, Duration max_extra,
+                                   Rng& rng) {
+  const Duration v = inner_.jitter(cp, max_extra, rng);
+  ChoiceRec rec;
+  rec.kind = ChoiceRec::Kind::kJitter;
+  rec.coin = cp.kind;
+  rec.tag.node = cp.node;
+  rec.tag.flow = cp.flow;
+  rec.max_extra = max_extra;
+  rec.value = static_cast<std::uint64_t>(v);
+  schedule_.choices.push_back(rec);
+  return v;
+}
+
+// --- ReplayStrategy --------------------------------------------------------
+
+void ReplayStrategy::mismatch(const std::string& what) {
+  throw std::runtime_error("ReplayStrategy: schedule does not match run: " +
+                           what);
+}
+
+const ChoiceRec* ReplayStrategy::next_rec(ChoiceRec::Kind want) {
+  if (next_ >= schedule_->choices.size()) return nullptr;
+  const ChoiceRec* rec = &schedule_->choices[next_++];
+  if (rec->kind != want) {
+    mismatch("decision #" + std::to_string(next_ - 1) + " is a " +
+             kind_name(rec->kind) + ", run asked for a " + kind_name(want));
+  }
+  return rec;
+}
+
+std::size_t ReplayStrategy::pick(const std::vector<ChoiceOption>& options) {
+  const ChoiceRec* rec = next_rec(ChoiceRec::Kind::kPick);
+  if (rec == nullptr) return 0;
+  if (rec->n_options != options.size()) {
+    mismatch("co-enabled set has " + std::to_string(options.size()) +
+             " events, schedule recorded " + std::to_string(rec->n_options));
+  }
+  if (rec->at != options.front().key.at) {
+    mismatch("decision time " + std::to_string(options.front().key.at) +
+             " differs from recorded " + std::to_string(rec->at));
+  }
+  if (options[rec->chosen].key.seq != rec->chosen_seq) {
+    mismatch("chosen event seq " +
+             std::to_string(options[rec->chosen].key.seq) +
+             " differs from recorded " + std::to_string(rec->chosen_seq));
+  }
+  return rec->chosen;
+}
+
+bool ReplayStrategy::coin(const CoinPoint& cp, Rng& rng) {
+  (void)rng;  // replay never draws: decisions are forced
+  const ChoiceRec* rec = next_rec(ChoiceRec::Kind::kCoin);
+  if (rec == nullptr) return false;
+  if (rec->coin != cp.kind || rec->tag.node != cp.node ||
+      rec->tag.flow != cp.flow) {
+    mismatch(std::string("coin point ") + to_string(cp.kind) + "@node " +
+             std::to_string(cp.node) + " differs from recorded " +
+             to_string(rec->coin) + "@node " + std::to_string(rec->tag.node));
+  }
+  return rec->value != 0;
+}
+
+Duration ReplayStrategy::jitter(const CoinPoint& cp, Duration max_extra,
+                                Rng& rng) {
+  (void)rng;
+  const ChoiceRec* rec = next_rec(ChoiceRec::Kind::kJitter);
+  if (rec == nullptr) return 0;
+  if (rec->coin != cp.kind || rec->tag.node != cp.node ||
+      rec->tag.flow != cp.flow) {
+    mismatch("jitter point differs from recorded");
+  }
+  if (rec->value > static_cast<std::uint64_t>(max_extra)) {
+    mismatch("recorded jitter exceeds the run's bound");
+  }
+  return static_cast<Duration>(rec->value);
+}
+
+}  // namespace p4u::sim

@@ -1,0 +1,125 @@
+// Schedule: a serializable record of every scheduling decision in one run.
+//
+// A run under a ScheduleStrategy is a pure function of (inputs, decisions):
+// which co-enabled event ran at each tie, how each fault coin landed, what
+// jitter each reordered hop got. Capturing those decisions as data makes a
+// run a first-class artifact — the explorer (sim/explorer.hpp) emits the
+// Schedule of every counterexample it finds, and ReplayStrategy re-executes
+// it step for step, validating along the way that the run being steered is
+// actually the run that was recorded (same co-enabled sets, same event
+// keys). Serialization is a single strict JSON document; anything malformed
+// or internally inconsistent (out-of-range chosen index, jitter above its
+// bound, time running backwards) is rejected at parse time, never at
+// replay depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/schedule_strategy.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::sim {
+
+/// One recorded decision. Field use by kind:
+///   kPick:   at, n_options, chosen, chosen_seq, tag (of the chosen event)
+///   kCoin:   coin, tag.node, tag.flow, prob, value (0/1)
+///   kJitter: coin, tag.node, tag.flow, max_extra, value (duration drawn)
+struct ChoiceRec {
+  enum class Kind : std::uint8_t { kPick = 0, kCoin, kJitter };
+  Kind kind = Kind::kPick;
+  Time at = 0;                  // decision instant (picks only)
+  std::uint32_t n_options = 0;  // size of the co-enabled set
+  std::uint32_t chosen = 0;     // index into the (at, seq)-sorted options
+  std::uint64_t chosen_seq = 0; // seq word of the chosen event
+  EventTag tag;
+  CoinKind coin = CoinKind::kCtrlDrop;
+  double prob = 0.0;
+  Duration max_extra = 0;
+  std::uint64_t value = 0;
+};
+
+/// A full decision record plus free-form metadata (config name, seed,
+/// system — whatever makes the artifact self-describing).
+struct Schedule {
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<ChoiceRec> choices;
+
+  void add_meta(std::string key, std::string value) {
+    meta.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Deterministic JSON document (one choice per line; meta in insertion
+  /// order). parse(to_json()) round-trips exactly.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Strict parser: throws std::runtime_error with a "Schedule:" message on
+  /// malformed JSON, unknown kinds, chosen >= n_options, jitter value above
+  /// max_extra, coin value not 0/1, or pick timestamps running backwards.
+  static Schedule parse(const std::string& json);
+};
+
+/// Wraps another strategy and records every decision it makes. The recorded
+/// Schedule replays to the identical run; pick_options() additionally keeps
+/// the full co-enabled set of each pick, which is how the explorer learns
+/// what alternative branches existed.
+class RecordingStrategy final : public ScheduleStrategy {
+ public:
+  /// `inner` makes the actual decisions and must outlive this object.
+  explicit RecordingStrategy(ScheduleStrategy& inner) : inner_(inner) {}
+
+  std::size_t pick(const std::vector<ChoiceOption>& options) override;
+  bool coin(const CoinPoint& cp, Rng& rng) override;
+  Duration jitter(const CoinPoint& cp, Duration max_extra, Rng& rng) override;
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] Schedule take_schedule() { return std::move(schedule_); }
+
+  /// Co-enabled sets, parallel to the kPick entries of schedule().choices
+  /// in order of occurrence.
+  [[nodiscard]] const std::vector<std::vector<ChoiceOption>>& pick_options()
+      const noexcept {
+    return pick_options_;
+  }
+
+ private:
+  ScheduleStrategy& inner_;
+  Schedule schedule_;
+  std::vector<std::vector<ChoiceOption>> pick_options_;
+};
+
+/// Re-executes a recorded Schedule: each decision point consumes the next
+/// record, which must agree with what the simulation presents (kind, option
+/// count, chosen event key, coin identity) — a mismatch throws
+/// std::runtime_error, because it means the schedule is being replayed
+/// against a different run than it was recorded from. Past the end of the
+/// schedule every decision resolves to the default (first event, no fault,
+/// zero jitter), which is what lets the explorer force a prefix and lets
+/// counterexample minimization trim trailing defaults.
+class ReplayStrategy final : public ScheduleStrategy {
+ public:
+  /// `schedule` must outlive this object.
+  explicit ReplayStrategy(const Schedule& schedule) : schedule_(&schedule) {}
+
+  std::size_t pick(const std::vector<ChoiceOption>& options) override;
+  bool coin(const CoinPoint& cp, Rng& rng) override;
+  Duration jitter(const CoinPoint& cp, Duration max_extra, Rng& rng) override;
+
+  /// Number of records consumed so far.
+  [[nodiscard]] std::size_t consumed() const noexcept { return next_; }
+  /// True once every record has been consumed.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return next_ >= schedule_->choices.size();
+  }
+
+ private:
+  [[nodiscard]] const ChoiceRec* next_rec(ChoiceRec::Kind want);
+  [[noreturn]] static void mismatch(const std::string& what);
+
+  const Schedule* schedule_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace p4u::sim

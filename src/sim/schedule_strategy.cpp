@@ -1,0 +1,65 @@
+#include "sim/schedule_strategy.hpp"
+
+namespace p4u::sim {
+
+const char* to_string(EventClass c) {
+  switch (c) {
+    case EventClass::kInternal: return "internal";
+    case EventClass::kDelivery: return "delivery";
+    case EventClass::kService: return "service";
+    case EventClass::kInstall: return "install";
+    case EventClass::kControl: return "control";
+    case EventClass::kFault: return "fault";
+    case EventClass::kTimer: return "timer";
+    case EventClass::kScenario: return "scenario";
+  }
+  return "?";
+}
+
+const char* to_string(CoinKind k) {
+  switch (k) {
+    case CoinKind::kCtrlDrop: return "ctrl_drop";
+    case CoinKind::kDataDrop: return "data_drop";
+    case CoinKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+bool tags_independent(const EventTag& a, const EventTag& b) {
+  // Untagged work, fault injections, and scenario stimuli may touch
+  // anything (topology, many switches, the monitor) — never commute them.
+  const auto opaque = [](EventClass c) {
+    return c == EventClass::kInternal || c == EventClass::kFault ||
+           c == EventClass::kScenario;
+  };
+  if (opaque(a.cls) || opaque(b.cls)) return false;
+  // The controller is a single serialized service queue: any two control
+  // events contend for its busy window regardless of node/flow.
+  if (a.cls == EventClass::kControl && b.cls == EventClass::kControl) {
+    return false;
+  }
+  // Same switch (or an event of global scope) => shared device state.
+  if (a.node < 0 || b.node < 0 || a.node == b.node) return false;
+  // Same flow across different switches still shares per-flow update
+  // state (UIB rows, monitor path walks).
+  if (a.flow != 0 && a.flow == b.flow) return false;
+  return true;
+}
+
+std::size_t SeededStrategy::pick(const std::vector<ChoiceOption>& options) {
+  (void)options;
+  return 0;  // options arrive in (at, seq) order; 0 is the historical min
+}
+
+bool SeededStrategy::coin(const CoinPoint& cp, Rng& rng) {
+  return rng.uniform01() < cp.prob;
+}
+
+Duration SeededStrategy::jitter(const CoinPoint& cp, Duration max_extra,
+                                Rng& rng) {
+  (void)cp;
+  return static_cast<Duration>(
+      rng.uniform(static_cast<std::uint64_t>(max_extra) + 1));
+}
+
+}  // namespace p4u::sim

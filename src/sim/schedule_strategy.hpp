@@ -1,0 +1,134 @@
+// ScheduleStrategy: the pluggable event-ordering decision.
+//
+// The simulator's heap keeps events in (at, seq) order (sim/event_order.hpp)
+// — but *which* of several same-timestamp events runs first, and how a
+// probabilistic fault coin resolves, are scheduling decisions, not physics.
+// Historically both were fused into the core: the heap pop hardcoded the
+// seq tie-break and the fabric drew drop/reorder coins from a private RNG
+// stream. This interface lifts both out:
+//
+//   - pick():  given the co-enabled set (every pending event at the minimum
+//              timestamp, presented in (at, seq) order), choose which runs
+//              next. The default SeededStrategy picks index 0 — exactly the
+//              historical seq tie-break, proven byte-identical by the
+//              golden-trace regression.
+//   - coin():  resolve a probabilistic fault point (drop a packet?). The
+//              SeededStrategy draws from the caller's seeded RNG exactly as
+//              the fabric used to; an explorer enumerates both branches.
+//   - jitter(): resolve a reorder-jitter delay in [0, max]. Seeded draws
+//              uniformly; an explorer branches over {0, max}.
+//
+// Events carry an EventTag so strategies can reason about *independence*:
+// two same-time events on different switches touching different flows
+// commute, which is what lets the DPOR explorer (sim/explorer.hpp) prune
+// redundant interleavings. Untagged events (kInternal) are conservatively
+// dependent on everything.
+//
+// Strategies are per-run and never shared across threads; the campaign
+// runner builds one per seeded job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_order.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::sim {
+
+/// What kind of work an event performs; used by the independence relation
+/// and for schedule-artifact readability.
+enum class EventClass : std::uint8_t {
+  kInternal = 0,  // untagged — conservatively dependent on everything
+  kDelivery,      // a packet arriving at a switch front panel
+  kService,       // a switch pipeline slot finishing
+  kInstall,       // a forwarding-table write becoming active
+  kControl,       // controller channel work (single controller thread)
+  kFault,         // a scheduled FaultPlan event
+  kTimer,         // a protocol timer (watchdog, recovery backoff)
+  kScenario,      // harness-driven stimulus (issue update, start traffic)
+};
+
+const char* to_string(EventClass c);
+
+/// Scheduling metadata attached to an event. `node` is the switch whose
+/// state the handler touches (-1 = global/controller scope); `flow` the
+/// flow it is scoped to (0 = none).
+struct EventTag {
+  std::int32_t node = -1;
+  EventClass cls = EventClass::kInternal;
+  std::uint64_t flow = 0;
+};
+
+/// True when two same-time events are *independent*: running them in either
+/// order reaches the same state, so an explorer need not try both orders.
+/// Conservative by construction:
+///   - anything kInternal / kFault / kScenario is dependent on everything,
+///   - two kControl events share the controller's single service queue,
+///   - same switch => dependent (pipeline/table state), and node -1 is
+///     "every switch",
+///   - same flow (nonzero) => dependent even across switches (monitor
+///     walks, per-flow rule state along the path).
+[[nodiscard]] bool tags_independent(const EventTag& a, const EventTag& b);
+
+/// One co-enabled event as presented to pick(): its ordering key plus tag.
+/// The vector handed to pick() is sorted by EventOrder and index 0 is the
+/// event the historical core would run.
+struct ChoiceOption {
+  EventKey key;
+  EventTag tag;
+};
+
+/// Probabilistic fault decision kinds (fabric, faults::FaultModel).
+enum class CoinKind : std::uint8_t {
+  kCtrlDrop = 0,  // drop a control message on a hop
+  kDataDrop,      // drop a data packet on a hop
+  kReorder,       // extra reorder jitter on a hop
+};
+
+const char* to_string(CoinKind k);
+
+/// Everything a strategy may condition a coin decision on.
+struct CoinPoint {
+  CoinKind kind = CoinKind::kCtrlDrop;
+  std::int32_t node = -1;   // transmitting switch
+  std::uint64_t flow = 0;   // flow of the packet, 0 if none
+  double prob = 0.0;        // the model's probability for this coin
+};
+
+class ScheduleStrategy {
+ public:
+  ScheduleStrategy() = default;
+  ScheduleStrategy(const ScheduleStrategy&) = delete;
+  ScheduleStrategy& operator=(const ScheduleStrategy&) = delete;
+  virtual ~ScheduleStrategy() = default;
+
+  /// Picks which co-enabled event runs next; returns an index into
+  /// `options` (never empty, sorted by EventOrder). Out-of-range returns
+  /// are a logic error in the strategy and throw in the simulator.
+  virtual std::size_t pick(const std::vector<ChoiceOption>& options) = 0;
+
+  /// Resolves one fault coin. `rng` is the caller's seeded fault-only
+  /// stream; a strategy that does not draw from it must leave it untouched
+  /// so replayed runs stay aligned. Called only when `cp.prob > 0`.
+  virtual bool coin(const CoinPoint& cp, Rng& rng) = 0;
+
+  /// Resolves a reorder-jitter delay in [0, max_extra]; called only when
+  /// the model's jitter is positive.
+  virtual Duration jitter(const CoinPoint& cp, Duration max_extra,
+                          Rng& rng) = 0;
+};
+
+/// The historical core's behavior behind the interface: pick the (at, seq)
+/// minimum, draw coins and jitter from the seeded stream. Installing this
+/// strategy is byte-identical to installing none (the golden-trace
+/// regression pins it).
+class SeededStrategy final : public ScheduleStrategy {
+ public:
+  std::size_t pick(const std::vector<ChoiceOption>& options) override;
+  bool coin(const CoinPoint& cp, Rng& rng) override;
+  Duration jitter(const CoinPoint& cp, Duration max_extra, Rng& rng) override;
+};
+
+}  // namespace p4u::sim

@@ -150,6 +150,97 @@ TEST(BenchCliTest, SeedOrPrecedence) {
   EXPECT_EQ(cli.seed_or(1000), 42u);
 }
 
+TEST(BenchCliTest, McFlagsParseWhenEnabled) {
+  BenchCliSpec spec = full_spec();
+  spec.with_mc = true;
+  Argv a({"bench", "--strategy", "explore", "--max-depth=64"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.cli.strategy, "explore");
+  ASSERT_TRUE(r.cli.max_depth.has_value());
+  EXPECT_EQ(*r.cli.max_depth, 64);
+
+  Argv b({"bench", "--strategy=seeded"});
+  const BenchCliResult rb = parse_bench_cli(b.argc, b.data(), spec);
+  ASSERT_TRUE(rb.error.empty()) << rb.error;
+  EXPECT_EQ(rb.cli.strategy, "seeded");
+
+  Argv c({"bench", "--replay", "/tmp/cex.json"});
+  const BenchCliResult rc = parse_bench_cli(c.argc, c.data(), spec);
+  ASSERT_TRUE(rc.error.empty()) << rc.error;
+  EXPECT_EQ(rc.cli.replay_path, "/tmp/cex.json");
+}
+
+TEST(BenchCliTest, McFlagsAreUnknownWithoutOptIn) {
+  // Benches that never registered the model-checking flags must reject
+  // them like any other typo.
+  for (const char* arg :
+       {"--strategy=explore", "--replay=/tmp/x.json", "--max-depth=4"}) {
+    Argv a({"bench", arg});
+    const BenchCliResult r = parse_bench_cli(a.argc, a.data(), full_spec());
+    EXPECT_NE(r.error.find("unknown"), std::string::npos)
+        << arg << ": " << r.error;
+  }
+}
+
+TEST(BenchCliTest, McStrategyValueIsValidated) {
+  BenchCliSpec spec = full_spec();
+  spec.with_mc = true;
+  Argv a({"bench", "--strategy=random"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+  EXPECT_NE(r.error.find("--strategy"), std::string::npos) << r.error;
+}
+
+TEST(BenchCliTest, ReplayConflictsAreRejectedInEitherFlagOrder) {
+  BenchCliSpec spec = full_spec();
+  spec.with_mc = true;
+
+  // A replay fixes every decision; a strategy would contradict it.
+  Argv a({"bench", "--replay=/tmp/x.json", "--strategy=explore"});
+  const BenchCliResult ra = parse_bench_cli(a.argc, a.data(), spec);
+  EXPECT_NE(ra.error.find("mutually exclusive"), std::string::npos)
+      << ra.error;
+  Argv b({"bench", "--strategy=explore", "--replay=/tmp/x.json"});
+  const BenchCliResult rb = parse_bench_cli(b.argc, b.data(), spec);
+  EXPECT_NE(rb.error.find("mutually exclusive"), std::string::npos)
+      << rb.error;
+
+  // One recorded schedule describes one run: multi-run replay is a
+  // contradiction, not a repetition.
+  Argv c({"bench", "--replay=/tmp/x.json", "--runs=3"});
+  const BenchCliResult rc = parse_bench_cli(c.argc, c.data(), spec);
+  EXPECT_NE(rc.error.find("--runs must be 1"), std::string::npos) << rc.error;
+  Argv d({"bench", "--runs=3", "--replay=/tmp/x.json"});
+  EXPECT_FALSE(parse_bench_cli(d.argc, d.data(), spec).error.empty());
+  Argv e({"bench", "--replay=/tmp/x.json", "--runs=1"});
+  EXPECT_TRUE(parse_bench_cli(e.argc, e.data(), spec).error.empty());
+}
+
+TEST(BenchCliTest, MaxDepthRequiresExploreStrategy) {
+  BenchCliSpec spec = full_spec();
+  spec.with_mc = true;
+  Argv a({"bench", "--max-depth=8", "--strategy=seeded"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+  EXPECT_NE(r.error.find("--max-depth"), std::string::npos) << r.error;
+  Argv b({"bench", "--max-depth=8"});
+  EXPECT_FALSE(parse_bench_cli(b.argc, b.data(), spec).error.empty());
+  for (const char* bad : {"--max-depth=0", "--max-depth=frob"}) {
+    Argv c({"bench", bad, "--strategy=explore"});
+    EXPECT_FALSE(parse_bench_cli(c.argc, c.data(), spec).error.empty())
+        << bad;
+  }
+}
+
+TEST(BenchCliTest, McUsageMentionsFlagsOnlyWhenEnabled) {
+  BenchCliSpec spec = full_spec();
+  EXPECT_EQ(bench_cli_usage(spec).find("--strategy"), std::string::npos);
+  spec.with_mc = true;
+  const std::string u = bench_cli_usage(spec);
+  EXPECT_NE(u.find("--strategy"), std::string::npos);
+  EXPECT_NE(u.find("--replay"), std::string::npos);
+  EXPECT_NE(u.find("--max-depth"), std::string::npos);
+}
+
 TEST(BenchCliTest, UsageMentionsOnlyEnabledFlags) {
   BenchCliSpec spec = full_spec();
   spec.with_jobs = false;

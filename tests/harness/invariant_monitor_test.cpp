@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/topologies.hpp"
+#include "obs/metrics.hpp"
 
 namespace p4u::harness {
 namespace {
@@ -96,6 +97,54 @@ TEST(InvariantMonitorTest, AttachChainsIntoRuleInstallHook) {
   env.fabric->sw(3).set_rule_now(1, env.topo.graph.port_of(3, 4));
   EXPECT_GE(env.monitor->violations().loops, 1u);
   EXPECT_FALSE(env.monitor->findings().empty());
+}
+
+TEST(InvariantMonitorTest, ExportsPerInvariantViolationCounters) {
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, env.topo.graph.port_of(2, 3));
+  env.fabric->sw(3).set_rule_now(1, env.topo.graph.port_of(3, 4));  // loop
+  env.monitor->check_flow(1);
+  const auto v = env.monitor->violations();
+  ASSERT_GE(v.loops, 1u);
+
+  obs::MetricsRegistry m;
+  env.monitor->export_violations(m);
+  EXPECT_EQ(m.counter("monitor.violation", {{"kind", "loop"}}).value(),
+            v.loops);
+  // Zero cells are exported too, so every report has the full breakdown.
+  EXPECT_EQ(m.counter("monitor.violation", {{"kind", "blackhole"}}).value(),
+            0u);
+  EXPECT_EQ(m.counter("monitor.violation", {{"kind", "capacity"}}).value(),
+            0u);
+  EXPECT_EQ(m.counter("monitor.faulted_walks").value(), v.faulted_walks);
+}
+
+TEST(InvariantMonitorTest, ExportIsIdempotentAcrossRepeatedCalls) {
+  // collect_metrics() may run more than once per bed; the top-up pattern
+  // must not double-count violations already exported.
+  Env env;
+  env.flow(0, 7, 1.0, 1);
+  env.fabric->sw(0).set_rule_now(1, env.topo.graph.port_of(0, 4));
+  env.fabric->sw(4).set_rule_now(1, env.topo.graph.port_of(4, 2));
+  env.fabric->sw(2).set_rule_now(1, env.topo.graph.port_of(2, 3));
+  env.fabric->sw(3).set_rule_now(1, env.topo.graph.port_of(3, 4));
+  env.monitor->check_flow(1);
+  const auto first = env.monitor->violations().loops;
+
+  obs::MetricsRegistry m;
+  env.monitor->export_violations(m);
+  env.monitor->export_violations(m);
+  EXPECT_EQ(m.counter("monitor.violation", {{"kind", "loop"}}).value(),
+            first);
+
+  // New violations after an export are topped up, not re-added.
+  env.monitor->check_flow(1);
+  env.monitor->export_violations(m);
+  EXPECT_EQ(m.counter("monitor.violation", {{"kind", "loop"}}).value(),
+            env.monitor->violations().loops);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "net/fattree.hpp"
 #include "net/paths.hpp"
 #include "net/topologies.hpp"
+#include "sim/schedule.hpp"
+#include "sim/schedule_strategy.hpp"
 
 namespace p4u::harness {
 namespace {
@@ -43,13 +45,17 @@ void mix_u64(std::uint64_t& h, std::uint64_t v) {
 /// new path forced around the old aggregation layer) and folds the full
 /// trace plus the scheduler's terminal state into an FNV-1a-64 digest.
 /// Straggler delays are on so the per-switch RNG streams are covered too.
-std::uint64_t fattree_update_digest(std::uint64_t seed) {
+/// With `strategy` set, the run goes through the pluggable-ordering path
+/// instead of the simulator's no-strategy fast path.
+std::uint64_t fattree_update_digest(std::uint64_t seed,
+                                    sim::ScheduleStrategy* strategy = nullptr) {
   net::FatTree ft = net::fattree_topology(4);
   net::set_uniform_capacity(ft.graph, 100.0);
 
   TestBedParams params;
   params.seed = seed;
   params.switch_params.straggler_mean_ms = 100.0;
+  params.strategy = strategy;
   TestBed bed(ft.graph, params);
 
   const net::NodeId src = ft.edge.front();
@@ -113,6 +119,33 @@ TEST(GoldenTraceTest, DigestIsStableAcrossRepeatedRuns) {
   // Same process, two fresh TestBeds: bit-identical digests (no hidden
   // global state leaks into the event order).
   EXPECT_EQ(fattree_update_digest(3), fattree_update_digest(3));
+}
+
+TEST(GoldenTraceTest, SeededStrategyReproducesPinnedDigests) {
+  // The tentpole refactor's core promise: routing every pop and every
+  // fault draw through an installed SeededStrategy is byte-identical to
+  // the historical no-strategy fast path — same pinned digests, not
+  // merely self-consistent ones.
+  for (const GoldenCase& c : kGolden) {
+    sim::SeededStrategy seeded;
+    const std::uint64_t got = fattree_update_digest(c.seed, &seeded);
+    EXPECT_EQ(got, c.digest)
+        << "seed " << c.seed
+        << ": SeededStrategy diverged from the pre-refactor core (got 0x"
+        << std::hex << got << ")";
+  }
+}
+
+TEST(GoldenTraceTest, RecordedScheduleIsByteIdenticalToDirectRun) {
+  // Recording adds observation, never perturbation: wrapping the seeded
+  // default in a RecordingStrategy must not move a single event.
+  sim::SeededStrategy seeded;
+  sim::RecordingStrategy recording(seeded);
+  EXPECT_EQ(fattree_update_digest(kGolden[0].seed, &recording),
+            kGolden[0].digest);
+  // The run had no fault model, so only pick decisions were recorded; the
+  // schedule must be non-trivial (co-enabled installs happen on a fat-tree).
+  EXPECT_FALSE(recording.schedule().choices.empty());
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// EventOrder is the single source of truth for "which event runs first":
+// the 4-ary heap, the strategy's co-enabled collection, and replay
+// validation all compare through it. These tests pin the (at, seq)
+// lexicographic contract so a future "optimization" cannot silently change
+// global event order.
+#include "sim/event_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace p4u::sim {
+namespace {
+
+TEST(EventOrderTest, EarlierTimestampWins) {
+  EXPECT_TRUE(EventOrder::before(1, 99, 2, 0));
+  EXPECT_FALSE(EventOrder::before(2, 0, 1, 99));
+}
+
+TEST(EventOrderTest, SeqBreaksTimestampTies) {
+  EXPECT_TRUE(EventOrder::before(5, 1, 5, 2));
+  EXPECT_FALSE(EventOrder::before(5, 2, 5, 1));
+}
+
+TEST(EventOrderTest, IsIrreflexive) {
+  EXPECT_FALSE(EventOrder::before(5, 7, 5, 7));
+}
+
+TEST(EventOrderTest, KeyOverloadAgreesWithScalarOverload) {
+  const EventKey a{3, 10};
+  const EventKey b{3, 11};
+  EXPECT_EQ(EventOrder::before(a, b),
+            EventOrder::before(a.at, a.seq, b.at, b.seq));
+  EXPECT_TRUE(EventOrder::before(a, b));
+  EXPECT_FALSE(EventOrder::before(b, a));
+}
+
+TEST(EventOrderTest, EqualMatchesBothKeyFields) {
+  EXPECT_TRUE(EventOrder::equal(EventKey{1, 2}, EventKey{1, 2}));
+  EXPECT_FALSE(EventOrder::equal(EventKey{1, 2}, EventKey{1, 3}));
+  EXPECT_FALSE(EventOrder::equal(EventKey{1, 2}, EventKey{2, 2}));
+}
+
+TEST(EventOrderTest, IsAStrictWeakOrderOverAMixedSet) {
+  // Sortable without UB and with the expected result: (at, seq) lexicographic.
+  std::vector<EventKey> keys = {{2, 1}, {1, 5}, {2, 0}, {1, 2}, {0, 9}};
+  std::sort(keys.begin(), keys.end(),
+            [](const EventKey& a, const EventKey& b) {
+              return EventOrder::before(a, b);
+            });
+  const std::vector<EventKey> want = {{0, 9}, {1, 2}, {1, 5}, {2, 0}, {2, 1}};
+  ASSERT_EQ(keys.size(), want.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(EventOrder::equal(keys[i], want[i])) << "index " << i;
+  }
+}
+
+TEST(EventOrderTest, SeqMonotoneWordsCompareLikeRawSeqs) {
+  // The scheduler packs (seq << kSlotBits) | slot into its seq words; the
+  // packing is strictly monotone in allocation order, so comparing packed
+  // words through EventOrder is equivalent to comparing allocation order.
+  constexpr std::uint64_t kSlotBits = 20;
+  const std::uint64_t first = (std::uint64_t{1} << kSlotBits) | 7;
+  const std::uint64_t second = (std::uint64_t{2} << kSlotBits) | 3;
+  EXPECT_TRUE(EventOrder::before(0, first, 0, second));
+  EXPECT_FALSE(EventOrder::before(0, second, 0, first));
+}
+
+}  // namespace
+}  // namespace p4u::sim

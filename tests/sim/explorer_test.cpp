@@ -1,0 +1,260 @@
+// Explorer search-tree semantics on a hand-checkable fake: a "run" is just
+// a loop that asks the strategy to order a fixed set of co-enabled events
+// (plus optional coin/jitter points). Against that model the exact
+// interleaving counts are computable by hand — n! exhaustive, collapsed
+// equivalence classes under DPOR — so these tests pin the enumeration and
+// the sleep-set reduction, not merely "it ran".
+#include "sim/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "sim/schedule_strategy.hpp"
+
+namespace p4u::sim {
+namespace {
+
+ChoiceOption opt(std::uint64_t seq, std::int32_t node, std::uint64_t flow) {
+  ChoiceOption o;
+  o.key = EventKey{0, seq};
+  o.tag = EventTag{node, EventClass::kDelivery, flow};
+  return o;
+}
+
+/// Consumes `remaining` in the order the strategy dictates, mirroring the
+/// event queue's contract: options stay (at, seq)-sorted and the strategy
+/// is consulted even for singleton sets.
+std::vector<std::uint64_t> drain(ScheduleStrategy& s,
+                                 std::vector<ChoiceOption> remaining) {
+  std::vector<std::uint64_t> order;
+  while (!remaining.empty()) {
+    const std::size_t idx = s.pick(remaining);
+    order.push_back(remaining[idx].key.seq);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return order;
+}
+
+TEST(ExplorerTest, EnumeratesAllOrdersOfDependentEvents) {
+  // Three events on the same switch: nothing commutes, so even with DPOR on
+  // the explorer must visit all 3! = 6 total orders.
+  const std::vector<ChoiceOption> events = {opt(1, 5, 1), opt(2, 5, 1),
+                                            opt(3, 5, 1)};
+  std::set<std::vector<std::uint64_t>> seen;
+  Explorer ex(
+      [&](ScheduleStrategy& s) {
+        seen.insert(drain(s, events));
+        return Explorer::Verdict{};
+      },
+      ExplorerOptions{});
+  const ExplorerStats stats = ex.explore();
+  EXPECT_EQ(stats.interleavings, 6u);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_GT(stats.choice_points, 0u);
+}
+
+TEST(ExplorerTest, SleepSetsCollapseIndependentEventsToOneClass) {
+  // Three events on distinct switches for distinct flows: all orders are
+  // equivalent, so DPOR must execute exactly one representative while the
+  // unreduced search pays for all six.
+  const std::vector<ChoiceOption> events = {opt(1, 1, 10), opt(2, 2, 20),
+                                            opt(3, 3, 30)};
+  const auto run = [&](ScheduleStrategy& s) {
+    drain(s, events);
+    return Explorer::Verdict{};
+  };
+
+  ExplorerOptions dpor_on;
+  Explorer reduced(run, dpor_on);
+  const ExplorerStats with_dpor = reduced.explore();
+  EXPECT_EQ(with_dpor.interleavings, 1u);
+  EXPECT_TRUE(with_dpor.exhausted);
+  EXPECT_GT(with_dpor.sleep_pruned + with_dpor.redundant_paths, 0u);
+
+  ExplorerOptions dpor_off;
+  dpor_off.dpor = false;
+  Explorer full(run, dpor_off);
+  const ExplorerStats without = full.explore();
+  EXPECT_EQ(without.interleavings, 6u);
+  EXPECT_TRUE(without.exhausted);
+  EXPECT_EQ(without.sleep_pruned, 0u);
+}
+
+TEST(ExplorerTest, DporKeepsExactlyTheDependentOrderings) {
+  // a and b touch the same flow on different switches (dependent); c is
+  // independent of both. The 6 raw orders collapse to the 2 genuinely
+  // distinct ones: a-before-b and b-before-a.
+  const std::vector<ChoiceOption> events = {opt(1, 1, 5), opt(2, 2, 5),
+                                            opt(3, 3, 9)};
+  std::set<std::pair<bool, bool>> ab_orders;  // (a before b) per visited path
+  Explorer ex(
+      [&](ScheduleStrategy& s) {
+        const std::vector<std::uint64_t> order = drain(s, events);
+        std::size_t pos_a = 0;
+        std::size_t pos_b = 0;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          if (order[i] == 1) pos_a = i;
+          if (order[i] == 2) pos_b = i;
+        }
+        ab_orders.insert({pos_a < pos_b, true});
+        return Explorer::Verdict{};
+      },
+      ExplorerOptions{});
+  const ExplorerStats stats = ex.explore();
+  EXPECT_EQ(stats.interleavings, 2u);
+  EXPECT_TRUE(stats.exhausted);
+  // Both dependent orderings were actually executed, not just counted.
+  EXPECT_TRUE(ab_orders.count({true, true}) == 1 &&
+              ab_orders.count({false, true}) == 1);
+}
+
+TEST(ExplorerTest, CoinBranchesOnlyWithinTheFaultBudget) {
+  const std::vector<ChoiceOption> events = {opt(1, 1, 1)};
+  std::uint64_t faults_seen = 0;
+  const auto run = [&](ScheduleStrategy& s) {
+    Rng rng(1);
+    const bool dropped =
+        s.coin(CoinPoint{CoinKind::kDataDrop, 1, 1, 0.5}, rng);
+    if (dropped) ++faults_seen;
+    drain(s, events);
+    Explorer::Verdict v;
+    if (dropped) {
+      v.ok = false;
+      v.failure = "update message dropped";
+    }
+    return v;
+  };
+
+  // Budget 0: the coin is pinned to "no fault", one clean path.
+  Explorer no_faults(run, ExplorerOptions{});
+  const ExplorerStats none = no_faults.explore();
+  EXPECT_EQ(none.interleavings, 1u);
+  EXPECT_EQ(none.failures, 0u);
+  EXPECT_EQ(faults_seen, 0u);
+
+  // Budget 1: both coin outcomes explored; the adversarial one fails.
+  ExplorerOptions with_budget;
+  with_budget.max_faults = 1;
+  Explorer faulty(run, with_budget);
+  const ExplorerStats some = faulty.explore();
+  EXPECT_EQ(some.interleavings, 2u);
+  EXPECT_EQ(some.failures, 1u);
+  EXPECT_TRUE(some.exhausted);
+  EXPECT_GT(faults_seen, 0u);
+}
+
+TEST(ExplorerTest, FailingPathYieldsAMinimizedReplayableSchedule) {
+  // One event, so the failing (coin = 1) subtree holds exactly one path.
+  const std::vector<ChoiceOption> events = {opt(1, 1, 1)};
+  const auto run = [&](ScheduleStrategy& s) {
+    Rng rng(1);
+    const bool dropped =
+        s.coin(CoinPoint{CoinKind::kDataDrop, 1, 1, 0.5}, rng);
+    drain(s, events);
+    Explorer::Verdict v;
+    if (dropped) {
+      v.ok = false;
+      v.failure = "update message dropped";
+    }
+    return v;
+  };
+
+  ExplorerOptions options;
+  options.max_faults = 1;
+  Explorer ex(run, options);
+  std::vector<Schedule> artifacts;
+  std::vector<std::string> reasons;
+  ex.set_failure_handler([&](const Schedule& sched, const std::string& what) {
+    artifacts.push_back(sched);
+    reasons.push_back(what);
+  });
+  const ExplorerStats stats = ex.explore();
+  EXPECT_EQ(stats.failures, 1u);
+  ASSERT_EQ(artifacts.size(), 1u);
+  EXPECT_EQ(reasons[0], "update message dropped");
+
+  // Minimization trimmed the trailing default picks: only the forced coin
+  // remains in the prefix.
+  ASSERT_EQ(artifacts[0].choices.size(), 1u);
+  EXPECT_EQ(artifacts[0].choices[0].kind, ChoiceRec::Kind::kCoin);
+  EXPECT_EQ(artifacts[0].choices[0].value, 1u);
+
+  // The artifact survives a serialize -> parse -> replay cycle and still
+  // reproduces the failure.
+  const Schedule parsed = Schedule::parse(artifacts[0].to_json());
+  ReplayStrategy replay(parsed);
+  const Explorer::Verdict again = run(replay);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.failure, "update message dropped");
+}
+
+TEST(ExplorerTest, MaxRunsBoundStopsTheSearchAndReportsIt) {
+  const std::vector<ChoiceOption> events = {opt(1, 5, 1), opt(2, 5, 1),
+                                            opt(3, 5, 1), opt(4, 5, 1)};
+  ExplorerOptions options;
+  options.max_runs = 5;  // 4! = 24 interleavings exist; stop far short
+  Explorer ex(
+      [&](ScheduleStrategy& s) {
+        drain(s, events);
+        return Explorer::Verdict{};
+      },
+      options);
+  const ExplorerStats stats = ex.explore();
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_LE(stats.runs, 5u);
+  EXPECT_LT(stats.interleavings, 24u);
+}
+
+TEST(ExplorerTest, MaxDepthTruncatesPathsAndClearsExhausted) {
+  const std::vector<ChoiceOption> events = {opt(1, 5, 1), opt(2, 5, 1),
+                                            opt(3, 5, 1)};
+  ExplorerOptions options;
+  options.max_depth = 1;  // branch only at the root
+  Explorer ex(
+      [&](ScheduleStrategy& s) {
+        drain(s, events);
+        return Explorer::Verdict{};
+      },
+      options);
+  const ExplorerStats stats = ex.explore();
+  // Root has 3 options; each child's continuation runs on defaults and is
+  // flagged truncated, so coverage is knowingly partial.
+  EXPECT_EQ(stats.interleavings, 3u);
+  EXPECT_EQ(stats.max_depth_hits, 3u);
+  EXPECT_FALSE(stats.exhausted);
+}
+
+TEST(ExplorerTest, JitterBranchingIsOptIn) {
+  std::set<std::uint64_t> jitters_seen;
+  const auto run = [&](ScheduleStrategy& s) {
+    Rng rng(1);
+    const Duration d = s.jitter(CoinPoint{CoinKind::kReorder, 1, 1, 0.0},
+                                Duration{10}, rng);
+    jitters_seen.insert(static_cast<std::uint64_t>(d));
+    drain(s, {opt(1, 1, 1)});
+    return Explorer::Verdict{};
+  };
+
+  Explorer pinned(run, ExplorerOptions{});
+  const ExplorerStats off = pinned.explore();
+  EXPECT_EQ(off.interleavings, 1u);
+  EXPECT_EQ(jitters_seen, (std::set<std::uint64_t>{0}));
+
+  jitters_seen.clear();
+  ExplorerOptions options;
+  options.branch_jitter = true;
+  Explorer branched(run, options);
+  const ExplorerStats on = branched.explore();
+  EXPECT_EQ(on.interleavings, 2u);
+  EXPECT_EQ(jitters_seen, (std::set<std::uint64_t>{0, 10}));
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -1,0 +1,119 @@
+// ScheduleStrategy contract tests: the seeded default must draw exactly
+// like the historical RNG streams, and the independence relation must be
+// conservative — anything it calls independent really does commute, because
+// the explorer's sleep-set pruning is only sound under that claim.
+#include "sim/schedule_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace p4u::sim {
+namespace {
+
+EventTag tag(std::int32_t node, EventClass cls, std::uint64_t flow) {
+  return EventTag{node, cls, flow};
+}
+
+TEST(TagsIndependentTest, OpaqueClassesAreDependentOnEverything) {
+  // kInternal (unknown scope), kFault (mutates shared topology), and
+  // kScenario (reshapes controller state) never commute with anything.
+  const EventTag other = tag(3, EventClass::kDelivery, 42);
+  for (const EventClass cls :
+       {EventClass::kInternal, EventClass::kFault, EventClass::kScenario}) {
+    const EventTag opaque = tag(7, cls, 99);
+    EXPECT_FALSE(tags_independent(opaque, other)) << to_string(cls);
+    EXPECT_FALSE(tags_independent(other, opaque)) << to_string(cls);
+  }
+}
+
+TEST(TagsIndependentTest, ControlEventsAreMutuallyDependent) {
+  // The controller is single-threaded (busy_until_): any two control
+  // events race on its service queue even for unrelated flows.
+  EXPECT_FALSE(tags_independent(tag(-1, EventClass::kControl, 1),
+                                tag(-1, EventClass::kControl, 2)));
+}
+
+TEST(TagsIndependentTest, SameNodeIsDependent) {
+  EXPECT_FALSE(tags_independent(tag(4, EventClass::kDelivery, 1),
+                                tag(4, EventClass::kService, 2)));
+}
+
+TEST(TagsIndependentTest, UnknownNodeIsDependent) {
+  EXPECT_FALSE(tags_independent(tag(-1, EventClass::kTimer, 1),
+                                tag(3, EventClass::kDelivery, 2)));
+}
+
+TEST(TagsIndependentTest, SameFlowAcrossNodesIsDependent) {
+  // Two hops of one flow's update wave: ordering them differently changes
+  // the protocol run even though they execute on different switches.
+  EXPECT_FALSE(tags_independent(tag(1, EventClass::kDelivery, 42),
+                                tag(2, EventClass::kInstall, 42)));
+}
+
+TEST(TagsIndependentTest, DistinctNodesAndFlowsCommute) {
+  EXPECT_TRUE(tags_independent(tag(1, EventClass::kDelivery, 10),
+                               tag(2, EventClass::kInstall, 20)));
+  EXPECT_TRUE(tags_independent(tag(0, EventClass::kService, 5),
+                               tag(3, EventClass::kTimer, 6)));
+}
+
+TEST(TagsIndependentTest, IsSymmetric) {
+  const EventTag a = tag(1, EventClass::kDelivery, 10);
+  const EventTag b = tag(2, EventClass::kService, 11);
+  EXPECT_EQ(tags_independent(a, b), tags_independent(b, a));
+}
+
+TEST(SeededStrategyTest, AlwaysPicksTheHeapFront) {
+  SeededStrategy s;
+  std::vector<ChoiceOption> options(3);
+  EXPECT_EQ(s.pick(options), 0u);
+  options.resize(1);
+  EXPECT_EQ(s.pick(options), 0u);
+}
+
+TEST(SeededStrategyTest, CoinDrawsExactlyLikeTheHistoricalStream) {
+  // fabric.cpp used to inline `rng.uniform01() < prob`; the seeded
+  // strategy must consume the identical draw from the identical stream.
+  Rng a(123);
+  Rng b(123);
+  SeededStrategy s;
+  const CoinPoint cp{CoinKind::kCtrlDrop, 2, 7, 0.3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.coin(cp, a), b.uniform01() < cp.prob) << "draw " << i;
+  }
+}
+
+TEST(SeededStrategyTest, JitterDrawsExactlyLikeTheHistoricalStream) {
+  Rng a(99);
+  Rng b(99);
+  SeededStrategy s;
+  const CoinPoint cp{CoinKind::kReorder, 1, 5, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    const Duration want = static_cast<Duration>(
+        b.uniform(static_cast<std::uint64_t>(milliseconds(2)) + 1));
+    EXPECT_EQ(s.jitter(cp, milliseconds(2), a), want) << "draw " << i;
+  }
+}
+
+TEST(EventClassTest, NamesAreStableWireFormat) {
+  // The names appear in serialized Schedules: renaming one breaks replay
+  // of stored counterexample artifacts.
+  EXPECT_STREQ(to_string(EventClass::kInternal), "internal");
+  EXPECT_STREQ(to_string(EventClass::kDelivery), "delivery");
+  EXPECT_STREQ(to_string(EventClass::kService), "service");
+  EXPECT_STREQ(to_string(EventClass::kInstall), "install");
+  EXPECT_STREQ(to_string(EventClass::kControl), "control");
+  EXPECT_STREQ(to_string(EventClass::kFault), "fault");
+  EXPECT_STREQ(to_string(EventClass::kTimer), "timer");
+  EXPECT_STREQ(to_string(EventClass::kScenario), "scenario");
+  EXPECT_STREQ(to_string(CoinKind::kCtrlDrop), "ctrl_drop");
+  EXPECT_STREQ(to_string(CoinKind::kDataDrop), "data_drop");
+  EXPECT_STREQ(to_string(CoinKind::kReorder), "reorder");
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -1,0 +1,264 @@
+// Schedule serialization: parse(to_json()) must round-trip every decision
+// exactly (64-bit seq words included), and anything malformed or internally
+// inconsistent must be rejected at parse time with a "Schedule:" error —
+// corrupted counterexample artifacts die loudly, never replay subtly wrong.
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace p4u::sim {
+namespace {
+
+ChoiceRec pick_rec(Time at, std::uint32_t n, std::uint32_t chosen,
+                   std::uint64_t seq, EventTag tag) {
+  ChoiceRec r;
+  r.kind = ChoiceRec::Kind::kPick;
+  r.at = at;
+  r.n_options = n;
+  r.chosen = chosen;
+  r.chosen_seq = seq;
+  r.tag = tag;
+  return r;
+}
+
+Schedule sample_schedule() {
+  Schedule s;
+  s.add_meta("config", "unit-test");
+  s.add_meta("note", "quote \" backslash \\ newline \n done");
+  s.choices.push_back(pick_rec(
+      milliseconds(1), 3, 1, (std::uint64_t{1} << 20) | 7,
+      EventTag{2, EventClass::kDelivery, 0xFFFFFFFFFFFFFFF5ull}));
+  ChoiceRec coin;
+  coin.kind = ChoiceRec::Kind::kCoin;
+  coin.coin = CoinKind::kCtrlDrop;
+  coin.tag.node = 1;
+  coin.tag.flow = 42;
+  coin.prob = 0.05;
+  coin.value = 1;
+  s.choices.push_back(coin);
+  ChoiceRec jit;
+  jit.kind = ChoiceRec::Kind::kJitter;
+  jit.coin = CoinKind::kReorder;
+  jit.tag.node = 0;
+  jit.tag.flow = 7;
+  jit.max_extra = milliseconds(2);
+  jit.value = 1234;
+  s.choices.push_back(jit);
+  s.choices.push_back(pick_rec(milliseconds(5), 1, 0, 99,
+                               EventTag{-1, EventClass::kControl, 0}));
+  return s;
+}
+
+TEST(ScheduleTest, RoundTripsExactly) {
+  const Schedule s = sample_schedule();
+  const std::string json = s.to_json();
+  const Schedule back = Schedule::parse(json);
+
+  ASSERT_EQ(back.meta.size(), s.meta.size());
+  for (std::size_t i = 0; i < s.meta.size(); ++i) {
+    EXPECT_EQ(back.meta[i], s.meta[i]) << "meta " << i;
+  }
+  ASSERT_EQ(back.choices.size(), s.choices.size());
+  for (std::size_t i = 0; i < s.choices.size(); ++i) {
+    const ChoiceRec& a = s.choices[i];
+    const ChoiceRec& b = back.choices[i];
+    EXPECT_EQ(b.kind, a.kind) << i;
+    EXPECT_EQ(b.at, a.at) << i;
+    EXPECT_EQ(b.n_options, a.n_options) << i;
+    EXPECT_EQ(b.chosen, a.chosen) << i;
+    EXPECT_EQ(b.chosen_seq, a.chosen_seq) << i;
+    EXPECT_EQ(b.tag.node, a.tag.node) << i;
+    EXPECT_EQ(b.tag.cls, a.tag.cls) << i;
+    EXPECT_EQ(b.tag.flow, a.tag.flow) << i;
+    EXPECT_EQ(b.coin, a.coin) << i;
+    EXPECT_EQ(b.prob, a.prob) << i;
+    EXPECT_EQ(b.max_extra, a.max_extra) << i;
+    EXPECT_EQ(b.value, a.value) << i;
+  }
+  // The serialization itself is deterministic: same schedule, same bytes.
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(ScheduleTest, EmptyScheduleRoundTrips) {
+  const Schedule s;
+  const Schedule back = Schedule::parse(s.to_json());
+  EXPECT_TRUE(back.meta.empty());
+  EXPECT_TRUE(back.choices.empty());
+}
+
+void expect_rejected(const std::string& json, const char* why) {
+  EXPECT_THROW(
+      {
+        try {
+          Schedule::parse(json);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("Schedule:"), std::string::npos)
+              << why << ": error lacks Schedule prefix: " << e.what();
+          throw;
+        }
+      },
+      std::runtime_error)
+      << why;
+}
+
+TEST(ScheduleTest, RejectsMalformedJson) {
+  expect_rejected("", "empty document");
+  expect_rejected("{", "truncated object");
+  expect_rejected("[]", "document is not an object");
+  expect_rejected("{\"version\": 1, \"meta\": {}, \"choices\": []} trailing",
+                  "trailing characters");
+}
+
+TEST(ScheduleTest, RejectsWrongVersionAndUnknownFields) {
+  expect_rejected("{\"version\": 2, \"meta\": {}, \"choices\": []}",
+                  "unsupported version");
+  expect_rejected("{\"meta\": {}, \"choices\": []}", "missing version");
+  expect_rejected(
+      "{\"version\": 1, \"meta\": {}, \"choices\": [], \"extra\": 1}",
+      "unknown top-level field");
+}
+
+TEST(ScheduleTest, RejectsCorruptedChoices) {
+  const auto doc = [](const std::string& choice) {
+    return "{\"version\": 1, \"meta\": {}, \"choices\": [" + choice + "]}";
+  };
+  expect_rejected(doc("{\"kind\":\"warp\"}"), "unknown kind");
+  expect_rejected(
+      doc("{\"kind\":\"pick\",\"at\":5,\"n\":2,\"chosen\":2,\"seq\":1,"
+          "\"node\":0,\"cls\":\"delivery\",\"flow\":1}"),
+      "chosen out of range");
+  expect_rejected(
+      doc("{\"kind\":\"pick\",\"at\":5,\"n\":0,\"chosen\":0,\"seq\":1,"
+          "\"node\":0,\"cls\":\"delivery\",\"flow\":1}"),
+      "pick with no options");
+  expect_rejected(
+      doc("{\"kind\":\"pick\",\"at\":5,\"n\":1,\"chosen\":0,\"seq\":1,"
+          "\"node\":0,\"cls\":\"teleport\",\"flow\":1}"),
+      "unknown event class");
+  expect_rejected(
+      doc("{\"kind\":\"pick\",\"at\":9,\"n\":1,\"chosen\":0,\"seq\":1,"
+          "\"node\":0,\"cls\":\"delivery\",\"flow\":1},"
+          "{\"kind\":\"pick\",\"at\":8,\"n\":1,\"chosen\":0,\"seq\":2,"
+          "\"node\":0,\"cls\":\"delivery\",\"flow\":1}"),
+      "pick timestamps run backwards");
+  expect_rejected(
+      doc("{\"kind\":\"coin\",\"coin\":\"ctrl_drop\",\"node\":0,\"flow\":1,"
+          "\"prob\":1.5,\"value\":0}"),
+      "probability outside [0, 1]");
+  expect_rejected(
+      doc("{\"kind\":\"coin\",\"coin\":\"ctrl_drop\",\"node\":0,\"flow\":1,"
+          "\"prob\":0.5,\"value\":2}"),
+      "coin value not 0/1");
+  expect_rejected(
+      doc("{\"kind\":\"jitter\",\"coin\":\"reorder\",\"node\":0,\"flow\":1,"
+          "\"max\":10,\"value\":11}"),
+      "jitter above its bound");
+  expect_rejected(
+      doc("{\"kind\":\"coin\",\"coin\":\"ctrl_drop\",\"node\":0,\"flow\":1,"
+          "\"prob\":0.5,\"value\":0,\"smuggled\":1}"),
+      "unknown choice field");
+}
+
+TEST(ScheduleTest, Preserves64BitIntegersExactly) {
+  // A seq word near 2^64 must survive the round trip bit-exactly — a parser
+  // that routes integers through double would corrupt it.
+  Schedule s;
+  s.choices.push_back(pick_rec(0, 1, 0, 0xFFFFFFFFFFFFFFFEull,
+                               EventTag{0, EventClass::kService, 1}));
+  const Schedule back = Schedule::parse(s.to_json());
+  ASSERT_EQ(back.choices.size(), 1u);
+  EXPECT_EQ(back.choices[0].chosen_seq, 0xFFFFFFFFFFFFFFFEull);
+}
+
+TEST(ReplayStrategyTest, ForcesRecordedDecisionsThenDefaults) {
+  Schedule s;
+  s.choices.push_back(pick_rec(5, 2, 1, 77,
+                               EventTag{1, EventClass::kDelivery, 9}));
+  ReplayStrategy replay(s);
+
+  std::vector<ChoiceOption> options(2);
+  options[0].key = EventKey{5, 50};
+  options[1].key = EventKey{5, 77};
+  EXPECT_EQ(replay.pick(options), 1u);
+  EXPECT_TRUE(replay.exhausted());
+
+  // Past the end of the schedule: defaults, and the rng is never touched.
+  Rng rng(1);
+  EXPECT_EQ(replay.pick(options), 0u);
+  EXPECT_FALSE(replay.coin(CoinPoint{CoinKind::kCtrlDrop, 0, 0, 0.9}, rng));
+  EXPECT_EQ(replay.jitter(CoinPoint{CoinKind::kReorder, 0, 0, 0.0},
+                          milliseconds(5), rng),
+            0);
+}
+
+TEST(ReplayStrategyTest, RejectsMismatchedRun) {
+  Schedule s;
+  s.choices.push_back(pick_rec(5, 2, 1, 77,
+                               EventTag{1, EventClass::kDelivery, 9}));
+  // Run presents a different co-enabled set size than was recorded.
+  {
+    ReplayStrategy replay(s);
+    std::vector<ChoiceOption> options(3);
+    options[0].key = EventKey{5, 50};
+    EXPECT_THROW(replay.pick(options), std::runtime_error);
+  }
+  // Right size, but the chosen slot holds a different event.
+  {
+    ReplayStrategy replay(s);
+    std::vector<ChoiceOption> options(2);
+    options[0].key = EventKey{5, 50};
+    options[1].key = EventKey{5, 78};
+    EXPECT_THROW(replay.pick(options), std::runtime_error);
+  }
+  // Run asks for a coin where a pick was recorded.
+  {
+    ReplayStrategy replay(s);
+    Rng rng(1);
+    EXPECT_THROW(replay.coin(CoinPoint{CoinKind::kCtrlDrop, 0, 0, 0.5}, rng),
+                 std::runtime_error);
+  }
+}
+
+TEST(RecordingStrategyTest, RecordsEveryDecisionOfItsInner) {
+  SeededStrategy seeded;
+  RecordingStrategy recording(seeded);
+
+  std::vector<ChoiceOption> options(2);
+  options[0].key = EventKey{3, 10};
+  options[0].tag = EventTag{0, EventClass::kInstall, 5};
+  options[1].key = EventKey{3, 11};
+  EXPECT_EQ(recording.pick(options), 0u);
+
+  Rng rng(7);
+  recording.coin(CoinPoint{CoinKind::kDataDrop, 2, 8, 0.5}, rng);
+  recording.jitter(CoinPoint{CoinKind::kReorder, 1, 8, 0.0},
+                   milliseconds(1), rng);
+
+  const Schedule& s = recording.schedule();
+  ASSERT_EQ(s.choices.size(), 3u);
+  EXPECT_EQ(s.choices[0].kind, ChoiceRec::Kind::kPick);
+  EXPECT_EQ(s.choices[0].n_options, 2u);
+  EXPECT_EQ(s.choices[0].chosen_seq, 10u);
+  EXPECT_EQ(s.choices[0].tag.cls, EventClass::kInstall);
+  EXPECT_EQ(s.choices[1].kind, ChoiceRec::Kind::kCoin);
+  EXPECT_EQ(s.choices[1].coin, CoinKind::kDataDrop);
+  EXPECT_EQ(s.choices[2].kind, ChoiceRec::Kind::kJitter);
+  ASSERT_EQ(recording.pick_options().size(), 1u);
+  EXPECT_EQ(recording.pick_options()[0].size(), 2u);
+
+  // The recorded schedule replays against the same decision sequence.
+  const Schedule taken = recording.schedule();
+  ReplayStrategy replay(taken);
+  EXPECT_EQ(replay.pick(options), 0u);
+  Rng rng2(7);
+  replay.coin(CoinPoint{CoinKind::kDataDrop, 2, 8, 0.5}, rng2);
+  replay.jitter(CoinPoint{CoinKind::kReorder, 1, 8, 0.0}, milliseconds(1),
+                rng2);
+  EXPECT_TRUE(replay.exhausted());
+}
+
+}  // namespace
+}  // namespace p4u::sim

@@ -157,10 +157,16 @@ class FixtureTest(unittest.TestCase):
             "fail/env_read.cpp": "env-read",
             "fail/unordered_iter.cpp": "unordered-iter",
             "fail/bad_suppressions.cpp": "bad-suppression",
+            "fail/mc_unordered_merge.cpp": "unordered-iter",
         }
         for path, rule in expected.items():
             self.assertIn(f"{path}:", r.stdout)
             self.assertRegex(r.stdout, rf"{path}:\d+: {rule}:")
+        # The mc-shaped fixture carries both bug classes the model-checking
+        # driver must stay free of.
+        self.assertRegex(
+            r.stdout, r"fail/mc_unordered_merge\.cpp:\d+: wall-clock:"
+        )
         self.assertRegex(
             r.stdout, r"bad_suppressions\.cpp:\d+: unused-suppression:"
         )
@@ -171,9 +177,11 @@ class FixtureTest(unittest.TestCase):
             "--critical", "fail",
         )
         # wall_clock: 4, raw_rand: 3, env_read: 2, unordered_iter: 3 (two
-        # range-fors + one .begin() walk), bad_suppressions: 3.
+        # range-fors + one .begin() walk), bad_suppressions: 3,
+        # mc_unordered_merge: 3 (one hash-order range-for + two
+        # steady_clock reads).
         banned = [l for l in r.stdout.splitlines() if "[banned]" in l]
-        self.assertEqual(len(banned), 15, r.stdout)
+        self.assertEqual(len(banned), 18, r.stdout)
 
     def test_expect_allowed_mismatch_fails(self):
         r = run_detlint(
@@ -206,6 +214,27 @@ class FixtureTest(unittest.TestCase):
         self.assertRegex(
             r.stdout, r"pass/bench_clock\.cpp:\d+: wall-clock:.*\[allowed"
         )
+
+
+class RepoScanTest(unittest.TestCase):
+    """The dirs added by the interleaving-explorer work, scanned for real.
+
+    src/sim holds the strategy/schedule/explorer core and bench/ holds the
+    mc driver; both feed replayable artifacts and gating reports, so they
+    must stay free of unordered-container iteration (bench/mc.cpp is
+    promoted to campaign-critical) and of wall-clock reads beyond the
+    three long-sanctioned BenchClock sites in other bench drivers.
+    """
+
+    REPO = HERE.parent.parent
+
+    def test_sim_and_mc_driver_stay_deterministic(self):
+        r = run_detlint(
+            "--repo", str(self.REPO), "--paths", "src/sim", "bench",
+            "--critical", "src", "bench/mc.cpp",
+            "--expect-allowed", "wall-clock:bench=3",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
 
 if __name__ == "__main__":

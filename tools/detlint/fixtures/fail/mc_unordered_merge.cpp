@@ -1,0 +1,27 @@
+// Fixture: the bug classes that would silently break the model-checking
+// driver's determinism contract. bench/mc merges per-cell explorer stats
+// into BENCH_mc.json — iterating an unordered map there makes the report
+// depend on hash order, and a wall-clock exploration deadline makes the
+// set of explored interleavings depend on machine load. Both must flag
+// when the mc driver is scanned as campaign-critical.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+struct CellStats {
+  std::uint64_t interleavings = 0;
+};
+
+std::string merge_cells(
+    const std::unordered_map<std::string, CellStats>& cells) {
+  std::string out;
+  for (const auto& [slug, stats] : cells) {  // hash-order report
+    out += slug + "=" + std::to_string(stats.interleavings) + "\n";
+  }
+  return out;
+}
+
+bool budget_left(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() < deadline;  // load-dependent
+}

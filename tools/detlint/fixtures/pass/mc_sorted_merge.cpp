@@ -1,0 +1,24 @@
+// Fixture: the sanctioned counterpart of fail/mc_unordered_merge.cpp.
+// The mc driver's idiom — ordered containers for anything that feeds the
+// report, and exploration bounded by run counts (pure function of the
+// spec), never by wall-clock deadlines. This file must lint clean even
+// when scanned as campaign-critical.
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct CellStats {
+  std::uint64_t interleavings = 0;
+};
+
+std::string merge_cells(const std::map<std::string, CellStats>& cells) {
+  std::string out;
+  for (const auto& [slug, stats] : cells) {  // deterministic: key order
+    out += slug + "=" + std::to_string(stats.interleavings) + "\n";
+  }
+  return out;
+}
+
+bool budget_left(std::uint64_t runs, std::uint64_t max_runs) {
+  return max_runs == 0 || runs < max_runs;
+}
