@@ -31,9 +31,11 @@
 #include "harness/bench_cli.hpp"
 #include "harness/campaign.hpp"
 #include "harness/parallel_runner.hpp"
+#include "harness/static_check.hpp"
 #include "net/topologies.hpp"
 #include "sim/explorer.hpp"
 #include "sim/schedule.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -317,6 +319,47 @@ void write_bench_json(const std::string& out_dir,
   std::printf("mc trajectory: %s\n", path.c_str());
 }
 
+/// --static-verify: the static update-plan verifier (DESIGN.md §12) must
+/// agree with every exhausted exploration — a Safe verdict on a cell that
+/// exhibited a loop/blackhole is a false Safe (hard failure), an Unsafe
+/// verdict on a clean exhausted cell is an overclaim (also a failure), and
+/// liveness-only failures are outside the verifier's scope.
+bool static_cross_check(const std::vector<CellResult>& results) {
+  std::printf("\n---- static cross-check ----\n");
+  bool all_agree = true;
+  for (const CellResult& c : results) {
+    std::vector<verify::FlowPlan> plans;
+    for (const McFlow& mf : c.cfg->flows) {
+      harness::StaticCheckCase sc;
+      sc.system = c.system;
+      sc.flow = net::flow_id_of(mf.old_path.front(), mf.old_path.back());
+      sc.believed_old = mf.old_path;  // mc cells run with a truthful NIB
+      sc.new_path = mf.new_path;
+      plans.push_back(harness::build_static_plan(sc));
+    }
+    const verify::BatchResult batch = verify::verify_batch(plans);
+    const harness::DynamicOutcome dynamic =
+        harness::classify_dynamic(c.stats.failures > 0, c.first_failure);
+    // Agreement is only meaningful against a complete search; a truncated
+    // exploration proves nothing about unseen interleavings.
+    const bool agree = !c.stats.exhausted ||
+                       harness::verdicts_agree(batch.overall, dynamic);
+    std::printf("  %-18s %-10s static %-7s dynamic %-18s %s\n", c.cfg->slug,
+                harness::to_string(c.system),
+                verify::to_string(batch.overall.kind),
+                c.stats.failures == 0
+                    ? "clean"
+                    : (dynamic == harness::DynamicOutcome::kLivenessOnly
+                           ? "liveness-only"
+                           : "loop/blackhole"),
+                agree ? "AGREE" : "DISAGREE");
+    all_agree = all_agree && agree;
+  }
+  std::printf("static verdicts agree with exploration: %s\n",
+              all_agree ? "YES" : "NO");
+  return all_agree;
+}
+
 int replay_main(const std::vector<McConfig>& table,
                 const harness::BenchCli& cli) {
   std::ifstream in(cli.replay_path);
@@ -401,6 +444,7 @@ int main(int argc, char** argv) {
       "2-3-switch topologies; P4Update must hold loop/blackhole freedom "
       "and liveness on every path.";
   cli_spec.with_mc = true;
+  cli_spec.with_static_verify = true;
   const harness::BenchCli cli =
       harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
 
@@ -466,6 +510,9 @@ int main(int argc, char** argv) {
 
   write_bench_json(cli.out_dir, results, cli.smoke);
 
+  bool static_agree = true;
+  if (cli.static_verify) static_agree = static_cross_check(results);
+
   // The acceptance bar: the smoke table must be exhaustively explored with
   // >= 10^4 distinct interleavings, and P4Update must be violation-free on
   // every one of them.
@@ -477,5 +524,9 @@ int main(int argc, char** argv) {
   std::printf("every cell exhausted: %s\n", all_exhausted ? "YES" : "NO");
   std::printf("P4Update: zero violations on every explored path: %s\n",
               p4u_clean ? "YES" : "NO");
-  return p4u_clean && enough && all_exhausted ? 0 : 1;
+  if (cli.static_verify) {
+    std::printf("static verifier agreement: %s\n",
+                static_agree ? "YES" : "NO");
+  }
+  return p4u_clean && enough && all_exhausted && static_agree ? 0 : 1;
 }

@@ -54,15 +54,16 @@ if [[ "$RUN_DETLINT" == 1 ]]; then
   echo "== lint: determinism linter (tools/detlint) =="
   # Pinned allow counts: the PrepClock alias in src/core (Fig. 8 prep-cost
   # measurement) and the BenchClock aliases in bench/ (fig8_prep_time,
-  # hotpath, and scale's flows/sec measurement). A new sanctioned
-  # wall-clock site must bump these explicitly. bench/mc.cpp is promoted
-  # to campaign-critical: its merged interleaving report and its
-  # counterexample artifacts gate CI, so hash-order iteration is banned
-  # there exactly as in src/.
+  # hotpath, scale's flows/sec, and verify's plans/sec measurements). A new
+  # sanctioned wall-clock site must bump these explicitly. bench/mc.cpp
+  # and bench/verify.cpp are promoted to campaign-critical: their merged
+  # reports, counterexamples, and verdict/witness artifacts gate CI, so
+  # hash-order iteration and deferred [&]-captures are banned there
+  # exactly as in src/.
   if ! python3 tools/detlint/detlint.py --repo . \
-      --critical src bench/mc.cpp \
+      --critical src bench/mc.cpp bench/verify.cpp \
       --expect-allowed wall-clock:src=1 \
-      --expect-allowed wall-clock:bench=3; then
+      --expect-allowed wall-clock:bench=4; then
     echo "lint: detlint found issues" >&2
     status=1
   fi

@@ -6,6 +6,8 @@
 
 #include "obs/metrics.hpp"
 #include "p4rt/switch_device.hpp"
+#include "verify/plan.hpp"
+#include "verify/verifier.hpp"
 
 namespace p4u::core {
 
@@ -100,18 +102,36 @@ P4UpdateController::Prepared P4UpdateController::prepare(
 
 p4rt::Version P4UpdateController::schedule_update(net::FlowId flow,
                                                   const net::Path& new_path) {
-  const p4rt::Version version = nib_.next_version(flow);
   // Wall-clock preparation cost: the Fig. 8 quantity (the only real-time
   // measurement in the simulation), recorded unless the run needs a fully
-  // deterministic registry.
+  // deterministic registry. Prepared against the version next_version will
+  // hand out, which is only consumed once the preflight (if any) passes.
   const auto t0 = PrepClock::now();
-  Prepared prepared = prepare(flow, new_path, version);
+  Prepared prepared = prepare(flow, new_path, nib_.view(flow).version + 1);
   if (params_.measure_prep_wallclock) {
     const auto t1 = PrepClock::now();
     channel_.metrics()
         .histogram("ctrl.prep_ms", {})
         .observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
+  if (params_.static_preflight) {
+    // Rebuild the plan the verifier's way but pin the already-decided
+    // update type, so the lattice matches the UIMs about to go out.
+    verify::PlanInputs in;
+    in.flow = flow;
+    in.believed_old = nib_.view(flow).believed_path;
+    in.new_path = new_path;
+    const verify::Verdict verdict = verify::verify_plan(
+        verify::plan_p4update(in, params_.sl_node_budget, prepared.type));
+    const char* counter = verdict.safe()     ? "ctrl.preflight_safe"
+                          : verdict.unsafe() ? "ctrl.preflight_unsafe"
+                                             : "ctrl.preflight_unknown";
+    channel_.metrics().counter(counter, {}).inc();
+    if (params_.enforce_preflight && verdict.unsafe()) {
+      return 0;  // belief (and version counter) untouched: nothing was sent
+    }
+  }
+  const p4rt::Version version = nib_.next_version(flow);
   last_issued_type_[flow] = prepared.type;
   issued_paths_[{flow, version}] = new_path;
   nib_.view(flow).update_in_progress = true;
@@ -133,6 +153,11 @@ void P4UpdateController::register_tree(const net::Flow& f) {
 
 p4rt::Version P4UpdateController::schedule_tree_update(
     net::FlowId flow, const control::DestTree& tree) {
+  if (params_.static_preflight) {
+    // The NIB stores only the believed root for tree flows, so there is no
+    // believed old tree to build a lattice against; counted, not verified.
+    channel_.metrics().counter("ctrl.preflight_skipped", {}).inc();
+  }
   const p4rt::Version version = nib_.next_version(flow);
   const control::FlowView& view = nib_.view(flow);
   const auto labels = control::label_tree(nib_.graph(), tree);

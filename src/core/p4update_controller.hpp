@@ -46,6 +46,15 @@ struct P4UpdateControllerParams {
   /// resend on timeout, repair updates around dead elements. Off by default
   /// (fault-free runs stay bit-exact).
   faults::RecoveryParams recovery;
+  /// DESIGN.md §12: before dispatching an update, statically verify the
+  /// prepared plan over its full transient-state lattice and count the
+  /// verdict (ctrl.preflight_safe / _unsafe / _unknown). Tree updates are
+  /// counted as ctrl.preflight_skipped — the controller holds no believed
+  /// old tree to verify against.
+  bool static_preflight = false;
+  /// With static_preflight: refuse to dispatch a plan whose verdict is
+  /// Unsafe (the believed old path is kept; schedule_update returns 0).
+  bool enforce_preflight = false;
 };
 
 class P4UpdateController final : public p4rt::ControllerApp {

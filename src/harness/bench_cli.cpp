@@ -114,6 +114,10 @@ std::string bench_cli_usage(const BenchCliSpec& spec) {
     u += "  --max-depth <N>              bound the explorer's branch depth "
          "(explore only)\n";
   }
+  if (spec.with_static_verify) {
+    u += "  --static-verify              cross-check cells against the "
+         "static plan verifier\n";
+  }
   for (const std::string& p : spec.passthrough_prefixes) {
     u += "  " + p + "*  passed through\n";
   }
@@ -227,6 +231,10 @@ BenchCliResult parse_bench_cli(int& argc, char** argv,
         out.cli.max_depth = depth;
         continue;
       }
+    }
+    if (spec.with_static_verify && arg == "--static-verify") {
+      out.cli.static_verify = true;
+      continue;
     }
     const bool passthrough =
         std::any_of(spec.passthrough_prefixes.begin(),

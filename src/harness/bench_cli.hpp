@@ -37,6 +37,9 @@ struct BenchCliSpec {
   /// (--replay with --strategy, --replay with --runs > 1, --max-depth
   /// without --strategy explore) are hard usage errors.
   bool with_mc = false;
+  /// Enables --static-verify: cross-check every cell against the static
+  /// update-plan verifier (DESIGN.md §12) and gate on verdict agreement.
+  bool with_static_verify = false;
   /// Arguments starting with one of these prefixes are left in argv for a
   /// downstream parser (e.g. "--benchmark" for google-benchmark).
   std::vector<std::string> passthrough_prefixes;
@@ -58,6 +61,9 @@ struct BenchCli {
   std::string strategy;
   std::string replay_path;
   std::optional<int> max_depth;
+  /// --static-verify (with_static_verify only): run the static verifier
+  /// alongside the dynamic cells and fail on any verdict disagreement.
+  bool static_verify = false;
 
   /// Run count for a spec whose table default is `table_runs`: an explicit
   /// --runs wins, then --smoke caps at 3, else the table value.

@@ -57,12 +57,13 @@ Fig2Result run_fig2_demo(SystemKind system, std::uint64_t seed) {
 
   // t = 10.10 s: config (b) issued but its control messages are delayed by
   // 400 ms; the controller is oblivious and believes (b) applied.
-  bed.simulator().schedule_at(sim::seconds(10) + sim::milliseconds(100), [&]() {
-    bed.channel().set_extra_outbound_delay(sim::milliseconds(400));
-    bed.issue_update_now(flow.id, config_b);
-    bed.channel().set_extra_outbound_delay(0);
-    bed.force_belief(flow.id, config_b);
-  });
+  bed.simulator().schedule_at(
+      sim::seconds(10) + sim::milliseconds(100), [&bed, &flow, &config_b]() {
+        bed.channel().set_extra_outbound_delay(sim::milliseconds(400));
+        bed.issue_update_now(flow.id, config_b);
+        bed.channel().set_extra_outbound_delay(0);
+        bed.force_belief(flow.id, config_b);
+      });
 
   // t = 10.15 s: config (c) issued on top of the believed (b).
   bed.schedule_update_at(sim::seconds(10) + sim::milliseconds(150), flow.id,

@@ -1,0 +1,51 @@
+#include "harness/static_check.hpp"
+
+namespace p4u::harness {
+
+verify::FlowPlan build_static_plan(const StaticCheckCase& c) {
+  verify::PlanInputs in;
+  in.flow = c.flow;
+  in.believed_old = c.believed_old;
+  in.actual_from = c.actual_from;
+  in.new_path = c.new_path;
+  switch (c.system) {
+    case SystemKind::kP4Update:
+      return verify::plan_p4update(in, c.sl_node_budget, c.force_type);
+    case SystemKind::kEzSegway:
+      return verify::plan_ezsegway(in);
+    case SystemKind::kCentral:
+      return verify::plan_central(in);
+  }
+  return verify::plan_p4update(in, c.sl_node_budget, c.force_type);
+}
+
+verify::Verdict static_verdict(const StaticCheckCase& c,
+                               const verify::VerifyOptions& opt) {
+  return verify::verify_plan(build_static_plan(c), opt);
+}
+
+DynamicOutcome classify_dynamic(bool any_failure,
+                                const std::string& failure_text) {
+  if (!any_failure) return DynamicOutcome::kClean;
+  if (failure_text.rfind("liveness", 0) == 0) {
+    return DynamicOutcome::kLivenessOnly;
+  }
+  return DynamicOutcome::kLoopOrBlackhole;
+}
+
+bool verdicts_agree(const verify::Verdict& v, DynamicOutcome dynamic) {
+  switch (v.kind) {
+    case verify::VerdictKind::kSafe:
+      // Safe must never coexist with an observed loop/blackhole; a stalled
+      // (liveness-only) run is outside the verifier's scope.
+      return dynamic != DynamicOutcome::kLoopOrBlackhole;
+    case verify::VerdictKind::kUnsafe:
+      // On an exhausted search, a reachable bad state must have been seen.
+      return dynamic == DynamicOutcome::kLoopOrBlackhole;
+    case verify::VerdictKind::kUnknown:
+      return true;  // an honest refusal claims nothing
+  }
+  return false;
+}
+
+}  // namespace p4u::harness

@@ -1,0 +1,55 @@
+// Harness bridge to the static update-plan verifier (DESIGN.md §12).
+//
+// Maps a (system, believed-old, actual-from, new-path) case onto the
+// system's ordering discipline and runs the verifier, and defines the
+// agreement semantics the mc cross-check and the property tests gate on:
+//
+//   - a static Safe verdict with a dynamic loop/blackhole observation is a
+//     FALSE SAFE — the hard failure the whole subsystem exists to prevent;
+//   - a static Unsafe verdict on an exhaustively explored cell that never
+//     exhibited a loop or blackhole is an overclaim — also a failure;
+//   - liveness-only dynamic failures (an update that stalls without ever
+//     misforwarding, e.g. ez-Segway losing its one dependency message) are
+//     out of the verifier's scope, so Safe agrees with them;
+//   - Unknown never claims anything, so it agrees with every outcome.
+#pragma once
+
+#include <optional>
+
+#include "harness/system_factory.hpp"
+#include "verify/plan.hpp"
+#include "verify/verifier.hpp"
+
+namespace p4u::harness {
+
+struct StaticCheckCase {
+  SystemKind system = SystemKind::kP4Update;
+  net::FlowId flow = 0;
+  net::Path believed_old;
+  /// Empty = the data plane matches the belief (truthful NIB).
+  net::Path actual_from;
+  net::Path new_path;
+  std::size_t sl_node_budget = 5;                  // P4Update §7.5 knob
+  std::optional<p4rt::UpdateType> force_type;      // P4Update ablation knob
+};
+
+/// Compiles the case to the system's discipline (P4Update -> verified
+/// chain/dual, ez-Segway -> causal segments, Central -> round barriers).
+verify::FlowPlan build_static_plan(const StaticCheckCase& c);
+
+/// build_static_plan + verify_plan in one step.
+verify::Verdict static_verdict(const StaticCheckCase& c,
+                               const verify::VerifyOptions& opt = {});
+
+/// What the dynamic layer (InvariantMonitor / Explorer) observed.
+enum class DynamicOutcome { kClean, kLoopOrBlackhole, kLivenessOnly };
+
+/// Classifies an explorer failure string ("forwarding loop ...",
+/// "blackhole ...", "liveness: ...") or a clean pass.
+DynamicOutcome classify_dynamic(bool any_failure,
+                                const std::string& failure_text);
+
+/// The agreement gate described above.
+bool verdicts_agree(const verify::Verdict& v, DynamicOutcome dynamic);
+
+}  // namespace p4u::harness

@@ -1,0 +1,260 @@
+#include "verify/lattice.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace p4u::verify {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+bool applied(Mask m, std::int32_t i) {
+  return ((m >> static_cast<unsigned>(i)) & 1u) != 0;
+}
+
+/// DL old-distance inheritance: the value available to the predecessor of
+/// applied node `j` is found by walking the applied run downstream — 0 if
+/// it reaches the egress, else the first unapplied node's from-distance
+/// (the proposal a segment-egress gateway sent before applying). Computed
+/// against the current state; the run only grows, so this is the smallest
+/// (most permissive) value the protocol could have granted — an
+/// over-approximation of reachability, which is the safe direction.
+p4rt::Distance inherited_old_distance(const FlowPlan& plan, Mask m,
+                                      std::int32_t j) {
+  std::int32_t cur = plan.touched[static_cast<std::size_t>(j)].dl_succ;
+  while (cur >= 0 && applied(m, cur)) {
+    cur = plan.touched[static_cast<std::size_t>(cur)].dl_succ;
+  }
+  if (cur < 0) return 0;  // the applied run reaches the egress
+  const p4rt::Distance d =
+      plan.touched[static_cast<std::size_t>(cur)].d_from;
+  return d == p4rt::kNoDistance
+             ? std::numeric_limits<p4rt::Distance>::max()
+             : d;
+}
+
+bool may_apply_dual(const FlowPlan& plan, Mask m, std::int32_t i) {
+  const TouchedNode& t = plan.touched[static_cast<std::size_t>(i)];
+  if (t.dl_succ < 0) return true;  // flow egress applies directly
+  const TouchedNode& s = plan.touched[static_cast<std::size_t>(t.dl_succ)];
+  p4rt::Distance avail = 0;
+  if (applied(m, t.dl_succ)) {
+    avail = inherited_old_distance(plan, m, t.dl_succ);
+  } else if (s.seg_egress && s.d_from != p4rt::kNoDistance) {
+    // Second layer: a stateful segment-egress gateway proposes its own
+    // from-distance upstream before applying itself.
+    avail = s.d_from;
+  } else {
+    return false;  // no UNM to verify against yet
+  }
+  // Alg. 2 gateway condition; fresh nodes (no flow state) take the inner-
+  // update branch, which has no old-distance condition.
+  if (t.d_from == p4rt::kNoDistance) return true;
+  return t.d_from > avail;
+}
+
+bool may_apply_rounds(const FlowPlan& plan, Mask m, std::int32_t i) {
+  // The global ack barrier: only members of the first incomplete round are
+  // in flight; everything before it has fully applied.
+  for (const auto& round : plan.rounds) {
+    bool complete = true;
+    for (std::int32_t member : round) {
+      if (!applied(m, member)) complete = false;
+    }
+    if (complete) continue;
+    for (std::int32_t member : round) {
+      if (member == i) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool may_apply(const FlowPlan& plan, Mask m, std::int32_t i) {
+  switch (plan.discipline) {
+    case Discipline::kVerifiedDual:
+      return may_apply_dual(plan, m, i);
+    case Discipline::kRoundBarriers:
+      return may_apply_rounds(plan, m, i);
+    case Discipline::kVerifiedChain:
+    case Discipline::kCausalSegments:
+    case Discipline::kVerifiedTree: {
+      for (std::int32_t p : plan.touched[static_cast<std::size_t>(i)].prereqs) {
+        if (!applied(m, p)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+struct WalkOutcome {
+  enum Kind { kClean, kLoop, kBlackhole } kind = kClean;
+  std::vector<net::NodeId> trace;
+  net::NodeId offender = net::kNoNode;
+};
+
+/// Walks the instantaneous forwarding function of state `m` from `source`.
+/// A source holding no rule emits no traffic yet (fresh deploys, new tree
+/// members); a rule-less node *reached* mid-walk is a blackhole.
+WalkOutcome walk_state(const FlowPlan& plan,
+                       const std::map<net::NodeId, std::int32_t>& touched_at,
+                       const std::map<net::NodeId, net::NodeId>& old_next,
+                       Mask m, net::NodeId source) {
+  WalkOutcome out;
+  const std::size_t node_budget = plan.touched.size() + plan.old_rules.size();
+  std::vector<net::NodeId> visited;
+  net::NodeId cur = source;
+  for (std::size_t step = 0; step <= node_budget + 1; ++step) {
+    if (std::find(visited.begin(), visited.end(), cur) != visited.end()) {
+      out.kind = WalkOutcome::kLoop;
+      out.offender = cur;
+      out.trace.push_back(cur);
+      return out;
+    }
+    visited.push_back(cur);
+    out.trace.push_back(cur);
+
+    net::NodeId next = net::kNoNode;
+    bool has_rule = false;
+    const auto t = touched_at.find(cur);
+    if (t != touched_at.end() && applied(m, t->second)) {
+      next = plan.touched[static_cast<std::size_t>(t->second)].new_next;
+      has_rule = true;
+    } else {
+      const auto o = old_next.find(cur);
+      if (o != old_next.end()) {
+        next = o->second;
+        has_rule = true;
+      }
+    }
+    if (!has_rule) {
+      if (cur == source) {
+        out.trace.clear();  // no ingress rule yet: no traffic to misroute
+        return out;
+      }
+      out.kind = WalkOutcome::kBlackhole;
+      out.offender = cur;
+      return out;
+    }
+    if (next == net::kNoNode) return out;  // local delivery
+    cur = next;
+  }
+  // Budget exhausted without revisit/delivery — only possible if the rule
+  // maps name nodes outside the plan; treat as a loop-grade anomaly.
+  out.kind = WalkOutcome::kLoop;
+  out.offender = cur;
+  return out;
+}
+
+std::vector<net::NodeId> applied_nodes(const FlowPlan& plan, Mask m) {
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i < plan.touched.size(); ++i) {
+    if (applied(m, static_cast<std::int32_t>(i))) {
+      nodes.push_back(plan.touched[i].node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+const char* to_string(VerdictKind k) {
+  switch (k) {
+    case VerdictKind::kSafe:    return "safe";
+    case VerdictKind::kUnsafe:  return "unsafe";
+    case VerdictKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Verdict analyze_lattice(const FlowPlan& plan, const VerifyOptions& opt) {
+  Verdict v;
+  const std::size_t n = plan.touched.size();
+  v.stats.touched = n;
+  if (n > 63) {
+    v.kind = VerdictKind::kUnknown;
+    v.reason = "plan touches more than 63 switches";
+    return v;
+  }
+  v.stats.lattice_size = 1ull << n;
+
+  std::map<net::NodeId, std::int32_t> touched_at;
+  for (std::size_t i = 0; i < n; ++i) {
+    touched_at[plan.touched[i].node] = static_cast<std::int32_t>(i);
+  }
+  std::map<net::NodeId, net::NodeId> old_next(plan.old_rules.begin(),
+                                              plan.old_rules.end());
+
+  // BFS by cardinality: every reachable state with k applied rules sits in
+  // layer k, so the first unsafe layer holds the minimum witness.
+  struct Unsafe {
+    Mask mask;
+    WalkOutcome outcome;
+  };
+  std::vector<Mask> layer{0};
+  while (!layer.empty()) {
+    std::vector<Unsafe> bad;
+    for (Mask m : layer) {
+      ++v.stats.states_enumerated;
+      for (net::NodeId source : plan.sources) {
+        ++v.stats.walks;
+        WalkOutcome w = walk_state(plan, touched_at, old_next, m, source);
+        if (w.kind != WalkOutcome::kClean) {
+          bad.push_back({m, std::move(w)});
+          break;
+        }
+      }
+    }
+    if (!bad.empty()) {
+      // Minimal layer reached; tie-break on the sorted applied-node list.
+      const Unsafe* best = &bad.front();
+      std::vector<net::NodeId> best_nodes = applied_nodes(plan, best->mask);
+      for (const Unsafe& u : bad) {
+        std::vector<net::NodeId> nodes = applied_nodes(plan, u.mask);
+        if (nodes < best_nodes) {
+          best = &u;
+          best_nodes = std::move(nodes);
+        }
+      }
+      v.kind = VerdictKind::kUnsafe;
+      Witness w;
+      w.flow = plan.flow;
+      w.loop = best->outcome.kind == WalkOutcome::kLoop;
+      w.applied = applied_nodes(plan, best->mask);
+      w.walk = best->outcome.trace;
+      w.offender = best->outcome.offender;
+      v.witness = std::move(w);
+      v.stats.states_pruned = v.stats.lattice_size - v.stats.states_enumerated;
+      return v;
+    }
+    if (v.stats.states_enumerated > opt.max_states) {
+      v.kind = VerdictKind::kUnknown;
+      v.reason = "state budget exceeded";
+      v.stats.states_pruned =
+          v.stats.lattice_size - v.stats.states_enumerated;
+      return v;
+    }
+
+    std::vector<Mask> next;
+    for (Mask m : layer) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::int32_t>(i);
+        if (applied(m, idx) || !may_apply(plan, m, idx)) continue;
+        next.push_back(m | (1ull << i));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    layer = std::move(next);
+  }
+
+  v.kind = VerdictKind::kSafe;
+  v.stats.states_pruned = v.stats.lattice_size - v.stats.states_enumerated;
+  return v;
+}
+
+}  // namespace p4u::verify

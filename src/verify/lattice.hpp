@@ -1,0 +1,33 @@
+// Transient-state lattice enumeration (DESIGN.md §12).
+//
+// Per-flow version monotonicity means a transient state is exactly an
+// "applied set" S ⊆ touched: switches in S forward with their new rule,
+// switches on the from-path outside S with their old rule, everything else
+// drops. The full lattice is the 2^|touched| hypercube; the plan's ordering
+// discipline carves out the reachable sub-lattice (e.g. an SL chain leaves
+// only the |touched|+1 suffixes). The engine enumerates reachable states
+// breadth-first by cardinality, walks the instantaneous forwarding function
+// from every traffic source in each one, and reports the first unsafe layer
+// — which makes the witness minimum-cardinality by construction.
+//
+// Everything here is a pure function of the plan: iteration orders are
+// index-based, ties break on sorted node lists, and no clock, RNG, or hash
+// order is consulted — verdicts are byte-identical across runs and --jobs.
+#pragma once
+
+#include "verify/plan.hpp"
+#include "verify/verdict.hpp"
+
+namespace p4u::verify {
+
+struct VerifyOptions {
+  /// Reachable-state budget; exceeding it yields Unknown, never a guess.
+  std::uint64_t max_states = 1u << 20;
+};
+
+/// Enumerates the reachable lattice of `plan` and proves loop-freedom and
+/// blackhole-freedom over every state, or produces the minimized witness.
+/// Assumes a well-formed plan (verify_plan() is the checked entry point).
+Verdict analyze_lattice(const FlowPlan& plan, const VerifyOptions& opt = {});
+
+}  // namespace p4u::verify

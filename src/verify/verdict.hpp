@@ -1,0 +1,74 @@
+// Verdict of the static update-plan verifier (DESIGN.md §12).
+//
+// The verifier proves loop-freedom and blackhole-freedom over every
+// reachable transient forwarding state of one flow update. Its answer is
+// three-valued on purpose:
+//
+//   Safe     every reachable state walks clean from every traffic source;
+//   Unsafe   a reachable state contains a forwarding loop or a blackhole —
+//            the minimized witness names it;
+//   Unknown  the plan is outside the analyzable fragment (too many touched
+//            switches, malformed inputs, state budget exhausted). Unknown
+//            is an honest refusal, never a silent Safe.
+//
+// Liveness (does the update *finish*?) is deliberately out of scope: a
+// dropped dependency message stalls a plan without ever putting the data
+// plane into an inconsistent state, and the dynamic layers (InvariantMonitor,
+// the mc explorer) own that property.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+
+namespace p4u::verify {
+
+enum class VerdictKind : std::uint8_t { kSafe, kUnsafe, kUnknown };
+
+const char* to_string(VerdictKind k);
+
+/// A minimized counterexample: the smallest reachable applied-set whose
+/// instantaneous forwarding function loops or drops, plus the walk that
+/// exhibits it. Minimality: lowest cardinality first, then lexicographically
+/// smallest sorted node list — so the witness is a pure function of the plan.
+struct Witness {
+  net::FlowId flow = 0;
+  bool loop = false;                    // false = blackhole
+  std::vector<net::NodeId> applied;     // sorted switch ids (new rule active)
+  std::vector<net::NodeId> walk;        // source .. offending node
+  net::NodeId offender = net::kNoNode;  // revisited node / rule-less node
+};
+
+/// Enumeration accounting. `lattice_size` is 2^|touched| — the full
+/// transient-state lattice implied by old-or-new version monotonicity;
+/// `states_enumerated` is how many of those were reachable under the
+/// plan's ordering discipline (and actually walked); the difference is
+/// what the acceptance-condition pruning bought.
+struct LatticeStats {
+  std::size_t touched = 0;
+  std::uint64_t lattice_size = 0;
+  std::uint64_t states_enumerated = 0;
+  std::uint64_t states_pruned = 0;
+  std::uint64_t walks = 0;
+};
+
+struct Verdict {
+  VerdictKind kind = VerdictKind::kUnknown;
+  std::string reason;               // Unknown: why the verifier refused
+  std::optional<Witness> witness;   // Unsafe: the minimized bad state
+  LatticeStats stats;
+
+  [[nodiscard]] bool safe() const { return kind == VerdictKind::kSafe; }
+  [[nodiscard]] bool unsafe() const { return kind == VerdictKind::kUnsafe; }
+};
+
+/// Single-line JSON renderings (byte-stable: sorted fields, no floats) —
+/// what BENCH_verify.json rows and witness artifacts are built from.
+std::string witness_json(const Witness& w);
+std::string verdict_json(const Verdict& v);
+
+}  // namespace p4u::verify

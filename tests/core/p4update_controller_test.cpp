@@ -173,5 +173,54 @@ TEST(P4UpdateControllerTest, SuccessUfmUpdatesBelief) {
   EXPECT_FALSE(ctrl.nib().view(env.flow().id).update_in_progress);
 }
 
+TEST(P4UpdateControllerTest, PreflightCountsSafeVerdicts) {
+  Env env;
+  P4UpdateControllerParams params;
+  params.static_preflight = true;
+  auto ctrl = env.make(params);
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const p4rt::Version v =
+      ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(env.channel->metrics().counter("ctrl.preflight_safe", {}).value(),
+            1u);
+  EXPECT_EQ(
+      env.channel->metrics().counter("ctrl.preflight_unsafe", {}).value(), 0u);
+}
+
+TEST(P4UpdateControllerTest, PreflightSkipsTreeUpdatesWithCounter) {
+  Env env;
+  P4UpdateControllerParams params;
+  params.static_preflight = true;
+  auto ctrl = env.make(params);
+  net::Flow f;
+  f.ingress = 0;
+  f.egress = 0;
+  f.id = 42;
+  ctrl.register_tree(f);
+  const control::DestTree tree = control::spanning_tree_toward(
+      env.topo.graph, 0,
+      {static_cast<net::NodeId>(env.topo.graph.node_count() - 1)});
+  ctrl.schedule_tree_update(f.id, tree);
+  EXPECT_EQ(
+      env.channel->metrics().counter("ctrl.preflight_skipped", {}).value(),
+      1u);
+}
+
+TEST(P4UpdateControllerTest, EnforceFlagIsInertOnSafePlans) {
+  // P4Update's own plans verify Safe on this topology, so enforcement must
+  // not interfere with a normal dispatch.
+  Env env;
+  P4UpdateControllerParams params;
+  params.static_preflight = true;
+  params.enforce_preflight = true;
+  auto ctrl = env.make(params);
+  ctrl.register_flow(env.flow(), env.topo.old_path);
+  const p4rt::Version v =
+      ctrl.schedule_update(env.flow().id, env.topo.new_path);
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(ctrl.nib().view(env.flow().id).update_in_progress);
+}
+
 }  // namespace
 }  // namespace p4u::core

@@ -171,6 +171,19 @@ TEST(BenchCliTest, McFlagsParseWhenEnabled) {
   EXPECT_EQ(rc.cli.replay_path, "/tmp/cex.json");
 }
 
+TEST(BenchCliTest, StaticVerifyFlagRequiresOptIn) {
+  BenchCliSpec spec = full_spec();
+  spec.with_static_verify = true;
+  Argv a({"bench", "--static-verify"});
+  const BenchCliResult r = parse_bench_cli(a.argc, a.data(), spec);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.cli.static_verify);
+
+  Argv b({"bench", "--static-verify"});
+  const BenchCliResult rb = parse_bench_cli(b.argc, b.data(), full_spec());
+  EXPECT_NE(rb.error.find("unknown"), std::string::npos) << rb.error;
+}
+
 TEST(BenchCliTest, McFlagsAreUnknownWithoutOptIn) {
   // Benches that never registered the model-checking flags must reject
   // them like any other typo.

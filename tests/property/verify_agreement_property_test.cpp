@@ -1,0 +1,263 @@
+// Property: the static update-plan verifier (DESIGN.md §12) agrees with the
+// dynamic layer on both of its coverage fronts:
+//
+//   1. InvariantMonitor: across a seeded fat-tree campaign, every update a
+//      system executes cleanly must verify Safe statically, and no static
+//      Safe verdict may coexist with an observed loop/blackhole.
+//   2. Explorer exhaustion: on the four bench/mc smoke cells, the static
+//      verdict must agree with the exhaustive exploration outcome — the
+//      zero-false-Safe acceptance gate of the subsystem. The ez-Segway
+//      1-drop counterexample cell fails for liveness only (a lost
+//      dependency message wedges the update without ever misforwarding),
+//      which is outside the verifier's scope: Safe agrees.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/scenario.hpp"
+#include "harness/static_check.hpp"
+#include "net/fattree.hpp"
+#include "net/paths.hpp"
+#include "sim/explorer.hpp"
+#include "verify/verifier.hpp"
+
+namespace p4u::harness {
+namespace {
+
+constexpr SystemKind kSystems[] = {SystemKind::kP4Update,
+                                   SystemKind::kEzSegway,
+                                   SystemKind::kCentral};
+
+struct RandomPaths {
+  net::Path old_path;
+  net::Path new_path;
+};
+
+std::optional<RandomPaths> random_path_pair(const net::Graph& g,
+                                            sim::Rng& rng) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const auto src = static_cast<net::NodeId>(rng.uniform(g.node_count()));
+    const auto dst = static_cast<net::NodeId>(rng.uniform(g.node_count()));
+    if (src == dst) continue;
+    const auto ks = net::k_shortest_paths(g, src, dst, 4, net::Metric::kHops);
+    if (ks.size() < 2) continue;
+    const std::size_t a = rng.uniform(ks.size());
+    std::size_t b = rng.uniform(ks.size());
+    if (a == b) b = (b + 1) % ks.size();
+    return RandomPaths{ks[a], ks[b]};
+  }
+  return std::nullopt;
+}
+
+// ---- front 1: InvariantMonitor agreement on a fat-tree campaign ----
+
+class MonitorAgreementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorAgreementProperty, StaticVerdictMatchesMonitor) {
+  const int seed = GetParam();
+  const net::Graph g = net::fattree_topology(4).graph;
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 48611 + 3);
+  const auto paths = random_path_pair(g, rng);
+  ASSERT_TRUE(paths.has_value());
+
+  for (SystemKind system : kSystems) {
+    StaticCheckCase sc;
+    sc.system = system;
+    sc.believed_old = paths->old_path;  // truthful NIB in this campaign
+    sc.new_path = paths->new_path;
+    sc.flow = net::flow_id_of(paths->old_path.front(),
+                              paths->old_path.back());
+    const verify::Verdict verdict = static_verdict(sc);
+
+    TestBedParams params;
+    params.system = system;
+    params.seed = static_cast<std::uint64_t>(seed);
+    TestBed bed(g, params);
+    net::Flow f;
+    f.ingress = paths->old_path.front();
+    f.egress = paths->old_path.back();
+    f.id = sc.flow;
+    f.size = 1.0;
+    bed.deploy_flow(f, paths->old_path);
+    bed.schedule_update_at(sim::milliseconds(10), f.id, paths->new_path);
+    bed.run();
+
+    const auto& viol = bed.monitor().violations();
+    DynamicOutcome dynamic = DynamicOutcome::kClean;
+    if (viol.loops > 0 || viol.blackholes > 0) {
+      dynamic = DynamicOutcome::kLoopOrBlackhole;
+    } else if (!bed.flow_db().all_terminal()) {
+      dynamic = DynamicOutcome::kLivenessOnly;
+    }
+    EXPECT_TRUE(verdicts_agree(verdict, dynamic))
+        << to_string(system) << " static " << verify::to_string(verdict.kind)
+        << " (" << verdict.reason << ") vs dynamic loops=" << viol.loops
+        << " blackholes=" << viol.blackholes
+        << " old: " << ::testing::PrintToString(paths->old_path)
+        << " new: " << ::testing::PrintToString(paths->new_path);
+    // Fault-free truthful-NIB reroutes are exactly the regime every
+    // discipline was designed for: the verifier must prove them, not
+    // refuse them.
+    EXPECT_TRUE(verdict.safe())
+        << to_string(system) << ": " << verify::to_string(verdict.kind)
+        << " (" << verdict.reason << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FatTreeSeeds, MonitorAgreementProperty,
+                         ::testing::Range(0, 24));
+
+// ---- front 2: Explorer-exhaustion agreement on the mc smoke cells ----
+
+/// Mirror of the bench/mc smoke table (kept in sync by the cross-check in
+/// `mc --static-verify`, which runs the real table).
+struct McCell {
+  const char* slug;
+  bool triangle;  // false = 2-switch pair graph
+  std::vector<std::pair<net::Path, net::Path>> flows;
+  double ctrl_drop = 0.0;
+  std::uint64_t max_faults = 0;
+  bool ctrl_recovery = true;
+};
+
+std::vector<McCell> smoke_cells() {
+  return {
+      {"mc_2sw_2flow",
+       false,
+       {{{0, 1}, {0, 1}}, {{1, 0}, {1, 0}}},
+       0.05,
+       1,
+       true},
+      {"mc_3sw_2flow", true, {{{0, 1, 2}, {0, 2}}, {{2, 1, 0}, {2, 0}}}},
+      {"mc_3sw_2flow_drop",
+       true,
+       {{{0, 1, 2}, {0, 2}}, {{2, 1, 0}, {2, 0}}},
+       0.05,
+       1,
+       true},
+      {"mc_3sw_2flow_local",
+       true,
+       {{{0, 1, 2}, {0, 2}}, {{2, 1, 0}, {2, 0}}},
+       0.05,
+       1,
+       false},
+  };
+}
+
+net::Graph cell_graph(const McCell& cell) {
+  net::Graph g;
+  g.add_node("v0");
+  g.add_node("v1");
+  if (cell.triangle) {
+    g.add_node("v2");
+    g.add_link(0, 1, sim::milliseconds(1));
+    g.add_link(1, 2, sim::milliseconds(1));
+    g.add_link(0, 2, sim::milliseconds(1));
+  } else {
+    g.add_link(0, 1, sim::milliseconds(1));
+  }
+  return g;
+}
+
+sim::Explorer::Verdict run_cell(const net::Graph& g, const McCell& cell,
+                                SystemKind kind,
+                                sim::ScheduleStrategy& strategy) {
+  TestBedParams params;
+  params.system = kind;
+  params.seed = 1;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  params.ctrl_latency_model = CtrlLatencyModel::kFixed;
+  params.fixed_ctrl_latency = sim::milliseconds(5);
+  params.ctrl_send_service = 0;
+  params.switch_params.straggler_mean_ms = 0.0;
+  params.fault_plan.model.control_drop_prob = cell.ctrl_drop;
+  params.recovery.enabled = cell.ctrl_recovery;
+  params.enable_retrigger = true;
+  params.p4u_wait_timeout = sim::milliseconds(500);
+  params.p4u_uim_watchdog = sim::milliseconds(500);
+  params.strategy = &strategy;
+  TestBed bed(g, params);
+
+  for (const auto& [old_path, new_path] : cell.flows) {
+    net::Flow f;
+    f.ingress = old_path.front();
+    f.egress = old_path.back();
+    f.id = net::flow_id_of(f.ingress, f.egress);
+    f.size = 1.0;
+    bed.deploy_flow(f, old_path);
+  }
+  for (const auto& [old_path, new_path] : cell.flows) {
+    bed.schedule_update_at(sim::milliseconds(1),
+                           net::flow_id_of(old_path.front(), old_path.back()),
+                           new_path);
+  }
+  bed.run(sim::seconds(300));
+
+  sim::Explorer::Verdict v;
+  const auto& viol = bed.monitor().violations();
+  if (viol.loops > 0) {
+    v.ok = false;
+    v.failure = "forwarding loop";
+  } else if (viol.blackholes > 0) {
+    v.ok = false;
+    v.failure = "blackhole";
+  } else if (!bed.flow_db().all_terminal()) {
+    v.ok = false;
+    v.failure = "liveness: update(s) never reached a terminal outcome";
+  }
+  return v;
+}
+
+TEST(ExplorerAgreementProperty, StaticVerdictMatchesExhaustionOnSmokeCells) {
+  bool saw_liveness_failure = false;
+  for (const McCell& cell : smoke_cells()) {
+    const net::Graph g = cell_graph(cell);
+    for (SystemKind system : kSystems) {
+      sim::ExplorerOptions opt;
+      opt.max_faults = cell.max_faults;
+      opt.max_runs = 4'000'000;
+      std::string first_failure;
+      sim::Explorer explorer(
+          [&](sim::ScheduleStrategy& s) {
+            return run_cell(g, cell, system, s);
+          },
+          opt);
+      explorer.set_failure_handler(
+          [&](const sim::Schedule&, const std::string& what) {
+            if (first_failure.empty()) first_failure = what;
+          });
+      const sim::ExplorerStats stats = explorer.explore();
+      ASSERT_TRUE(stats.exhausted)
+          << cell.slug << "/" << to_string(system)
+          << ": agreement is only meaningful against a complete search";
+
+      std::vector<verify::FlowPlan> plans;
+      for (const auto& [old_path, new_path] : cell.flows) {
+        StaticCheckCase sc;
+        sc.system = system;
+        sc.flow = net::flow_id_of(old_path.front(), old_path.back());
+        sc.believed_old = old_path;
+        sc.new_path = new_path;
+        plans.push_back(build_static_plan(sc));
+      }
+      const verify::BatchResult batch = verify::verify_batch(plans);
+      const DynamicOutcome dynamic =
+          classify_dynamic(stats.failures > 0, first_failure);
+      if (dynamic == DynamicOutcome::kLivenessOnly) {
+        saw_liveness_failure = true;
+      }
+      EXPECT_TRUE(verdicts_agree(batch.overall, dynamic))
+          << cell.slug << "/" << to_string(system) << ": static "
+          << verify::to_string(batch.overall.kind) << " vs dynamic failures="
+          << stats.failures << " (" << first_failure << ")";
+    }
+  }
+  // The table's known counterexample — ez-Segway wedging on the 1-drop
+  // recovery-off cell — must have been classified as liveness-only; if it
+  // disappears, the cell no longer tests the out-of-scope boundary.
+  EXPECT_TRUE(saw_liveness_failure);
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,188 @@
+// Transient-state lattice engine tests, pinning the hand-verified verdict
+// matrix: Fig. 2 (misinformed NIB) is Unsafe for ez-Segway and Central but
+// Safe for P4Update; Fig. 4 u2 (backward segments) is Safe for all three.
+#include "verify/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "verify/plan.hpp"
+
+namespace p4u::verify {
+namespace {
+
+net::Path P(std::initializer_list<net::NodeId> nodes) { return nodes; }
+
+PlanInputs fig2_inputs() {
+  // Believed old path skips node 3, which in the data plane still forwards
+  // to 4 on the actual old path; the new path routes through 3 early.
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 4});
+  in.actual_from = P({0, 1, 2, 3, 4});
+  in.new_path = P({0, 3, 1, 2, 4});
+  return in;
+}
+
+PlanInputs fig4_u2_inputs() {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4, 5});
+  in.new_path = P({0, 2, 1, 4, 3, 5});
+  return in;
+}
+
+TEST(Lattice, SuffixChainEnumeratesExactlyChainPrefixes) {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4});
+  in.new_path = P({0, 2, 4});
+  FlowPlan plan = plan_p4update(in, 5, p4rt::UpdateType::kSingleLayer);
+  Verdict v = analyze_lattice(plan);
+  EXPECT_TRUE(v.safe()) << v.reason;
+  // A length-n chain admits exactly n+1 reachable states.
+  EXPECT_EQ(v.stats.states_enumerated, plan.touched.size() + 1);
+  EXPECT_EQ(v.stats.lattice_size, 1ull << plan.touched.size());
+  EXPECT_EQ(v.stats.states_pruned,
+            v.stats.lattice_size - v.stats.states_enumerated);
+}
+
+TEST(Lattice, Fig2MisinformedP4UpdateStaysSafe) {
+  // SL relabels the whole new path as a suffix chain; every prefix of the
+  // chain forwards cleanly even against the ACTUAL (believed-wrong) rules.
+  Verdict v = analyze_lattice(plan_p4update(fig2_inputs()));
+  EXPECT_TRUE(v.safe()) << v.reason;
+}
+
+TEST(Lattice, Fig2MisinformedEzSegwayLoopsWithMinimalWitness) {
+  Verdict v = analyze_lattice(plan_ezsegway(fig2_inputs()));
+  ASSERT_TRUE(v.unsafe());
+  ASSERT_TRUE(v.witness.has_value());
+  const Witness& w = *v.witness;
+  EXPECT_TRUE(w.loop);
+  // Minimal bad state: only node 3 has applied (3 -> 1 while 2 -> 3 holds).
+  EXPECT_EQ(w.applied, (std::vector<net::NodeId>{3}));
+  EXPECT_EQ(w.walk, (std::vector<net::NodeId>{0, 1, 2, 3, 1}));
+}
+
+TEST(Lattice, Fig2MisinformedCentralLoopsDespiteRounds) {
+  // The believed-safe rounds dispatch 3 alone in round 1, reaching the
+  // same single-node loop state as ez-Segway.
+  Verdict v = analyze_lattice(plan_central(fig2_inputs()));
+  ASSERT_TRUE(v.unsafe());
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_TRUE(v.witness->loop);
+  EXPECT_EQ(v.witness->applied, (std::vector<net::NodeId>{3}));
+}
+
+TEST(Lattice, Fig4BackwardSegmentsSafeForAllThreeDisciplines) {
+  EXPECT_TRUE(analyze_lattice(plan_p4update(fig4_u2_inputs())).safe());
+  EXPECT_TRUE(analyze_lattice(plan_ezsegway(fig4_u2_inputs())).safe());
+  EXPECT_TRUE(analyze_lattice(plan_central(fig4_u2_inputs())).safe());
+}
+
+TEST(Lattice, DualLayerGuardBlocksPrematureGateway) {
+  // In the Fig. 4 plan the state {node 2 applied, node 1 not} would loop
+  // (2 -> 1 -> 2); the DL distance condition makes it unreachable, which
+  // shows up as pruning: strictly fewer states than the full hypercube.
+  FlowPlan plan = plan_p4update(fig4_u2_inputs());
+  ASSERT_EQ(plan.discipline, Discipline::kVerifiedDual);
+  Verdict v = analyze_lattice(plan);
+  EXPECT_TRUE(v.safe()) << v.reason;
+  EXPECT_LT(v.stats.states_enumerated, v.stats.lattice_size);
+  EXPECT_GT(v.stats.states_pruned, 0u);
+}
+
+TEST(Lattice, UnorderedPlanFindsBlackholeWitness) {
+  // A fresh deploy with no ordering at all: touched nodes may apply in any
+  // order, and a packet entering at the ingress before the egress rule
+  // lands hits a switch with no rule at all.
+  FlowPlan plan;
+  plan.flow = 3;
+  plan.discipline = Discipline::kVerifiedChain;
+  TouchedNode a;
+  a.node = 0;
+  a.new_next = 1;
+  TouchedNode b;
+  b.node = 1;
+  b.new_next = net::kNoNode;
+  plan.touched = {a, b};  // no prereqs: fully unordered
+  plan.sources = {0};
+  Verdict v = analyze_lattice(plan);
+  ASSERT_TRUE(v.unsafe());
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(v.witness->loop);
+  EXPECT_EQ(v.witness->applied, (std::vector<net::NodeId>{0}));
+  EXPECT_EQ(v.witness->offender, 1);
+}
+
+TEST(Lattice, WitnessIsMinimumCardinality) {
+  // Three unordered nodes where only the full {0,1,2} prefix is safe;
+  // BFS by cardinality must report a 1-node witness, not a 2-node one.
+  FlowPlan plan;
+  plan.discipline = Discipline::kVerifiedChain;
+  for (net::NodeId id : {0, 1, 2}) {
+    TouchedNode t;
+    t.node = id;
+    t.new_next = id == 2 ? net::kNoNode : id + 1;
+    plan.touched.push_back(t);
+  }
+  plan.sources = {0};
+  Verdict v = analyze_lattice(plan);
+  ASSERT_TRUE(v.unsafe());
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_EQ(v.witness->applied.size(), 1u);
+  // Lexicographic tie-break across equal-cardinality bad states.
+  EXPECT_EQ(v.witness->applied, (std::vector<net::NodeId>{0}));
+}
+
+TEST(Lattice, TooManySwitchesIsUnknown) {
+  FlowPlan plan;
+  plan.discipline = Discipline::kVerifiedChain;
+  for (net::NodeId id = 0; id < 64; ++id) {
+    TouchedNode t;
+    t.node = id;
+    t.new_next = id == 63 ? net::kNoNode : id + 1;
+    plan.touched.push_back(t);
+  }
+  plan.sources = {0};
+  Verdict v = analyze_lattice(plan);
+  EXPECT_EQ(v.kind, VerdictKind::kUnknown);
+  EXPECT_NE(v.reason.find("63"), std::string::npos);
+}
+
+TEST(Lattice, StateBudgetExhaustionIsUnknown) {
+  // 20 unordered safe nodes = 2^20 reachable states; a tiny budget must
+  // produce an honest Unknown, never a truncated Safe.
+  FlowPlan plan;
+  plan.discipline = Discipline::kVerifiedChain;
+  for (net::NodeId id = 0; id < 20; ++id) {
+    TouchedNode t;
+    t.node = id;
+    t.new_next = net::kNoNode;  // every node delivers locally: always safe
+    plan.touched.push_back(t);
+  }
+  plan.sources = {0};
+  VerifyOptions opt;
+  opt.max_states = 64;
+  Verdict v = analyze_lattice(plan, opt);
+  EXPECT_EQ(v.kind, VerdictKind::kUnknown);
+  EXPECT_NE(v.reason.find("budget"), std::string::npos);
+}
+
+TEST(Lattice, RoundBarrierReachabilityIsPrefixPlusSubset) {
+  // Two rounds of two nodes each: reachable = subsets of round 1, plus
+  // (round 1 complete) x subsets of round 2 = 4 + 3 = 7 states.
+  FlowPlan plan;
+  plan.discipline = Discipline::kRoundBarriers;
+  for (net::NodeId id = 0; id < 4; ++id) {
+    TouchedNode t;
+    t.node = id;
+    t.new_next = net::kNoNode;
+    plan.touched.push_back(t);
+  }
+  plan.rounds = {{0, 1}, {2, 3}};
+  plan.sources = {0};
+  Verdict v = analyze_lattice(plan);
+  EXPECT_TRUE(v.safe());
+  EXPECT_EQ(v.stats.states_enumerated, 7u);
+}
+
+}  // namespace
+}  // namespace p4u::verify

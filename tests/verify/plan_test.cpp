@@ -1,0 +1,185 @@
+// Plan-builder tests: each builder must mirror its controller's prepare
+// logic — touched sets, chain/wait edges, segment roles, and rounds.
+#include "verify/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace p4u::verify {
+namespace {
+
+net::Path P(std::initializer_list<net::NodeId> nodes) { return nodes; }
+
+const TouchedNode& touched_for(const FlowPlan& plan, net::NodeId node) {
+  auto it = std::find_if(plan.touched.begin(), plan.touched.end(),
+                         [&](const TouchedNode& t) { return t.node == node; });
+  EXPECT_NE(it, plan.touched.end()) << "node " << node << " not touched";
+  return *it;
+}
+
+std::int32_t index_for(const FlowPlan& plan, net::NodeId node) {
+  for (std::size_t i = 0; i < plan.touched.size(); ++i) {
+    if (plan.touched[i].node == node) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+TEST(PlanP4Update, SingleLayerIsSuffixChainOverNewPath) {
+  PlanInputs in;
+  in.flow = 7;
+  in.believed_old = P({0, 1, 2});
+  in.new_path = P({0, 2});
+  FlowPlan plan = plan_p4update(in);
+  EXPECT_EQ(plan.discipline, Discipline::kVerifiedChain);
+  ASSERT_EQ(plan.touched.size(), 2u);
+  // Ingress waits for the egress (its P_n successor).
+  EXPECT_EQ(plan.touched[0].node, 0);
+  ASSERT_EQ(plan.touched[0].prereqs.size(), 1u);
+  EXPECT_EQ(plan.touched[0].prereqs[0], 1);
+  EXPECT_TRUE(plan.touched[1].prereqs.empty());
+  // Egress rule is local delivery.
+  EXPECT_EQ(plan.touched[1].new_next, net::kNoNode);
+  // Old rules follow the believed path when no actual is given.
+  ASSERT_EQ(plan.old_rules.size(), 3u);
+  EXPECT_EQ(plan.old_rules[0], std::make_pair(net::NodeId{0}, net::NodeId{1}));
+}
+
+TEST(PlanP4Update, BackwardSegmentsChooseDualLayer) {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4, 5});
+  in.new_path = P({0, 2, 1, 4, 3, 5});
+  FlowPlan plan = plan_p4update(in);
+  EXPECT_EQ(plan.discipline, Discipline::kVerifiedDual);
+  // Every node of this reroute is a gateway; 2, 1, 4, 3 and 5 close
+  // segments, so they carry the segment-egress role.
+  EXPECT_TRUE(touched_for(plan, 2).seg_egress);
+  EXPECT_TRUE(touched_for(plan, 1).seg_egress);
+  EXPECT_FALSE(touched_for(plan, 0).seg_egress);
+  // From-distances come from the (here truthful) old path.
+  EXPECT_EQ(touched_for(plan, 0).d_from, 5);
+  EXPECT_EQ(touched_for(plan, 5).d_from, 0);
+}
+
+TEST(PlanP4Update, ForceTypeOverridesStrategy) {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4, 5});
+  in.new_path = P({0, 2, 1, 4, 3, 5});
+  FlowPlan plan = plan_p4update(in, 5, p4rt::UpdateType::kSingleLayer);
+  EXPECT_EQ(plan.discipline, Discipline::kVerifiedChain);
+}
+
+TEST(PlanP4Update, FreshDeployHasNoOldRules) {
+  PlanInputs in;
+  in.new_path = P({0, 1, 2});
+  FlowPlan plan = plan_p4update(in);
+  EXPECT_EQ(plan.discipline, Discipline::kVerifiedChain);
+  EXPECT_TRUE(plan.old_rules.empty());
+  EXPECT_EQ(plan.touched.size(), 3u);
+}
+
+TEST(PlanEzSegway, MisinformedFig2ChainOrder) {
+  // Fig. 2: the controller believes {0,1,2,4} while the data plane still
+  // forwards {0,1,2,3,4}; the new path is {0,3,1,2,4}. The believed
+  // segmentation has one non-trivial forward segment [0,3,1]: node 3
+  // installs first (bottom of the chain), then node 0.
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 4});
+  in.actual_from = P({0, 1, 2, 3, 4});
+  in.new_path = P({0, 3, 1, 2, 4});
+  FlowPlan plan = plan_ezsegway(in);
+  EXPECT_EQ(plan.discipline, Discipline::kCausalSegments);
+  ASSERT_EQ(plan.touched.size(), 2u);
+  const TouchedNode& n0 = touched_for(plan, 0);
+  const TouchedNode& n3 = touched_for(plan, 3);
+  EXPECT_EQ(n0.new_next, 3);
+  EXPECT_EQ(n3.new_next, 1);
+  // 0 waits for 3; 3 starts immediately (forward segment).
+  ASSERT_EQ(n0.prereqs.size(), 1u);
+  EXPECT_EQ(n0.prereqs[0], index_for(plan, 3));
+  EXPECT_TRUE(n3.prereqs.empty());
+  // Old rules reflect the ACTUAL path: node 3 really forwards to 4.
+  EXPECT_EQ(n3.d_from, 1);
+}
+
+TEST(PlanEzSegway, BackwardSegmentWaitsForDownstreamTops) {
+  // Fig. 4 u2 reroute: segments [2,1] and [4,3] are backward; the chain
+  // start of [2,1] (node 2's install) must wait for the tops of every
+  // non-trivial downstream segment (nodes 1, 4 and 3).
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4, 5});
+  in.new_path = P({0, 2, 1, 4, 3, 5});
+  FlowPlan plan = plan_ezsegway(in);
+  const TouchedNode& n2 = touched_for(plan, 2);
+  std::vector<net::NodeId> waited;
+  for (std::int32_t p : n2.prereqs) {
+    waited.push_back(plan.touched[static_cast<std::size_t>(p)].node);
+  }
+  std::sort(waited.begin(), waited.end());
+  EXPECT_EQ(waited, (std::vector<net::NodeId>{1, 3, 4}));
+  // Forward segment [0,2]: node 0 installs without waiting.
+  EXPECT_TRUE(touched_for(plan, 0).prereqs.empty());
+}
+
+TEST(PlanCentral, RoundsFollowAckBarriers) {
+  // Fig. 4 u2: the believed-safe rounds are {3,1,0} then {4,2} — node 4
+  // cannot go in round 1 (2-hop walk back to it), node 2 waits for 1.
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 3, 4, 5});
+  in.new_path = P({0, 2, 1, 4, 3, 5});
+  FlowPlan plan = plan_central(in);
+  EXPECT_EQ(plan.discipline, Discipline::kRoundBarriers);
+  ASSERT_EQ(plan.rounds.size(), 2u);
+  auto nodes_of = [&](const std::vector<std::int32_t>& round) {
+    std::vector<net::NodeId> out;
+    for (std::int32_t i : round) {
+      out.push_back(plan.touched[static_cast<std::size_t>(i)].node);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(nodes_of(plan.rounds[0]), (std::vector<net::NodeId>{0, 1, 3}));
+  EXPECT_EQ(nodes_of(plan.rounds[1]), (std::vector<net::NodeId>{2, 4}));
+}
+
+TEST(PlanCentral, MisinformedFig2SerializesFreshNodeFirst) {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2, 4});
+  in.actual_from = P({0, 1, 2, 3, 4});
+  in.new_path = P({0, 3, 1, 2, 4});
+  FlowPlan plan = plan_central(in);
+  // Believed-pending = {0, 3}; 0's new next hop (3) holds no believed rule,
+  // so 3 must ack before 0 is dispatched.
+  ASSERT_EQ(plan.rounds.size(), 2u);
+  EXPECT_EQ(plan.touched[static_cast<std::size_t>(plan.rounds[0][0])].node, 3);
+  EXPECT_EQ(plan.touched[static_cast<std::size_t>(plan.rounds[1][0])].node, 0);
+}
+
+TEST(PlanTree, ParentBeforeChildWithBothTreesWalked) {
+  // Old tree: 1 -> 0 <- 2 rooted at 0; new tree swings 2 under 1.
+  control::DestTree old_tree;
+  old_tree.root = 0;
+  old_tree.parent = {0, 0, 0};
+  control::DestTree new_tree;
+  new_tree.root = 0;
+  new_tree.parent = {0, 0, 1};
+  FlowPlan plan = plan_tree(9, old_tree, new_tree);
+  EXPECT_EQ(plan.discipline, Discipline::kVerifiedTree);
+  ASSERT_EQ(plan.touched.size(), 3u);
+  const TouchedNode& n2 = touched_for(plan, 2);
+  ASSERT_EQ(n2.prereqs.size(), 1u);
+  EXPECT_EQ(plan.touched[static_cast<std::size_t>(n2.prereqs[0])].node, 1);
+  // Every member is a traffic source.
+  EXPECT_EQ(plan.sources, (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(PlanBuilders, RejectDegeneratePaths) {
+  PlanInputs in;
+  in.believed_old = P({0});
+  in.new_path = P({0, 1});
+  EXPECT_THROW(plan_ezsegway(in), std::invalid_argument);
+  EXPECT_THROW(plan_central(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4u::verify

@@ -1,0 +1,142 @@
+// Front-door tests: well-formedness refusals, batch folding, JSON shape,
+// and the harness agreement semantics used by the mc cross-check.
+#include "verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/static_check.hpp"
+#include "verify/plan.hpp"
+
+namespace p4u::verify {
+namespace {
+
+net::Path P(std::initializer_list<net::NodeId> nodes) { return nodes; }
+
+FlowPlan trivial_safe_plan() {
+  PlanInputs in;
+  in.believed_old = P({0, 1, 2});
+  in.new_path = P({0, 2});
+  return plan_p4update(in);
+}
+
+TEST(Verifier, MalformedPlansRefuseWithReason) {
+  FlowPlan plan = trivial_safe_plan();
+  plan.touched[0].prereqs = {42};
+  Verdict v = verify_plan(plan);
+  EXPECT_EQ(v.kind, VerdictKind::kUnknown);
+  EXPECT_EQ(v.reason, "prereq index out of range");
+
+  plan = trivial_safe_plan();
+  plan.touched[1].node = plan.touched[0].node;
+  EXPECT_EQ(verify_plan(plan).reason, "duplicate touched node");
+
+  plan = trivial_safe_plan();
+  plan.sources.clear();
+  EXPECT_EQ(verify_plan(plan).reason, "plan has no traffic sources");
+
+  plan = trivial_safe_plan();
+  plan.rounds = {{0, 9}};
+  EXPECT_EQ(verify_plan(plan).reason, "round index out of range");
+}
+
+TEST(Verifier, BatchFoldsToWorstVerdictAndSumsStats) {
+  PlanInputs bad;
+  bad.believed_old = P({0, 1, 2, 4});
+  bad.actual_from = P({0, 1, 2, 3, 4});
+  bad.new_path = P({0, 3, 1, 2, 4});
+  std::vector<FlowPlan> plans = {trivial_safe_plan(), plan_ezsegway(bad)};
+  plans[1].flow = 5;
+  BatchResult r = verify_batch(plans);
+  EXPECT_TRUE(r.overall.unsafe());
+  ASSERT_EQ(r.per_flow.size(), 2u);
+  EXPECT_TRUE(r.per_flow[0].second.safe());
+  EXPECT_TRUE(r.per_flow[1].second.unsafe());
+  ASSERT_TRUE(r.overall.witness.has_value());
+  EXPECT_EQ(r.overall.witness->flow, 5u);
+  EXPECT_EQ(r.overall.stats.walks, r.per_flow[0].second.stats.walks +
+                                       r.per_flow[1].second.stats.walks);
+}
+
+TEST(Verifier, JsonIsByteStableAcrossRepeatedCalls) {
+  PlanInputs bad;
+  bad.believed_old = P({0, 1, 2, 4});
+  bad.actual_from = P({0, 1, 2, 3, 4});
+  bad.new_path = P({0, 3, 1, 2, 4});
+  Verdict v1 = verify_plan(plan_ezsegway(bad));
+  Verdict v2 = verify_plan(plan_ezsegway(bad));
+  ASSERT_TRUE(v1.unsafe());
+  EXPECT_EQ(verdict_json(v1), verdict_json(v2));
+  ASSERT_TRUE(v1.witness.has_value());
+  const std::string w = witness_json(*v1.witness);
+  EXPECT_NE(w.find("\"kind\":\"loop\""), std::string::npos);
+  EXPECT_NE(w.find("\"applied\":[3]"), std::string::npos);
+  EXPECT_NE(w.find("\"walk\":[0,1,2,3,1]"), std::string::npos);
+}
+
+TEST(StaticCheck, SystemKindSelectsDiscipline) {
+  harness::StaticCheckCase c;
+  c.believed_old = P({0, 1, 2});
+  c.new_path = P({0, 2});
+  c.system = harness::SystemKind::kP4Update;
+  EXPECT_EQ(harness::build_static_plan(c).discipline,
+            Discipline::kVerifiedChain);
+  c.system = harness::SystemKind::kEzSegway;
+  EXPECT_EQ(harness::build_static_plan(c).discipline,
+            Discipline::kCausalSegments);
+  c.system = harness::SystemKind::kCentral;
+  EXPECT_EQ(harness::build_static_plan(c).discipline,
+            Discipline::kRoundBarriers);
+}
+
+TEST(StaticCheck, AgreementSemantics) {
+  using harness::DynamicOutcome;
+  using harness::classify_dynamic;
+  using harness::verdicts_agree;
+
+  EXPECT_EQ(classify_dynamic(false, ""), DynamicOutcome::kClean);
+  EXPECT_EQ(classify_dynamic(
+                true, "liveness: 1 update(s) never reached a terminal outcome"),
+            DynamicOutcome::kLivenessOnly);
+  EXPECT_EQ(classify_dynamic(true, "forwarding loop at node 3"),
+            DynamicOutcome::kLoopOrBlackhole);
+
+  Verdict safe;
+  safe.kind = VerdictKind::kSafe;
+  Verdict unsafe_v;
+  unsafe_v.kind = VerdictKind::kUnsafe;
+  Verdict unknown;
+  unknown.kind = VerdictKind::kUnknown;
+
+  EXPECT_TRUE(verdicts_agree(safe, DynamicOutcome::kClean));
+  EXPECT_TRUE(verdicts_agree(safe, DynamicOutcome::kLivenessOnly));
+  EXPECT_FALSE(verdicts_agree(safe, DynamicOutcome::kLoopOrBlackhole));
+  EXPECT_TRUE(verdicts_agree(unsafe_v, DynamicOutcome::kLoopOrBlackhole));
+  EXPECT_FALSE(verdicts_agree(unsafe_v, DynamicOutcome::kClean));
+  EXPECT_TRUE(verdicts_agree(unknown, DynamicOutcome::kClean));
+  EXPECT_TRUE(verdicts_agree(unknown, DynamicOutcome::kLoopOrBlackhole));
+}
+
+TEST(StaticCheck, TruthfulMcStyleCasesAreSafeForAllSystems) {
+  // The mc smoke cells reroute {0,1,2} -> {0,2} (and the reverse flow);
+  // with a truthful NIB all three disciplines verify Safe, matching the
+  // Explorer's exhaustive result.
+  for (auto system : {harness::SystemKind::kP4Update,
+                      harness::SystemKind::kEzSegway,
+                      harness::SystemKind::kCentral}) {
+    harness::StaticCheckCase c;
+    c.system = system;
+    c.believed_old = P({0, 1, 2});
+    c.new_path = P({0, 2});
+    Verdict v = harness::static_verdict(c);
+    EXPECT_TRUE(v.safe()) << "system " << static_cast<int>(system) << ": "
+                          << v.reason;
+    harness::StaticCheckCase rev;
+    rev.system = system;
+    rev.believed_old = P({2, 1, 0});
+    rev.new_path = P({2, 0});
+    EXPECT_TRUE(harness::static_verdict(rev).safe());
+  }
+}
+
+}  // namespace
+}  // namespace p4u::verify

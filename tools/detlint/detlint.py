@@ -19,6 +19,13 @@ checker bans them:
                   accumulation makes output depend on insertion history
                   and platform hash seeds; iterate a sorted view instead,
                   or annotate why the order cannot escape.
+  inlinefn-capture  default-by-reference lambda captures ([&] / [&, ...])
+                  passed to schedule_at/schedule_in in campaign-critical
+                  code. A deferred event body runs long after the enclosing
+                  scope returned; a blanket &-capture silently keeps
+                  references to locals that may be dead by fire time.
+                  Capture what the event needs explicitly (by value, or by
+                  reference to objects that provably outlive the queue).
 
 Suppressions: a finding is allowed by an inline annotation on the same
 line or the line directly above:
@@ -50,7 +57,8 @@ DEFAULT_PATHS = ("src", "bench", "examples", "tests")
 DEFAULT_CRITICAL = ("src",)
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
-RULES = ("wall-clock", "raw-rand", "env-read", "unordered-iter")
+RULES = ("wall-clock", "raw-rand", "env-read", "unordered-iter",
+         "inlinefn-capture")
 
 # Patterns are matched against comment- and string-stripped lines.
 LINE_RULES = {
@@ -77,6 +85,9 @@ SUPPRESS_RE = re.compile(
 UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_(?:map|set)\s*<")
 FOR_RE = re.compile(r"\bfor\s*\(")
 BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\(")
+SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:at|in)\s*\(")
+# A lambda introducer whose first capture is a bare '&': [&] or [&, ...].
+DEFAULT_REF_CAPTURE_RE = re.compile(r"\[\s*&\s*[,\]]")
 
 
 @dataclass
@@ -196,6 +207,57 @@ def balanced_angle_span(text: str, open_idx: int) -> int:
                 return i + 1
         i += 1
     return len(text)
+
+
+def balanced_paren_span(text: str, open_idx: int) -> int:
+    """Given index of '(', returns index just past the matching ')'."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(text)
+
+
+def inlinefn_findings(rel: str, clean_lines: list[str]) -> list[Finding]:
+    """Default-by-reference lambda captures passed directly to
+    schedule_at/schedule_in. The call's argument span is parsed with
+    balanced parentheses, so multi-line lambdas are covered. Only captures
+    at the call's own argument depth are flagged: a [&] inside a nested
+    call (or inside the event body itself) runs synchronously within its
+    enclosing scope and is out of scope for this rule."""
+    out = []
+    clean_text = "\n".join(clean_lines)
+    for m in SCHEDULE_CALL_RE.finditer(clean_text):
+        open_idx = m.end() - 1
+        end = balanced_paren_span(clean_text, open_idx)
+        span = clean_text[open_idx:end]
+        for cm in DEFAULT_REF_CAPTURE_RE.finditer(span):
+            depth = 0
+            for ch in span[: cm.start()]:
+                if ch in "([{":
+                    depth += 1
+                elif ch in ")]}":
+                    depth -= 1
+            if depth != 1:
+                continue
+            line = clean_text.count("\n", 0, open_idx + cm.start()) + 1
+            out.append(
+                Finding(
+                    rel,
+                    line,
+                    "inlinefn-capture",
+                    f"default-by-reference capture in a "
+                    f"'{m.group(0).strip().rstrip('(').strip()}' event body",
+                )
+            )
+            break
+    return out
 
 
 def unordered_names(clean_text: str) -> set[str]:
@@ -353,6 +415,7 @@ def check_file(
                 "\n".join(strip_comments_and_strings(pair.read_text()))
             )
         candidates.extend(iteration_findings(rel, clean_lines, names))
+        candidates.extend(inlinefn_findings(rel, clean_lines))
 
     for f in candidates:
         for at in (f.line, f.line - 1):

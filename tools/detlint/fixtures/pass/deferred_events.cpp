@@ -1,0 +1,35 @@
+// Fixture: the sanctioned ways to hand a body to the event queue — explicit
+// captures (by value, or by reference to queue-outliving objects), plus one
+// annotated allow() site. Must lint clean with every annotation used.
+namespace fixture {
+
+struct Sim {
+  template <typename F>
+  void schedule_at(long at, F&& f);
+  template <typename F>
+  void schedule_in(long delay, F&& f);
+};
+
+struct Bed {
+  Sim sim;
+  void tick();
+};
+
+void explicit_captures(Bed& bed, int flow) {
+  // By-value and named-by-reference captures are fine: each one is a
+  // deliberate lifetime decision.
+  bed.sim.schedule_at(10, [&bed, flow]() { bed.tick(); (void)flow; });
+  bed.sim.schedule_in(5, [flow]() { (void)flow; });
+}
+
+void annotated_site(Bed& bed) {
+  // p4u-detlint: allow(inlinefn-capture) fixture: body runs before this scope returns (drained synchronously below)
+  bed.sim.schedule_at(0, [&]() { bed.tick(); });
+}
+
+void reference_capture_of_named_object(Bed& bed) {
+  // A named &-capture is not a blanket capture: [&bed] is explicit.
+  bed.sim.schedule_at(15, [&bed]() { bed.tick(); });
+}
+
+}  // namespace fixture
