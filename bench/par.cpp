@@ -1,0 +1,478 @@
+// Sharded-engine campaign: events/sec scaling at K shards on a fat-tree,
+// plus the two DESIGN.md §13 gates in one binary:
+//
+//   - byte-identity: the merged campaign report for --shards 1 must equal
+//     the report for every K in the sweep bit for bit (the same gate the
+//     chaos/scale --jobs checks pin for seed parallelism, now for shard
+//     parallelism). This is the exit-code gate.
+//   - K = 1 fast-path parity: the keyed single-shard dispatch loop must
+//     stay within a few percent of the plain sim::Simulator on the
+//     hotpath chain workload — the OrderDomain key must not tax users who
+//     never shard. Recorded as dispatch.keyed_over_plain.
+//
+// Wall-clock rates (events/sec per K, the K = 4 speedup) are trajectory
+// numbers like BENCH_hotpath.json: they go into BENCH_par.json and CI
+// plots the curve, but they never fail the build — the speedup only
+// materializes on machines with >= K cores (the JSON records the core
+// count next to the rates for exactly that reason).
+//
+// Full mode sweeps K in {1, 2, 4, 8} on fat-tree(16) and adds a
+// fat-tree(32) trajectory row at K = 4; smoke sweeps {1, 4} on
+// fat-tree(8), CI-sized. --shards K narrows the sweep to {1, K}.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+// p4u-detlint: allow(wall-clock) throughput measurement: wall time is the measurand (events/sec per shard count); results go to the BENCH_par.json trajectory artifact, never into a campaign report
+using BenchClock = std::chrono::steady_clock;
+
+#include "harness/bench_cli.hpp"
+#include "harness/campaign.hpp"
+#include "harness/parallel_runner.hpp"
+#include "harness/scenario.hpp"
+#include "net/fattree.hpp"
+#include "net/flow.hpp"
+#include "net/paths.hpp"
+#include "net/shard_partition.hpp"
+#include "net/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace p4u;
+using harness::RunSpec;
+using harness::ScenarioFamily;
+using harness::SpecResult;
+using harness::SystemKind;
+
+struct ParTable {
+  int fattree_k;
+  std::size_t flows;         // resident = updated: every flow reroutes
+  std::size_t pairs;
+  int runs;                  // seeds in the identity campaign
+  const char* slug;
+};
+
+constexpr ParTable kFull{16, 8192, 256, 2, "par_ft16"};
+constexpr ParTable kSmoke{8, 1024, 64, 2, "par_ft8"};
+
+// ---------------------------------------------------------------------------
+// K = 1 fast-path parity: the hotpath dispatch workload (self-rescheduling
+// chains with a fabric-sized payload) on the plain simulator vs the keyed
+// single-shard engine. Same chains, same LCG delays; the only difference
+// is the OrderDomain word drawn per schedule.
+
+struct Payload {
+  unsigned char bytes[128] = {};
+};
+
+void plain_chain(sim::Simulator& sim, std::uint64_t rng,
+                 std::uint32_t remaining, Payload p) {
+  if (remaining == 0) return;
+  rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+  const auto delay = static_cast<sim::Duration>((rng >> 33) & 0xFFFFu);
+  sim.schedule_in(delay, [&sim, rng, remaining, p]() mutable {
+    p.bytes[remaining % sizeof(p.bytes)] ^=
+        static_cast<unsigned char>(remaining);
+    plain_chain(sim, rng, remaining - 1, p);
+  });
+}
+
+void keyed_chain(sim::ShardedSimulator& eng, std::uint64_t rng,
+                 std::uint32_t remaining, Payload p) {
+  if (remaining == 0) return;
+  rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+  const auto delay = static_cast<sim::Duration>((rng >> 33) & 0xFFFFu);
+  eng.schedule_from(0, 0, eng.shard(0).now() + delay,
+                    sim::EventTag{0, sim::EventClass::kInternal, 0},
+                    [&eng, rng, remaining, p]() mutable {
+                      p.bytes[remaining % sizeof(p.bytes)] ^=
+                          static_cast<unsigned char>(remaining);
+                      keyed_chain(eng, rng, remaining - 1, p);
+                    });
+}
+
+double plain_dispatch_rate(std::uint32_t chains, std::uint32_t steps) {
+  sim::Simulator sim;
+  for (std::uint32_t c = 0; c < chains; ++c) {
+    plain_chain(sim, 0x9E3779B97F4A7C15ull + c, steps, Payload{});
+  }
+  const auto t0 = BenchClock::now();
+  const std::size_t n = sim.run();
+  const std::chrono::duration<double> dt = BenchClock::now() - t0;
+  return static_cast<double>(n) / dt.count();
+}
+
+double keyed_dispatch_rate(std::uint32_t chains, std::uint32_t steps) {
+  sim::ShardedSimulator eng(1, /*origin_count=*/2,
+                            /*lookahead=*/sim::microseconds(1));
+  for (std::uint32_t c = 0; c < chains; ++c) {
+    keyed_chain(eng, 0x9E3779B97F4A7C15ull + c, steps, Payload{});
+  }
+  const auto t0 = BenchClock::now();
+  const std::size_t n = eng.run();
+  const std::chrono::duration<double> dt = BenchClock::now() - t0;
+  return static_cast<double>(n) / dt.count();
+}
+
+// ---------------------------------------------------------------------------
+// Measured campaign run: a batch reroute of `flows` flows spread over
+// `pairs` edge-switch pairs of one fat-tree bed at K shards. Returns the
+// executed-event count (shard-count independent, from the sim.shard_events
+// gauges) and the wall time — the events/sec series BENCH_par.json plots.
+
+struct PairPaths {
+  net::NodeId src;
+  net::NodeId dst;
+  net::Path old_path;
+  net::Path new_path;
+};
+
+std::vector<PairPaths> edge_pairs(const net::FatTree& ft,
+                                  const net::Graph& g, std::size_t want) {
+  sim::Rng rng(0x9A125ull);
+  std::vector<PairPaths> pairs;
+  for (int attempts = 0;
+       pairs.size() < want && attempts < static_cast<int>(want) * 8;
+       ++attempts) {
+    const net::NodeId src = ft.edge[rng.uniform(ft.edge.size())];
+    const net::NodeId dst = ft.edge[rng.uniform(ft.edge.size())];
+    if (src == dst) continue;
+    auto ksp = net::k_shortest_paths(g, src, dst, 2, net::Metric::kHops);
+    if (ksp.size() < 2) continue;
+    pairs.push_back({src, dst, std::move(ksp[0]), std::move(ksp[1])});
+  }
+  return pairs;
+}
+
+struct MeasuredRun {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  bool completed = false;
+};
+
+MeasuredRun measured_run(const net::Graph& g,
+                         const std::vector<PairPaths>& pairs,
+                         const ParTable& t, int shards) {
+  harness::TestBedParams params;
+  params.system = SystemKind::kP4Update;
+  params.ctrl_latency_model = harness::CtrlLatencyModel::kFattreeNormal;
+  params.seed = 91;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  params.shards = shards;
+  // Coarser monitor sweeps for the measured run: the checkpoint hook walks
+  // every watched flow single-threaded, so at the default 10 ms cadence the
+  // serial sweep — not the event work being parallelized — dominates wall
+  // time. 200 ms keeps the invariant check while letting the shard scaling
+  // show. (The identity campaigns below keep the default cadence.)
+  params.shard_check_interval = sim::milliseconds(200);
+  params.expected_flows = t.flows;
+  harness::TestBed bed(g, params);
+  bed.reserve_events(g.node_count() * 64 + t.flows * 192 + 512);
+
+  const auto synthetic_id = [](std::uint64_t i) {
+    std::uint64_t state = i + 0x9E3779B97F4A7C15ull;
+    return sim::splitmix64(state);
+  };
+  std::vector<std::pair<net::FlowId, net::Path>> batch;
+  batch.reserve(t.flows);
+  for (std::size_t i = 0; i < t.flows; ++i) {
+    const PairPaths& pp = pairs[i % pairs.size()];
+    net::Flow f;
+    f.id = synthetic_id(i);
+    f.ingress = pp.src;
+    f.egress = pp.dst;
+    f.size = 1.0;
+    bed.deploy_flow(f, pp.old_path);
+    batch.emplace_back(f.id, pp.new_path);
+  }
+  bed.schedule_batch_at(sim::milliseconds(10), std::move(batch));
+
+  const auto t0 = BenchClock::now();
+  bed.run(sim::seconds(300));
+  const std::chrono::duration<double> dt = BenchClock::now() - t0;
+
+  MeasuredRun out;
+  out.seconds = dt.count();
+  obs::MetricsRegistry stats;
+  bed.export_shard_stats(stats);
+  for (const auto& row : stats.gauges()) {
+    if (row.name == "sim.shard_events") {
+      out.events += static_cast<std::uint64_t>(row.value);
+    }
+  }
+  out.completed = true;
+  for (std::size_t i = 0; i < t.flows; ++i) {
+    const auto* rec = bed.flow_db().record(synthetic_id(i), 2);
+    if (rec == nullptr || rec->state != control::UpdateState::kCompleted) {
+      out.completed = false;
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Identity campaign: the same workload through the Campaign machinery
+// (ScenarioFamily::kScale), once per shard count, reports byte-compared.
+
+RunSpec identity_spec(const ParTable& t, std::shared_ptr<const net::Graph> g,
+                      const std::vector<net::NodeId>& edge, int shards,
+                      const harness::BenchCli& cli) {
+  RunSpec spec;
+  spec.slug = std::string(t.slug) + ".P4Update.batch_completion_ms";
+  spec.sample_unit = "ms";
+  spec.family = ScenarioFamily::kScale;
+  spec.graph = std::move(g);
+  spec.scale_endpoints = edge;
+  spec.scale_flows = t.flows;
+  spec.scale_update_flows = t.flows / 4;
+  spec.scale_pairs = t.pairs;
+  spec.bed.system = SystemKind::kP4Update;
+  spec.bed.ctrl_latency_model = harness::CtrlLatencyModel::kFattreeNormal;
+  spec.bed.shards = shards;
+  spec.runs = cli.runs_or(t.runs);
+  spec.base_seed = cli.seed_or(13000);
+  return spec;
+}
+
+bool files_identical(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  std::stringstream sa;
+  std::stringstream sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  return sa.str() == sb.str();
+}
+
+struct KResult {
+  int shards = 0;
+  double events_per_sec = 0.0;
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  bool identical = true;   // report bytes equal to the K = 1 report
+  bool completed = false;
+};
+
+void write_bench_json(const std::string& out_dir, const ParTable& t,
+                      bool smoke, const std::vector<KResult>& ks,
+                      double dispatch_ratio, double speedup_at_4,
+                      double ft32_events_per_sec,
+                      const net::ShardPlan& plan4, bool all_identical) {
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  const std::string path =
+      (out_dir.empty() ? std::string{} : out_dir + "/") + "BENCH_par.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "par: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"par\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"topology\": \"fat-tree(%d)\",\n", t.fattree_k);
+  std::fprintf(f, "  \"flows\": %llu,\n",
+               static_cast<unsigned long long>(t.flows));
+  std::fprintf(f, "  \"cores\": %d,\n", harness::hardware_jobs());
+  std::fprintf(f, "  \"lookahead_us\": %.1f,\n",
+               static_cast<double>(plan4.min_cut_latency) / 1000.0);
+  std::fprintf(f, "  \"cut_links_at_4\": %llu,\n",
+               static_cast<unsigned long long>(plan4.cut_links));
+  std::fprintf(f, "  \"dispatch_keyed_over_plain\": %.3f,\n", dispatch_ratio);
+  std::fprintf(f, "  \"speedup_at_4\": %.2f,\n", speedup_at_4);
+  if (ft32_events_per_sec > 0.0) {
+    std::fprintf(f, "  \"ft32_events_per_sec_at_4\": %.1f,\n",
+                 ft32_events_per_sec);
+  }
+  std::fprintf(f, "  \"shards\": [\n");
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const KResult& k = ks[i];
+    std::fprintf(f,
+                 "    {\"k\": %d, \"events\": %llu, \"seconds\": %.3f, "
+                 "\"events_per_sec\": %.1f, \"report_identical\": %s}%s\n",
+                 k.shards, static_cast<unsigned long long>(k.events),
+                 k.seconds, k.events_per_sec,
+                 k.identical ? "true" : "false",
+                 i + 1 < ks.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"reports_identical\": %s\n}\n",
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("par trajectory: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::BenchCliSpec cli_spec;
+  cli_spec.program = "par";
+  cli_spec.description =
+      "Sharded-engine campaign on a fat-tree: events/sec at K shards, the "
+      "--shards 1 vs K byte-identity gate, and K = 1 dispatch parity.";
+  cli_spec.with_shards = true;
+  const harness::BenchCli cli =
+      harness::parse_bench_cli_or_exit(argc, argv, cli_spec);
+
+  const ParTable& table = cli.smoke ? kSmoke : kFull;
+  std::vector<int> sweep;
+  if (cli.shards > 0) {
+    sweep = {1, cli.shards};
+    if (cli.shards == 1) sweep = {1};
+  } else if (cli.smoke) {
+    sweep = {1, 4};
+  } else {
+    sweep = {1, 2, 4, 8};
+  }
+
+  net::FatTree ft = net::fattree_topology(table.fattree_k);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  const net::ShardPlan plan4 = net::partition_shards(ft.graph, 4);
+  std::printf("Par campaign: fat-tree(%d), %llu flows over %llu pairs, "
+              "K sweep {", table.fattree_k,
+              static_cast<unsigned long long>(table.flows),
+              static_cast<unsigned long long>(table.pairs));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%s%d", i ? ", " : "", sweep[i]);
+  }
+  std::printf("}, %d cores\n", harness::hardware_jobs());
+
+  // K = 1 fast-path parity (interleaved reps, like hotpath's core pair).
+  const std::uint32_t chains = 4096;
+  const std::uint32_t steps = cli.smoke ? 64 : 200;
+  const int reps = cli.smoke ? 3 : 5;
+  double plain = 0.0;
+  double keyed = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    plain = std::max(plain, plain_dispatch_rate(chains, steps));
+    keyed = std::max(keyed, keyed_dispatch_rate(chains, steps));
+  }
+  const double dispatch_ratio = plain > 0.0 ? keyed / plain : 0.0;
+  std::printf("dispatch: plain %.0f ev/s, keyed K=1 %.0f ev/s "
+              "(ratio %.3f; parity target >= 0.95)\n",
+              plain, keyed, dispatch_ratio);
+
+  // Per-K measured runs (events/sec) + identity campaigns (reports).
+  const std::vector<PairPaths> pairs =
+      edge_pairs(ft, ft.graph, table.pairs);
+  if (pairs.empty()) {
+    std::fprintf(stderr, "par: no edge pair has two paths\n");
+    return 1;
+  }
+  const auto shared_graph = std::make_shared<const net::Graph>(ft.graph);
+
+  std::string report_root = cli.out_dir;
+  if (report_root.empty()) {
+    report_root =
+        (std::filesystem::temp_directory_path() / "p4u_par_reports").string();
+  }
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"campaign", "par"},
+      {"topology", "fat-tree(" + std::to_string(table.fattree_k) + ")"},
+      {"flows", std::to_string(table.flows)}};
+
+  std::vector<KResult> ks;
+  std::string report_k1;
+  bool all_identical = true;
+  bool all_completed = true;
+  for (const int k : sweep) {
+    KResult kr;
+    kr.shards = k;
+    const MeasuredRun m = measured_run(ft.graph, pairs, table, k);
+    kr.events = m.events;
+    kr.seconds = m.seconds;
+    kr.events_per_sec =
+        m.seconds > 0.0 ? static_cast<double>(m.events) / m.seconds : 0.0;
+    kr.completed = m.completed;
+    all_completed &= m.completed;
+
+    harness::Campaign campaign;
+    campaign.add(identity_spec(table, shared_graph, ft.edge, k, cli));
+    const std::vector<SpecResult> results =
+        campaign.run(cli.jobs > 0 ? cli.jobs : 2 * k);
+    all_completed &= results.front().result.incomplete_runs == 0;
+    const std::string rep = harness::write_campaign_report(
+        report_root + "/k" + std::to_string(k), "par", meta, results);
+    if (k == sweep.front()) {
+      report_k1 = rep;
+    } else {
+      kr.identical = files_identical(report_k1, rep);
+      all_identical &= kr.identical;
+    }
+    std::printf("K=%d: %llu events in %.3fs (%.0f ev/s), update batch %s, "
+                "report %s\n",
+                k, static_cast<unsigned long long>(kr.events), kr.seconds,
+                kr.events_per_sec, kr.completed ? "completed" : "INCOMPLETE",
+                k == sweep.front()
+                    ? "baseline"
+                    : (kr.identical ? "byte-identical" : "DIFFERENT"));
+    ks.push_back(kr);
+  }
+
+  // Event counts are part of the determinism claim: every K must execute
+  // exactly the baseline's event set.
+  for (const KResult& kr : ks) {
+    if (kr.events != ks.front().events) {
+      std::fprintf(stderr, "par: K=%d executed %llu events, K=%d executed "
+                   "%llu — the event sets diverged\n",
+                   kr.shards, static_cast<unsigned long long>(kr.events),
+                   ks.front().shards,
+                   static_cast<unsigned long long>(ks.front().events));
+      all_identical = false;
+    }
+  }
+
+  double speedup_at_4 = 0.0;
+  for (const KResult& kr : ks) {
+    if (kr.shards == 4 && kr.seconds > 0.0) {
+      speedup_at_4 = ks.front().seconds / kr.seconds;
+    }
+  }
+
+  // fat-tree(32) trajectory row (full mode only): sharded throughput on
+  // the paper's largest topology, no identity re-check (same machinery).
+  double ft32_rate = 0.0;
+  if (!cli.smoke) {
+    net::FatTree ft32 = net::fattree_topology(32);
+    net::set_uniform_capacity(ft32.graph, 100.0);
+    ParTable t32 = kFull;
+    t32.fattree_k = 32;
+    const std::vector<PairPaths> pairs32 =
+        edge_pairs(ft32, ft32.graph, t32.pairs);
+    if (!pairs32.empty()) {
+      const MeasuredRun m32 = measured_run(ft32.graph, pairs32, t32, 4);
+      ft32_rate = m32.seconds > 0.0
+                      ? static_cast<double>(m32.events) / m32.seconds
+                      : 0.0;
+      std::printf("fat-tree(32) K=4: %llu events in %.3fs (%.0f ev/s)\n",
+                  static_cast<unsigned long long>(m32.events), m32.seconds,
+                  ft32_rate);
+    }
+  }
+
+  write_bench_json(cli.out_dir, table, cli.smoke, ks, dispatch_ratio,
+                   speedup_at_4, ft32_rate, plan4, all_identical);
+
+  std::printf("\n---- verdict ----\n");
+  std::printf("all shard counts byte-identical to K=%d: %s\n",
+              sweep.front(), all_identical ? "YES" : "NO");
+  std::printf("all runs completed: %s\n", all_completed ? "YES" : "NO");
+  if (speedup_at_4 > 0.0) {
+    std::printf("wall-clock speedup at K=4: %.2fx (trajectory; needs >= 4 "
+                "cores, this machine has %d)\n",
+                speedup_at_4, harness::hardware_jobs());
+  }
+  return all_identical && all_completed ? 0 : 1;
+}

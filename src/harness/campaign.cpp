@@ -46,7 +46,7 @@ RunOutcome run_single_flow_job(const RunSpec& spec, std::uint64_t seed) {
   TestBed bed(*spec.graph, params);
   // Pre-size the event pool from the spec: a single-flow update touches each
   // node a bounded number of times (service, UNM hops, installs, retries).
-  bed.simulator().reserve(spec.graph->node_count() * 96 + 512);
+  bed.reserve_events(spec.graph->node_count() * 96 + 512);
 
   net::Flow f;
   f.ingress = spec.old_path.front();
@@ -78,8 +78,8 @@ RunOutcome run_multi_flow_job(const RunSpec& spec, std::uint64_t seed) {
   TestBed bed(*spec.graph, params);
   // Event volume scales with both the topology and the flow batch; the
   // estimate only pre-sizes slabs, so overshoot costs memory, not time.
-  bed.simulator().reserve(spec.graph->node_count() * 64 + flows.size() * 192 +
-                          512);
+  bed.reserve_events(spec.graph->node_count() * 64 + flows.size() * 192 +
+                     512);
 
   std::vector<std::pair<net::FlowId, net::Path>> batch;
   for (const TrafficFlow& tf : flows) {
@@ -135,7 +135,7 @@ RunOutcome run_chaos_job(const RunSpec& spec, std::uint64_t seed) {
 
   const auto strategy = install_strategy(spec, params, seed);
   TestBed bed(g, params);
-  bed.simulator().reserve(g.node_count() * 64 + flows.size() * 256 + 512);
+  bed.reserve_events(g.node_count() * 64 + flows.size() * 256 + 512);
 
   std::vector<std::pair<net::FlowId, net::Path>> batch;
   for (const TrafficFlow& tf : flows) {
@@ -219,8 +219,8 @@ RunOutcome run_scale_job(const RunSpec& spec, std::uint64_t seed) {
   TestBed bed(g, params);
   // The event volume is dominated by the updated subset, not residency:
   // deployment is instant bring-up, no events.
-  bed.simulator().reserve(g.node_count() * 64 +
-                          spec.scale_update_flows * 192 + 512);
+  bed.reserve_events(g.node_count() * 64 + spec.scale_update_flows * 192 +
+                     512);
 
   // Synthetic unique ids: splitmix64 is a bijection on uint64, so a
   // million sequential indices give a million distinct FlowIds without
@@ -349,8 +349,19 @@ std::vector<SpecResult> Campaign::run(int jobs) const {
     for (int r = 0; r < specs_[s].runs; ++r) expanded.push_back({s, r});
   }
 
+  // Seeds x shards composition: a sharded job occupies bed.shards cores by
+  // itself, so the worker count shrinks by the widest spec's shard count —
+  // `--jobs 8` with 4-way sharded beds runs 2 jobs at a time, keeping the
+  // core budget (and the machine) at the requested width.
+  int max_shards = 1;
+  for (const RunSpec& s : specs_) {
+    max_shards = std::max(max_shards, s.bed.shards);
+  }
+  const int workers =
+      std::max(1, resolve_jobs(jobs) / std::max(1, max_shards));
+
   std::vector<RunOutcome> outcomes =
-      parallel_map_indexed(expanded.size(), jobs, [&](std::size_t i) {
+      parallel_map_indexed(expanded.size(), workers, [&](std::size_t i) {
         return execute_run(specs_[expanded[i].spec], expanded[i].run);
       });
 

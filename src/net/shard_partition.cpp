@@ -1,0 +1,85 @@
+#include "net/shard_partition.hpp"
+
+#include <cstddef>
+#include <deque>
+
+namespace p4u::net {
+
+ShardPlan partition_shards(const Graph& g, int k) {
+  const std::size_t n = g.node_count();
+  ShardPlan plan;
+  if (k < 1) k = 1;
+  if (n > 0 && static_cast<std::size_t>(k) > n) {
+    k = static_cast<int>(n);
+  }
+  plan.shards = k;
+  plan.shard_of.assign(n, -1);
+  plan.sizes.assign(static_cast<std::size_t>(k), 0);
+  if (n == 0) return plan;
+
+  // Target occupancy ceil(n / k); the grower never exceeds it, and every
+  // node lands somewhere, so the balance bound holds by construction.
+  const std::size_t target =
+      (n + static_cast<std::size_t>(k) - 1) / static_cast<std::size_t>(k);
+
+  std::size_t next_seed = 0;  // smallest-id unassigned candidate
+  std::deque<NodeId> frontier;
+  for (int s = 0; s < k; ++s) {
+    auto shard = static_cast<std::size_t>(s);
+    // Leave exactly enough room for the remaining shards to be non-empty.
+    std::size_t assigned_total = 0;
+    for (int p = 0; p < s; ++p) {
+      assigned_total += plan.sizes[static_cast<std::size_t>(p)];
+    }
+    const std::size_t remaining_shards = static_cast<std::size_t>(k - s);
+    const std::size_t remaining_nodes = n - assigned_total;
+    std::size_t quota = target;
+    if (quota > remaining_nodes - (remaining_shards - 1)) {
+      quota = remaining_nodes - (remaining_shards - 1);
+    }
+    frontier.clear();
+    while (plan.sizes[shard] < quota) {
+      if (frontier.empty()) {
+        // Seed (or re-seed after frontier exhaustion / a disconnected
+        // component) from the smallest unassigned node id.
+        while (next_seed < n &&
+               plan.shard_of[next_seed] != -1) {
+          ++next_seed;
+        }
+        if (next_seed >= n) break;
+        const auto seed = static_cast<NodeId>(next_seed);
+        plan.shard_of[static_cast<std::size_t>(seed)] = s;
+        ++plan.sizes[shard];
+        frontier.push_back(seed);
+        continue;
+      }
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& adj : g.neighbors(cur)) {
+        if (plan.sizes[shard] >= quota) break;
+        auto& owner = plan.shard_of[static_cast<std::size_t>(adj.neighbor)];
+        if (owner != -1) continue;
+        owner = s;
+        ++plan.sizes[shard];
+        frontier.push_back(adj.neighbor);
+      }
+    }
+  }
+
+  // Cut analysis: the engine's lookahead is the fastest link that crosses
+  // shards — any slower figure would admit a causality violation.
+  for (std::size_t l = 0; l < g.link_count(); ++l) {
+    const Link& link = g.link(static_cast<LinkId>(l));
+    if (plan.shard_of[static_cast<std::size_t>(link.a)] ==
+        plan.shard_of[static_cast<std::size_t>(link.b)]) {
+      continue;
+    }
+    ++plan.cut_links;
+    if (link.latency < plan.min_cut_latency) {
+      plan.min_cut_latency = link.latency;
+    }
+  }
+  return plan;
+}
+
+}  // namespace p4u::net

@@ -1,0 +1,50 @@
+// K-way topology partitioning for the sharded simulator (DESIGN.md §13).
+//
+// The sharded engine assigns every switch to one of K logical processes;
+// the partition decides two things that matter for parallel performance:
+//
+//   - balance: shard event rates track shard node counts on symmetric
+//     fabrics, so every shard holds at most ceil(n / k) switches;
+//   - lookahead: the conservative window width is the minimum latency of
+//     any *cut* link (an event executing in window [T, T + delta) can only
+//     schedule onto another shard at >= T + delta), so the partitioner
+//     reports the cut's minimum latency for the engine to use.
+//
+// METIS-free by design: a deterministic greedy BFS grower. Shards are
+// grown one at a time from the smallest-id unassigned node, expanding in
+// breadth-first order (neighbors visited in adjacency/port order) until the
+// shard reaches its target size. On connected graphs whose BFS balls stay
+// connected (fat-trees, rings, meshes — everything the campaigns run) each
+// shard induces a connected subgraph; on pathological or disconnected
+// graphs the grower re-seeds and the partition stays valid (complete,
+// balanced), merely less local. The result is a pure function of (graph,
+// k): no randomness, no iteration over hashed containers.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::net {
+
+struct ShardPlan {
+  int shards = 1;
+  /// shard_of[node] in [0, shards). Complete: every node is assigned.
+  std::vector<int> shard_of;
+  /// Nodes per shard; max is <= ceil(node_count / shards).
+  std::vector<std::size_t> sizes;
+  /// Minimum one-way latency over links whose endpoints live in different
+  /// shards — the engine's conservative lookahead bound from the data
+  /// plane. sim::kTimeInfinity when no link is cut (k == 1, or each
+  /// component fits entirely inside one shard).
+  sim::Duration min_cut_latency = sim::kTimeInfinity;
+  /// Number of cut links (diagnostic; BENCH_par.json reports it).
+  std::size_t cut_links = 0;
+};
+
+/// Partitions `g` into `k` shards (k is clamped to [1, node_count]).
+/// Deterministic: same graph and k always yield the same plan.
+ShardPlan partition_shards(const Graph& g, int k);
+
+}  // namespace p4u::net

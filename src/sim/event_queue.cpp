@@ -41,6 +41,7 @@ void Simulator::heap_push(HeapEntry e) {
   // Hole-based sift-up: shift parents down into the hole, write `e` once.
   std::size_t i = heap_.size();
   heap_.push_back(e);
+  if (heap_.size() > pending_peak_) pending_peak_ = heap_.size();
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
     if (!before(e, heap_[parent])) break;
@@ -121,6 +122,10 @@ bool Simulator::pop_and_run(Time until) {
   Handler& fn = slot(top.idx());
   now_ = top.at;
   ++executed_;
+  // Attribute everything the handler schedules to this event's node, so
+  // OrderDomain keys depend only on the (K-independent) per-node handler
+  // sequence. One predictable branch on the legacy path.
+  if (order_ != nullptr) order_->set_current_origin(tags_[top.idx()].node);
   // Run the handler in place in its slab slot. The slot is not on the free
   // list while the handler runs, so the handler may freely schedule new
   // events (they take other slots); destroy and recycle happen only after

@@ -1,0 +1,237 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace p4u::sim {
+
+namespace {
+
+/// now + delta without wrapping past the end of time.
+Time saturating_add(Time t, Duration d) noexcept {
+  return d > kTimeInfinity - t ? kTimeInfinity : t + d;
+}
+
+/// Published in next_time_ by a shard whose worker caught an exception.
+/// Every phase-2 decision must be a pure function of values published
+/// before the phase-1 barrier — a live "did anyone error?" flag is not
+/// (a fast shard can set it during the same round's phase 3, after a slow
+/// shard already read it false, and the two then disagree on whether the
+/// round continues — a barrier deadlock). The sentinel rides the same
+/// publication channel as the next-event times, so all workers see the
+/// same value and halt in the same round.
+constexpr Time kHaltSentinel = -1;
+
+}  // namespace
+
+void ShardedSimulator::SpinBarrier::arrive_and_wait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arrival: reset for the next generation, then release everyone.
+    // The release store publishes every pre-barrier write of every party
+    // (their arrivals form a release sequence on count_).
+    count_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (++spins > 4096) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+ShardedSimulator::ShardedSimulator(int shards, std::size_t origin_count,
+                                   Duration lookahead)
+    : lookahead_(lookahead), barrier_(shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
+  }
+  if (shards > 1 && lookahead <= 0) {
+    throw std::invalid_argument(
+        "ShardedSimulator: conservative lookahead must be positive — a "
+        "zero-latency cross-shard channel admits no safe window");
+  }
+  const auto k = static_cast<std::size_t>(shards);
+  sims_.reserve(k);
+  domains_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    domains_.push_back(std::make_unique<OrderDomain>(origin_count));
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->set_order_domain(domains_.back().get());
+  }
+  mail_.resize(k);
+  for (auto& row : mail_) row.resize(k);
+  next_time_.assign(k, kTimeInfinity);
+  window_hi_.assign(k, 0);
+  ran_.assign(k, 0);
+  errors_.assign(k, nullptr);
+}
+
+void ShardedSimulator::post_cross(int exec_shard, int target_shard, Time at,
+                                  std::uint64_t word, EventTag tag,
+                                  Handler&& fn) {
+  // Conservative-lookahead contract: a handler running inside window
+  // [T, hi) may only reach another shard at >= hi. Anything closer would
+  // have to be inserted into a heap another thread is popping.
+  if (at < window_hi_[idx(exec_shard)]) {
+    throw std::logic_error(
+        "ShardedSimulator: cross-shard event scheduled inside the current "
+        "window — lookahead (min cross-shard latency) is wrong");
+  }
+  mail_[idx(exec_shard)][idx(target_shard)].buf.push_back(
+      CrossEvent{at, word, tag, std::move(fn)});
+}
+
+void ShardedSimulator::reserve(std::size_t n) {
+  const auto k = static_cast<std::size_t>(shards());
+  const std::size_t per_shard = n / k + 1;
+  for (auto& sim : sims_) sim->reserve(per_shard);
+}
+
+std::uint64_t ShardedSimulator::executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->executed();
+  return total;
+}
+
+std::size_t ShardedSimulator::run(Time until, const Checkpoint& checkpoint,
+                                  Duration cadence) {
+  if (shards() == 1) return run_single(until, checkpoint, cadence);
+  return run_windows(until, checkpoint, cadence);
+}
+
+/// Single-shard fast path: same keyed order, no threads, no windows. The
+/// only structure kept is the checkpoint split, so a K = 1 run observes
+/// monitor state at exactly the virtual times every K > 1 run does.
+std::size_t ShardedSimulator::run_single(Time until,
+                                         const Checkpoint& checkpoint,
+                                         Duration cadence) {
+  Simulator& sim = *sims_.front();
+  Time next_check = cadence > 0 ? cadence : kTimeInfinity;
+  std::size_t n = 0;
+  for (;;) {
+    const Time t = sim.next_at();
+    if (t == kTimeInfinity || t > until) break;
+    if (t >= next_check) {
+      if (checkpoint) checkpoint();
+      next_check = saturating_add(next_check, cadence);
+      continue;
+    }
+    n += sim.run(std::min(next_check - 1, until));
+  }
+  return n;
+}
+
+std::size_t ShardedSimulator::run_windows(Time until,
+                                          const Checkpoint& checkpoint,
+                                          Duration cadence) {
+  const int k = shards();
+  std::fill(ran_.begin(), ran_.end(), 0);
+  std::fill(window_hi_.begin(), window_hi_.end(), Time{0});
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  checkpoint_error_.store(false, std::memory_order_relaxed);
+  running_ = true;
+
+  // One pinned worker per shard for the whole run; the calling thread is
+  // shard 0's worker (and the one that runs checkpoints).
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(k - 1));
+  for (int s = 1; s < k; ++s) {
+    pool.emplace_back([this, s, until, &checkpoint, cadence] {
+      worker_loop(s, until, checkpoint, cadence);
+    });
+  }
+  worker_loop(0, until, checkpoint, cadence);
+  for (std::thread& t : pool) t.join();
+  running_ = false;
+
+  for (const std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+  std::size_t total = 0;
+  for (const std::size_t n : ran_) total += n;
+  return total;
+}
+
+void ShardedSimulator::worker_loop(int s, Time until,
+                                   const Checkpoint& checkpoint,
+                                   Duration cadence) {
+  const auto me = idx(s);
+  const auto k = static_cast<std::size_t>(shards());
+  Simulator& sim = *sims_[me];
+  Time next_check = cadence > 0 ? cadence : kTimeInfinity;
+  bool dead = false;  // after an error: keep the barrier protocol, do no work
+
+  for (;;) {
+    // Phase 1 — drain inboxes (the senders are quiescent: their writes
+    // were published by the end-of-window barrier) and publish the local
+    // next-event time.
+    if (!dead) {
+      try {
+        for (std::size_t from = 0; from < k; ++from) {
+          std::vector<CrossEvent>& inbox = mail_[from][me].buf;
+          for (CrossEvent& ev : inbox) {
+            sim.schedule_keyed(ev.at, ev.word, ev.tag, std::move(ev.fn));
+          }
+          inbox.clear();
+        }
+        next_time_[me] = sim.next_at();
+      } catch (...) {
+        errors_[me] = std::current_exception();
+        dead = true;
+      }
+    }
+    if (dead) next_time_[me] = kHaltSentinel;
+    barrier_.arrive_and_wait();
+
+    // Phase 2 — every worker derives the same decision from the same
+    // barrier-published inputs (no live flags: see kHaltSentinel).
+    Time tmin = kTimeInfinity;
+    bool halt = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      halt |= next_time_[i] == kHaltSentinel;
+      tmin = std::min(tmin, next_time_[i]);
+    }
+    if (halt || tmin == kTimeInfinity || tmin > until) return;
+
+    if (tmin >= next_check) {
+      // Checkpoint boundary: shard 0's worker (the caller) runs the hook
+      // single-threaded while the rest hold at the barrier.
+      if (s == 0 && checkpoint) {
+        try {
+          checkpoint();
+        } catch (...) {
+          errors_[me] = std::current_exception();
+          checkpoint_error_.store(true, std::memory_order_release);
+        }
+      }
+      barrier_.arrive_and_wait();
+      if (checkpoint_error_.load(std::memory_order_acquire)) return;
+      next_check = saturating_add(next_check, cadence);
+      continue;
+    }
+
+    // Phase 3 — execute the window [tmin, hi) in parallel. hi never
+    // crosses a pending checkpoint, and cross-shard posts land at >= hi by
+    // the lookahead argument (post_cross enforces it).
+    const Time hi = std::min(saturating_add(tmin, lookahead_), next_check);
+    window_hi_[me] = hi;
+    if (!dead) {
+      try {
+        ran_[me] += sim.run(std::min(hi - 1, until));
+      } catch (...) {
+        // No shared store here: the next round's phase 1 publishes the
+        // halt sentinel behind the barrier, where every worker reads it
+        // consistently.
+        errors_[me] = std::current_exception();
+        dead = true;
+      }
+    }
+    barrier_.arrive_and_wait();
+  }
+}
+
+}  // namespace p4u::sim

@@ -1,0 +1,226 @@
+// End-to-end gate for the sharded engine (DESIGN.md §13): campaign results
+// and written reports must be byte-identical for every shard count, the
+// strategy fallback must be transparent, and the sharded bed must reject
+// the features it cannot honor (traffic injection, fault plans) loudly.
+//
+// Test names deliberately contain "Sharded": the TSan CI leg selects them
+// with `ctest -R 'ParallelRunner|Campaign|Sharded'`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/scenario.hpp"
+#include "net/fattree.hpp"
+#include "net/flow.hpp"
+#include "net/paths.hpp"
+#include "net/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "sim/schedule_strategy.hpp"
+
+namespace p4u::harness {
+namespace {
+
+/// Single-flow update between the first and last edge switch of a fat-tree,
+/// rerouted from its shortest to its second-shortest path.
+RunSpec fattree_single_flow(int fattree_k, int shards, int runs) {
+  net::FatTree ft = net::fattree_topology(fattree_k);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  const net::NodeId src = ft.edge.front();
+  const net::NodeId dst = ft.edge.back();
+  auto ksp = net::k_shortest_paths(ft.graph, src, dst, 2, net::Metric::kHops);
+  EXPECT_GE(ksp.size(), 2u);
+
+  RunSpec spec;
+  spec.slug = "sharded_ft" + std::to_string(fattree_k) +
+              ".P4Update.update_time_ms";
+  spec.family = ScenarioFamily::kSingleFlow;
+  spec.graph = std::make_shared<const net::Graph>(std::move(ft.graph));
+  spec.old_path = std::move(ksp[0]);
+  spec.new_path = std::move(ksp[1]);
+  spec.bed.system = SystemKind::kP4Update;
+  spec.bed.ctrl_latency_model = CtrlLatencyModel::kFattreeNormal;
+  spec.bed.shards = shards;
+  spec.runs = runs;
+  spec.base_seed = 4200;
+  return spec;
+}
+
+void expect_results_identical(const std::vector<SpecResult>& a,
+                              const std::vector<SpecResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].slug);
+    EXPECT_EQ(a[i].slug, b[i].slug);
+    EXPECT_EQ(a[i].result.update_times_ms.raw(),
+              b[i].result.update_times_ms.raw());
+    EXPECT_EQ(a[i].result.alarms, b[i].result.alarms);
+    EXPECT_EQ(a[i].result.incomplete_runs, b[i].result.incomplete_runs);
+    EXPECT_EQ(a[i].result.violations.total(), b[i].result.violations.total());
+    const auto ac = a[i].result.metrics.counters();
+    const auto bc = b[i].result.metrics.counters();
+    ASSERT_EQ(ac.size(), bc.size());
+    for (std::size_t r = 0; r < ac.size(); ++r) {
+      EXPECT_EQ(ac[r].name, bc[r].name);
+      EXPECT_EQ(ac[r].labels, bc[r].labels) << ac[r].name;
+      EXPECT_EQ(ac[r].value, bc[r].value) << ac[r].name;
+    }
+    const auto ah = a[i].result.metrics.histograms();
+    const auto bh = b[i].result.metrics.histograms();
+    ASSERT_EQ(ah.size(), bh.size());
+    for (std::size_t r = 0; r < ah.size(); ++r) {
+      EXPECT_EQ(ah[r].name, bh[r].name);
+      EXPECT_EQ(ah[r].labels, bh[r].labels) << ah[r].name;
+      EXPECT_EQ(ah[r].value->counts, bh[r].value->counts) << ah[r].name;
+      EXPECT_EQ(ah[r].value->sum, bh[r].value->sum) << ah[r].name;
+    }
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// The acceptance gate in miniature: a fat-tree(8) campaign merged from
+/// K = 1 must match K = 2 and K = 4 — in memory and on disk, byte for byte.
+TEST(ShardedCampaignTest, ReportsByteIdenticalAcrossShardCounts) {
+  const int runs = 3;
+  Campaign base;
+  base.add(fattree_single_flow(8, /*shards=*/1, runs));
+  const std::vector<SpecResult> r1 = base.run(/*jobs=*/1);
+  ASSERT_EQ(r1.size(), 1u);
+  // The baseline itself must be healthy, or identity proves nothing.
+  EXPECT_EQ(r1[0].result.incomplete_runs, 0u);
+  EXPECT_EQ(r1[0].result.violations.total(), 0u);
+  EXPECT_EQ(r1[0].result.update_times_ms.count(),
+            static_cast<std::size_t>(runs));
+
+  const auto root = std::filesystem::temp_directory_path() /
+                    "p4u_sharded_campaign_test";
+  std::filesystem::remove_all(root);
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"campaign", "sharded-identity"}, {"topology", "fat-tree(8)"}};
+  const std::string rep1 = write_campaign_report(
+      (root / "k1").string(), "sharded", meta, r1);
+
+  for (const int k : {2, 4}) {
+    SCOPED_TRACE(k);
+    Campaign sharded;
+    sharded.add(fattree_single_flow(8, k, runs));
+    const std::vector<SpecResult> rk = sharded.run(/*jobs=*/2 * k);
+    expect_results_identical(r1, rk);
+    const std::string repk = write_campaign_report(
+        (root / ("k" + std::to_string(k))).string(), "sharded", meta, rk);
+    EXPECT_EQ(slurp(rep1), slurp(repk)) << "report differs at K=" << k;
+  }
+  std::filesystem::remove_all(root);
+}
+
+/// A spec that installs a ScheduleStrategy falls back to the legacy engine
+/// even with bed.shards set — and is byte-identical to shards = 0.
+TEST(ShardedCampaignTest, StrategyFallbackMatchesLegacyEngine) {
+  const auto factory = [](std::uint64_t) {
+    return std::make_unique<sim::SeededStrategy>();
+  };
+  Campaign legacy;
+  RunSpec l = fattree_single_flow(4, /*shards=*/0, /*runs=*/2);
+  l.strategy_factory = factory;
+  legacy.add(std::move(l));
+
+  Campaign sharded;
+  RunSpec s = fattree_single_flow(4, /*shards=*/4, /*runs=*/2);
+  s.strategy_factory = factory;
+  sharded.add(std::move(s));
+
+  expect_results_identical(legacy.run(1), sharded.run(1));
+}
+
+TEST(ShardedBedTest, TrafficInjectionRejected) {
+  net::FatTree ft = net::fattree_topology(4);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  TestBedParams params;
+  params.system = SystemKind::kP4Update;
+  params.ctrl_latency_model = CtrlLatencyModel::kFattreeNormal;
+  params.trace_enabled = false;  // the sharded engine rejects the trace
+  params.shards = 2;
+  TestBed bed(ft.graph, params);
+  EXPECT_THROW(bed.start_traffic(/*flow=*/1, /*ingress=*/ft.edge.front(),
+                                 /*pps=*/1000.0, /*n_packets=*/4, /*ttl=*/64),
+               std::logic_error);
+}
+
+TEST(ShardedBedTest, FaultPlanRejected) {
+  net::FatTree ft = net::fattree_topology(4);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  TestBedParams params;
+  params.system = SystemKind::kP4Update;
+  params.ctrl_latency_model = CtrlLatencyModel::kFattreeNormal;
+  params.trace_enabled = false;
+  params.shards = 2;
+  const net::Link& l = ft.graph.link(0);
+  params.fault_plan.link_down_for(sim::milliseconds(5), l.a, l.b,
+                                  sim::milliseconds(10));
+  EXPECT_THROW(TestBed(ft.graph, params), std::invalid_argument);
+}
+
+TEST(ShardedBedTest, ExportShardStatsPublishesGauges) {
+  net::FatTree ft = net::fattree_topology(4);
+  net::set_uniform_capacity(ft.graph, 100.0);
+  const net::NodeId src = ft.edge.front();
+  const net::NodeId dst = ft.edge.back();
+  auto ksp =
+      net::k_shortest_paths(ft.graph, src, dst, 2, net::Metric::kHops);
+  ASSERT_GE(ksp.size(), 2u);
+
+  TestBedParams params;
+  params.system = SystemKind::kP4Update;
+  params.ctrl_latency_model = CtrlLatencyModel::kFattreeNormal;
+  params.trace_enabled = false;
+  params.shards = 2;
+  TestBed bed(ft.graph, params);
+
+  net::Flow f;
+  f.ingress = src;
+  f.egress = dst;
+  f.id = net::flow_id_of(src, dst);
+  f.size = 1.0;
+  bed.deploy_flow(f, ksp[0]);
+  bed.schedule_update_at(sim::milliseconds(10), f.id, ksp[1]);
+  bed.run(sim::seconds(60));
+
+  obs::MetricsRegistry reg;
+  bed.export_shard_stats(reg);
+  double shards = 0.0;
+  double peak = 0.0;
+  double events = 0.0;
+  std::size_t shard_rows = 0;
+  for (const auto& row : reg.gauges()) {
+    if (row.name == "sim.shards") shards = row.value;
+    if (row.name == "sim.pending_peak") peak = row.value;
+    if (row.name == "sim.shard_events") {
+      ++shard_rows;
+      events += row.value;
+    }
+  }
+  EXPECT_EQ(shards, 2.0);
+  EXPECT_EQ(shard_rows, 2u);
+  EXPECT_GT(events, 0.0);
+  EXPECT_GT(peak, 0.0);
+  // The update the gauges describe really ran to completion.
+  const auto d = bed.flow_db().duration(f.id, 2);
+  EXPECT_TRUE(d.has_value());
+}
+
+}  // namespace
+}  // namespace p4u::harness

@@ -1,0 +1,172 @@
+#include "net/shard_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/fattree.hpp"
+#include "net/graph.hpp"
+
+namespace p4u::net {
+namespace {
+
+/// Ring of n nodes with uniform link latency.
+Graph ring(int n, sim::Duration latency) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.add_node(std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    g.add_link(i, (i + 1) % n, latency, 100.0);
+  }
+  return g;
+}
+
+/// Every node assigned, shard ids in range, sizes consistent and balanced.
+void expect_valid_plan(const Graph& g, const ShardPlan& plan, int k) {
+  ASSERT_EQ(plan.shards, k);
+  ASSERT_EQ(plan.shard_of.size(), g.node_count());
+  ASSERT_EQ(plan.sizes.size(), static_cast<std::size_t>(k));
+  std::vector<std::size_t> counted(static_cast<std::size_t>(k), 0);
+  for (const int s : plan.shard_of) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, k);
+    ++counted[static_cast<std::size_t>(s)];
+  }
+  const std::size_t cap =
+      (g.node_count() + static_cast<std::size_t>(k) - 1) /
+      static_cast<std::size_t>(k);
+  std::size_t total = 0;
+  for (int s = 0; s < k; ++s) {
+    EXPECT_EQ(plan.sizes[static_cast<std::size_t>(s)],
+              counted[static_cast<std::size_t>(s)]);
+    EXPECT_LE(plan.sizes[static_cast<std::size_t>(s)], cap) << "shard " << s;
+    total += plan.sizes[static_cast<std::size_t>(s)];
+  }
+  EXPECT_EQ(total, g.node_count());
+}
+
+/// Recomputes the cut from scratch and checks the plan's summary agrees.
+void expect_cut_consistent(const Graph& g, const ShardPlan& plan) {
+  sim::Duration min_cut = sim::kTimeInfinity;
+  std::size_t cut = 0;
+  for (LinkId l = 0; l < static_cast<LinkId>(g.link_count()); ++l) {
+    const Link& link = g.link(l);
+    if (plan.shard_of[static_cast<std::size_t>(link.a)] !=
+        plan.shard_of[static_cast<std::size_t>(link.b)]) {
+      ++cut;
+      min_cut = std::min(min_cut, link.latency);
+    }
+  }
+  EXPECT_EQ(plan.cut_links, cut);
+  EXPECT_EQ(plan.min_cut_latency, min_cut);
+}
+
+/// True when every shard induces a connected subgraph of g.
+bool shards_connected(const Graph& g, const ShardPlan& plan) {
+  for (int s = 0; s < plan.shards; ++s) {
+    NodeId start = -1;
+    std::size_t members = 0;
+    for (std::size_t n = 0; n < g.node_count(); ++n) {
+      if (plan.shard_of[n] == s) {
+        if (start < 0) start = static_cast<NodeId>(n);
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    std::vector<bool> seen(g.node_count(), false);
+    std::vector<NodeId> frontier{start};
+    seen[static_cast<std::size_t>(start)] = true;
+    std::size_t reached = 1;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.back();
+      frontier.pop_back();
+      for (const Adjacency& adj : g.neighbors(u)) {
+        const auto v = static_cast<std::size_t>(adj.neighbor);
+        if (seen[v] || plan.shard_of[v] != s) continue;
+        seen[v] = true;
+        ++reached;
+        frontier.push_back(adj.neighbor);
+      }
+    }
+    if (reached != members) return false;
+  }
+  return true;
+}
+
+TEST(ShardPartitionTest, SingleShardHasNoCut) {
+  const FatTree ft = fattree_topology(4);
+  const ShardPlan plan = partition_shards(ft.graph, 1);
+  expect_valid_plan(ft.graph, plan, 1);
+  EXPECT_EQ(plan.cut_links, 0u);
+  EXPECT_EQ(plan.min_cut_latency, sim::kTimeInfinity);
+  EXPECT_TRUE(std::all_of(plan.shard_of.begin(), plan.shard_of.end(),
+                          [](int s) { return s == 0; }));
+}
+
+TEST(ShardPartitionTest, FatTreeFourWayIsBalancedWithUniformCut) {
+  const FatTree ft = fattree_topology(4);
+  const ShardPlan plan = partition_shards(ft.graph, 4);
+  expect_valid_plan(ft.graph, plan, 4);
+  expect_cut_consistent(ft.graph, plan);
+  // Every fat-tree link has the same latency, so whatever the cut is, its
+  // minimum is that latency — the engine's lookahead on this topology.
+  EXPECT_GT(plan.cut_links, 0u);
+  EXPECT_EQ(plan.min_cut_latency, sim::microseconds(25));
+}
+
+TEST(ShardPartitionTest, FatTreeEightStaysBalancedAtEveryK) {
+  const FatTree ft = fattree_topology(8);
+  for (const int k : {2, 3, 4, 8}) {
+    SCOPED_TRACE(k);
+    const ShardPlan plan = partition_shards(ft.graph, k);
+    expect_valid_plan(ft.graph, plan, k);
+    expect_cut_consistent(ft.graph, plan);
+    EXPECT_EQ(plan.min_cut_latency, sim::microseconds(25));
+  }
+}
+
+TEST(ShardPartitionTest, RingShardsAreConnectedArcs) {
+  const Graph g = ring(12, sim::microseconds(7));
+  const ShardPlan plan = partition_shards(g, 3);
+  expect_valid_plan(g, plan, 3);
+  expect_cut_consistent(g, plan);
+  // BFS balls of a ring are arcs: each shard must induce one connected arc
+  // of exactly n / k nodes.
+  EXPECT_TRUE(shards_connected(g, plan));
+  for (const std::size_t size : plan.sizes) EXPECT_EQ(size, 4u);
+  EXPECT_EQ(plan.min_cut_latency, sim::microseconds(7));
+}
+
+TEST(ShardPartitionTest, MinCutTracksCheapestCutLinkOnly) {
+  // Heterogeneous latencies: the lookahead bound must come from a link
+  // that is actually cut, recomputed here from the assignment itself.
+  Graph g = ring(10, sim::microseconds(40));
+  g.add_link(0, 5, sim::microseconds(3), 100.0);  // chord, cheapest link
+  const ShardPlan plan = partition_shards(g, 2);
+  expect_valid_plan(g, plan, 2);
+  expect_cut_consistent(g, plan);
+  EXPECT_GE(plan.min_cut_latency, sim::microseconds(3));
+  EXPECT_LE(plan.min_cut_latency, sim::microseconds(40));
+}
+
+TEST(ShardPartitionTest, OversizedKClampsToNodeCount) {
+  const Graph g = ring(6, sim::microseconds(10));
+  const ShardPlan plan = partition_shards(g, 100);
+  expect_valid_plan(g, plan, 6);
+  for (const std::size_t size : plan.sizes) EXPECT_EQ(size, 1u);
+  expect_cut_consistent(g, plan);
+}
+
+TEST(ShardPartitionTest, PlanIsDeterministic) {
+  const FatTree ft = fattree_topology(8);
+  const ShardPlan a = partition_shards(ft.graph, 4);
+  const ShardPlan b = partition_shards(ft.graph, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.sizes, b.sizes);
+  EXPECT_EQ(a.min_cut_latency, b.min_cut_latency);
+  EXPECT_EQ(a.cut_links, b.cut_links);
+}
+
+}  // namespace
+}  // namespace p4u::net

@@ -26,6 +26,17 @@ checker bans them:
                   references to locals that may be dead by fire time.
                   Capture what the event needs explicitly (by value, or by
                   reference to objects that provably outlive the queue).
+  thread-containment  raw threading primitives (std::thread/jthread, the
+                  mutex family, condition variables, atomics, futures,
+                  latches/barriers/semaphores) in campaign-critical code
+                  outside the sanctioned parallel engine (--thread-allow,
+                  default: src/sim/parallel*, src/harness/parallel_runner*).
+                  Ad-hoc threading is how nondeterminism leaks into merged
+                  reports; cross-shard work must go through the sharded
+                  engine's mailboxes so ordering stays keyed and replayable.
+                  Template-argument mentions (e.g. lock_guard<std::mutex>)
+                  are not flagged — the primitive's declaration site is the
+                  containment point.
 
 Suppressions: a finding is allowed by an inline annotation on the same
 line or the line directly above:
@@ -55,10 +66,13 @@ DEFAULT_PATHS = ("src", "bench", "examples", "tests")
 # unordered-iter only applies to campaign-critical code: the library that
 # produces, merges, and reports campaign results.
 DEFAULT_CRITICAL = ("src",)
+# thread-containment exempts the sanctioned parallel machinery: the sharded
+# engine (workers, mailboxes, window barrier) and the campaign job runner.
+DEFAULT_THREAD_ALLOW = ("src/sim/parallel", "src/harness/parallel_runner")
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
 RULES = ("wall-clock", "raw-rand", "env-read", "unordered-iter",
-         "inlinefn-capture")
+         "inlinefn-capture", "thread-containment")
 
 # Patterns are matched against comment- and string-stripped lines.
 LINE_RULES = {
@@ -88,6 +102,20 @@ BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\(")
 SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:at|in)\s*\(")
 # A lambda introducer whose first capture is a bare '&': [&] or [&, ...].
 DEFAULT_REF_CAPTURE_RE = re.compile(r"\[\s*&\s*[,\]]")
+# Raw threading vocabulary. atomic\w* covers atomic<T>, atomic_flag,
+# atomic_bool, atomic_thread_fence, ...; the mutex alternative covers the
+# whole <mutex>/<shared_mutex> family.
+THREAD_PRIMITIVE_RE = re.compile(
+    r"(?<!\w)std\s*::\s*(?:"
+    r"j?thread\b|this_thread\b"
+    r"|(?:recursive_|timed_|recursive_timed_|shared_|shared_timed_)?mutex\b"
+    r"|condition_variable(?:_any)?\b"
+    r"|atomic\w*"
+    r"|call_once\b|once_flag\b"
+    r"|async\b|future\b|shared_future\b|promise\b|packaged_task\b"
+    r"|latch\b|barrier\b|counting_semaphore\b|binary_semaphore\b"
+    r")"
+)
 
 
 @dataclass
@@ -260,6 +288,33 @@ def inlinefn_findings(rel: str, clean_lines: list[str]) -> list[Finding]:
     return out
 
 
+def thread_findings(rel: str, clean_lines: list[str]) -> list[Finding]:
+    """Raw threading primitives spelled out in this file. A mention in
+    template-argument position (lock_guard<std::mutex>, scoped_lock<...,
+    std::mutex>) is skipped: locking a mutex is not the violation, declaring
+    one outside the sanctioned engine is, and the declaration line is where
+    the finding lands."""
+    out = []
+    prev_tail = ""
+    for idx, line in enumerate(clean_lines, start=1):
+        for m in THREAD_PRIMITIVE_RE.finditer(line):
+            # A wrapped template-argument list puts the '<' or ',' at the
+            # end of the previous line.
+            before = line[: m.start()].rstrip() or prev_tail
+            if before.endswith("<") or before.endswith(","):
+                continue
+            out.append(
+                Finding(
+                    rel,
+                    idx,
+                    "thread-containment",
+                    f"raw threading primitive '{m.group(0).strip()}'",
+                )
+            )
+        prev_tail = line.rstrip()
+    return out
+
+
 def unordered_names(clean_text: str) -> set[str]:
     """Identifiers declared (directly or via one level of alias) with an
     unordered container type in this text."""
@@ -364,7 +419,10 @@ class FileReport:
 
 
 def check_file(
-    repo: Path, path: Path, critical: tuple[str, ...]
+    repo: Path,
+    path: Path,
+    critical: tuple[str, ...],
+    thread_allow: tuple[str, ...] = DEFAULT_THREAD_ALLOW,
 ) -> FileReport:
     rel = path.relative_to(repo).as_posix()
     raw = path.read_text(encoding="utf-8", errors="replace")
@@ -416,6 +474,8 @@ def check_file(
             )
         candidates.extend(iteration_findings(rel, clean_lines, names))
         candidates.extend(inlinefn_findings(rel, clean_lines))
+        if not any(rel.startswith(prefix) for prefix in thread_allow):
+            candidates.extend(thread_findings(rel, clean_lines))
 
     for f in candidates:
         for at in (f.line, f.line - 1):
@@ -461,6 +521,10 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--critical", nargs="+", default=list(DEFAULT_CRITICAL),
                     help="path prefixes where unordered-iter applies "
                          f"(default: {DEFAULT_CRITICAL})")
+    ap.add_argument("--thread-allow", nargs="+",
+                    default=list(DEFAULT_THREAD_ALLOW),
+                    help="path prefixes exempt from thread-containment "
+                         f"(default: {DEFAULT_THREAD_ALLOW})")
     ap.add_argument("--list-allowed", action="store_true",
                     help="print allowed (annotated) sites as well")
     ap.add_argument("--expect-allowed", action="append", default=[],
@@ -487,7 +551,11 @@ def main(argv: list[str]) -> int:
 
     all_findings: list[Finding] = []
     for f in files:
-        all_findings.extend(check_file(repo, f, tuple(args.critical)).findings)
+        all_findings.extend(
+            check_file(
+                repo, f, tuple(args.critical), tuple(args.thread_allow)
+            ).findings
+        )
 
     banned = [f for f in all_findings if not f.allowed]
     allowed = [f for f in all_findings if f.allowed]

@@ -187,6 +187,47 @@ class InlineFnCaptureTest(unittest.TestCase):
         self.assertEqual(got, [])
 
 
+class ThreadContainmentTest(unittest.TestCase):
+    def _findings(self, src: str):
+        lines = detlint.strip_comments_and_strings(src)
+        return detlint.thread_findings("x.cpp", lines)
+
+    def test_primitive_declarations_flagged(self):
+        got = self._findings(
+            "std::mutex mu_;\nstd::atomic<int> n{0};\nstd::thread t;\n"
+        )
+        self.assertEqual([f.rule for f in got], ["thread-containment"] * 3)
+        self.assertEqual([f.line for f in got], [1, 2, 3])
+
+    def test_condition_variable_and_this_thread_flagged(self):
+        got = self._findings(
+            "std::condition_variable_any cv;\nstd::this_thread::yield();\n"
+        )
+        self.assertEqual(len(got), 2)
+
+    def test_template_argument_position_clean(self):
+        got = self._findings(
+            "const std::lock_guard<std::mutex> lock(mu_);\n"
+            "std::scoped_lock<std::mutex,\n"
+            "                 std::mutex> both(a, b);\n"
+        )
+        self.assertEqual(got, [])
+
+    def test_unrelated_std_names_clean(self):
+        got = self._findings(
+            "std::vector<int> v;\nstd::map<int, int> m;\n"
+            "int futures_settled = 0;\n"
+        )
+        self.assertEqual(got, [])
+
+    def test_thread_allow_prefix_exempts_file(self):
+        r = run_detlint(
+            "--repo", str(HERE / "fixtures"), "--paths", "fail",
+            "--critical", "fail", "--thread-allow", "fail/thread_raw",
+        )
+        self.assertNotIn("thread-containment", r.stdout)
+
+
 class FixtureTest(unittest.TestCase):
     FIXTURES = HERE / "fixtures"
 
@@ -211,6 +252,7 @@ class FixtureTest(unittest.TestCase):
             "fail/bad_suppressions.cpp": "bad-suppression",
             "fail/mc_unordered_merge.cpp": "unordered-iter",
             "fail/inlinefn_capture.cpp": "inlinefn-capture",
+            "fail/thread_raw.cpp": "thread-containment",
         }
         for path, rule in expected.items():
             self.assertIn(f"{path}:", r.stdout)
@@ -233,9 +275,11 @@ class FixtureTest(unittest.TestCase):
         # range-fors + one .begin() walk), bad_suppressions: 3,
         # mc_unordered_merge: 3 (one hash-order range-for + two
         # steady_clock reads), inlinefn_capture: 3 (same-line [&],
-        # [&, extra], multi-line call head).
+        # [&, extra], multi-line call head), thread_raw: 5 (mutex, condvar,
+        # atomic, thread, this_thread; the lock_guard<std::mutex> line adds
+        # nothing — template-argument position).
         banned = [l for l in r.stdout.splitlines() if "[banned]" in l]
-        self.assertEqual(len(banned), 21, r.stdout)
+        self.assertEqual(len(banned), 26, r.stdout)
 
     def test_expect_allowed_mismatch_fails(self):
         r = run_detlint(
@@ -273,21 +317,26 @@ class FixtureTest(unittest.TestCase):
 class RepoScanTest(unittest.TestCase):
     """The dirs added by the interleaving-explorer work, scanned for real.
 
-    src/sim holds the strategy/schedule/explorer core and bench/ holds the
-    mc and static-verification drivers; all feed replayable artifacts and
-    gating reports, so they must stay free of unordered-container iteration
-    and deferred [&]-captures (bench/mc.cpp and bench/verify.cpp are
-    promoted to campaign-critical) and of wall-clock reads beyond the
-    four sanctioned BenchClock sites in bench drivers.
+    src/sim holds the strategy/schedule/explorer core plus the sharded
+    parallel engine, src/harness holds the campaign runner, and bench/
+    holds the mc and static-verification drivers; all feed replayable
+    artifacts and gating reports, so they must stay free of
+    unordered-container iteration and deferred [&]-captures (bench/mc.cpp
+    and bench/verify.cpp are promoted to campaign-critical), of wall-clock
+    reads beyond the five sanctioned BenchClock sites in bench drivers,
+    and of raw threading outside the allowlisted engine (the one annotated
+    exception is the SystemFactory registry mutex).
     """
 
     REPO = HERE.parent.parent
 
     def test_sim_and_mc_driver_stay_deterministic(self):
         r = run_detlint(
-            "--repo", str(self.REPO), "--paths", "src/sim", "bench",
+            "--repo", str(self.REPO),
+            "--paths", "src/sim", "src/harness", "bench",
             "--critical", "src", "bench/mc.cpp", "bench/verify.cpp",
-            "--expect-allowed", "wall-clock:bench=4",
+            "--expect-allowed", "wall-clock:bench=5",
+            "--expect-allowed", "thread-containment:src=1",
         )
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 

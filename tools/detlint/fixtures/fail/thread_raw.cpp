@@ -1,0 +1,27 @@
+// Fixture: raw threading primitives outside the sanctioned parallel
+// engine — every declaration line here must be flagged. The lock_guard
+// lines must NOT add findings of their own: std::mutex in template-argument
+// position points at a declaration that is already the containment point.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct SideChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> pending{0};
+};
+
+inline void poke(SideChannel& ch) {
+  std::thread worker([&ch] {
+    const std::lock_guard<std::mutex> lock(ch.mu);
+    ch.pending.fetch_add(1);
+  });
+  worker.join();
+  std::this_thread::yield();
+}
+
+}  // namespace fixture
