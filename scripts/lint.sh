@@ -56,14 +56,15 @@ if [[ "$RUN_DETLINT" == 1 ]]; then
   # measurement) and the BenchClock aliases in bench/ (fig8_prep_time,
   # hotpath, scale's flows/sec, par's events/sec, and verify's plans/sec
   # measurements). A new sanctioned wall-clock site must bump these
-  # explicitly. bench/mc.cpp and bench/verify.cpp are promoted to
-  # campaign-critical: their merged reports, counterexamples, and
-  # verdict/witness artifacts gate CI, so hash-order iteration and deferred
-  # [&]-captures are banned there exactly as in src/. thread-containment
-  # keeps raw threading inside the sharded engine and the job runner; the
-  # one annotated exception is the SystemFactory registry mutex.
+  # explicitly. bench/mc.cpp, bench/verify.cpp, and bench/churn.cpp are
+  # promoted to campaign-critical: their merged reports, counterexamples,
+  # and verdict/witness artifacts gate CI, so hash-order iteration and
+  # deferred [&]-captures are banned there exactly as in src/.
+  # thread-containment keeps raw threading inside the sharded engine and
+  # the job runner; the one annotated exception is the SystemFactory
+  # registry mutex.
   if ! python3 tools/detlint/detlint.py --repo . \
-      --critical src bench/mc.cpp bench/verify.cpp \
+      --critical src bench/mc.cpp bench/verify.cpp bench/churn.cpp \
       --expect-allowed wall-clock:src=1 \
       --expect-allowed wall-clock:bench=5 \
       --expect-allowed thread-containment:src=1; then

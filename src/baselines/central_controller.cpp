@@ -61,6 +61,10 @@ p4rt::Version CentralController::schedule_update(net::FlowId flow,
     view.update_in_progress = false;
     jobs_.erase(flow);
     if (on_complete) on_complete(flow, version, channel_.now());
+    if (on_settled) {
+      on_settled(flow, version, control::UpdateOutcome::kCompleted,
+                 channel_.now());
+    }
     return version;
   }
   if (params_.recovery.enabled) track_update(flow, version);
@@ -185,6 +189,10 @@ void CentralController::handle_from_switch(net::NodeId from,
       channel_.send_to_switch(n, p4rt::Packet{cmd});
     }
     if (on_complete) on_complete(ack.flow, version, channel_.now());
+    if (on_settled) {
+      on_settled(ack.flow, version, control::UpdateOutcome::kCompleted,
+                 channel_.now());
+    }
   }
   start_round();
 }
@@ -264,6 +272,7 @@ void CentralController::settle_update(net::FlowId flow,
       .inc();
   nib_.view(flow).update_in_progress = false;
   retry_.erase(flow);
+  if (on_settled) on_settled(flow, version, outcome, channel_.now());
   start_round();  // the cancel may have unblocked the global barrier
 }
 
@@ -327,6 +336,10 @@ void CentralController::repair_around(
             .inc();
         nib_.view(flow).update_in_progress = false;
         retry_.erase(flow);
+        if (on_settled) {
+          on_settled(flow, doomed, control::UpdateOutcome::kAbandoned,
+                     channel_.now());
+        }
       }
       continue;
     }

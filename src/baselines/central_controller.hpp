@@ -55,6 +55,12 @@ class CentralController final : public p4rt::ControllerApp {
   }
 
   std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
+  /// Invoked whenever an issued update reaches a terminal outcome
+  /// (kCompleted / kRolledBack / kAbandoned), after all controller state
+  /// was updated — a handler may synchronously schedule the next update.
+  std::function<void(net::FlowId, p4rt::Version, control::UpdateOutcome,
+                     sim::Time)>
+      on_settled;
 
  private:
   struct Job {

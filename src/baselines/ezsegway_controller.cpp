@@ -145,6 +145,10 @@ p4rt::Version EzSegwayController::issue(net::FlowId flow,
     nib_.believe_path(flow, new_path);
     nib_.view(flow).update_in_progress = false;
     if (on_complete) on_complete(flow, version, channel_.now());
+    if (on_settled) {
+      on_settled(flow, version, control::UpdateOutcome::kCompleted,
+                 channel_.now());
+    }
     return version;
   }
   remaining_[{flow, version}] = prepared.nontrivial_segments;
@@ -168,7 +172,7 @@ p4rt::Version EzSegwayController::schedule_update(net::FlowId flow,
                prio_it == priority_.end() ? 0 : prio_it->second);
 }
 
-void EzSegwayController::schedule_updates(
+void EzSegwayController::prepare_batch(
     const std::vector<std::pair<net::FlowId, net::Path>>& updates) {
   priority_.clear();
   if (params_.congestion_mode) {
@@ -190,6 +194,11 @@ void EzSegwayController::schedule_updates(
     }
     channel_.occupy(static_cast<sim::Duration>(units) * kWorkUnitCost);
   }
+}
+
+void EzSegwayController::schedule_updates(
+    const std::vector<std::pair<net::FlowId, net::Path>>& updates) {
+  prepare_batch(updates);
   for (const auto& [flow, new_path] : updates) {
     schedule_update(flow, new_path);
   }
@@ -218,10 +227,19 @@ void EzSegwayController::handle_from_switch(net::NodeId from,
     retry_.erase(rit);
   }
   if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
+  if (on_settled) {
+    on_settled(ufm.flow, ufm.version, control::UpdateOutcome::kCompleted,
+               channel_.now());
+  }
   issue_next_queued(ufm.flow);
 }
 
 void EzSegwayController::issue_next_queued(net::FlowId flow) {
+  // An on_settled handler may have re-dispatched the flow synchronously
+  // (admission queue); issuing the internally queued follow-up on top would
+  // break the one-update-per-flow invariant (§4.2). It stays queued until
+  // the flow is idle again.
+  if (nib_.view(flow).update_in_progress) return;
   auto q = queued_.find(flow);
   if (q == queued_.end() || q->second.empty()) return;
   const net::Path next = q->second.front();
@@ -289,6 +307,7 @@ void EzSegwayController::settle_update(net::FlowId flow,
       .inc();
   nib_.view(flow).update_in_progress = false;
   retry_.erase(flow);
+  if (on_settled) on_settled(flow, version, outcome, channel_.now());
   issue_next_queued(flow);
 }
 
@@ -370,6 +389,10 @@ void EzSegwayController::repair_around(
             .inc();
         nib_.view(flow).update_in_progress = false;
         retry_.erase(flow);
+        if (on_settled) {
+          on_settled(flow, v, control::UpdateOutcome::kAbandoned,
+                     channel_.now());
+        }
       }
       had_inflight = true;
     }

@@ -65,8 +65,15 @@ class EzSegwayController final : public p4rt::ControllerApp {
   /// still in flight (ez-Segway's consistency choice, §4.2).
   p4rt::Version schedule_update(net::FlowId flow, const net::Path& new_path);
 
-  /// Schedules a batch (multi-flow scenario); computes priorities once when
-  /// the congestion variant is on, then issues all commands.
+  /// Batch preamble: computes the congestion variant's global priorities
+  /// (and occupies the channel for the centralized compute) before any of
+  /// the batch's updates is issued. No-op outside congestion mode. Callers
+  /// follow up with one schedule_update per entry.
+  void prepare_batch(
+      const std::vector<std::pair<net::FlowId, net::Path>>& updates);
+
+  /// Schedules a batch (multi-flow scenario): prepare_batch + one
+  /// schedule_update per entry.
   void schedule_updates(
       const std::vector<std::pair<net::FlowId, net::Path>>& updates);
 
@@ -81,6 +88,13 @@ class EzSegwayController final : public p4rt::ControllerApp {
   [[nodiscard]] control::FlowDb& flow_db() noexcept { return flow_db_; }
 
   std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
+  /// Invoked whenever an issued update reaches a terminal outcome
+  /// (kCompleted / kRolledBack / kAbandoned), after all controller state
+  /// was updated — a handler may synchronously schedule the next update.
+  /// Fires before issue_next_queued drains this flow's internal queue.
+  std::function<void(net::FlowId, p4rt::Version, control::UpdateOutcome,
+                     sim::Time)>
+      on_settled;
 
  private:
   using Key = std::pair<net::FlowId, p4rt::Version>;

@@ -1,0 +1,202 @@
+#include "control/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace p4u::control {
+
+namespace {
+
+RequestState state_of(UpdateOutcome o) {
+  switch (o) {
+    case UpdateOutcome::kCompleted: return RequestState::kCompleted;
+    case UpdateOutcome::kRolledBack: return RequestState::kRolledBack;
+    case UpdateOutcome::kAbandoned: return RequestState::kAbandoned;
+    case UpdateOutcome::kPending: break;
+  }
+  return RequestState::kQueued;  // non-terminal sentinel; callers guard
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(FlowDb& db, AdmissionParams params)
+    : db_(db), params_(params) {}
+
+RequestId AdmissionQueue::submit(net::FlowId flow, RequestKind kind,
+                                 net::Path new_path) {
+  const RequestId id = db_.request_submitted(flow, kind, now());
+  if (params_.coalesce) {
+    // At most one queued entry per flow exists under coalescing, so the
+    // first hit is the only one. The replacement keeps the queue position:
+    // a flow cannot gain priority by resubmitting.
+    for (Pending& p : pending_) {
+      if (p.flow != flow) continue;
+      finish(p.id, RequestState::kSuperseded);
+      ++coalesced_;
+      p.id = id;
+      p.path = std::move(new_path);
+      return id;
+    }
+  }
+  pending_.push_back(Pending{id, flow, std::move(new_path)});
+  queued_peak_ = std::max(queued_peak_, pending_.size());
+  pump();
+  return id;
+}
+
+RequestId AdmissionQueue::note_instant(net::FlowId flow, RequestKind kind) {
+  const sim::Time t = now();
+  const RequestId id = db_.request_submitted(flow, kind, t);
+  db_.request_dispatched(id, 0, t);
+  finish(id, RequestState::kCompleted);
+  return id;
+}
+
+void AdmissionQueue::on_update_settled(net::FlowId flow,
+                                       p4rt::Version version,
+                                       UpdateOutcome outcome) {
+  const RequestState terminal = state_of(outcome);
+  if (!is_terminal(terminal)) return;
+  const auto ait = active_.find(flow);
+  if (ait == active_.end() || ait->second.empty()) return;
+  std::vector<Active>& acts = ait->second;
+
+  // The settled version's request, by exact match first. Without one (the
+  // controller settled a version it issued internally — a recovery repair —
+  // or one ez-Segway assigned after dispatch), older known versions are
+  // superseded and the oldest version-less dispatch absorbs the outcome:
+  // per-flow issue order is FIFO, so that entry is the settled one whenever
+  // the version is attributable at all.
+  std::size_t match = acts.size();
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    if (acts[i].version == version) {
+      match = i;
+      break;
+    }
+  }
+  if (match == acts.size()) {
+    // Drop the prefix of strictly-older known versions first, then look
+    // for a version-less dispatch to attribute to.
+    while (!acts.empty() && acts.front().version != 0 &&
+           acts.front().version < version) {
+      const RequestId id = acts.front().id;
+      acts.erase(acts.begin());
+      --inflight_;
+      finish(id, RequestState::kSuperseded);
+    }
+    if (acts.empty() || acts.front().version != 0) {
+      if (acts.empty()) active_.erase(ait);
+      pump();
+      return;
+    }
+    match = 0;
+  }
+
+  // Version-ordered notification: everything dispatched before the match is
+  // an older version — it settles kSuperseded *before* the match's own
+  // terminal notification fires.
+  std::vector<RequestId> resolved;
+  resolved.reserve(match + 1);
+  for (std::size_t i = 0; i <= match; ++i) resolved.push_back(acts[i].id);
+  acts.erase(acts.begin(), acts.begin() + static_cast<std::ptrdiff_t>(match) + 1);
+  inflight_ -= match + 1;
+  if (acts.empty()) active_.erase(ait);
+
+  for (std::size_t i = 0; i + 1 < resolved.size(); ++i) {
+    finish(resolved[i], RequestState::kSuperseded);
+  }
+  db_.request_version(resolved.back(), version);
+  finish(resolved.back(), terminal);
+  pump();
+}
+
+void AdmissionQueue::finish(RequestId id, RequestState terminal) {
+  db_.request_finished(id, terminal, now());
+  if (notify_) {
+    const RequestRecord* rec = db_.request(id);
+    if (rec != nullptr) notify_(*rec);
+  }
+}
+
+std::size_t AdmissionQueue::flow_inflight(net::FlowId flow) const {
+  const auto it = active_.find(flow);
+  return it == active_.end() ? 0 : it->second.size();
+}
+
+bool AdmissionQueue::can_dispatch(net::FlowId flow) const {
+  return params_.max_inflight_per_flow == 0 ||
+         flow_inflight(flow) < params_.max_inflight_per_flow;
+}
+
+void AdmissionQueue::dispatch_one(Pending p) {
+  db_.request_dispatched(p.id, 0, now());
+  active_[p.flow].push_back(Active{p.id, 0});
+  ++inflight_;
+  inflight_peak_ = std::max(inflight_peak_, inflight_);
+  ++dispatched_;
+  const DispatchResult r =
+      dispatch_ ? dispatch_(p.flow, p.path) : DispatchResult{};
+  const RequestRecord* rec = db_.request(p.id);
+  if (rec == nullptr || is_terminal(rec->state)) {
+    // Settled from inside the dispatch (a trivial update completed inline);
+    // the settle handler already removed the active entry.
+    return;
+  }
+  if (!r.accepted) {
+    // Nothing was issued (preflight refusal): the flow keeps its believed
+    // old path, which is exactly a rollback from the request's view.
+    ++refused_;
+    auto ait = active_.find(p.flow);
+    if (ait != active_.end()) {
+      auto& acts = ait->second;
+      for (std::size_t i = 0; i < acts.size(); ++i) {
+        if (acts[i].id != p.id) continue;
+        acts.erase(acts.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      if (acts.empty()) active_.erase(ait);
+    }
+    --inflight_;
+    finish(p.id, RequestState::kRolledBack);
+    return;
+  }
+  if (r.version != 0) {
+    db_.request_version(p.id, r.version);
+    auto ait = active_.find(p.flow);
+    if (ait != active_.end()) {
+      for (Active& a : ait->second) {
+        if (a.id == p.id) {
+          a.version = r.version;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void AdmissionQueue::pump() {
+  if (pumping_) return;  // a settle inside a dispatch defers to this loop
+  pumping_ = true;
+  while (!pending_.empty()) {
+    if (params_.max_inflight_global != 0 &&
+        inflight_ >= params_.max_inflight_global) {
+      break;
+    }
+    // FIFO with a skip scan: the oldest request whose flow has a free slot
+    // dispatches; flows at their bound do not block unrelated flows.
+    std::size_t pick = pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (can_dispatch(pending_[i].flow)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == pending_.size()) break;
+    Pending p = std::move(pending_[pick]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+    dispatch_one(std::move(p));
+  }
+  pumping_ = false;
+}
+
+}  // namespace p4u::control

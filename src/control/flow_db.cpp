@@ -18,6 +18,32 @@ const char* to_string(UpdateOutcome o) {
   return "?";
 }
 
+const char* to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::kAdd: return "add";
+    case RequestKind::kReroute: return "reroute";
+    case RequestKind::kRemove: return "remove";
+  }
+  return "?";
+}
+
+const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kDispatched: return "dispatched";
+    case RequestState::kCompleted: return "completed";
+    case RequestState::kRolledBack: return "rolled-back";
+    case RequestState::kAbandoned: return "abandoned";
+    case RequestState::kSuperseded: return "superseded";
+  }
+  return "?";
+}
+
+bool is_terminal(RequestState s) {
+  return s == RequestState::kCompleted || s == RequestState::kRolledBack ||
+         s == RequestState::kAbandoned || s == RequestState::kSuperseded;
+}
+
 void FlowDb::reserve(std::size_t expected) {
   index_.reserve(expected);
   histories_.reserve(expected);
@@ -136,6 +162,80 @@ void FlowDb::export_outcomes(obs::MetricsRegistry& m) const {
   // recovery drives flows to terminal outcomes.
   m.gauge("ctrl.updates_nonterminal")
       .set(static_cast<double>(nonterminal_updates()));
+}
+
+RequestId FlowDb::request_submitted(net::FlowId flow, RequestKind kind,
+                                    sim::Time at) {
+  RequestRecord r;
+  r.id = static_cast<RequestId>(requests_.size()) + 1;
+  r.flow = flow;
+  r.kind = kind;
+  r.state = RequestState::kQueued;
+  r.submitted_at = at;
+  requests_.push_back(r);
+  return r.id;
+}
+
+void FlowDb::request_dispatched(RequestId id, p4rt::Version v, sim::Time at) {
+  if (id == 0 || id > requests_.size()) return;
+  RequestRecord& r = requests_[id - 1];
+  if (r.state != RequestState::kQueued) return;
+  r.state = RequestState::kDispatched;
+  r.version = v;
+  r.dispatched_at = at;
+}
+
+void FlowDb::request_version(RequestId id, p4rt::Version v) {
+  if (id == 0 || id > requests_.size()) return;
+  RequestRecord& r = requests_[id - 1];
+  if (r.version == 0) r.version = v;
+}
+
+void FlowDb::request_finished(RequestId id, RequestState terminal,
+                              sim::Time at) {
+  if (id == 0 || id > requests_.size() || !is_terminal(terminal)) return;
+  RequestRecord& r = requests_[id - 1];
+  if (is_terminal(r.state)) return;  // settled transitions are final
+  r.state = terminal;
+  r.finished_at = at;
+}
+
+const RequestRecord* FlowDb::request(RequestId id) const {
+  if (id == 0 || id > requests_.size()) return nullptr;
+  return &requests_[id - 1];
+}
+
+std::uint64_t FlowDb::requests_nonterminal() const {
+  std::uint64_t n = 0;
+  for (const RequestRecord& r : requests_) {
+    if (!is_terminal(r.state)) ++n;
+  }
+  return n;
+}
+
+void FlowDb::export_requests(obs::MetricsRegistry& m) const {
+  // kind x state totals; top-up like export_outcomes so re-exports after
+  // further progress stay correct.
+  std::uint64_t totals[3][6] = {};
+  for (const RequestRecord& r : requests_) {
+    totals[static_cast<std::size_t>(r.kind)]
+          [static_cast<std::size_t>(r.state)] += 1;
+  }
+  for (const RequestKind k :
+       {RequestKind::kAdd, RequestKind::kReroute, RequestKind::kRemove}) {
+    for (const RequestState s :
+         {RequestState::kCompleted, RequestState::kRolledBack,
+          RequestState::kAbandoned, RequestState::kSuperseded}) {
+      const std::uint64_t total = totals[static_cast<std::size_t>(k)]
+                                        [static_cast<std::size_t>(s)];
+      if (total == 0) continue;  // keep the registry sparse
+      obs::Counter c = m.counter(
+          "ctrl.request", {{"kind", to_string(k)}, {"state", to_string(s)}});
+      if (total > c.value()) c.inc(total - c.value());
+    }
+  }
+  m.gauge("ctrl.requests_nonterminal")
+      .set(static_cast<double>(requests_nonterminal()));
 }
 
 std::uint64_t FlowDb::total_alarms() const {

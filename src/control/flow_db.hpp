@@ -46,6 +46,48 @@ struct UpdateRecord {
   UpdateOutcome outcome = UpdateOutcome::kPending;
 };
 
+// ---------------------------------------------------------------------------
+// Request ledger: the controller-facing unit of work. A request is what a
+// client *asked for* (add / reroute / remove a flow); a version is what the
+// controller *issued* for it. The admission queue (control/admission.hpp)
+// drives every transition; the churn campaign's liveness gate is
+// all_requests_terminal().
+
+enum class RequestKind {
+  kAdd,      // bring a new flow up (instant: version-1 bootstrap)
+  kReroute,  // move an existing flow onto a new path
+  kRemove,   // retire a flow (drain back to its primary path)
+};
+
+enum class RequestState {
+  kQueued,      // admitted, waiting for an in-flight slot
+  kDispatched,  // handed to the controller; an update version is in flight
+  kCompleted,   // the dispatched update confirmed (terminal)
+  kRolledBack,  // recovery gave up; traffic stays on the old path (terminal)
+  kAbandoned,   // recovery gave up with no healthy path left (terminal)
+  kSuperseded,  // a newer request for the flow replaced it (terminal)
+};
+
+const char* to_string(RequestKind k);
+const char* to_string(RequestState s);
+
+/// True for the four settled states.
+[[nodiscard]] bool is_terminal(RequestState s);
+
+/// Ledger-wide id, 1-based; 0 is "no request".
+using RequestId = std::uint64_t;
+
+struct RequestRecord {
+  RequestId id = 0;
+  net::FlowId flow = 0;
+  RequestKind kind = RequestKind::kReroute;
+  RequestState state = RequestState::kQueued;
+  p4rt::Version version = 0;  // 0 until the controller assigned one
+  sim::Time submitted_at = 0;
+  sim::Time dispatched_at = 0;
+  sim::Time finished_at = 0;
+};
+
 // Flat storage: flow ids intern into a net::FlowIndex; the per-flow update
 // histories live in a dense array addressed by the handle. Whole-DB
 // reductions (all_completed, outcome exports) scan the dense array in
@@ -90,8 +132,37 @@ class FlowDb {
   /// harness can export right before every harvest.
   void export_outcomes(obs::MetricsRegistry& m) const;
 
+  // --- request ledger (admission queue bookkeeping) ---
+
+  /// Opens a new request in kQueued; returns its 1-based id.
+  RequestId request_submitted(net::FlowId flow, RequestKind kind,
+                              sim::Time at);
+  /// kQueued -> kDispatched. `v` may be 0 when the controller has not
+  /// assigned a version yet (ez-Segway's internal per-flow queue).
+  void request_dispatched(RequestId id, p4rt::Version v, sim::Time at);
+  /// Backfills the version once the controller assigned one.
+  void request_version(RequestId id, p4rt::Version v);
+  /// Moves the request to a terminal state and stamps finished_at.
+  void request_finished(RequestId id, RequestState terminal, sim::Time at);
+
+  [[nodiscard]] const RequestRecord* request(RequestId id) const;
+  [[nodiscard]] const std::vector<RequestRecord>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] std::uint64_t requests_nonterminal() const;
+  [[nodiscard]] bool all_requests_terminal() const {
+    return requests_nonterminal() == 0;
+  }
+
+  /// Tops up "ctrl.request"{kind=,state=} counters to the ledger's current
+  /// totals. Idempotent. Deliberately NOT part of export_outcomes: only
+  /// request-driven campaigns (churn) opt into these series, so the legacy
+  /// campaign reports stay byte-identical.
+  void export_requests(obs::MetricsRegistry& m) const;
+
  private:
   net::FlowIndex index_;
+  std::vector<RequestRecord> requests_;
   // Dense by handle (the DB never releases handles). An empty inner vector
   // costs no heap, so idle flows stay at one 24-byte row.
   std::vector<std::vector<UpdateRecord>> histories_;

@@ -226,6 +226,10 @@ void P4UpdateController::handle_from_switch(net::NodeId from,
         retry_.erase(rit);
       }
       if (on_complete) on_complete(ufm.flow, ufm.version, channel_.now());
+      if (on_settled) {
+        on_settled(ufm.flow, ufm.version, control::UpdateOutcome::kCompleted,
+                   channel_.now());
+      }
     } else {
       flow_db_.on_alarm(ufm.flow, ufm.version);
       channel_.metrics().counter("ctrl.alarms_received", {}).inc();
@@ -316,6 +320,7 @@ void P4UpdateController::settle_update(net::FlowId flow,
       .inc();
   nib_.view(flow).update_in_progress = false;
   retry_.erase(flow);
+  if (on_settled) on_settled(flow, version, outcome, channel_.now());
 }
 
 void P4UpdateController::handle_link_state(net::LinkId link, net::NodeId a,
@@ -391,6 +396,10 @@ void P4UpdateController::repair_around(
           .inc();
       nib_.view(flow).update_in_progress = false;
       retry_.erase(flow);
+      if (on_settled) {
+        on_settled(flow, doomed, control::UpdateOutcome::kAbandoned,
+                   channel_.now());
+      }
     } else {
       channel_.metrics().counter("ctrl.recovery_stranded", {}).inc();
     }

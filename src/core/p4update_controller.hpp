@@ -123,6 +123,14 @@ class P4UpdateController final : public p4rt::ControllerApp {
 
   /// Invoked on UFM success (flow converged to version).
   std::function<void(net::FlowId, p4rt::Version, sim::Time)> on_complete;
+  /// Invoked whenever an issued update reaches a terminal outcome:
+  /// kCompleted on UFM success, kRolledBack / kAbandoned when recovery gave
+  /// up. Fired after all controller state for the version was updated, so a
+  /// handler may synchronously schedule the flow's next update (the
+  /// admission queue does).
+  std::function<void(net::FlowId, p4rt::Version, control::UpdateOutcome,
+                     sim::Time)>
+      on_settled;
   /// Invoked on UFM alarm.
   std::function<void(net::FlowId, p4rt::Version, p4rt::AlarmCode)> on_alarm;
   /// Invoked on FRM (new flow seen in the data plane).

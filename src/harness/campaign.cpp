@@ -8,6 +8,7 @@
 #include "harness/parallel_runner.hpp"
 #include "obs/run_report.hpp"
 #include "sim/schedule_strategy.hpp"
+#include "sim/streaming_stats.hpp"
 
 namespace p4u::harness {
 
@@ -268,6 +269,74 @@ RunOutcome run_scale_job(const RunSpec& spec, std::uint64_t seed) {
   return out;
 }
 
+RunOutcome run_churn_job(const RunSpec& spec, std::uint64_t seed) {
+  const net::Graph& g = *spec.graph;
+  // Rolled before the bed exists: every system replays the identical
+  // request stream for this seed.
+  const ChurnWorkload wl = make_churn_workload(g, seed, spec.churn);
+
+  TestBedParams params = spec.bed;
+  params.seed = seed;
+  params.trace_enabled = false;
+  params.measure_prep_wallclock = false;
+  const auto strategy = install_strategy(spec, params, seed);
+  TestBed bed(g, params);
+  bed.reserve_events(g.node_count() * 64 + wl.events.size() * 256 + 1024);
+
+  install_churn(bed, wl);
+  bed.run(kRunUntil);
+
+  RunOutcome out;
+  const control::FlowDb& db = bed.flow_db();
+
+  // Completion latency (virtual submit -> settle) across every settled
+  // request: fixed-memory P2 tails, however long the stream ran.
+  sim::StreamingStats lat({50.0, 99.0, 99.9});
+  std::uint64_t terminal = 0;
+  sim::Time last_finish = 0;
+  for (const control::RequestRecord& r : db.requests()) {
+    if (!control::is_terminal(r.state)) continue;
+    ++terminal;
+    lat.add(sim::to_ms(r.finished_at - r.submitted_at));
+    last_finish = std::max(last_finish, r.finished_at);
+  }
+
+  // Liveness gate + sample: a run only counts when every request reached a
+  // terminal state; the sample is controller throughput in settled
+  // requests per virtual second, first arrival to last settle.
+  if (db.all_requests_terminal() && terminal > 0) {
+    const sim::Time span_from = spec.churn.start;
+    const sim::Time span_to = std::max(last_finish, span_from + 1);
+    out.sample = static_cast<double>(terminal) /
+                 (static_cast<double>(span_to - span_from) /
+                  static_cast<double>(sim::kSecond));
+  }
+
+  // Per-run scalars (tails, queue peaks) become one histogram observation
+  // each: the cross-seed campaign merge then reports count/mean/min/max
+  // (a gauge would keep only the last-merged run's value).
+  obs::MetricsRegistry& m = bed.metrics();
+  if (!lat.empty()) {
+    m.histogram("churn.latency_p50_ms").observe(lat.quantile(50.0));
+    m.histogram("churn.latency_p99_ms").observe(lat.quantile(99.0));
+    m.histogram("churn.latency_p999_ms").observe(lat.quantile(99.9));
+    m.histogram("churn.latency_mean_ms").observe(lat.mean());
+  }
+  static const std::vector<double> depth_buckets = {
+      0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  control::AdmissionQueue& q = bed.system().admission();
+  m.histogram("churn.queue_peak", {}, depth_buckets)
+      .observe(static_cast<double>(q.queued_peak()));
+  m.histogram("churn.inflight_peak", {}, depth_buckets)
+      .observe(static_cast<double>(q.inflight_peak()));
+  m.counter("churn.dispatched").inc(q.dispatched_total());
+  m.counter("churn.coalesced").inc(q.coalesced_total());
+  m.counter("churn.refused").inc(q.refused_total());
+  db.export_requests(m);
+  harvest_bed(bed, out);
+  return out;
+}
+
 RunOutcome run_fig2_job(const RunSpec& spec, std::uint64_t seed) {
   Fig2Result r = run_fig2_demo(spec.bed.system, seed);
   RunOutcome out;
@@ -297,6 +366,7 @@ const char* to_string(ScenarioFamily f) {
     case ScenarioFamily::kFig4FastForward: return "fig4-fast-forward";
     case ScenarioFamily::kChaos: return "chaos";
     case ScenarioFamily::kScale: return "scale";
+    case ScenarioFamily::kChurn: return "churn";
   }
   return "?";
 }
@@ -311,6 +381,7 @@ RunOutcome execute_run(const RunSpec& spec, int run_index) {
     case ScenarioFamily::kFig4FastForward: return run_fig4_job(spec, seed);
     case ScenarioFamily::kChaos: return run_chaos_job(spec, seed);
     case ScenarioFamily::kScale: return run_scale_job(spec, seed);
+    case ScenarioFamily::kChurn: return run_churn_job(spec, seed);
   }
   throw std::logic_error("execute_run: unknown scenario family");
 }
@@ -320,7 +391,8 @@ RunSpec& Campaign::add(RunSpec spec) {
   const bool needs_graph = spec.family == ScenarioFamily::kSingleFlow ||
                            spec.family == ScenarioFamily::kMultiFlow ||
                            spec.family == ScenarioFamily::kChaos ||
-                           spec.family == ScenarioFamily::kScale;
+                           spec.family == ScenarioFamily::kScale ||
+                           spec.family == ScenarioFamily::kChurn;
   if (needs_graph && spec.graph == nullptr) {
     throw std::invalid_argument("Campaign: spec '" + spec.slug +
                                 "' has no topology");

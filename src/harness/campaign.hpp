@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/churn.hpp"
 #include "harness/scenario.hpp"
 #include "harness/traffic.hpp"
 #include "obs/metrics.hpp"
@@ -47,6 +48,10 @@ enum class ScenarioFamily {
                       // resident flows over pinned edge pairs, a prefix of
                       // scale_update_flows rerouted in one batch; sample =
                       // the batch's last completion time
+  kChurn,             // steady-state churn: a Poisson stream of add /
+                      // remove / reroute requests through the admission
+                      // queue; sample = settled requests per virtual
+                      // second, tails in churn.latency_p{50,99,999}_ms
 };
 
 const char* to_string(ScenarioFamily f);
@@ -86,6 +91,9 @@ struct RunSpec {
   /// Candidate flow endpoints (e.g. the fat-tree's edge switches); pairs
   /// are drawn from here. Empty = every node is a candidate.
   std::vector<net::NodeId> scale_endpoints;
+  // Churn knobs (kChurn only): the offline-rolled request stream; see
+  // harness/churn.hpp. `bed.admission` bounds the in-flight window.
+  ChurnParams churn;
   /// System under test, latency model, fault knobs, congestion mode, ...
   /// (`bed.seed` is overwritten per run with base_seed + run index).
   TestBedParams bed;

@@ -1,0 +1,97 @@
+// Churn workload: steady-state request streams for long-running updates.
+//
+// ROADMAP item 3: everything before this PR issued one batch at t=10ms and
+// waited. Real controllers see continuous churn — flow arrivals, removals,
+// and reroutes at a sustained rate — and their queueing behaviour under
+// that load (admission depth, tail completion latency, superseded work) is
+// what bench/churn measures.
+//
+// The workload is generated OFFLINE as a pure function of (graph, seed,
+// params): `make_churn_workload` rolls the endpoint pairs, the initial
+// population, and the full Poisson-timed event list before the bed exists,
+// so every system under test replays the byte-identical request stream —
+// cross-system rows of BENCH_churn.json differ only in how the system
+// handles the load, never in the load itself.
+//
+// Overlap knob: endpoint pairs are drawn from a bounded pool (`pairs`), so
+// shrinking the pool makes more concurrent reroutes share segments (the
+// contended regime the paper's dependency analysis exists for); growing it
+// spreads the load thin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "control/flow_db.hpp"
+#include "harness/scenario.hpp"
+#include "net/flow.hpp"
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace p4u::harness {
+
+struct ChurnParams {
+  /// Distinct endpoint pairs in the pool (the segment-overlap knob).
+  std::size_t pairs = 32;
+  /// Flows deployed before t=0, dealt round-robin over the pairs.
+  std::size_t initial_flows = 64;
+  /// Poisson arrival rate of churn requests (per virtual second).
+  double arrivals_per_sec = 50.0;
+  /// First possible arrival; the stream spans [start, start + duration).
+  sim::Time start = sim::milliseconds(10);
+  sim::Duration duration = sim::seconds(60);
+  /// Request mix (weights; normalized internally). Adds deploy a fresh
+  /// flow, removes retire an active one, reroutes move one onto another
+  /// of its pair's precomputed paths.
+  double w_add = 0.15;
+  double w_remove = 0.15;
+  double w_reroute = 0.70;
+  /// Paths precomputed per pair (k-shortest by hops); reroutes pick among
+  /// them. Pairs with fewer than 2 distinct paths are rejected.
+  std::size_t paths_per_pair = 3;
+  /// Candidate endpoints; empty = every node.
+  std::vector<net::NodeId> endpoints;
+};
+
+/// One scheduled request. `flow_slot` indexes ChurnWorkload::flows;
+/// `path_choice` indexes the slot's pair's path list (reroutes only).
+struct ChurnEvent {
+  sim::Time at = 0;
+  control::RequestKind kind = control::RequestKind::kReroute;
+  std::size_t flow_slot = 0;
+  std::size_t path_choice = 0;
+};
+
+/// The fully rolled workload: pure data, shared read-only across systems.
+struct ChurnWorkload {
+  struct PairPaths {
+    net::NodeId src = 0;
+    net::NodeId dst = 0;
+    std::vector<net::Path> paths;  // paths[0] = primary (deploy path)
+  };
+  struct FlowSlot {
+    net::Flow flow;
+    std::size_t pair = 0;
+    bool initial = false;  // deployed before t=0 (vs. by a kAdd event)
+  };
+  std::vector<PairPaths> pairs;
+  std::vector<FlowSlot> flows;
+  std::vector<ChurnEvent> events;  // sorted by `at` (generation order)
+};
+
+/// Rolls the workload. Pure: no bed, no simulator — the same (graph, seed,
+/// params) always yields the same workload. Throws std::logic_error when
+/// no endpoint pair offers two distinct paths.
+[[nodiscard]] ChurnWorkload make_churn_workload(const net::Graph& g,
+                                                std::uint64_t seed,
+                                                const ChurnParams& params);
+
+/// Replays `wl` against one bed: deploys the initial population now and
+/// schedules every event (adds deploy + note kAdd; removes note kRemove;
+/// reroutes submit through the admission queue). Call before bed.run().
+void install_churn(TestBed& bed, const ChurnWorkload& wl);
+
+}  // namespace p4u::harness

@@ -189,19 +189,24 @@ void TestBed::schedule_update_at(sim::Time at, net::FlowId flow,
   // reshapes controller state for the whole run.
   sim_.schedule_at(at, sim::EventTag{-1, sim::EventClass::kScenario, flow},
                    [this, flow, new_path = std::move(new_path)]() {
-                     adapter_->schedule_update(flow, new_path);
+                     adapter_->submit(UpdateRequest{flow, new_path});
                    });
 }
 
-void TestBed::issue_update_now(net::FlowId flow, const net::Path& new_path) {
-  adapter_->schedule_update(flow, new_path);
+Ticket TestBed::issue_update_now(net::FlowId flow, const net::Path& new_path) {
+  return adapter_->submit(UpdateRequest{flow, new_path});
 }
 
 void TestBed::schedule_batch_at(
     sim::Time at, std::vector<std::pair<net::FlowId, net::Path>> batch) {
   sim_.schedule_at(at, sim::EventTag{-1, sim::EventClass::kScenario, 0},
                    [this, batch = std::move(batch)]() {
-                     adapter_->schedule_batch(batch);
+                     std::vector<UpdateRequest> reqs;
+                     reqs.reserve(batch.size());
+                     for (const auto& [flow, path] : batch) {
+                       reqs.push_back(UpdateRequest{flow, path});
+                     }
+                     adapter_->submit_batch(reqs);
                    });
 }
 

@@ -45,12 +45,20 @@ class TestBed {
   /// delivers locally. `f.egress` must equal the tree root.
   void deploy_tree(const net::Flow& f, const control::DestTree& tree);
 
-  /// Schedules one flow update at virtual time `at`.
+  /// Schedules one flow update at virtual time `at`. Convenience over
+  /// `submit`: the request goes through the system's admission queue with
+  /// kind = kReroute; the ticket is not returned (callers that need it
+  /// schedule their own event and call system().submit inside).
   void schedule_update_at(sim::Time at, net::FlowId flow, net::Path new_path);
 
   /// Issues one flow update right now (scenario hooks that fire from inside
-  /// a scheduled event — e.g. the §4.1 demo's mid-run reconfiguration).
-  void issue_update_now(net::FlowId flow, const net::Path& new_path);
+  /// a scheduled event — e.g. the §4.1 demo's mid-run reconfiguration);
+  /// returns the admission ticket.
+  Ticket issue_update_now(net::FlowId flow, const net::Path& new_path);
+
+  /// Submits one request right now through the admission queue (the
+  /// request-level API; churn drivers use this with explicit kinds).
+  Ticket submit(const UpdateRequest& req) { return adapter_->submit(req); }
 
   /// Schedules a batch of updates at `at` (multi-flow scenarios; ez-Segway
   /// computes its priorities once per batch).

@@ -10,6 +10,7 @@
 #include "core/p4update_switch.hpp"
 #include "p4rt/control_channel.hpp"
 #include "p4rt/fabric.hpp"
+#include "sim/event_queue.hpp"
 
 namespace p4u::harness {
 
@@ -22,11 +23,53 @@ const char* to_string(SystemKind k) {
   return "?";
 }
 
+// --- SystemAdapter: ticketed submission over the admission queue ---
+
+void SystemAdapter::init_submission(const SystemContext& ctx) {
+  recovery_ = ctx.params.recovery;
+  admission_ = std::make_unique<control::AdmissionQueue>(
+      mutable_flow_db(), ctx.params.admission);
+  admission_->set_clock([sim = &ctx.sim] { return sim->now(); });
+  admission_->set_dispatch(
+      [this](net::FlowId flow, const net::Path& path) {
+        return dispatch_update(flow, path);
+      });
+}
+
+Ticket SystemAdapter::submit(const UpdateRequest& req) {
+  const control::RequestId id =
+      admission_->submit(req.flow, req.kind, req.new_path);
+  const control::RequestRecord* rec = mutable_flow_db().request(id);
+  return Ticket{id, req.flow, rec ? rec->version : 0,
+                rec ? rec->submitted_at : 0};
+}
+
+std::vector<Ticket> SystemAdapter::submit_batch(
+    const std::vector<UpdateRequest>& batch) {
+  prepare_batch(batch);
+  std::vector<Ticket> tickets;
+  tickets.reserve(batch.size());
+  for (const UpdateRequest& req : batch) tickets.push_back(submit(req));
+  return tickets;
+}
+
+Ticket SystemAdapter::note_instant(net::FlowId flow,
+                                   control::RequestKind kind) {
+  const control::RequestId id = admission_->note_instant(flow, kind);
+  const control::RequestRecord* rec = mutable_flow_db().request(id);
+  return Ticket{id, flow, rec ? rec->version : 0, rec ? rec->submitted_at : 0};
+}
+
+const control::RequestRecord* SystemAdapter::request(
+    control::RequestId id) const {
+  return const_cast<SystemAdapter*>(this)->mutable_flow_db().request(id);
+}
+
 namespace {
 
 class P4UpdateAdapter final : public SystemAdapter {
  public:
-  explicit P4UpdateAdapter(const SystemContext& ctx) {
+  explicit P4UpdateAdapter(const SystemContext& ctx) : metrics_(nullptr) {
     core::P4UpdateSwitchParams sp;
     sp.congestion_mode = ctx.params.congestion_mode;
     sp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
@@ -44,6 +87,8 @@ class P4UpdateAdapter final : public SystemAdapter {
     cp.force_type = ctx.params.force_type;
     cp.allow_consecutive_dual = ctx.params.allow_consecutive_dual;
     cp.enable_retrigger = ctx.params.enable_retrigger;
+    cp.static_preflight = ctx.params.static_preflight;
+    cp.enforce_preflight = ctx.params.enforce_preflight;
     cp.measure_prep_wallclock = ctx.params.measure_prep_wallclock;
     cp.recovery = ctx.params.recovery;
     ctrl_ = std::make_unique<core::P4UpdateController>(
@@ -52,6 +97,12 @@ class P4UpdateAdapter final : public SystemAdapter {
       ctrl_->nib().reserve(ctx.params.expected_flows);
       ctrl_->flow_db().reserve(ctx.params.expected_flows);
     }
+    metrics_ = &ctx.channel.metrics();
+    init_submission(ctx);
+    ctrl_->on_settled = [this](net::FlowId f, p4rt::Version v,
+                               control::UpdateOutcome o, sim::Time) {
+      settled(f, v, o);
+    };
   }
 
   void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
@@ -62,17 +113,18 @@ class P4UpdateAdapter final : public SystemAdapter {
   void register_flow(const net::Flow& f, const net::Path& path) override {
     ctrl_->register_flow(f, path);
   }
-  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
-    ctrl_->schedule_update(flow, new_path);
-  }
-  void schedule_batch(
-      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
-    for (const auto& [flow, path] : batch) ctrl_->schedule_update(flow, path);
-  }
   [[nodiscard]] const control::FlowDb& flow_db() const override {
     return ctrl_->flow_db();
   }
   [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
+
+  [[nodiscard]] PreflightCounters preflight_counters() const override {
+    return PreflightCounters{
+        metrics_->counter_total("ctrl.preflight_safe"),
+        metrics_->counter_total("ctrl.preflight_unsafe"),
+        metrics_->counter_total("ctrl.preflight_unknown"),
+        metrics_->counter_total("ctrl.preflight_skipped")};
+  }
 
   void collect_metrics(obs::MetricsRegistry& m) override {
     // Tops a counter up to `total` (collect may run more than once per bed).
@@ -98,9 +150,21 @@ class P4UpdateAdapter final : public SystemAdapter {
     return switches_.at(static_cast<std::size_t>(n)).get();
   }
 
+ protected:
+  control::DispatchResult dispatch_update(net::FlowId flow,
+                                          const net::Path& path) override {
+    // 0 means enforce_preflight refused the plan: nothing was issued.
+    const p4rt::Version v = ctrl_->schedule_update(flow, path);
+    return control::DispatchResult{v, v != 0};
+  }
+  [[nodiscard]] control::FlowDb& mutable_flow_db() override {
+    return ctrl_->flow_db();
+  }
+
  private:
   std::vector<std::unique_ptr<core::P4UpdateSwitch>> switches_;
   std::unique_ptr<core::P4UpdateController> ctrl_;
+  obs::MetricsRegistry* metrics_;
 };
 
 class EzSegwayAdapter final : public SystemAdapter {
@@ -119,6 +183,11 @@ class EzSegwayAdapter final : public SystemAdapter {
     cp.recovery = ctx.params.recovery;
     ctrl_ = std::make_unique<baseline::EzSegwayController>(
         ctx.channel, control::Nib(ctx.graph), cp);
+    init_submission(ctx);
+    ctrl_->on_settled = [this](net::FlowId f, p4rt::Version v,
+                               control::UpdateOutcome o, sim::Time) {
+      settled(f, v, o);
+    };
   }
 
   void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
@@ -130,19 +199,30 @@ class EzSegwayAdapter final : public SystemAdapter {
   void register_flow(const net::Flow& f, const net::Path& path) override {
     ctrl_->register_flow(f, path);
   }
-  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
-    ctrl_->schedule_update(flow, new_path);
-  }
-  void schedule_batch(
-      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
-    ctrl_->schedule_updates(batch);
-  }
   [[nodiscard]] const control::FlowDb& flow_db() const override {
     return ctrl_->flow_db();
   }
   [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
   [[nodiscard]] baseline::EzSegwayController* as_ezsegway() override {
     return ctrl_.get();
+  }
+
+ protected:
+  control::DispatchResult dispatch_update(net::FlowId flow,
+                                          const net::Path& path) override {
+    // 0 means ez queued the request internally behind the flow's in-flight
+    // update (§4.2) — accepted, version assigned on issue.
+    return control::DispatchResult{ctrl_->schedule_update(flow, path), true};
+  }
+  void prepare_batch(const std::vector<UpdateRequest>& batch) override {
+    std::vector<std::pair<net::FlowId, net::Path>> updates;
+    updates.reserve(batch.size());
+    for (const UpdateRequest& req : batch)
+      updates.emplace_back(req.flow, req.new_path);
+    ctrl_->prepare_batch(updates);
+  }
+  [[nodiscard]] control::FlowDb& mutable_flow_db() override {
+    return ctrl_->flow_db();
   }
 
  private:
@@ -164,6 +244,11 @@ class CentralAdapter final : public SystemAdapter {
     }
     ctrl_ = std::make_unique<baseline::CentralController>(
         ctx.channel, control::Nib(ctx.graph), cp);
+    init_submission(ctx);
+    ctrl_->on_settled = [this](net::FlowId f, p4rt::Version v,
+                               control::UpdateOutcome o, sim::Time) {
+      settled(f, v, o);
+    };
   }
 
   void bootstrap_flow_hop(p4rt::SwitchDevice& sw, const net::Flow& f,
@@ -175,19 +260,21 @@ class CentralAdapter final : public SystemAdapter {
   void register_flow(const net::Flow& f, const net::Path& path) override {
     ctrl_->register_flow(f, path);
   }
-  void schedule_update(net::FlowId flow, const net::Path& new_path) override {
-    ctrl_->schedule_update(flow, new_path);
-  }
-  void schedule_batch(
-      const std::vector<std::pair<net::FlowId, net::Path>>& batch) override {
-    for (const auto& [flow, path] : batch) ctrl_->schedule_update(flow, path);
-  }
   [[nodiscard]] const control::FlowDb& flow_db() const override {
     return ctrl_->flow_db();
   }
   [[nodiscard]] control::Nib& nib() override { return ctrl_->nib(); }
   [[nodiscard]] baseline::CentralController* as_central() override {
     return ctrl_.get();
+  }
+
+ protected:
+  control::DispatchResult dispatch_update(net::FlowId flow,
+                                          const net::Path& path) override {
+    return control::DispatchResult{ctrl_->schedule_update(flow, path), true};
+  }
+  [[nodiscard]] control::FlowDb& mutable_flow_db() override {
+    return ctrl_->flow_db();
   }
 
  private:

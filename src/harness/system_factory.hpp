@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/admission.hpp"
 #include "control/flow_db.hpp"
 #include "control/nib.hpp"
 #include "faults/fault_plan.hpp"
@@ -85,6 +86,11 @@ struct TestBedParams {
   std::optional<p4rt::UpdateType> force_type;
   bool allow_consecutive_dual = false;
   bool enable_retrigger = false;               // §11 failure recovery
+  /// P4Update: run the static plan verifier before dispatch (DESIGN.md §12)
+  /// and count verdicts; with enforce, unsafe plans are refused (the
+  /// request settles kRolledBack without touching the data plane).
+  bool static_preflight = false;
+  bool enforce_preflight = false;
   sim::Duration p4u_wait_timeout = sim::seconds(10);
   sim::Duration p4u_uim_watchdog = 0;          // 0 = watchdog off
   bool trace_enabled = true;
@@ -126,6 +132,11 @@ struct TestBedParams {
   /// windows at every multiple of this interval (and once at end of run),
   /// at identical virtual times for every K.
   sim::Duration shard_check_interval = sim::milliseconds(10);
+  /// Request admission in front of the controller (control/admission.hpp):
+  /// bounded in-flight updates, deterministic FIFO, per-flow coalescing.
+  /// The default (both bounds 0) is a strict pass-through — every
+  /// pre-churn scenario submits straight through to the controller.
+  control::AdmissionParams admission;
 };
 
 /// Everything an adapter needs to wire one system into a run. The fabric
@@ -139,9 +150,42 @@ struct SystemContext {
   const TestBedParams& params;
 };
 
+/// One unit of client intent: move (or bring up / retire) `flow`.
+struct UpdateRequest {
+  net::FlowId flow = 0;
+  net::Path new_path;
+  control::RequestKind kind = control::RequestKind::kReroute;
+};
+
+/// Receipt for a submitted request. `version` is the update version the
+/// controller issued, or 0 while the request is still queued (admission
+/// bounds) or the controller has not assigned one yet; the ledger record
+/// (SystemAdapter::request) carries the final version and outcome.
+struct Ticket {
+  control::RequestId request_id = 0;
+  net::FlowId flow = 0;
+  p4rt::Version version = 0;
+  sim::Time submit_time = 0;
+};
+
+/// Static-preflight totals (DESIGN.md §12); all-zero for systems without a
+/// preflight verifier.
+struct PreflightCounters {
+  std::uint64_t safe = 0;
+  std::uint64_t unsafe = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t skipped = 0;
+};
+
 /// One system under test, fully wired: the per-switch pipelines (already
 /// attached to the fabric) plus the controller. The TestBed drives every
 /// system exclusively through this interface.
+///
+/// Submission is ticketed: `submit` hands the request to the admission
+/// queue (bounds + FIFO + coalescing per TestBedParams::admission) and
+/// returns a Ticket; the per-request lifecycle is queryable from the
+/// FlowDb request ledger. Adapters implement the protected dispatch hooks;
+/// they never see queueing.
 class SystemAdapter {
  public:
   virtual ~SystemAdapter() = default;
@@ -154,13 +198,30 @@ class SystemAdapter {
   /// Registers an already-deployed flow with the controller.
   virtual void register_flow(const net::Flow& f, const net::Path& path) = 0;
 
-  /// Asks the controller to move `flow` onto `new_path`, now.
-  virtual void schedule_update(net::FlowId flow, const net::Path& new_path) = 0;
+  /// Submits one request through the admission queue.
+  Ticket submit(const UpdateRequest& req);
 
-  /// Issues a batch of updates (systems that precompute per-batch state —
-  /// ez-Segway's priorities — do it here; others loop).
-  virtual void schedule_batch(
-      const std::vector<std::pair<net::FlowId, net::Path>>& batch) = 0;
+  /// Submits a batch: systems that precompute per-batch state (ez-Segway's
+  /// congestion priorities) do it once up front, then every request is
+  /// submitted in order.
+  std::vector<Ticket> submit_batch(const std::vector<UpdateRequest>& batch);
+
+  /// Records a request that needs no data-plane transition (instant flow
+  /// bring-up / removal); it settles kCompleted immediately.
+  Ticket note_instant(net::FlowId flow, control::RequestKind kind);
+
+  /// Ledger record for a ticket (nullptr for an unknown id).
+  [[nodiscard]] const control::RequestRecord* request(
+      control::RequestId id) const;
+
+  /// The admission queue (depth/peak stats for benches). Valid for the
+  /// adapter's whole lifetime.
+  [[nodiscard]] control::AdmissionQueue& admission() { return *admission_; }
+
+  /// Per-request terminal notifications (fired in per-flow version order).
+  void set_notify(control::AdmissionQueue::NotifyFn fn) {
+    admission_->set_notify(std::move(fn));
+  }
 
   [[nodiscard]] virtual const control::FlowDb& flow_db() const = 0;
   [[nodiscard]] virtual control::Nib& nib() = 0;
@@ -168,6 +229,17 @@ class SystemAdapter {
   /// Flushes end-of-run state (per-switch register access counters, …)
   /// into the registry. Must be idempotent; the default does nothing.
   virtual void collect_metrics(obs::MetricsRegistry& m) { (void)m; }
+
+  // Capability accessors: the uniform view of per-system knobs/counters a
+  // system-agnostic driver (bench/churn) needs, instead of downcasting.
+  /// The run's controller-recovery knobs.
+  [[nodiscard]] const faults::RecoveryParams& recovery_params() const {
+    return recovery_;
+  }
+  /// Preflight verdict totals; zeros for systems without static preflight.
+  [[nodiscard]] virtual PreflightCounters preflight_counters() const {
+    return {};
+  }
 
   // Narrow accessors for tests and demos that poke one concrete system.
   // Adapters for other systems keep the nullptr defaults.
@@ -184,6 +256,39 @@ class SystemAdapter {
   [[nodiscard]] virtual baseline::CentralController* as_central() {
     return nullptr;
   }
+
+ protected:
+  /// Hands one request to the controller; returns the issued version (0 +
+  /// accepted when the controller queued it internally without a version;
+  /// !accepted when nothing was issued at all).
+  virtual control::DispatchResult dispatch_update(net::FlowId flow,
+                                                  const net::Path& path) = 0;
+
+  /// Per-batch precompute hook (default: none).
+  virtual void prepare_batch(const std::vector<UpdateRequest>& batch) {
+    (void)batch;
+  }
+
+  /// The controller's FlowDb, mutably (the admission queue writes the
+  /// request ledger through it).
+  [[nodiscard]] virtual control::FlowDb& mutable_flow_db() = 0;
+
+  /// Wires the admission queue: called once at the END of every derived
+  /// constructor (the controller — and with it the FlowDb — must exist).
+  /// Derived constructors also hook their controller's on_settled to
+  /// `settled` right after.
+  void init_submission(const SystemContext& ctx);
+
+  /// Controller settle hook target: resolves the matching request and pumps
+  /// the queue into the freed slot.
+  void settled(net::FlowId flow, p4rt::Version version,
+               control::UpdateOutcome outcome) {
+    admission_->on_update_settled(flow, version, outcome);
+  }
+
+ private:
+  std::unique_ptr<control::AdmissionQueue> admission_;
+  faults::RecoveryParams recovery_;
 };
 
 /// Process-wide registry of SystemKind -> adapter factory. The built-in

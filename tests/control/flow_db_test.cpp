@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace p4u::control {
 namespace {
 
@@ -70,6 +72,115 @@ TEST(FlowDbTest, MultipleFlowsTrackedIndependently) {
   db.on_completed(2, 2, sim::milliseconds(60));
   EXPECT_TRUE(db.all_completed());
   EXPECT_EQ(db.last_completion(), sim::milliseconds(60));
+}
+
+TEST(FlowDbRequestTest, LedgerLifecycle) {
+  FlowDb db;
+  const RequestId id =
+      db.request_submitted(7, RequestKind::kReroute, sim::milliseconds(1));
+  EXPECT_EQ(id, 1u);  // ids are 1-based in submit order
+  const RequestRecord* rec = db.request(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, RequestState::kQueued);
+  EXPECT_EQ(rec->submitted_at, sim::milliseconds(1));
+  EXPECT_FALSE(db.all_requests_terminal());
+
+  db.request_dispatched(id, 3, sim::milliseconds(2));
+  EXPECT_EQ(db.request(id)->state, RequestState::kDispatched);
+  EXPECT_EQ(db.request(id)->version, 3u);
+  EXPECT_EQ(db.request(id)->dispatched_at, sim::milliseconds(2));
+
+  db.request_finished(id, RequestState::kCompleted, sim::milliseconds(40));
+  EXPECT_EQ(db.request(id)->state, RequestState::kCompleted);
+  EXPECT_EQ(db.request(id)->finished_at, sim::milliseconds(40));
+  EXPECT_TRUE(db.all_requests_terminal());
+  EXPECT_EQ(db.requests_nonterminal(), 0u);
+}
+
+TEST(FlowDbRequestTest, VersionBackfillAfterDispatch) {
+  // ez-Segway dispatches without a version when the flow's previous update
+  // is still in flight; the version arrives at settle time.
+  FlowDb db;
+  const RequestId id = db.request_submitted(7, RequestKind::kReroute, 0);
+  db.request_dispatched(id, 0, sim::milliseconds(1));
+  EXPECT_EQ(db.request(id)->version, 0u);
+  db.request_version(id, 5);
+  EXPECT_EQ(db.request(id)->version, 5u);
+}
+
+TEST(FlowDbRequestTest, TerminalStateIsSticky) {
+  FlowDb db;
+  const RequestId id = db.request_submitted(7, RequestKind::kReroute, 0);
+  db.request_dispatched(id, 1, 0);
+  db.request_finished(id, RequestState::kSuperseded, sim::milliseconds(5));
+  // A late settle for the already-closed request must not reopen or
+  // restamp it.
+  db.request_finished(id, RequestState::kCompleted, sim::milliseconds(9));
+  EXPECT_EQ(db.request(id)->state, RequestState::kSuperseded);
+  EXPECT_EQ(db.request(id)->finished_at, sim::milliseconds(5));
+}
+
+TEST(FlowDbRequestTest, NonterminalCountsAcrossStates) {
+  FlowDb db;
+  const RequestId a = db.request_submitted(1, RequestKind::kAdd, 0);
+  const RequestId b = db.request_submitted(2, RequestKind::kReroute, 0);
+  const RequestId c = db.request_submitted(3, RequestKind::kRemove, 0);
+  db.request_dispatched(b, 1, 0);
+  EXPECT_EQ(db.requests_nonterminal(), 3u);  // queued + dispatched + queued
+  db.request_finished(a, RequestState::kCompleted, 0);
+  db.request_finished(b, RequestState::kRolledBack, 0);
+  db.request_finished(c, RequestState::kAbandoned, 0);
+  EXPECT_TRUE(db.all_requests_terminal());
+  EXPECT_EQ(db.requests().size(), 3u);
+}
+
+TEST(FlowDbRequestTest, UnknownRequestQueriesAreSafe) {
+  FlowDb db;
+  EXPECT_EQ(db.request(0), nullptr);
+  EXPECT_EQ(db.request(42), nullptr);
+  db.request_dispatched(42, 1, 0);  // no-op, no crash
+  db.request_version(42, 1);
+  db.request_finished(42, RequestState::kCompleted, 0);
+  EXPECT_TRUE(db.all_requests_terminal());
+}
+
+TEST(FlowDbRequestTest, ExportRequestsIsIdempotentTopUp) {
+  FlowDb db;
+  const RequestId a = db.request_submitted(1, RequestKind::kReroute, 0);
+  db.request_dispatched(a, 1, 0);
+  db.request_finished(a, RequestState::kCompleted, 0);
+  const RequestId b = db.request_submitted(2, RequestKind::kAdd, 0);
+
+  obs::MetricsRegistry m;
+  db.export_requests(m);
+  db.export_requests(m);  // top-up semantics: second call adds nothing
+  EXPECT_EQ(m.counter_value("ctrl.request",
+                            {{"kind", "reroute"}, {"state", "completed"}}),
+            1u);
+  // Nonterminal requests are counted by the gauge, not the counters (the
+  // counter family only carries settled states, kept sparse).
+  EXPECT_EQ(m.gauge("ctrl.requests_nonterminal").value(), 1.0);
+
+  // The queued request settling tops the counters up by exactly one.
+  db.request_dispatched(b, 1, 0);
+  db.request_finished(b, RequestState::kCompleted, 0);
+  db.export_requests(m);
+  EXPECT_EQ(m.counter_value("ctrl.request",
+                            {{"kind", "add"}, {"state", "completed"}}),
+            1u);
+  EXPECT_EQ(m.gauge("ctrl.requests_nonterminal").value(), 0.0);
+}
+
+TEST(FlowDbRequestTest, StateStringsAndTerminality) {
+  EXPECT_STREQ(to_string(RequestState::kRolledBack), "rolled-back");
+  EXPECT_STREQ(to_string(RequestState::kQueued), "queued");
+  EXPECT_STREQ(to_string(RequestKind::kReroute), "reroute");
+  EXPECT_FALSE(is_terminal(RequestState::kQueued));
+  EXPECT_FALSE(is_terminal(RequestState::kDispatched));
+  EXPECT_TRUE(is_terminal(RequestState::kCompleted));
+  EXPECT_TRUE(is_terminal(RequestState::kRolledBack));
+  EXPECT_TRUE(is_terminal(RequestState::kAbandoned));
+  EXPECT_TRUE(is_terminal(RequestState::kSuperseded));
 }
 
 }  // namespace
